@@ -1,0 +1,104 @@
+/// Ablation: surrogate oracle vs genuine training. Trains a small set of
+/// architecture corners on the synthetic dataset (real gradient descent,
+/// 2-fold CV) and compares their ranking/trends against the oracle used
+/// for the full sweep. This is the §5 "Duration of the NNI Experiments"
+/// observation too: we time real trials and extrapolate to the paper's
+/// 9h20m / 29h3m per input combination.
+
+#include "bench_common.hpp"
+#include "dcnas/common/stats.hpp"
+#include "dcnas/nas/evaluator.hpp"
+
+#include <chrono>
+
+using namespace dcnas;
+
+namespace {
+
+std::vector<nas::TrialConfig> corner_configs() {
+  // Four informative corners: winner, baseline, no-pool winner, wide-k7.
+  nas::TrialConfig winner = nas::TrialConfig::baseline(5, 8);
+  winner.initial_output_feature = 32;
+  winner.kernel_size = 3;
+  winner.padding = 1;
+  nas::TrialConfig nopool = winner;
+  nopool.pool_choice = 1;
+  nas::TrialConfig wide = nas::TrialConfig::baseline(5, 8);
+  return {winner, nopool, wide, nas::TrialConfig::baseline(5, 16)};
+}
+
+void BM_RealTrainingTrial(benchmark::State& state) {
+  geodata::DatasetOptions d;
+  d.scale = 1.0 / 200.0;
+  d.chip_size = 16;
+  d.scene_size = 128;
+  d.channels = 5;
+  const auto ds5 = geodata::build_dataset(d);
+  d.channels = 7;
+  const auto ds7 = geodata::build_dataset(d);
+  nas::TrainingEvaluator::Options o;
+  o.folds = 2;
+  o.epochs = 2;
+  nas::TrainingEvaluator eval(ds5, ds7, o);
+  nas::TrialConfig cfg = nas::TrialConfig::baseline(5, 8);
+  cfg.initial_output_feature = 32;
+  cfg.kernel_size = 3;
+  cfg.padding = 1;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(eval.evaluate(cfg).mean_accuracy);
+  }
+  state.SetLabel("2-fold x 2-epoch trial, 60-chip dataset");
+}
+BENCHMARK(BM_RealTrainingTrial)->Unit(benchmark::kMillisecond)->Iterations(2);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  return dcnas::bench::run(argc, argv, [] {
+    std::printf("Ablation: calibrated oracle vs real training\n\n");
+    geodata::DatasetOptions d;
+    d.scale = 1.0 / 160.0;
+    d.chip_size = 16;
+    d.scene_size = 128;
+    d.channels = 5;
+    const auto ds5 = geodata::build_dataset(d);
+    d.channels = 7;
+    const auto ds7 = geodata::build_dataset(d);
+    std::printf("dataset: %lld chips (1/160 of Table 1 scale)\n\n",
+                static_cast<long long>(ds5.size()));
+
+    nas::TrainingEvaluator::Options topt;
+    topt.folds = 2;
+    topt.epochs = 4;
+    topt.lr = 0.02;
+    nas::TrainingEvaluator trainer(ds5, ds7, topt);
+    nas::OracleEvaluator oracle;
+
+    std::vector<double> real, surrogate, seconds;
+    std::printf("  %-52s %10s %10s %8s\n", "config", "real(%)", "oracle(%)",
+                "sec");
+    for (const auto& cfg : corner_configs()) {
+      const auto t0 = std::chrono::steady_clock::now();
+      const double r = trainer.evaluate(cfg).mean_accuracy;
+      const double sec =
+          std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+              .count();
+      const double o = oracle.evaluate(cfg).mean_accuracy;
+      real.push_back(r);
+      surrogate.push_back(o);
+      seconds.push_back(sec);
+      std::printf("  %-52s %10.2f %10.2f %8.1f\n", cfg.to_string().c_str(), r,
+                  o, sec);
+    }
+    std::printf("\nspearman rank agreement (real vs oracle, 4 corners): "
+                "%.2f\n", spearman(real, surrogate));
+    const double mean_sec = mean(seconds);
+    // The paper: 288 trials x 5 folds x 5 epochs on an A100 took 9h20m
+    // (5ch/b8). Our per-trial cost at this scale extrapolates as:
+    std::printf("mean real-trial cost here: %.1f s -> 288 trials ~ %.1f h on "
+                "this host at 1/100\ndata scale and 6 epochs (the paper "
+                "needed 9h20m-29h per combination on an A100\nat full scale "
+                "— the motivation for the oracle substitution).\n",
+                mean_sec, mean_sec * 288.0 / 3600.0);
+  });
+}

@@ -1,0 +1,26 @@
+#pragma once
+/// Shared scaffolding for the reproduction benches: every bench binary
+/// first prints the table/figure it regenerates (the reproduction payload),
+/// then runs its google-benchmark microbenchmarks (the performance payload).
+
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+#include <functional>
+
+namespace dcnas::bench {
+
+/// Prints the reproduction block, then dispatches to google-benchmark.
+inline int run(int argc, char** argv,
+               const std::function<void()>& print_report) {
+  std::printf("================================================================\n");
+  print_report();
+  std::printf("================================================================\n\n");
+  ::benchmark::Initialize(&argc, argv);
+  if (::benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  ::benchmark::RunSpecifiedBenchmarks();
+  ::benchmark::Shutdown();
+  return 0;
+}
+
+}  // namespace dcnas::bench

@@ -1,0 +1,51 @@
+/// Figure 1 reproduction: the ResNet-18 architecture with 5- and 7-channel
+/// inputs, plus model-construction and graph-building microbenchmarks.
+
+#include "bench_common.hpp"
+#include "dcnas/core/report.hpp"
+#include "dcnas/graph/serialize.hpp"
+
+using namespace dcnas;
+
+namespace {
+
+void BM_ModelConstruction(benchmark::State& state) {
+  nn::ResNetConfig cfg = nn::ResNetConfig::baseline(5);
+  cfg.init_width = state.range(0);
+  for (auto _ : state) {
+    Rng rng(1);
+    nn::ConfigurableResNet model(cfg, rng);
+    benchmark::DoNotOptimize(model.num_params());
+  }
+}
+BENCHMARK(BM_ModelConstruction)->Arg(32)->Arg(64)->Unit(benchmark::kMillisecond);
+
+void BM_GraphBuild(benchmark::State& state) {
+  const auto cfg = nn::ResNetConfig::baseline(7);
+  for (auto _ : state) {
+    const auto g = graph::build_resnet_graph(cfg);
+    benchmark::DoNotOptimize(g.total_flops());
+  }
+}
+BENCHMARK(BM_GraphBuild)->Unit(benchmark::kMicrosecond);
+
+void BM_SerializedSize(benchmark::State& state) {
+  const auto g = graph::build_resnet_graph(nn::ResNetConfig::baseline(7));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(graph::serialized_size(g).total_bytes());
+  }
+}
+BENCHMARK(BM_SerializedSize);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  return dcnas::bench::run(argc, argv, [] {
+    std::printf("%s", core::fig1_text().c_str());
+    const auto g5 = graph::build_resnet_graph(nn::ResNetConfig::baseline(5));
+    const auto g7 = graph::build_resnet_graph(nn::ResNetConfig::baseline(7));
+    std::printf("serialized model: %.2f MB (5ch) / %.2f MB (7ch) — paper "
+                "Table 5: 44.71 / 44.73 MB\n",
+                graph::model_memory_mb(g5), graph::model_memory_mb(g7));
+  });
+}

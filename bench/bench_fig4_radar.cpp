@@ -1,0 +1,69 @@
+/// Figure 4 reproduction: radar plots of the non-dominated solutions —
+/// normalized objective axes plus configuration axes — as text bars and
+/// fig4_radar.csv, with export microbenchmarks.
+
+#include "bench_common.hpp"
+#include "dcnas/core/report.hpp"
+
+using namespace dcnas;
+
+namespace {
+
+const core::SweepResult& shared_sweep() {
+  static const core::SweepResult sweep = [] {
+    core::HwNasPipeline pipeline;
+    return pipeline.run_full_sweep();
+  }();
+  return sweep;
+}
+
+void BM_RadarRows(benchmark::State& state) {
+  const auto& sweep = shared_sweep();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(core::fig4_rows(sweep).size());
+  }
+}
+BENCHMARK(BM_RadarRows)->Unit(benchmark::kMicrosecond);
+
+void BM_RadarText(benchmark::State& state) {
+  const auto rows = core::fig4_rows(shared_sweep());
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(pareto::radar_text(rows).size());
+  }
+}
+BENCHMARK(BM_RadarText)->Unit(benchmark::kMicrosecond);
+
+void BM_CrowdingDistance(benchmark::State& state) {
+  const auto& sweep = shared_sweep();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        pareto::crowding_distances(sweep.objectives, sweep.front_indices)
+            .size());
+  }
+}
+BENCHMARK(BM_CrowdingDistance)->Unit(benchmark::kMicrosecond);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  return dcnas::bench::run(argc, argv, [] {
+    const auto& sweep = shared_sweep();
+    std::printf("%s", core::fig4_text(sweep).c_str());
+    pareto::radar_csv(core::fig4_rows(sweep)).save("fig4_radar.csv");
+    std::printf("radar data written to fig4_radar.csv\n");
+    std::printf("\nshared traits across winners (paper: smallest kernel, "
+                "fewest channels per\nmemory class, larger stride, minimal "
+                "padding):\n");
+    int k3 = 0, s2 = 0, p12 = 0, w32 = 0;
+    for (std::size_t i : sweep.front_indices) {
+      const auto& c = sweep.trials.record(i).config;
+      k3 += c.kernel_size == 3;
+      s2 += c.stride == 2;
+      p12 += c.padding <= 2;
+      w32 += c.initial_output_feature == 32;
+    }
+    const auto n = sweep.front_indices.size();
+    std::printf("  kernel==3: %d/%zu  stride==2: %d/%zu  padding<=2: %d/%zu  "
+                "width==32: %d/%zu\n", k3, n, s2, n, p12, n, w32, n);
+  });
+}

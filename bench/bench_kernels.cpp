@@ -1,0 +1,114 @@
+/// Microbenchmarks of the tensor substrate's hot kernels: GEMM, im2col,
+/// convolution forward/backward, pooling, batchnorm — the C++ compute that
+/// replaces the paper's PyTorch/A100 stack.
+
+#include <vector>
+
+#include "bench_common.hpp"
+#include "dcnas/common/rng.hpp"
+#include "dcnas/nn/batchnorm.hpp"
+#include "dcnas/nn/conv.hpp"
+#include "dcnas/tensor/gemm.hpp"
+#include "dcnas/tensor/im2col.hpp"
+#include "dcnas/tensor/ops.hpp"
+
+using namespace dcnas;
+
+namespace {
+
+void BM_Gemm(benchmark::State& state) {
+  const std::int64_t n = state.range(0);
+  Rng rng(1);
+  std::vector<float> a(static_cast<std::size_t>(n * n));
+  std::vector<float> b(static_cast<std::size_t>(n * n));
+  std::vector<float> c(static_cast<std::size_t>(n * n));
+  for (auto& v : a) v = static_cast<float>(rng.uniform(-1, 1));
+  for (auto& v : b) v = static_cast<float>(rng.uniform(-1, 1));
+  for (auto _ : state) {
+    gemm(n, n, n, 1.0f, a.data(), b.data(), 0.0f, c.data());
+    benchmark::DoNotOptimize(c.data());
+  }
+  state.SetItemsProcessed(state.iterations() * 2 * n * n * n);  // FLOPs
+}
+BENCHMARK(BM_Gemm)->Arg(64)->Arg(128)->Arg(256)->Unit(benchmark::kMicrosecond);
+
+void BM_Im2Col(benchmark::State& state) {
+  const std::int64_t hw = state.range(0);
+  Rng rng(2);
+  const std::int64_t c = 32, k = 3, s = 1, p = 1;
+  std::vector<float> im(static_cast<std::size_t>(c * hw * hw));
+  for (auto& v : im) v = static_cast<float>(rng.uniform(-1, 1));
+  const std::int64_t out = conv_out_size(hw, k, s, p);
+  std::vector<float> col(static_cast<std::size_t>(c * k * k * out * out));
+  for (auto _ : state) {
+    im2col(im.data(), c, hw, hw, k, s, p, col.data());
+    benchmark::DoNotOptimize(col.data());
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(col.size()));
+}
+BENCHMARK(BM_Im2Col)->Arg(28)->Arg(56)->Unit(benchmark::kMicrosecond);
+
+void BM_ConvForward(benchmark::State& state) {
+  Rng rng(3);
+  nn::Conv2d conv(32, 32, 3, 1, 1, false, rng);
+  conv.set_training(false);
+  const Tensor x =
+      Tensor::rand_uniform({1, 32, state.range(0), state.range(0)}, rng,
+                           -1.0f, 1.0f);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(conv.forward(x).data());
+  }
+}
+BENCHMARK(BM_ConvForward)->Arg(28)->Arg(56)->Unit(benchmark::kMicrosecond);
+
+void BM_ConvBackward(benchmark::State& state) {
+  Rng rng(4);
+  nn::Conv2d conv(16, 16, 3, 1, 1, false, rng);
+  const Tensor x = Tensor::rand_uniform({2, 16, 28, 28}, rng, -1.0f, 1.0f);
+  const Tensor y = conv.forward(x);
+  const Tensor g = Tensor::rand_uniform(y.shape(), rng, -1.0f, 1.0f);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(conv.backward(g).data());
+  }
+}
+BENCHMARK(BM_ConvBackward)->Unit(benchmark::kMicrosecond);
+
+void BM_MaxPool(benchmark::State& state) {
+  Rng rng(5);
+  const Tensor x = Tensor::rand_uniform({1, 64, 112, 112}, rng, -1.0f, 1.0f);
+  std::vector<std::int64_t> argmax;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(maxpool2d_forward(x, 3, 2, 1, &argmax).data());
+  }
+}
+BENCHMARK(BM_MaxPool)->Unit(benchmark::kMicrosecond);
+
+void BM_BatchNormForward(benchmark::State& state) {
+  Rng rng(6);
+  nn::BatchNorm2d bn(64);
+  const Tensor x = Tensor::rand_uniform({8, 64, 28, 28}, rng, -1.0f, 1.0f);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(bn.forward(x).data());
+  }
+}
+BENCHMARK(BM_BatchNormForward)->Unit(benchmark::kMicrosecond);
+
+void BM_Softmax(benchmark::State& state) {
+  Rng rng(7);
+  const Tensor logits = Tensor::rand_uniform({256, 2}, rng, -3.0f, 3.0f);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(softmax_rows(logits).data());
+  }
+}
+BENCHMARK(BM_Softmax);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  return dcnas::bench::run(argc, argv, [] {
+    std::printf("Tensor-substrate kernel microbenchmarks (GEMM, im2col, "
+                "conv fwd/bwd, pooling,\nbatchnorm, softmax). items_per_"
+                "second for BM_Gemm is FLOP/s.\n");
+  });
+}

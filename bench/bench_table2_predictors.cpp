@@ -1,0 +1,73 @@
+/// Table 2 reproduction: ±10% accuracy of the four nn-Meter-style latency
+/// predictors against the device simulators, plus microbenchmarks of
+/// predictor training and inference.
+
+#include "bench_common.hpp"
+#include "dcnas/core/report.hpp"
+#include "dcnas/latency/features.hpp"
+#include "dcnas/latency/simulator.hpp"
+
+using namespace dcnas;
+
+namespace {
+
+void BM_PredictorTraining(benchmark::State& state) {
+  const auto& device = latency::edge_device_zoo()[
+      static_cast<std::size_t>(state.range(0))];
+  latency::PredictorTrainOptions opt;
+  opt.samples_per_kind = 300;  // reduced for the microbenchmark
+  for (auto _ : state) {
+    latency::LatencyPredictor p(device);
+    p.train(opt);
+    benchmark::DoNotOptimize(p.trained());
+  }
+  state.SetLabel(device.name);
+}
+BENCHMARK(BM_PredictorTraining)->DenseRange(0, 3)->Unit(benchmark::kMillisecond);
+
+void BM_KernelPrediction(benchmark::State& state) {
+  const auto& p = latency::NnMeter::shared().predictor("cortexA76cpu");
+  Rng rng(7);
+  const auto kernel =
+      latency::sample_kernel(graph::KernelKind::kConvBnRelu, rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(p.predict_kernel_ms(kernel));
+  }
+}
+BENCHMARK(BM_KernelPrediction);
+
+void BM_ModelPrediction(benchmark::State& state) {
+  const auto kernels = graph::fuse_graph(
+      graph::build_resnet_graph(nn::ResNetConfig::baseline(5)));
+  const auto& meter = latency::NnMeter::shared();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(meter.predict_kernels(kernels).mean_ms);
+  }
+  state.SetLabel("stock ResNet-18, 4 devices");
+}
+BENCHMARK(BM_ModelPrediction)->Unit(benchmark::kMicrosecond);
+
+void BM_DeviceSimulation(benchmark::State& state) {
+  const auto kernels = graph::fuse_graph(
+      graph::build_resnet_graph(nn::ResNetConfig::baseline(5)));
+  const auto& device = latency::device_by_name("myriadvpu");
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(latency::simulate_model_ms(device, kernels));
+  }
+}
+BENCHMARK(BM_DeviceSimulation)->Unit(benchmark::kMicrosecond);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  return dcnas::bench::run(argc, argv, [] {
+    std::printf("%s\n",
+                core::table2_text(latency::NnMeter::shared(), 150).c_str());
+    std::printf("RMSPE per predictor (held-out kernels):\n");
+    for (const auto& p : latency::NnMeter::shared().predictors()) {
+      const auto acc = p.evaluate_kernel_level(150, 424242);
+      std::printf("  %-14s rmspe %.3f over %zu kernels\n",
+                  p.device().name.c_str(), acc.rmspe, acc.num_samples);
+    }
+  });
+}

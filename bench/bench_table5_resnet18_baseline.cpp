@@ -1,0 +1,70 @@
+/// Table 5 reproduction: stock ResNet-18 on the six input variants, plus
+/// microbenchmarks of our actual C++ training/inference substrate on the
+/// baseline model (the compute the paper ran on an A100).
+
+#include "bench_common.hpp"
+#include "dcnas/core/report.hpp"
+#include "dcnas/nn/trainer.hpp"
+
+using namespace dcnas;
+
+namespace {
+
+void BM_BaselineForward(benchmark::State& state) {
+  Rng rng(1);
+  nn::ConfigurableResNet model(nn::ResNetConfig::baseline(5), rng);
+  model.set_training(false);
+  const auto hw = state.range(0);
+  const Tensor x = Tensor::rand_uniform({1, 5, hw, hw}, rng, -1.0f, 1.0f);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(model.forward(x).data());
+  }
+  state.SetLabel("batch-1 inference on this host");
+}
+BENCHMARK(BM_BaselineForward)->Arg(32)->Arg(64)->Unit(benchmark::kMillisecond);
+
+void BM_BaselineTrainStep(benchmark::State& state) {
+  Rng rng(2);
+  nn::ConfigurableResNet model(nn::ResNetConfig::baseline(5), rng);
+  nn::Sgd opt(model.parameters(), 0.01, 0.9, 5e-4);
+  nn::SoftmaxCrossEntropy loss;
+  const Tensor x = Tensor::rand_uniform({4, 5, 32, 32}, rng, -1.0f, 1.0f);
+  const std::vector<int> y = {0, 1, 0, 1};
+  for (auto _ : state) {
+    const Tensor logits = model.forward(x);
+    const double l = loss.forward(logits, y);
+    benchmark::DoNotOptimize(l);
+    opt.zero_grad();
+    model.backward(loss.backward());
+    opt.step();
+  }
+  state.SetLabel("fwd+bwd+step, batch 4 @32px");
+}
+BENCHMARK(BM_BaselineTrainStep)->Unit(benchmark::kMillisecond);
+
+void BM_NarrowVsWideForward(benchmark::State& state) {
+  Rng rng(3);
+  nn::ResNetConfig cfg = nn::ResNetConfig::baseline(5);
+  cfg.init_width = state.range(0);
+  cfg.conv1_kernel = 3;
+  cfg.conv1_padding = 1;
+  nn::ConfigurableResNet model(cfg, rng);
+  model.set_training(false);
+  const Tensor x = Tensor::rand_uniform({1, 5, 64, 64}, rng, -1.0f, 1.0f);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(model.forward(x).data());
+  }
+}
+BENCHMARK(BM_NarrowVsWideForward)->Arg(32)->Arg(48)->Arg(64)
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  return dcnas::bench::run(argc, argv, [] {
+    core::HwNasPipeline pipeline;
+    std::printf("%s\n", core::table5_text(pipeline.run_baselines()).c_str());
+    std::printf("(paper: 5ch rows 92.90/93.60/89.67%% at 31.91 ms; 7ch rows "
+                "94.76/95.37/94.51%% at 32.46 ms; 44.71-44.73 MB)\n");
+  });
+}

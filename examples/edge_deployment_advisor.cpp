@@ -1,0 +1,83 @@
+/// Deployment advisor: given a target device and resource budget, sweep
+/// the search space and recommend the most accurate model that fits — the
+/// practical workflow the paper motivates for edge/IoT deployments.
+///
+/// Usage: ./examples/edge_deployment_advisor
+///          [--device cortexA76cpu|adreno640gpu|adreno630gpu|myriadvpu|mean]
+///          [--max-latency-ms 12] [--max-memory-mb 20] [--top 5]
+
+#include <algorithm>
+#include <cstdio>
+#include <string>
+
+#include "dcnas/common/cli.hpp"
+#include "dcnas/core/pipeline.hpp"
+
+using namespace dcnas;
+
+namespace {
+
+double device_latency(const nas::TrialRecord& r, const std::string& device) {
+  if (device == "mean") return r.latency_ms;
+  for (const auto& [name, ms] : r.per_device_ms) {
+    if (name == device) return ms;
+  }
+  throw InvalidArgument("unknown device: " + device +
+                        " (try cortexA76cpu, adreno640gpu, adreno630gpu, "
+                        "myriadvpu, or mean)");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const CliArgs args(argc, argv);
+  const std::string device = args.get("device", "myriadvpu");
+  const double max_latency = args.get_double("max-latency-ms", 20.0);
+  const double max_memory = args.get_double("max-memory-mb", 20.0);
+  const auto top = static_cast<std::size_t>(args.get_int("top", 5));
+
+  std::printf("=== edge deployment advisor ===\n");
+  std::printf("device=%s, latency budget %.1f ms, memory budget %.1f MB\n\n",
+              device.c_str(), max_latency, max_memory);
+
+  core::HwNasPipeline pipeline;
+  const core::SweepResult sweep = pipeline.run_full_sweep();
+
+  // Filter to the budget, rank by accuracy.
+  std::vector<std::size_t> fits;
+  for (std::size_t i = 0; i < sweep.trials.size(); ++i) {
+    const auto& r = sweep.trials.record(i);
+    if (device_latency(r, device) <= max_latency &&
+        r.memory_mb <= max_memory) {
+      fits.push_back(i);
+    }
+  }
+  if (fits.empty()) {
+    std::printf("no configuration fits this budget — the closest candidates "
+                "are on the Pareto front:\n");
+    fits = sweep.front_indices;
+  }
+  std::sort(fits.begin(), fits.end(), [&](std::size_t a, std::size_t b) {
+    return sweep.trials.record(a).accuracy > sweep.trials.record(b).accuracy;
+  });
+  fits.resize(std::min(top, fits.size()));
+
+  std::printf("%-58s %8s %10s %8s\n", "configuration", "acc(%)",
+              "latency(ms)", "mem(MB)");
+  for (std::size_t i : fits) {
+    const auto& r = sweep.trials.record(i);
+    std::printf("%-58s %8.2f %10.2f %8.2f\n", r.config.to_string().c_str(),
+                r.accuracy, device_latency(r, device), r.memory_mb);
+  }
+
+  if (!fits.empty()) {
+    const auto& rec = sweep.trials.record(fits.front());
+    std::printf("\nrecommended: %s\n", rec.config.to_string().c_str());
+    std::printf("per-device latency:\n");
+    for (const auto& [name, ms] : rec.per_device_ms) {
+      std::printf("  %-14s %7.2f ms%s\n", name.c_str(), ms,
+                  name == device ? "  <- target" : "");
+    }
+  }
+  return 0;
+}

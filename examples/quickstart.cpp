@@ -1,0 +1,71 @@
+/// Quickstart: the five-minute tour of dcnas.
+///
+/// 1. Pick an architecture from the paper's search space.
+/// 2. Inspect it (layers, parameters, serialized size).
+/// 3. Predict its inference latency on the four edge devices (nn-Meter
+///    style: fused kernels -> per-kernel random-forest predictors).
+/// 4. Score it with the calibrated accuracy oracle (5-fold CV surrogate).
+///
+/// Build & run:  ./examples/quickstart [--channels 7] [--batch 16]
+
+#include <cstdio>
+
+#include "dcnas/common/cli.hpp"
+#include "dcnas/graph/serialize.hpp"
+#include "dcnas/nas/experiment.hpp"
+
+using namespace dcnas;
+
+int main(int argc, char** argv) {
+  const CliArgs args(argc, argv);
+  const int channels = static_cast<int>(args.get_int("channels", 7));
+  const int batch = static_cast<int>(args.get_int("batch", 16));
+
+  // The paper's best model (Table 4, row 1): width-32 ResNet-18 with a
+  // 3x3 stride-2 stem and max pooling.
+  nas::TrialConfig config = nas::TrialConfig::baseline(channels, batch);
+  config.initial_output_feature = 32;
+  config.kernel_size = 3;
+  config.padding = 1;
+  std::printf("== dcnas quickstart ==\n%s\n\n", config.to_string().c_str());
+
+  // 2. Live model + IR graph.
+  Rng rng(1);
+  nn::ConfigurableResNet model(config.to_resnet_config(), rng);
+  std::printf("%s", model.summary(graph::kDeploymentInputSize).c_str());
+  const graph::ModelGraph g = graph::build_resnet_graph(config.to_resnet_config());
+  std::printf("  parameters: %lld (model file %.2f MB, %.2f GFLOPs)\n\n",
+              static_cast<long long>(model.num_params()),
+              graph::model_memory_mb(g),
+              static_cast<double>(g.total_flops()) / 1e9);
+
+  // 3. Latency across the four predictors.
+  const auto pred = latency::NnMeter::shared().predict_graph(g);
+  std::printf("predicted inference latency at %lldx%lld:\n",
+              static_cast<long long>(graph::kDeploymentInputSize),
+              static_cast<long long>(graph::kDeploymentInputSize));
+  for (const auto& [device, ms] : pred.per_device_ms) {
+    std::printf("  %-14s %7.2f ms\n", device.c_str(), ms);
+  }
+  std::printf("  mean %.2f ms, std %.2f ms\n\n", pred.mean_ms, pred.std_ms);
+
+  // 4. Accuracy via the calibrated oracle (full training is available via
+  //    nas::TrainingEvaluator — see examples/train_real_model.cpp).
+  nas::OracleEvaluator oracle;
+  const nas::EvalResult acc = oracle.evaluate(config);
+  std::printf("oracle 5-fold accuracy: %.2f%% (folds:", acc.mean_accuracy);
+  for (double f : acc.fold_accuracies) std::printf(" %.2f", f);
+  std::printf(")\n\nCompare with stock ResNet-18 (Table 5 row):\n");
+  nas::OracleEvaluator oracle2;
+  const nas::Experiment exp(oracle2, latency::NnMeter::shared());
+  const auto base = exp.run_trial(nas::TrialConfig::baseline(channels, batch));
+  std::printf("  baseline: acc %.2f%%, latency %.2f ms, memory %.2f MB\n",
+              base.accuracy, base.latency_ms, base.memory_mb);
+  const auto ours = exp.run_trial(config);
+  std::printf("  searched: acc %.2f%%, latency %.2f ms, memory %.2f MB\n",
+              ours.accuracy, ours.latency_ms, ours.memory_mb);
+  std::printf("  -> %.1fx faster, %.1fx smaller, accuracy %+.2f points\n",
+              base.latency_ms / ours.latency_ms,
+              base.memory_mb / ours.memory_mb, ours.accuracy - base.accuracy);
+  return 0;
+}

@@ -1,0 +1,74 @@
+/// Real training, no surrogate: builds the synthetic drainage-crossing
+/// dataset, trains the paper's winning architecture and the stock
+/// ResNet-18 with genuine gradient descent + k-fold cross-validation, and
+/// compares. This is the paper's NNI protocol at laptop scale (the full
+/// 12,068-chip corpus at 5 epochs x 1,728 trials is the 38-GPU-hour run
+/// the oracle replaces).
+///
+/// Usage: ./examples/train_real_model [--scale-denominator 100]
+///          [--chip 16] [--epochs 8] [--folds 2] [--channels 5]
+
+#include <cstdio>
+
+#include "dcnas/common/cli.hpp"
+#include "dcnas/nas/evaluator.hpp"
+
+using namespace dcnas;
+
+int main(int argc, char** argv) {
+  const CliArgs args(argc, argv);
+  const double denom = args.get_double("scale-denominator", 100.0);
+  const auto chip = args.get_int("chip", 16);
+  const auto epochs = static_cast<int>(args.get_int("epochs", 8));
+  const auto folds = static_cast<int>(args.get_int("folds", 2));
+  const int channels = static_cast<int>(args.get_int("channels", 5));
+
+  std::printf("=== real training on synthetic drainage data ===\n");
+  geodata::DatasetOptions dopt;
+  dopt.scale = 1.0 / denom;
+  dopt.chip_size = chip;
+  dopt.scene_size = 128;
+  dopt.seed = 5;
+  dopt.channels = 5;
+  const auto ds5 = geodata::build_dataset(dopt);
+  dopt.channels = 7;
+  const auto ds7 = geodata::build_dataset(dopt);
+  std::printf("dataset: %lld chips of %lldx%lld (scale 1/%.0f of Table 1)\n",
+              static_cast<long long>(ds5.size()),
+              static_cast<long long>(chip), static_cast<long long>(chip),
+              denom);
+  for (const auto& r : ds5.per_region) {
+    std::printf("  %-14s %lld true / %lld false\n", r.name.c_str(),
+                static_cast<long long>(r.true_chips),
+                static_cast<long long>(r.false_chips));
+  }
+
+  nas::TrainingEvaluator::Options topt;
+  topt.folds = folds;
+  topt.epochs = epochs;
+  topt.lr = 0.02;
+  nas::TrainingEvaluator trainer(ds5, ds7, topt);
+
+  nas::TrialConfig winner = nas::TrialConfig::baseline(channels, 8);
+  winner.initial_output_feature = 32;
+  winner.kernel_size = 3;
+  winner.padding = 1;
+  const nas::TrialConfig baseline = nas::TrialConfig::baseline(channels, 8);
+
+  std::printf("\ntraining the Table-4 winner (w32/k3/p1, pooled), %d epochs "
+              "x %d folds...\n", epochs, folds);
+  const auto w = trainer.evaluate(winner);
+  std::printf("  winner accuracy: %.2f%% (folds:", w.mean_accuracy);
+  for (double f : w.fold_accuracies) std::printf(" %.2f", f);
+
+  std::printf(")\n\ntraining stock ResNet-18 (w64/k7/p3)...\n");
+  const auto b = trainer.evaluate(baseline);
+  std::printf("  baseline accuracy: %.2f%% (folds:", b.mean_accuracy);
+  for (double f : b.fold_accuracies) std::printf(" %.2f", f);
+
+  std::printf(")\n\nsummary: winner %+.2f accuracy points vs baseline with "
+              "~4x fewer parameters —\nthe paper's core observation that "
+              "narrow ResNets suffice for this task.\n",
+              w.mean_accuracy - b.mean_accuracy);
+  return 0;
+}

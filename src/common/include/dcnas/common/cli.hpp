@@ -1,0 +1,37 @@
+#pragma once
+/// \file cli.hpp
+/// \brief Tiny command-line option parser for examples and bench binaries.
+///
+/// Supports `--key=value`, `--key value`, and boolean `--flag` forms.
+/// Unrecognized google-benchmark options (`--benchmark_*`) are passed
+/// through untouched so bench binaries can mix both.
+
+#include <map>
+#include <string>
+#include <vector>
+
+namespace dcnas {
+
+class CliArgs {
+ public:
+  /// Parses argv; consumes recognized `--key...` tokens, keeps the rest in
+  /// positional().
+  CliArgs(int argc, const char* const* argv);
+
+  bool has(const std::string& key) const;
+
+  std::string get(const std::string& key, const std::string& fallback) const;
+  long long get_int(const std::string& key, long long fallback) const;
+  double get_double(const std::string& key, double fallback) const;
+  bool get_flag(const std::string& key, bool fallback = false) const;
+
+  const std::vector<std::string>& positional() const { return positional_; }
+  const std::string& program() const { return program_; }
+
+ private:
+  std::string program_;
+  std::map<std::string, std::string> values_;
+  std::vector<std::string> positional_;
+};
+
+}  // namespace dcnas

@@ -1,0 +1,57 @@
+#pragma once
+/// \file csv.hpp
+/// \brief Minimal CSV table reader/writer used to persist NAS trial
+/// databases and to export figure data (Pareto scatter, radar plots).
+///
+/// Only the subset of RFC 4180 dcnas emits is supported: comma separation,
+/// double-quote quoting when a field contains a comma/quote/newline.
+
+#include <map>
+#include <string>
+#include <vector>
+
+namespace dcnas {
+
+/// In-memory rectangular table with a header row.
+class CsvTable {
+ public:
+  CsvTable() = default;
+  explicit CsvTable(std::vector<std::string> header);
+
+  const std::vector<std::string>& header() const { return header_; }
+  std::size_t num_rows() const { return rows_.size(); }
+  std::size_t num_cols() const { return header_.size(); }
+
+  /// Appends a row; must match the header width.
+  void add_row(std::vector<std::string> row);
+
+  const std::vector<std::string>& row(std::size_t i) const;
+
+  /// Cell access by column name; throws InvalidArgument for unknown names.
+  const std::string& at(std::size_t row, const std::string& col) const;
+  double at_double(std::size_t row, const std::string& col) const;
+  long long at_int(std::size_t row, const std::string& col) const;
+
+  bool has_column(const std::string& col) const;
+
+  /// Serializes the table, quoting as needed.
+  std::string to_string() const;
+
+  /// Writes to a file; throws on I/O failure.
+  void save(const std::string& path) const;
+
+  /// Parses CSV text (first line = header).
+  static CsvTable parse(const std::string& text);
+
+  /// Loads from a file; throws on I/O failure.
+  static CsvTable load(const std::string& path);
+
+ private:
+  std::size_t col_index(const std::string& col) const;
+
+  std::vector<std::string> header_;
+  std::map<std::string, std::size_t> index_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace dcnas

@@ -1,0 +1,62 @@
+#pragma once
+/// \file error.hpp
+/// \brief Error handling primitives shared by every dcnas module.
+///
+/// The library reports contract violations through exceptions derived from
+/// dcnas::Error so that callers (tests, examples, the NAS pipeline) can
+/// distinguish internal invariant failures from user configuration mistakes.
+
+#include <stdexcept>
+#include <string>
+
+namespace dcnas {
+
+/// Base class of all exceptions thrown by dcnas libraries.
+class Error : public std::runtime_error {
+ public:
+  explicit Error(const std::string& what) : std::runtime_error(what) {}
+};
+
+/// Thrown when an input value violates a documented precondition.
+class InvalidArgument : public Error {
+ public:
+  explicit InvalidArgument(const std::string& what) : Error(what) {}
+};
+
+/// Thrown when an internal invariant is broken (a dcnas bug, not user error).
+class InternalError : public Error {
+ public:
+  explicit InternalError(const std::string& what) : Error(what) {}
+};
+
+namespace detail {
+[[noreturn]] inline void throw_check_failure(const char* kind, const char* expr,
+                                             const char* file, int line,
+                                             const std::string& msg) {
+  std::string full = std::string(kind) + " failed: " + expr + " at " + file +
+                     ":" + std::to_string(line);
+  if (!msg.empty()) full += " — " + msg;
+  if (kind[0] == 'D') throw InternalError(full);  // DCNAS_ASSERT
+  throw InvalidArgument(full);
+}
+}  // namespace detail
+
+}  // namespace dcnas
+
+/// Precondition check: throws dcnas::InvalidArgument when \p cond is false.
+#define DCNAS_CHECK(cond, msg)                                               \
+  do {                                                                       \
+    if (!(cond)) {                                                           \
+      ::dcnas::detail::throw_check_failure("CHECK", #cond, __FILE__,         \
+                                           __LINE__, (msg));                 \
+    }                                                                        \
+  } while (false)
+
+/// Internal invariant check: throws dcnas::InternalError when false.
+#define DCNAS_ASSERT(cond, msg)                                              \
+  do {                                                                       \
+    if (!(cond)) {                                                           \
+      ::dcnas::detail::throw_check_failure("DCNAS_ASSERT", #cond, __FILE__,  \
+                                           __LINE__, (msg));                 \
+    }                                                                        \
+  } while (false)

@@ -1,0 +1,42 @@
+#pragma once
+/// \file logging.hpp
+/// \brief Leveled logging to stderr. Results never depend on log output;
+/// benches lower the level to keep table output clean.
+
+#include <sstream>
+#include <string>
+
+namespace dcnas {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3, kOff = 4 };
+
+/// Sets the process-wide minimum level (default kInfo).
+void set_log_level(LogLevel level);
+LogLevel log_level();
+
+/// Emits one line at \p level if enabled. Thread-safe.
+void log_message(LogLevel level, const std::string& msg);
+
+namespace detail {
+class LogLine {
+ public:
+  explicit LogLine(LogLevel level) : level_(level) {}
+  ~LogLine() { log_message(level_, os_.str()); }
+  template <typename T>
+  LogLine& operator<<(const T& v) {
+    os_ << v;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::ostringstream os_;
+};
+}  // namespace detail
+
+}  // namespace dcnas
+
+#define DCNAS_LOG_DEBUG ::dcnas::detail::LogLine(::dcnas::LogLevel::kDebug)
+#define DCNAS_LOG_INFO ::dcnas::detail::LogLine(::dcnas::LogLevel::kInfo)
+#define DCNAS_LOG_WARN ::dcnas::detail::LogLine(::dcnas::LogLevel::kWarn)
+#define DCNAS_LOG_ERROR ::dcnas::detail::LogLine(::dcnas::LogLevel::kError)

@@ -1,0 +1,57 @@
+#pragma once
+/// \file profiler.hpp
+/// \brief Lightweight scoped-timer profiler — the §5 suggestion of
+/// profiling NAS resource usage (Nsight-style), scaled to this codebase.
+/// Phases accumulate wall time and call counts into a process-wide
+/// registry; report() renders an aligned summary.
+
+#include <chrono>
+#include <string>
+
+namespace dcnas {
+
+class Profiler {
+ public:
+  /// Process-wide instance (thread-safe accumulation).
+  static Profiler& global();
+
+  /// Adds one sample to a named phase.
+  void record(const std::string& phase, double seconds);
+
+  /// Total seconds / call count for a phase (0 when absent).
+  double total_seconds(const std::string& phase) const;
+  std::int64_t call_count(const std::string& phase) const;
+
+  /// Aligned text summary sorted by descending total time.
+  std::string report() const;
+
+  /// Clears all accumulated phases.
+  void reset();
+
+ private:
+  Profiler() = default;
+  struct Impl;
+  Impl& impl() const;
+};
+
+/// RAII timer: adds the scope's wall time to \p phase on destruction.
+class ScopedTimer {
+ public:
+  explicit ScopedTimer(std::string phase)
+      : phase_(std::move(phase)), start_(std::chrono::steady_clock::now()) {}
+  ~ScopedTimer() {
+    const double sec =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                      start_)
+            .count();
+    Profiler::global().record(phase_, sec);
+  }
+  ScopedTimer(const ScopedTimer&) = delete;
+  ScopedTimer& operator=(const ScopedTimer&) = delete;
+
+ private:
+  std::string phase_;
+  std::chrono::steady_clock::time_point start_;
+};
+
+}  // namespace dcnas

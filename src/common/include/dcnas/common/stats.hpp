@@ -1,0 +1,49 @@
+#pragma once
+/// \file stats.hpp
+/// \brief Descriptive statistics used across the NAS, latency, and Pareto
+/// reporting layers (objective ranges, latency spread, predictor accuracy).
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace dcnas {
+
+/// Summary statistics over a sample.
+struct Summary {
+  std::size_t count = 0;
+  double mean = 0.0;
+  double stddev = 0.0;   ///< sample standard deviation (n-1 denominator)
+  double min = 0.0;
+  double max = 0.0;
+};
+
+double mean(std::span<const double> xs);
+
+/// Sample standard deviation (Bessel-corrected). Returns 0 for n < 2.
+/// The paper's `lat_std` column uses exactly this over the four predictors.
+double sample_stddev(std::span<const double> xs);
+
+/// Population standard deviation (n denominator). Returns 0 for n < 1.
+double population_stddev(std::span<const double> xs);
+
+Summary summarize(std::span<const double> xs);
+
+/// Linear-interpolated quantile, q in [0, 1]. Input need not be sorted.
+double quantile(std::vector<double> xs, double q);
+
+/// Pearson correlation; returns 0 when either side has zero variance.
+double pearson(std::span<const double> xs, std::span<const double> ys);
+
+/// Spearman rank correlation (average ranks for ties).
+double spearman(std::span<const double> xs, std::span<const double> ys);
+
+/// Fraction of predictions within +/- tol (relative) of the truth — the
+/// "±10% accuracy" metric reported by nn-Meter's Table 2.
+double within_relative_tolerance(std::span<const double> truth,
+                                 std::span<const double> pred, double tol);
+
+/// Root-mean-square percentage error.
+double rmspe(std::span<const double> truth, std::span<const double> pred);
+
+}  // namespace dcnas

@@ -1,0 +1,29 @@
+#pragma once
+/// \file strings.hpp
+/// \brief Small string utilities (splitting, trimming, fixed-point
+/// formatting) used by the CSV layer and the table report printers.
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace dcnas {
+
+std::vector<std::string> split(std::string_view s, char delim);
+
+std::string trim(std::string_view s);
+
+/// Formats a double with a fixed number of decimals ("%.2f" style) without
+/// locale dependence; the report tables rely on this for stable output.
+std::string format_fixed(double value, int decimals);
+
+/// Left-pads or right-pads \p s with spaces to \p width (right-align when
+/// \p right is true). Strings longer than width are returned unchanged.
+std::string pad(std::string s, std::size_t width, bool right = false);
+
+bool starts_with(std::string_view s, std::string_view prefix);
+
+/// Joins items with a separator.
+std::string join(const std::vector<std::string>& items, std::string_view sep);
+
+}  // namespace dcnas

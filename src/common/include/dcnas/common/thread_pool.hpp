@@ -1,0 +1,68 @@
+#pragma once
+/// \file thread_pool.hpp
+/// \brief A lightweight work-sharing thread pool plus parallel_for helpers.
+///
+/// dcnas targets resource-limited build/run environments (this reproduction
+/// runs on a single core), so every parallel path degrades gracefully: when
+/// the pool has one worker, parallel_for executes inline with zero
+/// synchronization overhead. The pool follows the C++ Core Guidelines advice
+/// of joining threads in the destructor (gsl::joining_thread semantics).
+
+#include <atomic>
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace dcnas {
+
+/// Fixed-size pool of worker threads executing queued tasks FIFO.
+class ThreadPool {
+ public:
+  /// Creates a pool with \p num_threads workers; 0 means
+  /// hardware_concurrency (at least 1).
+  explicit ThreadPool(std::size_t num_threads = 0);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Enqueues a task. Tasks must not throw; exceptions terminate the run.
+  void submit(std::function<void()> task);
+
+  /// Blocks until every queued and running task has completed.
+  void wait_idle();
+
+  std::size_t size() const { return workers_.size(); }
+
+  /// Process-wide pool shared by parallel_for; sized to the machine.
+  static ThreadPool& global();
+
+ private:
+  void worker_loop();
+
+  std::vector<std::thread> workers_;
+  std::deque<std::function<void()>> queue_;
+  std::mutex mu_;
+  std::condition_variable cv_task_;
+  std::condition_variable cv_idle_;
+  std::size_t in_flight_ = 0;
+  bool stopping_ = false;
+};
+
+/// Runs fn(i) for i in [begin, end) potentially in parallel, blocking until
+/// all iterations finish. Iterations must be independent. Work is split into
+/// contiguous chunks (~4 per worker) to amortize scheduling.
+void parallel_for(std::int64_t begin, std::int64_t end,
+                  const std::function<void(std::int64_t)>& fn);
+
+/// Chunked variant: fn(chunk_begin, chunk_end) — preferred in hot loops so
+/// the callee can keep its own locals across iterations.
+void parallel_for_chunked(
+    std::int64_t begin, std::int64_t end,
+    const std::function<void(std::int64_t, std::int64_t)>& fn);
+
+}  // namespace dcnas

@@ -1,0 +1,77 @@
+#include "dcnas/common/cli.hpp"
+
+#include "dcnas/common/error.hpp"
+#include "dcnas/common/strings.hpp"
+
+namespace dcnas {
+
+CliArgs::CliArgs(int argc, const char* const* argv) {
+  if (argc > 0) program_ = argv[0];
+  for (int i = 1; i < argc; ++i) {
+    std::string tok = argv[i];
+    if (!starts_with(tok, "--")) {
+      positional_.push_back(std::move(tok));
+      continue;
+    }
+    if (starts_with(tok, "--benchmark_")) {
+      positional_.push_back(std::move(tok));  // pass through to gbench
+      continue;
+    }
+    std::string body = tok.substr(2);
+    const auto eq = body.find('=');
+    if (eq != std::string::npos) {
+      values_[body.substr(0, eq)] = body.substr(eq + 1);
+      continue;
+    }
+    // `--key value` when the next token is not another option; else a flag.
+    if (i + 1 < argc && !starts_with(argv[i + 1], "--")) {
+      values_[body] = argv[++i];
+    } else {
+      values_[body] = "true";
+    }
+  }
+}
+
+bool CliArgs::has(const std::string& key) const {
+  return values_.count(key) > 0;
+}
+
+std::string CliArgs::get(const std::string& key,
+                         const std::string& fallback) const {
+  auto it = values_.find(key);
+  return it == values_.end() ? fallback : it->second;
+}
+
+long long CliArgs::get_int(const std::string& key, long long fallback) const {
+  auto it = values_.find(key);
+  if (it == values_.end()) return fallback;
+  try {
+    return std::stoll(it->second);
+  } catch (const std::exception&) {
+    throw InvalidArgument("option --" + key + " expects an integer, got '" +
+                          it->second + "'");
+  }
+}
+
+double CliArgs::get_double(const std::string& key, double fallback) const {
+  auto it = values_.find(key);
+  if (it == values_.end()) return fallback;
+  try {
+    return std::stod(it->second);
+  } catch (const std::exception&) {
+    throw InvalidArgument("option --" + key + " expects a number, got '" +
+                          it->second + "'");
+  }
+}
+
+bool CliArgs::get_flag(const std::string& key, bool fallback) const {
+  auto it = values_.find(key);
+  if (it == values_.end()) return fallback;
+  const std::string& v = it->second;
+  if (v == "true" || v == "1" || v == "yes" || v == "on") return true;
+  if (v == "false" || v == "0" || v == "no" || v == "off") return false;
+  throw InvalidArgument("option --" + key + " expects a boolean, got '" + v +
+                        "'");
+}
+
+}  // namespace dcnas

@@ -1,0 +1,164 @@
+#include "dcnas/common/csv.hpp"
+
+#include <fstream>
+#include <sstream>
+
+#include "dcnas/common/error.hpp"
+
+namespace dcnas {
+
+namespace {
+
+bool needs_quoting(const std::string& field) {
+  return field.find_first_of(",\"\n\r") != std::string::npos;
+}
+
+std::string quote(const std::string& field) {
+  if (!needs_quoting(field)) return field;
+  std::string out = "\"";
+  for (char c : field) {
+    if (c == '"') out += "\"\"";
+    else out += c;
+  }
+  out += '"';
+  return out;
+}
+
+/// Splits one logical CSV record honoring quotes. \p pos advances past the
+/// record's trailing newline.
+std::vector<std::string> parse_record(const std::string& text,
+                                      std::size_t& pos) {
+  std::vector<std::string> fields;
+  std::string cur;
+  bool in_quotes = false;
+  while (pos < text.size()) {
+    const char c = text[pos];
+    if (in_quotes) {
+      if (c == '"') {
+        if (pos + 1 < text.size() && text[pos + 1] == '"') {
+          cur += '"';
+          ++pos;
+        } else {
+          in_quotes = false;
+        }
+      } else {
+        cur += c;
+      }
+    } else if (c == '"') {
+      in_quotes = true;
+    } else if (c == ',') {
+      fields.push_back(std::move(cur));
+      cur.clear();
+    } else if (c == '\n') {
+      ++pos;
+      break;
+    } else if (c != '\r') {
+      cur += c;
+    }
+    ++pos;
+  }
+  fields.push_back(std::move(cur));
+  return fields;
+}
+
+}  // namespace
+
+CsvTable::CsvTable(std::vector<std::string> header)
+    : header_(std::move(header)) {
+  DCNAS_CHECK(!header_.empty(), "CSV header must not be empty");
+  for (std::size_t i = 0; i < header_.size(); ++i) {
+    const bool inserted = index_.emplace(header_[i], i).second;
+    DCNAS_CHECK(inserted, "duplicate CSV column name: " + header_[i]);
+  }
+}
+
+void CsvTable::add_row(std::vector<std::string> row) {
+  DCNAS_CHECK(row.size() == header_.size(),
+              "CSV row width does not match header");
+  rows_.push_back(std::move(row));
+}
+
+const std::vector<std::string>& CsvTable::row(std::size_t i) const {
+  DCNAS_CHECK(i < rows_.size(), "CSV row index out of range");
+  return rows_[i];
+}
+
+std::size_t CsvTable::col_index(const std::string& col) const {
+  auto it = index_.find(col);
+  DCNAS_CHECK(it != index_.end(), "unknown CSV column: " + col);
+  return it->second;
+}
+
+const std::string& CsvTable::at(std::size_t r, const std::string& col) const {
+  return row(r)[col_index(col)];
+}
+
+double CsvTable::at_double(std::size_t r, const std::string& col) const {
+  const std::string& s = at(r, col);
+  try {
+    return std::stod(s);
+  } catch (const std::exception&) {
+    throw InvalidArgument("CSV cell is not a double: '" + s + "' in column " +
+                          col);
+  }
+}
+
+long long CsvTable::at_int(std::size_t r, const std::string& col) const {
+  const std::string& s = at(r, col);
+  try {
+    return std::stoll(s);
+  } catch (const std::exception&) {
+    throw InvalidArgument("CSV cell is not an integer: '" + s +
+                          "' in column " + col);
+  }
+}
+
+bool CsvTable::has_column(const std::string& col) const {
+  return index_.count(col) > 0;
+}
+
+std::string CsvTable::to_string() const {
+  std::ostringstream os;
+  for (std::size_t i = 0; i < header_.size(); ++i) {
+    if (i) os << ',';
+    os << quote(header_[i]);
+  }
+  os << '\n';
+  for (const auto& r : rows_) {
+    for (std::size_t i = 0; i < r.size(); ++i) {
+      if (i) os << ',';
+      os << quote(r[i]);
+    }
+    os << '\n';
+  }
+  return os.str();
+}
+
+void CsvTable::save(const std::string& path) const {
+  std::ofstream out(path, std::ios::binary);
+  DCNAS_CHECK(out.good(), "cannot open file for writing: " + path);
+  out << to_string();
+  DCNAS_CHECK(out.good(), "write failed: " + path);
+}
+
+CsvTable CsvTable::parse(const std::string& text) {
+  DCNAS_CHECK(!text.empty(), "cannot parse empty CSV text");
+  std::size_t pos = 0;
+  CsvTable table(parse_record(text, pos));
+  while (pos < text.size()) {
+    auto fields = parse_record(text, pos);
+    if (fields.size() == 1 && fields[0].empty()) continue;  // blank line
+    table.add_row(std::move(fields));
+  }
+  return table;
+}
+
+CsvTable CsvTable::load(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  DCNAS_CHECK(in.good(), "cannot open file for reading: " + path);
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  return parse(ss.str());
+}
+
+}  // namespace dcnas

@@ -1,0 +1,83 @@
+#include "dcnas/common/profiler.hpp"
+
+#include <algorithm>
+#include <map>
+#include <mutex>
+#include <sstream>
+#include <vector>
+
+#include "dcnas/common/strings.hpp"
+
+namespace dcnas {
+
+struct Profiler::Impl {
+  struct Phase {
+    double total = 0.0;
+    std::int64_t calls = 0;
+  };
+  mutable std::mutex mu;
+  std::map<std::string, Phase> phases;
+};
+
+Profiler::Impl& Profiler::impl() const {
+  static Impl instance;
+  return instance;
+}
+
+Profiler& Profiler::global() {
+  static Profiler p;
+  return p;
+}
+
+void Profiler::record(const std::string& phase, double seconds) {
+  Impl& i = impl();
+  std::lock_guard<std::mutex> lock(i.mu);
+  auto& p = i.phases[phase];
+  p.total += seconds;
+  p.calls += 1;
+}
+
+double Profiler::total_seconds(const std::string& phase) const {
+  Impl& i = impl();
+  std::lock_guard<std::mutex> lock(i.mu);
+  const auto it = i.phases.find(phase);
+  return it == i.phases.end() ? 0.0 : it->second.total;
+}
+
+std::int64_t Profiler::call_count(const std::string& phase) const {
+  Impl& i = impl();
+  std::lock_guard<std::mutex> lock(i.mu);
+  const auto it = i.phases.find(phase);
+  return it == i.phases.end() ? 0 : it->second.calls;
+}
+
+std::string Profiler::report() const {
+  Impl& i = impl();
+  std::vector<std::pair<std::string, Impl::Phase>> rows;
+  {
+    std::lock_guard<std::mutex> lock(i.mu);
+    rows.assign(i.phases.begin(), i.phases.end());
+  }
+  std::sort(rows.begin(), rows.end(), [](const auto& a, const auto& b) {
+    return a.second.total > b.second.total;
+  });
+  std::ostringstream os;
+  os << pad("phase", 32) << pad("total(s)", 12, true)
+     << pad("calls", 10, true) << pad("mean(ms)", 12, true) << "\n";
+  for (const auto& [name, p] : rows) {
+    os << pad(name, 32) << pad(format_fixed(p.total, 3), 12, true)
+       << pad(std::to_string(p.calls), 10, true)
+       << pad(format_fixed(1e3 * p.total / static_cast<double>(p.calls), 3),
+              12, true)
+       << "\n";
+  }
+  return os.str();
+}
+
+void Profiler::reset() {
+  Impl& i = impl();
+  std::lock_guard<std::mutex> lock(i.mu);
+  i.phases.clear();
+}
+
+}  // namespace dcnas

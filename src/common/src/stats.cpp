@@ -1,0 +1,138 @@
+#include "dcnas/common/stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "dcnas/common/error.hpp"
+
+namespace dcnas {
+
+double mean(std::span<const double> xs) {
+  if (xs.empty()) return 0.0;
+  return std::accumulate(xs.begin(), xs.end(), 0.0) /
+         static_cast<double>(xs.size());
+}
+
+namespace {
+double sum_sq_dev(std::span<const double> xs, double m) {
+  double s = 0.0;
+  for (double x : xs) s += (x - m) * (x - m);
+  return s;
+}
+}  // namespace
+
+double sample_stddev(std::span<const double> xs) {
+  if (xs.size() < 2) return 0.0;
+  const double m = mean(xs);
+  return std::sqrt(sum_sq_dev(xs, m) / static_cast<double>(xs.size() - 1));
+}
+
+double population_stddev(std::span<const double> xs) {
+  if (xs.empty()) return 0.0;
+  const double m = mean(xs);
+  return std::sqrt(sum_sq_dev(xs, m) / static_cast<double>(xs.size()));
+}
+
+Summary summarize(std::span<const double> xs) {
+  Summary s;
+  s.count = xs.size();
+  if (xs.empty()) return s;
+  s.mean = mean(xs);
+  s.stddev = sample_stddev(xs);
+  auto [mn, mx] = std::minmax_element(xs.begin(), xs.end());
+  s.min = *mn;
+  s.max = *mx;
+  return s;
+}
+
+double quantile(std::vector<double> xs, double q) {
+  DCNAS_CHECK(!xs.empty(), "quantile of empty sample");
+  DCNAS_CHECK(q >= 0.0 && q <= 1.0, "quantile q must be in [0,1]");
+  std::sort(xs.begin(), xs.end());
+  if (xs.size() == 1) return xs[0];
+  const double pos = q * static_cast<double>(xs.size() - 1);
+  const auto lo = static_cast<std::size_t>(pos);
+  const std::size_t hi = std::min(lo + 1, xs.size() - 1);
+  const double frac = pos - static_cast<double>(lo);
+  return xs[lo] * (1.0 - frac) + xs[hi] * frac;
+}
+
+double pearson(std::span<const double> xs, std::span<const double> ys) {
+  DCNAS_CHECK(xs.size() == ys.size(), "pearson needs equal-length samples");
+  if (xs.size() < 2) return 0.0;
+  const double mx = mean(xs);
+  const double my = mean(ys);
+  double sxy = 0.0, sxx = 0.0, syy = 0.0;
+  for (std::size_t i = 0; i < xs.size(); ++i) {
+    const double dx = xs[i] - mx;
+    const double dy = ys[i] - my;
+    sxy += dx * dy;
+    sxx += dx * dx;
+    syy += dy * dy;
+  }
+  if (sxx <= 0.0 || syy <= 0.0) return 0.0;
+  return sxy / std::sqrt(sxx * syy);
+}
+
+namespace {
+std::vector<double> average_ranks(std::span<const double> xs) {
+  const std::size_t n = xs.size();
+  std::vector<std::size_t> order(n);
+  std::iota(order.begin(), order.end(), std::size_t{0});
+  std::sort(order.begin(), order.end(),
+            [&](std::size_t a, std::size_t b) { return xs[a] < xs[b]; });
+  std::vector<double> ranks(n, 0.0);
+  std::size_t i = 0;
+  while (i < n) {
+    std::size_t j = i;
+    while (j + 1 < n && xs[order[j + 1]] == xs[order[i]]) ++j;
+    const double avg = (static_cast<double>(i) + static_cast<double>(j)) / 2.0;
+    for (std::size_t k = i; k <= j; ++k) ranks[order[k]] = avg;
+    i = j + 1;
+  }
+  return ranks;
+}
+}  // namespace
+
+double spearman(std::span<const double> xs, std::span<const double> ys) {
+  DCNAS_CHECK(xs.size() == ys.size(), "spearman needs equal-length samples");
+  if (xs.size() < 2) return 0.0;
+  const auto rx = average_ranks(xs);
+  const auto ry = average_ranks(ys);
+  return pearson(rx, ry);
+}
+
+double within_relative_tolerance(std::span<const double> truth,
+                                 std::span<const double> pred, double tol) {
+  DCNAS_CHECK(truth.size() == pred.size(), "size mismatch");
+  DCNAS_CHECK(tol > 0.0, "tolerance must be positive");
+  if (truth.empty()) return 0.0;
+  std::size_t hits = 0;
+  for (std::size_t i = 0; i < truth.size(); ++i) {
+    const double denom = std::abs(truth[i]);
+    if (denom <= 0.0) {
+      hits += (std::abs(pred[i]) <= tol) ? 1 : 0;
+      continue;
+    }
+    if (std::abs(pred[i] - truth[i]) / denom <= tol) ++hits;
+  }
+  return static_cast<double>(hits) / static_cast<double>(truth.size());
+}
+
+double rmspe(std::span<const double> truth, std::span<const double> pred) {
+  DCNAS_CHECK(truth.size() == pred.size(), "size mismatch");
+  if (truth.empty()) return 0.0;
+  double s = 0.0;
+  std::size_t n = 0;
+  for (std::size_t i = 0; i < truth.size(); ++i) {
+    if (std::abs(truth[i]) <= 0.0) continue;
+    const double e = (pred[i] - truth[i]) / truth[i];
+    s += e * e;
+    ++n;
+  }
+  if (n == 0) return 0.0;
+  return std::sqrt(s / static_cast<double>(n));
+}
+
+}  // namespace dcnas

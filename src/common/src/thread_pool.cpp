@@ -1,0 +1,119 @@
+#include "dcnas/common/thread_pool.hpp"
+
+#include <algorithm>
+
+#include "dcnas/common/error.hpp"
+
+namespace dcnas {
+
+namespace {
+// Set inside worker threads so nested parallel_for calls run inline instead
+// of re-entering the pool (which could deadlock when every worker blocks on
+// sub-tasks queued behind the tasks occupying them).
+thread_local bool t_inside_pool_worker = false;
+}  // namespace
+
+ThreadPool::ThreadPool(std::size_t num_threads) {
+  if (num_threads == 0) {
+    num_threads = std::max<std::size_t>(1, std::thread::hardware_concurrency());
+  }
+  workers_.reserve(num_threads);
+  for (std::size_t i = 0; i < num_threads; ++i) {
+    workers_.emplace_back([this] { worker_loop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stopping_ = true;
+  }
+  cv_task_.notify_all();
+  for (auto& w : workers_) {
+    if (w.joinable()) w.join();
+  }
+}
+
+void ThreadPool::submit(std::function<void()> task) {
+  DCNAS_CHECK(static_cast<bool>(task), "ThreadPool::submit requires a task");
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    DCNAS_CHECK(!stopping_, "ThreadPool::submit after shutdown");
+    queue_.push_back(std::move(task));
+  }
+  cv_task_.notify_one();
+}
+
+void ThreadPool::wait_idle() {
+  std::unique_lock<std::mutex> lock(mu_);
+  cv_idle_.wait(lock, [this] { return queue_.empty() && in_flight_ == 0; });
+}
+
+void ThreadPool::worker_loop() {
+  t_inside_pool_worker = true;
+  for (;;) {
+    std::function<void()> task;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      cv_task_.wait(lock, [this] { return stopping_ || !queue_.empty(); });
+      if (queue_.empty()) return;  // stopping_ and drained
+      task = std::move(queue_.front());
+      queue_.pop_front();
+      ++in_flight_;
+    }
+    task();
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      --in_flight_;
+      if (queue_.empty() && in_flight_ == 0) cv_idle_.notify_all();
+    }
+  }
+}
+
+ThreadPool& ThreadPool::global() {
+  static ThreadPool pool;  // sized to hardware_concurrency
+  return pool;
+}
+
+void parallel_for_chunked(
+    std::int64_t begin, std::int64_t end,
+    const std::function<void(std::int64_t, std::int64_t)>& fn) {
+  const std::int64_t n = end - begin;
+  if (n <= 0) return;
+  ThreadPool& pool = ThreadPool::global();
+  const std::int64_t workers = static_cast<std::int64_t>(pool.size());
+  if (workers <= 1 || n == 1 || t_inside_pool_worker) {
+    fn(begin, end);
+    return;
+  }
+  const std::int64_t chunks = std::min<std::int64_t>(n, workers * 4);
+  const std::int64_t step = (n + chunks - 1) / chunks;
+  std::atomic<std::int64_t> remaining{0};
+  std::mutex done_mu;
+  std::condition_variable done_cv;
+  std::int64_t launched = 0;
+  for (std::int64_t c = begin; c < end; c += step) ++launched;
+  remaining.store(launched);
+  for (std::int64_t c = begin; c < end; c += step) {
+    const std::int64_t lo = c;
+    const std::int64_t hi = std::min<std::int64_t>(c + step, end);
+    pool.submit([&, lo, hi] {
+      fn(lo, hi);
+      if (remaining.fetch_sub(1) == 1) {
+        std::lock_guard<std::mutex> lock(done_mu);
+        done_cv.notify_all();
+      }
+    });
+  }
+  std::unique_lock<std::mutex> lock(done_mu);
+  done_cv.wait(lock, [&] { return remaining.load() == 0; });
+}
+
+void parallel_for(std::int64_t begin, std::int64_t end,
+                  const std::function<void(std::int64_t)>& fn) {
+  parallel_for_chunked(begin, end, [&](std::int64_t lo, std::int64_t hi) {
+    for (std::int64_t i = lo; i < hi; ++i) fn(i);
+  });
+}
+
+}  // namespace dcnas

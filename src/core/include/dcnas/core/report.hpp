@@ -1,0 +1,46 @@
+#pragma once
+/// \file report.hpp
+/// \brief Text renderers reproducing every table and figure of the paper.
+/// Each function returns the finished block so benches can print it and
+/// tests can assert on it.
+
+#include <string>
+
+#include "dcnas/core/pipeline.hpp"
+#include "dcnas/latency/predictor.hpp"
+#include "dcnas/pareto/export.hpp"
+
+namespace dcnas::core {
+
+/// Table 1: data sources and study regions.
+std::string table1_text();
+
+/// Table 2: per-device predictor ±10% accuracy (held-out kernels).
+std::string table2_text(const latency::NnMeter& meter,
+                        int samples_per_kind = 150,
+                        std::uint64_t seed = 424242);
+
+/// Table 3: objective value ranges over a sweep.
+std::string table3_text(const SweepResult& sweep);
+
+/// Table 4: the non-dominated solutions with full configurations.
+std::string table4_text(const SweepResult& sweep);
+
+/// Table 5: stock ResNet-18 evaluation on the six input variants.
+std::string table5_text(const nas::TrialDatabase& baselines);
+
+/// Figure 1: layer-by-layer ResNet-18 summaries for 5 and 7 channels.
+std::string fig1_text();
+
+/// Figure 2: the search-space inventory with lattice/dedup counts.
+std::string fig2_text();
+
+/// Figure 3: ASCII projections of the objective scatter (CSV via
+/// pareto::scatter_csv).
+std::string fig3_text(const SweepResult& sweep);
+
+/// Figure 4 radar rows for the front (normalized objectives + config axes).
+std::vector<pareto::RadarRow> fig4_rows(const SweepResult& sweep);
+std::string fig4_text(const SweepResult& sweep);
+
+}  // namespace dcnas::core

@@ -1,0 +1,29 @@
+#pragma once
+/// \file augment.hpp
+/// \brief Chip-level data augmentation: the geometric transforms that are
+/// label-preserving for drainage-crossing chips (culverts have no
+/// canonical orientation).
+
+#include "dcnas/common/rng.hpp"
+#include "dcnas/tensor/tensor.hpp"
+
+namespace dcnas::geodata {
+
+/// Horizontal flip (mirror the W axis) of an NCHW batch or single chip.
+Tensor flip_horizontal(const Tensor& images);
+
+/// Vertical flip (mirror the H axis).
+Tensor flip_vertical(const Tensor& images);
+
+/// Counter-clockwise 90-degree rotation; requires square chips.
+Tensor rotate90(const Tensor& images);
+
+/// Randomly applies flips / 90-degree rotations per sample (8 dihedral
+/// poses, uniformly) — deterministic in \p rng.
+Tensor random_dihedral(const Tensor& images, Rng& rng);
+
+/// Expands a dataset tensor+labels by the full 8-pose dihedral group
+/// (appends 7 transformed copies of every chip).
+void augment_dihedral(Tensor& images, std::vector<int>& labels);
+
+}  // namespace dcnas::geodata

@@ -1,0 +1,55 @@
+#pragma once
+/// \file dataset.hpp
+/// \brief Balanced drainage-crossing chip dataset assembly (Table 1's
+/// 12,068-chip corpus, reproducible at any scale).
+
+#include <string>
+#include <vector>
+
+#include "dcnas/geodata/scene.hpp"
+#include "dcnas/tensor/tensor.hpp"
+
+namespace dcnas::geodata {
+
+struct DatasetOptions {
+  std::int64_t chip_size = 32;  ///< chip edge in cells (training resolution)
+  int channels = 5;             ///< 5 = DEM+R,G,B,NIR; 7 adds NDVI, NDWI
+  /// Fraction of Table 1's per-region sample counts to synthesize. 1.0
+  /// rebuilds the full 12,068-chip corpus; tests and examples use ~1/32.
+  double scale = 1.0 / 32.0;
+  std::int64_t scene_size = 192;  ///< synthesized tile edge per scene
+  std::uint64_t seed = 2023;
+  SceneOptions scene;  ///< size field is overridden by scene_size
+};
+
+/// One region's realized chip counts.
+struct RegionChipCount {
+  std::string name;
+  std::int64_t true_chips = 0;
+  std::int64_t false_chips = 0;
+};
+
+/// In-memory chip dataset: images are NCHW with the channel order
+/// [DEM, R, G, B, NIR (, NDVI, NDWI)]; label 1 = contains a drainage
+/// crossing at the chip center.
+struct DrainageDataset {
+  Tensor images;
+  std::vector<int> labels;
+  std::vector<int> region_ids;  ///< index into region_catalog()
+  int channels = 5;
+  std::int64_t chip_size = 32;
+  std::vector<RegionChipCount> per_region;
+
+  std::int64_t size() const { return images.empty() ? 0 : images.dim(0); }
+};
+
+/// Synthesizes scenes per study region until each region's scaled chip
+/// quota (true + balanced false) is met. Deterministic in options.
+DrainageDataset build_dataset(const DatasetOptions& options);
+
+/// Extracts one chip centered at (cy, cx); exposed for tests/examples.
+/// Writes `channels` planes of chip_size^2 into \p out (flat CHW).
+void extract_chip(const GeoScene& scene, std::int64_t cy, std::int64_t cx,
+                  std::int64_t chip_size, int channels, float* out);
+
+}  // namespace dcnas::geodata

@@ -1,0 +1,52 @@
+#pragma once
+/// \file grid.hpp
+/// \brief Dense 2-D float raster — DEMs, orthophoto bands, index layers.
+
+#include <cstdint>
+#include <vector>
+
+#include "dcnas/common/error.hpp"
+
+namespace dcnas::geodata {
+
+class Grid {
+ public:
+  Grid() = default;
+  Grid(std::int64_t height, std::int64_t width, float fill = 0.0f)
+      : height_(height), width_(width) {
+    DCNAS_CHECK(height > 0 && width > 0, "grid dimensions must be positive");
+    data_.assign(static_cast<std::size_t>(height * width), fill);
+  }
+
+  std::int64_t height() const { return height_; }
+  std::int64_t width() const { return width_; }
+  std::int64_t size() const { return height_ * width_; }
+  bool empty() const { return data_.empty(); }
+
+  float& at(std::int64_t y, std::int64_t x) {
+    DCNAS_ASSERT(in_bounds(y, x), "grid index out of bounds");
+    return data_[static_cast<std::size_t>(y * width_ + x)];
+  }
+  float at(std::int64_t y, std::int64_t x) const {
+    DCNAS_ASSERT(in_bounds(y, x), "grid index out of bounds");
+    return data_[static_cast<std::size_t>(y * width_ + x)];
+  }
+
+  bool in_bounds(std::int64_t y, std::int64_t x) const {
+    return y >= 0 && y < height_ && x >= 0 && x < width_;
+  }
+
+  const std::vector<float>& data() const { return data_; }
+  std::vector<float>& data() { return data_; }
+
+  float min_value() const;
+  float max_value() const;
+  double mean_value() const;
+
+ private:
+  std::int64_t height_ = 0;
+  std::int64_t width_ = 0;
+  std::vector<float> data_;
+};
+
+}  // namespace dcnas::geodata

@@ -1,0 +1,37 @@
+#pragma once
+/// \file hydrology.hpp
+/// \brief D8 surface-flow modelling over a DEM: flow directions, flow
+/// accumulation, and stream-channel extraction/carving.
+///
+/// These are the standard GIS primitives behind drainage-network mapping
+/// (the application domain of the paper, cf. Li et al. 2013 on drainage
+/// structures and LiDAR-derived surface flow).
+
+#include <cstdint>
+#include <vector>
+
+#include "dcnas/geodata/grid.hpp"
+
+namespace dcnas::geodata {
+
+/// D8 neighbour offsets (E, SE, S, SW, W, NW, N, NE).
+inline constexpr int kD8dx[8] = {1, 1, 0, -1, -1, -1, 0, 1};
+inline constexpr int kD8dy[8] = {0, 1, 1, 1, 0, -1, -1, -1};
+
+/// Steepest-descent direction per cell: 0..7 (D8 index) or -1 for pits and
+/// border outflow cells.
+std::vector<int> d8_flow_directions(const Grid& dem);
+
+/// Number of upstream cells draining through each cell (including itself),
+/// computed by accumulating in decreasing-elevation order.
+Grid flow_accumulation(const Grid& dem);
+
+/// Boolean (0/1) channel mask: cells with accumulation above the threshold.
+Grid channel_mask(const Grid& accumulation, float threshold);
+
+/// Lowers the DEM along channels proportionally to log-accumulation,
+/// imprinting visible stream valleys (returns the carved DEM).
+Grid carve_channels(const Grid& dem, const Grid& accumulation,
+                    float threshold, float max_depth_m);
+
+}  // namespace dcnas::geodata

@@ -1,0 +1,17 @@
+#pragma once
+/// \file indices.hpp
+/// \brief Spectral indices from the paper's Eqs. (1) and (2):
+///   NDVI = (NIR - RED) / (NIR + RED)
+///   NDWI = (GREEN - NIR) / (GREEN + NIR)
+
+#include "dcnas/geodata/grid.hpp"
+
+namespace dcnas::geodata {
+
+/// Per-cell NDVI; cells where NIR + RED == 0 map to 0.
+Grid ndvi(const Grid& nir, const Grid& red);
+
+/// Per-cell NDWI; cells where GREEN + NIR == 0 map to 0.
+Grid ndwi(const Grid& green, const Grid& nir);
+
+}  // namespace dcnas::geodata

@@ -1,0 +1,44 @@
+#pragma once
+/// \file infrastructure.hpp
+/// \brief Road embankments and culvert-style drainage crossings.
+///
+/// A drainage crossing is the feature the paper classifies: a point where a
+/// road embankment intersects a stream channel and the flow passes through
+/// a culvert *under* the road. In a LiDAR DEM the embankment shows up as a
+/// raised bar interrupting the carved channel — the exact local signature
+/// the CNN has to learn.
+
+#include <cstdint>
+#include <vector>
+
+#include "dcnas/common/rng.hpp"
+#include "dcnas/geodata/grid.hpp"
+
+namespace dcnas::geodata {
+
+struct CrossingSite {
+  std::int64_t y = 0;
+  std::int64_t x = 0;
+  float channel_accumulation = 0.0f;  ///< stream size at the crossing
+};
+
+struct RoadNetworkOptions {
+  int num_roads = 4;
+  double embankment_height_m = 1.6;
+  std::int64_t road_half_width = 2;  ///< cells on each side of centerline
+};
+
+struct RoadNetwork {
+  Grid road_mask;                      ///< 1 on road surface cells
+  std::vector<CrossingSite> crossings; ///< road x channel intersections
+};
+
+/// Rasterizes straight roads with random orientation/offset, raises the DEM
+/// along them (embankment), and records every channel crossing. The DEM is
+/// modified in place; channels remain carved on both sides of the road but
+/// are interrupted by the embankment (the culvert is underground).
+RoadNetwork build_roads(Grid& dem, const Grid& channel_mask,
+                        const Grid& accumulation,
+                        const RoadNetworkOptions& options, Rng& rng);
+
+}  // namespace dcnas::geodata

@@ -1,0 +1,22 @@
+#pragma once
+/// \file kfold.hpp
+/// \brief Stratified k-fold cross-validation splits (the paper evaluates
+/// every NAS trial with 5-fold CV, §3.2).
+
+#include <cstdint>
+#include <vector>
+
+namespace dcnas::geodata {
+
+struct FoldSplit {
+  std::vector<std::int64_t> train_indices;
+  std::vector<std::int64_t> val_indices;
+};
+
+/// Splits sample indices into k folds preserving per-class proportions.
+/// Every sample appears in exactly one fold's validation set. Shuffling is
+/// deterministic in \p seed.
+std::vector<FoldSplit> stratified_kfold(const std::vector<int>& labels, int k,
+                                        std::uint64_t seed);
+
+}  // namespace dcnas::geodata

@@ -1,0 +1,31 @@
+#pragma once
+/// \file ortho.hpp
+/// \brief Synthetic aerial orthophoto rendering (R, G, B, NIR bands).
+///
+/// Stands in for the USGS NAIP imagery of Table 1. Band values are derived
+/// from land cover: vegetation density (noise + wetness), open water along
+/// large channels, bare soil, and gray road surfaces. Reflectances are in
+/// [0, 1] and follow the qualitative spectral signatures that make NDVI and
+/// NDWI informative: vegetation is NIR-bright/red-dark, water is
+/// green-bright/NIR-dark.
+
+#include "dcnas/common/rng.hpp"
+#include "dcnas/geodata/grid.hpp"
+
+namespace dcnas::geodata {
+
+struct OrthoBands {
+  Grid red, green, blue, nir;
+};
+
+struct OrthoOptions {
+  float water_accumulation_threshold = 800.0f;  ///< open-water channel size
+  double vegetation_noise_frequency = 1.0 / 24.0;
+};
+
+/// Renders the four bands from the terrain state.
+OrthoBands render_orthophoto(const Grid& dem, const Grid& accumulation,
+                             const Grid& road_mask,
+                             const OrthoOptions& options, std::uint64_t seed);
+
+}  // namespace dcnas::geodata

@@ -1,0 +1,33 @@
+#pragma once
+/// \file region.hpp
+/// \brief The four study regions of Table 1 with their data-source
+/// metadata and sample counts.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace dcnas::geodata {
+
+struct RegionSpec {
+  std::string name;              ///< state-level label, e.g. "Nebraska"
+  std::string watershed;         ///< paper's watershed description
+  std::string dem_source;
+  double dem_resolution_m = 1.0;
+  std::int64_t true_samples = 0;   ///< drainage-crossing chips
+  std::int64_t false_samples = 0;  ///< randomly sampled background chips
+  std::string ortho_source =
+      "USGS National Agriculture Imagery Program (NAIP) (1m resolution)";
+  std::uint64_t synth_seed = 0;    ///< terrain seed for this region
+
+  std::int64_t total_samples() const { return true_samples + false_samples; }
+};
+
+/// Table 1 verbatim: Nebraska 2022/2022, Illinois 1011/1011, North Dakota
+/// 613/613, California 2388/2388 — 12,068 chips total.
+const std::vector<RegionSpec>& region_catalog();
+
+/// Sum of total_samples over the catalog (12,068 in the paper).
+std::int64_t catalog_total_samples();
+
+}  // namespace dcnas::geodata

@@ -1,0 +1,42 @@
+#pragma once
+/// \file scene.hpp
+/// \brief Full synthetic scene assembly: DEM -> hydrology -> roads ->
+/// orthophoto -> spectral indices.
+
+#include <vector>
+
+#include "dcnas/geodata/hydrology.hpp"
+#include "dcnas/geodata/indices.hpp"
+#include "dcnas/geodata/infrastructure.hpp"
+#include "dcnas/geodata/ortho.hpp"
+#include "dcnas/geodata/region.hpp"
+#include "dcnas/geodata/terrain.hpp"
+
+namespace dcnas::geodata {
+
+/// Everything extractable from one synthesized tile of a study region.
+struct GeoScene {
+  Grid dem;            ///< carved + embanked elevation (the HRDEM layer)
+  Grid accumulation;
+  Grid channels;       ///< 0/1 channel mask (pre-road)
+  Grid road_mask;
+  OrthoBands ortho;
+  Grid ndvi_layer;
+  Grid ndwi_layer;
+  std::vector<CrossingSite> crossings;
+  double resolution_m = 1.0;
+};
+
+struct SceneOptions {
+  std::int64_t size = 256;               ///< square tile edge, cells
+  float channel_threshold = 120.0f;      ///< accumulation cells -> stream
+  float carve_depth_m = 2.2f;
+  TerrainOptions terrain;                ///< size fields are overridden
+  RoadNetworkOptions roads;
+  OrthoOptions ortho;
+};
+
+/// Synthesizes one scene; deterministic in (options, seed).
+GeoScene synthesize_scene(const SceneOptions& options, std::uint64_t seed);
+
+}  // namespace dcnas::geodata

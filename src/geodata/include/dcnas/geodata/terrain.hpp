@@ -1,0 +1,40 @@
+#pragma once
+/// \file terrain.hpp
+/// \brief Procedural high-resolution DEM synthesis.
+///
+/// Stands in for the paper's HRDEM downloads (Table 1): multi-octave value
+/// noise (fBm) over a regional slope produces meter-resolution elevation
+/// surfaces with realistic ridge/valley structure for the hydrology pass to
+/// route water over.
+
+#include "dcnas/common/rng.hpp"
+#include "dcnas/geodata/grid.hpp"
+
+namespace dcnas::geodata {
+
+struct TerrainOptions {
+  std::int64_t height = 256;
+  std::int64_t width = 256;
+  double base_elevation_m = 300.0;
+  double relief_m = 18.0;         ///< fBm amplitude (gentle farmland relief)
+  double regional_slope = 0.02;   ///< m per cell of consistent tilt
+  double base_frequency = 1.0 / 96.0;  ///< cycles per cell of octave 0
+  int octaves = 5;
+  double lacunarity = 2.0;
+  double gain = 0.5;
+};
+
+/// Smooth deterministic value noise in [-1, 1] at (x, y) for a seed.
+double value_noise(double x, double y, std::uint64_t seed);
+
+/// fBm sum of value-noise octaves, roughly in [-1, 1].
+double fbm(double x, double y, std::uint64_t seed, int octaves,
+           double base_frequency, double lacunarity, double gain);
+
+/// Synthesizes a DEM; deterministic in (options, seed).
+Grid synthesize_dem(const TerrainOptions& options, std::uint64_t seed);
+
+/// Central-difference slope magnitude (m per cell) of a DEM.
+Grid slope_magnitude(const Grid& dem);
+
+}  // namespace dcnas::geodata

@@ -1,0 +1,102 @@
+#include "dcnas/geodata/augment.hpp"
+
+#include <cstring>
+
+namespace dcnas::geodata {
+
+namespace {
+
+using Mapper = std::int64_t (*)(std::int64_t, std::int64_t, std::int64_t,
+                                std::int64_t);
+
+Tensor remap(const Tensor& images, std::int64_t out_h, std::int64_t out_w,
+             Mapper source_index) {
+  DCNAS_CHECK(images.ndim() == 4, "augmentation expects NCHW");
+  const std::int64_t n = images.dim(0), c = images.dim(1), h = images.dim(2),
+                     w = images.dim(3);
+  Tensor out({n, c, out_h, out_w});
+  for (std::int64_t plane = 0; plane < n * c; ++plane) {
+    const float* src = images.data() + plane * h * w;
+    float* dst = out.data() + plane * out_h * out_w;
+    for (std::int64_t y = 0; y < out_h; ++y) {
+      for (std::int64_t x = 0; x < out_w; ++x) {
+        dst[y * out_w + x] = src[source_index(y, x, h, w)];
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+Tensor flip_horizontal(const Tensor& images) {
+  return remap(images, images.dim(2), images.dim(3),
+               [](std::int64_t y, std::int64_t x, std::int64_t,
+                  std::int64_t w) { return y * w + (w - 1 - x); });
+}
+
+Tensor flip_vertical(const Tensor& images) {
+  return remap(images, images.dim(2), images.dim(3),
+               [](std::int64_t y, std::int64_t x, std::int64_t h,
+                  std::int64_t w) { return (h - 1 - y) * w + x; });
+}
+
+Tensor rotate90(const Tensor& images) {
+  DCNAS_CHECK(images.dim(2) == images.dim(3),
+              "rotate90 requires square chips");
+  // Output(y, x) = Input(x, H-1-y): counter-clockwise rotation.
+  return remap(images, images.dim(3), images.dim(2),
+               [](std::int64_t y, std::int64_t x, std::int64_t,
+                  std::int64_t w) { return x * w + (w - 1 - y); });
+}
+
+Tensor random_dihedral(const Tensor& images, Rng& rng) {
+  DCNAS_CHECK(images.ndim() == 4, "augmentation expects NCHW");
+  const std::int64_t n = images.dim(0);
+  Tensor out = images;
+  const std::int64_t chw = images.dim(1) * images.dim(2) * images.dim(3);
+  for (std::int64_t s = 0; s < n; ++s) {
+    // Pose = (rotations in 0..3, flip in 0..1).
+    const std::int64_t pose = rng.uniform_int(0, 7);
+    Tensor chip({1, images.dim(1), images.dim(2), images.dim(3)});
+    std::memcpy(chip.data(), images.data() + s * chw,
+                static_cast<std::size_t>(chw) * sizeof(float));
+    for (std::int64_t r = 0; r < pose % 4; ++r) chip = rotate90(chip);
+    if (pose >= 4) chip = flip_horizontal(chip);
+    std::memcpy(out.data() + s * chw, chip.data(),
+                static_cast<std::size_t>(chw) * sizeof(float));
+  }
+  return out;
+}
+
+void augment_dihedral(Tensor& images, std::vector<int>& labels) {
+  DCNAS_CHECK(images.ndim() == 4, "augmentation expects NCHW");
+  DCNAS_CHECK(static_cast<std::int64_t>(labels.size()) == images.dim(0),
+              "label count mismatch");
+  const std::int64_t n = images.dim(0);
+  const std::int64_t chw = images.dim(1) * images.dim(2) * images.dim(3);
+  Tensor expanded({n * 8, images.dim(1), images.dim(2), images.dim(3)});
+  std::vector<int> new_labels;
+  new_labels.reserve(static_cast<std::size_t>(n) * 8);
+  std::int64_t cursor = 0;
+  for (std::int64_t s = 0; s < n; ++s) {
+    Tensor chip({1, images.dim(1), images.dim(2), images.dim(3)});
+    std::memcpy(chip.data(), images.data() + s * chw,
+                static_cast<std::size_t>(chw) * sizeof(float));
+    for (int flip = 0; flip < 2; ++flip) {
+      Tensor base = flip ? flip_horizontal(chip) : chip;
+      for (int rot = 0; rot < 4; ++rot) {
+        std::memcpy(expanded.data() + cursor * chw, base.data(),
+                    static_cast<std::size_t>(chw) * sizeof(float));
+        ++cursor;
+        new_labels.push_back(labels[static_cast<std::size_t>(s)]);
+        base = rotate90(base);
+      }
+    }
+  }
+  DCNAS_ASSERT(cursor == n * 8, "augmentation cursor mismatch");
+  images = std::move(expanded);
+  labels = std::move(new_labels);
+}
+
+}  // namespace dcnas::geodata

@@ -1,0 +1,151 @@
+#include "dcnas/geodata/dataset.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "dcnas/common/logging.hpp"
+
+namespace dcnas::geodata {
+
+void extract_chip(const GeoScene& scene, std::int64_t cy, std::int64_t cx,
+                  std::int64_t chip_size, int channels, float* out) {
+  DCNAS_CHECK(channels == 5 || channels == 7, "chips have 5 or 7 channels");
+  const std::int64_t half = chip_size / 2;
+  DCNAS_CHECK(cy - half >= 0 && cx - half >= 0 &&
+                  cy - half + chip_size <= scene.dem.height() &&
+                  cx - half + chip_size <= scene.dem.width(),
+              "chip window exceeds scene bounds");
+  const Grid* layers[7] = {&scene.dem,        &scene.ortho.red,
+                           &scene.ortho.green, &scene.ortho.blue,
+                           &scene.ortho.nir,   &scene.ndvi_layer,
+                           &scene.ndwi_layer};
+  const std::int64_t hw = chip_size * chip_size;
+  for (int c = 0; c < channels; ++c) {
+    float* plane = out + c * hw;
+    const Grid& src = *layers[c];
+    for (std::int64_t y = 0; y < chip_size; ++y) {
+      for (std::int64_t x = 0; x < chip_size; ++x) {
+        plane[y * chip_size + x] =
+            src.at(cy - half + y, cx - half + x);
+      }
+    }
+    if (c == 0) {
+      // DEM: absolute elevation is region-dependent and uninformative;
+      // standardize per chip so the network sees local relief in metres.
+      double mean = 0.0;
+      for (std::int64_t i = 0; i < hw; ++i) mean += plane[i];
+      mean /= static_cast<double>(hw);
+      for (std::int64_t i = 0; i < hw; ++i) {
+        plane[i] = static_cast<float>((plane[i] - mean) / 2.0);
+      }
+    }
+  }
+}
+
+namespace {
+
+/// True when any crossing site lies within Chebyshev distance `radius` of
+/// (y, x).
+bool near_crossing(const GeoScene& scene, std::int64_t y, std::int64_t x,
+                   std::int64_t radius) {
+  for (const auto& c : scene.crossings) {
+    if (std::abs(c.y - y) <= radius && std::abs(c.x - x) <= radius)
+      return true;
+  }
+  return false;
+}
+
+}  // namespace
+
+DrainageDataset build_dataset(const DatasetOptions& options) {
+  DCNAS_CHECK(options.chip_size >= 8, "chips must be at least 8 cells");
+  DCNAS_CHECK(options.scene_size >= 2 * options.chip_size,
+              "scene must fit several chips");
+  DCNAS_CHECK(options.scale > 0.0 && options.scale <= 1.0,
+              "scale must be in (0, 1]");
+  DCNAS_CHECK(options.channels == 5 || options.channels == 7,
+              "channels must be 5 or 7");
+
+  const auto& catalog = region_catalog();
+  // First pass: per-region quotas.
+  std::vector<std::int64_t> quota;
+  std::int64_t total = 0;
+  for (const auto& region : catalog) {
+    const auto q = std::max<std::int64_t>(
+        2, static_cast<std::int64_t>(
+               std::llround(options.scale *
+                            static_cast<double>(region.true_samples))));
+    quota.push_back(q);
+    total += 2 * q;
+  }
+
+  DrainageDataset ds;
+  ds.channels = options.channels;
+  ds.chip_size = options.chip_size;
+  ds.images = Tensor({total, options.channels, options.chip_size,
+                      options.chip_size});
+  ds.labels.reserve(static_cast<std::size_t>(total));
+  ds.region_ids.reserve(static_cast<std::size_t>(total));
+
+  const std::int64_t chw =
+      options.channels * options.chip_size * options.chip_size;
+  const std::int64_t half = options.chip_size / 2;
+  std::int64_t cursor = 0;
+
+  for (std::size_t r = 0; r < catalog.size(); ++r) {
+    const RegionSpec& region = catalog[r];
+    const std::int64_t want_true = quota[r];
+    std::int64_t got_true = 0, got_false = 0;
+    Rng rng(mix_seed(options.seed, region.synth_seed));
+    int scene_index = 0;
+    while (got_true < want_true || got_false < want_true) {
+      SceneOptions so = options.scene;
+      so.size = options.scene_size;
+      const GeoScene scene = synthesize_scene(
+          so, mix_seed(options.seed,
+                       region.synth_seed * 1000 +
+                           static_cast<std::uint64_t>(scene_index++)));
+      // True chips: jittered windows centered near each crossing.
+      for (const auto& site : scene.crossings) {
+        if (got_true >= want_true) break;
+        const std::int64_t jy = rng.uniform_int(-half / 4, half / 4);
+        const std::int64_t jx = rng.uniform_int(-half / 4, half / 4);
+        const std::int64_t cy = std::clamp<std::int64_t>(
+            site.y + jy, half, options.scene_size - half - 1);
+        const std::int64_t cx = std::clamp<std::int64_t>(
+            site.x + jx, half, options.scene_size - half - 1);
+        extract_chip(scene, cy, cx, options.chip_size, options.channels,
+                     ds.images.data() + cursor * chw);
+        ds.labels.push_back(1);
+        ds.region_ids.push_back(static_cast<int>(r));
+        ++cursor;
+        ++got_true;
+      }
+      // False chips: random spatial sampling away from any crossing
+      // (mirrors the paper's "random spatial sampling" of negatives).
+      int attempts = 0;
+      while (got_false < got_true && attempts < 500) {
+        ++attempts;
+        const std::int64_t cy =
+            rng.uniform_int(half, options.scene_size - half - 1);
+        const std::int64_t cx =
+            rng.uniform_int(half, options.scene_size - half - 1);
+        if (near_crossing(scene, cy, cx, half)) continue;
+        extract_chip(scene, cy, cx, options.chip_size, options.channels,
+                     ds.images.data() + cursor * chw);
+        ds.labels.push_back(0);
+        ds.region_ids.push_back(static_cast<int>(r));
+        ++cursor;
+        ++got_false;
+      }
+      DCNAS_CHECK(scene_index < 200,
+                  "region " + region.name +
+                      " cannot reach its chip quota; increase scene size");
+    }
+    ds.per_region.push_back({region.name, got_true, got_false});
+  }
+  DCNAS_ASSERT(cursor == total, "dataset cursor mismatch");
+  return ds;
+}
+
+}  // namespace dcnas::geodata

@@ -1,0 +1,24 @@
+#include "dcnas/geodata/grid.hpp"
+
+#include <algorithm>
+#include <numeric>
+
+namespace dcnas::geodata {
+
+float Grid::min_value() const {
+  DCNAS_CHECK(!data_.empty(), "min of empty grid");
+  return *std::min_element(data_.begin(), data_.end());
+}
+
+float Grid::max_value() const {
+  DCNAS_CHECK(!data_.empty(), "max of empty grid");
+  return *std::max_element(data_.begin(), data_.end());
+}
+
+double Grid::mean_value() const {
+  if (data_.empty()) return 0.0;
+  return std::accumulate(data_.begin(), data_.end(), 0.0) /
+         static_cast<double>(data_.size());
+}
+
+}  // namespace dcnas::geodata

@@ -1,0 +1,89 @@
+#include "dcnas/geodata/hydrology.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+namespace dcnas::geodata {
+
+std::vector<int> d8_flow_directions(const Grid& dem) {
+  DCNAS_CHECK(!dem.empty(), "flow directions of empty DEM");
+  std::vector<int> dir(static_cast<std::size_t>(dem.size()), -1);
+  for (std::int64_t y = 0; y < dem.height(); ++y) {
+    for (std::int64_t x = 0; x < dem.width(); ++x) {
+      double best_drop = 0.0;
+      int best = -1;
+      for (int k = 0; k < 8; ++k) {
+        const std::int64_t ny = y + kD8dy[k];
+        const std::int64_t nx = x + kD8dx[k];
+        if (!dem.in_bounds(ny, nx)) continue;
+        const double dist = (kD8dx[k] != 0 && kD8dy[k] != 0) ? 1.41421356 : 1.0;
+        const double drop = (dem.at(y, x) - dem.at(ny, nx)) / dist;
+        if (drop > best_drop) {
+          best_drop = drop;
+          best = k;
+        }
+      }
+      dir[static_cast<std::size_t>(y * dem.width() + x)] = best;
+    }
+  }
+  return dir;
+}
+
+Grid flow_accumulation(const Grid& dem) {
+  const auto dir = d8_flow_directions(dem);
+  Grid acc(dem.height(), dem.width(), 1.0f);  // each cell drains itself
+  // Process from the highest cell down: by the time we reach a cell, all
+  // its upstream contributors have already pushed their counts into it.
+  std::vector<std::int64_t> order(static_cast<std::size_t>(dem.size()));
+  std::iota(order.begin(), order.end(), 0);
+  std::sort(order.begin(), order.end(), [&](std::int64_t a, std::int64_t b) {
+    const float ea = dem.data()[static_cast<std::size_t>(a)];
+    const float eb = dem.data()[static_cast<std::size_t>(b)];
+    if (ea != eb) return ea > eb;
+    return a < b;  // stable tie-break keeps determinism
+  });
+  for (const std::int64_t cell : order) {
+    const int d = dir[static_cast<std::size_t>(cell)];
+    if (d < 0) continue;  // pit or border outflow
+    const std::int64_t y = cell / dem.width();
+    const std::int64_t x = cell % dem.width();
+    const std::int64_t ny = y + kD8dy[d];
+    const std::int64_t nx = x + kD8dx[d];
+    acc.at(ny, nx) += acc.at(y, x);
+  }
+  return acc;
+}
+
+Grid channel_mask(const Grid& accumulation, float threshold) {
+  DCNAS_CHECK(threshold > 0.0f, "channel threshold must be positive");
+  Grid mask(accumulation.height(), accumulation.width());
+  for (std::int64_t i = 0; i < accumulation.size(); ++i) {
+    mask.data()[static_cast<std::size_t>(i)] =
+        accumulation.data()[static_cast<std::size_t>(i)] >= threshold ? 1.0f
+                                                                      : 0.0f;
+  }
+  return mask;
+}
+
+Grid carve_channels(const Grid& dem, const Grid& accumulation, float threshold,
+                    float max_depth_m) {
+  DCNAS_CHECK(dem.height() == accumulation.height() &&
+                  dem.width() == accumulation.width(),
+              "DEM/accumulation size mismatch");
+  DCNAS_CHECK(max_depth_m > 0.0f, "carve depth must be positive");
+  Grid out = dem;
+  const float log_thresh = std::log(threshold);
+  const float log_max = std::log(accumulation.max_value() + 1.0f);
+  const float denom = std::max(log_max - log_thresh, 1e-3f);
+  for (std::int64_t i = 0; i < dem.size(); ++i) {
+    const float a = accumulation.data()[static_cast<std::size_t>(i)];
+    if (a < threshold) continue;
+    const float depth =
+        max_depth_m * std::min(1.0f, (std::log(a) - log_thresh) / denom);
+    out.data()[static_cast<std::size_t>(i)] -= depth;
+  }
+  return out;
+}
+
+}  // namespace dcnas::geodata

@@ -1,0 +1,29 @@
+#include "dcnas/geodata/indices.hpp"
+
+namespace dcnas::geodata {
+
+namespace {
+Grid normalized_difference(const Grid& a, const Grid& b) {
+  DCNAS_CHECK(a.height() == b.height() && a.width() == b.width(),
+              "band size mismatch");
+  Grid out(a.height(), a.width());
+  for (std::int64_t i = 0; i < a.size(); ++i) {
+    const float num = a.data()[static_cast<std::size_t>(i)] -
+                      b.data()[static_cast<std::size_t>(i)];
+    const float den = a.data()[static_cast<std::size_t>(i)] +
+                      b.data()[static_cast<std::size_t>(i)];
+    out.data()[static_cast<std::size_t>(i)] = den != 0.0f ? num / den : 0.0f;
+  }
+  return out;
+}
+}  // namespace
+
+Grid ndvi(const Grid& nir, const Grid& red) {
+  return normalized_difference(nir, red);
+}
+
+Grid ndwi(const Grid& green, const Grid& nir) {
+  return normalized_difference(green, nir);
+}
+
+}  // namespace dcnas::geodata

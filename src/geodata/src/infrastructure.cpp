@@ -1,0 +1,78 @@
+#include "dcnas/geodata/infrastructure.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace dcnas::geodata {
+
+RoadNetwork build_roads(Grid& dem, const Grid& channels,
+                        const Grid& accumulation,
+                        const RoadNetworkOptions& options, Rng& rng) {
+  DCNAS_CHECK(dem.height() == channels.height() &&
+                  dem.width() == channels.width(),
+              "DEM/channel size mismatch");
+  DCNAS_CHECK(options.num_roads > 0, "need at least one road");
+  DCNAS_CHECK(options.embankment_height_m > 0.0, "embankment must be raised");
+
+  RoadNetwork net;
+  net.road_mask = Grid(dem.height(), dem.width());
+  Grid raised(dem.height(), dem.width());  // cells already raised
+
+  const auto h = static_cast<double>(dem.height());
+  const auto w = static_cast<double>(dem.width());
+  for (int r = 0; r < options.num_roads; ++r) {
+    // Random line through the scene: pick an anchor and an angle biased
+    // toward the cardinal grid (rural section-line roads).
+    const double cx = rng.uniform(0.15, 0.85) * w;
+    const double cy = rng.uniform(0.15, 0.85) * h;
+    double angle = rng.uniform(0.0, 3.14159265);
+    if (rng.bernoulli(0.6)) {
+      angle = rng.bernoulli(0.5) ? 0.0 : 1.5707963;  // E-W or N-S
+    }
+    const double dx = std::cos(angle);
+    const double dy = std::sin(angle);
+    const double span = h + w;
+    std::int64_t prev_y = -1, prev_x = -1;
+    for (double t = -span; t <= span; t += 0.5) {
+      const auto x = static_cast<std::int64_t>(std::lround(cx + t * dx));
+      const auto y = static_cast<std::int64_t>(std::lround(cy + t * dy));
+      if (!dem.in_bounds(y, x) || (y == prev_y && x == prev_x)) continue;
+      prev_y = y;
+      prev_x = x;
+      // Crossing detection before we overwrite the channel's DEM cells.
+      if (channels.at(y, x) > 0.5f) {
+        // Deduplicate crossings closer than the road width to each other.
+        bool duplicate = false;
+        for (const auto& c : net.crossings) {
+          if (std::abs(c.y - y) <= 2 * options.road_half_width + 2 &&
+              std::abs(c.x - x) <= 2 * options.road_half_width + 2) {
+            duplicate = true;
+            break;
+          }
+        }
+        if (!duplicate) {
+          net.crossings.push_back({y, x, accumulation.at(y, x)});
+        }
+      }
+      // Raise the embankment (once per cell).
+      for (std::int64_t oy = -options.road_half_width;
+           oy <= options.road_half_width; ++oy) {
+        for (std::int64_t ox = -options.road_half_width;
+             ox <= options.road_half_width; ++ox) {
+          const std::int64_t ny = y + oy;
+          const std::int64_t nx = x + ox;
+          if (!dem.in_bounds(ny, nx)) continue;
+          net.road_mask.at(ny, nx) = 1.0f;
+          if (raised.at(ny, nx) < 0.5f) {
+            dem.at(ny, nx) +=
+                static_cast<float>(options.embankment_height_m);
+            raised.at(ny, nx) = 1.0f;
+          }
+        }
+      }
+    }
+  }
+  return net;
+}
+
+}  // namespace dcnas::geodata

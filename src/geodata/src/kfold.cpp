@@ -1,0 +1,49 @@
+#include "dcnas/geodata/kfold.hpp"
+
+#include <algorithm>
+#include <map>
+
+#include "dcnas/common/error.hpp"
+#include "dcnas/common/rng.hpp"
+
+namespace dcnas::geodata {
+
+std::vector<FoldSplit> stratified_kfold(const std::vector<int>& labels, int k,
+                                        std::uint64_t seed) {
+  DCNAS_CHECK(k >= 2, "k-fold needs k >= 2");
+  DCNAS_CHECK(labels.size() >= static_cast<std::size_t>(k),
+              "k-fold needs at least k samples");
+
+  // Group indices per class, shuffle each group, deal round-robin to folds.
+  std::map<int, std::vector<std::int64_t>> by_class;
+  for (std::size_t i = 0; i < labels.size(); ++i) {
+    by_class[labels[i]].push_back(static_cast<std::int64_t>(i));
+  }
+  Rng rng(seed);
+  std::vector<std::vector<std::int64_t>> fold_members(
+      static_cast<std::size_t>(k));
+  for (auto& [cls, indices] : by_class) {
+    rng.shuffle(indices);
+    for (std::size_t i = 0; i < indices.size(); ++i) {
+      fold_members[i % static_cast<std::size_t>(k)].push_back(indices[i]);
+    }
+  }
+
+  std::vector<FoldSplit> splits(static_cast<std::size_t>(k));
+  for (int f = 0; f < k; ++f) {
+    auto& split = splits[static_cast<std::size_t>(f)];
+    split.val_indices = fold_members[static_cast<std::size_t>(f)];
+    std::sort(split.val_indices.begin(), split.val_indices.end());
+    for (int other = 0; other < k; ++other) {
+      if (other == f) continue;
+      const auto& m = fold_members[static_cast<std::size_t>(other)];
+      split.train_indices.insert(split.train_indices.end(), m.begin(),
+                                 m.end());
+    }
+    std::sort(split.train_indices.begin(), split.train_indices.end());
+    DCNAS_ASSERT(!split.val_indices.empty(), "empty validation fold");
+  }
+  return splits;
+}
+
+}  // namespace dcnas::geodata

@@ -1,0 +1,70 @@
+#include "dcnas/geodata/ortho.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "dcnas/geodata/terrain.hpp"
+
+namespace dcnas::geodata {
+
+OrthoBands render_orthophoto(const Grid& dem, const Grid& accumulation,
+                             const Grid& road_mask, const OrthoOptions& options,
+                             std::uint64_t seed) {
+  DCNAS_CHECK(dem.height() == accumulation.height() &&
+                  dem.height() == road_mask.height(),
+              "layer size mismatch");
+  OrthoBands bands{Grid(dem.height(), dem.width()),
+                   Grid(dem.height(), dem.width()),
+                   Grid(dem.height(), dem.width()),
+                   Grid(dem.height(), dem.width())};
+  for (std::int64_t y = 0; y < dem.height(); ++y) {
+    for (std::int64_t x = 0; x < dem.width(); ++x) {
+      const double acc = accumulation.at(y, x);
+      // Wetness rises with contributing area (log scale).
+      const double wetness = std::clamp(std::log1p(acc) / 8.0, 0.0, 1.0);
+      const double veg_noise =
+          0.5 + 0.5 * value_noise(x * options.vegetation_noise_frequency,
+                                  y * options.vegetation_noise_frequency,
+                                  mix_seed(seed, 0xFEEDULL));
+      const double vegetation =
+          std::clamp(0.25 + 0.55 * veg_noise + 0.3 * wetness, 0.0, 1.0);
+      const double pixel_noise =
+          0.04 * (2.0 * hash_unit(mix_seed(
+                            seed, static_cast<std::uint64_t>(
+                                      y * dem.width() + x))) -
+                  1.0);
+
+      double r, g, b, nir;
+      if (road_mask.at(y, x) > 0.5f) {
+        // Gravel/asphalt: flat gray, moderate NIR.
+        r = 0.38;
+        g = 0.38;
+        b = 0.36;
+        nir = 0.30;
+      } else if (acc >= options.water_accumulation_threshold) {
+        // Open water: green/blue bright, red lower, NIR strongly absorbed.
+        r = 0.10;
+        g = 0.22;
+        b = 0.28;
+        nir = 0.04;
+      } else {
+        // Soil <-> vegetation mixture.
+        const double soil_r = 0.30, soil_g = 0.24, soil_b = 0.18,
+                     soil_nir = 0.32;
+        const double veg_r = 0.07, veg_g = 0.16, veg_b = 0.07,
+                     veg_nir = 0.55 + 0.15 * wetness;
+        r = soil_r + (veg_r - soil_r) * vegetation;
+        g = soil_g + (veg_g - soil_g) * vegetation;
+        b = soil_b + (veg_b - soil_b) * vegetation;
+        nir = soil_nir + (veg_nir - soil_nir) * vegetation;
+      }
+      bands.red.at(y, x) = static_cast<float>(std::clamp(r + pixel_noise, 0.01, 1.0));
+      bands.green.at(y, x) = static_cast<float>(std::clamp(g + pixel_noise, 0.01, 1.0));
+      bands.blue.at(y, x) = static_cast<float>(std::clamp(b + pixel_noise, 0.01, 1.0));
+      bands.nir.at(y, x) = static_cast<float>(std::clamp(nir + pixel_noise, 0.01, 1.0));
+    }
+  }
+  return bands;
+}
+
+}  // namespace dcnas::geodata

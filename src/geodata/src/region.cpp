@@ -1,0 +1,33 @@
+#include "dcnas/geodata/region.hpp"
+
+namespace dcnas::geodata {
+
+const std::vector<RegionSpec>& region_catalog() {
+  static const std::vector<RegionSpec> catalog = {
+      {"Nebraska", "West Fork Big Blue Watershed",
+       "Nebraska Department of Natural Resource", 1.0, 2022, 2022,
+       "USGS National Agriculture Imagery Program (NAIP) (1m resolution)",
+       0x10},
+      {"Illinois", "Vermilion River Watershed",
+       "Illinois Geospatial Data Clearinghouse", 0.3, 1011, 1011,
+       "USGS National Agriculture Imagery Program (NAIP) (1m resolution)",
+       0x11},
+      {"North Dakota", "Maple River Watershed",
+       "North Dakota GIS Hub Data Portal", 0.61, 613, 613,
+       "USGS National Agriculture Imagery Program (NAIP) (1m resolution)",
+       0x12},
+      {"California", "Sacramento-Stone Corral Watershed", "USGS", 1.0, 2388,
+       2388,
+       "USGS National Agriculture Imagery Program (NAIP) (1m resolution)",
+       0x13},
+  };
+  return catalog;
+}
+
+std::int64_t catalog_total_samples() {
+  std::int64_t total = 0;
+  for (const auto& r : region_catalog()) total += r.total_samples();
+  return total;
+}
+
+}  // namespace dcnas::geodata

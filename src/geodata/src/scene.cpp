@@ -1,0 +1,38 @@
+#include "dcnas/geodata/scene.hpp"
+
+namespace dcnas::geodata {
+
+GeoScene synthesize_scene(const SceneOptions& options, std::uint64_t seed) {
+  DCNAS_CHECK(options.size >= 32, "scene size must be at least 32 cells");
+  GeoScene scene;
+  scene.resolution_m = 1.0;
+
+  TerrainOptions terrain = options.terrain;
+  terrain.height = options.size;
+  terrain.width = options.size;
+  Grid dem = synthesize_dem(terrain, mix_seed(seed, 1));
+
+  // Hydrology over the natural terrain.
+  scene.accumulation = flow_accumulation(dem);
+  scene.channels = channel_mask(scene.accumulation, options.channel_threshold);
+  dem = carve_channels(dem, scene.accumulation, options.channel_threshold,
+                       options.carve_depth_m);
+
+  // Roads cut across the carved channels; crossings are recorded where the
+  // embankment interrupts a stream.
+  Rng road_rng(mix_seed(seed, 2));
+  RoadNetwork net = build_roads(dem, scene.channels, scene.accumulation,
+                                options.roads, road_rng);
+  scene.road_mask = std::move(net.road_mask);
+  scene.crossings = std::move(net.crossings);
+  scene.dem = std::move(dem);
+
+  scene.ortho = render_orthophoto(scene.dem, scene.accumulation,
+                                  scene.road_mask, options.ortho,
+                                  mix_seed(seed, 3));
+  scene.ndvi_layer = ndvi(scene.ortho.nir, scene.ortho.red);
+  scene.ndwi_layer = ndwi(scene.ortho.green, scene.ortho.nir);
+  return scene;
+}
+
+}  // namespace dcnas::geodata

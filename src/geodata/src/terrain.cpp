@@ -1,0 +1,90 @@
+#include "dcnas/geodata/terrain.hpp"
+
+#include <cmath>
+
+namespace dcnas::geodata {
+
+namespace {
+
+double lattice_value(std::int64_t ix, std::int64_t iy, std::uint64_t seed) {
+  const std::uint64_t key =
+      mix_seed(seed, static_cast<std::uint64_t>(ix) * 0x9E3779B97F4A7C15ULL ^
+                         (static_cast<std::uint64_t>(iy) << 32 |
+                          (static_cast<std::uint64_t>(iy) >> 32)));
+  return 2.0 * hash_unit(key) - 1.0;
+}
+
+double smoothstep(double t) { return t * t * (3.0 - 2.0 * t); }
+
+}  // namespace
+
+double value_noise(double x, double y, std::uint64_t seed) {
+  const double fx = std::floor(x);
+  const double fy = std::floor(y);
+  const auto ix = static_cast<std::int64_t>(fx);
+  const auto iy = static_cast<std::int64_t>(fy);
+  const double tx = smoothstep(x - fx);
+  const double ty = smoothstep(y - fy);
+  const double v00 = lattice_value(ix, iy, seed);
+  const double v10 = lattice_value(ix + 1, iy, seed);
+  const double v01 = lattice_value(ix, iy + 1, seed);
+  const double v11 = lattice_value(ix + 1, iy + 1, seed);
+  const double a = v00 + (v10 - v00) * tx;
+  const double b = v01 + (v11 - v01) * tx;
+  return a + (b - a) * ty;
+}
+
+double fbm(double x, double y, std::uint64_t seed, int octaves,
+           double base_frequency, double lacunarity, double gain) {
+  DCNAS_CHECK(octaves > 0, "fbm needs at least one octave");
+  double amp = 1.0;
+  double freq = base_frequency;
+  double sum = 0.0;
+  double norm = 0.0;
+  for (int o = 0; o < octaves; ++o) {
+    sum += amp * value_noise(x * freq, y * freq,
+                             mix_seed(seed, static_cast<std::uint64_t>(o)));
+    norm += amp;
+    amp *= gain;
+    freq *= lacunarity;
+  }
+  return sum / norm;
+}
+
+Grid synthesize_dem(const TerrainOptions& options, std::uint64_t seed) {
+  DCNAS_CHECK(options.relief_m > 0.0, "relief must be positive");
+  Grid dem(options.height, options.width);
+  for (std::int64_t y = 0; y < options.height; ++y) {
+    for (std::int64_t x = 0; x < options.width; ++x) {
+      const double n = fbm(static_cast<double>(x), static_cast<double>(y),
+                           seed, options.octaves, options.base_frequency,
+                           options.lacunarity, options.gain);
+      // Regional tilt gives the watershed a consistent outfall direction.
+      const double tilt =
+          options.regional_slope * (static_cast<double>(x) +
+                                    0.35 * static_cast<double>(y));
+      dem.at(y, x) = static_cast<float>(options.base_elevation_m +
+                                        options.relief_m * n - tilt);
+    }
+  }
+  return dem;
+}
+
+Grid slope_magnitude(const Grid& dem) {
+  DCNAS_CHECK(!dem.empty(), "slope of empty DEM");
+  Grid s(dem.height(), dem.width());
+  for (std::int64_t y = 0; y < dem.height(); ++y) {
+    for (std::int64_t x = 0; x < dem.width(); ++x) {
+      const std::int64_t xm = std::max<std::int64_t>(x - 1, 0);
+      const std::int64_t xp = std::min<std::int64_t>(x + 1, dem.width() - 1);
+      const std::int64_t ym = std::max<std::int64_t>(y - 1, 0);
+      const std::int64_t yp = std::min<std::int64_t>(y + 1, dem.height() - 1);
+      const double dx = (dem.at(y, xp) - dem.at(y, xm)) / 2.0;
+      const double dy = (dem.at(yp, x) - dem.at(ym, x)) / 2.0;
+      s.at(y, x) = static_cast<float>(std::sqrt(dx * dx + dy * dy));
+    }
+  }
+  return s;
+}
+
+}  // namespace dcnas::geodata

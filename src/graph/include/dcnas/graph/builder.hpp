@@ -1,0 +1,21 @@
+#pragma once
+/// \file builder.hpp
+/// \brief Constructs the IR graph for any ResNetConfig in the NAS search
+/// space — the exact op sequence ConfigurableResNet executes.
+
+#include "dcnas/graph/ir.hpp"
+#include "dcnas/nn/resnet.hpp"
+
+namespace dcnas::graph {
+
+/// Spatial size (pixels per side) at which models are deployed and at which
+/// nn-Meter-style latency is predicted. The paper's chips are 1 m resolution
+/// clips; we standardize deployment inference to 224x224 like the stock
+/// ResNet-18 input contract.
+inline constexpr std::int64_t kDeploymentInputSize = 224;
+
+/// Builds the op graph for \p config at the given input spatial size.
+ModelGraph build_resnet_graph(const nn::ResNetConfig& config,
+                              std::int64_t input_hw = kDeploymentInputSize);
+
+}  // namespace dcnas::graph

@@ -1,0 +1,72 @@
+#pragma once
+/// \file executor.hpp
+/// \brief A minimal deployment runtime: executes a ModelGraph directly
+/// (eval-mode inference) with optional BatchNorm folding.
+///
+/// This is the twin of the latency layer's assumption that edge runtimes
+/// fold Conv+BN into one kernel: fold_batchnorm() performs the standard
+/// rewrite  w' = w·γ/√(σ²+ε),  b' = β − γ·μ/√(σ²+ε)  and the executor then
+/// runs the exact fused computation. Tests verify bit-level agreement with
+/// the live nn::ConfigurableResNet in eval mode, before and after folding.
+
+#include <optional>
+#include <vector>
+
+#include "dcnas/graph/ir.hpp"
+#include "dcnas/nn/resnet.hpp"
+#include "dcnas/tensor/tensor.hpp"
+
+namespace dcnas::graph {
+
+/// Inference weights for one graph node (only the kinds that carry state).
+struct NodeState {
+  Tensor conv_weight;           ///< Conv: (OC, IC·k·k)
+  std::optional<Tensor> bias;   ///< Conv after folding, or Linear bias
+  Tensor bn_gamma, bn_beta, bn_mean, bn_var;  ///< BatchNorm
+  Tensor linear_weight;         ///< Linear: (out, in)
+};
+
+class GraphExecutor {
+ public:
+  /// Binds a graph to the state of a live model. The model must have been
+  /// built from the same ResNetConfig that produced the graph (layer order
+  /// is matched positionally and shapes are cross-checked).
+  GraphExecutor(ModelGraph graph, nn::ConfigurableResNet& model);
+
+  /// Runs batch inference (NCHW). BatchNorm uses running statistics.
+  Tensor run(const Tensor& input) const;
+
+  /// Folds every Conv->BatchNorm pair (BN the conv's sole consumer) into
+  /// the convolution; folded BN nodes become identity passthroughs.
+  /// Idempotent.
+  void fold_batchnorm();
+  bool folded() const { return folded_; }
+
+  /// Number of BN nodes folded away so far.
+  int folded_batchnorms() const { return folded_count_; }
+
+  const ModelGraph& graph() const { return graph_; }
+
+  /// Raw state access for serialization (model_file.hpp).
+  const std::vector<NodeState>& node_states() const { return state_; }
+  const std::vector<bool>& identity_flags() const { return identity_; }
+
+  /// Reassembles an executor from serialized state (no nn module needed).
+  static GraphExecutor from_state(ModelGraph graph,
+                                  std::vector<NodeState> state,
+                                  std::vector<bool> identity);
+
+ private:
+  GraphExecutor() = default;
+  Tensor run_node(int index, const std::vector<Tensor>& outputs,
+                  const Tensor& input) const;
+
+  ModelGraph graph_;
+  std::vector<NodeState> state_;      ///< indexed by node
+  std::vector<bool> identity_;        ///< BN nodes folded into producers
+  float bn_eps_ = 1e-5f;
+  bool folded_ = false;
+  int folded_count_ = 0;
+};
+
+}  // namespace dcnas::graph

@@ -1,0 +1,75 @@
+#pragma once
+/// \file fusion.hpp
+/// \brief Kernel fusion — nn-Meter's key insight, reimplemented.
+///
+/// Edge inference runtimes execute *fused kernels*, not single operators:
+/// Conv+BatchNorm+ReLU run as one kernel, the residual Add fuses with its
+/// trailing ReLU, and so on. nn-Meter showed that predicting latency at the
+/// kernel level (after applying the backend's fusion rules) is what makes
+/// model-level prediction accurate. This pass turns a ModelGraph into the
+/// fused kernel sequence our device simulator and predictors consume.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "dcnas/graph/ir.hpp"
+
+namespace dcnas::graph {
+
+enum class KernelKind {
+  kConvBnRelu,
+  kConvBn,       ///< residual-branch tail: BN folded, no activation
+  kConvRelu,
+  kConv,
+  kMaxPool,
+  kGlobalAvgPool,
+  kAddRelu,
+  kAdd,
+  kRelu,
+  kBatchNorm,
+  kLinear,
+};
+
+const char* kernel_kind_name(KernelKind kind);
+constexpr int kNumKernelKinds = 11;
+
+/// One fused executable kernel with the features latency models need.
+struct FusedKernel {
+  KernelKind kind = KernelKind::kConv;
+  std::string name;
+  ActShape in_shape;
+  ActShape out_shape;
+  OpAttrs attrs;          ///< conv/pool geometry when applicable
+  std::int64_t flops = 0;
+  std::int64_t params = 0;
+
+  /// Memory traffic in bytes assuming fp32 activations and weights.
+  /// Elementwise Add kernels read two operand activations.
+  std::int64_t input_bytes() const {
+    const std::int64_t base = 4 * in_shape.numel();
+    return (kind == KernelKind::kAdd || kind == KernelKind::kAddRelu)
+               ? 2 * base
+               : base;
+  }
+  std::int64_t output_bytes() const { return 4 * out_shape.numel(); }
+  std::int64_t weight_bytes() const { return 4 * params; }
+  std::int64_t total_bytes() const {
+    return input_bytes() + output_bytes() + weight_bytes();
+  }
+};
+
+/// Applies the fusion rules and returns kernels in execution order.
+/// Rules (applied greedily along single-consumer chains):
+///   Conv -> BN -> ReLU  =>  ConvBnRelu
+///   Conv -> BN          =>  ConvBn
+///   Conv -> ReLU        =>  ConvRelu
+///   Add  -> ReLU        =>  AddRelu
+/// BatchNorm folding removes the BN's FLOPs (it becomes a scale/bias baked
+/// into the conv weights) but keeps its parameters for size accounting.
+std::vector<FusedKernel> fuse_graph(const ModelGraph& graph);
+
+/// Sum of kernel FLOPs after fusion (BN folded away).
+std::int64_t fused_flops(const std::vector<FusedKernel>& kernels);
+
+}  // namespace dcnas::graph

@@ -1,0 +1,110 @@
+#pragma once
+/// \file ir.hpp
+/// \brief Operator-level intermediate representation of a model.
+///
+/// The IR is the hardware-facing twin of the nn::Module tree: the latency
+/// predictor, memory accounting, and kernel fusion all operate on this
+/// graph rather than on live layers, mirroring how nn-Meter consumes an
+/// exported ONNX/TFLite graph rather than the PyTorch module.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "dcnas/common/error.hpp"
+
+namespace dcnas::graph {
+
+enum class OpKind {
+  kInput,
+  kConv,
+  kBatchNorm,
+  kRelu,
+  kMaxPool,
+  kGlobalAvgPool,
+  kAdd,
+  kLinear,
+  kOutput,
+};
+
+const char* op_kind_name(OpKind kind);
+
+/// Activation shape excluding the batch dimension (C, H, W). Linear layers
+/// use (features, 1, 1).
+struct ActShape {
+  std::int64_t c = 0;
+  std::int64_t h = 1;
+  std::int64_t w = 1;
+
+  std::int64_t numel() const { return c * h * w; }
+  bool operator==(const ActShape&) const = default;
+  std::string to_string() const;
+};
+
+/// Convolution/pooling geometry. Unused fields stay zero.
+struct OpAttrs {
+  std::int64_t kernel = 0;
+  std::int64_t stride = 1;
+  std::int64_t padding = 0;
+};
+
+struct GraphNode {
+  OpKind kind = OpKind::kInput;
+  std::string name;
+  std::vector<int> inputs;   ///< indices of producer nodes
+  OpAttrs attrs;
+  ActShape in_shape;         ///< shape of inputs[0]'s output
+  ActShape out_shape;
+  std::int64_t params = 0;   ///< learnable scalars owned by this op
+  std::int64_t flops = 0;    ///< batch-1 forward FLOPs (2 per MAC)
+};
+
+/// A topologically ordered DAG of operators with shape/FLOPs annotations.
+/// Nodes are appended in execution order; add_* helpers infer shapes.
+class ModelGraph {
+ public:
+  /// Starts the graph with its input activation.
+  int add_input(ActShape shape, const std::string& name = "input");
+
+  int add_conv(int input, std::int64_t out_channels, std::int64_t kernel,
+               std::int64_t stride, std::int64_t padding,
+               const std::string& name);
+  int add_batchnorm(int input, const std::string& name);
+  int add_relu(int input, const std::string& name);
+  int add_maxpool(int input, std::int64_t kernel, std::int64_t stride,
+                  std::int64_t padding, const std::string& name);
+  int add_global_avgpool(int input, const std::string& name);
+  int add_add(int lhs, int rhs, const std::string& name);
+  int add_linear(int input, std::int64_t out_features,
+                 const std::string& name);
+  int add_output(int input, const std::string& name = "output");
+
+  const std::vector<GraphNode>& nodes() const { return nodes_; }
+  const GraphNode& node(int i) const;
+  std::size_t size() const { return nodes_.size(); }
+
+  /// Consumers of each node (inverse adjacency), recomputed on demand.
+  std::vector<std::vector<int>> consumers() const;
+
+  std::int64_t total_params() const;
+  std::int64_t total_flops() const;
+
+  /// Peak of the largest single activation (bytes, fp32) — a deployment
+  /// memory indicator alongside the model-file size.
+  std::int64_t max_activation_bytes() const;
+
+  /// Structural validation: topological input references, an input node
+  /// first, an output node present, shape consistency on Add.
+  void validate() const;
+
+  /// Multi-line human-readable dump (used by examples and Figure 1 bench).
+  std::string to_string() const;
+
+ private:
+  int append(GraphNode node);
+  const GraphNode& checked_input(int index) const;
+
+  std::vector<GraphNode> nodes_;
+};
+
+}  // namespace dcnas::graph

@@ -1,0 +1,40 @@
+#pragma once
+/// \file model_file.hpp
+/// \brief Binary model-file format ("DCNX") — the deployable artifact whose
+/// on-disk size is the paper's memory objective.
+///
+/// Layout (little-endian, fp32 payloads):
+///   magic "DCNX" | u32 version | u32 node count
+///   per node: u8 kind | u8 state flags | u16 name length | name bytes
+///             3 x i32 attrs | 6 x i32 shapes | i32 input indices
+///             per present tensor: u32 numel | numel x f32
+/// The writer emits exactly the state the GraphExecutor binds (conv
+/// weights, optional folded bias, BN gamma/beta/mean/var, linear
+/// weight+bias), so save -> parse -> run reproduces inference bit-exactly
+/// without the original nn module. serialize.hpp's size *estimate* is
+/// validated against this writer's true byte count in
+/// tests/graph/model_file_test.cpp.
+
+#include <string>
+#include <vector>
+
+#include "dcnas/graph/executor.hpp"
+
+namespace dcnas::graph {
+
+/// Serializes an executor's graph + weights; returns the byte buffer.
+std::vector<unsigned char> serialize_model(const GraphExecutor& executor);
+
+/// Writes the model file; returns the file size in bytes.
+std::int64_t save_model(const GraphExecutor& executor,
+                        const std::string& path);
+
+/// Reconstructs a runnable executor from a serialized buffer; throws
+/// InvalidArgument on malformed data (bad magic, truncation, shape
+/// mismatches).
+GraphExecutor parse_model(const std::vector<unsigned char>& bytes);
+
+/// Loads a model file written by save_model.
+GraphExecutor load_model(const std::string& path);
+
+}  // namespace dcnas::graph

@@ -1,0 +1,35 @@
+#pragma once
+/// \file serialize.hpp
+/// \brief Serialized-model size accounting — the paper's "memory" objective.
+///
+/// The paper measures "the memory requirement to store the model in the
+/// onnx file format" in (decimal) megabytes: stock ResNet-18 with 11.18 M
+/// parameters reports 44.71 MB, i.e. MB = bytes / 1e6 with 4 bytes per fp32
+/// scalar. We model the file as fp32 initializers (including BatchNorm
+/// running statistics, which ONNX exports) plus small per-node and header
+/// overheads.
+
+#include <cstdint>
+
+#include "dcnas/graph/ir.hpp"
+
+namespace dcnas::graph {
+
+struct SizeBreakdown {
+  std::int64_t initializer_bytes = 0;  ///< 4 * serialized parameters
+  std::int64_t structure_bytes = 0;    ///< node records, names, attributes
+  std::int64_t header_bytes = 0;
+
+  std::int64_t total_bytes() const {
+    return initializer_bytes + structure_bytes + header_bytes;
+  }
+  /// Decimal megabytes, the unit of the paper's memory columns.
+  double total_mb() const { return static_cast<double>(total_bytes()) / 1e6; }
+};
+
+SizeBreakdown serialized_size(const ModelGraph& graph);
+
+/// Shorthand used by the NAS pipeline.
+double model_memory_mb(const ModelGraph& graph);
+
+}  // namespace dcnas::graph

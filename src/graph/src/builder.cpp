@@ -1,0 +1,60 @@
+#include "dcnas/graph/builder.hpp"
+
+#include <string>
+
+namespace dcnas::graph {
+
+namespace {
+
+/// Appends one BasicBlock's ops; returns the index of its final ReLU-fused
+/// Add output. Mirrors nn::BasicBlock exactly.
+int add_basic_block(ModelGraph& g, int input, std::int64_t in_ch,
+                    std::int64_t out_ch, std::int64_t stride,
+                    const std::string& prefix) {
+  const int c1 = g.add_conv(input, out_ch, 3, stride, 1, prefix + ".conv1");
+  const int b1 = g.add_batchnorm(c1, prefix + ".bn1");
+  const int r1 = g.add_relu(b1, prefix + ".relu1");
+  const int c2 = g.add_conv(r1, out_ch, 3, 1, 1, prefix + ".conv2");
+  const int b2 = g.add_batchnorm(c2, prefix + ".bn2");
+  int shortcut = input;
+  if (stride != 1 || in_ch != out_ch) {
+    const int pc = g.add_conv(input, out_ch, 1, stride, 0, prefix + ".proj");
+    shortcut = g.add_batchnorm(pc, prefix + ".proj_bn");
+  }
+  const int sum = g.add_add(b2, shortcut, prefix + ".add");
+  return g.add_relu(sum, prefix + ".relu2");
+}
+
+}  // namespace
+
+ModelGraph build_resnet_graph(const nn::ResNetConfig& config,
+                              std::int64_t input_hw) {
+  config.validate();
+  DCNAS_CHECK(input_hw > 0, "input_hw must be > 0");
+  ModelGraph g;
+  int cur = g.add_input({config.in_channels, input_hw, input_hw});
+  cur = g.add_conv(cur, config.init_width, config.conv1_kernel,
+                   config.conv1_stride, config.conv1_padding, "conv1");
+  cur = g.add_batchnorm(cur, "bn1");
+  cur = g.add_relu(cur, "relu1");
+  if (config.with_pool) {
+    cur = g.add_maxpool(cur, config.pool_kernel, config.pool_stride,
+                        (config.pool_kernel - 1) / 2, "maxpool");
+  }
+  std::int64_t in_ch = config.init_width;
+  for (int stage = 0; stage < 4; ++stage) {
+    const std::int64_t out_ch = config.stage_width(stage);
+    const std::int64_t stride = (stage == 0) ? 1 : 2;
+    const std::string s = "stage" + std::to_string(stage + 1);
+    cur = add_basic_block(g, cur, in_ch, out_ch, stride, s + ".block1");
+    cur = add_basic_block(g, cur, out_ch, out_ch, 1, s + ".block2");
+    in_ch = out_ch;
+  }
+  cur = g.add_global_avgpool(cur, "gap");
+  cur = g.add_linear(cur, config.num_classes, "fc");
+  g.add_output(cur);
+  g.validate();
+  return g;
+}
+
+}  // namespace dcnas::graph

@@ -1,0 +1,113 @@
+#include "dcnas/graph/fusion.hpp"
+
+namespace dcnas::graph {
+
+const char* kernel_kind_name(KernelKind kind) {
+  switch (kind) {
+    case KernelKind::kConvBnRelu: return "conv-bn-relu";
+    case KernelKind::kConvBn: return "conv-bn";
+    case KernelKind::kConvRelu: return "conv-relu";
+    case KernelKind::kConv: return "conv";
+    case KernelKind::kMaxPool: return "maxpool";
+    case KernelKind::kGlobalAvgPool: return "global-avgpool";
+    case KernelKind::kAddRelu: return "add-relu";
+    case KernelKind::kAdd: return "add";
+    case KernelKind::kRelu: return "relu";
+    case KernelKind::kBatchNorm: return "batchnorm";
+    case KernelKind::kLinear: return "linear";
+  }
+  return "?";
+}
+
+std::vector<FusedKernel> fuse_graph(const ModelGraph& graph) {
+  graph.validate();
+  const auto& nodes = graph.nodes();
+  const auto consumers = graph.consumers();
+  std::vector<FusedKernel> kernels;
+  std::vector<bool> consumed(nodes.size(), false);
+
+  // A node can only fuse into its producer when it is that producer's sole
+  // consumer (otherwise the intermediate activation must materialize).
+  auto sole_consumer = [&](int i, OpKind kind) -> int {
+    const auto& cons = consumers[static_cast<std::size_t>(i)];
+    if (cons.size() != 1) return -1;
+    const int c = cons[0];
+    return nodes[static_cast<std::size_t>(c)].kind == kind ? c : -1;
+  };
+
+  for (std::size_t i = 0; i < nodes.size(); ++i) {
+    if (consumed[i]) continue;
+    const GraphNode& n = nodes[i];
+    FusedKernel k;
+    k.name = n.name;
+    k.in_shape = n.in_shape;
+    k.out_shape = n.out_shape;
+    k.attrs = n.attrs;
+    k.flops = n.flops;
+    k.params = n.params;
+    switch (n.kind) {
+      case OpKind::kInput:
+      case OpKind::kOutput:
+        continue;  // structural, no kernel
+      case OpKind::kConv: {
+        k.kind = KernelKind::kConv;
+        int idx = static_cast<int>(i);
+        const int bn = sole_consumer(idx, OpKind::kBatchNorm);
+        if (bn >= 0) {
+          // Fold BN: weights absorb scale/bias, so no extra FLOPs; running
+          // stats are folded away in the deployed artifact, but we keep the
+          // gamma/beta parameter count with the conv for traceability.
+          consumed[static_cast<std::size_t>(bn)] = true;
+          k.kind = KernelKind::kConvBn;
+          k.params += nodes[static_cast<std::size_t>(bn)].params;
+          idx = bn;
+        }
+        const int relu = sole_consumer(idx, OpKind::kRelu);
+        if (relu >= 0) {
+          consumed[static_cast<std::size_t>(relu)] = true;
+          k.flops += nodes[static_cast<std::size_t>(relu)].flops;
+          k.kind = (k.kind == KernelKind::kConvBn) ? KernelKind::kConvBnRelu
+                                                   : KernelKind::kConvRelu;
+        }
+        break;
+      }
+      case OpKind::kAdd: {
+        k.kind = KernelKind::kAdd;
+        const int relu = sole_consumer(static_cast<int>(i), OpKind::kRelu);
+        if (relu >= 0) {
+          consumed[static_cast<std::size_t>(relu)] = true;
+          k.flops += nodes[static_cast<std::size_t>(relu)].flops;
+          k.kind = KernelKind::kAddRelu;
+        }
+        // Add reads two input activations.
+        k.in_shape = n.in_shape;
+        break;
+      }
+      case OpKind::kBatchNorm:
+        k.kind = KernelKind::kBatchNorm;
+        break;
+      case OpKind::kRelu:
+        k.kind = KernelKind::kRelu;
+        break;
+      case OpKind::kMaxPool:
+        k.kind = KernelKind::kMaxPool;
+        break;
+      case OpKind::kGlobalAvgPool:
+        k.kind = KernelKind::kGlobalAvgPool;
+        break;
+      case OpKind::kLinear:
+        k.kind = KernelKind::kLinear;
+        break;
+    }
+    kernels.push_back(std::move(k));
+  }
+  return kernels;
+}
+
+std::int64_t fused_flops(const std::vector<FusedKernel>& kernels) {
+  std::int64_t n = 0;
+  for (const auto& k : kernels) n += k.flops;
+  return n;
+}
+
+}  // namespace dcnas::graph

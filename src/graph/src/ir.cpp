@@ -1,0 +1,243 @@
+#include "dcnas/graph/ir.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+#include "dcnas/tensor/im2col.hpp"
+
+namespace dcnas::graph {
+
+const char* op_kind_name(OpKind kind) {
+  switch (kind) {
+    case OpKind::kInput: return "Input";
+    case OpKind::kConv: return "Conv";
+    case OpKind::kBatchNorm: return "BatchNorm";
+    case OpKind::kRelu: return "Relu";
+    case OpKind::kMaxPool: return "MaxPool";
+    case OpKind::kGlobalAvgPool: return "GlobalAvgPool";
+    case OpKind::kAdd: return "Add";
+    case OpKind::kLinear: return "Linear";
+    case OpKind::kOutput: return "Output";
+  }
+  return "?";
+}
+
+std::string ActShape::to_string() const {
+  std::ostringstream os;
+  os << "(" << c << ", " << h << ", " << w << ")";
+  return os.str();
+}
+
+int ModelGraph::append(GraphNode node) {
+  nodes_.push_back(std::move(node));
+  return static_cast<int>(nodes_.size()) - 1;
+}
+
+const GraphNode& ModelGraph::node(int i) const {
+  DCNAS_CHECK(i >= 0 && i < static_cast<int>(nodes_.size()),
+              "graph node index out of range");
+  return nodes_[static_cast<std::size_t>(i)];
+}
+
+const GraphNode& ModelGraph::checked_input(int index) const {
+  DCNAS_CHECK(index >= 0 && index < static_cast<int>(nodes_.size()),
+              "node input refers to a node that does not exist yet");
+  return nodes_[static_cast<std::size_t>(index)];
+}
+
+int ModelGraph::add_input(ActShape shape, const std::string& name) {
+  DCNAS_CHECK(nodes_.empty(), "add_input must be the first node");
+  DCNAS_CHECK(shape.c > 0 && shape.h > 0 && shape.w > 0, "bad input shape");
+  GraphNode n;
+  n.kind = OpKind::kInput;
+  n.name = name;
+  n.in_shape = shape;
+  n.out_shape = shape;
+  return append(std::move(n));
+}
+
+int ModelGraph::add_conv(int input, std::int64_t out_channels,
+                         std::int64_t kernel, std::int64_t stride,
+                         std::int64_t padding, const std::string& name) {
+  const GraphNode& src = checked_input(input);
+  DCNAS_CHECK(out_channels > 0, "conv out_channels must be > 0");
+  GraphNode n;
+  n.kind = OpKind::kConv;
+  n.name = name;
+  n.inputs = {input};
+  n.attrs = {kernel, stride, padding};
+  n.in_shape = src.out_shape;
+  n.out_shape = {out_channels,
+                 conv_out_size(src.out_shape.h, kernel, stride, padding),
+                 conv_out_size(src.out_shape.w, kernel, stride, padding)};
+  n.params = out_channels * src.out_shape.c * kernel * kernel;  // bias-free
+  n.flops = 2 * n.params * n.out_shape.h * n.out_shape.w;
+  return append(std::move(n));
+}
+
+int ModelGraph::add_batchnorm(int input, const std::string& name) {
+  const GraphNode& src = checked_input(input);
+  GraphNode n;
+  n.kind = OpKind::kBatchNorm;
+  n.name = name;
+  n.inputs = {input};
+  n.in_shape = src.out_shape;
+  n.out_shape = src.out_shape;
+  // gamma, beta + running mean/var are all serialized with the model.
+  n.params = 4 * src.out_shape.c;
+  n.flops = 2 * src.out_shape.numel();
+  return append(std::move(n));
+}
+
+int ModelGraph::add_relu(int input, const std::string& name) {
+  const GraphNode& src = checked_input(input);
+  GraphNode n;
+  n.kind = OpKind::kRelu;
+  n.name = name;
+  n.inputs = {input};
+  n.in_shape = src.out_shape;
+  n.out_shape = src.out_shape;
+  n.flops = src.out_shape.numel();
+  return append(std::move(n));
+}
+
+int ModelGraph::add_maxpool(int input, std::int64_t kernel,
+                            std::int64_t stride, std::int64_t padding,
+                            const std::string& name) {
+  const GraphNode& src = checked_input(input);
+  DCNAS_CHECK(padding <= kernel / 2, "pool padding must be <= kernel/2");
+  GraphNode n;
+  n.kind = OpKind::kMaxPool;
+  n.name = name;
+  n.inputs = {input};
+  n.attrs = {kernel, stride, padding};
+  n.in_shape = src.out_shape;
+  n.out_shape = {src.out_shape.c,
+                 conv_out_size(src.out_shape.h, kernel, stride, padding),
+                 conv_out_size(src.out_shape.w, kernel, stride, padding)};
+  n.flops = kernel * kernel * n.out_shape.numel();
+  return append(std::move(n));
+}
+
+int ModelGraph::add_global_avgpool(int input, const std::string& name) {
+  const GraphNode& src = checked_input(input);
+  GraphNode n;
+  n.kind = OpKind::kGlobalAvgPool;
+  n.name = name;
+  n.inputs = {input};
+  n.in_shape = src.out_shape;
+  n.out_shape = {src.out_shape.c, 1, 1};
+  n.flops = src.out_shape.numel();
+  return append(std::move(n));
+}
+
+int ModelGraph::add_add(int lhs, int rhs, const std::string& name) {
+  const GraphNode& a = checked_input(lhs);
+  const GraphNode& b = checked_input(rhs);
+  DCNAS_CHECK(a.out_shape == b.out_shape,
+              "Add requires matching shapes: " + a.out_shape.to_string() +
+                  " vs " + b.out_shape.to_string());
+  GraphNode n;
+  n.kind = OpKind::kAdd;
+  n.name = name;
+  n.inputs = {lhs, rhs};
+  n.in_shape = a.out_shape;
+  n.out_shape = a.out_shape;
+  n.flops = a.out_shape.numel();
+  return append(std::move(n));
+}
+
+int ModelGraph::add_linear(int input, std::int64_t out_features,
+                           const std::string& name) {
+  const GraphNode& src = checked_input(input);
+  DCNAS_CHECK(out_features > 0, "linear out_features must be > 0");
+  const std::int64_t in_features = src.out_shape.numel();
+  GraphNode n;
+  n.kind = OpKind::kLinear;
+  n.name = name;
+  n.inputs = {input};
+  n.in_shape = src.out_shape;
+  n.out_shape = {out_features, 1, 1};
+  n.params = in_features * out_features + out_features;  // weight + bias
+  n.flops = 2 * in_features * out_features;
+  return append(std::move(n));
+}
+
+int ModelGraph::add_output(int input, const std::string& name) {
+  const GraphNode& src = checked_input(input);
+  GraphNode n;
+  n.kind = OpKind::kOutput;
+  n.name = name;
+  n.inputs = {input};
+  n.in_shape = src.out_shape;
+  n.out_shape = src.out_shape;
+  return append(std::move(n));
+}
+
+std::vector<std::vector<int>> ModelGraph::consumers() const {
+  std::vector<std::vector<int>> out(nodes_.size());
+  for (std::size_t i = 0; i < nodes_.size(); ++i) {
+    for (int in : nodes_[i].inputs) {
+      out[static_cast<std::size_t>(in)].push_back(static_cast<int>(i));
+    }
+  }
+  return out;
+}
+
+std::int64_t ModelGraph::total_params() const {
+  std::int64_t n = 0;
+  for (const auto& node : nodes_) n += node.params;
+  return n;
+}
+
+std::int64_t ModelGraph::total_flops() const {
+  std::int64_t n = 0;
+  for (const auto& node : nodes_) n += node.flops;
+  return n;
+}
+
+std::int64_t ModelGraph::max_activation_bytes() const {
+  std::int64_t best = 0;
+  for (const auto& node : nodes_) {
+    best = std::max(best, node.out_shape.numel() * 4);
+  }
+  return best;
+}
+
+void ModelGraph::validate() const {
+  DCNAS_CHECK(!nodes_.empty(), "graph is empty");
+  DCNAS_CHECK(nodes_.front().kind == OpKind::kInput,
+              "first node must be the input");
+  bool has_output = false;
+  for (std::size_t i = 0; i < nodes_.size(); ++i) {
+    const auto& n = nodes_[i];
+    if (n.kind == OpKind::kOutput) has_output = true;
+    for (int in : n.inputs) {
+      DCNAS_CHECK(in >= 0 && in < static_cast<int>(i),
+                  "node " + n.name + " references a non-preceding input");
+    }
+    if (n.kind != OpKind::kInput) {
+      DCNAS_CHECK(!n.inputs.empty(), "non-input node without inputs");
+    }
+  }
+  DCNAS_CHECK(has_output, "graph has no output node");
+}
+
+std::string ModelGraph::to_string() const {
+  std::ostringstream os;
+  for (std::size_t i = 0; i < nodes_.size(); ++i) {
+    const auto& n = nodes_[i];
+    os << i << ": " << op_kind_name(n.kind) << " '" << n.name << "' ";
+    if (n.kind == OpKind::kConv || n.kind == OpKind::kMaxPool) {
+      os << "k=" << n.attrs.kernel << " s=" << n.attrs.stride
+         << " p=" << n.attrs.padding << " ";
+    }
+    os << n.in_shape.to_string() << " -> " << n.out_shape.to_string();
+    if (n.params > 0) os << " params=" << n.params;
+    if (n.flops > 0) os << " flops=" << n.flops;
+    os << "\n";
+  }
+  return os.str();
+}
+
+}  // namespace dcnas::graph

@@ -1,0 +1,251 @@
+#include "dcnas/graph/model_file.hpp"
+
+#include <cstring>
+#include <fstream>
+
+namespace dcnas::graph {
+
+namespace {
+
+constexpr char kMagic[4] = {'D', 'C', 'N', 'X'};
+constexpr std::uint32_t kVersion = 1;
+
+// State-presence flags per node.
+constexpr std::uint8_t kHasConv = 1u << 0;
+constexpr std::uint8_t kHasBias = 1u << 1;
+constexpr std::uint8_t kHasBn = 1u << 2;
+constexpr std::uint8_t kHasLinear = 1u << 3;
+constexpr std::uint8_t kIsIdentity = 1u << 4;
+
+class Writer {
+ public:
+  explicit Writer(std::vector<unsigned char>& out) : out_(out) {}
+  void u8(std::uint8_t v) { out_.push_back(v); }
+  void u16(std::uint16_t v) { raw(&v, sizeof v); }
+  void u32(std::uint32_t v) { raw(&v, sizeof v); }
+  void i32(std::int32_t v) { raw(&v, sizeof v); }
+  void f32s(const Tensor& t) {
+    u32(static_cast<std::uint32_t>(t.numel()));
+    raw(t.data(), static_cast<std::size_t>(t.numel()) * sizeof(float));
+  }
+  void bytes(const std::string& s) {
+    DCNAS_CHECK(s.size() <= 0xFFFF, "node name too long to serialize");
+    u16(static_cast<std::uint16_t>(s.size()));
+    raw(s.data(), s.size());
+  }
+
+ private:
+  void raw(const void* p, std::size_t n) {
+    const auto* c = static_cast<const unsigned char*>(p);
+    out_.insert(out_.end(), c, c + n);
+  }
+  std::vector<unsigned char>& out_;
+};
+
+class Reader {
+ public:
+  explicit Reader(const std::vector<unsigned char>& in) : in_(in) {}
+  std::uint8_t u8() { return *take(1); }
+  std::uint16_t u16() {
+    std::uint16_t v;
+    std::memcpy(&v, take(sizeof v), sizeof v);
+    return v;
+  }
+  std::uint32_t u32() {
+    std::uint32_t v;
+    std::memcpy(&v, take(sizeof v), sizeof v);
+    return v;
+  }
+  std::int32_t i32() {
+    std::int32_t v;
+    std::memcpy(&v, take(sizeof v), sizeof v);
+    return v;
+  }
+  Tensor f32s(std::int64_t expected_numel) {
+    const std::uint32_t n = u32();
+    DCNAS_CHECK(static_cast<std::int64_t>(n) == expected_numel,
+                "model file tensor size mismatch");
+    std::vector<float> values(n);
+    std::memcpy(values.data(), take(n * sizeof(float)), n * sizeof(float));
+    return Tensor::from_values({static_cast<std::int64_t>(n)},
+                               std::move(values));
+  }
+  std::string str() {
+    const std::uint16_t n = u16();
+    const auto* p = take(n);
+    return std::string(reinterpret_cast<const char*>(p), n);
+  }
+  bool exhausted() const { return pos_ == in_.size(); }
+
+ private:
+  const unsigned char* take(std::size_t n) {
+    DCNAS_CHECK(pos_ + n <= in_.size(), "truncated model file");
+    const unsigned char* p = in_.data() + pos_;
+    pos_ += n;
+    return p;
+  }
+  const std::vector<unsigned char>& in_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace
+
+std::vector<unsigned char> serialize_model(const GraphExecutor& executor) {
+  const ModelGraph& g = executor.graph();
+  const auto& states = executor.node_states();
+  const auto& identity = executor.identity_flags();
+  std::vector<unsigned char> out;
+  out.reserve(static_cast<std::size_t>(g.total_params()) * 4 + 4096);
+  Writer w(out);
+  out.insert(out.end(), kMagic, kMagic + 4);
+  w.u32(kVersion);
+  w.u32(static_cast<std::uint32_t>(g.size()));
+  for (std::size_t i = 0; i < g.size(); ++i) {
+    const GraphNode& n = g.nodes()[i];
+    const NodeState& st = states[i];
+    std::uint8_t flags = 0;
+    if (n.kind == OpKind::kConv) flags |= kHasConv;
+    if (n.kind == OpKind::kConv && st.bias) flags |= kHasBias;
+    if (n.kind == OpKind::kBatchNorm) flags |= kHasBn;
+    if (n.kind == OpKind::kLinear) flags |= kHasLinear;
+    if (identity[i]) flags |= kIsIdentity;
+    w.u8(static_cast<std::uint8_t>(n.kind));
+    w.u8(flags);
+    w.bytes(n.name);
+    w.i32(static_cast<std::int32_t>(n.attrs.kernel));
+    w.i32(static_cast<std::int32_t>(n.attrs.stride));
+    w.i32(static_cast<std::int32_t>(n.attrs.padding));
+    for (const ActShape& s : {n.in_shape, n.out_shape}) {
+      w.i32(static_cast<std::int32_t>(s.c));
+      w.i32(static_cast<std::int32_t>(s.h));
+      w.i32(static_cast<std::int32_t>(s.w));
+    }
+    w.u8(static_cast<std::uint8_t>(n.inputs.size()));
+    for (int in : n.inputs) w.i32(in);
+    if (flags & kHasConv) w.f32s(st.conv_weight);
+    if (flags & kHasBias) w.f32s(*st.bias);
+    if (flags & kHasBn) {
+      w.f32s(st.bn_gamma);
+      w.f32s(st.bn_beta);
+      w.f32s(st.bn_mean);
+      w.f32s(st.bn_var);
+    }
+    if (flags & kHasLinear) {
+      w.f32s(st.linear_weight);
+      w.f32s(*st.bias);
+    }
+  }
+  return out;
+}
+
+std::int64_t save_model(const GraphExecutor& executor,
+                        const std::string& path) {
+  const auto bytes = serialize_model(executor);
+  std::ofstream out(path, std::ios::binary);
+  DCNAS_CHECK(out.good(), "cannot open model file for writing: " + path);
+  out.write(reinterpret_cast<const char*>(bytes.data()),
+            static_cast<std::streamsize>(bytes.size()));
+  DCNAS_CHECK(out.good(), "model file write failed: " + path);
+  return static_cast<std::int64_t>(bytes.size());
+}
+
+GraphExecutor parse_model(const std::vector<unsigned char>& bytes) {
+  DCNAS_CHECK(bytes.size() >= 12 && std::memcmp(bytes.data(), kMagic, 4) == 0,
+              "not a DCNX model file");
+  Reader r(bytes);
+  r.u32();  // skip magic (validated above, 4 bytes read as u32)
+  const std::uint32_t version = r.u32();
+  DCNAS_CHECK(version == kVersion, "unsupported model file version");
+  const std::uint32_t count = r.u32();
+
+  ModelGraph g;
+  std::vector<NodeState> states;
+  std::vector<bool> identity;
+  for (std::uint32_t i = 0; i < count; ++i) {
+    const auto kind = static_cast<OpKind>(r.u8());
+    const std::uint8_t flags = r.u8();
+    const std::string name = r.str();
+    OpAttrs attrs;
+    attrs.kernel = r.i32();
+    attrs.stride = r.i32();
+    attrs.padding = r.i32();
+    ActShape in_shape{r.i32(), r.i32(), r.i32()};
+    ActShape out_shape{r.i32(), r.i32(), r.i32()};
+    const std::uint8_t num_inputs = r.u8();
+    std::vector<int> inputs;
+    for (std::uint8_t k = 0; k < num_inputs; ++k) inputs.push_back(r.i32());
+
+    // Rebuild the node through the typed builders so shape inference
+    // re-validates the file's claims.
+    int idx = -1;
+    switch (kind) {
+      case OpKind::kInput:
+        idx = g.add_input(out_shape, name);
+        break;
+      case OpKind::kConv:
+        DCNAS_CHECK(inputs.size() == 1, "conv arity in model file");
+        idx = g.add_conv(inputs[0], out_shape.c, attrs.kernel, attrs.stride,
+                         attrs.padding, name);
+        break;
+      case OpKind::kBatchNorm:
+        idx = g.add_batchnorm(inputs.at(0), name);
+        break;
+      case OpKind::kRelu:
+        idx = g.add_relu(inputs.at(0), name);
+        break;
+      case OpKind::kMaxPool:
+        idx = g.add_maxpool(inputs.at(0), attrs.kernel, attrs.stride,
+                            attrs.padding, name);
+        break;
+      case OpKind::kGlobalAvgPool:
+        idx = g.add_global_avgpool(inputs.at(0), name);
+        break;
+      case OpKind::kAdd:
+        DCNAS_CHECK(inputs.size() == 2, "add arity in model file");
+        idx = g.add_add(inputs[0], inputs[1], name);
+        break;
+      case OpKind::kLinear:
+        idx = g.add_linear(inputs.at(0), out_shape.c, name);
+        break;
+      case OpKind::kOutput:
+        idx = g.add_output(inputs.at(0), name);
+        break;
+    }
+    DCNAS_CHECK(idx == static_cast<int>(i), "model file node order corrupt");
+    DCNAS_CHECK(g.node(idx).out_shape == out_shape &&
+                    g.node(idx).in_shape == in_shape,
+                "model file shape inconsistent with op semantics");
+
+    NodeState st;
+    if (flags & kHasConv) {
+      st.conv_weight =
+          r.f32s(out_shape.c * in_shape.c * attrs.kernel * attrs.kernel);
+    }
+    if (flags & kHasBias) st.bias = r.f32s(out_shape.c);
+    if (flags & kHasBn) {
+      st.bn_gamma = r.f32s(out_shape.c);
+      st.bn_beta = r.f32s(out_shape.c);
+      st.bn_mean = r.f32s(out_shape.c);
+      st.bn_var = r.f32s(out_shape.c);
+    }
+    if (flags & kHasLinear) {
+      st.linear_weight = r.f32s(in_shape.numel() * out_shape.c);
+      st.bias = r.f32s(out_shape.c);
+    }
+    states.push_back(std::move(st));
+    identity.push_back((flags & kIsIdentity) != 0);
+  }
+  DCNAS_CHECK(r.exhausted(), "trailing bytes in model file");
+  return GraphExecutor::from_state(std::move(g), std::move(states),
+                                   std::move(identity));
+}
+
+GraphExecutor load_model(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  DCNAS_CHECK(in.good(), "cannot open model file: " + path);
+  std::vector<unsigned char> bytes(
+      (std::istreambuf_iterator<char>(in)), std::istreambuf_iterator<char>());
+  return parse_model(bytes);
+}
+
+}  // namespace dcnas::graph

@@ -1,0 +1,30 @@
+#include "dcnas/graph/serialize.hpp"
+
+namespace dcnas::graph {
+
+namespace {
+// Protobuf-ish structural overheads; small next to fp32 initializers.
+constexpr std::int64_t kHeaderBytes = 288;
+constexpr std::int64_t kPerNodeBytes = 48;
+constexpr std::int64_t kPerInitializerBytes = 32;
+}  // namespace
+
+SizeBreakdown serialized_size(const ModelGraph& graph) {
+  SizeBreakdown s;
+  s.header_bytes = kHeaderBytes;
+  for (const auto& node : graph.nodes()) {
+    s.structure_bytes +=
+        kPerNodeBytes + static_cast<std::int64_t>(node.name.size());
+    if (node.params > 0) {
+      s.initializer_bytes += 4 * node.params;
+      s.structure_bytes += kPerInitializerBytes;
+    }
+  }
+  return s;
+}
+
+double model_memory_mb(const ModelGraph& graph) {
+  return serialized_size(graph).total_mb();
+}
+
+}  // namespace dcnas::graph

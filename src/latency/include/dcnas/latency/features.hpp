@@ -1,0 +1,27 @@
+#pragma once
+/// \file features.hpp
+/// \brief Kernel feature extraction and random kernel sampling for
+/// predictor training — nn-Meter's "adaptive data sampling" analogue.
+
+#include <vector>
+
+#include "dcnas/common/rng.hpp"
+#include "dcnas/graph/fusion.hpp"
+
+namespace dcnas::latency {
+
+/// Number of scalar features per kernel.
+inline constexpr std::size_t kNumKernelFeatures = 10;
+
+/// Feature vector for one fused kernel:
+/// [c_in, c_out, h_in, h_out, kernel, stride, log2(flops), log2(bytes),
+///  out_hw, weight_kb]. Per-kind forests mean no kind indicator is needed.
+std::vector<double> kernel_features(const graph::FusedKernel& kernel);
+
+/// Draws one random kernel of the given kind with realistic CNN shapes
+/// (log-uniform channels in [3, 512], spatial sizes in [7, 224], kernels
+/// in {1,2,3,5,7}, strides in {1,2}). Used to build the training corpus
+/// fed to the device simulator.
+graph::FusedKernel sample_kernel(graph::KernelKind kind, Rng& rng);
+
+}  // namespace dcnas::latency

@@ -1,0 +1,83 @@
+#pragma once
+/// \file forest.hpp
+/// \brief CART regression trees and bagged random forests — the regressor
+/// family nn-Meter uses for per-kernel latency prediction.
+
+#include <cstdint>
+#include <vector>
+
+#include "dcnas/common/rng.hpp"
+
+namespace dcnas::latency {
+
+/// Row-major feature matrix: samples x features.
+struct Dataset2d {
+  std::vector<std::vector<double>> x;
+  std::vector<double> y;
+
+  std::size_t size() const { return x.size(); }
+  std::size_t num_features() const { return x.empty() ? 0 : x[0].size(); }
+};
+
+struct TreeOptions {
+  int max_depth = 14;
+  int min_samples_leaf = 2;
+  /// Fraction of features considered per split (random-forest style);
+  /// 1.0 = plain CART.
+  double feature_fraction = 1.0;
+};
+
+/// Greedy variance-reduction CART regression tree.
+class RegressionTree {
+ public:
+  struct Node {
+    int feature = -1;       ///< -1 for leaves
+    double threshold = 0.0;
+    int left = -1, right = -1;
+    double value = 0.0;     ///< leaf mean
+  };
+
+  void fit(const Dataset2d& data, const std::vector<std::size_t>& sample_idx,
+           const TreeOptions& options, Rng& rng);
+  double predict(const std::vector<double>& features) const;
+  bool trained() const { return !nodes_.empty(); }
+  std::size_t node_count() const { return nodes_.size(); }
+
+  /// Serialization access (persistence.hpp). from_nodes validates the
+  /// topology (child indices in range, leaves have no children).
+  const std::vector<Node>& nodes() const { return nodes_; }
+  static RegressionTree from_nodes(std::vector<Node> nodes);
+
+ private:
+
+  int build(const Dataset2d& data, std::vector<std::size_t>& idx,
+            std::size_t begin, std::size_t end, int depth,
+            const TreeOptions& options, Rng& rng);
+
+  std::vector<Node> nodes_;
+};
+
+struct ForestOptions {
+  int num_trees = 16;
+  TreeOptions tree;
+  double bootstrap_fraction = 1.0;
+  std::uint64_t seed = 0x5eedf00dULL;
+};
+
+/// Bagged ensemble of CART trees; prediction is the tree mean.
+class RandomForest {
+ public:
+  void fit(const Dataset2d& data, const ForestOptions& options);
+  double predict(const std::vector<double>& features) const;
+  bool trained() const { return !trees_.empty(); }
+  std::size_t num_trees() const { return trees_.size(); }
+
+  /// Serialization access (persistence.hpp).
+  const std::vector<RegressionTree>& trees() const { return trees_; }
+  static RandomForest from_trees(std::vector<RegressionTree> trees);
+
+ private:
+  std::vector<RegressionTree> trees_;
+};
+
+}  // namespace dcnas::latency

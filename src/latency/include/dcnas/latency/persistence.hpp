@@ -1,0 +1,30 @@
+#pragma once
+/// \file persistence.hpp
+/// \brief Trained-predictor serialization ("DCLP" format).
+///
+/// nn-Meter distributes its device predictors as downloadable files so
+/// users never re-measure hardware; this module gives dcnas the same
+/// property: train once, save, and ship the four predictors. The format
+/// stores every per-kernel-kind random forest (tree topology + thresholds
+/// as fp64) plus the device spec the predictor was trained for.
+
+#include <string>
+#include <vector>
+
+#include "dcnas/latency/predictor.hpp"
+
+namespace dcnas::latency {
+
+/// Serializes a trained predictor (device spec + all forests).
+std::vector<unsigned char> serialize_predictor(
+    const LatencyPredictor& predictor);
+
+/// Reconstructs a predictor; throws InvalidArgument on malformed bytes.
+LatencyPredictor parse_predictor(const std::vector<unsigned char>& bytes);
+
+/// File round-trip helpers; save returns the byte count written.
+std::int64_t save_predictor(const LatencyPredictor& predictor,
+                            const std::string& path);
+LatencyPredictor load_predictor(const std::string& path);
+
+}  // namespace dcnas::latency

@@ -1,0 +1,103 @@
+#pragma once
+/// \file predictor.hpp
+/// \brief nn-Meter-equivalent latency predictors.
+///
+/// One LatencyPredictor per device: a bank of per-kernel-kind random-forest
+/// regressors trained on (sampled kernel -> simulated latency) pairs. Model
+/// latency is the sum of predicted kernel latencies over the fused graph.
+/// The NnMeter facade bundles the paper's four predictors and produces the
+/// mean/std statistics used in Tables 3-5.
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "dcnas/graph/builder.hpp"
+#include "dcnas/graph/fusion.hpp"
+#include "dcnas/latency/device.hpp"
+#include "dcnas/latency/forest.hpp"
+
+namespace dcnas::latency {
+
+struct PredictorTrainOptions {
+  int samples_per_kind = 1400;
+  ForestOptions forest;
+  std::uint64_t seed = 20231112;  ///< SC-W'23 opening day
+};
+
+/// Latency predictor for one device (one row of Table 2).
+class LatencyPredictor {
+ public:
+  explicit LatencyPredictor(DeviceSpec device);
+
+  /// Samples kernels, simulates them on the device, and fits the forests.
+  void train(const PredictorTrainOptions& options);
+  bool trained() const { return !forests_.empty(); }
+
+  double predict_kernel_ms(const graph::FusedKernel& kernel) const;
+  double predict_model_ms(const std::vector<graph::FusedKernel>& kernels) const;
+
+  /// Held-out predictor quality — the "±10% Accuracy" column of Table 2.
+  struct Accuracy {
+    double hit_rate_10pct = 0.0;  ///< fraction within ±10% of ground truth
+    double rmspe = 0.0;
+    std::size_t num_samples = 0;
+  };
+  /// Evaluates on freshly sampled kernels (disjoint stream from training).
+  Accuracy evaluate_kernel_level(int samples_per_kind,
+                                 std::uint64_t seed) const;
+
+  const DeviceSpec& device() const { return device_; }
+
+  /// Serialization access (persistence.hpp).
+  const std::map<graph::KernelKind, RandomForest>& forests() const {
+    return forests_;
+  }
+  static LatencyPredictor from_forests(
+      DeviceSpec device, std::map<graph::KernelKind, RandomForest> forests);
+
+  /// Spec-sheet roofline prior: flops over nominal throughput vs bytes over
+  /// nominal bandwidth, plus dispatch overhead, at a fixed mid utilization.
+  /// The forests regress the *residual* log(measured / prior), which keeps
+  /// the learning problem bounded even though kernel latencies span five
+  /// orders of magnitude (nn-Meter attacks the same problem with much
+  /// larger adaptive sampling budgets).
+  double prior_ms(const graph::FusedKernel& kernel) const;
+
+ private:
+  DeviceSpec device_;
+  std::map<graph::KernelKind, RandomForest> forests_;
+};
+
+/// Prediction for one model across all four device predictors.
+struct ModelLatencyPrediction {
+  std::vector<std::pair<std::string, double>> per_device_ms;
+  double mean_ms = 0.0;  ///< the paper's 'latency' column
+  double std_ms = 0.0;   ///< the paper's 'lat_std' column (sample stddev)
+};
+
+/// The four-predictor bundle (cortexA76cpu, adreno640gpu, adreno630gpu,
+/// myriadvpu), mirroring "nn-meter employs all four predictors to forecast
+/// latency values ... the average latency value is derived" (§3.3).
+class NnMeter {
+ public:
+  explicit NnMeter(const PredictorTrainOptions& options = {});
+
+  /// Lazily trained process-wide instance with default options. Training
+  /// takes a few seconds; benches and the pipeline share this.
+  static const NnMeter& shared();
+
+  ModelLatencyPrediction predict_graph(const graph::ModelGraph& graph) const;
+  ModelLatencyPrediction predict_kernels(
+      const std::vector<graph::FusedKernel>& kernels) const;
+
+  const LatencyPredictor& predictor(const std::string& device_name) const;
+  const std::vector<LatencyPredictor>& predictors() const {
+    return predictors_;
+  }
+
+ private:
+  std::vector<LatencyPredictor> predictors_;
+};
+
+}  // namespace dcnas::latency

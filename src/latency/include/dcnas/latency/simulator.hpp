@@ -1,0 +1,31 @@
+#pragma once
+/// \file simulator.hpp
+/// \brief Kernel-level device simulator — the reproduction's stand-in for
+/// latency *measurement* on physical phones/VPUs.
+///
+/// nn-Meter's pipeline is: measure thousands of kernels on the device, fit
+/// per-kernel-type regressors, then predict whole models. We keep that
+/// architecture but replace the physical measurement with this simulator.
+/// The simulator is deliberately *not* a simple analytic function of the
+/// predictor's features: tile quantization, utilization saturation, shape
+/// keyed jitter, and VPU fallback cliffs make it non-trivially learnable,
+/// so Table 2's predictor-accuracy experiment is a genuine generalization
+/// test rather than a tautology.
+
+#include <vector>
+
+#include "dcnas/graph/fusion.hpp"
+#include "dcnas/latency/device.hpp"
+
+namespace dcnas::latency {
+
+/// Ground-truth latency of one fused kernel on \p device, in milliseconds.
+double simulate_kernel_ms(const DeviceSpec& device,
+                          const graph::FusedKernel& kernel);
+
+/// Ground-truth latency of a whole kernel sequence (sum of kernels; edge
+/// runtimes execute graphs serially).
+double simulate_model_ms(const DeviceSpec& device,
+                         const std::vector<graph::FusedKernel>& kernels);
+
+}  // namespace dcnas::latency

@@ -1,0 +1,91 @@
+#include "dcnas/latency/device.hpp"
+
+#include "dcnas/common/error.hpp"
+
+namespace dcnas::latency {
+
+const std::vector<DeviceSpec>& edge_device_zoo() {
+  // Throughput/bandwidth figures are calibrated so that stock ResNet-18 at
+  // 224x224 lands near the paper's Table 5 latencies (mean ~32 ms across
+  // the four predictors with std ~20 ms, the VPU being ~2.5-3x slower than
+  // the mobile GPUs). See tests/latency/calibration_test.cpp.
+  static const std::vector<DeviceSpec> zoo = [] {
+    std::vector<DeviceSpec> v;
+    {
+      DeviceSpec d;
+      d.name = "cortexA76cpu";
+      d.device_label = "Pixel4";
+      d.framework = "TFLite v2.1";
+      d.processor = "CortexA76 CPU";
+      d.peak_gflops = 110.0;
+      d.mem_bw_gbps = 16.0;
+      d.launch_overhead_ms = 0.03;
+      d.util_small = 0.45;
+      d.util_large = 0.85;
+      d.flops_half_util = 6e6;
+      d.simd_lanes = 4;
+      d.jitter_amp = 0.02;
+      v.push_back(d);
+    }
+    {
+      DeviceSpec d;
+      d.name = "adreno640gpu";
+      d.device_label = "Mi9";
+      d.framework = "TFLite v2.1";
+      d.processor = "Adreno 640 GPU";
+      d.peak_gflops = 200.0;
+      d.mem_bw_gbps = 34.0;
+      d.launch_overhead_ms = 0.07;
+      d.util_small = 0.35;
+      d.util_large = 0.7;
+      d.flops_half_util = 8e6;
+      d.simd_lanes = 8;
+      d.jitter_amp = 0.02;
+      v.push_back(d);
+    }
+    {
+      DeviceSpec d;
+      d.name = "adreno630gpu";
+      d.device_label = "Pixel3XL";
+      d.framework = "TFLite v2.1";
+      d.processor = "Adreno 630 GPU";
+      d.peak_gflops = 165.0;
+      d.mem_bw_gbps = 28.0;
+      d.launch_overhead_ms = 0.075;
+      d.util_small = 0.34;
+      d.util_large = 0.68;
+      d.flops_half_util = 8e6;
+      d.simd_lanes = 8;
+      d.jitter_amp = 0.02;
+      v.push_back(d);
+    }
+    {
+      DeviceSpec d;
+      d.name = "myriadvpu";
+      d.device_label = "Intel Movidius NCS2";
+      d.framework = "OpenVINO2019R2";
+      d.processor = "Myriad VPU";
+      d.peak_gflops = 55.0;
+      d.mem_bw_gbps = 6.5;
+      d.launch_overhead_ms = 0.15;
+      d.util_small = 0.45;
+      d.util_large = 0.82;
+      d.flops_half_util = 5e6;
+      d.simd_lanes = 16;
+      d.jitter_amp = 0.05;
+      d.vpu_mode_switches = true;
+      v.push_back(d);
+    }
+    return v;
+  }();
+  return zoo;
+}
+
+const DeviceSpec& device_by_name(const std::string& name) {
+  for (const auto& d : edge_device_zoo()) {
+    if (d.name == name) return d;
+  }
+  throw InvalidArgument("unknown device predictor: " + name);
+}
+
+}  // namespace dcnas::latency

@@ -1,0 +1,130 @@
+#include "dcnas/latency/features.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "dcnas/tensor/im2col.hpp"
+
+namespace dcnas::latency {
+
+using graph::ActShape;
+using graph::FusedKernel;
+using graph::KernelKind;
+
+std::vector<double> kernel_features(const FusedKernel& k) {
+  std::vector<double> f(kNumKernelFeatures);
+  f[0] = static_cast<double>(k.in_shape.c);
+  f[1] = static_cast<double>(k.out_shape.c);
+  f[2] = static_cast<double>(k.in_shape.h);
+  f[3] = static_cast<double>(k.out_shape.h);
+  f[4] = static_cast<double>(k.attrs.kernel);
+  f[5] = static_cast<double>(k.attrs.stride);
+  f[6] = std::log2(static_cast<double>(std::max<std::int64_t>(k.flops, 1)));
+  f[7] = std::log2(static_cast<double>(std::max<std::int64_t>(k.total_bytes(), 1)));
+  f[8] = static_cast<double>(k.out_shape.h * k.out_shape.w);
+  f[9] = static_cast<double>(k.weight_bytes()) / 1024.0;
+  return f;
+}
+
+namespace {
+
+std::int64_t log_uniform_int(Rng& rng, std::int64_t lo, std::int64_t hi) {
+  const double u = rng.uniform(std::log(static_cast<double>(lo)),
+                               std::log(static_cast<double>(hi) + 1.0));
+  return std::clamp<std::int64_t>(
+      static_cast<std::int64_t>(std::exp(u)), lo, hi);
+}
+
+bool is_conv_kind(KernelKind kind) {
+  return kind == KernelKind::kConvBnRelu || kind == KernelKind::kConvBn ||
+         kind == KernelKind::kConvRelu || kind == KernelKind::kConv;
+}
+
+}  // namespace
+
+FusedKernel sample_kernel(KernelKind kind, Rng& rng) {
+  FusedKernel k;
+  k.kind = kind;
+  k.name = "sample";
+  if (is_conv_kind(kind)) {
+    const std::int64_t cin = log_uniform_int(rng, 3, 512);
+    const std::int64_t cout = log_uniform_int(rng, 8, 512);
+    const std::int64_t hw = log_uniform_int(rng, 7, 224);
+    static constexpr std::int64_t kernels[] = {1, 3, 5, 7};
+    const std::int64_t ks = kernels[rng.uniform_int(0, 3)];
+    const std::int64_t stride = rng.uniform_int(1, 2);
+    const std::int64_t pad = ks / 2;
+    if (hw + 2 * pad < ks) return sample_kernel(kind, rng);  // retry tiny
+    k.in_shape = {cin, hw, hw};
+    const std::int64_t out_hw = conv_out_size(hw, ks, stride, pad);
+    k.out_shape = {cout, out_hw, out_hw};
+    k.attrs = {ks, stride, pad};
+    k.params = cout * cin * ks * ks;
+    k.flops = 2 * k.params * out_hw * out_hw;
+    if (kind == KernelKind::kConvBnRelu || kind == KernelKind::kConvRelu) {
+      k.flops += k.out_shape.numel();
+    }
+    if (kind == KernelKind::kConvBnRelu || kind == KernelKind::kConvBn) {
+      k.params += 4 * cout;
+    }
+    return k;
+  }
+  switch (kind) {
+    case KernelKind::kMaxPool: {
+      const std::int64_t c = log_uniform_int(rng, 8, 512);
+      const std::int64_t hw = log_uniform_int(rng, 8, 224);
+      const std::int64_t ks = rng.uniform_int(2, 3);
+      const std::int64_t stride = rng.uniform_int(1, 2);
+      const std::int64_t pad = (ks - 1) / 2;
+      k.in_shape = {c, hw, hw};
+      const std::int64_t out_hw = conv_out_size(hw, ks, stride, pad);
+      k.out_shape = {c, out_hw, out_hw};
+      k.attrs = {ks, stride, pad};
+      k.flops = ks * ks * k.out_shape.numel();
+      return k;
+    }
+    case KernelKind::kAdd:
+    case KernelKind::kAddRelu: {
+      const std::int64_t c = log_uniform_int(rng, 8, 512);
+      const std::int64_t hw = log_uniform_int(rng, 7, 112);
+      k.in_shape = {c, hw, hw};
+      k.out_shape = k.in_shape;
+      k.flops = k.out_shape.numel() *
+                (kind == KernelKind::kAddRelu ? 2 : 1);
+      return k;
+    }
+    case KernelKind::kRelu:
+    case KernelKind::kBatchNorm: {
+      const std::int64_t c = log_uniform_int(rng, 8, 512);
+      const std::int64_t hw = log_uniform_int(rng, 7, 112);
+      k.in_shape = {c, hw, hw};
+      k.out_shape = k.in_shape;
+      k.flops = k.out_shape.numel() *
+                (kind == KernelKind::kBatchNorm ? 2 : 1);
+      if (kind == KernelKind::kBatchNorm) k.params = 4 * c;
+      return k;
+    }
+    case KernelKind::kGlobalAvgPool: {
+      const std::int64_t c = log_uniform_int(rng, 8, 1024);
+      const std::int64_t hw = log_uniform_int(rng, 2, 112);
+      k.in_shape = {c, hw, hw};
+      k.out_shape = {c, 1, 1};
+      k.flops = k.in_shape.numel();
+      return k;
+    }
+    case KernelKind::kLinear: {
+      const std::int64_t in = log_uniform_int(rng, 32, 4096);
+      const std::int64_t out = log_uniform_int(rng, 2, 1024);
+      k.in_shape = {in, 1, 1};
+      k.out_shape = {out, 1, 1};
+      k.params = in * out + out;
+      k.flops = 2 * in * out;
+      return k;
+    }
+    default:
+      break;
+  }
+  throw InvalidArgument("sample_kernel: unsupported kind");
+}
+
+}  // namespace dcnas::latency

@@ -1,0 +1,194 @@
+#include "dcnas/latency/forest.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <numeric>
+
+#include "dcnas/common/error.hpp"
+
+namespace dcnas::latency {
+
+namespace {
+
+double mean_of(const Dataset2d& data, const std::vector<std::size_t>& idx,
+               std::size_t begin, std::size_t end) {
+  double s = 0.0;
+  for (std::size_t i = begin; i < end; ++i) s += data.y[idx[i]];
+  return s / static_cast<double>(end - begin);
+}
+
+}  // namespace
+
+int RegressionTree::build(const Dataset2d& data,
+                          std::vector<std::size_t>& idx, std::size_t begin,
+                          std::size_t end, int depth,
+                          const TreeOptions& options, Rng& rng) {
+  const std::size_t n = end - begin;
+  Node node;
+  node.value = mean_of(data, idx, begin, end);
+  const int node_id = static_cast<int>(nodes_.size());
+  nodes_.push_back(node);
+
+  if (depth >= options.max_depth ||
+      n < 2 * static_cast<std::size_t>(options.min_samples_leaf)) {
+    return node_id;
+  }
+
+  // Find the best (feature, threshold) by SSE reduction.
+  const std::size_t num_features = data.num_features();
+  double best_gain = 1e-12;
+  int best_feature = -1;
+  double best_threshold = 0.0;
+
+  double total_sum = 0.0, total_sumsq = 0.0;
+  for (std::size_t i = begin; i < end; ++i) {
+    const double y = data.y[idx[i]];
+    total_sum += y;
+    total_sumsq += y * y;
+  }
+  const double parent_sse =
+      total_sumsq - total_sum * total_sum / static_cast<double>(n);
+
+  std::vector<std::size_t> order(idx.begin() + static_cast<std::ptrdiff_t>(begin),
+                                 idx.begin() + static_cast<std::ptrdiff_t>(end));
+  for (std::size_t f = 0; f < num_features; ++f) {
+    if (options.feature_fraction < 1.0 &&
+        rng.uniform() > options.feature_fraction) {
+      continue;
+    }
+    std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+      return data.x[a][f] < data.x[b][f];
+    });
+    double left_sum = 0.0, left_sumsq = 0.0;
+    for (std::size_t i = 0; i + 1 < n; ++i) {
+      const double y = data.y[order[i]];
+      left_sum += y;
+      left_sumsq += y * y;
+      const double xv = data.x[order[i]][f];
+      const double xn = data.x[order[i + 1]][f];
+      if (xv == xn) continue;  // can't split between equal values
+      const auto nl = static_cast<double>(i + 1);
+      const auto nr = static_cast<double>(n - i - 1);
+      if (nl < options.min_samples_leaf || nr < options.min_samples_leaf)
+        continue;
+      const double right_sum = total_sum - left_sum;
+      const double right_sumsq = total_sumsq - left_sumsq;
+      const double sse = (left_sumsq - left_sum * left_sum / nl) +
+                         (right_sumsq - right_sum * right_sum / nr);
+      const double gain = parent_sse - sse;
+      if (gain > best_gain) {
+        best_gain = gain;
+        best_feature = static_cast<int>(f);
+        best_threshold = 0.5 * (xv + xn);
+      }
+    }
+  }
+
+  if (best_feature < 0) return node_id;
+
+  // Partition idx[begin, end) in place.
+  const auto mid_it = std::partition(
+      idx.begin() + static_cast<std::ptrdiff_t>(begin),
+      idx.begin() + static_cast<std::ptrdiff_t>(end), [&](std::size_t s) {
+        return data.x[s][static_cast<std::size_t>(best_feature)] <=
+               best_threshold;
+      });
+  const auto mid = static_cast<std::size_t>(mid_it - idx.begin());
+  DCNAS_ASSERT(mid > begin && mid < end, "degenerate CART partition");
+
+  const int left = build(data, idx, begin, mid, depth + 1, options, rng);
+  const int right = build(data, idx, mid, end, depth + 1, options, rng);
+  nodes_[static_cast<std::size_t>(node_id)].feature = best_feature;
+  nodes_[static_cast<std::size_t>(node_id)].threshold = best_threshold;
+  nodes_[static_cast<std::size_t>(node_id)].left = left;
+  nodes_[static_cast<std::size_t>(node_id)].right = right;
+  return node_id;
+}
+
+void RegressionTree::fit(const Dataset2d& data,
+                         const std::vector<std::size_t>& sample_idx,
+                         const TreeOptions& options, Rng& rng) {
+  DCNAS_CHECK(!sample_idx.empty(), "tree fit requires samples");
+  DCNAS_CHECK(data.x.size() == data.y.size(), "dataset x/y size mismatch");
+  nodes_.clear();
+  std::vector<std::size_t> idx = sample_idx;
+  build(data, idx, 0, idx.size(), 0, options, rng);
+}
+
+double RegressionTree::predict(const std::vector<double>& features) const {
+  DCNAS_CHECK(trained(), "predict on untrained tree");
+  int cur = 0;
+  for (;;) {
+    const Node& n = nodes_[static_cast<std::size_t>(cur)];
+    if (n.feature < 0) return n.value;
+    DCNAS_CHECK(static_cast<std::size_t>(n.feature) < features.size(),
+                "feature vector too short for this tree");
+    cur = (features[static_cast<std::size_t>(n.feature)] <= n.threshold)
+              ? n.left
+              : n.right;
+  }
+}
+
+RegressionTree RegressionTree::from_nodes(std::vector<Node> nodes) {
+  DCNAS_CHECK(!nodes.empty(), "tree must have at least one node");
+  const auto n = static_cast<int>(nodes.size());
+  for (const Node& node : nodes) {
+    if (node.feature < 0) {
+      DCNAS_CHECK(node.left == -1 && node.right == -1,
+                  "leaf node with children");
+    } else {
+      DCNAS_CHECK(node.left >= 0 && node.left < n && node.right >= 0 &&
+                      node.right < n,
+                  "tree child index out of range");
+    }
+  }
+  RegressionTree t;
+  t.nodes_ = std::move(nodes);
+  return t;
+}
+
+RandomForest RandomForest::from_trees(std::vector<RegressionTree> trees) {
+  DCNAS_CHECK(!trees.empty(), "forest must have at least one tree");
+  for (const auto& t : trees) {
+    DCNAS_CHECK(t.trained(), "forest tree is untrained");
+  }
+  RandomForest f;
+  f.trees_ = std::move(trees);
+  return f;
+}
+
+void RandomForest::fit(const Dataset2d& data, const ForestOptions& options) {
+  DCNAS_CHECK(options.num_trees > 0, "forest needs at least one tree");
+  DCNAS_CHECK(!data.x.empty(), "forest fit requires samples");
+  DCNAS_CHECK(data.x.size() == data.y.size(), "dataset x/y size mismatch");
+  for (const auto& row : data.x) {
+    DCNAS_CHECK(row.size() == data.num_features(),
+                "ragged feature matrix");
+  }
+  trees_.assign(static_cast<std::size_t>(options.num_trees),
+                RegressionTree{});
+  Rng root(options.seed);
+  const auto n = data.size();
+  const auto boot =
+      static_cast<std::size_t>(std::max<double>(1.0, options.bootstrap_fraction *
+                                                         static_cast<double>(n)));
+  for (std::size_t t = 0; t < trees_.size(); ++t) {
+    Rng rng = root.fork(t);
+    std::vector<std::size_t> sample(boot);
+    for (auto& s : sample) {
+      s = static_cast<std::size_t>(
+          rng.uniform_int(0, static_cast<std::int64_t>(n) - 1));
+    }
+    trees_[t].fit(data, sample, options.tree, rng);
+  }
+}
+
+double RandomForest::predict(const std::vector<double>& features) const {
+  DCNAS_CHECK(trained(), "predict on untrained forest");
+  double s = 0.0;
+  for (const auto& t : trees_) s += t.predict(features);
+  return s / static_cast<double>(trees_.size());
+}
+
+}  // namespace dcnas::latency

@@ -1,0 +1,102 @@
+#pragma once
+/// \file search_space.hpp
+/// \brief The paper's NAS search space (Figure 2).
+///
+/// Architecture dimensions (per input-data combination):
+///   conv1 kernel {3, 7} x stride {1, 2} x padding {1, 2, 3}
+///   x pool_choice {0 = with max-pool, 1 = no pooling}
+///   x pool kernel {2, 3} x pool stride {1, 2}
+///   x initial output feature (stage width) {32, 48, 64}
+/// = 2*2*3 * 2*2*2 * 3 = 288 lattice points, matching §3.2's "288 distinct
+/// model configurations for every combination of input data". With the six
+/// input combinations (channels {5, 7} x batch {8, 16, 32}) the full
+/// lattice is 1,728 trials; the paper reports 1,717 valid outcomes.
+///
+/// pool_choice semantics: Table 4's latencies identify pool_choice=0 as
+/// *with* pooling (fast, extra downsampling) and 1 as *without* (see
+/// DESIGN.md §4); when pool_choice=1 the pool kernel/stride are don't-care
+/// dimensions, so 144 no-pool lattice points collapse onto 36 unique
+/// architectures per combination (180 unique total).
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "dcnas/nn/resnet.hpp"
+
+namespace dcnas::nas {
+
+/// One lattice point: input combination + architecture knobs. Field names
+/// follow Table 4's column names.
+struct TrialConfig {
+  int channels = 5;                 ///< {5, 7}
+  int batch = 8;                    ///< {8, 16, 32}
+  int kernel_size = 7;              ///< conv1 kernel {3, 7}
+  int stride = 2;                   ///< conv1 stride {1, 2}
+  int padding = 3;                  ///< conv1 padding {1, 2, 3}
+  int pool_choice = 0;              ///< 0 = with max-pool, 1 = no pooling
+  int kernel_size_pool = 3;         ///< {2, 3}; don't-care when no pool
+  int stride_pool = 2;              ///< {1, 2}; don't-care when no pool
+  int initial_output_feature = 64;  ///< {32, 48, 64}
+
+  bool with_pool() const { return pool_choice == 0; }
+
+  /// Stem downsampling factor: conv1 stride x (pool stride when pooled).
+  int stem_downsample() const {
+    return stride * (with_pool() ? stride_pool : 1);
+  }
+
+  /// Converts to the model-builder config (classes fixed at 2).
+  nn::ResNetConfig to_resnet_config() const;
+
+  /// Stock ResNet-18 for a given input combination (Table 5 rows).
+  static TrialConfig baseline(int channels, int batch);
+
+  /// Throws InvalidArgument when any field is outside the search space.
+  void validate() const;
+
+  /// Unique key of the *architecture* (pool don't-cares canonicalized,
+  /// batch excluded): lattice points sharing this key train the same net.
+  std::string canonical_arch_key() const;
+
+  /// Unique key of the lattice point itself (all fields).
+  std::string lattice_key() const;
+
+  /// Deterministic 64-bit encoding of the lattice point (oracle noise key).
+  std::uint64_t encode() const;
+
+  std::string to_string() const;
+};
+
+/// Enumeration helpers over the Figure 2 space.
+class SearchSpace {
+ public:
+  static const std::vector<int>& channel_options();
+  static const std::vector<int>& batch_options();
+  static const std::vector<int>& kernel_options();
+  static const std::vector<int>& stride_options();
+  static const std::vector<int>& padding_options();
+  static const std::vector<int>& pool_choice_options();
+  static const std::vector<int>& pool_kernel_options();
+  static const std::vector<int>& pool_stride_options();
+  static const std::vector<int>& width_options();
+
+  /// The 288 architecture lattice points for one (channels, batch) combo.
+  static std::vector<TrialConfig> enumerate_architectures(int channels,
+                                                          int batch);
+
+  /// All 1,728 lattice points (6 input combinations x 288).
+  static std::vector<TrialConfig> enumerate_all();
+
+  static std::int64_t lattice_size();            ///< 1728
+  static std::int64_t architectures_per_combo(); ///< 288
+
+  /// Number of distinct architectures after no-pool canonicalization
+  /// (per combo: 144 pooled + 36 unpooled = 180).
+  static std::int64_t unique_architectures_per_combo();
+
+  /// Uniformly samples one lattice point.
+  static TrialConfig sample(Rng& rng, int channels, int batch);
+};
+
+}  // namespace dcnas::nas

@@ -1,0 +1,73 @@
+#include "dcnas/nas/evaluator.hpp"
+
+#include "dcnas/common/stats.hpp"
+#include "dcnas/geodata/kfold.hpp"
+#include "dcnas/nn/trainer.hpp"
+
+namespace dcnas::nas {
+
+OracleEvaluator::OracleEvaluator(const OracleOptions& options)
+    : oracle_(options) {}
+
+EvalResult OracleEvaluator::evaluate(const TrialConfig& config) {
+  EvalResult r;
+  r.fold_accuracies = oracle_.fold_accuracies(config);
+  r.mean_accuracy = mean(r.fold_accuracies);
+  return r;
+}
+
+TrainingEvaluator::TrainingEvaluator(const geodata::DrainageDataset& dataset5,
+                                     const geodata::DrainageDataset& dataset7,
+                                     const Options& options)
+    : dataset5_(dataset5), dataset7_(dataset7), options_(options) {
+  DCNAS_CHECK(dataset5_.channels == 5 && dataset7_.channels == 7,
+              "TrainingEvaluator needs the 5- and 7-channel datasets");
+  DCNAS_CHECK(options_.folds >= 2, "cross-validation needs >= 2 folds");
+  DCNAS_CHECK(options_.epochs >= 1, "training needs >= 1 epoch");
+}
+
+EvalResult TrainingEvaluator::evaluate(const TrialConfig& config) {
+  config.validate();
+  const geodata::DrainageDataset& ds =
+      (config.channels == 5) ? dataset5_ : dataset7_;
+  DCNAS_CHECK(ds.size() >= 2 * options_.folds,
+              "dataset too small for the requested fold count");
+
+  const auto splits =
+      geodata::stratified_kfold(ds.labels, options_.folds, options_.seed);
+  EvalResult result;
+  for (std::size_t f = 0; f < splits.size(); ++f) {
+    // Fresh weights per fold, seeded by (trial, fold) for reproducibility.
+    Rng init_rng(mix_seed(options_.seed ^ config.encode(), f));
+    nn::ConfigurableResNet model(config.to_resnet_config(), init_rng);
+
+    const Tensor train_x = nn::gather_batch(ds.images, splits[f].train_indices);
+    std::vector<int> train_y;
+    train_y.reserve(splits[f].train_indices.size());
+    for (auto i : splits[f].train_indices) {
+      train_y.push_back(ds.labels[static_cast<std::size_t>(i)]);
+    }
+    const Tensor val_x = nn::gather_batch(ds.images, splits[f].val_indices);
+    std::vector<int> val_y;
+    val_y.reserve(splits[f].val_indices.size());
+    for (auto i : splits[f].val_indices) {
+      val_y.push_back(ds.labels[static_cast<std::size_t>(i)]);
+    }
+
+    nn::TrainOptions topt;
+    topt.epochs = options_.epochs;
+    topt.batch_size = config.batch;
+    topt.lr = options_.lr;
+    topt.momentum = options_.momentum;
+    topt.weight_decay = options_.weight_decay;
+    topt.seed = mix_seed(options_.seed, config.encode() + f);
+    nn::fit(model, train_x, train_y, topt);
+
+    const double acc = nn::evaluate_accuracy(model, val_x, val_y);
+    result.fold_accuracies.push_back(acc * 100.0);
+  }
+  result.mean_accuracy = mean(result.fold_accuracies);
+  return result;
+}
+
+}  // namespace dcnas::nas

@@ -1,0 +1,139 @@
+#include "dcnas/nas/experiment.hpp"
+
+#include "dcnas/common/logging.hpp"
+#include "dcnas/common/profiler.hpp"
+#include "dcnas/common/strings.hpp"
+#include "dcnas/graph/serialize.hpp"
+
+namespace dcnas::nas {
+
+void TrialDatabase::add(TrialRecord record) {
+  records_.push_back(std::move(record));
+}
+
+const TrialRecord& TrialDatabase::record(std::size_t i) const {
+  DCNAS_CHECK(i < records_.size(), "trial index out of range");
+  return records_[i];
+}
+
+const TrialRecord& TrialDatabase::best_accuracy() const {
+  DCNAS_CHECK(!records_.empty(), "empty trial database");
+  const TrialRecord* best = &records_.front();
+  for (const auto& r : records_) {
+    if (r.accuracy > best->accuracy) best = &r;
+  }
+  return *best;
+}
+
+namespace {
+const std::vector<std::string>& csv_header() {
+  static const std::vector<std::string> header = {
+      "channels",     "batch",       "accuracy",
+      "latency_ms",   "lat_std",     "memory_mb",
+      "kernel_size",  "stride",      "padding",
+      "pool_choice",  "kernel_size_pool", "stride_pool",
+      "initial_output_feature", "fold_accuracies"};
+  return header;
+}
+}  // namespace
+
+CsvTable TrialDatabase::to_csv() const {
+  CsvTable table(csv_header());
+  for (const auto& r : records_) {
+    std::vector<std::string> folds;
+    folds.reserve(r.fold_accuracies.size());
+    for (double f : r.fold_accuracies) folds.push_back(format_fixed(f, 4));
+    table.add_row({std::to_string(r.config.channels),
+                   std::to_string(r.config.batch), format_fixed(r.accuracy, 4),
+                   format_fixed(r.latency_ms, 4), format_fixed(r.lat_std, 4),
+                   format_fixed(r.memory_mb, 4),
+                   std::to_string(r.config.kernel_size),
+                   std::to_string(r.config.stride),
+                   std::to_string(r.config.padding),
+                   std::to_string(r.config.pool_choice),
+                   std::to_string(r.config.kernel_size_pool),
+                   std::to_string(r.config.stride_pool),
+                   std::to_string(r.config.initial_output_feature),
+                   join(folds, ";")});
+  }
+  return table;
+}
+
+TrialDatabase TrialDatabase::from_csv(const CsvTable& table) {
+  TrialDatabase db;
+  for (std::size_t i = 0; i < table.num_rows(); ++i) {
+    TrialRecord r;
+    r.config.channels = static_cast<int>(table.at_int(i, "channels"));
+    r.config.batch = static_cast<int>(table.at_int(i, "batch"));
+    r.config.kernel_size = static_cast<int>(table.at_int(i, "kernel_size"));
+    r.config.stride = static_cast<int>(table.at_int(i, "stride"));
+    r.config.padding = static_cast<int>(table.at_int(i, "padding"));
+    r.config.pool_choice = static_cast<int>(table.at_int(i, "pool_choice"));
+    r.config.kernel_size_pool =
+        static_cast<int>(table.at_int(i, "kernel_size_pool"));
+    r.config.stride_pool = static_cast<int>(table.at_int(i, "stride_pool"));
+    r.config.initial_output_feature =
+        static_cast<int>(table.at_int(i, "initial_output_feature"));
+    r.config.validate();
+    r.accuracy = table.at_double(i, "accuracy");
+    r.latency_ms = table.at_double(i, "latency_ms");
+    r.lat_std = table.at_double(i, "lat_std");
+    r.memory_mb = table.at_double(i, "memory_mb");
+    for (const auto& part : split(table.at(i, "fold_accuracies"), ';')) {
+      if (!part.empty()) r.fold_accuracies.push_back(std::stod(part));
+    }
+    db.add(std::move(r));
+  }
+  return db;
+}
+
+void TrialDatabase::save(const std::string& path) const {
+  to_csv().save(path);
+}
+
+TrialDatabase TrialDatabase::load(const std::string& path) {
+  return from_csv(CsvTable::load(path));
+}
+
+Experiment::Experiment(Evaluator& evaluator, const latency::NnMeter& meter,
+                       const ExperimentOptions& options)
+    : evaluator_(evaluator), meter_(meter), options_(options) {}
+
+TrialRecord Experiment::run_trial(const TrialConfig& config) const {
+  const ScopedTimer trial_timer("experiment.trial");
+  config.validate();
+  TrialRecord r;
+  r.config = config;
+  EvalResult eval;
+  {
+    const ScopedTimer timer("experiment.accuracy_eval");
+    eval = evaluator_.evaluate(config);
+  }
+  r.fold_accuracies = eval.fold_accuracies;
+  r.accuracy = eval.mean_accuracy;
+
+  const ScopedTimer hw_timer("experiment.hardware_objectives");
+  const graph::ModelGraph g = graph::build_resnet_graph(
+      config.to_resnet_config(), options_.deployment_input_hw);
+  const auto latency = meter_.predict_graph(g);
+  r.latency_ms = latency.mean_ms;
+  r.lat_std = latency.std_ms;
+  r.per_device_ms = latency.per_device_ms;
+  r.memory_mb = graph::model_memory_mb(g);
+  return r;
+}
+
+TrialDatabase Experiment::run_all(
+    const std::vector<TrialConfig>& configs) const {
+  TrialDatabase db;
+  for (std::size_t i = 0; i < configs.size(); ++i) {
+    db.add(run_trial(configs[i]));
+    if (options_.log_progress && (i + 1) % 200 == 0) {
+      DCNAS_LOG_INFO << "experiment progress: " << (i + 1) << "/"
+                     << configs.size() << " trials";
+    }
+  }
+  return db;
+}
+
+}  // namespace dcnas::nas

@@ -1,0 +1,219 @@
+#include "dcnas/nas/nsga2.hpp"
+
+#include <algorithm>
+
+namespace dcnas::nas {
+
+namespace {
+
+pareto::Objectives objectives_of(const TrialRecord& r) {
+  return {r.accuracy, r.latency_ms, r.memory_mb};
+}
+
+int pick_different(const std::vector<int>& options, int current, Rng& rng) {
+  int value = current;
+  while (value == current && options.size() > 1) {
+    value = options[static_cast<std::size_t>(
+        rng.uniform_int(0, static_cast<std::int64_t>(options.size()) - 1))];
+  }
+  return value;
+}
+
+}  // namespace
+
+Nsga2::Nsga2(std::function<TrialRecord(const TrialConfig&)> evaluate,
+             const Nsga2Options& options)
+    : evaluate_(std::move(evaluate)), options_(options) {
+  DCNAS_CHECK(static_cast<bool>(evaluate_), "NSGA-II needs an evaluator");
+  DCNAS_CHECK(options_.population_size >= 4, "population too small");
+  DCNAS_CHECK(options_.generations >= 1, "need at least one generation");
+  DCNAS_CHECK(options_.crossover_rate >= 0.0 && options_.crossover_rate <= 1.0,
+              "crossover rate must be a probability");
+}
+
+Nsga2::Nsga2(const Experiment& experiment, const Nsga2Options& options)
+    : Nsga2([&experiment](const TrialConfig& c) { return experiment.run_trial(c); },
+            options) {}
+
+TrialConfig Nsga2::crossover(const TrialConfig& a, const TrialConfig& b,
+                             Rng& rng) const {
+  TrialConfig child = a;
+  if (rng.bernoulli(0.5)) child.kernel_size = b.kernel_size;
+  if (rng.bernoulli(0.5)) child.stride = b.stride;
+  if (rng.bernoulli(0.5)) child.padding = b.padding;
+  if (rng.bernoulli(0.5)) child.pool_choice = b.pool_choice;
+  if (rng.bernoulli(0.5)) child.kernel_size_pool = b.kernel_size_pool;
+  if (rng.bernoulli(0.5)) child.stride_pool = b.stride_pool;
+  if (rng.bernoulli(0.5))
+    child.initial_output_feature = b.initial_output_feature;
+  if (options_.search_input_combos) {
+    if (rng.bernoulli(0.5)) child.channels = b.channels;
+    if (rng.bernoulli(0.5)) child.batch = b.batch;
+  }
+  child.validate();
+  return child;
+}
+
+TrialConfig Nsga2::mutate(const TrialConfig& parent, Rng& rng) const {
+  TrialConfig child = parent;
+  const std::int64_t dims = options_.search_input_combos ? 9 : 7;
+  switch (rng.uniform_int(0, dims - 1)) {
+    case 0:
+      child.kernel_size =
+          pick_different(SearchSpace::kernel_options(), parent.kernel_size, rng);
+      break;
+    case 1:
+      child.stride =
+          pick_different(SearchSpace::stride_options(), parent.stride, rng);
+      break;
+    case 2:
+      child.padding =
+          pick_different(SearchSpace::padding_options(), parent.padding, rng);
+      break;
+    case 3:
+      child.pool_choice = pick_different(SearchSpace::pool_choice_options(),
+                                         parent.pool_choice, rng);
+      break;
+    case 4:
+      child.kernel_size_pool = pick_different(
+          SearchSpace::pool_kernel_options(), parent.kernel_size_pool, rng);
+      break;
+    case 5:
+      child.stride_pool = pick_different(SearchSpace::pool_stride_options(),
+                                         parent.stride_pool, rng);
+      break;
+    case 6:
+      child.initial_output_feature = pick_different(
+          SearchSpace::width_options(), parent.initial_output_feature, rng);
+      break;
+    case 7:
+      child.channels =
+          pick_different(SearchSpace::channel_options(), parent.channels, rng);
+      break;
+    default:
+      child.batch =
+          pick_different(SearchSpace::batch_options(), parent.batch, rng);
+      break;
+  }
+  child.validate();
+  return child;
+}
+
+const TrialRecord& Nsga2::evaluate_cached(const TrialConfig& config) {
+  const std::string key = config.lattice_key();
+  const auto it = cache_.find(key);
+  if (it != cache_.end()) return db_.record(it->second);
+  TrialRecord record = evaluate_(config);
+  db_.add(std::move(record));
+  cache_.emplace(key, db_.size() - 1);
+  return db_.record(db_.size() - 1);
+}
+
+void Nsga2::assign_rank_and_crowding(std::vector<Individual>& pop) const {
+  std::vector<pareto::Objectives> pts;
+  pts.reserve(pop.size());
+  for (const auto& ind : pop) pts.push_back(ind.objectives);
+  const auto fronts = pareto::fast_non_dominated_sort(pts, options_.dominance);
+  for (std::size_t layer = 0; layer < fronts.size(); ++layer) {
+    const auto crowding = pareto::crowding_distances(pts, fronts[layer]);
+    for (std::size_t k = 0; k < fronts[layer].size(); ++k) {
+      pop[fronts[layer][k]].rank = static_cast<int>(layer);
+      pop[fronts[layer][k]].crowding = crowding[k];
+    }
+  }
+}
+
+const Nsga2::Individual& Nsga2::tournament(const std::vector<Individual>& pop,
+                                           Rng& rng) const {
+  auto pick = [&]() -> const Individual& {
+    return pop[static_cast<std::size_t>(
+        rng.uniform_int(0, static_cast<std::int64_t>(pop.size()) - 1))];
+  };
+  const Individual& a = pick();
+  const Individual& b = pick();
+  if (a.rank != b.rank) return a.rank < b.rank ? a : b;
+  return a.crowding >= b.crowding ? a : b;
+}
+
+Nsga2Result Nsga2::run() {
+  Rng rng(options_.seed);
+
+  auto make_individual = [&](const TrialConfig& cfg) {
+    Individual ind;
+    ind.config = cfg;
+    const std::string key = cfg.lattice_key();
+    const TrialRecord& rec = evaluate_cached(cfg);
+    ind.record_index = cache_.at(key);
+    ind.objectives = objectives_of(rec);
+    return ind;
+  };
+
+  // Initial population: uniform lattice samples.
+  std::vector<Individual> pop;
+  while (pop.size() < options_.population_size) {
+    const int ch = options_.search_input_combos
+                       ? SearchSpace::channel_options()[static_cast<std::size_t>(
+                             rng.uniform_int(0, 1))]
+                       : 7;
+    const int batch = options_.search_input_combos
+                          ? SearchSpace::batch_options()[static_cast<std::size_t>(
+                                rng.uniform_int(0, 2))]
+                          : 16;
+    pop.push_back(make_individual(SearchSpace::sample(rng, ch, batch)));
+  }
+  assign_rank_and_crowding(pop);
+
+  Nsga2Result result;
+  for (int gen = 0; gen < options_.generations; ++gen) {
+    // Offspring.
+    std::vector<Individual> offspring;
+    while (offspring.size() < options_.population_size) {
+      const Individual& p1 = tournament(pop, rng);
+      TrialConfig child;
+      if (rng.bernoulli(options_.crossover_rate)) {
+        const Individual& p2 = tournament(pop, rng);
+        child = crossover(p1.config, p2.config, rng);
+        child = mutate(child, rng);
+      } else {
+        child = mutate(p1.config, rng);
+      }
+      offspring.push_back(make_individual(child));
+    }
+    // Environmental selection over parents + offspring.
+    std::vector<Individual> merged = pop;
+    merged.insert(merged.end(), offspring.begin(), offspring.end());
+    assign_rank_and_crowding(merged);
+    std::sort(merged.begin(), merged.end(),
+              [](const Individual& a, const Individual& b) {
+                if (a.rank != b.rank) return a.rank < b.rank;
+                return a.crowding > b.crowding;
+              });
+    merged.resize(options_.population_size);
+    pop = std::move(merged);
+    assign_rank_and_crowding(pop);
+
+    // Progress metric: hypervolume of the population's first front,
+    // skipping points outside the reference octant.
+    std::vector<pareto::Objectives> front_pts;
+    for (const auto& ind : pop) {
+      if (ind.rank == 0 && ind.objectives.accuracy >= options_.reference.accuracy &&
+          ind.objectives.latency_ms <= options_.reference.latency_ms &&
+          ind.objectives.memory_mb <= options_.reference.memory_mb) {
+        front_pts.push_back(ind.objectives);
+      }
+    }
+    result.hypervolume_history.push_back(
+        front_pts.empty() ? 0.0
+                          : pareto::hypervolume(front_pts, options_.reference));
+  }
+
+  // Final front over everything evaluated.
+  std::vector<pareto::Objectives> all;
+  for (const auto& r : db_.records()) all.push_back(objectives_of(r));
+  result.front = pareto::non_dominated_indices(all, options_.dominance);
+  result.unique_evaluations = db_.size();
+  result.evaluated = std::move(db_);
+  return result;
+}
+
+}  // namespace dcnas::nas

@@ -1,0 +1,112 @@
+#include "dcnas/nas/oracle.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "dcnas/common/error.hpp"
+#include "dcnas/common/rng.hpp"
+
+namespace dcnas::nas {
+
+namespace {
+
+/// Table 5 anchors: stock ResNet-18 (w64, k7, p3, pooled, d=4) accuracy per
+/// (channels, batch). The 7-channel inputs help ~1.5-2 points; batch 16 is
+/// the sweet spot; batch 32 hurts the 5-channel variant hardest (matching
+/// the paper's observation that less informative inputs destabilize large
+/// batches under a 5-epoch budget).
+double base_accuracy(int channels, int batch) {
+  if (channels == 5) {
+    if (batch == 8) return 92.90;
+    if (batch == 16) return 93.60;
+    return 89.67;
+  }
+  if (batch == 8) return 94.76;
+  if (batch == 16) return 95.37;
+  return 94.51;
+}
+
+/// Gaussian draw from a counter-hash (Box-Muller over two hash_units).
+double hash_normal(std::uint64_t key) {
+  const double u1 = std::max(hash_unit(key), 1e-12);
+  const double u2 = hash_unit(splitmix64(key ^ 0x6a09e667f3bcc909ULL));
+  return std::sqrt(-2.0 * std::log(u1)) *
+         std::cos(6.283185307179586 * u2);
+}
+
+}  // namespace
+
+AccuracyOracle::AccuracyOracle(const OracleOptions& options)
+    : options_(options) {
+  DCNAS_CHECK(options_.folds >= 1, "oracle needs at least one fold");
+  DCNAS_CHECK(options_.trial_noise_sigma >= 0.0 &&
+                  options_.fold_noise_sigma >= 0.0,
+              "noise sigmas must be non-negative");
+}
+
+double AccuracyOracle::expected_accuracy(const TrialConfig& config) const {
+  config.validate();
+  double acc = base_accuracy(config.channels, config.batch);
+
+  // Capacity/epoch-budget: at 5 epochs the narrow nets converge further
+  // (the paper's "streamlined architecture ... would effectively address
+  // our objective" expectation, §3.2).
+  switch (config.initial_output_feature) {
+    case 32: acc += 0.55; break;
+    case 48: acc += 0.30; break;
+    default: break;  // 64 is the anchor
+  }
+  // Small stem kernels suit the small culvert signature (Fig. 4's shared
+  // trait: all winners use the smallest kernel). Anchored at k7 (baseline).
+  acc += (config.kernel_size == 3) ? 0.09 : 0.0;
+  // Minimal padding wins (Fig. 4: minimal padding across all winners).
+  // Anchored at p3 (baseline); with the width/kernel terms this puts the
+  // paper's best configuration (7ch/b16/w32/k3/p1) at exactly 96.13.
+  switch (config.padding) {
+    case 1: acc += 0.12; break;
+    case 2: acc += 0.06; break;
+    default: break;
+  }
+  // Stem downsampling. d=4 (stride-2 conv + stride-2 pool) is the anchor;
+  // d=2 leaves 2x feature maps (slightly under-trained at 5 epochs);
+  // d=1 feeds full-resolution maps into the backbone and collapses under
+  // the epoch budget — the paper's 76.19% floor lives here.
+  const int d = config.stem_downsample();
+  if (d == 2) {
+    acc -= 0.45;
+  } else if (d == 1) {
+    acc -= 6.0;
+    if (config.batch == 32) acc -= 3.5;       // large batch destabilizes
+    if (config.kernel_size == 7) acc -= 1.8;  // huge stem at full res
+    if (config.channels == 5) acc -= 1.2;     // fewer cues to recover with
+  }
+  return acc;
+}
+
+double AccuracyOracle::fold_accuracy(const TrialConfig& config,
+                                     int fold) const {
+  DCNAS_CHECK(fold >= 0 && fold < options_.folds, "fold index out of range");
+  const double expected = expected_accuracy(config);
+  // Trial noise: one draw per lattice point (duplicated no-pool lattice
+  // points are distinct NNI trials and get distinct draws, like the paper's
+  // rows 3 and 5 of Table 4).
+  const std::uint64_t trial_key = mix_seed(options_.seed, config.encode());
+  const double trial_noise =
+      options_.trial_noise_sigma * hash_normal(trial_key);
+  const double fold_noise =
+      options_.fold_noise_sigma *
+      hash_normal(mix_seed(trial_key, static_cast<std::uint64_t>(fold) + 1));
+  return std::clamp(expected + trial_noise + fold_noise, 50.0, 99.5);
+}
+
+std::vector<double> AccuracyOracle::fold_accuracies(
+    const TrialConfig& config) const {
+  std::vector<double> out;
+  out.reserve(static_cast<std::size_t>(options_.folds));
+  for (int f = 0; f < options_.folds; ++f) {
+    out.push_back(fold_accuracy(config, f));
+  }
+  return out;
+}
+
+}  // namespace dcnas::nas

@@ -1,0 +1,222 @@
+#include "dcnas/nas/search_space.hpp"
+
+#include <algorithm>
+#include <set>
+#include <sstream>
+
+#include "dcnas/common/error.hpp"
+
+namespace dcnas::nas {
+
+namespace {
+bool contains(const std::vector<int>& v, int x) {
+  return std::find(v.begin(), v.end(), x) != v.end();
+}
+}  // namespace
+
+nn::ResNetConfig TrialConfig::to_resnet_config() const {
+  validate();
+  nn::ResNetConfig cfg;
+  cfg.in_channels = channels;
+  cfg.conv1_kernel = kernel_size;
+  cfg.conv1_stride = stride;
+  cfg.conv1_padding = padding;
+  cfg.with_pool = with_pool();
+  cfg.pool_kernel = kernel_size_pool;
+  cfg.pool_stride = stride_pool;
+  cfg.init_width = initial_output_feature;
+  cfg.num_classes = 2;
+  return cfg;
+}
+
+TrialConfig TrialConfig::baseline(int channels, int batch) {
+  TrialConfig c;
+  c.channels = channels;
+  c.batch = batch;
+  c.validate();
+  return c;
+}
+
+void TrialConfig::validate() const {
+  DCNAS_CHECK(contains(SearchSpace::channel_options(), channels),
+              "channels outside search space");
+  DCNAS_CHECK(contains(SearchSpace::batch_options(), batch),
+              "batch outside search space");
+  DCNAS_CHECK(contains(SearchSpace::kernel_options(), kernel_size),
+              "kernel_size outside search space");
+  DCNAS_CHECK(contains(SearchSpace::stride_options(), stride),
+              "stride outside search space");
+  DCNAS_CHECK(contains(SearchSpace::padding_options(), padding),
+              "padding outside search space");
+  DCNAS_CHECK(contains(SearchSpace::pool_choice_options(), pool_choice),
+              "pool_choice outside search space");
+  DCNAS_CHECK(contains(SearchSpace::pool_kernel_options(), kernel_size_pool),
+              "kernel_size_pool outside search space");
+  DCNAS_CHECK(contains(SearchSpace::pool_stride_options(), stride_pool),
+              "stride_pool outside search space");
+  DCNAS_CHECK(contains(SearchSpace::width_options(), initial_output_feature),
+              "initial_output_feature outside search space");
+}
+
+std::string TrialConfig::canonical_arch_key() const {
+  std::ostringstream os;
+  os << "ch" << channels << "_k" << kernel_size << "_s" << stride << "_p"
+     << padding << "_w" << initial_output_feature;
+  if (with_pool()) {
+    os << "_pool" << kernel_size_pool << "x" << stride_pool;
+  } else {
+    os << "_nopool";
+  }
+  return os.str();
+}
+
+std::string TrialConfig::lattice_key() const {
+  std::ostringstream os;
+  os << canonical_arch_key() << "_b" << batch << "_pc" << pool_choice << "_pk"
+     << kernel_size_pool << "_ps" << stride_pool;
+  return os.str();
+}
+
+std::uint64_t TrialConfig::encode() const {
+  std::uint64_t code = 0;
+  for (int v : {channels, batch, kernel_size, stride, padding, pool_choice,
+                kernel_size_pool, stride_pool, initial_output_feature}) {
+    code = code * 97 + static_cast<std::uint64_t>(v);
+  }
+  return code;
+}
+
+std::string TrialConfig::to_string() const {
+  std::ostringstream os;
+  os << "TrialConfig{ch=" << channels << ", b=" << batch
+     << ", k=" << kernel_size << ", s=" << stride << ", p=" << padding
+     << ", pool_choice=" << pool_choice << " (k=" << kernel_size_pool
+     << ", s=" << stride_pool << "), w=" << initial_output_feature << "}";
+  return os.str();
+}
+
+const std::vector<int>& SearchSpace::channel_options() {
+  static const std::vector<int> v = {5, 7};
+  return v;
+}
+const std::vector<int>& SearchSpace::batch_options() {
+  static const std::vector<int> v = {8, 16, 32};
+  return v;
+}
+const std::vector<int>& SearchSpace::kernel_options() {
+  static const std::vector<int> v = {3, 7};
+  return v;
+}
+const std::vector<int>& SearchSpace::stride_options() {
+  static const std::vector<int> v = {1, 2};
+  return v;
+}
+const std::vector<int>& SearchSpace::padding_options() {
+  static const std::vector<int> v = {1, 2, 3};
+  return v;
+}
+const std::vector<int>& SearchSpace::pool_choice_options() {
+  static const std::vector<int> v = {0, 1};
+  return v;
+}
+const std::vector<int>& SearchSpace::pool_kernel_options() {
+  static const std::vector<int> v = {2, 3};
+  return v;
+}
+const std::vector<int>& SearchSpace::pool_stride_options() {
+  static const std::vector<int> v = {1, 2};
+  return v;
+}
+const std::vector<int>& SearchSpace::width_options() {
+  static const std::vector<int> v = {32, 48, 64};
+  return v;
+}
+
+std::vector<TrialConfig> SearchSpace::enumerate_architectures(int channels,
+                                                              int batch) {
+  std::vector<TrialConfig> out;
+  out.reserve(static_cast<std::size_t>(architectures_per_combo()));
+  for (int k : kernel_options()) {
+    for (int s : stride_options()) {
+      for (int p : padding_options()) {
+        for (int pc : pool_choice_options()) {
+          for (int pk : pool_kernel_options()) {
+            for (int ps : pool_stride_options()) {
+              for (int w : width_options()) {
+                TrialConfig c;
+                c.channels = channels;
+                c.batch = batch;
+                c.kernel_size = k;
+                c.stride = s;
+                c.padding = p;
+                c.pool_choice = pc;
+                c.kernel_size_pool = pk;
+                c.stride_pool = ps;
+                c.initial_output_feature = w;
+                c.validate();
+                out.push_back(c);
+              }
+            }
+          }
+        }
+      }
+    }
+  }
+  DCNAS_ASSERT(static_cast<std::int64_t>(out.size()) ==
+                   architectures_per_combo(),
+               "architecture enumeration count mismatch");
+  return out;
+}
+
+std::vector<TrialConfig> SearchSpace::enumerate_all() {
+  std::vector<TrialConfig> out;
+  out.reserve(static_cast<std::size_t>(lattice_size()));
+  for (int ch : channel_options()) {
+    for (int b : batch_options()) {
+      const auto combo = enumerate_architectures(ch, b);
+      out.insert(out.end(), combo.begin(), combo.end());
+    }
+  }
+  return out;
+}
+
+std::int64_t SearchSpace::architectures_per_combo() {
+  return static_cast<std::int64_t>(
+      kernel_options().size() * stride_options().size() *
+      padding_options().size() * pool_choice_options().size() *
+      pool_kernel_options().size() * pool_stride_options().size() *
+      width_options().size());
+}
+
+std::int64_t SearchSpace::lattice_size() {
+  return architectures_per_combo() *
+         static_cast<std::int64_t>(channel_options().size() *
+                                   batch_options().size());
+}
+
+std::int64_t SearchSpace::unique_architectures_per_combo() {
+  const auto combo = enumerate_architectures(5, 8);
+  std::set<std::string> keys;
+  for (const auto& c : combo) keys.insert(c.canonical_arch_key());
+  return static_cast<std::int64_t>(keys.size());
+}
+
+TrialConfig SearchSpace::sample(Rng& rng, int channels, int batch) {
+  auto pick = [&rng](const std::vector<int>& v) {
+    return v[static_cast<std::size_t>(
+        rng.uniform_int(0, static_cast<std::int64_t>(v.size()) - 1))];
+  };
+  TrialConfig c;
+  c.channels = channels;
+  c.batch = batch;
+  c.kernel_size = pick(kernel_options());
+  c.stride = pick(stride_options());
+  c.padding = pick(padding_options());
+  c.pool_choice = pick(pool_choice_options());
+  c.kernel_size_pool = pick(pool_kernel_options());
+  c.stride_pool = pick(pool_stride_options());
+  c.initial_output_feature = pick(width_options());
+  return c;
+}
+
+}  // namespace dcnas::nas

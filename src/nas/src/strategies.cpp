@@ -1,0 +1,108 @@
+#include "dcnas/nas/strategies.hpp"
+
+#include <algorithm>
+
+#include "dcnas/common/error.hpp"
+
+namespace dcnas::nas {
+
+GridStrategy::GridStrategy(int channels, int batch)
+    : lattice_(SearchSpace::enumerate_architectures(channels, batch)) {}
+
+TrialConfig GridStrategy::ask() {
+  DCNAS_CHECK(!exhausted(), "grid strategy exhausted");
+  return lattice_[cursor_++];
+}
+
+RandomStrategy::RandomStrategy(int channels, int batch, std::uint64_t seed)
+    : lattice_(SearchSpace::enumerate_architectures(channels, batch)) {
+  Rng rng(seed);
+  rng.shuffle(lattice_);
+}
+
+TrialConfig RandomStrategy::ask() {
+  DCNAS_CHECK(!exhausted(), "random strategy exhausted");
+  return lattice_[cursor_++];
+}
+
+EvolutionStrategy::EvolutionStrategy(int channels, int batch,
+                                     const Options& options)
+    : channels_(channels), batch_(batch), options_(options), rng_(options.seed) {
+  DCNAS_CHECK(options_.population_size >= 2, "population too small");
+  DCNAS_CHECK(options_.tournament_size >= 1 &&
+                  options_.tournament_size <= options_.population_size,
+              "bad tournament size");
+}
+
+TrialConfig EvolutionStrategy::mutate(const TrialConfig& parent,
+                                      Rng& rng) const {
+  TrialConfig child = parent;
+  // Pick one of the seven architecture dimensions and move it to a
+  // different value (input combination stays fixed, as in the paper).
+  auto pick_different = [&rng](const std::vector<int>& options, int current) {
+    int value = current;
+    while (value == current && options.size() > 1) {
+      value = options[static_cast<std::size_t>(rng.uniform_int(
+          0, static_cast<std::int64_t>(options.size()) - 1))];
+    }
+    return value;
+  };
+  switch (rng.uniform_int(0, 6)) {
+    case 0:
+      child.kernel_size =
+          pick_different(SearchSpace::kernel_options(), parent.kernel_size);
+      break;
+    case 1:
+      child.stride =
+          pick_different(SearchSpace::stride_options(), parent.stride);
+      break;
+    case 2:
+      child.padding =
+          pick_different(SearchSpace::padding_options(), parent.padding);
+      break;
+    case 3:
+      child.pool_choice = pick_different(SearchSpace::pool_choice_options(),
+                                         parent.pool_choice);
+      break;
+    case 4:
+      child.kernel_size_pool = pick_different(
+          SearchSpace::pool_kernel_options(), parent.kernel_size_pool);
+      break;
+    case 5:
+      child.stride_pool = pick_different(SearchSpace::pool_stride_options(),
+                                         parent.stride_pool);
+      break;
+    default:
+      child.initial_output_feature =
+          pick_different(SearchSpace::width_options(),
+                         parent.initial_output_feature);
+      break;
+  }
+  child.validate();
+  return child;
+}
+
+TrialConfig EvolutionStrategy::ask() {
+  if (population_.size() < options_.population_size) {
+    return SearchSpace::sample(rng_, channels_, batch_);  // warm-up
+  }
+  // Tournament selection over random members.
+  const Member* best = nullptr;
+  for (std::size_t t = 0; t < options_.tournament_size; ++t) {
+    const auto idx = static_cast<std::size_t>(rng_.uniform_int(
+        0, static_cast<std::int64_t>(population_.size()) - 1));
+    if (!best || population_[idx].fitness > best->fitness) {
+      best = &population_[idx];
+    }
+  }
+  return mutate(best->config, rng_);
+}
+
+void EvolutionStrategy::tell(const TrialConfig& config, double fitness) {
+  population_.push_back({config, fitness});
+  while (population_.size() > options_.population_size) {
+    population_.pop_front();  // aging: retire the oldest
+  }
+}
+
+}  // namespace dcnas::nas

@@ -1,0 +1,19 @@
+#pragma once
+/// \file activations.hpp
+/// \brief Activation layers (ReLU is the only one ResNet-18 needs).
+
+#include "dcnas/nn/module.hpp"
+
+namespace dcnas::nn {
+
+class ReLU : public Module {
+ public:
+  Tensor forward(const Tensor& input) override;
+  Tensor backward(const Tensor& grad_output) override;
+  std::string name() const override { return "ReLU"; }
+
+ private:
+  Tensor mask_;  ///< 1 where the input was positive
+};
+
+}  // namespace dcnas::nn

@@ -1,0 +1,45 @@
+#pragma once
+/// \file batchnorm.hpp
+/// \brief 2-D batch normalization with running statistics.
+
+#include "dcnas/nn/module.hpp"
+
+namespace dcnas::nn {
+
+/// BatchNorm over the channel dimension of NCHW tensors. In training mode
+/// it normalizes with batch statistics and updates exponential running
+/// averages; in eval mode it uses the running averages (PyTorch semantics,
+/// momentum 0.1, eps 1e-5).
+class BatchNorm2d : public Module {
+ public:
+  explicit BatchNorm2d(std::int64_t channels, float eps = 1e-5f,
+                       float momentum = 0.1f);
+
+  Tensor forward(const Tensor& input) override;
+  Tensor backward(const Tensor& grad_output) override;
+  std::string name() const override { return "BatchNorm2d"; }
+  void collect_params(const std::string& prefix,
+                      std::vector<ParamRef>& out) override;
+  void collect_buffers(const std::string& prefix,
+                       std::vector<ParamRef>& out) override;
+
+  std::int64_t channels() const { return channels_; }
+  float eps() const { return eps_; }
+  Tensor& gamma() { return gamma_; }
+  Tensor& beta() { return beta_; }
+  const Tensor& running_mean() const { return running_mean_; }
+  const Tensor& running_var() const { return running_var_; }
+
+ private:
+  std::int64_t channels_;
+  float eps_, momentum_;
+  Tensor gamma_, beta_;
+  Tensor gamma_grad_, beta_grad_;
+  Tensor running_mean_, running_var_;
+  // Forward cache for backward.
+  Tensor cached_xhat_;
+  std::vector<float> cached_inv_std_;
+  std::int64_t cached_count_ = 0;  ///< N·H·W per channel
+};
+
+}  // namespace dcnas::nn

@@ -1,0 +1,47 @@
+#pragma once
+/// \file conv.hpp
+/// \brief 2-D convolution layer (square kernels) via im2col + GEMM.
+
+#include "dcnas/common/rng.hpp"
+#include "dcnas/nn/module.hpp"
+
+namespace dcnas::nn {
+
+/// Convolution over NCHW inputs. Weights are stored as a
+/// (out_channels) x (in_channels·k·k) matrix so forward is a single GEMM per
+/// sample. Bias is optional (ResNet convs are bias-free because BatchNorm
+/// follows them).
+class Conv2d : public Module {
+ public:
+  Conv2d(std::int64_t in_channels, std::int64_t out_channels,
+         std::int64_t kernel, std::int64_t stride, std::int64_t padding,
+         bool bias, Rng& rng);
+
+  Tensor forward(const Tensor& input) override;
+  Tensor backward(const Tensor& grad_output) override;
+  std::string name() const override { return "Conv2d"; }
+  void collect_params(const std::string& prefix,
+                      std::vector<ParamRef>& out) override;
+
+  std::int64_t in_channels() const { return in_channels_; }
+  std::int64_t out_channels() const { return out_channels_; }
+  std::int64_t kernel() const { return kernel_; }
+  std::int64_t stride() const { return stride_; }
+  std::int64_t padding() const { return padding_; }
+
+  Tensor& weight() { return weight_; }
+  Tensor& weight_grad() { return weight_grad_; }
+  bool has_bias() const { return has_bias_; }
+  Tensor& bias() { return bias_; }
+
+ private:
+  std::int64_t in_channels_, out_channels_, kernel_, stride_, padding_;
+  bool has_bias_;
+  Tensor weight_;       ///< (OC, IC·k·k)
+  Tensor weight_grad_;
+  Tensor bias_;         ///< (OC) when has_bias_
+  Tensor bias_grad_;
+  Tensor cached_input_; ///< saved activation for the backward pass
+};
+
+}  // namespace dcnas::nn

@@ -1,0 +1,22 @@
+#pragma once
+/// \file init.hpp
+/// \brief Weight initialization schemes (He / Xavier), matching the PyTorch
+/// defaults the paper's ResNet-18 training relied on.
+
+#include "dcnas/common/rng.hpp"
+#include "dcnas/tensor/tensor.hpp"
+
+namespace dcnas::nn {
+
+/// He (Kaiming) normal init with fan-out mode: stddev = sqrt(2 / fan_out).
+/// Standard for conv layers followed by ReLU.
+void kaiming_normal(Tensor& w, std::int64_t fan_out, Rng& rng);
+
+/// Xavier/Glorot uniform: U(-a, a) with a = sqrt(6 / (fan_in + fan_out)).
+void xavier_uniform(Tensor& w, std::int64_t fan_in, std::int64_t fan_out,
+                    Rng& rng);
+
+/// PyTorch nn.Linear default: U(-1/sqrt(fan_in), 1/sqrt(fan_in)).
+void linear_default(Tensor& w, std::int64_t fan_in, Rng& rng);
+
+}  // namespace dcnas::nn

@@ -1,0 +1,34 @@
+#pragma once
+/// \file linear.hpp
+/// \brief Fully connected layer.
+
+#include "dcnas/common/rng.hpp"
+#include "dcnas/nn/module.hpp"
+
+namespace dcnas::nn {
+
+/// y = x·Wᵀ + b over 2-D (N, in_features) inputs.
+class Linear : public Module {
+ public:
+  Linear(std::int64_t in_features, std::int64_t out_features, Rng& rng);
+
+  Tensor forward(const Tensor& input) override;
+  Tensor backward(const Tensor& grad_output) override;
+  std::string name() const override { return "Linear"; }
+  void collect_params(const std::string& prefix,
+                      std::vector<ParamRef>& out) override;
+
+  std::int64_t in_features() const { return in_features_; }
+  std::int64_t out_features() const { return out_features_; }
+  Tensor& weight() { return weight_; }
+  Tensor& bias() { return bias_; }
+
+ private:
+  std::int64_t in_features_, out_features_;
+  Tensor weight_;  ///< (out, in)
+  Tensor bias_;    ///< (out)
+  Tensor weight_grad_, bias_grad_;
+  Tensor cached_input_;
+};
+
+}  // namespace dcnas::nn

@@ -1,0 +1,30 @@
+#pragma once
+/// \file loss.hpp
+/// \brief Softmax cross-entropy, the training criterion for the binary
+/// drainage-crossing classifier.
+
+#include <cstdint>
+#include <vector>
+
+#include "dcnas/tensor/tensor.hpp"
+
+namespace dcnas::nn {
+
+/// Combined softmax + negative log-likelihood, averaged over the batch.
+class SoftmaxCrossEntropy {
+ public:
+  /// Returns the mean loss for logits (N, classes) and integer labels.
+  double forward(const Tensor& logits, const std::vector<int>& labels);
+
+  /// Returns dLoss/dLogits, i.e. (softmax - onehot) / N.
+  Tensor backward() const;
+
+  /// Class probabilities from the last forward call.
+  const Tensor& probabilities() const { return probs_; }
+
+ private:
+  Tensor probs_;
+  std::vector<int> labels_;
+};
+
+}  // namespace dcnas::nn

@@ -1,0 +1,28 @@
+#pragma once
+/// \file metrics.hpp
+/// \brief Classification metrics used by the NAS evaluator.
+
+#include <cstdint>
+#include <vector>
+
+#include "dcnas/tensor/tensor.hpp"
+
+namespace dcnas::nn {
+
+/// Fraction of rows whose argmax matches the label, in [0, 1].
+double accuracy(const Tensor& logits, const std::vector<int>& labels);
+
+/// Binary confusion counts (positive class = 1).
+struct BinaryConfusion {
+  std::int64_t tp = 0, fp = 0, tn = 0, fn = 0;
+
+  double precision() const;
+  double recall() const;
+  double f1() const;
+  double accuracy() const;
+};
+
+BinaryConfusion binary_confusion(const std::vector<int>& predictions,
+                                 const std::vector<int>& labels);
+
+}  // namespace dcnas::nn

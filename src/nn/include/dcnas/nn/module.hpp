@@ -1,0 +1,73 @@
+#pragma once
+/// \file module.hpp
+/// \brief Base class of all neural-network layers.
+///
+/// dcnas uses module-level autodiff rather than a tape: each Module caches
+/// what its backward pass needs during forward() and implements backward()
+/// explicitly. This keeps the training stack small, allocation-predictable,
+/// and easy to verify layer-by-layer with finite differences (see
+/// tests/nn/gradcheck_test.cpp).
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "dcnas/tensor/tensor.hpp"
+
+namespace dcnas::nn {
+
+/// A named view of one learnable parameter and its gradient accumulator.
+struct ParamRef {
+  std::string name;
+  Tensor* value = nullptr;
+  Tensor* grad = nullptr;
+};
+
+class Module {
+ public:
+  virtual ~Module() = default;
+
+  /// Computes the layer output, caching whatever backward() will need.
+  virtual Tensor forward(const Tensor& input) = 0;
+
+  /// Given dLoss/dOutput, accumulates parameter gradients and returns
+  /// dLoss/dInput. Must be called after a matching forward().
+  virtual Tensor backward(const Tensor& grad_output) = 0;
+
+  /// Human-readable layer name (used by model summaries, Figure 1).
+  virtual std::string name() const = 0;
+
+  /// Appends this module's parameters (prefixed) to \p out.
+  virtual void collect_params(const std::string& prefix,
+                              std::vector<ParamRef>& out);
+
+  /// Appends non-learnable state (BatchNorm running statistics) to \p out;
+  /// ParamRef::grad is null for buffers. Needed by the graph executor and
+  /// model serialization to capture full inference state.
+  virtual void collect_buffers(const std::string& prefix,
+                               std::vector<ParamRef>& out);
+
+  /// All buffers of this module tree.
+  std::vector<ParamRef> buffers();
+
+  /// Switches train/eval behaviour (BatchNorm statistics).
+  virtual void set_training(bool training) { training_ = training; }
+  bool training() const { return training_; }
+
+  /// All parameters of this module tree.
+  std::vector<ParamRef> parameters();
+
+  /// Zeroes every parameter gradient.
+  void zero_grad();
+
+  /// Total learnable scalar count.
+  std::int64_t num_params();
+
+ protected:
+  bool training_ = true;
+};
+
+using ModulePtr = std::unique_ptr<Module>;
+
+}  // namespace dcnas::nn

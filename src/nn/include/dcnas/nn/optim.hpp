@@ -1,0 +1,56 @@
+#pragma once
+/// \file optim.hpp
+/// \brief First-order optimizers: SGD with momentum and Adam.
+
+#include <vector>
+
+#include "dcnas/nn/module.hpp"
+
+namespace dcnas::nn {
+
+class Optimizer {
+ public:
+  explicit Optimizer(std::vector<ParamRef> params)
+      : params_(std::move(params)) {}
+  virtual ~Optimizer() = default;
+
+  /// Applies one update using the currently accumulated gradients.
+  virtual void step() = 0;
+
+  void zero_grad();
+
+  double learning_rate() const { return lr_; }
+  void set_learning_rate(double lr) { lr_ = lr; }
+
+ protected:
+  std::vector<ParamRef> params_;
+  double lr_ = 0.01;
+};
+
+/// SGD with classical momentum and decoupled-from-loss L2 weight decay
+/// (decay is added to the gradient, PyTorch-style).
+class Sgd : public Optimizer {
+ public:
+  Sgd(std::vector<ParamRef> params, double lr, double momentum = 0.9,
+      double weight_decay = 0.0);
+  void step() override;
+
+ private:
+  double momentum_, weight_decay_;
+  std::vector<Tensor> velocity_;
+};
+
+/// Adam (Kingma & Ba) with bias correction.
+class Adam : public Optimizer {
+ public:
+  Adam(std::vector<ParamRef> params, double lr, double beta1 = 0.9,
+       double beta2 = 0.999, double eps = 1e-8, double weight_decay = 0.0);
+  void step() override;
+
+ private:
+  double beta1_, beta2_, eps_, weight_decay_;
+  std::int64_t t_ = 0;
+  std::vector<Tensor> m_, v_;
+};
+
+}  // namespace dcnas::nn

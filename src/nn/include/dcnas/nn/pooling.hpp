@@ -1,0 +1,41 @@
+#pragma once
+/// \file pooling.hpp
+/// \brief Max pooling and global average pooling layers.
+
+#include <vector>
+
+#include "dcnas/nn/module.hpp"
+
+namespace dcnas::nn {
+
+class MaxPool2d : public Module {
+ public:
+  MaxPool2d(std::int64_t kernel, std::int64_t stride, std::int64_t padding);
+
+  Tensor forward(const Tensor& input) override;
+  Tensor backward(const Tensor& grad_output) override;
+  std::string name() const override { return "MaxPool2d"; }
+
+  std::int64_t kernel() const { return kernel_; }
+  std::int64_t stride() const { return stride_; }
+  std::int64_t padding() const { return padding_; }
+
+ private:
+  std::int64_t kernel_, stride_, padding_;
+  Shape input_shape_;
+  std::vector<std::int64_t> argmax_;
+};
+
+/// Adaptive average pooling to 1x1, flattened to (N, C) — the layer between
+/// ResNet's last block and its fully connected classifier.
+class GlobalAvgPool : public Module {
+ public:
+  Tensor forward(const Tensor& input) override;
+  Tensor backward(const Tensor& grad_output) override;
+  std::string name() const override { return "GlobalAvgPool"; }
+
+ private:
+  Shape input_shape_;
+};
+
+}  // namespace dcnas::nn

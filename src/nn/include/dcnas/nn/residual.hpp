@@ -1,0 +1,46 @@
+#pragma once
+/// \file residual.hpp
+/// \brief ResNet BasicBlock: two 3x3 conv-bn pairs with a skip connection.
+
+#include "dcnas/common/rng.hpp"
+#include "dcnas/nn/batchnorm.hpp"
+#include "dcnas/nn/conv.hpp"
+#include "dcnas/nn/module.hpp"
+
+namespace dcnas::nn {
+
+/// The two-convolution residual block of ResNet-18/34:
+///
+///   out = ReLU( BN2(Conv2(ReLU(BN1(Conv1(x))))) + shortcut(x) )
+///
+/// shortcut is identity when shapes match, otherwise a stride-matched
+/// 1x1 convolution followed by BatchNorm (option B in He et al.).
+class BasicBlock : public Module {
+ public:
+  BasicBlock(std::int64_t in_channels, std::int64_t out_channels,
+             std::int64_t stride, Rng& rng);
+
+  Tensor forward(const Tensor& input) override;
+  Tensor backward(const Tensor& grad_output) override;
+  std::string name() const override { return "BasicBlock"; }
+  void collect_params(const std::string& prefix,
+                      std::vector<ParamRef>& out) override;
+  void collect_buffers(const std::string& prefix,
+                       std::vector<ParamRef>& out) override;
+  void set_training(bool training) override;
+
+  bool has_projection() const { return proj_conv_ != nullptr; }
+  std::int64_t out_channels() const { return out_channels_; }
+  std::int64_t stride() const { return stride_; }
+
+ private:
+  std::int64_t out_channels_, stride_;
+  std::unique_ptr<Conv2d> conv1_, conv2_;
+  std::unique_ptr<BatchNorm2d> bn1_, bn2_;
+  std::unique_ptr<Conv2d> proj_conv_;      ///< null for identity shortcut
+  std::unique_ptr<BatchNorm2d> proj_bn_;
+  // Backward caches.
+  Tensor relu1_mask_, relu2_mask_;
+};
+
+}  // namespace dcnas::nn

@@ -1,0 +1,75 @@
+#pragma once
+/// \file resnet.hpp
+/// \brief Configurable ResNet-18 — the paper's search-space model family.
+///
+/// The stock configuration reproduces Figure 1: an initial convolution,
+/// optional max pooling, four residual stages of two BasicBlocks each with
+/// channel doubling, global average pooling, and a binary classifier. The
+/// NAS search space (Figure 2) varies the stem geometry, pooling, and the
+/// initial stage width.
+
+#include <cstdint>
+#include <string>
+
+#include "dcnas/common/rng.hpp"
+#include "dcnas/nn/module.hpp"
+#include "dcnas/nn/sequential.hpp"
+
+namespace dcnas::nn {
+
+/// Architecture knobs explored by the NAS (plus fixed structural choices).
+struct ResNetConfig {
+  std::int64_t in_channels = 5;    ///< 5 (DEM+RGBN) or 7 (+NDVI, NDWI)
+  std::int64_t conv1_kernel = 7;   ///< search: {3, 7}
+  std::int64_t conv1_stride = 2;   ///< search: {1, 2}
+  std::int64_t conv1_padding = 3;  ///< search: {1, 2, 3}
+  bool with_pool = true;           ///< search pool_choice: 0 = pool, 1 = none
+  std::int64_t pool_kernel = 3;    ///< search: {2, 3}
+  std::int64_t pool_stride = 2;    ///< search: {1, 2}
+  std::int64_t init_width = 64;    ///< search: {32, 48, 64}
+  std::int64_t num_classes = 2;
+
+  /// The unmodified ResNet-18 baseline used in Table 5.
+  static ResNetConfig baseline(std::int64_t channels);
+
+  /// Throws InvalidArgument when values fall outside documented bounds.
+  void validate() const;
+
+  /// Stage widths: init_width doubled per stage (w, 2w, 4w, 8w).
+  std::int64_t stage_width(int stage) const;
+
+  /// Input width of the final fully connected layer (8 × init_width,
+  /// i.e. "amplified by a factor of four" relative to stage 2's width as
+  /// §3.2 of the paper describes).
+  std::int64_t fc_in_features() const { return init_width * 8; }
+
+  std::string to_string() const;
+};
+
+/// ResNet-18 variant built from a ResNetConfig. Owns its layers through an
+/// internal Sequential so forward/backward/parameters compose directly.
+class ConfigurableResNet : public Module {
+ public:
+  ConfigurableResNet(const ResNetConfig& config, Rng& rng);
+
+  Tensor forward(const Tensor& input) override;
+  Tensor backward(const Tensor& grad_output) override;
+  std::string name() const override { return "ConfigurableResNet"; }
+  void collect_params(const std::string& prefix,
+                      std::vector<ParamRef>& out) override;
+  void collect_buffers(const std::string& prefix,
+                       std::vector<ParamRef>& out) override;
+  void set_training(bool training) override;
+
+  const ResNetConfig& config() const { return config_; }
+
+  /// Layer-by-layer text summary with output shapes for a given input
+  /// spatial size — the Figure 1 rendering.
+  std::string summary(std::int64_t input_hw) const;
+
+ private:
+  ResNetConfig config_;
+  Sequential body_;
+};
+
+}  // namespace dcnas::nn

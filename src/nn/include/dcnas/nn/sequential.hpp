@@ -1,0 +1,43 @@
+#pragma once
+/// \file sequential.hpp
+/// \brief Ordered container of modules executed front-to-back.
+
+#include <memory>
+#include <vector>
+
+#include "dcnas/nn/module.hpp"
+
+namespace dcnas::nn {
+
+class Sequential : public Module {
+ public:
+  Sequential() = default;
+
+  /// Appends a layer; returns a raw observer pointer for tests/summaries.
+  template <typename M, typename... Args>
+  M* emplace(Args&&... args) {
+    auto m = std::make_unique<M>(std::forward<Args>(args)...);
+    M* raw = m.get();
+    layers_.push_back(std::move(m));
+    return raw;
+  }
+
+  void append(ModulePtr layer);
+
+  Tensor forward(const Tensor& input) override;
+  Tensor backward(const Tensor& grad_output) override;
+  std::string name() const override { return "Sequential"; }
+  void collect_params(const std::string& prefix,
+                      std::vector<ParamRef>& out) override;
+  void collect_buffers(const std::string& prefix,
+                       std::vector<ParamRef>& out) override;
+  void set_training(bool training) override;
+
+  std::size_t size() const { return layers_.size(); }
+  Module& layer(std::size_t i);
+
+ private:
+  std::vector<ModulePtr> layers_;
+};
+
+}  // namespace dcnas::nn

@@ -1,0 +1,43 @@
+#pragma once
+/// \file trainer.hpp
+/// \brief Mini-batch training loop shared by examples, tests, and the NAS
+/// TrainingEvaluator.
+
+#include <cstdint>
+#include <vector>
+
+#include "dcnas/nn/loss.hpp"
+#include "dcnas/nn/module.hpp"
+#include "dcnas/nn/optim.hpp"
+
+namespace dcnas::nn {
+
+struct TrainOptions {
+  int epochs = 5;           ///< the paper trains each trial for 5 epochs
+  std::int64_t batch_size = 8;
+  double lr = 0.01;
+  double momentum = 0.9;
+  double weight_decay = 5e-4;
+  std::uint64_t seed = 1;   ///< shuffling order
+  bool shuffle = true;
+  bool verbose = false;
+};
+
+struct FitResult {
+  std::vector<double> epoch_loss;       ///< mean training loss per epoch
+  std::vector<double> epoch_accuracy;   ///< training accuracy per epoch
+};
+
+/// Extracts rows \p indices from (N,C,H,W) images into a new batch tensor.
+Tensor gather_batch(const Tensor& images, const std::vector<std::int64_t>& indices);
+
+/// Trains \p model in place with SGD + momentum + cross-entropy.
+FitResult fit(Module& model, const Tensor& images,
+              const std::vector<int>& labels, const TrainOptions& options);
+
+/// Evaluation-mode accuracy over a dataset, batched to bound memory.
+double evaluate_accuracy(Module& model, const Tensor& images,
+                         const std::vector<int>& labels,
+                         std::int64_t batch_size = 16);
+
+}  // namespace dcnas::nn

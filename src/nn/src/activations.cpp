@@ -1,0 +1,21 @@
+#include "dcnas/nn/activations.hpp"
+
+#include "dcnas/tensor/ops.hpp"
+
+namespace dcnas::nn {
+
+Tensor ReLU::forward(const Tensor& input) {
+  Tensor out = input;
+  relu_inplace(out, training_ ? &mask_ : nullptr);
+  return out;
+}
+
+Tensor ReLU::backward(const Tensor& grad_output) {
+  DCNAS_CHECK(!mask_.empty(), "ReLU::backward without cached forward");
+  DCNAS_CHECK(grad_output.same_shape(mask_), "ReLU backward shape mismatch");
+  Tensor grad_in = grad_output;
+  for (std::int64_t i = 0; i < grad_in.numel(); ++i) grad_in[i] *= mask_[i];
+  return grad_in;
+}
+
+}  // namespace dcnas::nn

@@ -1,0 +1,135 @@
+#include "dcnas/nn/batchnorm.hpp"
+
+#include <cmath>
+#include <vector>
+
+namespace dcnas::nn {
+
+BatchNorm2d::BatchNorm2d(std::int64_t channels, float eps, float momentum)
+    : channels_(channels), eps_(eps), momentum_(momentum) {
+  DCNAS_CHECK(channels > 0, "BatchNorm2d channels must be > 0");
+  DCNAS_CHECK(eps > 0.0f, "BatchNorm2d eps must be > 0");
+  gamma_ = Tensor::full({channels_}, 1.0f);
+  beta_ = Tensor({channels_});
+  gamma_grad_ = Tensor({channels_});
+  beta_grad_ = Tensor({channels_});
+  running_mean_ = Tensor({channels_});
+  running_var_ = Tensor::full({channels_}, 1.0f);
+}
+
+Tensor BatchNorm2d::forward(const Tensor& input) {
+  DCNAS_CHECK(input.ndim() == 4 && input.dim(1) == channels_,
+              "BatchNorm2d input must be NCHW with matching channels");
+  const std::int64_t n = input.dim(0), h = input.dim(2), w = input.dim(3);
+  const std::int64_t hw = h * w;
+  const std::int64_t count = n * hw;
+  Tensor output(input.shape());
+
+  if (training_) {
+    DCNAS_CHECK(count > 1, "BatchNorm2d training needs more than one sample");
+    cached_xhat_ = Tensor(input.shape());
+    cached_inv_std_.assign(static_cast<std::size_t>(channels_), 0.0f);
+    cached_count_ = count;
+    for (std::int64_t c = 0; c < channels_; ++c) {
+      // Batch mean/var over N,H,W for this channel.
+      double sum = 0.0, sumsq = 0.0;
+      for (std::int64_t s = 0; s < n; ++s) {
+        const float* plane = input.data() + (s * channels_ + c) * hw;
+        for (std::int64_t i = 0; i < hw; ++i) {
+          sum += plane[i];
+          sumsq += static_cast<double>(plane[i]) * plane[i];
+        }
+      }
+      const double mean = sum / static_cast<double>(count);
+      const double var = sumsq / static_cast<double>(count) - mean * mean;
+      const float inv_std = 1.0f / std::sqrt(static_cast<float>(var) + eps_);
+      cached_inv_std_[static_cast<std::size_t>(c)] = inv_std;
+      const float g = gamma_[c], b = beta_[c];
+      for (std::int64_t s = 0; s < n; ++s) {
+        const float* plane = input.data() + (s * channels_ + c) * hw;
+        float* xhat = cached_xhat_.data() + (s * channels_ + c) * hw;
+        float* out = output.data() + (s * channels_ + c) * hw;
+        for (std::int64_t i = 0; i < hw; ++i) {
+          const float xh = (plane[i] - static_cast<float>(mean)) * inv_std;
+          xhat[i] = xh;
+          out[i] = g * xh + b;
+        }
+      }
+      // PyTorch stores the *unbiased* variance in running_var.
+      const double unbiased =
+          var * static_cast<double>(count) / static_cast<double>(count - 1);
+      running_mean_[c] = (1.0f - momentum_) * running_mean_[c] +
+                         momentum_ * static_cast<float>(mean);
+      running_var_[c] = (1.0f - momentum_) * running_var_[c] +
+                        momentum_ * static_cast<float>(unbiased);
+    }
+  } else {
+    for (std::int64_t c = 0; c < channels_; ++c) {
+      const float inv_std = 1.0f / std::sqrt(running_var_[c] + eps_);
+      const float g = gamma_[c], b = beta_[c], m = running_mean_[c];
+      for (std::int64_t s = 0; s < n; ++s) {
+        const float* plane = input.data() + (s * channels_ + c) * hw;
+        float* out = output.data() + (s * channels_ + c) * hw;
+        for (std::int64_t i = 0; i < hw; ++i) {
+          out[i] = g * (plane[i] - m) * inv_std + b;
+        }
+      }
+    }
+  }
+  return output;
+}
+
+Tensor BatchNorm2d::backward(const Tensor& grad_output) {
+  DCNAS_CHECK(!cached_xhat_.empty(),
+              "BatchNorm2d::backward requires a training-mode forward pass");
+  DCNAS_CHECK(grad_output.same_shape(cached_xhat_),
+              "BatchNorm2d backward shape mismatch");
+  const std::int64_t n = grad_output.dim(0), h = grad_output.dim(2),
+                     w = grad_output.dim(3);
+  const std::int64_t hw = h * w;
+  const auto count = static_cast<float>(cached_count_);
+  Tensor grad_input(grad_output.shape());
+
+  for (std::int64_t c = 0; c < channels_; ++c) {
+    // Standard batchnorm backward:
+    // dx = (gamma * inv_std / m) * (m*dy - sum(dy) - xhat * sum(dy*xhat))
+    double sum_dy = 0.0, sum_dy_xhat = 0.0;
+    for (std::int64_t s = 0; s < n; ++s) {
+      const float* dy = grad_output.data() + (s * channels_ + c) * hw;
+      const float* xh = cached_xhat_.data() + (s * channels_ + c) * hw;
+      for (std::int64_t i = 0; i < hw; ++i) {
+        sum_dy += dy[i];
+        sum_dy_xhat += static_cast<double>(dy[i]) * xh[i];
+      }
+    }
+    gamma_grad_[c] += static_cast<float>(sum_dy_xhat);
+    beta_grad_[c] += static_cast<float>(sum_dy);
+    const float inv_std = cached_inv_std_[static_cast<std::size_t>(c)];
+    const float scale = gamma_[c] * inv_std / count;
+    const auto sdy = static_cast<float>(sum_dy);
+    const auto sdyx = static_cast<float>(sum_dy_xhat);
+    for (std::int64_t s = 0; s < n; ++s) {
+      const float* dy = grad_output.data() + (s * channels_ + c) * hw;
+      const float* xh = cached_xhat_.data() + (s * channels_ + c) * hw;
+      float* dx = grad_input.data() + (s * channels_ + c) * hw;
+      for (std::int64_t i = 0; i < hw; ++i) {
+        dx[i] = scale * (count * dy[i] - sdy - xh[i] * sdyx);
+      }
+    }
+  }
+  return grad_input;
+}
+
+void BatchNorm2d::collect_params(const std::string& prefix,
+                                 std::vector<ParamRef>& out) {
+  out.push_back({prefix + ".gamma", &gamma_, &gamma_grad_});
+  out.push_back({prefix + ".beta", &beta_, &beta_grad_});
+}
+
+void BatchNorm2d::collect_buffers(const std::string& prefix,
+                                  std::vector<ParamRef>& out) {
+  out.push_back({prefix + ".running_mean", &running_mean_, nullptr});
+  out.push_back({prefix + ".running_var", &running_var_, nullptr});
+}
+
+}  // namespace dcnas::nn

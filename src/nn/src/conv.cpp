@@ -1,0 +1,114 @@
+#include "dcnas/nn/conv.hpp"
+
+#include <vector>
+
+#include "dcnas/common/thread_pool.hpp"
+#include "dcnas/nn/init.hpp"
+#include "dcnas/tensor/gemm.hpp"
+#include "dcnas/tensor/im2col.hpp"
+
+namespace dcnas::nn {
+
+Conv2d::Conv2d(std::int64_t in_channels, std::int64_t out_channels,
+               std::int64_t kernel, std::int64_t stride, std::int64_t padding,
+               bool bias, Rng& rng)
+    : in_channels_(in_channels),
+      out_channels_(out_channels),
+      kernel_(kernel),
+      stride_(stride),
+      padding_(padding),
+      has_bias_(bias) {
+  DCNAS_CHECK(in_channels > 0 && out_channels > 0, "conv channels must be > 0");
+  // Unlike pooling, convolution permits padding >= kernel (PyTorch does
+  // too); the NAS search space pairs kernel 3 with padding 3.
+  DCNAS_CHECK(kernel > 0 && stride > 0 && padding >= 0, "bad conv geometry");
+  weight_ = Tensor({out_channels_, in_channels_ * kernel_ * kernel_});
+  weight_grad_ = Tensor(weight_.shape());
+  const std::int64_t fan_out = out_channels_ * kernel_ * kernel_;
+  kaiming_normal(weight_, fan_out, rng);
+  if (has_bias_) {
+    bias_ = Tensor({out_channels_});
+    bias_grad_ = Tensor({out_channels_});
+  }
+}
+
+Tensor Conv2d::forward(const Tensor& input) {
+  DCNAS_CHECK(input.ndim() == 4, "Conv2d expects NCHW input");
+  DCNAS_CHECK(input.dim(1) == in_channels_,
+              "Conv2d channel mismatch: got " + std::to_string(input.dim(1)) +
+                  ", expected " + std::to_string(in_channels_));
+  const std::int64_t n = input.dim(0), h = input.dim(2), w = input.dim(3);
+  const std::int64_t oh = conv_out_size(h, kernel_, stride_, padding_);
+  const std::int64_t ow = conv_out_size(w, kernel_, stride_, padding_);
+  const std::int64_t col_rows = in_channels_ * kernel_ * kernel_;
+  const std::int64_t col_cols = oh * ow;
+
+  if (training_) cached_input_ = input;
+  Tensor output({n, out_channels_, oh, ow});
+
+  parallel_for_chunked(0, n, [&](std::int64_t lo, std::int64_t hi) {
+    std::vector<float> col(static_cast<std::size_t>(col_rows * col_cols));
+    for (std::int64_t s = lo; s < hi; ++s) {
+      const float* im = input.data() + s * in_channels_ * h * w;
+      im2col(im, in_channels_, h, w, kernel_, stride_, padding_, col.data());
+      float* out = output.data() + s * out_channels_ * col_cols;
+      gemm(out_channels_, col_cols, col_rows, 1.0f, weight_.data(), col.data(),
+           0.0f, out);
+      if (has_bias_) {
+        for (std::int64_t oc = 0; oc < out_channels_; ++oc) {
+          const float b = bias_[oc];
+          float* row = out + oc * col_cols;
+          for (std::int64_t i = 0; i < col_cols; ++i) row[i] += b;
+        }
+      }
+    }
+  });
+  return output;
+}
+
+Tensor Conv2d::backward(const Tensor& grad_output) {
+  DCNAS_CHECK(!cached_input_.empty(),
+              "Conv2d::backward called without a cached forward pass");
+  const Tensor& input = cached_input_;
+  const std::int64_t n = input.dim(0), h = input.dim(2), w = input.dim(3);
+  const std::int64_t oh = grad_output.dim(2), ow = grad_output.dim(3);
+  const std::int64_t col_rows = in_channels_ * kernel_ * kernel_;
+  const std::int64_t col_cols = oh * ow;
+
+  Tensor grad_input(input.shape());
+  // Sample-serial accumulation into weight_grad_ keeps determinism (no
+  // atomics / reduction ordering effects); per-sample GEMMs are themselves
+  // parallel over rows.
+  std::vector<float> col(static_cast<std::size_t>(col_rows * col_cols));
+  std::vector<float> grad_col(static_cast<std::size_t>(col_rows * col_cols));
+  for (std::int64_t s = 0; s < n; ++s) {
+    const float* im = input.data() + s * in_channels_ * h * w;
+    const float* go = grad_output.data() + s * out_channels_ * col_cols;
+    im2col(im, in_channels_, h, w, kernel_, stride_, padding_, col.data());
+    // dW += dY · colᵀ
+    gemm_bt(out_channels_, col_rows, col_cols, 1.0f, go, col.data(), 1.0f,
+            weight_grad_.data());
+    // dCol = Wᵀ · dY
+    gemm_at(col_rows, col_cols, out_channels_, 1.0f, weight_.data(), go, 0.0f,
+            grad_col.data());
+    float* gi = grad_input.data() + s * in_channels_ * h * w;
+    col2im(grad_col.data(), in_channels_, h, w, kernel_, stride_, padding_, gi);
+    if (has_bias_) {
+      for (std::int64_t oc = 0; oc < out_channels_; ++oc) {
+        const float* row = go + oc * col_cols;
+        float acc = 0.0f;
+        for (std::int64_t i = 0; i < col_cols; ++i) acc += row[i];
+        bias_grad_[oc] += acc;
+      }
+    }
+  }
+  return grad_input;
+}
+
+void Conv2d::collect_params(const std::string& prefix,
+                            std::vector<ParamRef>& out) {
+  out.push_back({prefix + ".weight", &weight_, &weight_grad_});
+  if (has_bias_) out.push_back({prefix + ".bias", &bias_, &bias_grad_});
+}
+
+}  // namespace dcnas::nn

@@ -1,0 +1,32 @@
+#include "dcnas/nn/init.hpp"
+
+#include <cmath>
+
+namespace dcnas::nn {
+
+void kaiming_normal(Tensor& w, std::int64_t fan_out, Rng& rng) {
+  DCNAS_CHECK(fan_out > 0, "kaiming_normal requires positive fan_out");
+  const float stddev = std::sqrt(2.0f / static_cast<float>(fan_out));
+  for (std::int64_t i = 0; i < w.numel(); ++i) {
+    w[i] = static_cast<float>(rng.normal(0.0, stddev));
+  }
+}
+
+void xavier_uniform(Tensor& w, std::int64_t fan_in, std::int64_t fan_out,
+                    Rng& rng) {
+  DCNAS_CHECK(fan_in > 0 && fan_out > 0, "xavier_uniform requires positive fans");
+  const float a = std::sqrt(6.0f / static_cast<float>(fan_in + fan_out));
+  for (std::int64_t i = 0; i < w.numel(); ++i) {
+    w[i] = static_cast<float>(rng.uniform(-a, a));
+  }
+}
+
+void linear_default(Tensor& w, std::int64_t fan_in, Rng& rng) {
+  DCNAS_CHECK(fan_in > 0, "linear_default requires positive fan_in");
+  const float a = 1.0f / std::sqrt(static_cast<float>(fan_in));
+  for (std::int64_t i = 0; i < w.numel(); ++i) {
+    w[i] = static_cast<float>(rng.uniform(-a, a));
+  }
+}
+
+}  // namespace dcnas::nn

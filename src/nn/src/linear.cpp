@@ -1,0 +1,64 @@
+#include "dcnas/nn/linear.hpp"
+
+#include "dcnas/nn/init.hpp"
+#include "dcnas/tensor/gemm.hpp"
+
+namespace dcnas::nn {
+
+Linear::Linear(std::int64_t in_features, std::int64_t out_features, Rng& rng)
+    : in_features_(in_features), out_features_(out_features) {
+  DCNAS_CHECK(in_features > 0 && out_features > 0,
+              "Linear features must be > 0");
+  weight_ = Tensor({out_features_, in_features_});
+  bias_ = Tensor({out_features_});
+  weight_grad_ = Tensor(weight_.shape());
+  bias_grad_ = Tensor(bias_.shape());
+  linear_default(weight_, in_features_, rng);
+  linear_default(bias_, in_features_, rng);
+}
+
+Tensor Linear::forward(const Tensor& input) {
+  DCNAS_CHECK(input.ndim() == 2 && input.dim(1) == in_features_,
+              "Linear expects (N, in_features) input");
+  const std::int64_t n = input.dim(0);
+  if (training_) cached_input_ = input;
+  Tensor out({n, out_features_});
+  // y = x · Wᵀ
+  gemm_bt(n, out_features_, in_features_, 1.0f, input.data(), weight_.data(),
+          0.0f, out.data());
+  for (std::int64_t r = 0; r < n; ++r) {
+    float* row = out.data() + r * out_features_;
+    for (std::int64_t c = 0; c < out_features_; ++c) row[c] += bias_[c];
+  }
+  return out;
+}
+
+Tensor Linear::backward(const Tensor& grad_output) {
+  DCNAS_CHECK(!cached_input_.empty(),
+              "Linear::backward without cached forward");
+  const std::int64_t n = cached_input_.dim(0);
+  DCNAS_CHECK(grad_output.ndim() == 2 && grad_output.dim(0) == n &&
+                  grad_output.dim(1) == out_features_,
+              "Linear backward shape mismatch");
+  // dW += dYᵀ · x   (out x in)
+  gemm_at(out_features_, in_features_, n, 1.0f, grad_output.data(),
+          cached_input_.data(), 1.0f, weight_grad_.data());
+  // db += column sums of dY
+  for (std::int64_t r = 0; r < n; ++r) {
+    const float* row = grad_output.data() + r * out_features_;
+    for (std::int64_t c = 0; c < out_features_; ++c) bias_grad_[c] += row[c];
+  }
+  // dx = dY · W   (n x in)
+  Tensor grad_in({n, in_features_});
+  gemm(n, in_features_, out_features_, 1.0f, grad_output.data(),
+       weight_.data(), 0.0f, grad_in.data());
+  return grad_in;
+}
+
+void Linear::collect_params(const std::string& prefix,
+                            std::vector<ParamRef>& out) {
+  out.push_back({prefix + ".weight", &weight_, &weight_grad_});
+  out.push_back({prefix + ".bias", &bias_, &bias_grad_});
+}
+
+}  // namespace dcnas::nn

@@ -1,0 +1,42 @@
+#include "dcnas/nn/loss.hpp"
+
+#include <cmath>
+
+#include "dcnas/common/error.hpp"
+#include "dcnas/tensor/ops.hpp"
+
+namespace dcnas::nn {
+
+double SoftmaxCrossEntropy::forward(const Tensor& logits,
+                                    const std::vector<int>& labels) {
+  DCNAS_CHECK(logits.ndim() == 2, "loss expects (N, classes) logits");
+  const std::int64_t n = logits.dim(0);
+  const std::int64_t classes = logits.dim(1);
+  DCNAS_CHECK(static_cast<std::int64_t>(labels.size()) == n,
+              "label count must match batch size");
+  probs_ = softmax_rows(logits);
+  labels_ = labels;
+  double loss = 0.0;
+  for (std::int64_t i = 0; i < n; ++i) {
+    const int y = labels[static_cast<std::size_t>(i)];
+    DCNAS_CHECK(y >= 0 && y < classes, "label out of range");
+    const double p =
+        std::max(static_cast<double>(probs_.at(i, y)), 1e-12);
+    loss -= std::log(p);
+  }
+  return loss / static_cast<double>(n);
+}
+
+Tensor SoftmaxCrossEntropy::backward() const {
+  DCNAS_CHECK(!probs_.empty(), "loss backward before forward");
+  const std::int64_t n = probs_.dim(0);
+  Tensor grad = probs_;
+  const float inv_n = 1.0f / static_cast<float>(n);
+  for (std::int64_t i = 0; i < n; ++i) {
+    grad.at(i, labels_[static_cast<std::size_t>(i)]) -= 1.0f;
+  }
+  grad.mul_(inv_n);
+  return grad;
+}
+
+}  // namespace dcnas::nn

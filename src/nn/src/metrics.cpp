@@ -1,0 +1,60 @@
+#include "dcnas/nn/metrics.hpp"
+
+#include "dcnas/common/error.hpp"
+#include "dcnas/tensor/ops.hpp"
+
+namespace dcnas::nn {
+
+double accuracy(const Tensor& logits, const std::vector<int>& labels) {
+  DCNAS_CHECK(logits.ndim() == 2, "accuracy expects (N, classes) logits");
+  DCNAS_CHECK(static_cast<std::int64_t>(labels.size()) == logits.dim(0),
+              "label count mismatch");
+  if (labels.empty()) return 0.0;
+  const auto preds = argmax_rows(logits);
+  std::size_t hits = 0;
+  for (std::size_t i = 0; i < labels.size(); ++i) {
+    if (static_cast<int>(preds[i]) == labels[i]) ++hits;
+  }
+  return static_cast<double>(hits) / static_cast<double>(labels.size());
+}
+
+double BinaryConfusion::precision() const {
+  const auto denom = static_cast<double>(tp + fp);
+  return denom > 0.0 ? static_cast<double>(tp) / denom : 0.0;
+}
+
+double BinaryConfusion::recall() const {
+  const auto denom = static_cast<double>(tp + fn);
+  return denom > 0.0 ? static_cast<double>(tp) / denom : 0.0;
+}
+
+double BinaryConfusion::f1() const {
+  const double p = precision();
+  const double r = recall();
+  return (p + r) > 0.0 ? 2.0 * p * r / (p + r) : 0.0;
+}
+
+double BinaryConfusion::accuracy() const {
+  const auto total = static_cast<double>(tp + fp + tn + fn);
+  return total > 0.0 ? static_cast<double>(tp + tn) / total : 0.0;
+}
+
+BinaryConfusion binary_confusion(const std::vector<int>& predictions,
+                                 const std::vector<int>& labels) {
+  DCNAS_CHECK(predictions.size() == labels.size(),
+              "prediction/label count mismatch");
+  BinaryConfusion c;
+  for (std::size_t i = 0; i < labels.size(); ++i) {
+    DCNAS_CHECK((labels[i] == 0 || labels[i] == 1) &&
+                    (predictions[i] == 0 || predictions[i] == 1),
+                "binary_confusion expects 0/1 values");
+    if (labels[i] == 1) {
+      (predictions[i] == 1 ? c.tp : c.fn)++;
+    } else {
+      (predictions[i] == 1 ? c.fp : c.tn)++;
+    }
+  }
+  return c;
+}
+
+}  // namespace dcnas::nn

@@ -1,0 +1,41 @@
+#include "dcnas/nn/module.hpp"
+
+namespace dcnas::nn {
+
+void Module::collect_params(const std::string& /*prefix*/,
+                            std::vector<ParamRef>& /*out*/) {
+  // Parameter-free layers (ReLU, pooling) inherit this no-op.
+}
+
+void Module::collect_buffers(const std::string& /*prefix*/,
+                             std::vector<ParamRef>& /*out*/) {
+  // Most layers carry no non-learnable state.
+}
+
+std::vector<ParamRef> Module::parameters() {
+  std::vector<ParamRef> out;
+  collect_params(name(), out);
+  return out;
+}
+
+std::vector<ParamRef> Module::buffers() {
+  std::vector<ParamRef> out;
+  collect_buffers(name(), out);
+  return out;
+}
+
+void Module::zero_grad() {
+  for (auto& p : parameters()) {
+    if (p.grad) p.grad->zero();
+  }
+}
+
+std::int64_t Module::num_params() {
+  std::int64_t n = 0;
+  for (const auto& p : parameters()) {
+    if (p.value) n += p.value->numel();
+  }
+  return n;
+}
+
+}  // namespace dcnas::nn

@@ -1,0 +1,84 @@
+#include "dcnas/nn/optim.hpp"
+
+#include <cmath>
+
+namespace dcnas::nn {
+
+void Optimizer::zero_grad() {
+  for (auto& p : params_) {
+    if (p.grad) p.grad->zero();
+  }
+}
+
+Sgd::Sgd(std::vector<ParamRef> params, double lr, double momentum,
+         double weight_decay)
+    : Optimizer(std::move(params)),
+      momentum_(momentum),
+      weight_decay_(weight_decay) {
+  DCNAS_CHECK(lr > 0.0, "SGD learning rate must be > 0");
+  DCNAS_CHECK(momentum >= 0.0 && momentum < 1.0, "momentum must be in [0,1)");
+  DCNAS_CHECK(weight_decay >= 0.0, "weight decay must be >= 0");
+  lr_ = lr;
+  velocity_.reserve(params_.size());
+  for (const auto& p : params_) velocity_.emplace_back(p.value->shape());
+}
+
+void Sgd::step() {
+  for (std::size_t k = 0; k < params_.size(); ++k) {
+    Tensor& w = *params_[k].value;
+    const Tensor& g = *params_[k].grad;
+    Tensor& v = velocity_[k];
+    const auto lr = static_cast<float>(lr_);
+    const auto mu = static_cast<float>(momentum_);
+    const auto wd = static_cast<float>(weight_decay_);
+    for (std::int64_t i = 0; i < w.numel(); ++i) {
+      const float grad = g[i] + wd * w[i];
+      v[i] = mu * v[i] + grad;
+      w[i] -= lr * v[i];
+    }
+  }
+}
+
+Adam::Adam(std::vector<ParamRef> params, double lr, double beta1, double beta2,
+           double eps, double weight_decay)
+    : Optimizer(std::move(params)),
+      beta1_(beta1),
+      beta2_(beta2),
+      eps_(eps),
+      weight_decay_(weight_decay) {
+  DCNAS_CHECK(lr > 0.0, "Adam learning rate must be > 0");
+  DCNAS_CHECK(beta1 >= 0.0 && beta1 < 1.0, "beta1 must be in [0,1)");
+  DCNAS_CHECK(beta2 >= 0.0 && beta2 < 1.0, "beta2 must be in [0,1)");
+  lr_ = lr;
+  m_.reserve(params_.size());
+  v_.reserve(params_.size());
+  for (const auto& p : params_) {
+    m_.emplace_back(p.value->shape());
+    v_.emplace_back(p.value->shape());
+  }
+}
+
+void Adam::step() {
+  ++t_;
+  const double bc1 = 1.0 - std::pow(beta1_, static_cast<double>(t_));
+  const double bc2 = 1.0 - std::pow(beta2_, static_cast<double>(t_));
+  const auto lr = static_cast<float>(lr_ * std::sqrt(bc2) / bc1);
+  for (std::size_t k = 0; k < params_.size(); ++k) {
+    Tensor& w = *params_[k].value;
+    const Tensor& g = *params_[k].grad;
+    Tensor& m = m_[k];
+    Tensor& v = v_[k];
+    const auto b1 = static_cast<float>(beta1_);
+    const auto b2 = static_cast<float>(beta2_);
+    const auto wd = static_cast<float>(weight_decay_);
+    const auto eps = static_cast<float>(eps_);
+    for (std::int64_t i = 0; i < w.numel(); ++i) {
+      const float grad = g[i] + wd * w[i];
+      m[i] = b1 * m[i] + (1.0f - b1) * grad;
+      v[i] = b2 * v[i] + (1.0f - b2) * grad * grad;
+      w[i] -= lr * m[i] / (std::sqrt(v[i]) + eps);
+    }
+  }
+}
+
+}  // namespace dcnas::nn

@@ -1,0 +1,38 @@
+#include "dcnas/nn/pooling.hpp"
+
+#include "dcnas/tensor/ops.hpp"
+
+namespace dcnas::nn {
+
+MaxPool2d::MaxPool2d(std::int64_t kernel, std::int64_t stride,
+                     std::int64_t padding)
+    : kernel_(kernel), stride_(stride), padding_(padding) {
+  DCNAS_CHECK(kernel > 0 && stride > 0 && padding >= 0, "bad pool geometry");
+  // PyTorch enforces this so no pooling window is entirely padding.
+  DCNAS_CHECK(padding <= kernel / 2,
+              "pool padding must be at most half the kernel size");
+}
+
+Tensor MaxPool2d::forward(const Tensor& input) {
+  input_shape_ = input.shape();
+  return maxpool2d_forward(input, kernel_, stride_, padding_,
+                           training_ ? &argmax_ : nullptr);
+}
+
+Tensor MaxPool2d::backward(const Tensor& grad_output) {
+  DCNAS_CHECK(!argmax_.empty(), "MaxPool2d::backward without cached forward");
+  return maxpool2d_backward(grad_output, input_shape_, argmax_);
+}
+
+Tensor GlobalAvgPool::forward(const Tensor& input) {
+  input_shape_ = input.shape();
+  return global_avgpool_forward(input);
+}
+
+Tensor GlobalAvgPool::backward(const Tensor& grad_output) {
+  DCNAS_CHECK(!input_shape_.empty(),
+              "GlobalAvgPool::backward without cached forward");
+  return global_avgpool_backward(grad_output, input_shape_);
+}
+
+}  // namespace dcnas::nn

@@ -1,0 +1,86 @@
+#include "dcnas/nn/residual.hpp"
+
+#include "dcnas/tensor/ops.hpp"
+
+namespace dcnas::nn {
+
+BasicBlock::BasicBlock(std::int64_t in_channels, std::int64_t out_channels,
+                       std::int64_t stride, Rng& rng)
+    : out_channels_(out_channels), stride_(stride) {
+  DCNAS_CHECK(stride == 1 || stride == 2, "BasicBlock stride must be 1 or 2");
+  conv1_ = std::make_unique<Conv2d>(in_channels, out_channels, 3, stride, 1,
+                                    /*bias=*/false, rng);
+  bn1_ = std::make_unique<BatchNorm2d>(out_channels);
+  conv2_ = std::make_unique<Conv2d>(out_channels, out_channels, 3, 1, 1,
+                                    /*bias=*/false, rng);
+  bn2_ = std::make_unique<BatchNorm2d>(out_channels);
+  if (stride != 1 || in_channels != out_channels) {
+    proj_conv_ = std::make_unique<Conv2d>(in_channels, out_channels, 1, stride,
+                                          0, /*bias=*/false, rng);
+    proj_bn_ = std::make_unique<BatchNorm2d>(out_channels);
+  }
+}
+
+Tensor BasicBlock::forward(const Tensor& input) {
+  Tensor y = bn1_->forward(conv1_->forward(input));
+  relu_inplace(y, training_ ? &relu1_mask_ : nullptr);
+  y = bn2_->forward(conv2_->forward(y));
+  Tensor shortcut =
+      proj_conv_ ? proj_bn_->forward(proj_conv_->forward(input)) : input;
+  y.add_(shortcut);
+  relu_inplace(y, training_ ? &relu2_mask_ : nullptr);
+  return y;
+}
+
+Tensor BasicBlock::backward(const Tensor& grad_output) {
+  DCNAS_CHECK(!relu2_mask_.empty(), "BasicBlock::backward without forward");
+  // Through the final ReLU.
+  Tensor g = grad_output;
+  for (std::int64_t i = 0; i < g.numel(); ++i) g[i] *= relu2_mask_[i];
+  // The add fans the gradient out to both branches.
+  Tensor g_short = g;
+  // Main branch: bn2 <- conv2 <- relu1 <- bn1 <- conv1.
+  Tensor g_main = conv2_->backward(bn2_->backward(g));
+  for (std::int64_t i = 0; i < g_main.numel(); ++i)
+    g_main[i] *= relu1_mask_[i];
+  g_main = conv1_->backward(bn1_->backward(g_main));
+  // Shortcut branch.
+  if (proj_conv_) {
+    g_short = proj_conv_->backward(proj_bn_->backward(g_short));
+  }
+  g_main.add_(g_short);
+  return g_main;
+}
+
+void BasicBlock::collect_params(const std::string& prefix,
+                                std::vector<ParamRef>& out) {
+  conv1_->collect_params(prefix + ".conv1", out);
+  bn1_->collect_params(prefix + ".bn1", out);
+  conv2_->collect_params(prefix + ".conv2", out);
+  bn2_->collect_params(prefix + ".bn2", out);
+  if (proj_conv_) {
+    proj_conv_->collect_params(prefix + ".proj_conv", out);
+    proj_bn_->collect_params(prefix + ".proj_bn", out);
+  }
+}
+
+void BasicBlock::collect_buffers(const std::string& prefix,
+                                 std::vector<ParamRef>& out) {
+  bn1_->collect_buffers(prefix + ".bn1", out);
+  bn2_->collect_buffers(prefix + ".bn2", out);
+  if (proj_bn_) proj_bn_->collect_buffers(prefix + ".proj_bn", out);
+}
+
+void BasicBlock::set_training(bool training) {
+  Module::set_training(training);
+  conv1_->set_training(training);
+  bn1_->set_training(training);
+  conv2_->set_training(training);
+  bn2_->set_training(training);
+  if (proj_conv_) {
+    proj_conv_->set_training(training);
+    proj_bn_->set_training(training);
+  }
+}
+
+}  // namespace dcnas::nn

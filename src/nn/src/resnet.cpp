@@ -1,0 +1,133 @@
+#include "dcnas/nn/resnet.hpp"
+
+#include <sstream>
+
+#include "dcnas/nn/activations.hpp"
+#include "dcnas/nn/batchnorm.hpp"
+#include "dcnas/nn/conv.hpp"
+#include "dcnas/nn/linear.hpp"
+#include "dcnas/nn/pooling.hpp"
+#include "dcnas/nn/residual.hpp"
+#include "dcnas/tensor/im2col.hpp"
+
+namespace dcnas::nn {
+
+ResNetConfig ResNetConfig::baseline(std::int64_t channels) {
+  ResNetConfig c;
+  c.in_channels = channels;
+  return c;
+}
+
+void ResNetConfig::validate() const {
+  DCNAS_CHECK(in_channels == 5 || in_channels == 7,
+              "in_channels must be 5 or 7 (paper's input variants)");
+  DCNAS_CHECK(conv1_kernel == 3 || conv1_kernel == 7,
+              "conv1_kernel must be 3 or 7");
+  DCNAS_CHECK(conv1_stride == 1 || conv1_stride == 2,
+              "conv1_stride must be 1 or 2");
+  DCNAS_CHECK(conv1_padding >= 1 && conv1_padding <= 3,
+              "conv1_padding must be in {1, 2, 3}");
+  DCNAS_CHECK(pool_kernel == 2 || pool_kernel == 3,
+              "pool_kernel must be 2 or 3");
+  DCNAS_CHECK(pool_stride == 1 || pool_stride == 2,
+              "pool_stride must be 1 or 2");
+  DCNAS_CHECK(init_width == 32 || init_width == 48 || init_width == 64,
+              "init_width must be in {32, 48, 64}");
+  DCNAS_CHECK(num_classes >= 2, "num_classes must be >= 2");
+}
+
+std::int64_t ResNetConfig::stage_width(int stage) const {
+  DCNAS_CHECK(stage >= 0 && stage < 4, "ResNet-18 has four stages");
+  return init_width << stage;
+}
+
+std::string ResNetConfig::to_string() const {
+  std::ostringstream os;
+  os << "ResNetConfig{ch=" << in_channels << ", k=" << conv1_kernel
+     << ", s=" << conv1_stride << ", p=" << conv1_padding
+     << ", pool=" << (with_pool ? "yes" : "no");
+  if (with_pool) os << "(k=" << pool_kernel << ",s=" << pool_stride << ")";
+  os << ", width=" << init_width << ", classes=" << num_classes << "}";
+  return os.str();
+}
+
+ConfigurableResNet::ConfigurableResNet(const ResNetConfig& config, Rng& rng)
+    : config_(config) {
+  config_.validate();
+  const std::int64_t w = config_.init_width;
+  body_.emplace<Conv2d>(config_.in_channels, w, config_.conv1_kernel,
+                        config_.conv1_stride, config_.conv1_padding,
+                        /*bias=*/false, rng);
+  body_.emplace<BatchNorm2d>(w);
+  body_.emplace<ReLU>();
+  if (config_.with_pool) {
+    // Same padding convention as torchvision's ResNet stem (k3 -> p1).
+    body_.emplace<MaxPool2d>(config_.pool_kernel, config_.pool_stride,
+                             (config_.pool_kernel - 1) / 2);
+  }
+  // Four stages of two BasicBlocks; stages 2-4 halve the spatial size.
+  std::int64_t in_ch = w;
+  for (int stage = 0; stage < 4; ++stage) {
+    const std::int64_t out_ch = config_.stage_width(stage);
+    const std::int64_t stride = (stage == 0) ? 1 : 2;
+    body_.emplace<BasicBlock>(in_ch, out_ch, stride, rng);
+    body_.emplace<BasicBlock>(out_ch, out_ch, 1, rng);
+    in_ch = out_ch;
+  }
+  body_.emplace<GlobalAvgPool>();
+  body_.emplace<Linear>(config_.fc_in_features(), config_.num_classes, rng);
+}
+
+Tensor ConfigurableResNet::forward(const Tensor& input) {
+  DCNAS_CHECK(input.ndim() == 4 && input.dim(1) == config_.in_channels,
+              "ConfigurableResNet expects NCHW input with " +
+                  std::to_string(config_.in_channels) + " channels");
+  return body_.forward(input);
+}
+
+Tensor ConfigurableResNet::backward(const Tensor& grad_output) {
+  return body_.backward(grad_output);
+}
+
+void ConfigurableResNet::collect_params(const std::string& prefix,
+                                        std::vector<ParamRef>& out) {
+  body_.collect_params(prefix, out);
+}
+
+void ConfigurableResNet::collect_buffers(const std::string& prefix,
+                                         std::vector<ParamRef>& out) {
+  body_.collect_buffers(prefix, out);
+}
+
+void ConfigurableResNet::set_training(bool training) {
+  Module::set_training(training);
+  body_.set_training(training);
+}
+
+std::string ConfigurableResNet::summary(std::int64_t input_hw) const {
+  std::ostringstream os;
+  std::int64_t hw = input_hw;
+  os << "ConfigurableResNet " << config_.to_string() << "\n";
+  os << "  input:            (" << config_.in_channels << ", " << hw << ", "
+     << hw << ")\n";
+  hw = conv_out_size(hw, config_.conv1_kernel, config_.conv1_stride,
+                     config_.conv1_padding);
+  os << "  conv1+bn+relu:    (" << config_.init_width << ", " << hw << ", "
+     << hw << ")\n";
+  if (config_.with_pool) {
+    hw = conv_out_size(hw, config_.pool_kernel, config_.pool_stride,
+                       (config_.pool_kernel - 1) / 2);
+    os << "  maxpool:          (" << config_.init_width << ", " << hw << ", "
+       << hw << ")\n";
+  }
+  for (int stage = 0; stage < 4; ++stage) {
+    if (stage > 0) hw = (hw + 1) / 2;  // stride-2 first block, padding 1
+    os << "  stage" << (stage + 1) << " x2 blocks: ("
+       << config_.stage_width(stage) << ", " << hw << ", " << hw << ")\n";
+  }
+  os << "  global avg pool:  (" << config_.fc_in_features() << ")\n";
+  os << "  fc:               (" << config_.num_classes << ")\n";
+  return os.str();
+}
+
+}  // namespace dcnas::nn

@@ -1,0 +1,50 @@
+#include "dcnas/nn/sequential.hpp"
+
+namespace dcnas::nn {
+
+void Sequential::append(ModulePtr layer) {
+  DCNAS_CHECK(layer != nullptr, "Sequential::append requires a layer");
+  layers_.push_back(std::move(layer));
+}
+
+Tensor Sequential::forward(const Tensor& input) {
+  Tensor x = input;
+  for (auto& layer : layers_) x = layer->forward(x);
+  return x;
+}
+
+Tensor Sequential::backward(const Tensor& grad_output) {
+  Tensor g = grad_output;
+  for (auto it = layers_.rbegin(); it != layers_.rend(); ++it) {
+    g = (*it)->backward(g);
+  }
+  return g;
+}
+
+void Sequential::collect_params(const std::string& prefix,
+                                std::vector<ParamRef>& out) {
+  for (std::size_t i = 0; i < layers_.size(); ++i) {
+    layers_[i]->collect_params(
+        prefix + "." + std::to_string(i) + "_" + layers_[i]->name(), out);
+  }
+}
+
+void Sequential::collect_buffers(const std::string& prefix,
+                                 std::vector<ParamRef>& out) {
+  for (std::size_t i = 0; i < layers_.size(); ++i) {
+    layers_[i]->collect_buffers(
+        prefix + "." + std::to_string(i) + "_" + layers_[i]->name(), out);
+  }
+}
+
+void Sequential::set_training(bool training) {
+  Module::set_training(training);
+  for (auto& layer : layers_) layer->set_training(training);
+}
+
+Module& Sequential::layer(std::size_t i) {
+  DCNAS_CHECK(i < layers_.size(), "Sequential layer index out of range");
+  return *layers_[i];
+}
+
+}  // namespace dcnas::nn

@@ -1,0 +1,114 @@
+#include "dcnas/nn/trainer.hpp"
+
+#include <algorithm>
+#include <cstring>
+#include <numeric>
+
+#include "dcnas/common/logging.hpp"
+#include "dcnas/common/rng.hpp"
+#include "dcnas/nn/metrics.hpp"
+#include "dcnas/tensor/ops.hpp"
+
+namespace dcnas::nn {
+
+Tensor gather_batch(const Tensor& images,
+                    const std::vector<std::int64_t>& indices) {
+  DCNAS_CHECK(images.ndim() == 4, "gather_batch expects NCHW images");
+  const std::int64_t chw = images.dim(1) * images.dim(2) * images.dim(3);
+  Tensor batch({static_cast<std::int64_t>(indices.size()), images.dim(1),
+                images.dim(2), images.dim(3)});
+  for (std::size_t i = 0; i < indices.size(); ++i) {
+    const std::int64_t src = indices[i];
+    DCNAS_CHECK(src >= 0 && src < images.dim(0),
+                "gather_batch index out of range");
+    std::memcpy(batch.data() + static_cast<std::int64_t>(i) * chw,
+                images.data() + src * chw,
+                static_cast<std::size_t>(chw) * sizeof(float));
+  }
+  return batch;
+}
+
+FitResult fit(Module& model, const Tensor& images,
+              const std::vector<int>& labels, const TrainOptions& options) {
+  DCNAS_CHECK(images.ndim() == 4, "fit expects NCHW images");
+  const std::int64_t n = images.dim(0);
+  DCNAS_CHECK(static_cast<std::int64_t>(labels.size()) == n,
+              "fit label count mismatch");
+  DCNAS_CHECK(options.epochs > 0 && options.batch_size > 0,
+              "fit requires positive epochs and batch size");
+  DCNAS_CHECK(n >= 2, "fit needs at least two samples (BatchNorm)");
+
+  Rng rng(options.seed);
+  model.set_training(true);
+  Sgd optimizer(model.parameters(), options.lr, options.momentum,
+                options.weight_decay);
+  SoftmaxCrossEntropy loss;
+
+  std::vector<std::int64_t> order(static_cast<std::size_t>(n));
+  std::iota(order.begin(), order.end(), 0);
+
+  FitResult result;
+  for (int epoch = 0; epoch < options.epochs; ++epoch) {
+    if (options.shuffle) rng.shuffle(order);
+    double loss_sum = 0.0;
+    double acc_sum = 0.0;
+    std::int64_t batches = 0;
+    for (std::int64_t start = 0; start + 1 < n; start += options.batch_size) {
+      const std::int64_t end = std::min(start + options.batch_size, n);
+      if (end - start < 2) break;  // BatchNorm needs >= 2 values per channel
+      std::vector<std::int64_t> idx(order.begin() + start, order.begin() + end);
+      const Tensor batch = gather_batch(images, idx);
+      std::vector<int> batch_labels(idx.size());
+      for (std::size_t i = 0; i < idx.size(); ++i) {
+        batch_labels[i] = labels[static_cast<std::size_t>(idx[i])];
+      }
+      const Tensor logits = model.forward(batch);
+      loss_sum += loss.forward(logits, batch_labels);
+      acc_sum += accuracy(logits, batch_labels);
+      ++batches;
+      optimizer.zero_grad();
+      model.backward(loss.backward());
+      optimizer.step();
+    }
+    DCNAS_ASSERT(batches > 0, "fit produced no batches");
+    result.epoch_loss.push_back(loss_sum / static_cast<double>(batches));
+    result.epoch_accuracy.push_back(acc_sum / static_cast<double>(batches));
+    if (options.verbose) {
+      DCNAS_LOG_INFO << "epoch " << (epoch + 1) << "/" << options.epochs
+                     << " loss=" << result.epoch_loss.back()
+                     << " acc=" << result.epoch_accuracy.back();
+    }
+  }
+  return result;
+}
+
+double evaluate_accuracy(Module& model, const Tensor& images,
+                         const std::vector<int>& labels,
+                         std::int64_t batch_size) {
+  DCNAS_CHECK(images.ndim() == 4, "evaluate_accuracy expects NCHW images");
+  const std::int64_t n = images.dim(0);
+  DCNAS_CHECK(static_cast<std::int64_t>(labels.size()) == n,
+              "label count mismatch");
+  DCNAS_CHECK(batch_size > 0, "batch_size must be > 0");
+  if (n == 0) return 0.0;
+  model.set_training(false);
+  std::int64_t hits = 0;
+  for (std::int64_t start = 0; start < n; start += batch_size) {
+    const std::int64_t end = std::min(start + batch_size, n);
+    std::vector<std::int64_t> idx(static_cast<std::size_t>(end - start));
+    std::iota(idx.begin(), idx.end(), start);
+    const Tensor batch = gather_batch(images, idx);
+    const Tensor logits = model.forward(batch);
+    const auto preds = argmax_rows(logits);
+    for (std::size_t i = 0; i < preds.size(); ++i) {
+      if (static_cast<int>(preds[i]) ==
+          labels[static_cast<std::size_t>(start) + i]) {
+        ++hits;
+      }
+    }
+  }
+  model.set_training(true);
+  return static_cast<double>(hits) / static_cast<double>(n);
+}
+
+}  // namespace dcnas::nn

@@ -1,0 +1,40 @@
+#pragma once
+/// \file export.hpp
+/// \brief Figure data exporters: the 3-D scatter of Figure 3 (CSV + ASCII
+/// projections) and the radar plots of Figure 4.
+
+#include <string>
+#include <vector>
+
+#include "dcnas/common/csv.hpp"
+#include "dcnas/pareto/pareto.hpp"
+
+namespace dcnas::pareto {
+
+/// CSV with raw + normalized objectives and a non-dominated flag — the
+/// exact data behind Figure 3's interactive scatter.
+CsvTable scatter_csv(const std::vector<Objectives>& points,
+                     const std::vector<std::size_t>& front);
+
+/// ASCII 2-D projection of the scatter ('.' dominated, '#' front) for
+/// terminal inspection; axes chosen by name: "latency-accuracy",
+/// "memory-accuracy" or "latency-memory".
+std::string ascii_scatter(const std::vector<Objectives>& points,
+                          const std::vector<std::size_t>& front,
+                          const std::string& projection, int width = 72,
+                          int height = 24);
+
+/// One radar row per front member: normalized objective axes (accuracy,
+/// 1-latency, 1-memory so larger = better) plus normalized configuration
+/// axes supplied by the caller — Figure 4's data.
+struct RadarRow {
+  std::string label;
+  std::vector<std::pair<std::string, double>> axes;  ///< values in [0, 1]
+};
+
+CsvTable radar_csv(const std::vector<RadarRow>& rows);
+
+/// Renders radar rows as aligned text bars for terminal output.
+std::string radar_text(const std::vector<RadarRow>& rows, int bar_width = 30);
+
+}  // namespace dcnas::pareto

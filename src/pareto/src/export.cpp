@@ -1,0 +1,105 @@
+#include "dcnas/pareto/export.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+#include <sstream>
+
+#include "dcnas/common/error.hpp"
+#include "dcnas/common/strings.hpp"
+
+namespace dcnas::pareto {
+
+CsvTable scatter_csv(const std::vector<Objectives>& points,
+                     const std::vector<std::size_t>& front) {
+  CsvTable table({"index", "accuracy", "latency_ms", "memory_mb",
+                  "accuracy_norm", "latency_norm", "memory_norm",
+                  "non_dominated"});
+  const auto norm = normalize(points);
+  const std::set<std::size_t> front_set(front.begin(), front.end());
+  for (std::size_t i = 0; i < points.size(); ++i) {
+    table.add_row({std::to_string(i), format_fixed(points[i].accuracy, 4),
+                   format_fixed(points[i].latency_ms, 4),
+                   format_fixed(points[i].memory_mb, 4),
+                   format_fixed(norm[i].accuracy, 6),
+                   format_fixed(norm[i].latency, 6),
+                   format_fixed(norm[i].memory, 6),
+                   front_set.count(i) ? "1" : "0"});
+  }
+  return table;
+}
+
+std::string ascii_scatter(const std::vector<Objectives>& points,
+                          const std::vector<std::size_t>& front,
+                          const std::string& projection, int width,
+                          int height) {
+  DCNAS_CHECK(!points.empty(), "scatter of empty point set");
+  DCNAS_CHECK(width >= 10 && height >= 5, "scatter canvas too small");
+  const auto norm = normalize(points);
+  auto pick = [&](const NormalizedObjectives& n) -> std::pair<double, double> {
+    if (projection == "latency-accuracy") return {n.latency, n.accuracy};
+    if (projection == "memory-accuracy") return {n.memory, n.accuracy};
+    if (projection == "latency-memory") return {n.latency, n.memory};
+    throw InvalidArgument("unknown scatter projection: " + projection);
+  };
+  std::vector<std::string> canvas(static_cast<std::size_t>(height),
+                                  std::string(static_cast<std::size_t>(width), ' '));
+  auto plot = [&](std::size_t i, char ch) {
+    const auto [x, y] = pick(norm[i]);
+    const int cx = std::min(width - 1, static_cast<int>(x * (width - 1)));
+    const int cy =
+        height - 1 - std::min(height - 1, static_cast<int>(y * (height - 1)));
+    canvas[static_cast<std::size_t>(cy)][static_cast<std::size_t>(cx)] = ch;
+  };
+  const std::set<std::size_t> front_set(front.begin(), front.end());
+  for (std::size_t i = 0; i < points.size(); ++i) {
+    if (!front_set.count(i)) plot(i, '.');
+  }
+  for (std::size_t i : front) plot(i, '#');  // front drawn on top
+  std::ostringstream os;
+  os << projection << "  ('.' dominated, '#' non-dominated)\n";
+  for (const auto& row : canvas) os << "|" << row << "|\n";
+  return os.str();
+}
+
+CsvTable radar_csv(const std::vector<RadarRow>& rows) {
+  DCNAS_CHECK(!rows.empty(), "radar_csv needs at least one row");
+  std::vector<std::string> header = {"label"};
+  for (const auto& [axis, value] : rows.front().axes) {
+    (void)value;
+    header.push_back(axis);
+  }
+  CsvTable table(header);
+  for (const auto& row : rows) {
+    DCNAS_CHECK(row.axes.size() + 1 == header.size(),
+                "radar rows must share the same axes");
+    std::vector<std::string> cells = {row.label};
+    for (const auto& [axis, value] : row.axes) {
+      DCNAS_CHECK(axis == header[cells.size()], "radar axis order mismatch");
+      cells.push_back(format_fixed(value, 6));
+    }
+    table.add_row(std::move(cells));
+  }
+  return table;
+}
+
+std::string radar_text(const std::vector<RadarRow>& rows, int bar_width) {
+  DCNAS_CHECK(bar_width >= 4, "radar bar width too small");
+  std::ostringstream os;
+  for (const auto& row : rows) {
+    os << row.label << "\n";
+    for (const auto& [axis, value] : row.axes) {
+      DCNAS_CHECK(value >= -1e-9 && value <= 1.0 + 1e-9,
+                  "radar axis values must be normalized to [0,1]");
+      const int filled = static_cast<int>(
+          std::lround(std::clamp(value, 0.0, 1.0) * bar_width));
+      os << "  " << pad(axis, 22) << " ["
+         << std::string(static_cast<std::size_t>(filled), '=')
+         << std::string(static_cast<std::size_t>(bar_width - filled), ' ')
+         << "] " << format_fixed(value, 3) << "\n";
+    }
+  }
+  return os.str();
+}
+
+}  // namespace dcnas::pareto

@@ -1,0 +1,175 @@
+#include "dcnas/pareto/pareto.hpp"
+
+#include <algorithm>
+#include <limits>
+
+#include "dcnas/common/error.hpp"
+
+namespace dcnas::pareto {
+
+bool dominates(const Objectives& a, const Objectives& b, DominanceMode mode) {
+  if (mode == DominanceMode::kStrictAll) {
+    return a.accuracy > b.accuracy && a.latency_ms < b.latency_ms &&
+           a.memory_mb < b.memory_mb;
+  }
+  const bool no_worse = a.accuracy >= b.accuracy &&
+                        a.latency_ms <= b.latency_ms &&
+                        a.memory_mb <= b.memory_mb;
+  const bool better = a.accuracy > b.accuracy || a.latency_ms < b.latency_ms ||
+                      a.memory_mb < b.memory_mb;
+  return no_worse && better;
+}
+
+std::vector<std::size_t> non_dominated_indices(
+    const std::vector<Objectives>& points, DominanceMode mode) {
+  std::vector<std::size_t> out;
+  for (std::size_t i = 0; i < points.size(); ++i) {
+    bool dominated = false;
+    for (std::size_t j = 0; j < points.size() && !dominated; ++j) {
+      if (j != i && dominates(points[j], points[i], mode)) dominated = true;
+    }
+    if (!dominated) out.push_back(i);
+  }
+  return out;
+}
+
+std::vector<std::vector<std::size_t>> fast_non_dominated_sort(
+    const std::vector<Objectives>& points, DominanceMode mode) {
+  const std::size_t n = points.size();
+  std::vector<int> domination_count(n, 0);
+  std::vector<std::vector<std::size_t>> dominated_by(n);
+  std::vector<std::vector<std::size_t>> fronts;
+  std::vector<std::size_t> current;
+  for (std::size_t p = 0; p < n; ++p) {
+    for (std::size_t q = 0; q < n; ++q) {
+      if (p == q) continue;
+      if (dominates(points[p], points[q], mode)) {
+        dominated_by[p].push_back(q);
+      } else if (dominates(points[q], points[p], mode)) {
+        ++domination_count[p];
+      }
+    }
+    if (domination_count[p] == 0) current.push_back(p);
+  }
+  while (!current.empty()) {
+    fronts.push_back(current);
+    std::vector<std::size_t> next;
+    for (std::size_t p : current) {
+      for (std::size_t q : dominated_by[p]) {
+        if (--domination_count[q] == 0) next.push_back(q);
+      }
+    }
+    std::sort(next.begin(), next.end());
+    current = std::move(next);
+  }
+  return fronts;
+}
+
+std::vector<NormalizedObjectives> normalize(
+    const std::vector<Objectives>& points) {
+  DCNAS_CHECK(!points.empty(), "normalize of empty point set");
+  Objectives lo = points.front();
+  Objectives hi = points.front();
+  for (const auto& p : points) {
+    lo.accuracy = std::min(lo.accuracy, p.accuracy);
+    hi.accuracy = std::max(hi.accuracy, p.accuracy);
+    lo.latency_ms = std::min(lo.latency_ms, p.latency_ms);
+    hi.latency_ms = std::max(hi.latency_ms, p.latency_ms);
+    lo.memory_mb = std::min(lo.memory_mb, p.memory_mb);
+    hi.memory_mb = std::max(hi.memory_mb, p.memory_mb);
+  }
+  auto scale = [](double v, double lo_v, double hi_v) {
+    return (hi_v > lo_v) ? (v - lo_v) / (hi_v - lo_v) : 0.5;
+  };
+  std::vector<NormalizedObjectives> out;
+  out.reserve(points.size());
+  for (const auto& p : points) {
+    out.push_back({scale(p.accuracy, lo.accuracy, hi.accuracy),
+                   scale(p.latency_ms, lo.latency_ms, hi.latency_ms),
+                   scale(p.memory_mb, lo.memory_mb, hi.memory_mb)});
+  }
+  return out;
+}
+
+std::vector<double> crowding_distances(const std::vector<Objectives>& points,
+                                       const std::vector<std::size_t>& front) {
+  const std::size_t n = front.size();
+  std::vector<double> dist(n, 0.0);
+  if (n <= 2) {
+    std::fill(dist.begin(), dist.end(),
+              std::numeric_limits<double>::infinity());
+    return dist;
+  }
+  auto accumulate = [&](auto getter) {
+    std::vector<std::size_t> order(n);
+    for (std::size_t i = 0; i < n; ++i) order[i] = i;
+    std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+      return getter(points[front[a]]) < getter(points[front[b]]);
+    });
+    const double lo = getter(points[front[order.front()]]);
+    const double hi = getter(points[front[order.back()]]);
+    dist[order.front()] = std::numeric_limits<double>::infinity();
+    dist[order.back()] = std::numeric_limits<double>::infinity();
+    if (hi <= lo) return;  // degenerate objective
+    for (std::size_t i = 1; i + 1 < n; ++i) {
+      dist[order[i]] += (getter(points[front[order[i + 1]]]) -
+                         getter(points[front[order[i - 1]]])) /
+                        (hi - lo);
+    }
+  };
+  accumulate([](const Objectives& o) { return o.accuracy; });
+  accumulate([](const Objectives& o) { return o.latency_ms; });
+  accumulate([](const Objectives& o) { return o.memory_mb; });
+  return dist;
+}
+
+double hypervolume(const std::vector<Objectives>& points,
+                   const Objectives& reference) {
+  // Transform to origin-anchored boxes: every point must be inside the
+  // reference octant.
+  struct Box {
+    double x, y, z;  // latency slack, memory slack, accuracy gain
+  };
+  std::vector<Box> boxes;
+  boxes.reserve(points.size());
+  for (const auto& p : points) {
+    DCNAS_CHECK(p.latency_ms <= reference.latency_ms &&
+                    p.memory_mb <= reference.memory_mb &&
+                    p.accuracy >= reference.accuracy,
+                "hypervolume point outside the reference octant");
+    boxes.push_back({reference.latency_ms - p.latency_ms,
+                     reference.memory_mb - p.memory_mb,
+                     p.accuracy - reference.accuracy});
+  }
+  if (boxes.empty()) return 0.0;
+  // Sweep accuracy (z) levels from high to low; between consecutive levels
+  // the covered (x, y) region is the union of origin-anchored rectangles of
+  // all boxes with z >= level, whose area is a staircase sum.
+  std::sort(boxes.begin(), boxes.end(),
+            [](const Box& a, const Box& b) { return a.z > b.z; });
+  auto staircase_area = [](std::vector<Box> active) {
+    std::sort(active.begin(), active.end(),
+              [](const Box& a, const Box& b) { return a.x > b.x; });
+    double area = 0.0;
+    double ymax = 0.0;
+    for (std::size_t i = 0; i < active.size(); ++i) {
+      const double next_x = (i + 1 < active.size()) ? active[i + 1].x : 0.0;
+      ymax = std::max(ymax, active[i].y);
+      area += (active[i].x - next_x) * ymax;
+    }
+    return area;
+  };
+  double volume = 0.0;
+  std::vector<Box> active;
+  for (std::size_t i = 0; i < boxes.size(); ++i) {
+    active.push_back(boxes[i]);
+    const double z_hi = boxes[i].z;
+    const double z_lo = (i + 1 < boxes.size()) ? boxes[i + 1].z : 0.0;
+    if (z_hi > z_lo) {
+      volume += staircase_area(active) * (z_hi - z_lo);
+    }
+  }
+  return volume;
+}
+
+}  // namespace dcnas::pareto

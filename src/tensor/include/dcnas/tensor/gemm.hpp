@@ -1,0 +1,33 @@
+#pragma once
+/// \file gemm.hpp
+/// \brief Blocked, thread-parallel single-precision matrix multiplication.
+///
+/// This GEMM is the computational heart of the training stack: convolution
+/// lowers to im2col + GEMM, and Linear layers call it directly. The kernel is
+/// a cache-blocked ikj loop with the inner j-loop written for
+/// auto-vectorization; rows are distributed across the global thread pool.
+
+#include <cstdint>
+
+#include "dcnas/tensor/tensor.hpp"
+
+namespace dcnas {
+
+/// C(MxN) = alpha * A(MxK) * B(KxN) + beta * C.
+/// A, B, C are dense row-major buffers (no aliasing between C and A/B).
+void gemm(std::int64_t m, std::int64_t n, std::int64_t k, float alpha,
+          const float* a, const float* b, float beta, float* c);
+
+/// C(MxN) = A(MxK) * B^T (N x K stored row-major) — used in backward passes
+/// where one operand is naturally transposed.
+void gemm_bt(std::int64_t m, std::int64_t n, std::int64_t k, float alpha,
+             const float* a, const float* b_t, float beta, float* c);
+
+/// C(MxN) = A^T (K x M stored row-major) * B(KxN).
+void gemm_at(std::int64_t m, std::int64_t n, std::int64_t k, float alpha,
+             const float* a_t, const float* b, float beta, float* c);
+
+/// Tensor-level convenience: returns A·B for 2-D tensors.
+Tensor matmul(const Tensor& a, const Tensor& b);
+
+}  // namespace dcnas

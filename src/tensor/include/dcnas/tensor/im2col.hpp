@@ -1,0 +1,32 @@
+#pragma once
+/// \file im2col.hpp
+/// \brief Image-to-column lowering so convolution becomes one GEMM.
+///
+/// For one image of shape (C, H, W) and a k×k kernel with stride s and
+/// padding p, im2col produces a matrix of shape (C·k·k, H_out·W_out) whose
+/// columns are the unrolled receptive fields. Convolution is then
+/// W(OC × C·k·k) · col, and the backward pass uses col2im to scatter
+/// gradients back.
+
+#include <cstdint>
+
+namespace dcnas {
+
+/// Output spatial size for a convolution/pooling dimension.
+/// Throws InvalidArgument when the configuration yields a non-positive size.
+std::int64_t conv_out_size(std::int64_t in, std::int64_t kernel,
+                           std::int64_t stride, std::int64_t padding);
+
+/// Expands one image (C,H,W at \p im) into \p col of shape
+/// (C·k·k) x (out_h·out_w). Zero-padding is materialized as zeros.
+void im2col(const float* im, std::int64_t channels, std::int64_t height,
+            std::int64_t width, std::int64_t kernel, std::int64_t stride,
+            std::int64_t padding, float* col);
+
+/// Inverse scatter-add of im2col: accumulates \p col back into \p im
+/// (which the caller must zero beforehand).
+void col2im(const float* col, std::int64_t channels, std::int64_t height,
+            std::int64_t width, std::int64_t kernel, std::int64_t stride,
+            std::int64_t padding, float* im);
+
+}  // namespace dcnas

@@ -1,0 +1,41 @@
+#pragma once
+/// \file ops.hpp
+/// \brief Low-level tensor kernels shared by the nn layers: pooling,
+/// row-wise softmax, reductions. These are the primitives the latency
+/// simulator's kernel taxonomy mirrors.
+
+#include <cstdint>
+#include <vector>
+
+#include "dcnas/tensor/tensor.hpp"
+
+namespace dcnas {
+
+/// Max pooling over an NCHW tensor. Writes the flat input index of each
+/// maximum into \p argmax (same shape as the output) for the backward pass.
+Tensor maxpool2d_forward(const Tensor& input, std::int64_t kernel,
+                         std::int64_t stride, std::int64_t padding,
+                         std::vector<std::int64_t>* argmax);
+
+/// Scatter of output gradients to input positions recorded in \p argmax.
+Tensor maxpool2d_backward(const Tensor& grad_out, const Shape& input_shape,
+                          const std::vector<std::int64_t>& argmax);
+
+/// Global average pooling: (N,C,H,W) -> (N,C).
+Tensor global_avgpool_forward(const Tensor& input);
+
+/// Backward of global average pooling: spreads grad/(H·W) over the map.
+Tensor global_avgpool_backward(const Tensor& grad_out,
+                               const Shape& input_shape);
+
+/// Row-wise softmax of a 2-D tensor (numerically stabilized).
+Tensor softmax_rows(const Tensor& logits);
+
+/// Index of the maximum in each row of a 2-D tensor.
+std::vector<std::int64_t> argmax_rows(const Tensor& t);
+
+/// In-place ReLU; returns a mask tensor (1 where input > 0) when
+/// \p mask != nullptr for use in the backward pass.
+void relu_inplace(Tensor& t, Tensor* mask);
+
+}  // namespace dcnas

@@ -1,0 +1,130 @@
+#pragma once
+/// \file tensor.hpp
+/// \brief Dense row-major fp32 tensor, the value type of the training stack.
+///
+/// Layout is NCHW for 4-D tensors (the only layout the CNN layers use).
+/// Tensors own their storage in a contiguous std::vector<float>; copies are
+/// deep, moves are cheap. All indexing is bounds-checked in debug paths via
+/// DCNAS_ASSERT and unchecked in the flat data() hot paths.
+
+#include <cstdint>
+#include <initializer_list>
+#include <string>
+#include <vector>
+
+#include "dcnas/common/error.hpp"
+#include "dcnas/common/rng.hpp"
+
+namespace dcnas {
+
+/// Shape of a tensor; up to 4 dimensions are used in practice.
+using Shape = std::vector<std::int64_t>;
+
+std::string shape_to_string(const Shape& shape);
+std::int64_t shape_numel(const Shape& shape);
+
+class Tensor {
+ public:
+  /// Empty 0-d tensor.
+  Tensor() = default;
+
+  /// Zero-initialized tensor of the given shape.
+  explicit Tensor(Shape shape);
+
+  /// Tensor filled with \p value.
+  Tensor(Shape shape, float value);
+
+  static Tensor zeros(Shape shape) { return Tensor(std::move(shape)); }
+  static Tensor full(Shape shape, float value) {
+    return Tensor(std::move(shape), value);
+  }
+  /// I.i.d. N(mean, stddev) entries drawn from \p rng.
+  static Tensor randn(Shape shape, Rng& rng, float mean = 0.0f,
+                      float stddev = 1.0f);
+  /// Uniform [lo, hi) entries drawn from \p rng.
+  static Tensor rand_uniform(Shape shape, Rng& rng, float lo, float hi);
+  /// 1-D tensor from an explicit list (test convenience).
+  static Tensor from_values(Shape shape, std::vector<float> values);
+
+  const Shape& shape() const { return shape_; }
+  std::int64_t dim(std::size_t i) const {
+    DCNAS_ASSERT(i < shape_.size(), "tensor dim index out of range");
+    return shape_[i];
+  }
+  std::size_t ndim() const { return shape_.size(); }
+  std::int64_t numel() const { return static_cast<std::int64_t>(data_.size()); }
+  bool empty() const { return data_.empty(); }
+
+  float* data() { return data_.data(); }
+  const float* data() const { return data_.data(); }
+  std::vector<float>& storage() { return data_; }
+  const std::vector<float>& storage() const { return data_; }
+
+  float& operator[](std::int64_t i) {
+    DCNAS_ASSERT(i >= 0 && i < numel(), "flat index out of range");
+    return data_[static_cast<std::size_t>(i)];
+  }
+  float operator[](std::int64_t i) const {
+    DCNAS_ASSERT(i >= 0 && i < numel(), "flat index out of range");
+    return data_[static_cast<std::size_t>(i)];
+  }
+
+  /// 4-D NCHW accessors.
+  float& at(std::int64_t n, std::int64_t c, std::int64_t h, std::int64_t w) {
+    return data_[static_cast<std::size_t>(offset4(n, c, h, w))];
+  }
+  float at(std::int64_t n, std::int64_t c, std::int64_t h,
+           std::int64_t w) const {
+    return data_[static_cast<std::size_t>(offset4(n, c, h, w))];
+  }
+  /// 2-D (rows, cols) accessors.
+  float& at(std::int64_t r, std::int64_t c) {
+    return data_[static_cast<std::size_t>(offset2(r, c))];
+  }
+  float at(std::int64_t r, std::int64_t c) const {
+    return data_[static_cast<std::size_t>(offset2(r, c))];
+  }
+
+  /// Returns a tensor with the same data and a new shape (numel must match).
+  Tensor reshaped(Shape new_shape) const;
+
+  void fill(float value);
+  void zero() { fill(0.0f); }
+
+  /// Elementwise in-place operations.
+  Tensor& add_(const Tensor& other);
+  Tensor& add_scaled_(const Tensor& other, float alpha);  ///< this += α·other
+  Tensor& mul_(float scalar);
+
+  /// Elementwise out-of-place helpers.
+  Tensor added(const Tensor& other) const;
+
+  /// Sum / mean over all elements.
+  double sum() const;
+  double mean() const;
+  /// Max element; requires non-empty.
+  float max_value() const;
+
+  bool same_shape(const Tensor& other) const { return shape_ == other.shape_; }
+
+ private:
+  std::int64_t offset4(std::int64_t n, std::int64_t c, std::int64_t h,
+                       std::int64_t w) const {
+    DCNAS_ASSERT(shape_.size() == 4, "at(n,c,h,w) requires a 4-D tensor");
+    DCNAS_ASSERT(n >= 0 && n < shape_[0] && c >= 0 && c < shape_[1] &&
+                     h >= 0 && h < shape_[2] && w >= 0 && w < shape_[3],
+                 "NCHW index out of range");
+    return ((n * shape_[1] + c) * shape_[2] + h) * shape_[3] + w;
+  }
+  std::int64_t offset2(std::int64_t r, std::int64_t c) const {
+    DCNAS_ASSERT(shape_.size() == 2, "at(r,c) requires a 2-D tensor");
+    DCNAS_ASSERT(r >= 0 && r < shape_[0] && c >= 0 && c < shape_[1],
+                 "2-D index out of range");
+    return r * shape_[1] + c;
+  }
+
+  Shape shape_;
+  std::vector<float> data_;
+};
+
+}  // namespace dcnas

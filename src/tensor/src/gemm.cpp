@@ -1,0 +1,116 @@
+#include "dcnas/tensor/gemm.hpp"
+
+#include <algorithm>
+#include <cstring>
+
+#include "dcnas/common/thread_pool.hpp"
+
+namespace dcnas {
+
+namespace {
+
+// Block sizes tuned for typical L1/L2 on commodity cores; correctness does
+// not depend on them.
+constexpr std::int64_t kBlockM = 64;
+constexpr std::int64_t kBlockK = 256;
+
+/// Serial kernel for a row range [m0, m1): C rows += alpha * A rows * B.
+void gemm_rows(std::int64_t m0, std::int64_t m1, std::int64_t n,
+               std::int64_t k, float alpha, const float* a, const float* b,
+               float* c) {
+  for (std::int64_t kk = 0; kk < k; kk += kBlockK) {
+    const std::int64_t k_end = std::min(kk + kBlockK, k);
+    for (std::int64_t i = m0; i < m1; ++i) {
+      const float* a_row = a + i * k;
+      float* c_row = c + i * n;
+      for (std::int64_t p = kk; p < k_end; ++p) {
+        const float aip = alpha * a_row[p];
+        if (aip == 0.0f) continue;
+        const float* b_row = b + p * n;
+        for (std::int64_t j = 0; j < n; ++j) {
+          c_row[j] += aip * b_row[j];
+        }
+      }
+    }
+  }
+}
+
+void scale_c(std::int64_t m, std::int64_t n, float beta, float* c) {
+  const std::int64_t total = m * n;
+  if (beta == 0.0f) {
+    std::memset(c, 0, static_cast<std::size_t>(total) * sizeof(float));
+  } else if (beta != 1.0f) {
+    for (std::int64_t i = 0; i < total; ++i) c[i] *= beta;
+  }
+}
+
+}  // namespace
+
+void gemm(std::int64_t m, std::int64_t n, std::int64_t k, float alpha,
+          const float* a, const float* b, float beta, float* c) {
+  DCNAS_CHECK(m >= 0 && n >= 0 && k >= 0, "gemm dimensions must be >= 0");
+  if (m == 0 || n == 0) return;
+  scale_c(m, n, beta, c);
+  if (k == 0 || alpha == 0.0f) return;
+  if (m >= 2 * kBlockM) {
+    parallel_for_chunked(0, (m + kBlockM - 1) / kBlockM,
+                         [&](std::int64_t lo, std::int64_t hi) {
+                           const std::int64_t m0 = lo * kBlockM;
+                           const std::int64_t m1 = std::min(hi * kBlockM, m);
+                           gemm_rows(m0, m1, n, k, alpha, a, b, c);
+                         });
+  } else {
+    gemm_rows(0, m, n, k, alpha, a, b, c);
+  }
+}
+
+void gemm_bt(std::int64_t m, std::int64_t n, std::int64_t k, float alpha,
+             const float* a, const float* b_t, float beta, float* c) {
+  DCNAS_CHECK(m >= 0 && n >= 0 && k >= 0, "gemm_bt dimensions must be >= 0");
+  if (m == 0 || n == 0) return;
+  scale_c(m, n, beta, c);
+  if (k == 0 || alpha == 0.0f) return;
+  parallel_for_chunked(0, m, [&](std::int64_t lo, std::int64_t hi) {
+    for (std::int64_t i = lo; i < hi; ++i) {
+      const float* a_row = a + i * k;
+      float* c_row = c + i * n;
+      for (std::int64_t j = 0; j < n; ++j) {
+        const float* b_row = b_t + j * k;
+        float acc = 0.0f;
+        for (std::int64_t p = 0; p < k; ++p) acc += a_row[p] * b_row[p];
+        c_row[j] += alpha * acc;
+      }
+    }
+  });
+}
+
+void gemm_at(std::int64_t m, std::int64_t n, std::int64_t k, float alpha,
+             const float* a_t, const float* b, float beta, float* c) {
+  DCNAS_CHECK(m >= 0 && n >= 0 && k >= 0, "gemm_at dimensions must be >= 0");
+  if (m == 0 || n == 0) return;
+  scale_c(m, n, beta, c);
+  if (k == 0 || alpha == 0.0f) return;
+  // A^T is K x M row-major: element A(i, p) = a_t[p * m + i].
+  for (std::int64_t p = 0; p < k; ++p) {
+    const float* at_row = a_t + p * m;
+    const float* b_row = b + p * n;
+    for (std::int64_t i = 0; i < m; ++i) {
+      const float aip = alpha * at_row[i];
+      if (aip == 0.0f) continue;
+      float* c_row = c + i * n;
+      for (std::int64_t j = 0; j < n; ++j) c_row[j] += aip * b_row[j];
+    }
+  }
+}
+
+Tensor matmul(const Tensor& a, const Tensor& b) {
+  DCNAS_CHECK(a.ndim() == 2 && b.ndim() == 2, "matmul requires 2-D tensors");
+  DCNAS_CHECK(a.dim(1) == b.dim(0), "matmul inner dimension mismatch: " +
+                                        shape_to_string(a.shape()) + " x " +
+                                        shape_to_string(b.shape()));
+  Tensor c({a.dim(0), b.dim(1)});
+  gemm(a.dim(0), b.dim(1), a.dim(1), 1.0f, a.data(), b.data(), 0.0f, c.data());
+  return c;
+}
+
+}  // namespace dcnas

@@ -1,0 +1,77 @@
+#include "dcnas/tensor/im2col.hpp"
+
+#include <string>
+
+#include "dcnas/common/error.hpp"
+
+namespace dcnas {
+
+std::int64_t conv_out_size(std::int64_t in, std::int64_t kernel,
+                           std::int64_t stride, std::int64_t padding) {
+  DCNAS_CHECK(in > 0 && kernel > 0 && stride > 0 && padding >= 0,
+              "invalid conv geometry");
+  const std::int64_t out = (in + 2 * padding - kernel) / stride + 1;
+  DCNAS_CHECK(out > 0, "convolution output collapses to zero: in=" +
+                           std::to_string(in) + " k=" + std::to_string(kernel) +
+                           " s=" + std::to_string(stride) +
+                           " p=" + std::to_string(padding));
+  return out;
+}
+
+void im2col(const float* im, std::int64_t channels, std::int64_t height,
+            std::int64_t width, std::int64_t kernel, std::int64_t stride,
+            std::int64_t padding, float* col) {
+  const std::int64_t out_h = conv_out_size(height, kernel, stride, padding);
+  const std::int64_t out_w = conv_out_size(width, kernel, stride, padding);
+  const std::int64_t out_hw = out_h * out_w;
+  for (std::int64_t c = 0; c < channels; ++c) {
+    const float* im_c = im + c * height * width;
+    for (std::int64_t kh = 0; kh < kernel; ++kh) {
+      for (std::int64_t kw = 0; kw < kernel; ++kw) {
+        float* col_row = col + ((c * kernel + kh) * kernel + kw) * out_hw;
+        for (std::int64_t oh = 0; oh < out_h; ++oh) {
+          const std::int64_t ih = oh * stride - padding + kh;
+          float* col_out = col_row + oh * out_w;
+          if (ih < 0 || ih >= height) {
+            for (std::int64_t ow = 0; ow < out_w; ++ow) col_out[ow] = 0.0f;
+            continue;
+          }
+          const float* im_row = im_c + ih * width;
+          for (std::int64_t ow = 0; ow < out_w; ++ow) {
+            const std::int64_t iw = ow * stride - padding + kw;
+            col_out[ow] =
+                (iw >= 0 && iw < width) ? im_row[iw] : 0.0f;
+          }
+        }
+      }
+    }
+  }
+}
+
+void col2im(const float* col, std::int64_t channels, std::int64_t height,
+            std::int64_t width, std::int64_t kernel, std::int64_t stride,
+            std::int64_t padding, float* im) {
+  const std::int64_t out_h = conv_out_size(height, kernel, stride, padding);
+  const std::int64_t out_w = conv_out_size(width, kernel, stride, padding);
+  const std::int64_t out_hw = out_h * out_w;
+  for (std::int64_t c = 0; c < channels; ++c) {
+    float* im_c = im + c * height * width;
+    for (std::int64_t kh = 0; kh < kernel; ++kh) {
+      for (std::int64_t kw = 0; kw < kernel; ++kw) {
+        const float* col_row = col + ((c * kernel + kh) * kernel + kw) * out_hw;
+        for (std::int64_t oh = 0; oh < out_h; ++oh) {
+          const std::int64_t ih = oh * stride - padding + kh;
+          if (ih < 0 || ih >= height) continue;
+          const float* col_in = col_row + oh * out_w;
+          float* im_row = im_c + ih * width;
+          for (std::int64_t ow = 0; ow < out_w; ++ow) {
+            const std::int64_t iw = ow * stride - padding + kw;
+            if (iw >= 0 && iw < width) im_row[iw] += col_in[ow];
+          }
+        }
+      }
+    }
+  }
+}
+
+}  // namespace dcnas

@@ -1,0 +1,156 @@
+#include "dcnas/tensor/ops.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "dcnas/common/thread_pool.hpp"
+#include "dcnas/tensor/im2col.hpp"
+
+namespace dcnas {
+
+Tensor maxpool2d_forward(const Tensor& input, std::int64_t kernel,
+                         std::int64_t stride, std::int64_t padding,
+                         std::vector<std::int64_t>* argmax) {
+  DCNAS_CHECK(input.ndim() == 4, "maxpool2d expects an NCHW tensor");
+  const std::int64_t n = input.dim(0), c = input.dim(1), h = input.dim(2),
+                     w = input.dim(3);
+  const std::int64_t oh = conv_out_size(h, kernel, stride, padding);
+  const std::int64_t ow = conv_out_size(w, kernel, stride, padding);
+  Tensor out({n, c, oh, ow});
+  if (argmax) argmax->assign(static_cast<std::size_t>(out.numel()), -1);
+
+  const float* in = input.data();
+  float* o = out.data();
+  parallel_for_chunked(0, n * c, [&](std::int64_t lo, std::int64_t hi) {
+    for (std::int64_t nc = lo; nc < hi; ++nc) {
+      const float* plane = in + nc * h * w;
+      float* out_plane = o + nc * oh * ow;
+      for (std::int64_t y = 0; y < oh; ++y) {
+        for (std::int64_t x = 0; x < ow; ++x) {
+          float best = -std::numeric_limits<float>::infinity();
+          std::int64_t best_idx = -1;
+          for (std::int64_t ky = 0; ky < kernel; ++ky) {
+            const std::int64_t iy = y * stride - padding + ky;
+            if (iy < 0 || iy >= h) continue;
+            for (std::int64_t kx = 0; kx < kernel; ++kx) {
+              const std::int64_t ix = x * stride - padding + kx;
+              if (ix < 0 || ix >= w) continue;
+              const std::int64_t idx = iy * w + ix;
+              if (plane[idx] > best) {
+                best = plane[idx];
+                best_idx = nc * h * w + idx;
+              }
+            }
+          }
+          // A window fully inside padding would have no candidates; the
+          // geometry checks in conv_out_size make that impossible for
+          // padding < kernel, which Conv/Pool layer constructors enforce.
+          DCNAS_ASSERT(best_idx >= 0, "empty pooling window");
+          out_plane[y * ow + x] = best;
+          if (argmax) (*argmax)[static_cast<std::size_t>(nc * oh * ow + y * ow + x)] = best_idx;
+        }
+      }
+    }
+  });
+  return out;
+}
+
+Tensor maxpool2d_backward(const Tensor& grad_out, const Shape& input_shape,
+                          const std::vector<std::int64_t>& argmax) {
+  DCNAS_CHECK(argmax.size() == static_cast<std::size_t>(grad_out.numel()),
+              "argmax size mismatch in maxpool backward");
+  Tensor grad_in(input_shape);
+  float* gi = grad_in.data();
+  const float* go = grad_out.data();
+  for (std::size_t i = 0; i < argmax.size(); ++i) {
+    gi[argmax[i]] += go[i];
+  }
+  return grad_in;
+}
+
+Tensor global_avgpool_forward(const Tensor& input) {
+  DCNAS_CHECK(input.ndim() == 4, "global_avgpool expects an NCHW tensor");
+  const std::int64_t n = input.dim(0), c = input.dim(1), h = input.dim(2),
+                     w = input.dim(3);
+  Tensor out({n, c});
+  const float inv = 1.0f / static_cast<float>(h * w);
+  const float* in = input.data();
+  float* o = out.data();
+  for (std::int64_t nc = 0; nc < n * c; ++nc) {
+    const float* plane = in + nc * h * w;
+    float acc = 0.0f;
+    for (std::int64_t i = 0; i < h * w; ++i) acc += plane[i];
+    o[nc] = acc * inv;
+  }
+  return out;
+}
+
+Tensor global_avgpool_backward(const Tensor& grad_out,
+                               const Shape& input_shape) {
+  DCNAS_CHECK(input_shape.size() == 4, "global_avgpool backward needs NCHW");
+  const std::int64_t h = input_shape[2], w = input_shape[3];
+  Tensor grad_in(input_shape);
+  const float inv = 1.0f / static_cast<float>(h * w);
+  const float* go = grad_out.data();
+  float* gi = grad_in.data();
+  const std::int64_t planes = input_shape[0] * input_shape[1];
+  for (std::int64_t nc = 0; nc < planes; ++nc) {
+    const float g = go[nc] * inv;
+    float* plane = gi + nc * h * w;
+    for (std::int64_t i = 0; i < h * w; ++i) plane[i] = g;
+  }
+  return grad_in;
+}
+
+Tensor softmax_rows(const Tensor& logits) {
+  DCNAS_CHECK(logits.ndim() == 2, "softmax_rows expects a 2-D tensor");
+  const std::int64_t rows = logits.dim(0), cols = logits.dim(1);
+  Tensor out({rows, cols});
+  for (std::int64_t r = 0; r < rows; ++r) {
+    const float* in = logits.data() + r * cols;
+    float* o = out.data() + r * cols;
+    float mx = -std::numeric_limits<float>::infinity();
+    for (std::int64_t j = 0; j < cols; ++j) mx = std::max(mx, in[j]);
+    float denom = 0.0f;
+    for (std::int64_t j = 0; j < cols; ++j) {
+      o[j] = std::exp(in[j] - mx);
+      denom += o[j];
+    }
+    const float inv = 1.0f / denom;
+    for (std::int64_t j = 0; j < cols; ++j) o[j] *= inv;
+  }
+  return out;
+}
+
+std::vector<std::int64_t> argmax_rows(const Tensor& t) {
+  DCNAS_CHECK(t.ndim() == 2, "argmax_rows expects a 2-D tensor");
+  const std::int64_t rows = t.dim(0), cols = t.dim(1);
+  DCNAS_CHECK(cols > 0, "argmax_rows needs at least one column");
+  std::vector<std::int64_t> out(static_cast<std::size_t>(rows));
+  for (std::int64_t r = 0; r < rows; ++r) {
+    const float* row = t.data() + r * cols;
+    std::int64_t best = 0;
+    for (std::int64_t j = 1; j < cols; ++j) {
+      if (row[j] > row[best]) best = j;
+    }
+    out[static_cast<std::size_t>(r)] = best;
+  }
+  return out;
+}
+
+void relu_inplace(Tensor& t, Tensor* mask) {
+  if (mask) *mask = Tensor(t.shape());
+  float* d = t.data();
+  float* m = mask ? mask->data() : nullptr;
+  const std::int64_t n = t.numel();
+  for (std::int64_t i = 0; i < n; ++i) {
+    if (d[i] > 0.0f) {
+      if (m) m[i] = 1.0f;
+    } else {
+      d[i] = 0.0f;
+    }
+  }
+}
+
+}  // namespace dcnas

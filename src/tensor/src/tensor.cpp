@@ -1,0 +1,116 @@
+#include "dcnas/tensor/tensor.hpp"
+
+#include <algorithm>
+#include <numeric>
+#include <sstream>
+
+namespace dcnas {
+
+std::string shape_to_string(const Shape& shape) {
+  std::ostringstream os;
+  os << '[';
+  for (std::size_t i = 0; i < shape.size(); ++i) {
+    if (i) os << ", ";
+    os << shape[i];
+  }
+  os << ']';
+  return os.str();
+}
+
+std::int64_t shape_numel(const Shape& shape) {
+  std::int64_t n = 1;
+  for (auto d : shape) {
+    DCNAS_CHECK(d >= 0, "negative dimension in shape " + shape_to_string(shape));
+    n *= d;
+  }
+  return n;
+}
+
+Tensor::Tensor(Shape shape) : shape_(std::move(shape)) {
+  data_.assign(static_cast<std::size_t>(shape_numel(shape_)), 0.0f);
+}
+
+Tensor::Tensor(Shape shape, float value) : shape_(std::move(shape)) {
+  data_.assign(static_cast<std::size_t>(shape_numel(shape_)), value);
+}
+
+Tensor Tensor::randn(Shape shape, Rng& rng, float mean, float stddev) {
+  Tensor t(std::move(shape));
+  for (auto& v : t.data_) {
+    v = static_cast<float>(rng.normal(mean, stddev));
+  }
+  return t;
+}
+
+Tensor Tensor::rand_uniform(Shape shape, Rng& rng, float lo, float hi) {
+  Tensor t(std::move(shape));
+  for (auto& v : t.data_) {
+    v = static_cast<float>(rng.uniform(lo, hi));
+  }
+  return t;
+}
+
+Tensor Tensor::from_values(Shape shape, std::vector<float> values) {
+  DCNAS_CHECK(shape_numel(shape) == static_cast<std::int64_t>(values.size()),
+              "value count does not match shape " + shape_to_string(shape));
+  Tensor t;
+  t.shape_ = std::move(shape);
+  t.data_ = std::move(values);
+  return t;
+}
+
+Tensor Tensor::reshaped(Shape new_shape) const {
+  DCNAS_CHECK(shape_numel(new_shape) == numel(),
+              "reshape numel mismatch: " + shape_to_string(shape_) + " -> " +
+                  shape_to_string(new_shape));
+  Tensor t;
+  t.shape_ = std::move(new_shape);
+  t.data_ = data_;
+  return t;
+}
+
+void Tensor::fill(float value) {
+  std::fill(data_.begin(), data_.end(), value);
+}
+
+Tensor& Tensor::add_(const Tensor& other) {
+  DCNAS_CHECK(same_shape(other), "add_: shape mismatch " +
+                                     shape_to_string(shape_) + " vs " +
+                                     shape_to_string(other.shape_));
+  for (std::size_t i = 0; i < data_.size(); ++i) data_[i] += other.data_[i];
+  return *this;
+}
+
+Tensor& Tensor::add_scaled_(const Tensor& other, float alpha) {
+  DCNAS_CHECK(same_shape(other), "add_scaled_: shape mismatch");
+  for (std::size_t i = 0; i < data_.size(); ++i)
+    data_[i] += alpha * other.data_[i];
+  return *this;
+}
+
+Tensor& Tensor::mul_(float scalar) {
+  for (auto& v : data_) v *= scalar;
+  return *this;
+}
+
+Tensor Tensor::added(const Tensor& other) const {
+  Tensor out = *this;
+  out.add_(other);
+  return out;
+}
+
+double Tensor::sum() const {
+  return std::accumulate(data_.begin(), data_.end(), 0.0);
+}
+
+double Tensor::mean() const {
+  if (data_.empty()) return 0.0;
+  return sum() / static_cast<double>(data_.size());
+}
+
+float Tensor::max_value() const {
+  DCNAS_CHECK(!data_.empty(), "max_value of empty tensor");
+  return *std::max_element(data_.begin(), data_.end());
+}
+
+}  // namespace dcnas

@@ -1,0 +1,72 @@
+#include "dcnas/common/cli.hpp"
+
+#include <gtest/gtest.h>
+
+#include "dcnas/common/error.hpp"
+
+namespace dcnas {
+namespace {
+
+CliArgs make_args(std::vector<const char*> argv) {
+  return CliArgs(static_cast<int>(argv.size()), argv.data());
+}
+
+TEST(CliTest, ParsesKeyEqualsValue) {
+  const auto args = make_args({"prog", "--mode=fast", "--trials=17"});
+  EXPECT_EQ(args.get("mode", ""), "fast");
+  EXPECT_EQ(args.get_int("trials", 0), 17);
+}
+
+TEST(CliTest, ParsesKeySpaceValue) {
+  const auto args = make_args({"prog", "--out", "file.csv"});
+  EXPECT_EQ(args.get("out", ""), "file.csv");
+  EXPECT_TRUE(args.positional().empty());
+}
+
+TEST(CliTest, ParsesBareFlag) {
+  const auto args = make_args({"prog", "--verbose", "--level=2"});
+  EXPECT_TRUE(args.get_flag("verbose"));
+  EXPECT_FALSE(args.get_flag("quiet"));
+  EXPECT_TRUE(args.get_flag("quiet", true));
+}
+
+TEST(CliTest, DefaultsWhenAbsent) {
+  const auto args = make_args({"prog"});
+  EXPECT_EQ(args.get("x", "dflt"), "dflt");
+  EXPECT_EQ(args.get_int("n", -7), -7);
+  EXPECT_DOUBLE_EQ(args.get_double("f", 2.5), 2.5);
+  EXPECT_FALSE(args.has("x"));
+}
+
+TEST(CliTest, PositionalArgsPreserved) {
+  const auto args = make_args({"prog", "input.txt", "--k=v", "other"});
+  ASSERT_EQ(args.positional().size(), 2u);
+  EXPECT_EQ(args.positional()[0], "input.txt");
+  EXPECT_EQ(args.positional()[1], "other");
+}
+
+TEST(CliTest, BenchmarkOptionsPassThrough) {
+  const auto args = make_args({"prog", "--benchmark_filter=Conv"});
+  EXPECT_FALSE(args.has("benchmark_filter"));
+  ASSERT_EQ(args.positional().size(), 1u);
+  EXPECT_EQ(args.positional()[0], "--benchmark_filter=Conv");
+}
+
+TEST(CliTest, NumericParseErrorsThrow) {
+  const auto args = make_args({"prog", "--n=abc", "--f=xyz", "--b=maybe"});
+  EXPECT_THROW(args.get_int("n", 0), InvalidArgument);
+  EXPECT_THROW(args.get_double("f", 0.0), InvalidArgument);
+  EXPECT_THROW(args.get_flag("b"), InvalidArgument);
+}
+
+TEST(CliTest, BooleanSpellings) {
+  const auto args =
+      make_args({"prog", "--a=yes", "--b=off", "--c=1", "--d=false"});
+  EXPECT_TRUE(args.get_flag("a"));
+  EXPECT_FALSE(args.get_flag("b"));
+  EXPECT_TRUE(args.get_flag("c"));
+  EXPECT_FALSE(args.get_flag("d"));
+}
+
+}  // namespace
+}  // namespace dcnas

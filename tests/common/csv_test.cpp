@@ -1,0 +1,88 @@
+#include "dcnas/common/csv.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+
+#include "dcnas/common/error.hpp"
+
+namespace dcnas {
+namespace {
+
+TEST(CsvTest, RoundTripsSimpleTable) {
+  CsvTable t({"a", "b", "c"});
+  t.add_row({"1", "2.5", "x"});
+  t.add_row({"-3", "0", "y"});
+  const CsvTable back = CsvTable::parse(t.to_string());
+  ASSERT_EQ(back.num_rows(), 2u);
+  EXPECT_EQ(back.at(0, "a"), "1");
+  EXPECT_DOUBLE_EQ(back.at_double(0, "b"), 2.5);
+  EXPECT_EQ(back.at_int(1, "a"), -3);
+  EXPECT_EQ(back.at(1, "c"), "y");
+}
+
+TEST(CsvTest, QuotesFieldsWithCommasAndQuotes) {
+  CsvTable t({"name", "note"});
+  t.add_row({"a,b", "say \"hi\"\nbye"});
+  const std::string text = t.to_string();
+  const CsvTable back = CsvTable::parse(text);
+  ASSERT_EQ(back.num_rows(), 1u);
+  EXPECT_EQ(back.at(0, "name"), "a,b");
+  EXPECT_EQ(back.at(0, "note"), "say \"hi\"\nbye");
+}
+
+TEST(CsvTest, RejectsRowWidthMismatch) {
+  CsvTable t({"a", "b"});
+  EXPECT_THROW(t.add_row({"1"}), InvalidArgument);
+  EXPECT_THROW(t.add_row({"1", "2", "3"}), InvalidArgument);
+}
+
+TEST(CsvTest, RejectsDuplicateColumns) {
+  EXPECT_THROW(CsvTable({"a", "a"}), InvalidArgument);
+}
+
+TEST(CsvTest, RejectsUnknownColumn) {
+  CsvTable t({"a"});
+  t.add_row({"1"});
+  EXPECT_THROW(t.at(0, "zzz"), InvalidArgument);
+  EXPECT_FALSE(t.has_column("zzz"));
+  EXPECT_TRUE(t.has_column("a"));
+}
+
+TEST(CsvTest, RejectsNonNumericConversion) {
+  CsvTable t({"a"});
+  t.add_row({"hello"});
+  EXPECT_THROW(t.at_double(0, "a"), InvalidArgument);
+  EXPECT_THROW(t.at_int(0, "a"), InvalidArgument);
+}
+
+TEST(CsvTest, ParsesCrlfAndSkipsBlankLines) {
+  const CsvTable t = CsvTable::parse("a,b\r\n1,2\r\n\r\n3,4\r\n");
+  ASSERT_EQ(t.num_rows(), 2u);
+  EXPECT_EQ(t.at(1, "b"), "4");
+}
+
+TEST(CsvTest, SaveAndLoadRoundTrip) {
+  const std::string path =
+      (std::filesystem::temp_directory_path() / "dcnas_csv_test.csv").string();
+  CsvTable t({"x"});
+  t.add_row({"42"});
+  t.save(path);
+  const CsvTable back = CsvTable::load(path);
+  ASSERT_EQ(back.num_rows(), 1u);
+  EXPECT_EQ(back.at_int(0, "x"), 42);
+  std::remove(path.c_str());
+}
+
+TEST(CsvTest, LoadMissingFileThrows) {
+  EXPECT_THROW(CsvTable::load("/nonexistent/dir/file.csv"), InvalidArgument);
+}
+
+TEST(CsvTest, RowIndexOutOfRangeThrows) {
+  CsvTable t({"a"});
+  EXPECT_THROW(t.row(0), InvalidArgument);
+}
+
+}  // namespace
+}  // namespace dcnas

@@ -1,0 +1,66 @@
+#include "dcnas/common/profiler.hpp"
+
+#include <gtest/gtest.h>
+
+#include <thread>
+
+namespace dcnas {
+namespace {
+
+class ProfilerTest : public ::testing::Test {
+ protected:
+  void SetUp() override { Profiler::global().reset(); }
+  void TearDown() override { Profiler::global().reset(); }
+};
+
+TEST_F(ProfilerTest, RecordsAccumulate) {
+  Profiler::global().record("phase_a", 0.5);
+  Profiler::global().record("phase_a", 0.25);
+  Profiler::global().record("phase_b", 1.0);
+  EXPECT_DOUBLE_EQ(Profiler::global().total_seconds("phase_a"), 0.75);
+  EXPECT_EQ(Profiler::global().call_count("phase_a"), 2);
+  EXPECT_EQ(Profiler::global().call_count("phase_b"), 1);
+  EXPECT_DOUBLE_EQ(Profiler::global().total_seconds("missing"), 0.0);
+  EXPECT_EQ(Profiler::global().call_count("missing"), 0);
+}
+
+TEST_F(ProfilerTest, ScopedTimerMeasuresWallTime) {
+  {
+    ScopedTimer t("sleepy");
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  }
+  EXPECT_GE(Profiler::global().total_seconds("sleepy"), 0.015);
+  EXPECT_EQ(Profiler::global().call_count("sleepy"), 1);
+}
+
+TEST_F(ProfilerTest, ReportSortsByTotalTime) {
+  Profiler::global().record("small", 0.1);
+  Profiler::global().record("big", 2.0);
+  const std::string r = Profiler::global().report();
+  EXPECT_LT(r.find("big"), r.find("small"));
+  EXPECT_NE(r.find("calls"), std::string::npos);
+  EXPECT_NE(r.find("mean(ms)"), std::string::npos);
+}
+
+TEST_F(ProfilerTest, ResetClears) {
+  Profiler::global().record("x", 1.0);
+  Profiler::global().reset();
+  EXPECT_EQ(Profiler::global().call_count("x"), 0);
+}
+
+TEST_F(ProfilerTest, ThreadSafeAccumulation) {
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 4; ++t) {
+    threads.emplace_back([] {
+      for (int i = 0; i < 1000; ++i) {
+        Profiler::global().record("concurrent", 0.001);
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(Profiler::global().call_count("concurrent"), 4000);
+  EXPECT_NEAR(Profiler::global().total_seconds("concurrent"), 4.0, 1e-9);
+}
+
+}  // namespace
+}  // namespace dcnas

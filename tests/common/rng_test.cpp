@@ -1,0 +1,144 @@
+#include "dcnas/common/rng.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+#include <vector>
+
+namespace dcnas {
+namespace {
+
+TEST(SplitMix64Test, IsDeterministicAndScrambles) {
+  EXPECT_EQ(splitmix64(0), splitmix64(0));
+  EXPECT_NE(splitmix64(0), splitmix64(1));
+  EXPECT_NE(splitmix64(1), splitmix64(2));
+}
+
+TEST(HashUnitTest, StaysInUnitInterval) {
+  for (std::uint64_t k = 0; k < 10000; ++k) {
+    const double u = hash_unit(k);
+    ASSERT_GE(u, 0.0);
+    ASSERT_LT(u, 1.0);
+  }
+}
+
+TEST(HashUnitTest, IsApproximatelyUniform) {
+  double sum = 0.0;
+  const int n = 100000;
+  for (int k = 0; k < n; ++k) sum += hash_unit(static_cast<std::uint64_t>(k));
+  EXPECT_NEAR(sum / n, 0.5, 0.01);
+}
+
+TEST(RngTest, SameSeedSameStream) {
+  Rng a(42), b(42);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next_u64(), b.next_u64());
+}
+
+TEST(RngTest, DifferentSeedsDiffer) {
+  Rng a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i) same += (a.next_u64() == b.next_u64());
+  EXPECT_LT(same, 2);
+}
+
+TEST(RngTest, ForkProducesIndependentStreams) {
+  Rng parent(7);
+  Rng c0 = parent.fork(0);
+  Rng c1 = parent.fork(1);
+  EXPECT_NE(c0.next_u64(), c1.next_u64());
+  // Forking is deterministic w.r.t. the parent state.
+  Rng parent2(7);
+  Rng c0b = parent2.fork(0);
+  Rng c0c = Rng(7).fork(0);
+  EXPECT_EQ(c0b.next_u64(), c0c.next_u64());
+}
+
+TEST(RngTest, UniformBounds) {
+  Rng rng(3);
+  for (int i = 0; i < 10000; ++i) {
+    const double u = rng.uniform();
+    ASSERT_GE(u, 0.0);
+    ASSERT_LT(u, 1.0);
+  }
+  for (int i = 0; i < 1000; ++i) {
+    const double u = rng.uniform(-3.0, 5.0);
+    ASSERT_GE(u, -3.0);
+    ASSERT_LT(u, 5.0);
+  }
+}
+
+TEST(RngTest, UniformIntCoversRangeInclusive) {
+  Rng rng(11);
+  std::set<std::int64_t> seen;
+  for (int i = 0; i < 2000; ++i) seen.insert(rng.uniform_int(-2, 3));
+  EXPECT_EQ(seen.size(), 6u);
+  EXPECT_EQ(*seen.begin(), -2);
+  EXPECT_EQ(*seen.rbegin(), 3);
+}
+
+TEST(RngTest, UniformIntSingleValue) {
+  Rng rng(5);
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(rng.uniform_int(7, 7), 7);
+}
+
+TEST(RngTest, UniformIntRejectsInvertedRange) {
+  Rng rng(5);
+  EXPECT_THROW(rng.uniform_int(3, 2), InvalidArgument);
+}
+
+TEST(RngTest, NormalHasExpectedMoments) {
+  Rng rng(123);
+  const int n = 200000;
+  double sum = 0.0, sumsq = 0.0;
+  for (int i = 0; i < n; ++i) {
+    const double x = rng.normal();
+    sum += x;
+    sumsq += x * x;
+  }
+  const double mean = sum / n;
+  const double var = sumsq / n - mean * mean;
+  EXPECT_NEAR(mean, 0.0, 0.02);
+  EXPECT_NEAR(var, 1.0, 0.03);
+}
+
+TEST(RngTest, ShuffleIsPermutation) {
+  Rng rng(9);
+  std::vector<int> v(100);
+  for (int i = 0; i < 100; ++i) v[static_cast<std::size_t>(i)] = i;
+  auto shuffled = v;
+  rng.shuffle(shuffled);
+  EXPECT_NE(shuffled, v);  // astronomically unlikely to match
+  std::sort(shuffled.begin(), shuffled.end());
+  EXPECT_EQ(shuffled, v);
+}
+
+TEST(RngTest, CategoricalRespectsWeights) {
+  Rng rng(77);
+  std::vector<double> w = {1.0, 0.0, 3.0};
+  int counts[3] = {0, 0, 0};
+  for (int i = 0; i < 40000; ++i) counts[rng.categorical(w)]++;
+  EXPECT_EQ(counts[1], 0);
+  EXPECT_NEAR(static_cast<double>(counts[2]) / counts[0], 3.0, 0.25);
+}
+
+TEST(RngTest, CategoricalRejectsDegenerateWeights) {
+  Rng rng(1);
+  std::vector<double> empty;
+  EXPECT_THROW(rng.categorical(empty), InvalidArgument);
+  std::vector<double> zeros = {0.0, 0.0};
+  EXPECT_THROW(rng.categorical(zeros), InvalidArgument);
+  std::vector<double> negative = {1.0, -0.5};
+  EXPECT_THROW(rng.categorical(negative), InvalidArgument);
+}
+
+TEST(RngTest, BernoulliExtremes) {
+  Rng rng(2);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_FALSE(rng.bernoulli(0.0));
+    EXPECT_TRUE(rng.bernoulli(1.0));
+  }
+}
+
+}  // namespace
+}  // namespace dcnas

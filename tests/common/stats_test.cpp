@@ -1,0 +1,116 @@
+#include "dcnas/common/stats.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "dcnas/common/error.hpp"
+
+namespace dcnas {
+namespace {
+
+TEST(StatsTest, MeanBasics) {
+  std::vector<double> xs = {1.0, 2.0, 3.0, 4.0};
+  EXPECT_DOUBLE_EQ(mean(xs), 2.5);
+  EXPECT_DOUBLE_EQ(mean(std::vector<double>{}), 0.0);
+}
+
+TEST(StatsTest, SampleStddevMatchesPaperLatStdConvention) {
+  // Table 5's lat_std over four predictors uses the n-1 denominator: check
+  // against a hand-computed example shaped like the per-device latencies.
+  std::vector<double> lat = {25.0, 18.0, 22.0, 63.0};
+  const double m = mean(lat);
+  EXPECT_NEAR(m, 32.0, 1e-12);
+  EXPECT_NEAR(sample_stddev(lat), std::sqrt((49.0 + 196.0 + 100.0 + 961.0) / 3.0),
+              1e-12);
+}
+
+TEST(StatsTest, StddevDegenerateCases) {
+  EXPECT_DOUBLE_EQ(sample_stddev(std::vector<double>{5.0}), 0.0);
+  EXPECT_DOUBLE_EQ(sample_stddev(std::vector<double>{}), 0.0);
+  EXPECT_DOUBLE_EQ(population_stddev(std::vector<double>{}), 0.0);
+  std::vector<double> same = {2.0, 2.0, 2.0};
+  EXPECT_DOUBLE_EQ(sample_stddev(same), 0.0);
+}
+
+TEST(StatsTest, PopulationVsSampleStddev) {
+  std::vector<double> xs = {1.0, 3.0};
+  EXPECT_DOUBLE_EQ(population_stddev(xs), 1.0);
+  EXPECT_NEAR(sample_stddev(xs), std::sqrt(2.0), 1e-12);
+}
+
+TEST(StatsTest, SummarizeReportsAllFields) {
+  std::vector<double> xs = {4.0, 1.0, 3.0, 2.0};
+  const Summary s = summarize(xs);
+  EXPECT_EQ(s.count, 4u);
+  EXPECT_DOUBLE_EQ(s.mean, 2.5);
+  EXPECT_DOUBLE_EQ(s.min, 1.0);
+  EXPECT_DOUBLE_EQ(s.max, 4.0);
+  EXPECT_GT(s.stddev, 0.0);
+}
+
+TEST(StatsTest, QuantileInterpolates) {
+  std::vector<double> xs = {10.0, 20.0, 30.0, 40.0};
+  EXPECT_DOUBLE_EQ(quantile(xs, 0.0), 10.0);
+  EXPECT_DOUBLE_EQ(quantile(xs, 1.0), 40.0);
+  EXPECT_DOUBLE_EQ(quantile(xs, 0.5), 25.0);
+  EXPECT_DOUBLE_EQ(quantile({7.0}, 0.3), 7.0);
+}
+
+TEST(StatsTest, QuantileRejectsBadInput) {
+  EXPECT_THROW(quantile({}, 0.5), InvalidArgument);
+  EXPECT_THROW(quantile({1.0}, -0.1), InvalidArgument);
+  EXPECT_THROW(quantile({1.0}, 1.1), InvalidArgument);
+}
+
+TEST(StatsTest, PearsonPerfectCorrelation) {
+  std::vector<double> xs = {1.0, 2.0, 3.0};
+  std::vector<double> ys = {2.0, 4.0, 6.0};
+  std::vector<double> zs = {6.0, 4.0, 2.0};
+  EXPECT_NEAR(pearson(xs, ys), 1.0, 1e-12);
+  EXPECT_NEAR(pearson(xs, zs), -1.0, 1e-12);
+}
+
+TEST(StatsTest, PearsonZeroVarianceIsZero) {
+  std::vector<double> xs = {1.0, 1.0, 1.0};
+  std::vector<double> ys = {2.0, 4.0, 6.0};
+  EXPECT_DOUBLE_EQ(pearson(xs, ys), 0.0);
+}
+
+TEST(StatsTest, SpearmanIsRankBased) {
+  // Monotone but nonlinear relation: spearman = 1, pearson < 1.
+  std::vector<double> xs = {1.0, 2.0, 3.0, 4.0};
+  std::vector<double> ys = {1.0, 8.0, 27.0, 64.0};
+  EXPECT_NEAR(spearman(xs, ys), 1.0, 1e-12);
+  EXPECT_LT(pearson(xs, ys), 1.0);
+}
+
+TEST(StatsTest, SpearmanHandlesTies) {
+  std::vector<double> xs = {1.0, 2.0, 2.0, 3.0};
+  std::vector<double> ys = {1.0, 2.0, 2.0, 3.0};
+  EXPECT_NEAR(spearman(xs, ys), 1.0, 1e-12);
+}
+
+TEST(StatsTest, WithinRelativeToleranceCountsHits) {
+  std::vector<double> truth = {100.0, 100.0, 100.0, 100.0};
+  std::vector<double> pred = {105.0, 109.9, 111.0, 89.0};
+  // 105 and 109.9 are within 10%; 111 and 89 are not.
+  EXPECT_DOUBLE_EQ(within_relative_tolerance(truth, pred, 0.10), 0.5);
+}
+
+TEST(StatsTest, WithinRelativeToleranceRejectsBadArgs) {
+  std::vector<double> a = {1.0};
+  std::vector<double> b = {1.0, 2.0};
+  EXPECT_THROW(within_relative_tolerance(a, b, 0.1), InvalidArgument);
+  EXPECT_THROW(within_relative_tolerance(a, a, 0.0), InvalidArgument);
+}
+
+TEST(StatsTest, RmspeMatchesHandComputation) {
+  std::vector<double> truth = {100.0, 200.0};
+  std::vector<double> pred = {110.0, 180.0};
+  EXPECT_NEAR(rmspe(truth, pred), 0.1, 1e-12);
+}
+
+}  // namespace
+}  // namespace dcnas

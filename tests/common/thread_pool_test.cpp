@@ -1,0 +1,91 @@
+#include "dcnas/common/thread_pool.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+#include <vector>
+
+#include "dcnas/common/error.hpp"
+
+namespace dcnas {
+namespace {
+
+TEST(ThreadPoolTest, ExecutesAllSubmittedTasks) {
+  ThreadPool pool(2);
+  std::atomic<int> counter{0};
+  for (int i = 0; i < 100; ++i) {
+    pool.submit([&counter] { counter.fetch_add(1); });
+  }
+  pool.wait_idle();
+  EXPECT_EQ(counter.load(), 100);
+}
+
+TEST(ThreadPoolTest, WaitIdleOnEmptyPoolReturnsImmediately) {
+  ThreadPool pool(1);
+  pool.wait_idle();  // must not hang
+  SUCCEED();
+}
+
+TEST(ThreadPoolTest, SizeReflectsRequestedWorkers) {
+  ThreadPool pool(3);
+  EXPECT_EQ(pool.size(), 3u);
+}
+
+TEST(ThreadPoolTest, DefaultSizeIsAtLeastOne) {
+  ThreadPool pool;
+  EXPECT_GE(pool.size(), 1u);
+}
+
+TEST(ThreadPoolTest, RejectsEmptyTask) {
+  ThreadPool pool(1);
+  EXPECT_THROW(pool.submit(std::function<void()>{}), InvalidArgument);
+}
+
+TEST(ParallelForTest, CoversExactRange) {
+  std::vector<std::atomic<int>> hits(1000);
+  parallel_for(0, 1000, [&](std::int64_t i) { hits[static_cast<std::size_t>(i)].fetch_add(1); });
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ParallelForTest, EmptyRangeIsNoop) {
+  std::atomic<int> count{0};
+  parallel_for(5, 5, [&](std::int64_t) { count.fetch_add(1); });
+  parallel_for(5, 3, [&](std::int64_t) { count.fetch_add(1); });
+  EXPECT_EQ(count.load(), 0);
+}
+
+TEST(ParallelForTest, SingleElementRange) {
+  std::atomic<int> seen{-1};
+  parallel_for(41, 42, [&](std::int64_t i) { seen.store(static_cast<int>(i)); });
+  EXPECT_EQ(seen.load(), 41);
+}
+
+TEST(ParallelForChunkedTest, ChunksPartitionTheRange) {
+  std::vector<std::atomic<int>> hits(257);
+  parallel_for_chunked(0, 257, [&](std::int64_t lo, std::int64_t hi) {
+    EXPECT_LT(lo, hi);
+    for (std::int64_t i = lo; i < hi; ++i) hits[static_cast<std::size_t>(i)].fetch_add(1);
+  });
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ParallelForTest, ComputesCorrectSum) {
+  // Sum via per-iteration atomics as a correctness (not performance) check.
+  std::atomic<long long> total{0};
+  parallel_for(1, 1001, [&](std::int64_t i) { total.fetch_add(i); });
+  EXPECT_EQ(total.load(), 500500);
+}
+
+TEST(ParallelForTest, NestedInvocationCompletes) {
+  // parallel_for inside a pool task must not deadlock: the inner call runs
+  // inline when no spare workers exist.
+  std::atomic<int> count{0};
+  parallel_for(0, 4, [&](std::int64_t) {
+    parallel_for(0, 4, [&](std::int64_t) { count.fetch_add(1); });
+  });
+  EXPECT_EQ(count.load(), 16);
+}
+
+}  // namespace
+}  // namespace dcnas

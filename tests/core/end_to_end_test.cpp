@@ -1,0 +1,86 @@
+/// Full-stack integration: synthetic data -> real training -> graph
+/// export -> BN folding -> model file -> deployed inference, asserting
+/// consistency at every boundary. This is the deployment path the
+/// examples walk, under test.
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+
+#include "dcnas/geodata/dataset.hpp"
+#include "dcnas/graph/builder.hpp"
+#include "dcnas/graph/model_file.hpp"
+#include "dcnas/graph/serialize.hpp"
+#include "dcnas/nas/search_space.hpp"
+#include "dcnas/nn/trainer.hpp"
+
+namespace dcnas::core {
+namespace {
+
+TEST(EndToEndTest, TrainFoldSerializeDeploy) {
+  // Small but real: 60-chip corpus, 3 epochs on the winner architecture.
+  geodata::DatasetOptions dopt;
+  dopt.scale = 1.0 / 200.0;
+  dopt.chip_size = 16;
+  dopt.scene_size = 128;
+  dopt.channels = 5;
+  dopt.seed = 31;
+  const auto ds = geodata::build_dataset(dopt);
+  ASSERT_GE(ds.size(), 16);
+
+  nas::TrialConfig cfg = nas::TrialConfig::baseline(5, 8);
+  cfg.initial_output_feature = 32;
+  cfg.kernel_size = 3;
+  cfg.padding = 1;
+  Rng rng(3);
+  nn::ConfigurableResNet model(cfg.to_resnet_config(), rng);
+  nn::TrainOptions topt;
+  topt.epochs = 3;
+  topt.batch_size = 8;
+  topt.lr = 0.02;
+  const auto fit = nn::fit(model, ds.images, ds.labels, topt);
+  ASSERT_EQ(fit.epoch_loss.size(), 3u);
+  // Training moved: loss is finite and changed from epoch 1.
+  EXPECT_TRUE(std::isfinite(fit.epoch_loss.back()));
+  EXPECT_NE(fit.epoch_loss.front(), fit.epoch_loss.back());
+
+  // Export, fold, serialize, reload.
+  model.set_training(false);
+  graph::GraphExecutor exec(
+      graph::build_resnet_graph(cfg.to_resnet_config(), dopt.chip_size),
+      model);
+  exec.fold_batchnorm();
+  const std::string path =
+      (std::filesystem::temp_directory_path() / "dcnas_e2e.dcnx").string();
+  const std::int64_t bytes = graph::save_model(exec, path);
+  const graph::GraphExecutor deployed = graph::load_model(path);
+  std::filesystem::remove(path);
+
+  // File size is the memory objective (within the estimate tolerance).
+  const double mb = static_cast<double>(bytes) / 1e6;
+  EXPECT_NEAR(mb,
+              graph::model_memory_mb(graph::build_resnet_graph(
+                  cfg.to_resnet_config(), dopt.chip_size)),
+              0.25);
+  EXPECT_NEAR(mb, 11.2, 0.3);  // the Table 4 winners' 11.18 MB class
+
+  // Deployed predictions agree with the trained model on every chip.
+  std::vector<std::int64_t> idx;
+  for (std::int64_t i = 0; i < std::min<std::int64_t>(ds.size(), 8); ++i) {
+    idx.push_back(i);
+  }
+  const Tensor probe = nn::gather_batch(ds.images, idx);
+  const Tensor a = model.forward(probe);
+  const Tensor b = deployed.run(probe);
+  ASSERT_TRUE(a.same_shape(b));
+  for (std::int64_t i = 0; i < a.numel(); ++i) {
+    ASSERT_NEAR(a[i], b[i], 5e-3) << "logit " << i;
+  }
+  // And the predicted classes are identical.
+  for (std::int64_t s = 0; s < a.dim(0); ++s) {
+    EXPECT_EQ(a.at(s, 0) > a.at(s, 1), b.at(s, 0) > b.at(s, 1));
+  }
+}
+
+}  // namespace
+}  // namespace dcnas::core

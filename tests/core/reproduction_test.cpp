@@ -1,0 +1,132 @@
+/// End-to-end reproduction gates: ties the shipped defaults to the paper's
+/// headline numbers (the machine-checkable subset of EXPERIMENTS.md).
+
+#include <gtest/gtest.h>
+
+#include "dcnas/core/pipeline.hpp"
+#include "dcnas/core/report.hpp"
+
+namespace dcnas::core {
+namespace {
+
+class ReproductionTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    pipeline_ = new HwNasPipeline();
+    sweep_ = new SweepResult(pipeline_->run_full_sweep());
+    baselines_ = new nas::TrialDatabase(pipeline_->run_baselines());
+  }
+  static void TearDownTestSuite() {
+    delete baselines_;
+    delete sweep_;
+    delete pipeline_;
+    baselines_ = nullptr;
+    sweep_ = nullptr;
+    pipeline_ = nullptr;
+  }
+  static HwNasPipeline* pipeline_;
+  static SweepResult* sweep_;
+  static nas::TrialDatabase* baselines_;
+};
+
+HwNasPipeline* ReproductionTest::pipeline_ = nullptr;
+SweepResult* ReproductionTest::sweep_ = nullptr;
+nas::TrialDatabase* ReproductionTest::baselines_ = nullptr;
+
+TEST_F(ReproductionTest, Table4BestModelMatchesPaperConfiguration) {
+  // Paper's top row: 7 channels, batch 16, k3/s2/p1, pooled, width 32,
+  // 96.13% — the best-accuracy trial must share the architecture family
+  // (kernel 3, width 32, 7 channels) and land near that accuracy.
+  const auto& best = sweep_->trials.best_accuracy();
+  EXPECT_EQ(best.config.channels, 7);
+  EXPECT_EQ(best.config.kernel_size, 3);
+  EXPECT_EQ(best.config.initial_output_feature, 32);
+  EXPECT_EQ(best.config.batch, 16);
+  EXPECT_NEAR(best.accuracy, 96.13, 1.8);
+}
+
+TEST_F(ReproductionTest, Table4WinnersBeatBaselineOnEfficiency) {
+  // §4: winners have lower latency, more consistent latency (lower
+  // lat_std), and less memory than stock ResNet-18, at comparable accuracy.
+  double base_lat = 0.0, base_std = 0.0, base_mem = 0.0;
+  for (const auto& r : baselines_->records()) {
+    base_lat = std::max(base_lat, r.latency_ms);
+    base_std = std::max(base_std, r.lat_std);
+    base_mem = std::max(base_mem, r.memory_mb);
+  }
+  int cheaper_mem = 0;
+  for (std::size_t i : sweep_->front_indices) {
+    const auto& r = sweep_->trials.record(i);
+    EXPECT_LE(r.latency_ms, base_lat * 1.05) << r.config.to_string();
+    cheaper_mem += r.memory_mb < 0.5 * base_mem;
+  }
+  // Most winners use ~1/4 of the baseline's memory (11.2 vs 44.7 MB).
+  EXPECT_GE(2 * cheaper_mem,
+            static_cast<int>(sweep_->front_indices.size()));
+}
+
+TEST_F(ReproductionTest, ParetoSpeedupMatchesTable4VsTable5) {
+  // Paper: best pooled winner 8.19 ms vs baseline 32.46 ms -> ~4x.
+  double fastest = 1e9;
+  for (std::size_t i : sweep_->front_indices) {
+    fastest = std::min(fastest, sweep_->trials.record(i).latency_ms);
+  }
+  double base7 = 0.0;
+  for (const auto& r : baselines_->records()) {
+    if (r.config.channels == 7) base7 = r.latency_ms;
+  }
+  const double speedup = base7 / fastest;
+  EXPECT_GT(speedup, 2.3);
+  EXPECT_LT(speedup, 6.0);
+}
+
+TEST_F(ReproductionTest, Table5AccuracyOrderingMatchesPaper) {
+  // Paper Table 5 ordering: within each channel count, batch 16 > batch 8
+  // > batch 32 for 5ch; and 7ch rows beat their 5ch counterparts.
+  auto find = [&](int ch, int b) -> const nas::TrialRecord& {
+    for (const auto& r : baselines_->records()) {
+      if (r.config.channels == ch && r.config.batch == b) return r;
+    }
+    throw InternalError("baseline row missing");
+  };
+  EXPECT_GT(find(5, 16).accuracy, find(5, 32).accuracy);
+  EXPECT_GT(find(7, 16).accuracy, find(7, 32).accuracy);
+  for (int b : {8, 16, 32}) {
+    EXPECT_GT(find(7, b).accuracy, find(5, b).accuracy) << "batch " << b;
+  }
+  // Latency identical across batch (nn-Meter predicts batch-1 inference).
+  EXPECT_DOUBLE_EQ(find(5, 8).latency_ms, find(5, 32).latency_ms);
+  EXPECT_DOUBLE_EQ(find(7, 8).latency_ms, find(7, 16).latency_ms);
+}
+
+TEST_F(ReproductionTest, AccuracyStaysOnParWithReferenceStudy) {
+  // §4: despite halving epochs, accuracy stays on par with Wu et al.'s
+  // 95.92-97.43% — our best sweep accuracy must reach that band.
+  EXPECT_GE(sweep_->trials.best_accuracy().accuracy, 95.0);
+}
+
+TEST_F(ReproductionTest, FullReportGenerationSucceeds) {
+  EXPECT_FALSE(table1_text().empty());
+  EXPECT_FALSE(table3_text(*sweep_).empty());
+  EXPECT_FALSE(table4_text(*sweep_).empty());
+  EXPECT_FALSE(table5_text(*baselines_).empty());
+  EXPECT_FALSE(fig1_text().empty());
+  EXPECT_FALSE(fig2_text().empty());
+  EXPECT_FALSE(fig3_text(*sweep_).empty());
+  EXPECT_FALSE(fig4_text(*sweep_).empty());
+}
+
+TEST_F(ReproductionTest, SearchSpacePruningInsightHolds) {
+  // §5 observation 2: restricting padding to 1 shrinks the space by 3x
+  // while keeping the Pareto front quality — verify the best padding-1
+  // trial is within noise of the global best.
+  double best_all = 0.0, best_p1 = 0.0;
+  for (const auto& r : sweep_->trials.records()) {
+    best_all = std::max(best_all, r.accuracy);
+    if (r.config.padding == 1) best_p1 = std::max(best_p1, r.accuracy);
+  }
+  EXPECT_GE(best_p1, best_all - 1.0);
+}
+
+}  // namespace
+}  // namespace dcnas::core

@@ -1,0 +1,124 @@
+#include "dcnas/geodata/augment.hpp"
+
+#include <gtest/gtest.h>
+
+namespace dcnas::geodata {
+namespace {
+
+Tensor numbered_chip(std::int64_t n, std::int64_t c, std::int64_t hw) {
+  Tensor t({n, c, hw, hw});
+  for (std::int64_t i = 0; i < t.numel(); ++i) t[i] = static_cast<float>(i);
+  return t;
+}
+
+TEST(AugmentTest, HorizontalFlipMirrorsColumns) {
+  const Tensor x = numbered_chip(1, 1, 3);
+  const Tensor y = flip_horizontal(x);
+  EXPECT_FLOAT_EQ(y.at(0, 0, 0, 0), x.at(0, 0, 0, 2));
+  EXPECT_FLOAT_EQ(y.at(0, 0, 1, 1), x.at(0, 0, 1, 1));
+  EXPECT_FLOAT_EQ(y.at(0, 0, 2, 2), x.at(0, 0, 2, 0));
+}
+
+TEST(AugmentTest, VerticalFlipMirrorsRows) {
+  const Tensor x = numbered_chip(1, 2, 3);
+  const Tensor y = flip_vertical(x);
+  EXPECT_FLOAT_EQ(y.at(0, 1, 0, 1), x.at(0, 1, 2, 1));
+}
+
+TEST(AugmentTest, FlipsAreInvolutions) {
+  const Tensor x = numbered_chip(2, 3, 5);
+  const Tensor hh = flip_horizontal(flip_horizontal(x));
+  const Tensor vv = flip_vertical(flip_vertical(x));
+  for (std::int64_t i = 0; i < x.numel(); ++i) {
+    ASSERT_EQ(hh[i], x[i]);
+    ASSERT_EQ(vv[i], x[i]);
+  }
+}
+
+TEST(AugmentTest, Rotate90FourTimesIsIdentity) {
+  const Tensor x = numbered_chip(1, 2, 4);
+  Tensor y = x;
+  for (int i = 0; i < 4; ++i) y = rotate90(y);
+  for (std::int64_t i = 0; i < x.numel(); ++i) ASSERT_EQ(y[i], x[i]);
+}
+
+TEST(AugmentTest, Rotate90MovesCornersCorrectly) {
+  // CCW rotation: top-right corner -> top-left.
+  Tensor x({1, 1, 2, 2});
+  x.at(0, 0, 0, 1) = 7.0f;  // top-right
+  const Tensor y = rotate90(x);
+  EXPECT_FLOAT_EQ(y.at(0, 0, 0, 0), 7.0f);
+}
+
+TEST(AugmentTest, TransformsPreserveValueMultiset) {
+  const Tensor x = numbered_chip(2, 2, 4);
+  for (const Tensor& y :
+       {flip_horizontal(x), flip_vertical(x), rotate90(x)}) {
+    double sx = 0.0, sy = 0.0;
+    for (std::int64_t i = 0; i < x.numel(); ++i) {
+      sx += x[i];
+      sy += y[i];
+    }
+    EXPECT_DOUBLE_EQ(sx, sy);
+  }
+}
+
+TEST(AugmentTest, RandomDihedralIsDeterministicPerSeed) {
+  const Tensor x = numbered_chip(4, 2, 6);
+  Rng r1(9), r2(9), r3(10);
+  const Tensor a = random_dihedral(x, r1);
+  const Tensor b = random_dihedral(x, r2);
+  const Tensor c = random_dihedral(x, r3);
+  bool same_ab = true, same_ac = true;
+  for (std::int64_t i = 0; i < x.numel(); ++i) {
+    same_ab &= a[i] == b[i];
+    same_ac &= a[i] == c[i];
+  }
+  EXPECT_TRUE(same_ab);
+  EXPECT_FALSE(same_ac);
+}
+
+TEST(AugmentTest, DihedralExpansionProduces8Poses) {
+  Tensor x = numbered_chip(3, 2, 4);
+  std::vector<int> labels = {0, 1, 0};
+  augment_dihedral(x, labels);
+  EXPECT_EQ(x.dim(0), 24);
+  ASSERT_EQ(labels.size(), 24u);
+  // Labels replicate per source chip.
+  for (int k = 0; k < 8; ++k) {
+    EXPECT_EQ(labels[static_cast<std::size_t>(8 + k)], 1);
+  }
+  // First pose of each chip is the original.
+  const Tensor orig = numbered_chip(3, 2, 4);
+  const std::int64_t chw = 2 * 4 * 4;
+  for (std::int64_t i = 0; i < chw; ++i) {
+    ASSERT_EQ(x[8 * chw + i], orig[chw + i]);  // chip 1, pose 0
+  }
+}
+
+TEST(AugmentTest, DihedralPosesAreDistinct) {
+  // For a generic chip the 8 dihedral poses are pairwise different.
+  Tensor x = numbered_chip(1, 1, 3);
+  std::vector<int> labels = {0};
+  augment_dihedral(x, labels);
+  const std::int64_t hw = 9;
+  for (int a = 0; a < 8; ++a) {
+    for (int b = a + 1; b < 8; ++b) {
+      bool same = true;
+      for (std::int64_t i = 0; i < hw; ++i) {
+        if (x[a * hw + i] != x[b * hw + i]) same = false;
+      }
+      EXPECT_FALSE(same) << "poses " << a << " and " << b;
+    }
+  }
+}
+
+TEST(AugmentTest, RejectsBadInput) {
+  EXPECT_THROW(rotate90(Tensor({1, 1, 2, 3})), InvalidArgument);
+  Tensor x({2, 1, 2, 2});
+  std::vector<int> labels = {0};
+  EXPECT_THROW(augment_dihedral(x, labels), InvalidArgument);
+}
+
+}  // namespace
+}  // namespace dcnas::geodata

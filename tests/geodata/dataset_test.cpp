@@ -1,0 +1,154 @@
+#include "dcnas/geodata/dataset.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace dcnas::geodata {
+namespace {
+
+DatasetOptions tiny_options(int channels) {
+  DatasetOptions opt;
+  opt.scale = 1.0 / 256.0;  // ~8+8 Nebraska chips etc. — fast for tests
+  opt.chip_size = 24;
+  opt.scene_size = 160;
+  opt.channels = channels;
+  opt.seed = 99;
+  return opt;
+}
+
+TEST(DatasetTest, BuildsBalancedChips) {
+  const DrainageDataset ds = build_dataset(tiny_options(5));
+  EXPECT_GT(ds.size(), 0);
+  EXPECT_EQ(ds.images.dim(1), 5);
+  EXPECT_EQ(ds.images.dim(2), 24);
+  EXPECT_EQ(static_cast<std::int64_t>(ds.labels.size()), ds.size());
+  std::int64_t positives = 0;
+  for (int label : ds.labels) positives += label;
+  EXPECT_EQ(2 * positives, ds.size()) << "dataset must be class-balanced";
+}
+
+TEST(DatasetTest, PerRegionQuotasScaleWithTable1) {
+  const DrainageDataset ds = build_dataset(tiny_options(5));
+  ASSERT_EQ(ds.per_region.size(), 4u);
+  // Ordering follows Table 1 and counts scale with the region sizes:
+  // California (2388) > Nebraska (2022) > Illinois (1011) > N.Dakota (613).
+  EXPECT_EQ(ds.per_region[0].name, "Nebraska");
+  EXPECT_GE(ds.per_region[3].true_chips, ds.per_region[0].true_chips);
+  EXPECT_GE(ds.per_region[0].true_chips, ds.per_region[1].true_chips);
+  EXPECT_GE(ds.per_region[1].true_chips, ds.per_region[2].true_chips);
+  for (const auto& r : ds.per_region) {
+    EXPECT_EQ(r.true_chips, r.false_chips);
+    EXPECT_GE(r.true_chips, 2);
+  }
+}
+
+TEST(DatasetTest, SevenChannelAppendsIndices) {
+  const DrainageDataset ds5 = build_dataset(tiny_options(5));
+  const DrainageDataset ds7 = build_dataset(tiny_options(7));
+  EXPECT_EQ(ds7.images.dim(1), 7);
+  EXPECT_EQ(ds5.size(), ds7.size());
+  // First five channels agree chip-for-chip.
+  const std::int64_t hw = 24 * 24;
+  for (std::int64_t i = 0; i < 5 * hw; ++i) {
+    ASSERT_FLOAT_EQ(ds5.images[i], ds7.images[i]);
+  }
+  // NDVI channel (index 5) is bounded in [-1, 1].
+  for (std::int64_t i = 0; i < ds7.size(); ++i) {
+    for (std::int64_t j = 0; j < hw; ++j) {
+      const float v = ds7.images[(i * 7 + 5) * hw + j];
+      ASSERT_GE(v, -1.0f);
+      ASSERT_LE(v, 1.0f);
+    }
+  }
+}
+
+TEST(DatasetTest, DemChannelIsLocallyStandardized) {
+  const DrainageDataset ds = build_dataset(tiny_options(5));
+  const std::int64_t hw = 24 * 24;
+  for (std::int64_t i = 0; i < std::min<std::int64_t>(ds.size(), 6); ++i) {
+    double mean = 0.0;
+    for (std::int64_t j = 0; j < hw; ++j) mean += ds.images[i * 5 * hw + j];
+    mean /= static_cast<double>(hw);
+    EXPECT_NEAR(mean, 0.0, 1e-3) << "chip " << i;
+  }
+}
+
+TEST(DatasetTest, DeterministicPerSeed) {
+  const DrainageDataset a = build_dataset(tiny_options(5));
+  const DrainageDataset b = build_dataset(tiny_options(5));
+  ASSERT_EQ(a.size(), b.size());
+  for (std::int64_t i = 0; i < a.images.numel(); ++i) {
+    ASSERT_EQ(a.images[i], b.images[i]);
+  }
+  EXPECT_EQ(a.labels, b.labels);
+}
+
+TEST(DatasetTest, RegionIdsIndexCatalog) {
+  const DrainageDataset ds = build_dataset(tiny_options(5));
+  for (int rid : ds.region_ids) {
+    EXPECT_GE(rid, 0);
+    EXPECT_LT(rid, 4);
+  }
+}
+
+TEST(DatasetTest, TrueAndFalseChipsAreStatisticallyDifferent) {
+  // The embankment raises the DEM at the chip center for true chips: the
+  // mean DEM in a 5x5 center window (after per-chip standardization) must
+  // be higher for positives than negatives on average.
+  DatasetOptions opt = tiny_options(5);
+  opt.scale = 1.0 / 128.0;
+  const DrainageDataset ds = build_dataset(opt);
+  const std::int64_t hw = 24 * 24;
+  double pos_center = 0.0, neg_center = 0.0;
+  std::int64_t pos_n = 0, neg_n = 0;
+  for (std::int64_t i = 0; i < ds.size(); ++i) {
+    double center = 0.0;
+    for (std::int64_t y = 10; y < 15; ++y) {
+      for (std::int64_t x = 10; x < 15; ++x) {
+        center += ds.images[i * 5 * hw + y * 24 + x];
+      }
+    }
+    if (ds.labels[static_cast<std::size_t>(i)] == 1) {
+      pos_center += center;
+      ++pos_n;
+    } else {
+      neg_center += center;
+      ++neg_n;
+    }
+  }
+  EXPECT_GT(pos_center / pos_n, neg_center / neg_n + 0.05);
+}
+
+TEST(DatasetTest, RejectsInvalidOptions) {
+  DatasetOptions opt = tiny_options(5);
+  opt.channels = 6;
+  EXPECT_THROW(build_dataset(opt), InvalidArgument);
+  opt = tiny_options(5);
+  opt.chip_size = 4;
+  EXPECT_THROW(build_dataset(opt), InvalidArgument);
+  opt = tiny_options(5);
+  opt.scale = 0.0;
+  EXPECT_THROW(build_dataset(opt), InvalidArgument);
+  opt = tiny_options(5);
+  opt.scene_size = 40;
+  opt.chip_size = 24;
+  EXPECT_THROW(build_dataset(opt), InvalidArgument);
+}
+
+TEST(ExtractChipTest, BoundsAreEnforced) {
+  SceneOptions so;
+  so.size = 64;
+  const GeoScene scene = synthesize_scene(so, 3);
+  std::vector<float> buf(5 * 16 * 16);
+  EXPECT_NO_THROW(extract_chip(scene, 32, 32, 16, 5, buf.data()));
+  EXPECT_THROW(extract_chip(scene, 2, 32, 16, 5, buf.data()),
+               InvalidArgument);
+  EXPECT_THROW(extract_chip(scene, 32, 63, 16, 5, buf.data()),
+               InvalidArgument);
+  EXPECT_THROW(extract_chip(scene, 32, 32, 16, 6, buf.data()),
+               InvalidArgument);
+}
+
+}  // namespace
+}  // namespace dcnas::geodata

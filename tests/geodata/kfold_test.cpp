@@ -1,0 +1,85 @@
+#include "dcnas/geodata/kfold.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+#include "dcnas/common/error.hpp"
+
+namespace dcnas::geodata {
+namespace {
+
+std::vector<int> balanced_labels(int n) {
+  std::vector<int> labels(static_cast<std::size_t>(n));
+  for (int i = 0; i < n; ++i) labels[static_cast<std::size_t>(i)] = i % 2;
+  return labels;
+}
+
+TEST(KFoldTest, EverySampleValidatedExactlyOnce) {
+  const auto labels = balanced_labels(103);
+  const auto splits = stratified_kfold(labels, 5, 1);
+  ASSERT_EQ(splits.size(), 5u);
+  std::vector<int> seen(labels.size(), 0);
+  for (const auto& s : splits) {
+    for (auto i : s.val_indices) seen[static_cast<std::size_t>(i)]++;
+  }
+  for (int count : seen) EXPECT_EQ(count, 1);
+}
+
+TEST(KFoldTest, TrainAndValArePartition) {
+  const auto labels = balanced_labels(60);
+  const auto splits = stratified_kfold(labels, 4, 2);
+  for (const auto& s : splits) {
+    EXPECT_EQ(s.train_indices.size() + s.val_indices.size(), labels.size());
+    std::set<std::int64_t> train(s.train_indices.begin(),
+                                 s.train_indices.end());
+    for (auto v : s.val_indices) EXPECT_EQ(train.count(v), 0u);
+  }
+}
+
+TEST(KFoldTest, StratificationPreservesBalance) {
+  const auto labels = balanced_labels(200);
+  const auto splits = stratified_kfold(labels, 5, 3);
+  for (const auto& s : splits) {
+    std::int64_t pos = 0;
+    for (auto i : s.val_indices) pos += labels[static_cast<std::size_t>(i)];
+    EXPECT_EQ(2 * pos, static_cast<std::int64_t>(s.val_indices.size()));
+  }
+}
+
+TEST(KFoldTest, UnbalancedClassesStillStratified) {
+  std::vector<int> labels;
+  for (int i = 0; i < 90; ++i) labels.push_back(0);
+  for (int i = 0; i < 10; ++i) labels.push_back(1);
+  const auto splits = stratified_kfold(labels, 5, 4);
+  for (const auto& s : splits) {
+    std::int64_t pos = 0;
+    for (auto i : s.val_indices) pos += labels[static_cast<std::size_t>(i)];
+    EXPECT_EQ(pos, 2);  // 10 positives over 5 folds
+    EXPECT_EQ(s.val_indices.size(), 20u);
+  }
+}
+
+TEST(KFoldTest, DeterministicPerSeed) {
+  const auto labels = balanced_labels(50);
+  const auto a = stratified_kfold(labels, 5, 7);
+  const auto b = stratified_kfold(labels, 5, 7);
+  const auto c = stratified_kfold(labels, 5, 8);
+  for (std::size_t f = 0; f < a.size(); ++f) {
+    EXPECT_EQ(a[f].val_indices, b[f].val_indices);
+  }
+  bool any_diff = false;
+  for (std::size_t f = 0; f < a.size(); ++f) {
+    if (a[f].val_indices != c[f].val_indices) any_diff = true;
+  }
+  EXPECT_TRUE(any_diff);
+}
+
+TEST(KFoldTest, RejectsDegenerateInput) {
+  EXPECT_THROW(stratified_kfold(balanced_labels(10), 1, 0), InvalidArgument);
+  EXPECT_THROW(stratified_kfold(balanced_labels(3), 5, 0), InvalidArgument);
+}
+
+}  // namespace
+}  // namespace dcnas::geodata

@@ -1,0 +1,152 @@
+#include "dcnas/geodata/scene.hpp"
+
+#include <gtest/gtest.h>
+
+namespace dcnas::geodata {
+namespace {
+
+SceneOptions small_scene_options() {
+  SceneOptions opt;
+  opt.size = 160;
+  return opt;
+}
+
+TEST(IndicesTest, VegetationAndWaterSignatures) {
+  Grid nir(1, 3), red(1, 3), green(1, 3);
+  // Vegetation: NIR >> RED -> NDVI near +1.
+  nir.at(0, 0) = 0.6f;
+  red.at(0, 0) = 0.06f;
+  green.at(0, 0) = 0.15f;
+  // Water: GREEN > NIR -> NDWI positive, NDVI negative-ish.
+  nir.at(0, 1) = 0.04f;
+  red.at(0, 1) = 0.10f;
+  green.at(0, 1) = 0.22f;
+  // Zero case.
+  nir.at(0, 2) = 0.0f;
+  red.at(0, 2) = 0.0f;
+  green.at(0, 2) = 0.0f;
+  const Grid v = ndvi(nir, red);
+  const Grid w = ndwi(green, nir);
+  EXPECT_GT(v.at(0, 0), 0.7f);
+  EXPECT_LT(v.at(0, 1), 0.0f);
+  EXPECT_GT(w.at(0, 1), 0.5f);
+  EXPECT_LT(w.at(0, 0), 0.0f);
+  EXPECT_FLOAT_EQ(v.at(0, 2), 0.0f);
+  EXPECT_FLOAT_EQ(w.at(0, 2), 0.0f);
+}
+
+TEST(IndicesTest, BoundedInMinusOneOne) {
+  Grid a(4, 4, 0.5f), b(4, 4, 0.1f);
+  const Grid x = ndvi(a, b);
+  for (std::int64_t i = 0; i < x.size(); ++i) {
+    EXPECT_GE(x.data()[static_cast<std::size_t>(i)], -1.0f);
+    EXPECT_LE(x.data()[static_cast<std::size_t>(i)], 1.0f);
+  }
+}
+
+TEST(RegionCatalogTest, MatchesTable1) {
+  const auto& catalog = region_catalog();
+  ASSERT_EQ(catalog.size(), 4u);
+  EXPECT_EQ(catalog[0].name, "Nebraska");
+  EXPECT_EQ(catalog[0].true_samples, 2022);
+  EXPECT_EQ(catalog[1].name, "Illinois");
+  EXPECT_DOUBLE_EQ(catalog[1].dem_resolution_m, 0.3);
+  EXPECT_EQ(catalog[1].total_samples(), 2022);
+  EXPECT_EQ(catalog[2].name, "North Dakota");
+  EXPECT_EQ(catalog[2].true_samples, 613);
+  EXPECT_DOUBLE_EQ(catalog[2].dem_resolution_m, 0.61);
+  EXPECT_EQ(catalog[3].name, "California");
+  EXPECT_EQ(catalog[3].false_samples, 2388);
+  EXPECT_EQ(catalog_total_samples(), 12068);
+  for (const auto& r : catalog) {
+    EXPECT_EQ(r.true_samples, r.false_samples) << "balanced per Table 1";
+    EXPECT_NE(r.ortho_source.find("NAIP"), std::string::npos);
+  }
+}
+
+TEST(SceneTest, ProducesCrossings) {
+  const GeoScene scene = synthesize_scene(small_scene_options(), 101);
+  EXPECT_GT(scene.crossings.size(), 0u);
+  for (const auto& c : scene.crossings) {
+    EXPECT_TRUE(scene.dem.in_bounds(c.y, c.x));
+    // Crossings sit on (pre-road) channels.
+    EXPECT_FLOAT_EQ(scene.channels.at(c.y, c.x), 1.0f);
+    // ... and under the road embankment.
+    EXPECT_FLOAT_EQ(scene.road_mask.at(c.y, c.x), 1.0f);
+  }
+}
+
+TEST(SceneTest, EmbankmentRaisesDemOverChannel) {
+  const SceneOptions opt = small_scene_options();
+  const GeoScene scene = synthesize_scene(opt, 101);
+  ASSERT_FALSE(scene.crossings.empty());
+  // The crossing cell was carved then raised by the ~1.6 m embankment: it
+  // must sit clearly above immediately-adjacent off-road channel cells
+  // (within 5 cells, where natural relief is small compared to the bank).
+  int verified = 0;
+  for (const auto& site : scene.crossings) {
+    for (std::int64_t dy = -5; dy <= 5; ++dy) {
+      for (std::int64_t dx = -5; dx <= 5; ++dx) {
+        const std::int64_t ny = site.y + dy;
+        const std::int64_t nx = site.x + dx;
+        if (!scene.dem.in_bounds(ny, nx)) continue;
+        if (scene.channels.at(ny, nx) > 0.5f &&
+            scene.road_mask.at(ny, nx) < 0.5f) {
+          if (scene.dem.at(site.y, site.x) > scene.dem.at(ny, nx) + 0.5f) {
+            ++verified;
+          }
+          dy = 6;  // one neighbour per crossing is enough
+          break;
+        }
+      }
+    }
+  }
+  // Most crossings show the raised-bar signature.
+  EXPECT_GT(verified, static_cast<int>(scene.crossings.size()) / 2);
+}
+
+TEST(SceneTest, DeterministicPerSeed) {
+  const GeoScene a = synthesize_scene(small_scene_options(), 7);
+  const GeoScene b = synthesize_scene(small_scene_options(), 7);
+  EXPECT_EQ(a.dem.data(), b.dem.data());
+  EXPECT_EQ(a.crossings.size(), b.crossings.size());
+  const GeoScene c = synthesize_scene(small_scene_options(), 8);
+  EXPECT_NE(a.dem.data(), c.dem.data());
+}
+
+TEST(SceneTest, OrthoBandsAreReflectances) {
+  const GeoScene scene = synthesize_scene(small_scene_options(), 11);
+  for (const Grid* band :
+       {&scene.ortho.red, &scene.ortho.green, &scene.ortho.blue,
+        &scene.ortho.nir}) {
+    EXPECT_GE(band->min_value(), 0.0f);
+    EXPECT_LE(band->max_value(), 1.0f);
+  }
+  // NDVI/NDWI layers bounded.
+  EXPECT_GE(scene.ndvi_layer.min_value(), -1.0f);
+  EXPECT_LE(scene.ndvi_layer.max_value(), 1.0f);
+}
+
+TEST(SceneTest, RoadsLookGrayInOrtho) {
+  const GeoScene scene = synthesize_scene(small_scene_options(), 13);
+  // Find a road pixel; its R and G must be nearly equal (gray).
+  for (std::int64_t y = 0; y < scene.dem.height(); ++y) {
+    for (std::int64_t x = 0; x < scene.dem.width(); ++x) {
+      if (scene.road_mask.at(y, x) > 0.5f) {
+        EXPECT_NEAR(scene.ortho.red.at(y, x), scene.ortho.green.at(y, x),
+                    1e-4f);
+        return;
+      }
+    }
+  }
+  FAIL() << "no road pixels generated";
+}
+
+TEST(SceneTest, RejectsTinyScene) {
+  SceneOptions opt;
+  opt.size = 16;
+  EXPECT_THROW(synthesize_scene(opt, 1), InvalidArgument);
+}
+
+}  // namespace
+}  // namespace dcnas::geodata

@@ -1,0 +1,112 @@
+#include "dcnas/geodata/terrain.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace dcnas::geodata {
+namespace {
+
+TEST(GridTest, BasicAccessAndStats) {
+  Grid g(3, 4, 2.0f);
+  EXPECT_EQ(g.height(), 3);
+  EXPECT_EQ(g.width(), 4);
+  EXPECT_EQ(g.size(), 12);
+  g.at(2, 3) = 5.0f;
+  g.at(0, 0) = -1.0f;
+  EXPECT_FLOAT_EQ(g.min_value(), -1.0f);
+  EXPECT_FLOAT_EQ(g.max_value(), 5.0f);
+  EXPECT_NEAR(g.mean_value(), (2.0 * 10 + 5 - 1) / 12.0, 1e-9);
+  EXPECT_TRUE(g.in_bounds(2, 3));
+  EXPECT_FALSE(g.in_bounds(3, 0));
+  EXPECT_FALSE(g.in_bounds(0, -1));
+}
+
+TEST(GridTest, RejectsBadDimensions) {
+  EXPECT_THROW(Grid(0, 4), InvalidArgument);
+  EXPECT_THROW(Grid(4, -1), InvalidArgument);
+  EXPECT_THROW(Grid().min_value(), InvalidArgument);
+}
+
+TEST(ValueNoiseTest, DeterministicAndBounded) {
+  for (int i = 0; i < 500; ++i) {
+    const double x = i * 0.37;
+    const double y = i * 0.91;
+    const double v = value_noise(x, y, 7);
+    EXPECT_DOUBLE_EQ(v, value_noise(x, y, 7));
+    EXPECT_GE(v, -1.0);
+    EXPECT_LE(v, 1.0);
+  }
+}
+
+TEST(ValueNoiseTest, DifferentSeedsDiffer) {
+  int diffs = 0;
+  for (int i = 0; i < 50; ++i) {
+    if (value_noise(i * 0.7, i * 1.3, 1) != value_noise(i * 0.7, i * 1.3, 2))
+      ++diffs;
+  }
+  EXPECT_GT(diffs, 45);
+}
+
+TEST(ValueNoiseTest, IsContinuous) {
+  // Tiny input steps produce tiny output steps (smoothstep interpolation).
+  const double base = value_noise(5.3, 8.7, 3);
+  const double nudged = value_noise(5.3001, 8.7001, 3);
+  EXPECT_NEAR(base, nudged, 1e-2);
+}
+
+TEST(FbmTest, MoreOctavesAddDetail) {
+  // fbm with 1 octave equals raw value noise at the base frequency.
+  const double one = fbm(10.0, 20.0, 5, 1, 0.05, 2.0, 0.5);
+  EXPECT_DOUBLE_EQ(one, value_noise(0.5, 1.0, mix_seed(5, 0)));
+  const double many = fbm(10.0, 20.0, 5, 5, 0.05, 2.0, 0.5);
+  EXPECT_NE(one, many);
+  EXPECT_THROW(fbm(0, 0, 1, 0, 0.1, 2.0, 0.5), InvalidArgument);
+}
+
+TEST(SynthesizeDemTest, ElevationRangeFollowsOptions) {
+  TerrainOptions opt;
+  opt.height = 96;
+  opt.width = 96;
+  const Grid dem = synthesize_dem(opt, 42);
+  EXPECT_EQ(dem.height(), 96);
+  // Elevation stays within base ± relief ± tilt envelope.
+  const double tilt_max = opt.regional_slope * (96 + 0.35 * 96);
+  EXPECT_GT(dem.min_value(), opt.base_elevation_m - opt.relief_m - tilt_max - 1);
+  EXPECT_LT(dem.max_value(), opt.base_elevation_m + opt.relief_m + 1);
+  // Real relief appears (not flat).
+  EXPECT_GT(dem.max_value() - dem.min_value(), opt.relief_m * 0.5);
+}
+
+TEST(SynthesizeDemTest, DeterministicPerSeed) {
+  TerrainOptions opt;
+  opt.height = 48;
+  opt.width = 48;
+  const Grid a = synthesize_dem(opt, 9);
+  const Grid b = synthesize_dem(opt, 9);
+  const Grid c = synthesize_dem(opt, 10);
+  EXPECT_EQ(a.data(), b.data());
+  EXPECT_NE(a.data(), c.data());
+}
+
+TEST(SlopeTest, FlatTerrainHasZeroSlope) {
+  Grid flat(16, 16, 100.0f);
+  const Grid s = slope_magnitude(flat);
+  EXPECT_FLOAT_EQ(s.max_value(), 0.0f);
+}
+
+TEST(SlopeTest, RampHasConstantSlope) {
+  Grid ramp(8, 8);
+  for (std::int64_t y = 0; y < 8; ++y) {
+    for (std::int64_t x = 0; x < 8; ++x) {
+      ramp.at(y, x) = static_cast<float>(3 * x);
+    }
+  }
+  const Grid s = slope_magnitude(ramp);
+  EXPECT_NEAR(s.at(4, 4), 3.0f, 1e-5f);
+  // Border uses one-sided halves.
+  EXPECT_NEAR(s.at(4, 0), 1.5f, 1e-5f);
+}
+
+}  // namespace
+}  // namespace dcnas::geodata

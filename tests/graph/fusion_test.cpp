@@ -1,0 +1,112 @@
+#include "dcnas/graph/fusion.hpp"
+
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "dcnas/graph/builder.hpp"
+
+namespace dcnas::graph {
+namespace {
+
+using nn::ResNetConfig;
+
+std::map<KernelKind, int> kind_counts(const std::vector<FusedKernel>& ks) {
+  std::map<KernelKind, int> counts;
+  for (const auto& k : ks) counts[k.kind]++;
+  return counts;
+}
+
+TEST(FusionTest, ChainFusesToSingleKernel) {
+  ModelGraph g;
+  const int in = g.add_input({3, 16, 16});
+  const int c = g.add_conv(in, 8, 3, 1, 1, "c");
+  const int b = g.add_batchnorm(c, "b");
+  const int r = g.add_relu(b, "r");
+  g.add_output(r);
+  const auto kernels = fuse_graph(g);
+  ASSERT_EQ(kernels.size(), 1u);
+  EXPECT_EQ(kernels[0].kind, KernelKind::kConvBnRelu);
+  // Folded BN contributes no FLOPs; ReLU's elementwise FLOPs remain.
+  EXPECT_EQ(kernels[0].flops, g.node(c).flops + g.node(r).flops);
+  EXPECT_EQ(kernels[0].params, g.node(c).params + g.node(b).params);
+}
+
+TEST(FusionTest, ConvBnWithoutReluStopsAtConvBn) {
+  ModelGraph g;
+  const int in = g.add_input({3, 8, 8});
+  const int c = g.add_conv(in, 4, 3, 1, 1, "c");
+  const int b = g.add_batchnorm(c, "b");
+  g.add_output(b);
+  const auto kernels = fuse_graph(g);
+  ASSERT_EQ(kernels.size(), 1u);
+  EXPECT_EQ(kernels[0].kind, KernelKind::kConvBn);
+}
+
+TEST(FusionTest, MultiConsumerBlocksFusion) {
+  // BN output feeds both a ReLU and an Add: the ReLU cannot fuse away.
+  ModelGraph g;
+  const int in = g.add_input({4, 8, 8});
+  const int c = g.add_conv(in, 4, 3, 1, 1, "c");
+  const int b = g.add_batchnorm(c, "b");
+  const int r = g.add_relu(b, "r");
+  const int a = g.add_add(r, b, "a");
+  g.add_output(a);
+  const auto kernels = fuse_graph(g);
+  const auto counts = kind_counts(kernels);
+  EXPECT_EQ(counts.at(KernelKind::kConvBn), 1);  // conv+bn still fuse
+  EXPECT_EQ(counts.at(KernelKind::kRelu), 1);    // relu stays standalone
+  EXPECT_EQ(counts.at(KernelKind::kAdd), 1);
+}
+
+TEST(FusionTest, BaselineResNetKernelInventory) {
+  const auto kernels = fuse_graph(build_resnet_graph(ResNetConfig::baseline(5)));
+  const auto counts = kind_counts(kernels);
+  // 17 conv+bn+relu (conv1 + 2 per block), 11 conv+bn (block tails + 3
+  // projections), 8 add+relu, 1 maxpool, 1 gap, 1 fc.
+  EXPECT_EQ(counts.at(KernelKind::kConvBnRelu), 9);
+  EXPECT_EQ(counts.at(KernelKind::kConvBn), 11);
+  EXPECT_EQ(counts.at(KernelKind::kAddRelu), 8);
+  EXPECT_EQ(counts.at(KernelKind::kMaxPool), 1);
+  EXPECT_EQ(counts.at(KernelKind::kGlobalAvgPool), 1);
+  EXPECT_EQ(counts.at(KernelKind::kLinear), 1);
+  EXPECT_EQ(counts.count(KernelKind::kRelu), 0u);
+  EXPECT_EQ(counts.count(KernelKind::kBatchNorm), 0u);
+}
+
+TEST(FusionTest, FusedFlopsDropBatchNormOnly) {
+  const ModelGraph g = build_resnet_graph(ResNetConfig::baseline(5));
+  std::int64_t bn_flops = 0;
+  for (const auto& n : g.nodes()) {
+    if (n.kind == OpKind::kBatchNorm) bn_flops += n.flops;
+  }
+  const auto kernels = fuse_graph(g);
+  EXPECT_EQ(fused_flops(kernels), g.total_flops() - bn_flops);
+}
+
+TEST(FusionTest, ParamsConservedThroughFusion) {
+  const ModelGraph g = build_resnet_graph(ResNetConfig::baseline(7));
+  const auto kernels = fuse_graph(g);
+  std::int64_t fused_params = 0;
+  for (const auto& k : kernels) fused_params += k.params;
+  EXPECT_EQ(fused_params, g.total_params());
+}
+
+TEST(FusionTest, AddKernelCountsBothOperandsAsInput) {
+  FusedKernel k;
+  k.kind = KernelKind::kAddRelu;
+  k.in_shape = {8, 4, 4};
+  k.out_shape = k.in_shape;
+  EXPECT_EQ(k.input_bytes(), 2 * 4 * 8 * 4 * 4);
+  k.kind = KernelKind::kConv;
+  EXPECT_EQ(k.input_bytes(), 4 * 8 * 4 * 4);
+}
+
+TEST(FusionTest, KernelKindNamesAreDistinct) {
+  EXPECT_STRNE(kernel_kind_name(KernelKind::kConvBnRelu),
+               kernel_kind_name(KernelKind::kConvBn));
+  EXPECT_STREQ(kernel_kind_name(KernelKind::kAddRelu), "add-relu");
+}
+
+}  // namespace
+}  // namespace dcnas::graph

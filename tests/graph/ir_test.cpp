@@ -1,0 +1,117 @@
+#include "dcnas/graph/ir.hpp"
+
+#include <gtest/gtest.h>
+
+namespace dcnas::graph {
+namespace {
+
+ModelGraph tiny_graph() {
+  ModelGraph g;
+  const int in = g.add_input({3, 8, 8});
+  const int c = g.add_conv(in, 4, 3, 1, 1, "c");
+  const int b = g.add_batchnorm(c, "b");
+  const int r = g.add_relu(b, "r");
+  const int p = g.add_global_avgpool(r, "gap");
+  const int f = g.add_linear(p, 2, "fc");
+  g.add_output(f);
+  return g;
+}
+
+TEST(ModelGraphTest, ShapeInferenceThroughChain) {
+  const ModelGraph g = tiny_graph();
+  EXPECT_EQ(g.node(1).out_shape, (ActShape{4, 8, 8}));
+  EXPECT_EQ(g.node(4).out_shape, (ActShape{4, 1, 1}));
+  EXPECT_EQ(g.node(5).out_shape, (ActShape{2, 1, 1}));
+  EXPECT_NO_THROW(g.validate());
+}
+
+TEST(ModelGraphTest, ConvParamAndFlopAccounting) {
+  const ModelGraph g = tiny_graph();
+  const GraphNode& conv = g.node(1);
+  EXPECT_EQ(conv.params, 4 * 3 * 3 * 3);
+  EXPECT_EQ(conv.flops, 2 * conv.params * 8 * 8);
+  const GraphNode& bn = g.node(2);
+  EXPECT_EQ(bn.params, 4 * 4);  // gamma, beta, running mean, running var
+  const GraphNode& fc = g.node(5);
+  EXPECT_EQ(fc.params, 4 * 2 + 2);
+  EXPECT_EQ(fc.flops, 2 * 4 * 2);
+}
+
+TEST(ModelGraphTest, TotalsSumNodes) {
+  const ModelGraph g = tiny_graph();
+  std::int64_t params = 0, flops = 0;
+  for (const auto& n : g.nodes()) {
+    params += n.params;
+    flops += n.flops;
+  }
+  EXPECT_EQ(g.total_params(), params);
+  EXPECT_EQ(g.total_flops(), flops);
+  EXPECT_GT(g.total_flops(), 0);
+}
+
+TEST(ModelGraphTest, MaxActivationBytes) {
+  const ModelGraph g = tiny_graph();
+  // Largest activation: 4x8x8 fp32 = 1024 bytes.
+  EXPECT_EQ(g.max_activation_bytes(), 4 * 8 * 8 * 4);
+}
+
+TEST(ModelGraphTest, AddRequiresMatchingShapes) {
+  ModelGraph g;
+  const int in = g.add_input({3, 8, 8});
+  const int a = g.add_conv(in, 4, 3, 1, 1, "a");
+  const int b = g.add_conv(in, 4, 3, 2, 1, "b");  // different spatial size
+  EXPECT_THROW(g.add_add(a, b, "bad"), InvalidArgument);
+  const int c = g.add_conv(in, 4, 3, 1, 1, "c");
+  EXPECT_NO_THROW(g.add_add(a, c, "ok"));
+}
+
+TEST(ModelGraphTest, InputMustBeFirstAndValid) {
+  ModelGraph g;
+  g.add_input({1, 4, 4});
+  EXPECT_THROW(g.add_input({1, 4, 4}), InvalidArgument);
+  ModelGraph g2;
+  EXPECT_THROW(g2.add_input({0, 4, 4}), InvalidArgument);
+}
+
+TEST(ModelGraphTest, ValidateCatchesMissingOutput) {
+  ModelGraph g;
+  const int in = g.add_input({1, 4, 4});
+  g.add_relu(in, "r");
+  EXPECT_THROW(g.validate(), InvalidArgument);
+}
+
+TEST(ModelGraphTest, ConsumersAreInverted) {
+  ModelGraph g;
+  const int in = g.add_input({2, 4, 4});
+  const int a = g.add_conv(in, 2, 3, 1, 1, "a");
+  const int b = g.add_relu(a, "b");
+  const int s = g.add_add(b, a, "s");  // a consumed twice: relu + add
+  g.add_output(s);
+  const auto cons = g.consumers();
+  EXPECT_EQ(cons[static_cast<std::size_t>(a)].size(), 2u);
+  EXPECT_EQ(cons[static_cast<std::size_t>(in)].size(), 1u);
+}
+
+TEST(ModelGraphTest, MaxPoolPaddingRule) {
+  ModelGraph g;
+  const int in = g.add_input({2, 8, 8});
+  EXPECT_THROW(g.add_maxpool(in, 3, 2, 2, "bad"), InvalidArgument);
+  EXPECT_NO_THROW(g.add_maxpool(in, 2, 2, 1, "k2p1"));  // PyTorch-legal
+  EXPECT_NO_THROW(g.add_maxpool(in, 3, 2, 1, "ok"));
+}
+
+TEST(ModelGraphTest, ToStringMentionsEveryNode) {
+  const ModelGraph g = tiny_graph();
+  const std::string s = g.to_string();
+  EXPECT_NE(s.find("Conv"), std::string::npos);
+  EXPECT_NE(s.find("GlobalAvgPool"), std::string::npos);
+  EXPECT_NE(s.find("params="), std::string::npos);
+}
+
+TEST(OpKindTest, NamesAreUnique) {
+  EXPECT_STREQ(op_kind_name(OpKind::kConv), "Conv");
+  EXPECT_STREQ(op_kind_name(OpKind::kLinear), "Linear");
+}
+
+}  // namespace
+}  // namespace dcnas::graph

@@ -1,0 +1,122 @@
+#include "dcnas/graph/model_file.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+
+#include "dcnas/graph/builder.hpp"
+#include "dcnas/graph/serialize.hpp"
+
+namespace dcnas::graph {
+namespace {
+
+struct Saved {
+  nn::ResNetConfig config;
+  std::unique_ptr<nn::ConfigurableResNet> model;
+  std::unique_ptr<GraphExecutor> exec;
+};
+
+Saved make_saved(std::int64_t hw = 24) {
+  Saved s;
+  s.config = nn::ResNetConfig::baseline(5);
+  s.config.init_width = 32;
+  s.config.conv1_kernel = 3;
+  s.config.conv1_padding = 1;
+  Rng rng(21);
+  s.model = std::make_unique<nn::ConfigurableResNet>(s.config, rng);
+  for (int i = 0; i < 2; ++i) {
+    const Tensor x = Tensor::rand_uniform({4, 5, hw, hw}, rng, -1.0f, 1.0f);
+    s.model->forward(x);
+  }
+  s.model->set_training(false);
+  s.exec = std::make_unique<GraphExecutor>(build_resnet_graph(s.config, hw),
+                                           *s.model);
+  return s;
+}
+
+TEST(ModelFileTest, RoundTripReproducesInferenceExactly) {
+  Saved s = make_saved();
+  const auto bytes = serialize_model(*s.exec);
+  const GraphExecutor back = parse_model(bytes);
+  Rng rng(2);
+  const Tensor x = Tensor::rand_uniform({2, 5, 24, 24}, rng, -1.0f, 1.0f);
+  const Tensor a = s.exec->run(x);
+  const Tensor b = back.run(x);
+  ASSERT_TRUE(a.same_shape(b));
+  for (std::int64_t i = 0; i < a.numel(); ++i) {
+    ASSERT_EQ(a[i], b[i]) << "bit-exact round trip expected at " << i;
+  }
+}
+
+TEST(ModelFileTest, FoldedModelRoundTrips) {
+  Saved s = make_saved();
+  s.exec->fold_batchnorm();
+  const GraphExecutor back = parse_model(serialize_model(*s.exec));
+  EXPECT_TRUE(back.folded());
+  EXPECT_EQ(back.folded_batchnorms(), s.exec->folded_batchnorms());
+  Rng rng(3);
+  const Tensor x = Tensor::rand_uniform({1, 5, 24, 24}, rng, -1.0f, 1.0f);
+  const Tensor a = s.exec->run(x);
+  const Tensor b = back.run(x);
+  for (std::int64_t i = 0; i < a.numel(); ++i) ASSERT_EQ(a[i], b[i]);
+}
+
+TEST(ModelFileTest, FileSizeMatchesSizeEstimate) {
+  // The paper's memory objective = serialized model size. Our analytic
+  // estimate (serialize.hpp) must agree with the real writer within 2%.
+  Saved s = make_saved();
+  const auto bytes = serialize_model(*s.exec);
+  const auto estimate = serialized_size(s.exec->graph());
+  const double actual = static_cast<double>(bytes.size());
+  EXPECT_NEAR(actual / static_cast<double>(estimate.total_bytes()), 1.0, 0.02);
+}
+
+TEST(ModelFileTest, SaveAndLoadFile) {
+  Saved s = make_saved();
+  const std::string path =
+      (std::filesystem::temp_directory_path() / "dcnas_model_test.dcnx")
+          .string();
+  const std::int64_t written = save_model(*s.exec, path);
+  EXPECT_EQ(written,
+            static_cast<std::int64_t>(std::filesystem::file_size(path)));
+  const GraphExecutor back = load_model(path);
+  Rng rng(4);
+  const Tensor x = Tensor::rand_uniform({1, 5, 24, 24}, rng, -1.0f, 1.0f);
+  const Tensor a = s.exec->run(x);
+  const Tensor b = back.run(x);
+  for (std::int64_t i = 0; i < a.numel(); ++i) ASSERT_EQ(a[i], b[i]);
+  std::remove(path.c_str());
+}
+
+TEST(ModelFileTest, RejectsCorruptedFiles) {
+  Saved s = make_saved();
+  auto bytes = serialize_model(*s.exec);
+  // Bad magic.
+  auto bad_magic = bytes;
+  bad_magic[0] = 'X';
+  EXPECT_THROW(parse_model(bad_magic), InvalidArgument);
+  // Truncation at several depths.
+  for (std::size_t cut : {std::size_t{5}, std::size_t{40},
+                          bytes.size() / 2, bytes.size() - 3}) {
+    std::vector<unsigned char> truncated(bytes.begin(),
+                                         bytes.begin() +
+                                             static_cast<std::ptrdiff_t>(cut));
+    EXPECT_THROW(parse_model(truncated), InvalidArgument) << "cut=" << cut;
+  }
+  // Trailing garbage.
+  auto padded = bytes;
+  padded.push_back(0);
+  EXPECT_THROW(parse_model(padded), InvalidArgument);
+  // Version bump.
+  auto versioned = bytes;
+  versioned[4] = 9;
+  EXPECT_THROW(parse_model(versioned), InvalidArgument);
+}
+
+TEST(ModelFileTest, LoadMissingFileThrows) {
+  EXPECT_THROW(load_model("/nonexistent/model.dcnx"), InvalidArgument);
+}
+
+}  // namespace
+}  // namespace dcnas::graph

@@ -1,0 +1,76 @@
+#include "dcnas/graph/serialize.hpp"
+
+#include <gtest/gtest.h>
+
+#include "dcnas/graph/builder.hpp"
+
+namespace dcnas::graph {
+namespace {
+
+using nn::ResNetConfig;
+
+TEST(SerializeTest, BaselineMemoryMatchesPaperScale) {
+  // Paper Table 5: 44.71 MB (5ch) and 44.73 MB (7ch). Our ONNX-style size
+  // model (fp32 initializers incl. BN running stats + small structure
+  // overhead) must land within 0.3% of those figures.
+  const double mb5 = model_memory_mb(build_resnet_graph(ResNetConfig::baseline(5)));
+  const double mb7 = model_memory_mb(build_resnet_graph(ResNetConfig::baseline(7)));
+  EXPECT_NEAR(mb5, 44.71, 0.15);
+  EXPECT_NEAR(mb7, 44.73, 0.15);
+  EXPECT_GT(mb7, mb5);  // two extra conv1 input channels
+}
+
+TEST(SerializeTest, Width32Kernel3MatchesParetoMemory) {
+  // All five Table 4 winners report 11.18 MB with width 32, kernel 3.
+  ResNetConfig cfg = ResNetConfig::baseline(5);
+  cfg.init_width = 32;
+  cfg.conv1_kernel = 3;
+  cfg.conv1_padding = 1;
+  EXPECT_NEAR(model_memory_mb(build_resnet_graph(cfg)), 11.18, 0.08);
+  cfg.in_channels = 7;
+  EXPECT_NEAR(model_memory_mb(build_resnet_graph(cfg)), 11.18, 0.08);
+}
+
+TEST(SerializeTest, PoolingDoesNotChangeMemory) {
+  ResNetConfig a = ResNetConfig::baseline(5);
+  ResNetConfig b = a;
+  b.with_pool = false;
+  const auto sa = serialized_size(build_resnet_graph(a));
+  const auto sb = serialized_size(build_resnet_graph(b));
+  EXPECT_EQ(sa.initializer_bytes, sb.initializer_bytes);
+  // Structure differs by exactly one pool node record.
+  EXPECT_GT(sa.structure_bytes, sb.structure_bytes);
+}
+
+TEST(SerializeTest, BreakdownSumsToTotal) {
+  const auto s = serialized_size(build_resnet_graph(ResNetConfig::baseline(5)));
+  EXPECT_EQ(s.total_bytes(),
+            s.initializer_bytes + s.structure_bytes + s.header_bytes);
+  EXPECT_GT(s.initializer_bytes, 100 * s.structure_bytes);
+  EXPECT_DOUBLE_EQ(s.total_mb(), static_cast<double>(s.total_bytes()) / 1e6);
+}
+
+TEST(SerializeTest, InitializersAreFourBytesPerParam) {
+  const ModelGraph g = build_resnet_graph(ResNetConfig::baseline(5));
+  const auto s = serialized_size(g);
+  EXPECT_EQ(s.initializer_bytes, 4 * g.total_params());
+}
+
+TEST(SerializeTest, WidthOrderingMatchesTable3Range) {
+  // Memory must be monotone in width and span ~[11.18, 44.7] MB over the
+  // search space (Table 3 memory range).
+  double prev = 0.0;
+  for (std::int64_t width : {32, 48, 64}) {
+    ResNetConfig cfg = ResNetConfig::baseline(7);
+    cfg.init_width = width;
+    cfg.conv1_kernel = 3;
+    cfg.conv1_padding = 1;
+    const double mb = model_memory_mb(build_resnet_graph(cfg));
+    EXPECT_GT(mb, prev);
+    prev = mb;
+  }
+  EXPECT_NEAR(prev, 44.7, 0.2);
+}
+
+}  // namespace
+}  // namespace dcnas::graph

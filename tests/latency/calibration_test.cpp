@@ -1,0 +1,120 @@
+/// Calibration tests: tie the simulator/predictor stack to the paper's
+/// reported latency scales (Tables 3-5). These are deliberately looser than
+/// unit tests — they pin the *shape* of the reproduction: which device is
+/// slow, what the baseline mean/std look like, and how the Pareto-winning
+/// small models compare to stock ResNet-18.
+
+#include <gtest/gtest.h>
+
+#include "dcnas/common/stats.hpp"
+#include "dcnas/graph/builder.hpp"
+#include "dcnas/latency/predictor.hpp"
+#include "dcnas/latency/simulator.hpp"
+
+namespace dcnas::latency {
+namespace {
+
+using graph::build_resnet_graph;
+using graph::fuse_graph;
+using nn::ResNetConfig;
+
+std::vector<double> simulated_per_device(const ResNetConfig& cfg) {
+  const auto kernels = fuse_graph(build_resnet_graph(cfg));
+  std::vector<double> out;
+  for (const auto& d : edge_device_zoo()) {
+    out.push_back(simulate_model_ms(d, kernels));
+  }
+  return out;
+}
+
+ResNetConfig pareto_winner(std::int64_t channels, bool with_pool) {
+  ResNetConfig cfg = ResNetConfig::baseline(channels);
+  cfg.init_width = 32;
+  cfg.conv1_kernel = 3;
+  cfg.conv1_stride = 2;
+  cfg.conv1_padding = 1;
+  cfg.with_pool = with_pool;
+  return cfg;
+}
+
+TEST(CalibrationTest, BaselineResNet18MeanLatencyNearTable5) {
+  // Paper: 31.91 ms (5ch) / 32.46 ms (7ch) averaged over the 4 predictors.
+  const auto lat5 = simulated_per_device(ResNetConfig::baseline(5));
+  const auto lat7 = simulated_per_device(ResNetConfig::baseline(7));
+  EXPECT_NEAR(mean(lat5), 31.91, 8.0);
+  EXPECT_NEAR(mean(lat7), 32.46, 8.0);
+  EXPECT_GT(mean(lat7), mean(lat5));
+}
+
+TEST(CalibrationTest, BaselineLatencySpreadNearTable5) {
+  // Paper lat_std ~20.4 ms: the VPU must sit far from the mobile GPUs.
+  const auto lat = simulated_per_device(ResNetConfig::baseline(5));
+  EXPECT_NEAR(sample_stddev(lat), 20.36, 8.0);
+  // Ordering: GPUs fastest, CPU middle, VPU slowest.
+  EXPECT_LT(lat[1], lat[0]);
+  EXPECT_LT(lat[2], lat[0]);
+  EXPECT_GT(lat[3], 1.8 * lat[0]);
+}
+
+TEST(CalibrationTest, ParetoWinnerLatencyNearTable4) {
+  // Paper: width-32/k3/pool models predict ~8.1-8.2 ms mean.
+  const auto lat = simulated_per_device(pareto_winner(5, true));
+  EXPECT_NEAR(mean(lat), 8.13, 3.5);
+  // Roughly 4x faster than the baseline, as in Table 4 vs Table 5.
+  const auto base = simulated_per_device(ResNetConfig::baseline(5));
+  const double speedup = mean(base) / mean(lat);
+  EXPECT_GT(speedup, 2.5);
+  EXPECT_LT(speedup, 6.5);
+}
+
+TEST(CalibrationTest, NoPoolVariantRoughlyDoublesLatency) {
+  // Table 4: pool variants ~8.2 ms vs no-pool variants ~18.3 ms (~2.2x).
+  const auto with_pool = simulated_per_device(pareto_winner(7, true));
+  const auto no_pool = simulated_per_device(pareto_winner(7, false));
+  const double ratio = mean(no_pool) / mean(with_pool);
+  EXPECT_GT(ratio, 1.6);
+  EXPECT_LT(ratio, 3.2);
+}
+
+TEST(CalibrationTest, SearchSpaceLatencyRangeNearTable3) {
+  // Paper Table 3: latency spans 8.13 .. 249.56 ms across 1,717 models.
+  const auto fastest = simulated_per_device(pareto_winner(5, true));
+  ResNetConfig big = ResNetConfig::baseline(7);
+  big.conv1_kernel = 7;
+  big.conv1_stride = 1;
+  big.conv1_padding = 3;
+  big.with_pool = false;
+  big.init_width = 64;
+  const auto slowest = simulated_per_device(big);
+  EXPECT_LT(mean(fastest), 15.0);
+  EXPECT_GT(mean(fastest), 4.0);
+  // Simulated ground truth for the largest config overshoots the paper's
+  // 249.56 ms because the paper's numbers are nn-Meter *predictions*: RF
+  // regressors saturate outside their training range, compressing the top
+  // end. The pipeline (and Table 3 bench) use predicted values, which land
+  // nearer the paper; here we only bound the simulator's order of magnitude.
+  EXPECT_GT(mean(slowest), 120.0);
+  EXPECT_LT(mean(slowest), 900.0);
+}
+
+TEST(CalibrationTest, PredictorAccuracyShapeMatchesTable2) {
+  // Paper Table 2 (from nn-Meter): cortexA76cpu 99.0%, adreno640gpu 99.1%,
+  // adreno630gpu 99.0%, myriadvpu 83.4% at ±10%. The reproduction must put
+  // the three mobile predictors >= 95% and the VPU clearly lower, in the
+  // 70-92% band.
+  const NnMeter& meter = NnMeter::shared();
+  double vpu = 0.0;
+  for (const auto& p : meter.predictors()) {
+    const auto acc = p.evaluate_kernel_level(150, 424242);
+    if (p.device().name == "myriadvpu") {
+      vpu = acc.hit_rate_10pct;
+    } else {
+      EXPECT_GE(acc.hit_rate_10pct, 0.95) << p.device().name;
+    }
+  }
+  EXPECT_GT(vpu, 0.70);
+  EXPECT_LT(vpu, 0.93);
+}
+
+}  // namespace
+}  // namespace dcnas::latency

@@ -1,0 +1,68 @@
+#include "dcnas/latency/device.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "dcnas/common/error.hpp"
+
+namespace dcnas::latency {
+namespace {
+
+TEST(DeviceZooTest, HasTheFourPaperPredictors) {
+  const auto& zoo = edge_device_zoo();
+  ASSERT_EQ(zoo.size(), 4u);
+  EXPECT_EQ(zoo[0].name, "cortexA76cpu");
+  EXPECT_EQ(zoo[1].name, "adreno640gpu");
+  EXPECT_EQ(zoo[2].name, "adreno630gpu");
+  EXPECT_EQ(zoo[3].name, "myriadvpu");
+}
+
+TEST(DeviceZooTest, Table2MetadataMatchesPaper) {
+  EXPECT_EQ(device_by_name("cortexA76cpu").device_label, "Pixel4");
+  EXPECT_EQ(device_by_name("adreno640gpu").device_label, "Mi9");
+  EXPECT_EQ(device_by_name("adreno630gpu").device_label, "Pixel3XL");
+  EXPECT_EQ(device_by_name("myriadvpu").device_label, "Intel Movidius NCS2");
+  EXPECT_EQ(device_by_name("myriadvpu").framework, "OpenVINO2019R2");
+  EXPECT_EQ(device_by_name("cortexA76cpu").framework, "TFLite v2.1");
+}
+
+TEST(DeviceZooTest, OnlyVpuHasModeSwitches) {
+  for (const auto& d : edge_device_zoo()) {
+    EXPECT_EQ(d.vpu_mode_switches, d.name == "myriadvpu") << d.name;
+  }
+}
+
+TEST(DeviceZooTest, SpecsArePhysicallySane) {
+  std::set<std::string> names;
+  for (const auto& d : edge_device_zoo()) {
+    EXPECT_TRUE(names.insert(d.name).second) << "duplicate " << d.name;
+    EXPECT_GT(d.peak_gflops, 0.0);
+    EXPECT_GT(d.mem_bw_gbps, 0.0);
+    EXPECT_GT(d.launch_overhead_ms, 0.0);
+    EXPECT_GT(d.util_small, 0.0);
+    EXPECT_LE(d.util_large, 1.0);
+    EXPECT_LT(d.util_small, d.util_large);
+    EXPECT_GE(d.simd_lanes, 1);
+    EXPECT_GE(d.jitter_amp, 0.0);
+    EXPECT_LT(d.jitter_amp, 0.2);
+  }
+}
+
+TEST(DeviceZooTest, VpuIsTheSlowestGpuTheFastest) {
+  // Ordering behind the paper's latency spread (Table 5 lat_std ~ 20 ms on
+  // a 32 ms mean requires one clearly slower device).
+  const auto& cpu = device_by_name("cortexA76cpu");
+  const auto& gpu = device_by_name("adreno640gpu");
+  const auto& vpu = device_by_name("myriadvpu");
+  EXPECT_GT(gpu.peak_gflops, cpu.peak_gflops);
+  EXPECT_LT(vpu.peak_gflops, cpu.peak_gflops);
+  EXPECT_LT(vpu.mem_bw_gbps, cpu.mem_bw_gbps);
+}
+
+TEST(DeviceZooTest, UnknownNameThrows) {
+  EXPECT_THROW(device_by_name("tpu_v5"), InvalidArgument);
+}
+
+}  // namespace
+}  // namespace dcnas::latency

@@ -1,0 +1,143 @@
+#include "dcnas/latency/forest.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "dcnas/common/error.hpp"
+
+namespace dcnas::latency {
+namespace {
+
+Dataset2d make_dataset(std::size_t n, std::uint64_t seed,
+                       double (*fn)(double, double), double noise = 0.0) {
+  Rng rng(seed);
+  Dataset2d d;
+  for (std::size_t i = 0; i < n; ++i) {
+    const double a = rng.uniform(0.0, 10.0);
+    const double b = rng.uniform(0.0, 10.0);
+    d.x.push_back({a, b});
+    d.y.push_back(fn(a, b) + (noise > 0 ? rng.normal(0.0, noise) : 0.0));
+  }
+  return d;
+}
+
+double step_fn(double a, double b) { return (a > 5.0 ? 10.0 : 0.0) + b; }
+double linear_fn(double a, double b) { return 2.0 * a + 3.0 * b; }
+
+TEST(RegressionTreeTest, FitsPiecewiseConstantExactly) {
+  const Dataset2d d = make_dataset(400, 1, [](double a, double) {
+    return a > 5.0 ? 7.0 : -2.0;
+  });
+  RegressionTree tree;
+  std::vector<std::size_t> idx(d.size());
+  for (std::size_t i = 0; i < idx.size(); ++i) idx[i] = i;
+  Rng rng(2);
+  tree.fit(d, idx, TreeOptions{}, rng);
+  EXPECT_NEAR(tree.predict({2.0, 0.0}), -2.0, 1e-9);
+  EXPECT_NEAR(tree.predict({8.0, 0.0}), 7.0, 1e-9);
+}
+
+TEST(RegressionTreeTest, DepthZeroIsMeanPredictor) {
+  const Dataset2d d = make_dataset(100, 3, linear_fn);
+  RegressionTree tree;
+  std::vector<std::size_t> idx(d.size());
+  for (std::size_t i = 0; i < idx.size(); ++i) idx[i] = i;
+  TreeOptions opt;
+  opt.max_depth = 0;
+  Rng rng(4);
+  tree.fit(d, idx, opt, rng);
+  double mean = 0.0;
+  for (double y : d.y) mean += y;
+  mean /= static_cast<double>(d.size());
+  EXPECT_NEAR(tree.predict({5.0, 5.0}), mean, 1e-9);
+  EXPECT_EQ(tree.node_count(), 1u);
+}
+
+TEST(RegressionTreeTest, RejectsEmptyFitAndUntrainedPredict) {
+  RegressionTree tree;
+  EXPECT_THROW(tree.predict({1.0}), InvalidArgument);
+  Dataset2d d;
+  Rng rng(1);
+  EXPECT_THROW(tree.fit(d, {}, TreeOptions{}, rng), InvalidArgument);
+}
+
+TEST(RandomForestTest, LearnsSmoothFunction) {
+  const Dataset2d train = make_dataset(2000, 5, linear_fn, 0.1);
+  const Dataset2d test = make_dataset(300, 6, linear_fn);
+  RandomForest forest;
+  ForestOptions opt;
+  opt.num_trees = 10;
+  forest.fit(train, opt);
+  double sse = 0.0, var = 0.0, mean = 0.0;
+  for (double y : test.y) mean += y;
+  mean /= static_cast<double>(test.size());
+  for (std::size_t i = 0; i < test.size(); ++i) {
+    const double p = forest.predict(test.x[i]);
+    sse += (p - test.y[i]) * (p - test.y[i]);
+    var += (test.y[i] - mean) * (test.y[i] - mean);
+  }
+  EXPECT_LT(sse / var, 0.02) << "R^2 should exceed 0.98";
+}
+
+TEST(RandomForestTest, LearnsStepFunction) {
+  const Dataset2d train = make_dataset(1500, 7, step_fn);
+  RandomForest forest;
+  forest.fit(train, ForestOptions{});
+  EXPECT_NEAR(forest.predict({3.0, 4.0}), 4.0, 0.6);
+  EXPECT_NEAR(forest.predict({7.0, 4.0}), 14.0, 0.6);
+}
+
+TEST(RandomForestTest, DeterministicPerSeed) {
+  const Dataset2d train = make_dataset(500, 9, linear_fn, 0.2);
+  RandomForest f1, f2;
+  ForestOptions opt;
+  opt.seed = 42;
+  f1.fit(train, opt);
+  f2.fit(train, opt);
+  for (double a = 0.5; a < 10.0; a += 2.3) {
+    EXPECT_DOUBLE_EQ(f1.predict({a, 5.0}), f2.predict({a, 5.0}));
+  }
+}
+
+TEST(RandomForestTest, DifferentSeedsDifferentForests) {
+  const Dataset2d train = make_dataset(500, 9, linear_fn, 0.5);
+  RandomForest f1, f2;
+  ForestOptions o1, o2;
+  o1.seed = 1;
+  o2.seed = 2;
+  f1.fit(train, o1);
+  f2.fit(train, o2);
+  bool any_diff = false;
+  for (double a = 0.5; a < 10.0; a += 1.1) {
+    if (f1.predict({a, 5.0}) != f2.predict({a, 5.0})) any_diff = true;
+  }
+  EXPECT_TRUE(any_diff);
+}
+
+TEST(RandomForestTest, ValidatesInputs) {
+  RandomForest forest;
+  Dataset2d d;
+  EXPECT_THROW(forest.fit(d, ForestOptions{}), InvalidArgument);
+  d.x.push_back({1.0, 2.0});
+  d.y.push_back(1.0);
+  d.x.push_back({1.0});  // ragged
+  d.y.push_back(2.0);
+  EXPECT_THROW(forest.fit(d, ForestOptions{}), InvalidArgument);
+  EXPECT_THROW(forest.predict({1.0, 2.0}), InvalidArgument);
+  ForestOptions bad;
+  bad.num_trees = 0;
+  Dataset2d ok = make_dataset(10, 1, linear_fn);
+  EXPECT_THROW(forest.fit(ok, bad), InvalidArgument);
+}
+
+TEST(RandomForestTest, ConstantTargetPredictsConstant) {
+  Dataset2d d = make_dataset(50, 11, [](double, double) { return 3.5; });
+  RandomForest forest;
+  forest.fit(d, ForestOptions{});
+  EXPECT_DOUBLE_EQ(forest.predict({1.0, 1.0}), 3.5);
+  EXPECT_DOUBLE_EQ(forest.predict({9.0, 9.0}), 3.5);
+}
+
+}  // namespace
+}  // namespace dcnas::latency

@@ -1,0 +1,102 @@
+#include "dcnas/latency/persistence.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+
+#include "dcnas/latency/features.hpp"
+
+namespace dcnas::latency {
+namespace {
+
+using graph::KernelKind;
+
+const LatencyPredictor& trained_predictor() {
+  static const LatencyPredictor predictor = [] {
+    LatencyPredictor p(device_by_name("adreno630gpu"));
+    PredictorTrainOptions opt;
+    opt.samples_per_kind = 200;  // small but real
+    opt.forest.num_trees = 6;
+    p.train(opt);
+    return p;
+  }();
+  return predictor;
+}
+
+TEST(PersistenceTest, RoundTripPredictsIdentically) {
+  const LatencyPredictor& original = trained_predictor();
+  const LatencyPredictor restored =
+      parse_predictor(serialize_predictor(original));
+  EXPECT_EQ(restored.device().name, "adreno630gpu");
+  EXPECT_EQ(restored.device().device_label, "Pixel3XL");
+  Rng rng(55);
+  for (const KernelKind kind :
+       {KernelKind::kConvBnRelu, KernelKind::kMaxPool, KernelKind::kLinear,
+        KernelKind::kAddRelu}) {
+    for (int i = 0; i < 25; ++i) {
+      const auto k = sample_kernel(kind, rng);
+      ASSERT_DOUBLE_EQ(original.predict_kernel_ms(k),
+                       restored.predict_kernel_ms(k));
+    }
+  }
+}
+
+TEST(PersistenceTest, FileRoundTrip) {
+  const std::string path =
+      (std::filesystem::temp_directory_path() / "dcnas_predictor.dclp")
+          .string();
+  const std::int64_t written = save_predictor(trained_predictor(), path);
+  EXPECT_EQ(written,
+            static_cast<std::int64_t>(std::filesystem::file_size(path)));
+  const LatencyPredictor restored = load_predictor(path);
+  EXPECT_TRUE(restored.trained());
+  Rng rng(7);
+  const auto k = sample_kernel(KernelKind::kConvBn, rng);
+  EXPECT_DOUBLE_EQ(restored.predict_kernel_ms(k),
+                   trained_predictor().predict_kernel_ms(k));
+  std::remove(path.c_str());
+}
+
+TEST(PersistenceTest, RejectsCorruption) {
+  auto bytes = serialize_predictor(trained_predictor());
+  auto bad = bytes;
+  bad[0] = 'Z';
+  EXPECT_THROW(parse_predictor(bad), InvalidArgument);
+  std::vector<unsigned char> truncated(bytes.begin(),
+                                       bytes.begin() + 100);
+  EXPECT_THROW(parse_predictor(truncated), InvalidArgument);
+  auto padded = bytes;
+  padded.push_back(1);
+  EXPECT_THROW(parse_predictor(padded), InvalidArgument);
+}
+
+TEST(PersistenceTest, RejectsUntrainedPredictor) {
+  LatencyPredictor untrained(device_by_name("cortexA76cpu"));
+  EXPECT_THROW(serialize_predictor(untrained), InvalidArgument);
+}
+
+TEST(PersistenceTest, FromForestsValidates) {
+  std::map<KernelKind, RandomForest> empty;
+  EXPECT_THROW(
+      LatencyPredictor::from_forests(device_by_name("myriadvpu"), empty),
+      InvalidArgument);
+}
+
+TEST(PersistenceTest, FromNodesValidatesTopology) {
+  // A split node pointing outside the node array must be rejected.
+  std::vector<RegressionTree::Node> bad(1);
+  bad[0].feature = 0;
+  bad[0].left = 5;
+  bad[0].right = 1;
+  EXPECT_THROW(RegressionTree::from_nodes(bad), InvalidArgument);
+  // Leaf with children rejected.
+  std::vector<RegressionTree::Node> leafy(1);
+  leafy[0].feature = -1;
+  leafy[0].left = 0;
+  EXPECT_THROW(RegressionTree::from_nodes(leafy), InvalidArgument);
+  EXPECT_THROW(RegressionTree::from_nodes({}), InvalidArgument);
+}
+
+}  // namespace
+}  // namespace dcnas::latency

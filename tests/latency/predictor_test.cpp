@@ -1,0 +1,119 @@
+#include "dcnas/latency/predictor.hpp"
+
+#include <gtest/gtest.h>
+
+#include "dcnas/latency/features.hpp"
+#include "dcnas/latency/simulator.hpp"
+
+namespace dcnas::latency {
+namespace {
+
+using graph::KernelKind;
+
+PredictorTrainOptions quick_options() {
+  PredictorTrainOptions opt;
+  opt.samples_per_kind = 300;  // fast but representative for unit tests
+  opt.forest.num_trees = 8;
+  return opt;
+}
+
+TEST(KernelFeaturesTest, VectorHasDocumentedLayout) {
+  Rng rng(1);
+  const auto k = sample_kernel(KernelKind::kConvBnRelu, rng);
+  const auto f = kernel_features(k);
+  ASSERT_EQ(f.size(), kNumKernelFeatures);
+  EXPECT_EQ(f[0], static_cast<double>(k.in_shape.c));
+  EXPECT_EQ(f[1], static_cast<double>(k.out_shape.c));
+  EXPECT_EQ(f[4], static_cast<double>(k.attrs.kernel));
+  EXPECT_GT(f[6], 0.0);  // log2 flops
+}
+
+TEST(SampleKernelTest, ShapesAreInternallyConsistent) {
+  Rng rng(2);
+  for (int i = 0; i < 200; ++i) {
+    const auto k = sample_kernel(KernelKind::kConvBn, rng);
+    EXPECT_GT(k.in_shape.c, 0);
+    EXPECT_GT(k.out_shape.h, 0);
+    EXPECT_LE(k.out_shape.h, k.in_shape.h);
+    EXPECT_GT(k.flops, 0);
+    EXPECT_GT(k.params, 0);
+  }
+  for (int i = 0; i < 50; ++i) {
+    const auto k = sample_kernel(KernelKind::kGlobalAvgPool, rng);
+    EXPECT_EQ(k.out_shape.h, 1);
+    EXPECT_EQ(k.out_shape.c, k.in_shape.c);
+  }
+  for (int i = 0; i < 50; ++i) {
+    const auto k = sample_kernel(KernelKind::kLinear, rng);
+    EXPECT_EQ(k.in_shape.h, 1);
+    EXPECT_EQ(k.params, k.in_shape.c * k.out_shape.c + k.out_shape.c);
+  }
+}
+
+TEST(LatencyPredictorTest, UntrainedThrows) {
+  LatencyPredictor p(device_by_name("cortexA76cpu"));
+  Rng rng(1);
+  const auto k = sample_kernel(KernelKind::kConv, rng);
+  EXPECT_THROW(p.predict_kernel_ms(k), InvalidArgument);
+}
+
+TEST(LatencyPredictorTest, PredictsHeldOutKernelsWell) {
+  LatencyPredictor p(device_by_name("cortexA76cpu"));
+  p.train(quick_options());
+  const auto acc = p.evaluate_kernel_level(120, /*seed=*/777);
+  EXPECT_GT(acc.hit_rate_10pct, 0.9);
+  EXPECT_LT(acc.rmspe, 0.35);
+  EXPECT_GT(acc.num_samples, 1000u);
+}
+
+TEST(LatencyPredictorTest, ModelPredictionSumsKernels) {
+  LatencyPredictor p(device_by_name("adreno640gpu"));
+  p.train(quick_options());
+  Rng rng(5);
+  std::vector<graph::FusedKernel> ks = {
+      sample_kernel(KernelKind::kConvBnRelu, rng),
+      sample_kernel(KernelKind::kMaxPool, rng),
+      sample_kernel(KernelKind::kLinear, rng)};
+  const double total = p.predict_model_ms(ks);
+  double sum = 0.0;
+  for (const auto& k : ks) sum += p.predict_kernel_ms(k);
+  EXPECT_DOUBLE_EQ(total, sum);
+}
+
+TEST(NnMeterTest, PredictsAllFourDevices) {
+  // Uses the shared instance (trained with default options) — also
+  // exercised by the Table 2/3/4/5 benches.
+  const NnMeter& meter = NnMeter::shared();
+  const auto g = graph::build_resnet_graph(nn::ResNetConfig::baseline(5));
+  const auto pred = meter.predict_graph(g);
+  ASSERT_EQ(pred.per_device_ms.size(), 4u);
+  EXPECT_EQ(pred.per_device_ms[0].first, "cortexA76cpu");
+  EXPECT_EQ(pred.per_device_ms[3].first, "myriadvpu");
+  for (const auto& [name, ms] : pred.per_device_ms) {
+    EXPECT_GT(ms, 1.0) << name;
+    EXPECT_LT(ms, 500.0) << name;
+  }
+  EXPECT_GT(pred.std_ms, 0.0);
+  EXPECT_GT(pred.mean_ms, 0.0);
+  EXPECT_THROW(meter.predictor("nope"), InvalidArgument);
+}
+
+TEST(NnMeterTest, ModelLevelPredictionTracksSimulator) {
+  // Errors average out across kernels: model-level prediction should be
+  // within ~10% of simulated ground truth for in-space architectures.
+  const NnMeter& meter = NnMeter::shared();
+  nn::ResNetConfig cfg = nn::ResNetConfig::baseline(7);
+  cfg.init_width = 32;
+  cfg.conv1_kernel = 3;
+  cfg.conv1_padding = 1;
+  const auto kernels = graph::fuse_graph(graph::build_resnet_graph(cfg));
+  for (const auto& p : meter.predictors()) {
+    const double truth = simulate_model_ms(p.device(), kernels);
+    const double pred = p.predict_model_ms(kernels);
+    EXPECT_NEAR(pred / truth, 1.0, p.device().vpu_mode_switches ? 0.30 : 0.12)
+        << p.device().name;
+  }
+}
+
+}  // namespace
+}  // namespace dcnas::latency

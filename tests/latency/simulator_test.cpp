@@ -1,0 +1,125 @@
+#include "dcnas/latency/simulator.hpp"
+
+#include <gtest/gtest.h>
+
+#include "dcnas/graph/builder.hpp"
+#include "dcnas/latency/features.hpp"
+
+namespace dcnas::latency {
+namespace {
+
+using graph::FusedKernel;
+using graph::KernelKind;
+
+FusedKernel conv_kernel(std::int64_t cin, std::int64_t cout, std::int64_t hw,
+                        std::int64_t k, std::int64_t s) {
+  FusedKernel fk;
+  fk.kind = KernelKind::kConvBnRelu;
+  fk.in_shape = {cin, hw, hw};
+  const std::int64_t out_hw = (hw + 2 * (k / 2) - k) / s + 1;
+  fk.out_shape = {cout, out_hw, out_hw};
+  fk.attrs = {k, s, k / 2};
+  fk.params = cout * cin * k * k + 4 * cout;
+  fk.flops = 2 * cout * cin * k * k * out_hw * out_hw;
+  return fk;
+}
+
+TEST(SimulatorTest, LatencyIsPositiveAndDeterministic) {
+  const auto& dev = device_by_name("cortexA76cpu");
+  const FusedKernel k = conv_kernel(64, 64, 56, 3, 1);
+  const double a = simulate_kernel_ms(dev, k);
+  const double b = simulate_kernel_ms(dev, k);
+  EXPECT_GT(a, 0.0);
+  EXPECT_DOUBLE_EQ(a, b);
+}
+
+TEST(SimulatorTest, MoreFlopsMoreTime) {
+  const auto& dev = device_by_name("cortexA76cpu");
+  const double small = simulate_kernel_ms(dev, conv_kernel(32, 32, 28, 3, 1));
+  const double big = simulate_kernel_ms(dev, conv_kernel(64, 64, 112, 3, 1));
+  EXPECT_GT(big, 4.0 * small);
+}
+
+TEST(SimulatorTest, OverheadDominatesTinyKernels) {
+  const auto& dev = device_by_name("adreno640gpu");
+  FusedKernel k;
+  k.kind = KernelKind::kRelu;
+  k.in_shape = {4, 2, 2};
+  k.out_shape = k.in_shape;
+  k.flops = 16;
+  const double ms = simulate_kernel_ms(dev, k);
+  EXPECT_GT(ms, dev.launch_overhead_ms * 0.9);
+  EXPECT_LT(ms, dev.launch_overhead_ms * 1.6);
+}
+
+TEST(SimulatorTest, DevicesDisagree) {
+  const FusedKernel k = conv_kernel(64, 128, 56, 3, 2);
+  const double cpu = simulate_kernel_ms(device_by_name("cortexA76cpu"), k);
+  const double gpu = simulate_kernel_ms(device_by_name("adreno640gpu"), k);
+  const double vpu = simulate_kernel_ms(device_by_name("myriadvpu"), k);
+  EXPECT_NE(cpu, gpu);
+  EXPECT_GT(vpu, cpu);  // VPU is the slow device for mid-size convs
+}
+
+TEST(SimulatorTest, LaneQuantizationCreatesSteps) {
+  // 65 output channels on 16-lane VPU wastes ~23% vs 64 channels.
+  const auto& vpu = device_by_name("myriadvpu");
+  const double t64 = simulate_kernel_ms(vpu, conv_kernel(64, 64, 56, 3, 1));
+  const double t65 = simulate_kernel_ms(vpu, conv_kernel(64, 65, 56, 3, 1));
+  const double per_channel = t64 / 64.0;
+  EXPECT_GT(t65, t64 + 10.0 * per_channel * 0.5);
+}
+
+TEST(SimulatorTest, VpuModeSwitchCliffs) {
+  const auto& vpu = device_by_name("myriadvpu");
+  const auto& cpu = device_by_name("cortexA76cpu");
+  // 7x7 stride-1 conv falls off the VPU fast path (~2x cliff).
+  const double fast = simulate_kernel_ms(vpu, conv_kernel(64, 64, 56, 7, 2));
+  const double slow = simulate_kernel_ms(vpu, conv_kernel(64, 64, 56, 7, 1));
+  // Stride 1 has ~4x output pixels -> ~4x the work; the cliff adds ~2x more.
+  EXPECT_GT(slow / fast, 6.0);
+  // The same pair on the CPU shows only the ~4x work ratio.
+  const double cpu_fast = simulate_kernel_ms(cpu, conv_kernel(64, 64, 56, 7, 2));
+  const double cpu_slow = simulate_kernel_ms(cpu, conv_kernel(64, 64, 56, 7, 1));
+  EXPECT_LT(cpu_slow / cpu_fast, 5.5);
+}
+
+TEST(SimulatorTest, ModelLatencyIsSumOfKernels) {
+  const auto& dev = device_by_name("adreno630gpu");
+  std::vector<FusedKernel> ks = {conv_kernel(5, 64, 224, 7, 2),
+                                 conv_kernel(64, 64, 56, 3, 1)};
+  const double total = simulate_model_ms(dev, ks);
+  EXPECT_DOUBLE_EQ(total, simulate_kernel_ms(dev, ks[0]) +
+                              simulate_kernel_ms(dev, ks[1]));
+}
+
+TEST(SimulatorTest, JitterIsBounded) {
+  // Two kernels with identical roofline cost but different shapes should
+  // differ by at most ~2x the jitter amplitude on a non-VPU device.
+  const auto& dev = device_by_name("cortexA76cpu");
+  const double a = simulate_kernel_ms(dev, conv_kernel(64, 64, 56, 3, 1));
+  const double b = simulate_kernel_ms(dev, conv_kernel(64, 64, 56, 3, 1));
+  EXPECT_DOUBLE_EQ(a, b);
+  const double c = simulate_kernel_ms(dev, conv_kernel(64, 64, 57, 3, 1));
+  // ~3.6% more pixels; total difference stays within work + 2*jitter.
+  EXPECT_NEAR(c / a, 1.036, 0.08);
+}
+
+TEST(SimulatorPropertyTest, MemoryBoundKernelsTrackBandwidth) {
+  // Elementwise adds are bandwidth-bound: halving bandwidth should roughly
+  // double time (minus fixed overhead).
+  DeviceSpec fast = device_by_name("cortexA76cpu");
+  DeviceSpec slow = fast;
+  slow.mem_bw_gbps /= 2.0;
+  FusedKernel k;
+  k.kind = KernelKind::kAddRelu;
+  k.in_shape = {256, 56, 56};
+  k.out_shape = k.in_shape;
+  k.flops = 2 * k.out_shape.numel();
+  const double tf = simulate_kernel_ms(fast, k) - fast.launch_overhead_ms * 1.0;
+  const double ts = simulate_kernel_ms(slow, k) - slow.launch_overhead_ms * 1.0;
+  EXPECT_NEAR(ts / tf, 2.0, 0.15);
+}
+
+}  // namespace
+}  // namespace dcnas::latency

@@ -1,0 +1,120 @@
+#include "dcnas/nas/experiment.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+
+namespace dcnas::nas {
+namespace {
+
+TEST(ExperimentTest, TrialRecordHasAllObjectives) {
+  OracleEvaluator eval;
+  const Experiment exp(eval, latency::NnMeter::shared());
+  const TrialRecord r = exp.run_trial(TrialConfig::baseline(5, 16));
+  EXPECT_GT(r.accuracy, 80.0);
+  EXPECT_LT(r.accuracy, 100.0);
+  EXPECT_EQ(r.fold_accuracies.size(), 5u);
+  EXPECT_GT(r.latency_ms, 5.0);
+  EXPECT_GT(r.lat_std, 0.0);
+  ASSERT_EQ(r.per_device_ms.size(), 4u);
+  EXPECT_EQ(r.per_device_ms[0].first, "cortexA76cpu");
+  EXPECT_NEAR(r.memory_mb, 44.78, 0.2);
+}
+
+TEST(ExperimentTest, MemoryTracksWidthNotBatch) {
+  OracleEvaluator eval;
+  const Experiment exp(eval, latency::NnMeter::shared());
+  TrialConfig small = TrialConfig::baseline(5, 8);
+  small.initial_output_feature = 32;
+  small.kernel_size = 3;
+  small.padding = 1;
+  TrialConfig small_b32 = small;
+  small_b32.batch = 32;
+  const TrialRecord a = exp.run_trial(small);
+  const TrialRecord b = exp.run_trial(small_b32);
+  EXPECT_NEAR(a.memory_mb, 11.21, 0.1);
+  EXPECT_DOUBLE_EQ(a.memory_mb, b.memory_mb);
+  EXPECT_DOUBLE_EQ(a.latency_ms, b.latency_ms);  // batch-1 inference latency
+  EXPECT_NE(a.accuracy, b.accuracy);             // batch affects training
+}
+
+TEST(ExperimentTest, RunAllPreservesOrder) {
+  OracleEvaluator eval;
+  const Experiment exp(eval, latency::NnMeter::shared());
+  std::vector<TrialConfig> configs = {TrialConfig::baseline(5, 8),
+                                      TrialConfig::baseline(7, 32)};
+  const TrialDatabase db = exp.run_all(configs);
+  ASSERT_EQ(db.size(), 2u);
+  EXPECT_EQ(db.record(0).config.channels, 5);
+  EXPECT_EQ(db.record(1).config.channels, 7);
+  EXPECT_EQ(db.record(1).config.batch, 32);
+}
+
+TEST(TrialDatabaseTest, BestAccuracySelectsMaximum) {
+  TrialDatabase db;
+  TrialRecord a;
+  a.config = TrialConfig::baseline(5, 8);
+  a.accuracy = 90.0;
+  TrialRecord b;
+  b.config = TrialConfig::baseline(7, 16);
+  b.accuracy = 95.0;
+  db.add(a);
+  db.add(b);
+  EXPECT_EQ(db.best_accuracy().config.channels, 7);
+  EXPECT_THROW(TrialDatabase{}.best_accuracy(), InvalidArgument);
+  EXPECT_THROW(db.record(2), InvalidArgument);
+}
+
+TEST(TrialDatabaseTest, CsvRoundTrip) {
+  TrialDatabase db;
+  TrialRecord r;
+  r.config = TrialConfig::baseline(7, 16);
+  r.config.kernel_size = 3;
+  r.config.padding = 1;
+  r.config.initial_output_feature = 32;
+  r.accuracy = 96.13;
+  r.fold_accuracies = {95.5, 96.2, 96.8, 96.0, 96.15};
+  r.latency_ms = 8.19;
+  r.lat_std = 4.59;
+  r.memory_mb = 11.18;
+  db.add(r);
+  const TrialDatabase back = TrialDatabase::from_csv(db.to_csv());
+  ASSERT_EQ(back.size(), 1u);
+  const TrialRecord& rr = back.record(0);
+  EXPECT_EQ(rr.config.lattice_key(), r.config.lattice_key());
+  EXPECT_NEAR(rr.accuracy, 96.13, 1e-3);
+  EXPECT_NEAR(rr.latency_ms, 8.19, 1e-3);
+  EXPECT_NEAR(rr.memory_mb, 11.18, 1e-3);
+  ASSERT_EQ(rr.fold_accuracies.size(), 5u);
+  EXPECT_NEAR(rr.fold_accuracies[2], 96.8, 1e-3);
+}
+
+TEST(TrialDatabaseTest, SaveLoadFile) {
+  const std::string path =
+      (std::filesystem::temp_directory_path() / "dcnas_trials_test.csv")
+          .string();
+  TrialDatabase db;
+  TrialRecord r;
+  r.config = TrialConfig::baseline(5, 8);
+  r.accuracy = 92.9;
+  db.add(r);
+  db.save(path);
+  const TrialDatabase back = TrialDatabase::load(path);
+  ASSERT_EQ(back.size(), 1u);
+  EXPECT_NEAR(back.record(0).accuracy, 92.9, 1e-6);
+  std::remove(path.c_str());
+}
+
+TEST(TrialDatabaseTest, FromCsvValidatesConfig) {
+  CsvTable t({"channels", "batch", "accuracy", "latency_ms", "lat_std",
+              "memory_mb", "kernel_size", "stride", "padding", "pool_choice",
+              "kernel_size_pool", "stride_pool", "initial_output_feature",
+              "fold_accuracies"});
+  t.add_row({"6", "8", "90", "10", "1", "11", "3", "2", "1", "0", "3", "2",
+             "32", ""});
+  EXPECT_THROW(TrialDatabase::from_csv(t), InvalidArgument);
+}
+
+}  // namespace
+}  // namespace dcnas::nas

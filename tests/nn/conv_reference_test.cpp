@@ -1,0 +1,76 @@
+/// Property sweep: Conv2d (im2col + GEMM) against a direct naive
+/// convolution over the full geometry grid the NAS search space touches.
+
+#include <gtest/gtest.h>
+
+#include "dcnas/common/rng.hpp"
+#include "dcnas/nn/conv.hpp"
+#include "dcnas/tensor/im2col.hpp"
+
+namespace dcnas::nn {
+namespace {
+
+Tensor naive_conv(const Tensor& x, const Tensor& weight, std::int64_t oc,
+                  std::int64_t k, std::int64_t s, std::int64_t p) {
+  const std::int64_t n = x.dim(0), ic = x.dim(1), h = x.dim(2), w = x.dim(3);
+  const std::int64_t oh = conv_out_size(h, k, s, p);
+  const std::int64_t ow = conv_out_size(w, k, s, p);
+  Tensor out({n, oc, oh, ow});
+  for (std::int64_t b = 0; b < n; ++b) {
+    for (std::int64_t o = 0; o < oc; ++o) {
+      for (std::int64_t y = 0; y < oh; ++y) {
+        for (std::int64_t xo = 0; xo < ow; ++xo) {
+          double acc = 0.0;
+          for (std::int64_t c = 0; c < ic; ++c) {
+            for (std::int64_t ky = 0; ky < k; ++ky) {
+              for (std::int64_t kx = 0; kx < k; ++kx) {
+                const std::int64_t iy = y * s - p + ky;
+                const std::int64_t ix = xo * s - p + kx;
+                if (iy < 0 || iy >= h || ix < 0 || ix >= w) continue;
+                acc += static_cast<double>(x.at(b, c, iy, ix)) *
+                       weight[((o * ic + c) * k + ky) * k + kx];
+              }
+            }
+          }
+          out.at(b, o, y, xo) = static_cast<float>(acc);
+        }
+      }
+    }
+  }
+  return out;
+}
+
+struct ConvCase {
+  std::int64_t ic, oc, hw, k, s, p;
+};
+
+class ConvReferenceSweep : public ::testing::TestWithParam<ConvCase> {};
+
+TEST_P(ConvReferenceSweep, MatchesDirectConvolution) {
+  const auto g = GetParam();
+  Rng rng(static_cast<std::uint64_t>(g.ic * 131 + g.oc * 17 + g.k * 3 +
+                                     g.s + g.p));
+  Conv2d conv(g.ic, g.oc, g.k, g.s, g.p, /*bias=*/false, rng);
+  const Tensor x =
+      Tensor::rand_uniform({2, g.ic, g.hw, g.hw}, rng, -1.0f, 1.0f);
+  const Tensor fast = conv.forward(x);
+  const Tensor ref = naive_conv(x, conv.weight(), g.oc, g.k, g.s, g.p);
+  ASSERT_TRUE(fast.same_shape(ref));
+  for (std::int64_t i = 0; i < fast.numel(); ++i) {
+    ASSERT_NEAR(fast[i], ref[i], 1e-4f) << "flat index " << i;
+  }
+}
+
+// The stem geometries the NAS search space can produce (kernel x stride x
+// padding), plus 1x1 projections and the 3x3 block bodies.
+INSTANTIATE_TEST_SUITE_P(
+    SearchSpaceGeometries, ConvReferenceSweep,
+    ::testing::Values(ConvCase{5, 8, 12, 3, 1, 1}, ConvCase{5, 8, 12, 3, 2, 1},
+                      ConvCase{5, 8, 12, 3, 1, 2}, ConvCase{5, 8, 12, 3, 2, 3},
+                      ConvCase{7, 8, 13, 7, 1, 1}, ConvCase{7, 8, 13, 7, 2, 2},
+                      ConvCase{7, 8, 13, 7, 2, 3}, ConvCase{4, 6, 9, 1, 1, 0},
+                      ConvCase{4, 6, 9, 1, 2, 0}, ConvCase{3, 5, 10, 3, 1, 3},
+                      ConvCase{6, 4, 8, 2, 2, 1}));
+
+}  // namespace
+}  // namespace dcnas::nn

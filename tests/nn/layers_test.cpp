@@ -1,0 +1,227 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "dcnas/common/rng.hpp"
+#include "dcnas/nn/activations.hpp"
+#include "dcnas/nn/batchnorm.hpp"
+#include "dcnas/nn/conv.hpp"
+#include "dcnas/nn/linear.hpp"
+#include "dcnas/nn/pooling.hpp"
+#include "dcnas/nn/residual.hpp"
+#include "dcnas/nn/sequential.hpp"
+
+namespace dcnas::nn {
+namespace {
+
+TEST(Conv2dTest, OutputShapeMatchesGeometry) {
+  Rng rng(1);
+  Conv2d conv(5, 64, 7, 2, 3, false, rng);
+  const Tensor x({2, 5, 224, 224});
+  const Tensor y = conv.forward(x);
+  EXPECT_EQ(y.shape(), (Shape{2, 64, 112, 112}));
+}
+
+TEST(Conv2dTest, KnownConvolutionResult) {
+  Rng rng(1);
+  Conv2d conv(1, 1, 3, 1, 1, false, rng);
+  conv.weight().fill(1.0f);  // 3x3 box filter
+  Tensor x = Tensor::full({1, 1, 3, 3}, 1.0f);
+  const Tensor y = conv.forward(x);
+  // Center sees all 9 ones; corners see 4.
+  EXPECT_FLOAT_EQ(y.at(0, 0, 1, 1), 9.0f);
+  EXPECT_FLOAT_EQ(y.at(0, 0, 0, 0), 4.0f);
+  EXPECT_FLOAT_EQ(y.at(0, 0, 0, 1), 6.0f);
+}
+
+TEST(Conv2dTest, BiasIsAdded) {
+  Rng rng(1);
+  Conv2d conv(1, 2, 1, 1, 0, true, rng);
+  conv.weight().zero();
+  conv.bias()[0] = 3.0f;
+  conv.bias()[1] = -1.0f;
+  const Tensor y = conv.forward(Tensor({1, 1, 2, 2}));
+  EXPECT_FLOAT_EQ(y.at(0, 0, 0, 0), 3.0f);
+  EXPECT_FLOAT_EQ(y.at(0, 1, 1, 1), -1.0f);
+}
+
+TEST(Conv2dTest, RejectsChannelMismatch) {
+  Rng rng(1);
+  Conv2d conv(3, 8, 3, 1, 1, false, rng);
+  EXPECT_THROW(conv.forward(Tensor({1, 4, 8, 8})), InvalidArgument);
+}
+
+TEST(Conv2dTest, RejectsBackwardWithoutForward) {
+  Rng rng(1);
+  Conv2d conv(1, 1, 3, 1, 1, false, rng);
+  EXPECT_THROW(conv.backward(Tensor({1, 1, 4, 4})), InvalidArgument);
+}
+
+TEST(Conv2dTest, ParamCountAndInit) {
+  Rng rng(42);
+  Conv2d conv(5, 64, 7, 2, 3, false, rng);
+  EXPECT_EQ(conv.num_params(), 64 * 5 * 7 * 7);
+  // He init: stddev = sqrt(2 / (64*49)); sample stddev should be close.
+  double sumsq = 0.0;
+  for (std::int64_t i = 0; i < conv.weight().numel(); ++i) {
+    sumsq += static_cast<double>(conv.weight()[i]) * conv.weight()[i];
+  }
+  const double stddev = std::sqrt(sumsq / static_cast<double>(conv.weight().numel()));
+  EXPECT_NEAR(stddev, std::sqrt(2.0 / (64.0 * 49.0)), 0.002);
+}
+
+TEST(BatchNormTest, TrainingNormalizesBatch) {
+  BatchNorm2d bn(2);
+  Rng rng(3);
+  Tensor x = Tensor::rand_uniform({8, 2, 4, 4}, rng, 5.0f, 9.0f);
+  const Tensor y = bn.forward(x);
+  // Per-channel mean ~0, var ~1 after normalization (gamma=1, beta=0).
+  for (std::int64_t c = 0; c < 2; ++c) {
+    double sum = 0.0, sumsq = 0.0;
+    std::int64_t count = 0;
+    for (std::int64_t n = 0; n < 8; ++n) {
+      for (std::int64_t i = 0; i < 16; ++i) {
+        const float v = y.at(n, c, i / 4, i % 4);
+        sum += v;
+        sumsq += static_cast<double>(v) * v;
+        ++count;
+      }
+    }
+    const double m = sum / count;
+    EXPECT_NEAR(m, 0.0, 1e-4);
+    EXPECT_NEAR(sumsq / count - m * m, 1.0, 1e-2);
+  }
+}
+
+TEST(BatchNormTest, EvalUsesRunningStats) {
+  BatchNorm2d bn(1);
+  Rng rng(4);
+  // Train on a stream with mean 10, var ~4 so running stats move there.
+  for (int step = 0; step < 200; ++step) {
+    Tensor x = Tensor::randn({4, 1, 4, 4}, rng, 10.0f, 2.0f);
+    bn.forward(x);
+  }
+  EXPECT_NEAR(bn.running_mean()[0], 10.0f, 0.3f);
+  EXPECT_NEAR(bn.running_var()[0], 4.0f, 0.8f);
+  bn.set_training(false);
+  // An input equal to the running mean maps to ~beta = 0.
+  Tensor probe = Tensor::full({1, 1, 2, 2}, bn.running_mean()[0]);
+  const Tensor y = bn.forward(probe);
+  EXPECT_NEAR(y[0], 0.0f, 1e-3f);
+}
+
+TEST(BatchNormTest, GammaBetaAffectOutput) {
+  BatchNorm2d bn(1);
+  bn.gamma()[0] = 2.0f;
+  bn.beta()[0] = 5.0f;
+  Rng rng(5);
+  Tensor x = Tensor::rand_uniform({4, 1, 3, 3}, rng, -1.0f, 1.0f);
+  const Tensor y = bn.forward(x);
+  double sum = 0.0;
+  for (std::int64_t i = 0; i < y.numel(); ++i) sum += y[i];
+  EXPECT_NEAR(sum / static_cast<double>(y.numel()), 5.0, 1e-3);
+}
+
+TEST(BatchNormTest, RejectsSingleValueTrainingBatch) {
+  BatchNorm2d bn(1);
+  EXPECT_THROW(bn.forward(Tensor({1, 1, 1, 1})), InvalidArgument);
+}
+
+TEST(ReLULayerTest, ForwardAndBackward) {
+  ReLU relu;
+  Tensor x = Tensor::from_values({1, 4}, {-1, 2, -3, 4}).reshaped({1, 1, 2, 2});
+  const Tensor y = relu.forward(x);
+  EXPECT_FLOAT_EQ(y[0], 0.0f);
+  EXPECT_FLOAT_EQ(y[1], 2.0f);
+  Tensor g = Tensor::full({1, 1, 2, 2}, 1.0f);
+  const Tensor gx = relu.backward(g);
+  EXPECT_FLOAT_EQ(gx[0], 0.0f);
+  EXPECT_FLOAT_EQ(gx[1], 1.0f);
+  EXPECT_FLOAT_EQ(gx[3], 1.0f);
+}
+
+TEST(MaxPoolLayerTest, StemPoolGeometry) {
+  MaxPool2d pool(3, 2, 1);
+  const Tensor x({1, 64, 112, 112});
+  const Tensor y = pool.forward(x);
+  EXPECT_EQ(y.shape(), (Shape{1, 64, 56, 56}));
+}
+
+TEST(MaxPoolLayerTest, RejectsOversizedPadding) {
+  EXPECT_THROW(MaxPool2d(2, 2, 2), InvalidArgument);
+  EXPECT_THROW(MaxPool2d(3, 2, 2), InvalidArgument);
+}
+
+TEST(GlobalAvgPoolLayerTest, ReducesToChannels) {
+  GlobalAvgPool gap;
+  Tensor x = Tensor::full({2, 3, 4, 5}, 2.5f);
+  const Tensor y = gap.forward(x);
+  EXPECT_EQ(y.shape(), (Shape{2, 3}));
+  EXPECT_FLOAT_EQ(y.at(1, 2), 2.5f);
+}
+
+TEST(LinearTest, KnownAffineMap) {
+  Rng rng(6);
+  Linear fc(2, 2, rng);
+  fc.weight() = Tensor::from_values({2, 2}, {1, 2, 3, 4});
+  fc.bias() = Tensor::from_values({2}, {10, 20});
+  const Tensor x = Tensor::from_values({1, 2}, {1, 1});
+  const Tensor y = fc.forward(x);
+  EXPECT_FLOAT_EQ(y.at(0, 0), 13.0f);
+  EXPECT_FLOAT_EQ(y.at(0, 1), 27.0f);
+}
+
+TEST(BasicBlockTest, IdentityBlockPreservesShape) {
+  Rng rng(7);
+  BasicBlock block(8, 8, 1, rng);
+  EXPECT_FALSE(block.has_projection());
+  const Tensor y = block.forward(Tensor({2, 8, 10, 10}));
+  EXPECT_EQ(y.shape(), (Shape{2, 8, 10, 10}));
+}
+
+TEST(BasicBlockTest, DownsamplingBlockHalvesAndWidens) {
+  Rng rng(8);
+  BasicBlock block(8, 16, 2, rng);
+  EXPECT_TRUE(block.has_projection());
+  const Tensor y = block.forward(Tensor({2, 8, 10, 10}));
+  EXPECT_EQ(y.shape(), (Shape{2, 16, 5, 5}));
+}
+
+TEST(BasicBlockTest, OutputIsNonNegativeAfterFinalRelu) {
+  Rng rng(9);
+  BasicBlock block(4, 4, 1, rng);
+  const Tensor x = Tensor::rand_uniform({2, 4, 6, 6}, rng, -2.0f, 2.0f);
+  const Tensor y = block.forward(x);
+  for (std::int64_t i = 0; i < y.numel(); ++i) EXPECT_GE(y[i], 0.0f);
+}
+
+TEST(SequentialTest, ChainsAndCollectsParams) {
+  Rng rng(10);
+  Sequential seq;
+  seq.emplace<Conv2d>(1, 2, 3, 1, 1, false, rng);
+  seq.emplace<BatchNorm2d>(2);
+  seq.emplace<ReLU>();
+  EXPECT_EQ(seq.size(), 3u);
+  const Tensor y = seq.forward(Tensor({2, 1, 4, 4}));
+  EXPECT_EQ(y.shape(), (Shape{2, 2, 4, 4}));
+  const auto params = seq.parameters();
+  // conv weight + bn gamma/beta.
+  EXPECT_EQ(params.size(), 3u);
+  EXPECT_EQ(seq.num_params(), 2 * 9 + 2 + 2);
+  seq.zero_grad();
+  for (auto& p : params) EXPECT_DOUBLE_EQ(p.grad->sum(), 0.0);
+}
+
+TEST(SequentialTest, SetTrainingPropagates) {
+  Rng rng(11);
+  Sequential seq;
+  auto* bn = seq.emplace<BatchNorm2d>(1);
+  seq.set_training(false);
+  EXPECT_FALSE(bn->training());
+  // Eval-mode BatchNorm accepts a single sample.
+  const Tensor y = seq.forward(Tensor({1, 1, 2, 2}));
+  EXPECT_EQ(y.numel(), 4);
+}
+
+}  // namespace
+}  // namespace dcnas::nn

@@ -1,0 +1,158 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "dcnas/common/rng.hpp"
+#include "dcnas/nn/linear.hpp"
+#include "dcnas/nn/loss.hpp"
+#include "dcnas/nn/optim.hpp"
+
+namespace dcnas::nn {
+namespace {
+
+TEST(SoftmaxCrossEntropyTest, UniformLogitsGiveLogC) {
+  SoftmaxCrossEntropy loss;
+  const Tensor logits({4, 2});
+  const double l = loss.forward(logits, {0, 1, 0, 1});
+  EXPECT_NEAR(l, std::log(2.0), 1e-6);
+}
+
+TEST(SoftmaxCrossEntropyTest, ConfidentCorrectIsNearZero) {
+  SoftmaxCrossEntropy loss;
+  const Tensor logits = Tensor::from_values({1, 2}, {20.0f, -20.0f});
+  EXPECT_NEAR(loss.forward(logits, {0}), 0.0, 1e-6);
+  EXPECT_GT(loss.forward(logits, {1}), 10.0);
+}
+
+TEST(SoftmaxCrossEntropyTest, GradientIsProbsMinusOnehotOverN) {
+  SoftmaxCrossEntropy loss;
+  const Tensor logits = Tensor::from_values({2, 2}, {0, 0, 0, 0});
+  loss.forward(logits, {0, 1});
+  const Tensor g = loss.backward();
+  EXPECT_NEAR(g.at(0, 0), (0.5 - 1.0) / 2.0, 1e-6);
+  EXPECT_NEAR(g.at(0, 1), 0.5 / 2.0, 1e-6);
+  EXPECT_NEAR(g.at(1, 1), (0.5 - 1.0) / 2.0, 1e-6);
+}
+
+TEST(SoftmaxCrossEntropyTest, GradientMatchesFiniteDifference) {
+  SoftmaxCrossEntropy loss;
+  Rng rng(12);
+  Tensor logits = Tensor::rand_uniform({3, 4}, rng, -1.0f, 1.0f);
+  const std::vector<int> labels = {2, 0, 3};
+  loss.forward(logits, labels);
+  const Tensor g = loss.backward();
+  const double eps = 1e-3;
+  for (std::int64_t i = 0; i < logits.numel(); ++i) {
+    Tensor lp = logits, lm = logits;
+    lp[i] += static_cast<float>(eps);
+    lm[i] -= static_cast<float>(eps);
+    SoftmaxCrossEntropy l2;
+    const double num = (l2.forward(lp, labels) - l2.forward(lm, labels)) / (2 * eps);
+    EXPECT_NEAR(g[i], num, 1e-3);
+  }
+}
+
+TEST(SoftmaxCrossEntropyTest, RejectsBadLabels) {
+  SoftmaxCrossEntropy loss;
+  const Tensor logits({2, 2});
+  EXPECT_THROW(loss.forward(logits, {0, 2}), InvalidArgument);
+  EXPECT_THROW(loss.forward(logits, {0}), InvalidArgument);
+  SoftmaxCrossEntropy fresh;
+  EXPECT_THROW(fresh.backward(), InvalidArgument);
+}
+
+/// Quadratic bowl fixture: minimize ||w - target||² by hand-feeding
+/// gradients; any reasonable optimizer must converge.
+class OptimBowl {
+ public:
+  explicit OptimBowl(float start) {
+    w_ = Tensor::full({4}, start);
+    g_ = Tensor({4});
+    target_ = Tensor::from_values({4}, {1.0f, -2.0f, 0.5f, 3.0f});
+  }
+  std::vector<ParamRef> params() { return {{"w", &w_, &g_}}; }
+  void fill_grad() {
+    for (std::int64_t i = 0; i < 4; ++i) g_[i] = 2.0f * (w_[i] - target_[i]);
+  }
+  double distance() const {
+    double d = 0.0;
+    for (std::int64_t i = 0; i < 4; ++i) {
+      d += static_cast<double>(w_[i] - target_[i]) * (w_[i] - target_[i]);
+    }
+    return std::sqrt(d);
+  }
+
+ private:
+  Tensor w_, g_, target_;
+  friend class OptimizersConvergeTest;
+};
+
+TEST(SgdTest, ConvergesOnQuadratic) {
+  OptimBowl bowl(10.0f);
+  Sgd opt(bowl.params(), 0.05, 0.9, 0.0);
+  for (int i = 0; i < 200; ++i) {
+    opt.zero_grad();
+    bowl.fill_grad();
+    opt.step();
+  }
+  EXPECT_LT(bowl.distance(), 1e-3);
+}
+
+TEST(SgdTest, WeightDecayShrinksWeights) {
+  Tensor w = Tensor::full({1}, 4.0f);
+  Tensor g({1});
+  Sgd opt({{"w", &w, &g}}, 0.1, 0.0, 0.5);
+  for (int i = 0; i < 100; ++i) opt.step();  // zero loss gradient
+  EXPECT_LT(std::abs(w[0]), 0.1f);
+}
+
+TEST(SgdTest, MomentumAcceleratesFirstSteps) {
+  Tensor w1 = Tensor::full({1}, 1.0f), g1 = Tensor::full({1}, 1.0f);
+  Tensor w2 = Tensor::full({1}, 1.0f), g2 = Tensor::full({1}, 1.0f);
+  Sgd plain({{"w", &w1, &g1}}, 0.1, 0.0, 0.0);
+  Sgd heavy({{"w", &w2, &g2}}, 0.1, 0.9, 0.0);
+  for (int i = 0; i < 5; ++i) {
+    plain.step();
+    heavy.step();
+  }
+  EXPECT_LT(w2[0], w1[0]);  // momentum walked farther along constant slope
+}
+
+TEST(SgdTest, RejectsBadHyperparameters) {
+  Tensor w({1}), g({1});
+  std::vector<ParamRef> p = {{"w", &w, &g}};
+  EXPECT_THROW(Sgd(p, 0.0), InvalidArgument);
+  EXPECT_THROW(Sgd(p, 0.1, 1.0), InvalidArgument);
+  EXPECT_THROW(Sgd(p, 0.1, 0.5, -1.0), InvalidArgument);
+}
+
+TEST(AdamTest, ConvergesOnQuadratic) {
+  OptimBowl bowl(10.0f);
+  Adam opt(bowl.params(), 0.3);
+  for (int i = 0; i < 400; ++i) {
+    opt.zero_grad();
+    bowl.fill_grad();
+    opt.step();
+  }
+  EXPECT_LT(bowl.distance(), 1e-2);
+}
+
+TEST(AdamTest, FirstStepIsLrSized) {
+  // With bias correction the very first Adam step is ~lr in magnitude.
+  Tensor w = Tensor::full({1}, 0.0f);
+  Tensor g = Tensor::full({1}, 123.0f);
+  Adam opt({{"w", &w, &g}}, 0.01);
+  opt.step();
+  EXPECT_NEAR(w[0], -0.01f, 1e-4f);
+}
+
+TEST(AdamTest, RejectsBadHyperparameters) {
+  Tensor w({1}), g({1});
+  std::vector<ParamRef> p = {{"w", &w, &g}};
+  EXPECT_THROW(Adam(p, -0.1), InvalidArgument);
+  EXPECT_THROW(Adam(p, 0.1, 1.0), InvalidArgument);
+  EXPECT_THROW(Adam(p, 0.1, 0.9, 1.5), InvalidArgument);
+}
+
+}  // namespace
+}  // namespace dcnas::nn

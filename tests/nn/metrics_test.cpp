@@ -1,0 +1,60 @@
+#include "dcnas/nn/metrics.hpp"
+
+#include <gtest/gtest.h>
+
+#include "dcnas/common/error.hpp"
+
+namespace dcnas::nn {
+namespace {
+
+TEST(AccuracyTest, CountsArgmaxMatches) {
+  const Tensor logits =
+      Tensor::from_values({4, 2}, {2, 1, 0, 3, 5, 4, 1, 2});
+  // argmax per row: 0, 1, 0, 1
+  EXPECT_DOUBLE_EQ(accuracy(logits, {0, 1, 0, 1}), 1.0);
+  EXPECT_DOUBLE_EQ(accuracy(logits, {1, 0, 1, 0}), 0.0);
+  EXPECT_DOUBLE_EQ(accuracy(logits, {0, 1, 1, 0}), 0.5);
+}
+
+TEST(AccuracyTest, RejectsMismatchedLabels) {
+  const Tensor logits({2, 2});
+  EXPECT_THROW(accuracy(logits, {0}), InvalidArgument);
+}
+
+TEST(BinaryConfusionTest, CountsAllQuadrants) {
+  const auto c =
+      binary_confusion({1, 1, 0, 0, 1, 0}, {1, 0, 0, 1, 1, 0});
+  EXPECT_EQ(c.tp, 2);
+  EXPECT_EQ(c.fp, 1);
+  EXPECT_EQ(c.fn, 1);
+  EXPECT_EQ(c.tn, 2);
+  EXPECT_DOUBLE_EQ(c.precision(), 2.0 / 3.0);
+  EXPECT_DOUBLE_EQ(c.recall(), 2.0 / 3.0);
+  EXPECT_DOUBLE_EQ(c.f1(), 2.0 / 3.0);
+  EXPECT_DOUBLE_EQ(c.accuracy(), 4.0 / 6.0);
+}
+
+TEST(BinaryConfusionTest, DegenerateDenominatorsGiveZero) {
+  BinaryConfusion c;
+  EXPECT_DOUBLE_EQ(c.precision(), 0.0);
+  EXPECT_DOUBLE_EQ(c.recall(), 0.0);
+  EXPECT_DOUBLE_EQ(c.f1(), 0.0);
+  EXPECT_DOUBLE_EQ(c.accuracy(), 0.0);
+}
+
+TEST(BinaryConfusionTest, RejectsNonBinaryValues) {
+  EXPECT_THROW(binary_confusion({2}, {0}), InvalidArgument);
+  EXPECT_THROW(binary_confusion({0}, {-1}), InvalidArgument);
+  EXPECT_THROW(binary_confusion({0, 1}, {0}), InvalidArgument);
+}
+
+TEST(BinaryConfusionTest, PerfectClassifier) {
+  const auto c = binary_confusion({1, 0, 1, 0}, {1, 0, 1, 0});
+  EXPECT_DOUBLE_EQ(c.precision(), 1.0);
+  EXPECT_DOUBLE_EQ(c.recall(), 1.0);
+  EXPECT_DOUBLE_EQ(c.f1(), 1.0);
+  EXPECT_DOUBLE_EQ(c.accuracy(), 1.0);
+}
+
+}  // namespace
+}  // namespace dcnas::nn

@@ -1,0 +1,157 @@
+#include "dcnas/nn/resnet.hpp"
+
+#include <gtest/gtest.h>
+
+#include "dcnas/common/rng.hpp"
+
+namespace dcnas::nn {
+namespace {
+
+TEST(ResNetConfigTest, BaselineMatchesPaperFigure1) {
+  const auto c = ResNetConfig::baseline(5);
+  EXPECT_EQ(c.in_channels, 5);
+  EXPECT_EQ(c.conv1_kernel, 7);
+  EXPECT_EQ(c.conv1_stride, 2);
+  EXPECT_EQ(c.conv1_padding, 3);
+  EXPECT_TRUE(c.with_pool);
+  EXPECT_EQ(c.pool_kernel, 3);
+  EXPECT_EQ(c.pool_stride, 2);
+  EXPECT_EQ(c.init_width, 64);
+  EXPECT_EQ(c.num_classes, 2);
+  EXPECT_NO_THROW(c.validate());
+}
+
+TEST(ResNetConfigTest, StageWidthsDouble) {
+  ResNetConfig c;
+  c.init_width = 32;
+  EXPECT_EQ(c.stage_width(0), 32);
+  EXPECT_EQ(c.stage_width(1), 64);
+  EXPECT_EQ(c.stage_width(2), 128);
+  EXPECT_EQ(c.stage_width(3), 256);
+  EXPECT_EQ(c.fc_in_features(), 256);
+}
+
+TEST(ResNetConfigTest, ValidateRejectsOutOfSpaceValues) {
+  ResNetConfig c = ResNetConfig::baseline(5);
+  c.in_channels = 4;
+  EXPECT_THROW(c.validate(), InvalidArgument);
+  c = ResNetConfig::baseline(5);
+  c.conv1_kernel = 5;
+  EXPECT_THROW(c.validate(), InvalidArgument);
+  c = ResNetConfig::baseline(5);
+  c.conv1_padding = 0;
+  EXPECT_THROW(c.validate(), InvalidArgument);
+  c = ResNetConfig::baseline(5);
+  c.init_width = 40;
+  EXPECT_THROW(c.validate(), InvalidArgument);
+  c = ResNetConfig::baseline(5);
+  c.num_classes = 1;
+  EXPECT_THROW(c.validate(), InvalidArgument);
+}
+
+TEST(ResNetTest, BaselineParamCountMatchesTorchvisionDerivation) {
+  // torchvision resnet18 (3ch, 1000 classes) has 11,689,512 parameters.
+  // Swapping conv1 to 5 input channels (+6,272) and the fc to 2 classes
+  // (-511,974) gives 11,183,810 — which x4 bytes is the paper's ~44.7 MB.
+  Rng rng(1);
+  ConfigurableResNet model(ResNetConfig::baseline(5), rng);
+  EXPECT_EQ(model.num_params(), 11'183'810);
+}
+
+TEST(ResNetTest, SevenChannelAddsOnlyConv1Params) {
+  Rng rng(1);
+  ConfigurableResNet m5(ResNetConfig::baseline(5), rng);
+  ConfigurableResNet m7(ResNetConfig::baseline(7), rng);
+  EXPECT_EQ(m7.num_params() - m5.num_params(), 2 * 64 * 7 * 7);
+}
+
+TEST(ResNetTest, Width32IsRoughlyQuarterSize) {
+  Rng rng(1);
+  ResNetConfig small = ResNetConfig::baseline(5);
+  small.init_width = 32;
+  small.conv1_kernel = 3;
+  small.conv1_padding = 1;
+  ConfigurableResNet m32(small, rng);
+  ConfigurableResNet m64(ResNetConfig::baseline(5), rng);
+  const double ratio = static_cast<double>(m32.num_params()) /
+                       static_cast<double>(m64.num_params());
+  EXPECT_NEAR(ratio, 0.25, 0.01);
+}
+
+TEST(ResNetTest, ForwardShapesBaseline) {
+  Rng rng(2);
+  ConfigurableResNet model(ResNetConfig::baseline(5), rng);
+  model.set_training(false);
+  const Tensor y = model.forward(Tensor({1, 5, 64, 64}));
+  EXPECT_EQ(y.shape(), (Shape{1, 2}));
+}
+
+struct ArchCase {
+  std::int64_t kernel, stride, padding;
+  bool pool;
+  std::int64_t pool_kernel, pool_stride, width;
+};
+
+class ResNetArchTest : public ::testing::TestWithParam<ArchCase> {};
+
+TEST_P(ResNetArchTest, ForwardAndBackwardRunForSearchSpacePoints) {
+  const auto a = GetParam();
+  ResNetConfig c;
+  c.in_channels = 5;
+  c.conv1_kernel = a.kernel;
+  c.conv1_stride = a.stride;
+  c.conv1_padding = a.padding;
+  c.with_pool = a.pool;
+  c.pool_kernel = a.pool_kernel;
+  c.pool_stride = a.pool_stride;
+  c.init_width = a.width;
+  Rng rng(3);
+  ConfigurableResNet model(c, rng);
+  const Tensor x = Tensor::rand_uniform({2, 5, 48, 48}, rng, -1.0f, 1.0f);
+  const Tensor y = model.forward(x);
+  ASSERT_EQ(y.shape(), (Shape{2, 2}));
+  const Tensor gx = model.backward(Tensor::full({2, 2}, 0.1f));
+  EXPECT_TRUE(gx.same_shape(x));
+  // Gradients reached conv1.
+  double gsum = 0.0;
+  for (auto& p : model.parameters()) gsum += std::abs(p.grad->sum());
+  EXPECT_GT(gsum, 0.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    SearchSpaceCorners, ResNetArchTest,
+    ::testing::Values(ArchCase{3, 2, 1, true, 3, 2, 32},   // Table 4 winner
+                      ArchCase{3, 2, 1, false, 3, 2, 32},  // no-pool winner
+                      ArchCase{7, 1, 3, true, 2, 1, 48},
+                      ArchCase{3, 1, 3, false, 2, 2, 64},
+                      ArchCase{7, 2, 2, true, 2, 2, 48}));
+
+TEST(ResNetTest, SummaryListsAllStages) {
+  Rng rng(4);
+  ConfigurableResNet model(ResNetConfig::baseline(7), rng);
+  const std::string s = model.summary(224);
+  EXPECT_NE(s.find("conv1"), std::string::npos);
+  EXPECT_NE(s.find("maxpool"), std::string::npos);
+  EXPECT_NE(s.find("stage4"), std::string::npos);
+  EXPECT_NE(s.find("(64, 112, 112)"), std::string::npos);
+  EXPECT_NE(s.find("(64, 56, 56)"), std::string::npos);
+  EXPECT_NE(s.find("(512, 7, 7)"), std::string::npos);
+}
+
+TEST(ResNetTest, DeterministicInitPerSeed) {
+  Rng r1(9), r2(9);
+  ConfigurableResNet a(ResNetConfig::baseline(5), r1);
+  ConfigurableResNet b(ResNetConfig::baseline(5), r2);
+  auto pa = a.parameters();
+  auto pb = b.parameters();
+  ASSERT_EQ(pa.size(), pb.size());
+  for (std::size_t i = 0; i < pa.size(); ++i) {
+    ASSERT_EQ(pa[i].value->numel(), pb[i].value->numel());
+    for (std::int64_t j = 0; j < pa[i].value->numel(); ++j) {
+      ASSERT_EQ((*pa[i].value)[j], (*pb[i].value)[j]) << pa[i].name;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace dcnas::nn

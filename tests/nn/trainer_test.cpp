@@ -1,0 +1,143 @@
+#include "dcnas/nn/trainer.hpp"
+
+#include <gtest/gtest.h>
+
+#include "dcnas/common/rng.hpp"
+#include "dcnas/nn/activations.hpp"
+#include "dcnas/nn/batchnorm.hpp"
+#include "dcnas/nn/conv.hpp"
+#include "dcnas/nn/linear.hpp"
+#include "dcnas/nn/pooling.hpp"
+#include "dcnas/nn/sequential.hpp"
+
+namespace dcnas::nn {
+namespace {
+
+/// Tiny synthetic image task: class 1 images have a bright center blob,
+/// class 0 images are noise. Easily separable, so a small CNN must learn it.
+void make_blob_dataset(std::int64_t n, std::int64_t hw, Tensor* images,
+                       std::vector<int>* labels, std::uint64_t seed) {
+  Rng rng(seed);
+  *images = Tensor({n, 2, hw, hw});
+  labels->resize(static_cast<std::size_t>(n));
+  for (std::int64_t i = 0; i < n; ++i) {
+    const int label = static_cast<int>(i % 2);
+    (*labels)[static_cast<std::size_t>(i)] = label;
+    for (std::int64_t c = 0; c < 2; ++c) {
+      for (std::int64_t y = 0; y < hw; ++y) {
+        for (std::int64_t x = 0; x < hw; ++x) {
+          float v = static_cast<float>(rng.normal(0.0, 0.3));
+          if (label == 1) {
+            const auto dy = static_cast<double>(y - hw / 2);
+            const auto dx = static_cast<double>(x - hw / 2);
+            if (dy * dy + dx * dx < static_cast<double>(hw * hw) / 16.0) {
+              v += 1.5f;
+            }
+          }
+          images->at(i, c, y, x) = v;
+        }
+      }
+    }
+  }
+}
+
+Sequential make_small_cnn(Rng& rng) {
+  Sequential net;
+  net.emplace<Conv2d>(2, 4, 3, 1, 1, false, rng);
+  net.emplace<BatchNorm2d>(4);
+  net.emplace<ReLU>();
+  net.emplace<GlobalAvgPool>();
+  net.emplace<Linear>(4, 2, rng);
+  return net;
+}
+
+TEST(GatherBatchTest, CopiesSelectedRows) {
+  Tensor images({3, 1, 2, 2});
+  for (std::int64_t i = 0; i < images.numel(); ++i)
+    images[i] = static_cast<float>(i);
+  const Tensor b = gather_batch(images, {2, 0});
+  EXPECT_EQ(b.shape(), (Shape{2, 1, 2, 2}));
+  EXPECT_FLOAT_EQ(b.at(0, 0, 0, 0), 8.0f);
+  EXPECT_FLOAT_EQ(b.at(1, 0, 0, 0), 0.0f);
+}
+
+TEST(GatherBatchTest, RejectsOutOfRangeIndex) {
+  Tensor images({2, 1, 2, 2});
+  EXPECT_THROW(gather_batch(images, {2}), InvalidArgument);
+  EXPECT_THROW(gather_batch(images, {-1}), InvalidArgument);
+}
+
+TEST(TrainerTest, LearnsSeparableBlobs) {
+  Tensor images;
+  std::vector<int> labels;
+  make_blob_dataset(64, 8, &images, &labels, 7);
+  Rng rng(1);
+  Sequential net = make_small_cnn(rng);
+  TrainOptions opt;
+  opt.epochs = 20;
+  opt.batch_size = 8;
+  opt.lr = 0.05;
+  opt.seed = 3;
+  const FitResult fr = fit(net, images, labels, opt);
+  ASSERT_EQ(fr.epoch_loss.size(), 20u);
+  // Loss decreased substantially and final train accuracy is high.
+  EXPECT_LT(fr.epoch_loss.back(), fr.epoch_loss.front());
+  const double acc = evaluate_accuracy(net, images, labels);
+  EXPECT_GT(acc, 0.9);
+}
+
+TEST(TrainerTest, IsDeterministicGivenSeeds) {
+  Tensor images;
+  std::vector<int> labels;
+  make_blob_dataset(32, 6, &images, &labels, 11);
+  TrainOptions opt;
+  opt.epochs = 3;
+  opt.batch_size = 8;
+  opt.seed = 5;
+  Rng r1(2), r2(2);
+  Sequential n1 = make_small_cnn(r1);
+  Sequential n2 = make_small_cnn(r2);
+  const FitResult a = fit(n1, images, labels, opt);
+  const FitResult b = fit(n2, images, labels, opt);
+  ASSERT_EQ(a.epoch_loss.size(), b.epoch_loss.size());
+  for (std::size_t i = 0; i < a.epoch_loss.size(); ++i) {
+    EXPECT_DOUBLE_EQ(a.epoch_loss[i], b.epoch_loss[i]);
+  }
+}
+
+TEST(TrainerTest, EvaluateAccuracyBatchesCorrectly) {
+  // Accuracy must not depend on the evaluation batch size.
+  Tensor images;
+  std::vector<int> labels;
+  make_blob_dataset(20, 6, &images, &labels, 13);
+  Rng rng(3);
+  Sequential net = make_small_cnn(rng);
+  TrainOptions opt;
+  opt.epochs = 5;
+  opt.batch_size = 4;
+  fit(net, images, labels, opt);
+  const double a1 = evaluate_accuracy(net, images, labels, 1);
+  const double a7 = evaluate_accuracy(net, images, labels, 7);
+  const double a32 = evaluate_accuracy(net, images, labels, 32);
+  EXPECT_DOUBLE_EQ(a1, a7);
+  EXPECT_DOUBLE_EQ(a7, a32);
+}
+
+TEST(TrainerTest, RejectsInvalidInputs) {
+  Tensor images({4, 1, 4, 4});
+  std::vector<int> labels = {0, 1, 0, 1};
+  Rng rng(4);
+  Sequential net;
+  net.emplace<GlobalAvgPool>();
+  net.emplace<Linear>(1, 2, rng);
+  TrainOptions opt;
+  opt.epochs = 0;
+  EXPECT_THROW(fit(net, images, labels, opt), InvalidArgument);
+  opt.epochs = 1;
+  std::vector<int> short_labels = {0, 1};
+  EXPECT_THROW(fit(net, images, short_labels, opt), InvalidArgument);
+  EXPECT_THROW(evaluate_accuracy(net, images, short_labels), InvalidArgument);
+}
+
+}  // namespace
+}  // namespace dcnas::nn

@@ -1,0 +1,86 @@
+#include "dcnas/pareto/export.hpp"
+
+#include <gtest/gtest.h>
+
+#include "dcnas/common/error.hpp"
+
+namespace dcnas::pareto {
+namespace {
+
+std::vector<Objectives> sample_points() {
+  return {{96.0, 8.0, 11.0},
+          {90.0, 30.0, 44.0},
+          {93.0, 15.0, 25.0},
+          {92.0, 28.0, 43.0}};
+}
+
+TEST(ScatterCsvTest, MarksFrontAndNormalizes) {
+  const auto pts = sample_points();
+  const auto front = non_dominated_indices(pts, DominanceMode::kWeak);
+  const CsvTable t = scatter_csv(pts, front);
+  ASSERT_EQ(t.num_rows(), 4u);
+  EXPECT_EQ(t.at(0, "non_dominated"), "1");
+  EXPECT_EQ(t.at(1, "non_dominated"), "0");
+  EXPECT_DOUBLE_EQ(t.at_double(0, "accuracy_norm"), 1.0);
+  EXPECT_DOUBLE_EQ(t.at_double(0, "latency_norm"), 0.0);
+  EXPECT_DOUBLE_EQ(t.at_double(1, "memory_norm"), 1.0);
+  EXPECT_NEAR(t.at_double(2, "accuracy"), 93.0, 1e-9);
+}
+
+TEST(AsciiScatterTest, RendersAllProjections) {
+  const auto pts = sample_points();
+  const auto front = non_dominated_indices(pts, DominanceMode::kWeak);
+  for (const char* proj :
+       {"latency-accuracy", "memory-accuracy", "latency-memory"}) {
+    const std::string s = ascii_scatter(pts, front, proj);
+    EXPECT_NE(s.find('#'), std::string::npos) << proj;
+    EXPECT_NE(s.find('.'), std::string::npos) << proj;
+    EXPECT_NE(s.find(proj), std::string::npos);
+  }
+}
+
+TEST(AsciiScatterTest, RejectsBadInputs) {
+  const auto pts = sample_points();
+  EXPECT_THROW(ascii_scatter(pts, {}, "upside-down"), InvalidArgument);
+  EXPECT_THROW(ascii_scatter({}, {}, "latency-accuracy"), InvalidArgument);
+  EXPECT_THROW(ascii_scatter(pts, {}, "latency-accuracy", 4, 2),
+               InvalidArgument);
+}
+
+TEST(RadarTest, CsvSharesAxesAcrossRows) {
+  std::vector<RadarRow> rows = {
+      {"model A", {{"accuracy", 1.0}, {"latency", 0.2}}},
+      {"model B", {{"accuracy", 0.4}, {"latency", 0.9}}},
+  };
+  const CsvTable t = radar_csv(rows);
+  ASSERT_EQ(t.num_rows(), 2u);
+  EXPECT_EQ(t.header()[1], "accuracy");
+  EXPECT_DOUBLE_EQ(t.at_double(1, "latency"), 0.9);
+}
+
+TEST(RadarTest, CsvRejectsMismatchedAxes) {
+  std::vector<RadarRow> rows = {
+      {"A", {{"accuracy", 1.0}}},
+      {"B", {{"latency", 0.5}}},
+  };
+  EXPECT_THROW(radar_csv(rows), InvalidArgument);
+  EXPECT_THROW(radar_csv({}), InvalidArgument);
+}
+
+TEST(RadarTest, TextBarsScaleWithValue) {
+  std::vector<RadarRow> rows = {
+      {"M", {{"full", 1.0}, {"half", 0.5}, {"empty", 0.0}}}};
+  const std::string s = radar_text(rows, 10);
+  EXPECT_NE(s.find("=========="), std::string::npos);
+  EXPECT_NE(s.find("[=====     ]"), std::string::npos);
+  EXPECT_NE(s.find("[          ]"), std::string::npos);
+  EXPECT_NE(s.find("M"), std::string::npos);
+}
+
+TEST(RadarTest, TextRejectsUnnormalizedValues) {
+  std::vector<RadarRow> rows = {{"M", {{"bad", 1.5}}}};
+  EXPECT_THROW(radar_text(rows), InvalidArgument);
+}
+
+}  // namespace
+}  // namespace dcnas::pareto

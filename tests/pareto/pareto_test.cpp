@@ -1,0 +1,176 @@
+#include "dcnas/pareto/pareto.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "dcnas/common/error.hpp"
+#include "dcnas/common/rng.hpp"
+
+namespace dcnas::pareto {
+namespace {
+
+TEST(DominanceTest, WeakDominanceSemantics) {
+  const Objectives a{95.0, 10.0, 11.0};
+  const Objectives b{94.0, 12.0, 11.0};  // worse acc, worse lat, equal mem
+  EXPECT_TRUE(dominates(a, b, DominanceMode::kWeak));
+  EXPECT_FALSE(dominates(b, a, DominanceMode::kWeak));
+  // Equal points do not dominate each other.
+  EXPECT_FALSE(dominates(a, a, DominanceMode::kWeak));
+  // Trade-off points are incomparable.
+  const Objectives c{96.0, 20.0, 11.0};
+  EXPECT_FALSE(dominates(a, c, DominanceMode::kWeak));
+  EXPECT_FALSE(dominates(c, a, DominanceMode::kWeak));
+}
+
+TEST(DominanceTest, StrictAllRequiresStrictEverywhere) {
+  const Objectives a{95.0, 10.0, 11.0};
+  const Objectives b{94.0, 12.0, 11.0};
+  // Memory tie blocks strict-all domination — exactly why the paper's
+  // Table 4 keeps its weakly-dominated rows 4/5 pair.
+  EXPECT_FALSE(dominates(a, b, DominanceMode::kStrictAll));
+  const Objectives c{94.0, 12.0, 12.0};
+  EXPECT_TRUE(dominates(a, c, DominanceMode::kStrictAll));
+}
+
+TEST(NonDominatedTest, SimpleFront) {
+  const std::vector<Objectives> pts = {
+      {96.0, 8.0, 11.0},   // best everywhere
+      {95.0, 9.0, 12.0},   // dominated by 0
+      {97.0, 20.0, 11.5},  // acc/lat trade-off with 0
+      {90.0, 30.0, 40.0},  // dominated
+  };
+  const auto front = non_dominated_indices(pts, DominanceMode::kWeak);
+  EXPECT_EQ(front, (std::vector<std::size_t>{0, 2}));
+}
+
+TEST(NonDominatedTest, AllEqualPointsSurvive) {
+  const std::vector<Objectives> pts(4, Objectives{90.0, 10.0, 10.0});
+  EXPECT_EQ(non_dominated_indices(pts, DominanceMode::kWeak).size(), 4u);
+  EXPECT_EQ(non_dominated_indices(pts, DominanceMode::kStrictAll).size(), 4u);
+}
+
+TEST(NonDominatedTest, EmptyInput) {
+  EXPECT_TRUE(non_dominated_indices({}, DominanceMode::kWeak).empty());
+}
+
+TEST(FastSortTest, LayersAreConsistentWithFilter) {
+  Rng rng(5);
+  std::vector<Objectives> pts;
+  for (int i = 0; i < 60; ++i) {
+    pts.push_back({rng.uniform(80.0, 97.0), rng.uniform(8.0, 250.0),
+                   rng.uniform(11.0, 45.0)});
+  }
+  const auto fronts = fast_non_dominated_sort(pts, DominanceMode::kWeak);
+  ASSERT_FALSE(fronts.empty());
+  EXPECT_EQ(fronts.front(), non_dominated_indices(pts, DominanceMode::kWeak));
+  // Every point appears in exactly one layer.
+  std::vector<int> seen(pts.size(), 0);
+  for (const auto& f : fronts) {
+    for (auto i : f) seen[i]++;
+  }
+  for (int s : seen) EXPECT_EQ(s, 1);
+  // Layer k+1 points are each dominated by someone in layer k.
+  for (std::size_t layer = 1; layer < fronts.size(); ++layer) {
+    for (auto q : fronts[layer]) {
+      bool dominated = false;
+      for (auto p : fronts[layer - 1]) {
+        if (dominates(pts[p], pts[q], DominanceMode::kWeak)) dominated = true;
+      }
+      EXPECT_TRUE(dominated);
+    }
+  }
+}
+
+TEST(NormalizeTest, MapsToUnitCube) {
+  const std::vector<Objectives> pts = {
+      {90.0, 10.0, 11.0}, {95.0, 30.0, 44.0}, {92.5, 20.0, 27.5}};
+  const auto n = normalize(pts);
+  EXPECT_DOUBLE_EQ(n[0].accuracy, 0.0);
+  EXPECT_DOUBLE_EQ(n[1].accuracy, 1.0);
+  EXPECT_DOUBLE_EQ(n[2].accuracy, 0.5);
+  EXPECT_DOUBLE_EQ(n[0].latency, 0.0);
+  EXPECT_DOUBLE_EQ(n[1].memory, 1.0);
+}
+
+TEST(NormalizeTest, DegenerateRangeMapsToHalf) {
+  const std::vector<Objectives> pts = {{90.0, 10.0, 11.0}, {95.0, 20.0, 11.0}};
+  const auto n = normalize(pts);
+  EXPECT_DOUBLE_EQ(n[0].memory, 0.5);
+  EXPECT_DOUBLE_EQ(n[1].memory, 0.5);
+  EXPECT_THROW(normalize({}), InvalidArgument);
+}
+
+TEST(CrowdingTest, BoundariesAreInfinite) {
+  const std::vector<Objectives> pts = {
+      {90.0, 30.0, 20.0}, {93.0, 20.0, 20.0}, {96.0, 10.0, 20.0}};
+  const std::vector<std::size_t> front = {0, 1, 2};
+  const auto d = crowding_distances(pts, front);
+  EXPECT_TRUE(std::isinf(d[0]));
+  EXPECT_TRUE(std::isinf(d[2]));
+  EXPECT_FALSE(std::isinf(d[1]));
+  EXPECT_GT(d[1], 0.0);
+}
+
+TEST(CrowdingTest, TwoPointFrontAllInfinite) {
+  const std::vector<Objectives> pts = {{90.0, 30.0, 20.0}, {96.0, 10.0, 22.0}};
+  const auto d = crowding_distances(pts, {0, 1});
+  EXPECT_TRUE(std::isinf(d[0]));
+  EXPECT_TRUE(std::isinf(d[1]));
+}
+
+TEST(CrowdingTest, SparsePointsScoreHigher) {
+  // Points evenly spread except one crowded pair.
+  const std::vector<Objectives> pts = {{90.0, 50.0, 20.0},
+                                       {92.0, 40.0, 20.0},
+                                       {92.2, 39.0, 20.0},
+                                       {96.0, 10.0, 20.0}};
+  const auto d = crowding_distances(pts, {0, 1, 2, 3});
+  EXPECT_LT(d[1], d[2]);  // 1 squeezed between 0.2-wide gap and big gap
+}
+
+TEST(HypervolumeTest, SingleBoxVolume) {
+  const Objectives ref{90.0, 100.0, 50.0};
+  const std::vector<Objectives> pts = {{95.0, 60.0, 30.0}};
+  // gains: acc 5, lat 40, mem 20 -> 4000.
+  EXPECT_NEAR(hypervolume(pts, ref), 5.0 * 40.0 * 20.0, 1e-9);
+}
+
+TEST(HypervolumeTest, DominatedPointAddsNothing) {
+  const Objectives ref{90.0, 100.0, 50.0};
+  const std::vector<Objectives> pts = {{95.0, 60.0, 30.0},
+                                       {94.0, 70.0, 35.0}};
+  EXPECT_NEAR(hypervolume(pts, ref), 4000.0, 1e-9);
+}
+
+TEST(HypervolumeTest, UnionOfOverlappingBoxes) {
+  const Objectives ref{0.0, 10.0, 10.0};
+  // Two complementary points: (acc 1, lat 0, mem 5) and (acc 1, lat 5, mem 0).
+  const std::vector<Objectives> pts = {{1.0, 0.0, 5.0}, {1.0, 5.0, 0.0}};
+  // Union area in (lat-slack, mem-slack): 10x5 + 5x10 - 5x5 = 75; x z 1.
+  EXPECT_NEAR(hypervolume(pts, ref), 75.0, 1e-9);
+}
+
+TEST(HypervolumeTest, MonotoneInAddedPoints) {
+  Rng rng(3);
+  const Objectives ref{70.0, 300.0, 60.0};
+  std::vector<Objectives> pts;
+  double prev = 0.0;
+  for (int i = 0; i < 20; ++i) {
+    pts.push_back({rng.uniform(75.0, 97.0), rng.uniform(10.0, 250.0),
+                   rng.uniform(11.0, 45.0)});
+    const double hv = hypervolume(pts, ref);
+    EXPECT_GE(hv, prev - 1e-9);
+    prev = hv;
+  }
+}
+
+TEST(HypervolumeTest, RejectsPointOutsideReferenceOctant) {
+  const Objectives ref{90.0, 100.0, 50.0};
+  EXPECT_THROW(hypervolume({{85.0, 60.0, 30.0}}, ref), InvalidArgument);
+  EXPECT_THROW(hypervolume({{95.0, 160.0, 30.0}}, ref), InvalidArgument);
+  EXPECT_DOUBLE_EQ(hypervolume({}, ref), 0.0);
+}
+
+}  // namespace
+}  // namespace dcnas::pareto

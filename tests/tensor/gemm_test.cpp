@@ -1,0 +1,135 @@
+#include "dcnas/tensor/gemm.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "dcnas/common/rng.hpp"
+
+namespace dcnas {
+namespace {
+
+/// Naive reference GEMM for cross-checking.
+void ref_gemm(std::int64_t m, std::int64_t n, std::int64_t k, float alpha,
+              const float* a, const float* b, float beta, float* c) {
+  for (std::int64_t i = 0; i < m; ++i) {
+    for (std::int64_t j = 0; j < n; ++j) {
+      float acc = 0.0f;
+      for (std::int64_t p = 0; p < k; ++p) acc += a[i * k + p] * b[p * n + j];
+      c[i * n + j] = alpha * acc + beta * c[i * n + j];
+    }
+  }
+}
+
+TEST(GemmTest, SmallHandComputedCase) {
+  // [1 2; 3 4] * [5 6; 7 8] = [19 22; 43 50]
+  const float a[] = {1, 2, 3, 4};
+  const float b[] = {5, 6, 7, 8};
+  float c[4] = {0, 0, 0, 0};
+  gemm(2, 2, 2, 1.0f, a, b, 0.0f, c);
+  EXPECT_FLOAT_EQ(c[0], 19);
+  EXPECT_FLOAT_EQ(c[1], 22);
+  EXPECT_FLOAT_EQ(c[2], 43);
+  EXPECT_FLOAT_EQ(c[3], 50);
+}
+
+TEST(GemmTest, AlphaBetaSemantics) {
+  const float a[] = {1, 0, 0, 1};  // identity
+  const float b[] = {2, 3, 4, 5};
+  float c[] = {10, 10, 10, 10};
+  gemm(2, 2, 2, 2.0f, a, b, 0.5f, c);
+  EXPECT_FLOAT_EQ(c[0], 2 * 2 + 5);
+  EXPECT_FLOAT_EQ(c[3], 2 * 5 + 5);
+}
+
+struct GemmDims {
+  std::int64_t m, n, k;
+};
+
+class GemmRandomTest : public ::testing::TestWithParam<GemmDims> {};
+
+TEST_P(GemmRandomTest, MatchesNaiveReference) {
+  const auto [m, n, k] = GetParam();
+  Rng rng(static_cast<std::uint64_t>(m * 1000003 + n * 1009 + k));
+  std::vector<float> a(static_cast<std::size_t>(m * k));
+  std::vector<float> b(static_cast<std::size_t>(k * n));
+  for (auto& v : a) v = static_cast<float>(rng.uniform(-1.0, 1.0));
+  for (auto& v : b) v = static_cast<float>(rng.uniform(-1.0, 1.0));
+  std::vector<float> c(static_cast<std::size_t>(m * n), 0.5f);
+  std::vector<float> c_ref = c;
+  gemm(m, n, k, 1.3f, a.data(), b.data(), 0.7f, c.data());
+  ref_gemm(m, n, k, 1.3f, a.data(), b.data(), 0.7f, c_ref.data());
+  for (std::size_t i = 0; i < c.size(); ++i) {
+    ASSERT_NEAR(c[i], c_ref[i], 1e-3f) << "at " << i;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, GemmRandomTest,
+    ::testing::Values(GemmDims{1, 1, 1}, GemmDims{3, 5, 7},
+                      GemmDims{17, 4, 33}, GemmDims{64, 64, 64},
+                      GemmDims{130, 9, 257},  // crosses kBlockM / kBlockK
+                      GemmDims{256, 16, 512}, GemmDims{1, 100, 3},
+                      GemmDims{100, 1, 3}));
+
+TEST(GemmTest, ZeroSizedDimensionsAreNoops) {
+  float c[4] = {1, 2, 3, 4};
+  gemm(0, 2, 3, 1.0f, nullptr, nullptr, 0.0f, c);
+  EXPECT_FLOAT_EQ(c[0], 1);  // untouched: m == 0
+  gemm(2, 2, 0, 1.0f, nullptr, nullptr, 0.0f, c);
+  EXPECT_FLOAT_EQ(c[0], 0);  // k == 0 with beta=0 zeroes C
+}
+
+TEST(GemmBtTest, MatchesPlainGemm) {
+  Rng rng(5);
+  const std::int64_t m = 13, n = 9, k = 21;
+  std::vector<float> a(static_cast<std::size_t>(m * k));
+  std::vector<float> b(static_cast<std::size_t>(k * n));
+  std::vector<float> b_t(static_cast<std::size_t>(n * k));
+  for (auto& v : a) v = static_cast<float>(rng.uniform(-1.0, 1.0));
+  for (auto& v : b) v = static_cast<float>(rng.uniform(-1.0, 1.0));
+  for (std::int64_t p = 0; p < k; ++p)
+    for (std::int64_t j = 0; j < n; ++j) b_t[j * k + p] = b[p * n + j];
+  std::vector<float> c1(static_cast<std::size_t>(m * n), 0.0f);
+  std::vector<float> c2 = c1;
+  gemm(m, n, k, 1.0f, a.data(), b.data(), 0.0f, c1.data());
+  gemm_bt(m, n, k, 1.0f, a.data(), b_t.data(), 0.0f, c2.data());
+  for (std::size_t i = 0; i < c1.size(); ++i) ASSERT_NEAR(c1[i], c2[i], 1e-4f);
+}
+
+TEST(GemmAtTest, MatchesPlainGemm) {
+  Rng rng(6);
+  const std::int64_t m = 11, n = 7, k = 19;
+  std::vector<float> a(static_cast<std::size_t>(m * k));
+  std::vector<float> a_t(static_cast<std::size_t>(k * m));
+  std::vector<float> b(static_cast<std::size_t>(k * n));
+  for (auto& v : a) v = static_cast<float>(rng.uniform(-1.0, 1.0));
+  for (auto& v : b) v = static_cast<float>(rng.uniform(-1.0, 1.0));
+  for (std::int64_t i = 0; i < m; ++i)
+    for (std::int64_t p = 0; p < k; ++p) a_t[p * m + i] = a[i * k + p];
+  std::vector<float> c1(static_cast<std::size_t>(m * n), 0.0f);
+  std::vector<float> c2 = c1;
+  gemm(m, n, k, 1.0f, a.data(), b.data(), 0.0f, c1.data());
+  gemm_at(m, n, k, 1.0f, a_t.data(), b.data(), 0.0f, c2.data());
+  for (std::size_t i = 0; i < c1.size(); ++i) ASSERT_NEAR(c1[i], c2[i], 1e-4f);
+}
+
+TEST(MatmulTest, TensorInterface) {
+  const Tensor a = Tensor::from_values({2, 3}, {1, 2, 3, 4, 5, 6});
+  const Tensor b = Tensor::from_values({3, 2}, {7, 8, 9, 10, 11, 12});
+  const Tensor c = matmul(a, b);
+  EXPECT_EQ(c.dim(0), 2);
+  EXPECT_EQ(c.dim(1), 2);
+  EXPECT_FLOAT_EQ(c.at(0, 0), 58);
+  EXPECT_FLOAT_EQ(c.at(1, 1), 154);
+}
+
+TEST(MatmulTest, RejectsIncompatibleShapes) {
+  const Tensor a({2, 3});
+  const Tensor b({2, 3});
+  EXPECT_THROW(matmul(a, b), InvalidArgument);
+  EXPECT_THROW(matmul(a.reshaped({6}), a), InvalidArgument);
+}
+
+}  // namespace
+}  // namespace dcnas

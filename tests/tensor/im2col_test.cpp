@@ -1,0 +1,133 @@
+#include "dcnas/tensor/im2col.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "dcnas/common/error.hpp"
+#include "dcnas/common/rng.hpp"
+
+namespace dcnas {
+namespace {
+
+TEST(ConvOutSizeTest, StandardGeometries) {
+  EXPECT_EQ(conv_out_size(224, 7, 2, 3), 112);
+  EXPECT_EQ(conv_out_size(224, 3, 2, 1), 112);
+  EXPECT_EQ(conv_out_size(112, 3, 2, 1), 56);
+  EXPECT_EQ(conv_out_size(56, 3, 1, 1), 56);
+  EXPECT_EQ(conv_out_size(5, 3, 1, 0), 3);
+}
+
+TEST(ConvOutSizeTest, RejectsDegenerateGeometry) {
+  EXPECT_THROW(conv_out_size(2, 5, 1, 0), InvalidArgument);
+  EXPECT_THROW(conv_out_size(0, 3, 1, 1), InvalidArgument);
+  EXPECT_THROW(conv_out_size(8, 3, 0, 1), InvalidArgument);
+  EXPECT_THROW(conv_out_size(8, 0, 1, 1), InvalidArgument);
+  EXPECT_THROW(conv_out_size(8, 3, 1, -1), InvalidArgument);
+}
+
+TEST(Im2ColTest, IdentityKernelIsPassthrough) {
+  // 1x1 kernel, stride 1, no padding: col equals the image.
+  const std::int64_t c = 2, h = 3, w = 3;
+  std::vector<float> im(static_cast<std::size_t>(c * h * w));
+  for (std::size_t i = 0; i < im.size(); ++i) im[i] = static_cast<float>(i);
+  std::vector<float> col(im.size(), -1.0f);
+  im2col(im.data(), c, h, w, 1, 1, 0, col.data());
+  EXPECT_EQ(col, im);
+}
+
+TEST(Im2ColTest, HandComputed2x2OnSingleChannel) {
+  // image 3x3: [0..8], kernel 2, stride 1, pad 0 -> out 2x2, col is 4x4.
+  std::vector<float> im = {0, 1, 2, 3, 4, 5, 6, 7, 8};
+  std::vector<float> col(16, -1.0f);
+  im2col(im.data(), 1, 3, 3, 2, 1, 0, col.data());
+  // Row 0 = top-left of each window: 0 1 3 4
+  EXPECT_FLOAT_EQ(col[0], 0);
+  EXPECT_FLOAT_EQ(col[1], 1);
+  EXPECT_FLOAT_EQ(col[2], 3);
+  EXPECT_FLOAT_EQ(col[3], 4);
+  // Row 3 = bottom-right of each window: 4 5 7 8
+  EXPECT_FLOAT_EQ(col[12], 4);
+  EXPECT_FLOAT_EQ(col[15], 8);
+}
+
+TEST(Im2ColTest, PaddingProducesZeros) {
+  std::vector<float> im = {1, 1, 1, 1};  // 1x2x2 of ones
+  const std::int64_t out = conv_out_size(2, 3, 1, 1);
+  ASSERT_EQ(out, 2);
+  std::vector<float> col(static_cast<std::size_t>(9 * out * out), -1.0f);
+  im2col(im.data(), 1, 2, 2, 3, 1, 1, col.data());
+  // First patch is centered at (0,0) so its top row is all padding.
+  EXPECT_FLOAT_EQ(col[0], 0.0f);
+  // Center of first patch is the pixel (0,0) = 1.
+  EXPECT_FLOAT_EQ(col[4 * 4 + 0], 1.0f);
+  // Every value is 0 or 1.
+  for (float v : col) EXPECT_TRUE(v == 0.0f || v == 1.0f);
+}
+
+TEST(Col2ImTest, IsAdjointOfIm2Col) {
+  // <im2col(x), y> == <x, col2im(y)> — the defining adjoint property the
+  // conv backward pass relies on.
+  Rng rng(31);
+  const std::int64_t c = 3, h = 7, w = 6, k = 3, s = 2, p = 1;
+  const std::int64_t oh = conv_out_size(h, k, s, p);
+  const std::int64_t ow = conv_out_size(w, k, s, p);
+  const std::size_t im_n = static_cast<std::size_t>(c * h * w);
+  const std::size_t col_n = static_cast<std::size_t>(c * k * k * oh * ow);
+  std::vector<float> x(im_n), y(col_n);
+  for (auto& v : x) v = static_cast<float>(rng.uniform(-1.0, 1.0));
+  for (auto& v : y) v = static_cast<float>(rng.uniform(-1.0, 1.0));
+  std::vector<float> col_x(col_n, 0.0f);
+  im2col(x.data(), c, h, w, k, s, p, col_x.data());
+  std::vector<float> im_y(im_n, 0.0f);
+  col2im(y.data(), c, h, w, k, s, p, im_y.data());
+  double lhs = 0.0, rhs = 0.0;
+  for (std::size_t i = 0; i < col_n; ++i) lhs += static_cast<double>(col_x[i]) * y[i];
+  for (std::size_t i = 0; i < im_n; ++i) rhs += static_cast<double>(x[i]) * im_y[i];
+  EXPECT_NEAR(lhs, rhs, 1e-3);
+}
+
+struct ConvGeom {
+  std::int64_t c, h, w, k, s, p;
+};
+
+class Im2ColRoundTrip : public ::testing::TestWithParam<ConvGeom> {};
+
+TEST_P(Im2ColRoundTrip, Col2ImCountsWindowCoverage) {
+  // col2im(im2col(ones)) equals, per pixel, the number of windows covering
+  // that pixel — a structural property easy to verify independently.
+  const auto g = GetParam();
+  const std::int64_t oh = conv_out_size(g.h, g.k, g.s, g.p);
+  const std::int64_t ow = conv_out_size(g.w, g.k, g.s, g.p);
+  std::vector<float> im(static_cast<std::size_t>(g.c * g.h * g.w), 1.0f);
+  std::vector<float> col(
+      static_cast<std::size_t>(g.c * g.k * g.k * oh * ow), 0.0f);
+  im2col(im.data(), g.c, g.h, g.w, g.k, g.s, g.p, col.data());
+  std::vector<float> back(im.size(), 0.0f);
+  col2im(col.data(), g.c, g.h, g.w, g.k, g.s, g.p, back.data());
+  for (std::int64_t y = 0; y < g.h; ++y) {
+    for (std::int64_t x = 0; x < g.w; ++x) {
+      int cover = 0;
+      for (std::int64_t oy = 0; oy < oh; ++oy) {
+        for (std::int64_t ox = 0; ox < ow; ++ox) {
+          const std::int64_t ty = y - (oy * g.s - g.p);
+          const std::int64_t tx = x - (ox * g.s - g.p);
+          if (ty >= 0 && ty < g.k && tx >= 0 && tx < g.k) ++cover;
+        }
+      }
+      for (std::int64_t ch = 0; ch < g.c; ++ch) {
+        ASSERT_FLOAT_EQ(back[static_cast<std::size_t>((ch * g.h + y) * g.w + x)],
+                        static_cast<float>(cover));
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Geometries, Im2ColRoundTrip,
+    ::testing::Values(ConvGeom{1, 4, 4, 2, 1, 0}, ConvGeom{2, 5, 5, 3, 1, 1},
+                      ConvGeom{3, 8, 6, 3, 2, 1}, ConvGeom{1, 9, 9, 7, 2, 3},
+                      ConvGeom{2, 7, 7, 2, 2, 0}, ConvGeom{1, 6, 6, 3, 3, 1}));
+
+}  // namespace
+}  // namespace dcnas

@@ -1,0 +1,125 @@
+#include "dcnas/tensor/ops.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace dcnas {
+namespace {
+
+TEST(MaxPoolTest, HandComputed2x2Stride2) {
+  Tensor in = Tensor::from_values(
+      {1, 1, 4, 4},
+      {1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12, 13, 14, 15, 16});
+  std::vector<std::int64_t> argmax;
+  const Tensor out = maxpool2d_forward(in, 2, 2, 0, &argmax);
+  ASSERT_EQ(out.shape(), (Shape{1, 1, 2, 2}));
+  EXPECT_FLOAT_EQ(out.at(0, 0, 0, 0), 6);
+  EXPECT_FLOAT_EQ(out.at(0, 0, 0, 1), 8);
+  EXPECT_FLOAT_EQ(out.at(0, 0, 1, 0), 14);
+  EXPECT_FLOAT_EQ(out.at(0, 0, 1, 1), 16);
+  EXPECT_EQ(argmax[0], 5);
+  EXPECT_EQ(argmax[3], 15);
+}
+
+TEST(MaxPoolTest, BackwardRoutesGradToArgmax) {
+  Tensor in = Tensor::from_values({1, 1, 2, 2}, {1, 9, 3, 4});
+  std::vector<std::int64_t> argmax;
+  const Tensor out = maxpool2d_forward(in, 2, 2, 0, &argmax);
+  ASSERT_EQ(out.numel(), 1);
+  Tensor grad_out = Tensor::full({1, 1, 1, 1}, 2.5f);
+  const Tensor grad_in = maxpool2d_backward(grad_out, in.shape(), argmax);
+  EXPECT_FLOAT_EQ(grad_in[0], 0.0f);
+  EXPECT_FLOAT_EQ(grad_in[1], 2.5f);
+  EXPECT_FLOAT_EQ(grad_in[2], 0.0f);
+}
+
+TEST(MaxPoolTest, PaddingIgnoredInMax) {
+  // With padding=1 and all-negative inputs, padded zeros must NOT win:
+  // padding contributes no candidate values (PyTorch uses -inf padding).
+  Tensor in = Tensor::full({1, 1, 2, 2}, -5.0f);
+  std::vector<std::int64_t> argmax;
+  const Tensor out = maxpool2d_forward(in, 3, 2, 1, &argmax);
+  for (std::int64_t i = 0; i < out.numel(); ++i) EXPECT_FLOAT_EQ(out[i], -5.0f);
+}
+
+TEST(MaxPoolTest, MultiChannelIndependent) {
+  Tensor in({2, 3, 4, 4});
+  for (std::int64_t i = 0; i < in.numel(); ++i)
+    in[i] = static_cast<float>(i % 17);
+  std::vector<std::int64_t> argmax;
+  const Tensor out = maxpool2d_forward(in, 2, 2, 0, &argmax);
+  EXPECT_EQ(out.shape(), (Shape{2, 3, 2, 2}));
+  // Each argmax index must fall inside its own (n, c) plane.
+  const std::int64_t plane = 16;
+  for (std::size_t i = 0; i < argmax.size(); ++i) {
+    const std::int64_t out_plane = static_cast<std::int64_t>(i) / 4;
+    EXPECT_GE(argmax[i], out_plane * plane);
+    EXPECT_LT(argmax[i], (out_plane + 1) * plane);
+  }
+}
+
+TEST(GlobalAvgPoolTest, ComputesPlaneMeans) {
+  Tensor in = Tensor::from_values({1, 2, 2, 2}, {1, 2, 3, 4, 10, 20, 30, 40});
+  const Tensor out = global_avgpool_forward(in);
+  ASSERT_EQ(out.shape(), (Shape{1, 2}));
+  EXPECT_FLOAT_EQ(out.at(0, 0), 2.5f);
+  EXPECT_FLOAT_EQ(out.at(0, 1), 25.0f);
+}
+
+TEST(GlobalAvgPoolTest, BackwardSpreadsUniformly) {
+  Tensor grad_out = Tensor::from_values({1, 1}, {8.0f});
+  const Tensor grad_in = global_avgpool_backward(grad_out, {1, 1, 2, 2});
+  for (std::int64_t i = 0; i < 4; ++i) EXPECT_FLOAT_EQ(grad_in[i], 2.0f);
+}
+
+TEST(SoftmaxTest, RowsSumToOne) {
+  const Tensor logits =
+      Tensor::from_values({2, 3}, {1, 2, 3, -1, 0, 100});
+  const Tensor p = softmax_rows(logits);
+  for (std::int64_t r = 0; r < 2; ++r) {
+    double s = 0.0;
+    for (std::int64_t c = 0; c < 3; ++c) s += p.at(r, c);
+    EXPECT_NEAR(s, 1.0, 1e-5);
+  }
+  // Large logit dominates without overflow.
+  EXPECT_NEAR(p.at(1, 2), 1.0f, 1e-5f);
+}
+
+TEST(SoftmaxTest, InvariantToRowShift) {
+  const Tensor a = Tensor::from_values({1, 3}, {1, 2, 3});
+  const Tensor b = Tensor::from_values({1, 3}, {101, 102, 103});
+  const Tensor pa = softmax_rows(a);
+  const Tensor pb = softmax_rows(b);
+  for (std::int64_t c = 0; c < 3; ++c) EXPECT_NEAR(pa[c], pb[c], 1e-6f);
+}
+
+TEST(ArgmaxRowsTest, PicksFirstMaximum) {
+  const Tensor t = Tensor::from_values({3, 3}, {0, 5, 1, 9, 2, 9, 3, 3, 3});
+  const auto idx = argmax_rows(t);
+  EXPECT_EQ(idx[0], 1);
+  EXPECT_EQ(idx[1], 0);  // ties -> first
+  EXPECT_EQ(idx[2], 0);
+}
+
+TEST(ReluTest, ClampsAndMasks) {
+  Tensor t = Tensor::from_values({5}, {-2, -0.5f, 0, 0.5f, 2});
+  Tensor mask;
+  relu_inplace(t, &mask);
+  EXPECT_FLOAT_EQ(t[0], 0);
+  EXPECT_FLOAT_EQ(t[2], 0);
+  EXPECT_FLOAT_EQ(t[4], 2);
+  EXPECT_FLOAT_EQ(mask[0], 0);
+  EXPECT_FLOAT_EQ(mask[3], 1);
+  EXPECT_FLOAT_EQ(mask[2], 0);  // relu'(0) = 0 convention
+}
+
+TEST(ReluTest, NullMaskAllowed) {
+  Tensor t = Tensor::from_values({2}, {-1, 1});
+  relu_inplace(t, nullptr);
+  EXPECT_FLOAT_EQ(t[0], 0);
+  EXPECT_FLOAT_EQ(t[1], 1);
+}
+
+}  // namespace
+}  // namespace dcnas

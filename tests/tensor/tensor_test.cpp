@@ -1,0 +1,110 @@
+#include "dcnas/tensor/tensor.hpp"
+
+#include <gtest/gtest.h>
+
+namespace dcnas {
+namespace {
+
+TEST(TensorTest, ZeroInitialized) {
+  Tensor t({2, 3});
+  EXPECT_EQ(t.numel(), 6);
+  for (std::int64_t i = 0; i < t.numel(); ++i) EXPECT_EQ(t[i], 0.0f);
+}
+
+TEST(TensorTest, FullFillsValue) {
+  const Tensor t = Tensor::full({2, 2}, 1.5f);
+  for (std::int64_t i = 0; i < 4; ++i) EXPECT_EQ(t[i], 1.5f);
+}
+
+TEST(TensorTest, ShapeHelpers) {
+  Tensor t({2, 3, 4, 5});
+  EXPECT_EQ(t.ndim(), 4u);
+  EXPECT_EQ(t.dim(0), 2);
+  EXPECT_EQ(t.dim(3), 5);
+  EXPECT_EQ(t.numel(), 120);
+  EXPECT_EQ(shape_to_string(t.shape()), "[2, 3, 4, 5]");
+  EXPECT_FALSE(t.empty());
+  EXPECT_TRUE(Tensor().empty());
+}
+
+TEST(TensorTest, NchwIndexingIsRowMajor) {
+  Tensor t({1, 2, 2, 3});
+  t.at(0, 1, 1, 2) = 7.0f;
+  // offset = ((0*2+1)*2+1)*3+2 = 11
+  EXPECT_EQ(t[11], 7.0f);
+  EXPECT_EQ(t.at(0, 1, 1, 2), 7.0f);
+}
+
+TEST(TensorTest, TwoDimIndexing) {
+  Tensor t({3, 4});
+  t.at(2, 1) = 9.0f;
+  EXPECT_EQ(t[9], 9.0f);
+}
+
+TEST(TensorTest, ReshapePreservesData) {
+  Tensor t = Tensor::from_values({2, 3}, {1, 2, 3, 4, 5, 6});
+  const Tensor r = t.reshaped({3, 2});
+  EXPECT_EQ(r.dim(0), 3);
+  EXPECT_EQ(r.at(2, 1), 6.0f);
+  EXPECT_THROW(t.reshaped({4, 2}), InvalidArgument);
+}
+
+TEST(TensorTest, FromValuesValidatesCount) {
+  EXPECT_THROW(Tensor::from_values({2, 2}, {1.0f}), InvalidArgument);
+}
+
+TEST(TensorTest, ElementwiseOps) {
+  Tensor a = Tensor::from_values({3}, {1, 2, 3});
+  const Tensor b = Tensor::from_values({3}, {10, 20, 30});
+  a.add_(b);
+  EXPECT_EQ(a[2], 33.0f);
+  a.add_scaled_(b, -1.0f);
+  EXPECT_EQ(a[0], 1.0f);
+  a.mul_(2.0f);
+  EXPECT_EQ(a[1], 4.0f);
+  const Tensor c = a.added(b);
+  EXPECT_EQ(c[0], 12.0f);
+  EXPECT_EQ(a[0], 2.0f);  // a unchanged by added()
+}
+
+TEST(TensorTest, AddShapeMismatchThrows) {
+  Tensor a({2, 2});
+  const Tensor b({4});
+  EXPECT_THROW(a.add_(b), InvalidArgument);
+}
+
+TEST(TensorTest, Reductions) {
+  const Tensor t = Tensor::from_values({4}, {1, -2, 3, 6});
+  EXPECT_DOUBLE_EQ(t.sum(), 8.0);
+  EXPECT_DOUBLE_EQ(t.mean(), 2.0);
+  EXPECT_EQ(t.max_value(), 6.0f);
+}
+
+TEST(TensorTest, RandnIsDeterministicPerSeed) {
+  Rng r1(5), r2(5);
+  const Tensor a = Tensor::randn({100}, r1);
+  const Tensor b = Tensor::randn({100}, r2);
+  for (std::int64_t i = 0; i < 100; ++i) EXPECT_EQ(a[i], b[i]);
+}
+
+TEST(TensorTest, RandnMomentsRoughlyCorrect) {
+  Rng rng(17);
+  const Tensor t = Tensor::randn({20000}, rng, 2.0f, 0.5f);
+  EXPECT_NEAR(t.mean(), 2.0, 0.02);
+}
+
+TEST(TensorTest, RandUniformRespectsBounds) {
+  Rng rng(3);
+  const Tensor t = Tensor::rand_uniform({1000}, rng, -1.0f, 1.0f);
+  for (std::int64_t i = 0; i < t.numel(); ++i) {
+    ASSERT_GE(t[i], -1.0f);
+    ASSERT_LT(t[i], 1.0f);
+  }
+}
+
+TEST(TensorTest, NegativeShapeRejected) {
+  EXPECT_THROW(Tensor({2, -1}), InvalidArgument);
+}
+
+}  // namespace
+}  // namespace dcnas
