@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_ablation_nsga2"
+  "../bench/bench_ablation_nsga2.pdb"
+  "CMakeFiles/bench_ablation_nsga2.dir/bench_ablation_nsga2.cpp.o"
+  "CMakeFiles/bench_ablation_nsga2.dir/bench_ablation_nsga2.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_nsga2.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_ablation_space_pruning"
+  "../bench/bench_ablation_space_pruning.pdb"
+  "CMakeFiles/bench_ablation_space_pruning.dir/bench_ablation_space_pruning.cpp.o"
+  "CMakeFiles/bench_ablation_space_pruning.dir/bench_ablation_space_pruning.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_space_pruning.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig1_architecture"
+  "../bench/bench_fig1_architecture.pdb"
+  "CMakeFiles/bench_fig1_architecture.dir/bench_fig1_architecture.cpp.o"
+  "CMakeFiles/bench_fig1_architecture.dir/bench_fig1_architecture.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig1_architecture.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig2_searchspace"
+  "../bench/bench_fig2_searchspace.pdb"
+  "CMakeFiles/bench_fig2_searchspace.dir/bench_fig2_searchspace.cpp.o"
+  "CMakeFiles/bench_fig2_searchspace.dir/bench_fig2_searchspace.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig2_searchspace.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

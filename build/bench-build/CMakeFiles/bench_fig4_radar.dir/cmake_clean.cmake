@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig4_radar"
+  "../bench/bench_fig4_radar.pdb"
+  "CMakeFiles/bench_fig4_radar.dir/bench_fig4_radar.cpp.o"
+  "CMakeFiles/bench_fig4_radar.dir/bench_fig4_radar.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig4_radar.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_table2_predictors"
+  "../bench/bench_table2_predictors.pdb"
+  "CMakeFiles/bench_table2_predictors.dir/bench_table2_predictors.cpp.o"
+  "CMakeFiles/bench_table2_predictors.dir/bench_table2_predictors.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table2_predictors.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

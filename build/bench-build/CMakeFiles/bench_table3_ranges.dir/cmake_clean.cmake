@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_table3_ranges"
+  "../bench/bench_table3_ranges.pdb"
+  "CMakeFiles/bench_table3_ranges.dir/bench_table3_ranges.cpp.o"
+  "CMakeFiles/bench_table3_ranges.dir/bench_table3_ranges.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table3_ranges.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_table4_pareto_solutions"
+  "../bench/bench_table4_pareto_solutions.pdb"
+  "CMakeFiles/bench_table4_pareto_solutions.dir/bench_table4_pareto_solutions.cpp.o"
+  "CMakeFiles/bench_table4_pareto_solutions.dir/bench_table4_pareto_solutions.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table4_pareto_solutions.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

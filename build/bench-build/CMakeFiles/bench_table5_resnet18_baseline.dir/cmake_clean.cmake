@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_table5_resnet18_baseline"
+  "../bench/bench_table5_resnet18_baseline.pdb"
+  "CMakeFiles/bench_table5_resnet18_baseline.dir/bench_table5_resnet18_baseline.cpp.o"
+  "CMakeFiles/bench_table5_resnet18_baseline.dir/bench_table5_resnet18_baseline.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table5_resnet18_baseline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

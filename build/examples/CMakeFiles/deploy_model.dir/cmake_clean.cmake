@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/deploy_model.dir/deploy_model.cpp.o"
+  "CMakeFiles/deploy_model.dir/deploy_model.cpp.o.d"
+  "deploy_model"
+  "deploy_model.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/deploy_model.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/examples/drainage_pipeline.cpp" "examples/CMakeFiles/drainage_pipeline.dir/drainage_pipeline.cpp.o" "gcc" "examples/CMakeFiles/drainage_pipeline.dir/drainage_pipeline.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/dcnas_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/nas/CMakeFiles/dcnas_nas.dir/DependInfo.cmake"
+  "/root/repo/build/src/latency/CMakeFiles/dcnas_latency.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/dcnas_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/nn/CMakeFiles/dcnas_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/geodata/CMakeFiles/dcnas_geodata.dir/DependInfo.cmake"
+  "/root/repo/build/src/tensor/CMakeFiles/dcnas_tensor.dir/DependInfo.cmake"
+  "/root/repo/build/src/pareto/CMakeFiles/dcnas_pareto.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/dcnas_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/drainage_pipeline.dir/drainage_pipeline.cpp.o"
+  "CMakeFiles/drainage_pipeline.dir/drainage_pipeline.cpp.o.d"
+  "drainage_pipeline"
+  "drainage_pipeline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/drainage_pipeline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

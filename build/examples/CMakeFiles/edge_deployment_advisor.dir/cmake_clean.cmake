@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/edge_deployment_advisor.dir/edge_deployment_advisor.cpp.o"
+  "CMakeFiles/edge_deployment_advisor.dir/edge_deployment_advisor.cpp.o.d"
+  "edge_deployment_advisor"
+  "edge_deployment_advisor.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/edge_deployment_advisor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

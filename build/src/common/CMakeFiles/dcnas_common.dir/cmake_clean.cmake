@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dcnas_common.dir/src/cli.cpp.o"
+  "CMakeFiles/dcnas_common.dir/src/cli.cpp.o.d"
+  "CMakeFiles/dcnas_common.dir/src/csv.cpp.o"
+  "CMakeFiles/dcnas_common.dir/src/csv.cpp.o.d"
+  "CMakeFiles/dcnas_common.dir/src/logging.cpp.o"
+  "CMakeFiles/dcnas_common.dir/src/logging.cpp.o.d"
+  "CMakeFiles/dcnas_common.dir/src/profiler.cpp.o"
+  "CMakeFiles/dcnas_common.dir/src/profiler.cpp.o.d"
+  "CMakeFiles/dcnas_common.dir/src/stats.cpp.o"
+  "CMakeFiles/dcnas_common.dir/src/stats.cpp.o.d"
+  "CMakeFiles/dcnas_common.dir/src/strings.cpp.o"
+  "CMakeFiles/dcnas_common.dir/src/strings.cpp.o.d"
+  "CMakeFiles/dcnas_common.dir/src/thread_pool.cpp.o"
+  "CMakeFiles/dcnas_common.dir/src/thread_pool.cpp.o.d"
+  "libdcnas_common.a"
+  "libdcnas_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dcnas_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

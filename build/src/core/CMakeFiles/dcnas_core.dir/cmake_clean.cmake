@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dcnas_core.dir/src/pipeline.cpp.o"
+  "CMakeFiles/dcnas_core.dir/src/pipeline.cpp.o.d"
+  "CMakeFiles/dcnas_core.dir/src/report.cpp.o"
+  "CMakeFiles/dcnas_core.dir/src/report.cpp.o.d"
+  "libdcnas_core.a"
+  "libdcnas_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dcnas_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/geodata/src/augment.cpp" "src/geodata/CMakeFiles/dcnas_geodata.dir/src/augment.cpp.o" "gcc" "src/geodata/CMakeFiles/dcnas_geodata.dir/src/augment.cpp.o.d"
+  "/root/repo/src/geodata/src/dataset.cpp" "src/geodata/CMakeFiles/dcnas_geodata.dir/src/dataset.cpp.o" "gcc" "src/geodata/CMakeFiles/dcnas_geodata.dir/src/dataset.cpp.o.d"
+  "/root/repo/src/geodata/src/grid.cpp" "src/geodata/CMakeFiles/dcnas_geodata.dir/src/grid.cpp.o" "gcc" "src/geodata/CMakeFiles/dcnas_geodata.dir/src/grid.cpp.o.d"
+  "/root/repo/src/geodata/src/hydrology.cpp" "src/geodata/CMakeFiles/dcnas_geodata.dir/src/hydrology.cpp.o" "gcc" "src/geodata/CMakeFiles/dcnas_geodata.dir/src/hydrology.cpp.o.d"
+  "/root/repo/src/geodata/src/indices.cpp" "src/geodata/CMakeFiles/dcnas_geodata.dir/src/indices.cpp.o" "gcc" "src/geodata/CMakeFiles/dcnas_geodata.dir/src/indices.cpp.o.d"
+  "/root/repo/src/geodata/src/infrastructure.cpp" "src/geodata/CMakeFiles/dcnas_geodata.dir/src/infrastructure.cpp.o" "gcc" "src/geodata/CMakeFiles/dcnas_geodata.dir/src/infrastructure.cpp.o.d"
+  "/root/repo/src/geodata/src/kfold.cpp" "src/geodata/CMakeFiles/dcnas_geodata.dir/src/kfold.cpp.o" "gcc" "src/geodata/CMakeFiles/dcnas_geodata.dir/src/kfold.cpp.o.d"
+  "/root/repo/src/geodata/src/ortho.cpp" "src/geodata/CMakeFiles/dcnas_geodata.dir/src/ortho.cpp.o" "gcc" "src/geodata/CMakeFiles/dcnas_geodata.dir/src/ortho.cpp.o.d"
+  "/root/repo/src/geodata/src/region.cpp" "src/geodata/CMakeFiles/dcnas_geodata.dir/src/region.cpp.o" "gcc" "src/geodata/CMakeFiles/dcnas_geodata.dir/src/region.cpp.o.d"
+  "/root/repo/src/geodata/src/scene.cpp" "src/geodata/CMakeFiles/dcnas_geodata.dir/src/scene.cpp.o" "gcc" "src/geodata/CMakeFiles/dcnas_geodata.dir/src/scene.cpp.o.d"
+  "/root/repo/src/geodata/src/terrain.cpp" "src/geodata/CMakeFiles/dcnas_geodata.dir/src/terrain.cpp.o" "gcc" "src/geodata/CMakeFiles/dcnas_geodata.dir/src/terrain.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/tensor/CMakeFiles/dcnas_tensor.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/dcnas_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,31 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dcnas_geodata.dir/src/augment.cpp.o"
+  "CMakeFiles/dcnas_geodata.dir/src/augment.cpp.o.d"
+  "CMakeFiles/dcnas_geodata.dir/src/dataset.cpp.o"
+  "CMakeFiles/dcnas_geodata.dir/src/dataset.cpp.o.d"
+  "CMakeFiles/dcnas_geodata.dir/src/grid.cpp.o"
+  "CMakeFiles/dcnas_geodata.dir/src/grid.cpp.o.d"
+  "CMakeFiles/dcnas_geodata.dir/src/hydrology.cpp.o"
+  "CMakeFiles/dcnas_geodata.dir/src/hydrology.cpp.o.d"
+  "CMakeFiles/dcnas_geodata.dir/src/indices.cpp.o"
+  "CMakeFiles/dcnas_geodata.dir/src/indices.cpp.o.d"
+  "CMakeFiles/dcnas_geodata.dir/src/infrastructure.cpp.o"
+  "CMakeFiles/dcnas_geodata.dir/src/infrastructure.cpp.o.d"
+  "CMakeFiles/dcnas_geodata.dir/src/kfold.cpp.o"
+  "CMakeFiles/dcnas_geodata.dir/src/kfold.cpp.o.d"
+  "CMakeFiles/dcnas_geodata.dir/src/ortho.cpp.o"
+  "CMakeFiles/dcnas_geodata.dir/src/ortho.cpp.o.d"
+  "CMakeFiles/dcnas_geodata.dir/src/region.cpp.o"
+  "CMakeFiles/dcnas_geodata.dir/src/region.cpp.o.d"
+  "CMakeFiles/dcnas_geodata.dir/src/scene.cpp.o"
+  "CMakeFiles/dcnas_geodata.dir/src/scene.cpp.o.d"
+  "CMakeFiles/dcnas_geodata.dir/src/terrain.cpp.o"
+  "CMakeFiles/dcnas_geodata.dir/src/terrain.cpp.o.d"
+  "libdcnas_geodata.a"
+  "libdcnas_geodata.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dcnas_geodata.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

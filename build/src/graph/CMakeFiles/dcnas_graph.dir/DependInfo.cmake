@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/graph/src/builder.cpp" "src/graph/CMakeFiles/dcnas_graph.dir/src/builder.cpp.o" "gcc" "src/graph/CMakeFiles/dcnas_graph.dir/src/builder.cpp.o.d"
+  "/root/repo/src/graph/src/executor.cpp" "src/graph/CMakeFiles/dcnas_graph.dir/src/executor.cpp.o" "gcc" "src/graph/CMakeFiles/dcnas_graph.dir/src/executor.cpp.o.d"
+  "/root/repo/src/graph/src/fusion.cpp" "src/graph/CMakeFiles/dcnas_graph.dir/src/fusion.cpp.o" "gcc" "src/graph/CMakeFiles/dcnas_graph.dir/src/fusion.cpp.o.d"
+  "/root/repo/src/graph/src/ir.cpp" "src/graph/CMakeFiles/dcnas_graph.dir/src/ir.cpp.o" "gcc" "src/graph/CMakeFiles/dcnas_graph.dir/src/ir.cpp.o.d"
+  "/root/repo/src/graph/src/model_file.cpp" "src/graph/CMakeFiles/dcnas_graph.dir/src/model_file.cpp.o" "gcc" "src/graph/CMakeFiles/dcnas_graph.dir/src/model_file.cpp.o.d"
+  "/root/repo/src/graph/src/serialize.cpp" "src/graph/CMakeFiles/dcnas_graph.dir/src/serialize.cpp.o" "gcc" "src/graph/CMakeFiles/dcnas_graph.dir/src/serialize.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/nn/CMakeFiles/dcnas_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/tensor/CMakeFiles/dcnas_tensor.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/dcnas_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dcnas_graph.dir/src/builder.cpp.o"
+  "CMakeFiles/dcnas_graph.dir/src/builder.cpp.o.d"
+  "CMakeFiles/dcnas_graph.dir/src/executor.cpp.o"
+  "CMakeFiles/dcnas_graph.dir/src/executor.cpp.o.d"
+  "CMakeFiles/dcnas_graph.dir/src/fusion.cpp.o"
+  "CMakeFiles/dcnas_graph.dir/src/fusion.cpp.o.d"
+  "CMakeFiles/dcnas_graph.dir/src/ir.cpp.o"
+  "CMakeFiles/dcnas_graph.dir/src/ir.cpp.o.d"
+  "CMakeFiles/dcnas_graph.dir/src/model_file.cpp.o"
+  "CMakeFiles/dcnas_graph.dir/src/model_file.cpp.o.d"
+  "CMakeFiles/dcnas_graph.dir/src/serialize.cpp.o"
+  "CMakeFiles/dcnas_graph.dir/src/serialize.cpp.o.d"
+  "libdcnas_graph.a"
+  "libdcnas_graph.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dcnas_graph.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

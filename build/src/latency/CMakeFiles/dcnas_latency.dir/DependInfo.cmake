@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/latency/src/device.cpp" "src/latency/CMakeFiles/dcnas_latency.dir/src/device.cpp.o" "gcc" "src/latency/CMakeFiles/dcnas_latency.dir/src/device.cpp.o.d"
+  "/root/repo/src/latency/src/features.cpp" "src/latency/CMakeFiles/dcnas_latency.dir/src/features.cpp.o" "gcc" "src/latency/CMakeFiles/dcnas_latency.dir/src/features.cpp.o.d"
+  "/root/repo/src/latency/src/forest.cpp" "src/latency/CMakeFiles/dcnas_latency.dir/src/forest.cpp.o" "gcc" "src/latency/CMakeFiles/dcnas_latency.dir/src/forest.cpp.o.d"
+  "/root/repo/src/latency/src/persistence.cpp" "src/latency/CMakeFiles/dcnas_latency.dir/src/persistence.cpp.o" "gcc" "src/latency/CMakeFiles/dcnas_latency.dir/src/persistence.cpp.o.d"
+  "/root/repo/src/latency/src/predictor.cpp" "src/latency/CMakeFiles/dcnas_latency.dir/src/predictor.cpp.o" "gcc" "src/latency/CMakeFiles/dcnas_latency.dir/src/predictor.cpp.o.d"
+  "/root/repo/src/latency/src/simulator.cpp" "src/latency/CMakeFiles/dcnas_latency.dir/src/simulator.cpp.o" "gcc" "src/latency/CMakeFiles/dcnas_latency.dir/src/simulator.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/graph/CMakeFiles/dcnas_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/nn/CMakeFiles/dcnas_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/tensor/CMakeFiles/dcnas_tensor.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/dcnas_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dcnas_latency.dir/src/device.cpp.o"
+  "CMakeFiles/dcnas_latency.dir/src/device.cpp.o.d"
+  "CMakeFiles/dcnas_latency.dir/src/features.cpp.o"
+  "CMakeFiles/dcnas_latency.dir/src/features.cpp.o.d"
+  "CMakeFiles/dcnas_latency.dir/src/forest.cpp.o"
+  "CMakeFiles/dcnas_latency.dir/src/forest.cpp.o.d"
+  "CMakeFiles/dcnas_latency.dir/src/persistence.cpp.o"
+  "CMakeFiles/dcnas_latency.dir/src/persistence.cpp.o.d"
+  "CMakeFiles/dcnas_latency.dir/src/predictor.cpp.o"
+  "CMakeFiles/dcnas_latency.dir/src/predictor.cpp.o.d"
+  "CMakeFiles/dcnas_latency.dir/src/simulator.cpp.o"
+  "CMakeFiles/dcnas_latency.dir/src/simulator.cpp.o.d"
+  "libdcnas_latency.a"
+  "libdcnas_latency.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dcnas_latency.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dcnas_nas.dir/src/evaluator.cpp.o"
+  "CMakeFiles/dcnas_nas.dir/src/evaluator.cpp.o.d"
+  "CMakeFiles/dcnas_nas.dir/src/experiment.cpp.o"
+  "CMakeFiles/dcnas_nas.dir/src/experiment.cpp.o.d"
+  "CMakeFiles/dcnas_nas.dir/src/nsga2.cpp.o"
+  "CMakeFiles/dcnas_nas.dir/src/nsga2.cpp.o.d"
+  "CMakeFiles/dcnas_nas.dir/src/oracle.cpp.o"
+  "CMakeFiles/dcnas_nas.dir/src/oracle.cpp.o.d"
+  "CMakeFiles/dcnas_nas.dir/src/search_space.cpp.o"
+  "CMakeFiles/dcnas_nas.dir/src/search_space.cpp.o.d"
+  "CMakeFiles/dcnas_nas.dir/src/strategies.cpp.o"
+  "CMakeFiles/dcnas_nas.dir/src/strategies.cpp.o.d"
+  "libdcnas_nas.a"
+  "libdcnas_nas.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dcnas_nas.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,34 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/nn/src/activations.cpp" "src/nn/CMakeFiles/dcnas_nn.dir/src/activations.cpp.o" "gcc" "src/nn/CMakeFiles/dcnas_nn.dir/src/activations.cpp.o.d"
+  "/root/repo/src/nn/src/batchnorm.cpp" "src/nn/CMakeFiles/dcnas_nn.dir/src/batchnorm.cpp.o" "gcc" "src/nn/CMakeFiles/dcnas_nn.dir/src/batchnorm.cpp.o.d"
+  "/root/repo/src/nn/src/conv.cpp" "src/nn/CMakeFiles/dcnas_nn.dir/src/conv.cpp.o" "gcc" "src/nn/CMakeFiles/dcnas_nn.dir/src/conv.cpp.o.d"
+  "/root/repo/src/nn/src/init.cpp" "src/nn/CMakeFiles/dcnas_nn.dir/src/init.cpp.o" "gcc" "src/nn/CMakeFiles/dcnas_nn.dir/src/init.cpp.o.d"
+  "/root/repo/src/nn/src/linear.cpp" "src/nn/CMakeFiles/dcnas_nn.dir/src/linear.cpp.o" "gcc" "src/nn/CMakeFiles/dcnas_nn.dir/src/linear.cpp.o.d"
+  "/root/repo/src/nn/src/loss.cpp" "src/nn/CMakeFiles/dcnas_nn.dir/src/loss.cpp.o" "gcc" "src/nn/CMakeFiles/dcnas_nn.dir/src/loss.cpp.o.d"
+  "/root/repo/src/nn/src/metrics.cpp" "src/nn/CMakeFiles/dcnas_nn.dir/src/metrics.cpp.o" "gcc" "src/nn/CMakeFiles/dcnas_nn.dir/src/metrics.cpp.o.d"
+  "/root/repo/src/nn/src/module.cpp" "src/nn/CMakeFiles/dcnas_nn.dir/src/module.cpp.o" "gcc" "src/nn/CMakeFiles/dcnas_nn.dir/src/module.cpp.o.d"
+  "/root/repo/src/nn/src/optim.cpp" "src/nn/CMakeFiles/dcnas_nn.dir/src/optim.cpp.o" "gcc" "src/nn/CMakeFiles/dcnas_nn.dir/src/optim.cpp.o.d"
+  "/root/repo/src/nn/src/pooling.cpp" "src/nn/CMakeFiles/dcnas_nn.dir/src/pooling.cpp.o" "gcc" "src/nn/CMakeFiles/dcnas_nn.dir/src/pooling.cpp.o.d"
+  "/root/repo/src/nn/src/residual.cpp" "src/nn/CMakeFiles/dcnas_nn.dir/src/residual.cpp.o" "gcc" "src/nn/CMakeFiles/dcnas_nn.dir/src/residual.cpp.o.d"
+  "/root/repo/src/nn/src/resnet.cpp" "src/nn/CMakeFiles/dcnas_nn.dir/src/resnet.cpp.o" "gcc" "src/nn/CMakeFiles/dcnas_nn.dir/src/resnet.cpp.o.d"
+  "/root/repo/src/nn/src/sequential.cpp" "src/nn/CMakeFiles/dcnas_nn.dir/src/sequential.cpp.o" "gcc" "src/nn/CMakeFiles/dcnas_nn.dir/src/sequential.cpp.o.d"
+  "/root/repo/src/nn/src/trainer.cpp" "src/nn/CMakeFiles/dcnas_nn.dir/src/trainer.cpp.o" "gcc" "src/nn/CMakeFiles/dcnas_nn.dir/src/trainer.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/tensor/CMakeFiles/dcnas_tensor.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/dcnas_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,37 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dcnas_nn.dir/src/activations.cpp.o"
+  "CMakeFiles/dcnas_nn.dir/src/activations.cpp.o.d"
+  "CMakeFiles/dcnas_nn.dir/src/batchnorm.cpp.o"
+  "CMakeFiles/dcnas_nn.dir/src/batchnorm.cpp.o.d"
+  "CMakeFiles/dcnas_nn.dir/src/conv.cpp.o"
+  "CMakeFiles/dcnas_nn.dir/src/conv.cpp.o.d"
+  "CMakeFiles/dcnas_nn.dir/src/init.cpp.o"
+  "CMakeFiles/dcnas_nn.dir/src/init.cpp.o.d"
+  "CMakeFiles/dcnas_nn.dir/src/linear.cpp.o"
+  "CMakeFiles/dcnas_nn.dir/src/linear.cpp.o.d"
+  "CMakeFiles/dcnas_nn.dir/src/loss.cpp.o"
+  "CMakeFiles/dcnas_nn.dir/src/loss.cpp.o.d"
+  "CMakeFiles/dcnas_nn.dir/src/metrics.cpp.o"
+  "CMakeFiles/dcnas_nn.dir/src/metrics.cpp.o.d"
+  "CMakeFiles/dcnas_nn.dir/src/module.cpp.o"
+  "CMakeFiles/dcnas_nn.dir/src/module.cpp.o.d"
+  "CMakeFiles/dcnas_nn.dir/src/optim.cpp.o"
+  "CMakeFiles/dcnas_nn.dir/src/optim.cpp.o.d"
+  "CMakeFiles/dcnas_nn.dir/src/pooling.cpp.o"
+  "CMakeFiles/dcnas_nn.dir/src/pooling.cpp.o.d"
+  "CMakeFiles/dcnas_nn.dir/src/residual.cpp.o"
+  "CMakeFiles/dcnas_nn.dir/src/residual.cpp.o.d"
+  "CMakeFiles/dcnas_nn.dir/src/resnet.cpp.o"
+  "CMakeFiles/dcnas_nn.dir/src/resnet.cpp.o.d"
+  "CMakeFiles/dcnas_nn.dir/src/sequential.cpp.o"
+  "CMakeFiles/dcnas_nn.dir/src/sequential.cpp.o.d"
+  "CMakeFiles/dcnas_nn.dir/src/trainer.cpp.o"
+  "CMakeFiles/dcnas_nn.dir/src/trainer.cpp.o.d"
+  "libdcnas_nn.a"
+  "libdcnas_nn.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dcnas_nn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dcnas_pareto.dir/src/export.cpp.o"
+  "CMakeFiles/dcnas_pareto.dir/src/export.cpp.o.d"
+  "CMakeFiles/dcnas_pareto.dir/src/pareto.cpp.o"
+  "CMakeFiles/dcnas_pareto.dir/src/pareto.cpp.o.d"
+  "libdcnas_pareto.a"
+  "libdcnas_pareto.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dcnas_pareto.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dcnas_tensor.dir/src/gemm.cpp.o"
+  "CMakeFiles/dcnas_tensor.dir/src/gemm.cpp.o.d"
+  "CMakeFiles/dcnas_tensor.dir/src/im2col.cpp.o"
+  "CMakeFiles/dcnas_tensor.dir/src/im2col.cpp.o.d"
+  "CMakeFiles/dcnas_tensor.dir/src/ops.cpp.o"
+  "CMakeFiles/dcnas_tensor.dir/src/ops.cpp.o.d"
+  "CMakeFiles/dcnas_tensor.dir/src/tensor.cpp.o"
+  "CMakeFiles/dcnas_tensor.dir/src/tensor.cpp.o.d"
+  "libdcnas_tensor.a"
+  "libdcnas_tensor.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dcnas_tensor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

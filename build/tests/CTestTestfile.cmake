@@ -1,0 +1,15 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("common")
+subdirs("tensor")
+subdirs("nn")
+subdirs("graph")
+subdirs("latency")
+subdirs("geodata")
+subdirs("nas")
+subdirs("pareto")
+subdirs("core")

@@ -1,0 +1,24 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_common.dir/cli_test.cpp.o"
+  "CMakeFiles/test_common.dir/cli_test.cpp.o.d"
+  "CMakeFiles/test_common.dir/csv_test.cpp.o"
+  "CMakeFiles/test_common.dir/csv_test.cpp.o.d"
+  "CMakeFiles/test_common.dir/profiler_test.cpp.o"
+  "CMakeFiles/test_common.dir/profiler_test.cpp.o.d"
+  "CMakeFiles/test_common.dir/rng_test.cpp.o"
+  "CMakeFiles/test_common.dir/rng_test.cpp.o.d"
+  "CMakeFiles/test_common.dir/stats_test.cpp.o"
+  "CMakeFiles/test_common.dir/stats_test.cpp.o.d"
+  "CMakeFiles/test_common.dir/strings_test.cpp.o"
+  "CMakeFiles/test_common.dir/strings_test.cpp.o.d"
+  "CMakeFiles/test_common.dir/thread_pool_test.cpp.o"
+  "CMakeFiles/test_common.dir/thread_pool_test.cpp.o.d"
+  "test_common"
+  "test_common.pdb"
+  "test_common[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

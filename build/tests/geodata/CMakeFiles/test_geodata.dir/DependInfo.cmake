@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/geodata/augment_test.cpp" "tests/geodata/CMakeFiles/test_geodata.dir/augment_test.cpp.o" "gcc" "tests/geodata/CMakeFiles/test_geodata.dir/augment_test.cpp.o.d"
+  "/root/repo/tests/geodata/dataset_test.cpp" "tests/geodata/CMakeFiles/test_geodata.dir/dataset_test.cpp.o" "gcc" "tests/geodata/CMakeFiles/test_geodata.dir/dataset_test.cpp.o.d"
+  "/root/repo/tests/geodata/hydrology_test.cpp" "tests/geodata/CMakeFiles/test_geodata.dir/hydrology_test.cpp.o" "gcc" "tests/geodata/CMakeFiles/test_geodata.dir/hydrology_test.cpp.o.d"
+  "/root/repo/tests/geodata/kfold_test.cpp" "tests/geodata/CMakeFiles/test_geodata.dir/kfold_test.cpp.o" "gcc" "tests/geodata/CMakeFiles/test_geodata.dir/kfold_test.cpp.o.d"
+  "/root/repo/tests/geodata/scene_test.cpp" "tests/geodata/CMakeFiles/test_geodata.dir/scene_test.cpp.o" "gcc" "tests/geodata/CMakeFiles/test_geodata.dir/scene_test.cpp.o.d"
+  "/root/repo/tests/geodata/terrain_test.cpp" "tests/geodata/CMakeFiles/test_geodata.dir/terrain_test.cpp.o" "gcc" "tests/geodata/CMakeFiles/test_geodata.dir/terrain_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/geodata/CMakeFiles/dcnas_geodata.dir/DependInfo.cmake"
+  "/root/repo/build/src/tensor/CMakeFiles/dcnas_tensor.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/dcnas_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,22 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_geodata.dir/augment_test.cpp.o"
+  "CMakeFiles/test_geodata.dir/augment_test.cpp.o.d"
+  "CMakeFiles/test_geodata.dir/dataset_test.cpp.o"
+  "CMakeFiles/test_geodata.dir/dataset_test.cpp.o.d"
+  "CMakeFiles/test_geodata.dir/hydrology_test.cpp.o"
+  "CMakeFiles/test_geodata.dir/hydrology_test.cpp.o.d"
+  "CMakeFiles/test_geodata.dir/kfold_test.cpp.o"
+  "CMakeFiles/test_geodata.dir/kfold_test.cpp.o.d"
+  "CMakeFiles/test_geodata.dir/scene_test.cpp.o"
+  "CMakeFiles/test_geodata.dir/scene_test.cpp.o.d"
+  "CMakeFiles/test_geodata.dir/terrain_test.cpp.o"
+  "CMakeFiles/test_geodata.dir/terrain_test.cpp.o.d"
+  "test_geodata"
+  "test_geodata.pdb"
+  "test_geodata[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_geodata.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/graph/builder_test.cpp" "tests/graph/CMakeFiles/test_graph.dir/builder_test.cpp.o" "gcc" "tests/graph/CMakeFiles/test_graph.dir/builder_test.cpp.o.d"
+  "/root/repo/tests/graph/executor_test.cpp" "tests/graph/CMakeFiles/test_graph.dir/executor_test.cpp.o" "gcc" "tests/graph/CMakeFiles/test_graph.dir/executor_test.cpp.o.d"
+  "/root/repo/tests/graph/fusion_test.cpp" "tests/graph/CMakeFiles/test_graph.dir/fusion_test.cpp.o" "gcc" "tests/graph/CMakeFiles/test_graph.dir/fusion_test.cpp.o.d"
+  "/root/repo/tests/graph/ir_test.cpp" "tests/graph/CMakeFiles/test_graph.dir/ir_test.cpp.o" "gcc" "tests/graph/CMakeFiles/test_graph.dir/ir_test.cpp.o.d"
+  "/root/repo/tests/graph/model_file_test.cpp" "tests/graph/CMakeFiles/test_graph.dir/model_file_test.cpp.o" "gcc" "tests/graph/CMakeFiles/test_graph.dir/model_file_test.cpp.o.d"
+  "/root/repo/tests/graph/serialize_test.cpp" "tests/graph/CMakeFiles/test_graph.dir/serialize_test.cpp.o" "gcc" "tests/graph/CMakeFiles/test_graph.dir/serialize_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/graph/CMakeFiles/dcnas_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/nn/CMakeFiles/dcnas_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/tensor/CMakeFiles/dcnas_tensor.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/dcnas_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

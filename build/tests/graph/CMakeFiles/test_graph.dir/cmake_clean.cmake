@@ -1,0 +1,22 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_graph.dir/builder_test.cpp.o"
+  "CMakeFiles/test_graph.dir/builder_test.cpp.o.d"
+  "CMakeFiles/test_graph.dir/executor_test.cpp.o"
+  "CMakeFiles/test_graph.dir/executor_test.cpp.o.d"
+  "CMakeFiles/test_graph.dir/fusion_test.cpp.o"
+  "CMakeFiles/test_graph.dir/fusion_test.cpp.o.d"
+  "CMakeFiles/test_graph.dir/ir_test.cpp.o"
+  "CMakeFiles/test_graph.dir/ir_test.cpp.o.d"
+  "CMakeFiles/test_graph.dir/model_file_test.cpp.o"
+  "CMakeFiles/test_graph.dir/model_file_test.cpp.o.d"
+  "CMakeFiles/test_graph.dir/serialize_test.cpp.o"
+  "CMakeFiles/test_graph.dir/serialize_test.cpp.o.d"
+  "test_graph"
+  "test_graph.pdb"
+  "test_graph[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_graph.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_latency.dir/calibration_test.cpp.o"
+  "CMakeFiles/test_latency.dir/calibration_test.cpp.o.d"
+  "CMakeFiles/test_latency.dir/device_test.cpp.o"
+  "CMakeFiles/test_latency.dir/device_test.cpp.o.d"
+  "CMakeFiles/test_latency.dir/forest_test.cpp.o"
+  "CMakeFiles/test_latency.dir/forest_test.cpp.o.d"
+  "CMakeFiles/test_latency.dir/model_space_property_test.cpp.o"
+  "CMakeFiles/test_latency.dir/model_space_property_test.cpp.o.d"
+  "CMakeFiles/test_latency.dir/persistence_test.cpp.o"
+  "CMakeFiles/test_latency.dir/persistence_test.cpp.o.d"
+  "CMakeFiles/test_latency.dir/predictor_test.cpp.o"
+  "CMakeFiles/test_latency.dir/predictor_test.cpp.o.d"
+  "CMakeFiles/test_latency.dir/simulator_test.cpp.o"
+  "CMakeFiles/test_latency.dir/simulator_test.cpp.o.d"
+  "test_latency"
+  "test_latency.pdb"
+  "test_latency[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_latency.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

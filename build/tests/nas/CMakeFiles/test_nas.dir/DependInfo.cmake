@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/nas/evaluator_test.cpp" "tests/nas/CMakeFiles/test_nas.dir/evaluator_test.cpp.o" "gcc" "tests/nas/CMakeFiles/test_nas.dir/evaluator_test.cpp.o.d"
+  "/root/repo/tests/nas/experiment_test.cpp" "tests/nas/CMakeFiles/test_nas.dir/experiment_test.cpp.o" "gcc" "tests/nas/CMakeFiles/test_nas.dir/experiment_test.cpp.o.d"
+  "/root/repo/tests/nas/nsga2_test.cpp" "tests/nas/CMakeFiles/test_nas.dir/nsga2_test.cpp.o" "gcc" "tests/nas/CMakeFiles/test_nas.dir/nsga2_test.cpp.o.d"
+  "/root/repo/tests/nas/oracle_test.cpp" "tests/nas/CMakeFiles/test_nas.dir/oracle_test.cpp.o" "gcc" "tests/nas/CMakeFiles/test_nas.dir/oracle_test.cpp.o.d"
+  "/root/repo/tests/nas/search_space_test.cpp" "tests/nas/CMakeFiles/test_nas.dir/search_space_test.cpp.o" "gcc" "tests/nas/CMakeFiles/test_nas.dir/search_space_test.cpp.o.d"
+  "/root/repo/tests/nas/strategies_test.cpp" "tests/nas/CMakeFiles/test_nas.dir/strategies_test.cpp.o" "gcc" "tests/nas/CMakeFiles/test_nas.dir/strategies_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/nas/CMakeFiles/dcnas_nas.dir/DependInfo.cmake"
+  "/root/repo/build/src/latency/CMakeFiles/dcnas_latency.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/dcnas_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/nn/CMakeFiles/dcnas_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/geodata/CMakeFiles/dcnas_geodata.dir/DependInfo.cmake"
+  "/root/repo/build/src/tensor/CMakeFiles/dcnas_tensor.dir/DependInfo.cmake"
+  "/root/repo/build/src/pareto/CMakeFiles/dcnas_pareto.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/dcnas_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

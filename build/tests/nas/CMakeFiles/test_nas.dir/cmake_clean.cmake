@@ -1,0 +1,22 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_nas.dir/evaluator_test.cpp.o"
+  "CMakeFiles/test_nas.dir/evaluator_test.cpp.o.d"
+  "CMakeFiles/test_nas.dir/experiment_test.cpp.o"
+  "CMakeFiles/test_nas.dir/experiment_test.cpp.o.d"
+  "CMakeFiles/test_nas.dir/nsga2_test.cpp.o"
+  "CMakeFiles/test_nas.dir/nsga2_test.cpp.o.d"
+  "CMakeFiles/test_nas.dir/oracle_test.cpp.o"
+  "CMakeFiles/test_nas.dir/oracle_test.cpp.o.d"
+  "CMakeFiles/test_nas.dir/search_space_test.cpp.o"
+  "CMakeFiles/test_nas.dir/search_space_test.cpp.o.d"
+  "CMakeFiles/test_nas.dir/strategies_test.cpp.o"
+  "CMakeFiles/test_nas.dir/strategies_test.cpp.o.d"
+  "test_nas"
+  "test_nas.pdb"
+  "test_nas[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_nas.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

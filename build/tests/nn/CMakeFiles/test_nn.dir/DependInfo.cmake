@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/nn/conv_reference_test.cpp" "tests/nn/CMakeFiles/test_nn.dir/conv_reference_test.cpp.o" "gcc" "tests/nn/CMakeFiles/test_nn.dir/conv_reference_test.cpp.o.d"
+  "/root/repo/tests/nn/gradcheck_test.cpp" "tests/nn/CMakeFiles/test_nn.dir/gradcheck_test.cpp.o" "gcc" "tests/nn/CMakeFiles/test_nn.dir/gradcheck_test.cpp.o.d"
+  "/root/repo/tests/nn/layers_test.cpp" "tests/nn/CMakeFiles/test_nn.dir/layers_test.cpp.o" "gcc" "tests/nn/CMakeFiles/test_nn.dir/layers_test.cpp.o.d"
+  "/root/repo/tests/nn/loss_optim_test.cpp" "tests/nn/CMakeFiles/test_nn.dir/loss_optim_test.cpp.o" "gcc" "tests/nn/CMakeFiles/test_nn.dir/loss_optim_test.cpp.o.d"
+  "/root/repo/tests/nn/metrics_test.cpp" "tests/nn/CMakeFiles/test_nn.dir/metrics_test.cpp.o" "gcc" "tests/nn/CMakeFiles/test_nn.dir/metrics_test.cpp.o.d"
+  "/root/repo/tests/nn/resnet_test.cpp" "tests/nn/CMakeFiles/test_nn.dir/resnet_test.cpp.o" "gcc" "tests/nn/CMakeFiles/test_nn.dir/resnet_test.cpp.o.d"
+  "/root/repo/tests/nn/trainer_test.cpp" "tests/nn/CMakeFiles/test_nn.dir/trainer_test.cpp.o" "gcc" "tests/nn/CMakeFiles/test_nn.dir/trainer_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/nn/CMakeFiles/dcnas_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/tensor/CMakeFiles/dcnas_tensor.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/dcnas_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

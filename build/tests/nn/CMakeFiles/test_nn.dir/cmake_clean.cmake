@@ -1,0 +1,24 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_nn.dir/conv_reference_test.cpp.o"
+  "CMakeFiles/test_nn.dir/conv_reference_test.cpp.o.d"
+  "CMakeFiles/test_nn.dir/gradcheck_test.cpp.o"
+  "CMakeFiles/test_nn.dir/gradcheck_test.cpp.o.d"
+  "CMakeFiles/test_nn.dir/layers_test.cpp.o"
+  "CMakeFiles/test_nn.dir/layers_test.cpp.o.d"
+  "CMakeFiles/test_nn.dir/loss_optim_test.cpp.o"
+  "CMakeFiles/test_nn.dir/loss_optim_test.cpp.o.d"
+  "CMakeFiles/test_nn.dir/metrics_test.cpp.o"
+  "CMakeFiles/test_nn.dir/metrics_test.cpp.o.d"
+  "CMakeFiles/test_nn.dir/resnet_test.cpp.o"
+  "CMakeFiles/test_nn.dir/resnet_test.cpp.o.d"
+  "CMakeFiles/test_nn.dir/trainer_test.cpp.o"
+  "CMakeFiles/test_nn.dir/trainer_test.cpp.o.d"
+  "test_nn"
+  "test_nn.pdb"
+  "test_nn[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_nn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

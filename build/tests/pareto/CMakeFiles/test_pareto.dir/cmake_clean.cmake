@@ -1,0 +1,14 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_pareto.dir/export_test.cpp.o"
+  "CMakeFiles/test_pareto.dir/export_test.cpp.o.d"
+  "CMakeFiles/test_pareto.dir/pareto_test.cpp.o"
+  "CMakeFiles/test_pareto.dir/pareto_test.cpp.o.d"
+  "test_pareto"
+  "test_pareto.pdb"
+  "test_pareto[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_pareto.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
