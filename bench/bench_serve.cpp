@@ -1,0 +1,236 @@
+/// bench_serve — measured serving performance of the deployed DCNX artifact.
+///
+/// Reproduction payload: trains/saves a small drainage model, then drives
+/// the src/serve subsystem (registry -> dynamic batcher -> workers) with 64
+/// requests per batching policy, sweeping max_batch 1..32. Emits a table of
+/// throughput (img/s) and p50/p95/p99 end-to-end latency per policy, plus
+/// BENCH_serve.json for downstream tooling. The nn-Meter-style predicted
+/// latency for the same architecture is printed alongside, so the paper's
+/// analytic latency objective can be compared against a real runtime.
+
+#include "bench_common.hpp"
+
+#include <chrono>
+#include <cstdio>
+#include <filesystem>
+#include <memory>
+#include <vector>
+
+#include "dcnas/geodata/dataset.hpp"
+#include "dcnas/graph/builder.hpp"
+#include "dcnas/graph/model_file.hpp"
+#include "dcnas/latency/predictor.hpp"
+#include "dcnas/nas/search_space.hpp"
+#include "dcnas/nn/trainer.hpp"
+#include "dcnas/serve/server.hpp"
+
+namespace {
+
+using namespace dcnas;
+
+constexpr std::int64_t kChipSize = 24;
+constexpr int kRequestsPerPolicy = 64;
+constexpr std::size_t kWorkers = 2;
+
+struct ServeBenchContext {
+  nas::TrialConfig cfg;
+  std::shared_ptr<serve::ModelRegistry> registry;
+  std::shared_ptr<const graph::GraphExecutor> exec;
+  std::vector<Tensor> inputs;
+};
+
+/// Trains the small model once, registers it, and pre-generates inputs.
+ServeBenchContext& ctx() {
+  static ServeBenchContext c = [] {
+    ServeBenchContext out;
+    geodata::DatasetOptions dopt;
+    dopt.scale = 1.0 / 128.0;
+    dopt.chip_size = kChipSize;
+    dopt.scene_size = 160;
+    dopt.channels = 5;
+    const auto ds = geodata::build_dataset(dopt);
+
+    out.cfg = nas::TrialConfig::baseline(5, 8);
+    out.cfg.initial_output_feature = 32;
+    out.cfg.kernel_size = 3;
+    out.cfg.padding = 1;
+    Rng rng(17);
+    nn::ConfigurableResNet model(out.cfg.to_resnet_config(), rng);
+    nn::TrainOptions topt;
+    topt.epochs = 1;
+    topt.batch_size = out.cfg.batch;
+    topt.lr = 0.02;
+    nn::fit(model, ds.images, ds.labels, topt);
+    model.set_training(false);
+
+    graph::GraphExecutor exec(
+        graph::build_resnet_graph(out.cfg.to_resnet_config(), kChipSize),
+        model);
+    exec.fold_batchnorm();
+    const std::string path =
+        (std::filesystem::temp_directory_path() / "bench_serve.dcnx").string();
+    graph::save_model(exec, path);
+
+    out.registry = std::make_shared<serve::ModelRegistry>();
+    out.registry->load("drainage", path);
+    std::filesystem::remove(path);
+    out.exec = out.registry->get("drainage");
+
+    Rng request_rng(4242);
+    for (int i = 0; i < kRequestsPerPolicy; ++i) {
+      out.inputs.push_back(Tensor::rand_uniform(
+          {1, 5, kChipSize, kChipSize}, request_rng, -1.0f, 1.0f));
+    }
+    return out;
+  }();
+  return c;
+}
+
+struct PolicyResult {
+  std::int64_t max_batch = 0;
+  double throughput = 0.0;
+  serve::LatencySummary latency;
+  std::int64_t errors = 0;
+};
+
+PolicyResult run_policy(std::int64_t max_batch) {
+  ServeBenchContext& c = ctx();
+  serve::ServerOptions sopt;
+  sopt.num_workers = kWorkers;
+  sopt.batch.max_batch = max_batch;
+  sopt.batch.max_delay = std::chrono::microseconds(2000);
+  serve::Server server(c.registry, sopt);
+
+  const auto t0 = std::chrono::steady_clock::now();
+  std::vector<std::future<Tensor>> futures;
+  futures.reserve(c.inputs.size());
+  for (const Tensor& input : c.inputs) {
+    futures.push_back(server.submit("drainage", input));
+  }
+  for (auto& f : futures) f.get();
+  const double seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+          .count();
+
+  PolicyResult r;
+  r.max_batch = max_batch;
+  r.throughput = static_cast<double>(c.inputs.size()) / seconds;
+  r.latency = server.metrics().latency_summary("drainage");
+  r.errors = server.metrics().error_count("drainage");
+  server.shutdown();
+  return r;
+}
+
+void write_json(const std::vector<PolicyResult>& results, double pred_mean_ms,
+                double pred_std_ms) {
+  std::FILE* f = std::fopen("BENCH_serve.json", "w");
+  if (!f) {
+    std::printf("WARNING: cannot write BENCH_serve.json\n");
+    return;
+  }
+  std::fprintf(f, "{\n  \"bench\": \"serve\",\n");
+  std::fprintf(f, "  \"model\": \"drainage-24px-fold\",\n");
+  std::fprintf(f, "  \"workers\": %zu,\n", kWorkers);
+  std::fprintf(f, "  \"requests_per_policy\": %d,\n", kRequestsPerPolicy);
+  std::fprintf(f,
+               "  \"predicted_latency_224_ms\": {\"mean\": %.4f, \"std\": "
+               "%.4f},\n",
+               pred_mean_ms, pred_std_ms);
+  std::fprintf(f, "  \"policies\": [\n");
+  for (std::size_t i = 0; i < results.size(); ++i) {
+    const PolicyResult& r = results[i];
+    std::fprintf(f,
+                 "    {\"max_batch\": %lld, \"throughput_img_per_s\": %.2f, "
+                 "\"p50_ms\": %.3f, \"p95_ms\": %.3f, \"p99_ms\": %.3f, "
+                 "\"mean_ms\": %.3f, \"errors\": %lld}%s\n",
+                 static_cast<long long>(r.max_batch), r.throughput,
+                 r.latency.p50_ms, r.latency.p95_ms, r.latency.p99_ms,
+                 r.latency.mean_ms, static_cast<long long>(r.errors),
+                 i + 1 < results.size() ? "," : "");
+  }
+  std::fprintf(f, "  ]\n}\n");
+  std::fclose(f);
+  std::printf("wrote BENCH_serve.json\n");
+}
+
+void print_report() {
+  std::printf("bench_serve: dynamic-batching throughput/latency sweep\n");
+  std::printf("(%d requests per policy, %zu workers, 2ms max queue delay)\n\n",
+              kRequestsPerPolicy, kWorkers);
+  ServeBenchContext& c = ctx();
+
+  std::vector<PolicyResult> results;
+  std::printf("max_batch  throughput(img/s)   p50ms   p95ms   p99ms  errors\n");
+  for (const std::int64_t max_batch : {1, 2, 4, 8, 16, 32}) {
+    const PolicyResult r = run_policy(max_batch);
+    std::printf("%9lld %18.1f %7.2f %7.2f %7.2f %7lld\n",
+                static_cast<long long>(r.max_batch), r.throughput,
+                r.latency.p50_ms, r.latency.p95_ms, r.latency.p99_ms,
+                static_cast<long long>(r.errors));
+    results.push_back(r);
+  }
+
+  const auto pred = latency::NnMeter::shared().predict_graph(
+      graph::build_resnet_graph(c.cfg.to_resnet_config()));
+  std::printf("\npredicted deployment latency (224px, 4 edge devices): "
+              "mean %.2f ms, std %.2f ms\n", pred.mean_ms, pred.std_ms);
+  std::printf("(measured numbers above are 24px end-to-end serving latency "
+              "on this host — the runtime the predictor's ranking claims "
+              "are checked against)\n");
+  write_json(results, pred.mean_ms, pred.std_ms);
+}
+
+void BM_DirectRunBatch(benchmark::State& state) {
+  ServeBenchContext& c = ctx();
+  const std::int64_t batch = state.range(0);
+  Rng rng(7);
+  const Tensor input = Tensor::rand_uniform({batch, 5, kChipSize, kChipSize},
+                                            rng, -1.0f, 1.0f);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(c.exec->run(input));
+  }
+  state.SetItemsProcessed(state.iterations() * batch);
+}
+BENCHMARK(BM_DirectRunBatch)->Arg(1)->Arg(8)->Arg(32);
+
+void BM_ServeRoundTripUnbatched(benchmark::State& state) {
+  ServeBenchContext& c = ctx();
+  serve::ServerOptions sopt;
+  sopt.num_workers = kWorkers;
+  sopt.batch.max_batch = 1;
+  sopt.batch.max_delay = std::chrono::microseconds(0);
+  serve::Server server(c.registry, sopt);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        server.submit("drainage", c.inputs.front()).get());
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_ServeRoundTripUnbatched);
+
+void BM_ServeBurstBatch8(benchmark::State& state) {
+  ServeBenchContext& c = ctx();
+  serve::ServerOptions sopt;
+  sopt.num_workers = kWorkers;
+  sopt.batch.max_batch = 8;
+  sopt.batch.max_delay = std::chrono::microseconds(500);
+  serve::Server server(c.registry, sopt);
+  for (auto _ : state) {
+    std::vector<std::future<Tensor>> futures;
+    futures.reserve(16);
+    for (int i = 0; i < 16; ++i) {
+      futures.push_back(
+          server.submit("drainage",
+                        c.inputs[static_cast<std::size_t>(i)]));
+    }
+    for (auto& f : futures) f.get();
+  }
+  state.SetItemsProcessed(state.iterations() * 16);
+}
+BENCHMARK(BM_ServeBurstBatch8);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  return dcnas::bench::run(argc, argv, print_report);
+}

@@ -34,6 +34,15 @@ class GraphExecutor {
   GraphExecutor(ModelGraph graph, nn::ConfigurableResNet& model);
 
   /// Runs batch inference (NCHW). BatchNorm uses running statistics.
+  ///
+  /// Thread safety: run() is const and reentrant. All per-invocation
+  /// scratch (the im2col column buffer, intermediate activations) lives on
+  /// the calling thread's stack, and the executor's own state (graph,
+  /// weights, identity flags) is only read — so any number of threads may
+  /// run() one executor concurrently (the serving subsystem relies on
+  /// this). The mutating calls, fold_batchnorm() and destruction, must be
+  /// externally synchronized against concurrent run() calls: fold before
+  /// sharing the executor across threads.
   Tensor run(const Tensor& input) const;
 
   /// Folds every Conv->BatchNorm pair (BN the conv's sole consumer) into

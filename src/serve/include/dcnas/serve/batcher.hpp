@@ -1,0 +1,111 @@
+#pragma once
+/// \file batcher.hpp
+/// \brief Dynamic request batching: merges single-image requests into
+/// batched NCHW tensors under a max-batch / max-queue-delay policy.
+///
+/// Producers call enqueue() and get a future for their single image's
+/// output; consumers (server workers) call next_batch() and receive merged
+/// (B,C,H,W) inputs plus the pending requests to answer. A batch is released
+/// as soon as max_batch requests of one model are waiting, or when the
+/// oldest waiting request has aged max_delay — whichever comes first — so
+/// light traffic pays at most max_delay of extra latency while heavy
+/// traffic amortizes the per-batch cost across full batches.
+///
+/// Backpressure is rejection, not buffering: once queue_capacity requests
+/// are pending, enqueue() throws RejectedError instead of growing the queue
+/// without bound.
+
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <future>
+#include <map>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "dcnas/common/error.hpp"
+#include "dcnas/tensor/tensor.hpp"
+
+namespace dcnas::serve {
+
+/// Thrown on backpressure (pending queue full) and on enqueue after close().
+class RejectedError : public Error {
+ public:
+  explicit RejectedError(const std::string& what) : Error(what) {}
+};
+
+/// Batching policy knobs.
+struct BatchPolicy {
+  std::int64_t max_batch = 8;  ///< requests merged per executor call (>= 1)
+  std::chrono::microseconds max_delay{2000};  ///< max wait for a fuller batch
+  std::size_t queue_capacity = 1024;  ///< pending bound across all models
+
+  /// Throws InvalidArgument when values are out of range.
+  void validate() const;
+};
+
+/// One admitted single-image request.
+struct PendingRequest {
+  std::string model;
+  Tensor input;  ///< (C, H, W)
+  std::promise<Tensor> promise;
+  std::chrono::steady_clock::time_point admitted;
+};
+
+/// A released batch: requests share one model and image shape, in admission
+/// order; input is the merged (B, C, H, W) tensor.
+struct Batch {
+  std::string model;
+  Tensor input;
+  std::vector<PendingRequest> requests;
+  std::int64_t size() const {
+    return static_cast<std::int64_t>(requests.size());
+  }
+};
+
+/// Thread-safe multi-producer / multi-consumer batching queue with one
+/// sub-queue per model (a batch never mixes models or image shapes).
+class DynamicBatcher {
+ public:
+  explicit DynamicBatcher(BatchPolicy policy);
+
+  /// Admits one image — (C,H,W), or (1,C,H,W) which is squeezed — and
+  /// returns the future for its output. Throws RejectedError when the
+  /// pending queue is full or the batcher is closed, InvalidArgument on a
+  /// malformed input shape.
+  std::future<Tensor> enqueue(const std::string& model, const Tensor& input);
+
+  /// Blocks until a batch is due (full, aged out, or draining after
+  /// close()); returns nullopt once closed and fully drained.
+  std::optional<Batch> next_batch();
+
+  /// Stops admissions and wakes all next_batch() waiters; already-pending
+  /// requests remain poppable so consumers can drain without loss.
+  void close();
+
+  bool closed() const;
+
+  /// Requests admitted but not yet handed to a consumer.
+  std::size_t pending() const;
+
+  const BatchPolicy& policy() const { return policy_; }
+
+ private:
+  using Queue = std::deque<PendingRequest>;
+
+  /// The model queue whose head request is oldest (end() when all empty).
+  std::map<std::string, Queue>::iterator oldest_queue_locked();
+  Batch pop_batch_locked(std::map<std::string, Queue>::iterator it);
+
+  BatchPolicy policy_;
+  mutable std::mutex mu_;
+  std::condition_variable cv_pending_;
+  std::map<std::string, Queue> queues_;
+  std::size_t total_pending_ = 0;
+  bool closed_ = false;
+};
+
+}  // namespace dcnas::serve

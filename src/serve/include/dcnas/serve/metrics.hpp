@@ -1,0 +1,69 @@
+#pragma once
+/// \file metrics.hpp
+/// \brief Per-model serving metrics: request/error counters, batch-size
+/// histogram, and latency percentiles.
+///
+/// The latency numbers here are *measured end-to-end serving latency*
+/// (admission -> response), the quantity the paper's latency objective
+/// predicts analytically. bench_serve compares these measurements against
+/// the latency-predictor path so the predictor's claims can be checked
+/// against a real runtime instead of only the simulator.
+
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace dcnas::serve {
+
+/// Latency percentiles over all completed requests of one model.
+struct LatencySummary {
+  std::size_t count = 0;
+  double mean_ms = 0.0;
+  double p50_ms = 0.0;
+  double p95_ms = 0.0;
+  double p99_ms = 0.0;
+};
+
+/// Thread-safe accumulator shared by all server workers. All methods may be
+/// called concurrently; reads observe a consistent snapshot.
+class ServingMetrics {
+ public:
+  /// Records one successfully answered request and its end-to-end latency.
+  void record_request(const std::string& model, double latency_ms);
+
+  /// Records one failed or rejected request.
+  void record_error(const std::string& model);
+
+  /// Records one executed batch of \p batch_size requests.
+  void record_batch(const std::string& model, std::int64_t batch_size);
+
+  std::int64_t request_count(const std::string& model) const;
+  std::int64_t error_count(const std::string& model) const;
+
+  /// p50/p95/p99/mean over completed requests (zeros when none).
+  LatencySummary latency_summary(const std::string& model) const;
+
+  /// batch size -> number of batches executed at that size.
+  std::map<std::int64_t, std::int64_t> batch_histogram(
+      const std::string& model) const;
+
+  /// Aligned text table: one row per model plus its batch histogram.
+  std::string stats_report() const;
+
+  void reset();
+
+ private:
+  struct PerModel {
+    std::int64_t requests = 0;
+    std::int64_t errors = 0;
+    std::map<std::int64_t, std::int64_t> batch_hist;
+    std::vector<double> latencies_ms;
+  };
+
+  mutable std::mutex mu_;
+  std::map<std::string, PerModel> models_;
+};
+
+}  // namespace dcnas::serve

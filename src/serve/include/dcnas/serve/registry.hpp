@@ -1,0 +1,74 @@
+#pragma once
+/// \file registry.hpp
+/// \brief Model registry: loads DCNX artifacts into ready GraphExecutors and
+/// caches them by name with hot-swap and LRU eviction.
+///
+/// Executors are handed out as shared_ptr<const GraphExecutor>, so a
+/// hot-swap (re-registering a name) or an eviction never invalidates an
+/// executor a worker is mid-inference with — the old instance stays alive
+/// until its last holder drops it. GraphExecutor::run() is const and
+/// reentrant (see executor.hpp), so one cached instance serves all workers.
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "dcnas/graph/model_file.hpp"
+
+namespace dcnas::serve {
+
+/// Thread-safe name -> executor cache.
+class ModelRegistry {
+ public:
+  /// \p capacity bounds the number of resident models; 0 means unbounded.
+  /// Registering past capacity evicts the least-recently-used other model.
+  explicit ModelRegistry(std::size_t capacity = 0);
+
+  /// Registers (or hot-swaps) \p name; returns the new version number.
+  /// Versions start at 1 and survive eviction, so a reloaded model never
+  /// reuses a stale version number.
+  int register_model(const std::string& name, graph::GraphExecutor exec);
+
+  /// Loads a DCNX file via graph::load_model and registers it.
+  int load(const std::string& name, const std::string& path);
+
+  /// Returns the resident executor and bumps its LRU recency. Throws
+  /// InvalidArgument when \p name is not registered.
+  std::shared_ptr<const graph::GraphExecutor> get(
+      const std::string& name) const;
+
+  bool contains(const std::string& name) const;
+
+  /// Drops the resident executor (in-flight holders keep theirs alive).
+  /// Returns false when \p name was not resident.
+  bool evict(const std::string& name);
+
+  /// Latest version registered under \p name (0 when never registered).
+  int version(const std::string& name) const;
+
+  /// Currently resident model names, sorted.
+  std::vector<std::string> names() const;
+
+  std::size_t size() const;
+  std::size_t capacity() const { return capacity_; }
+
+ private:
+  struct Entry {
+    std::shared_ptr<const graph::GraphExecutor> exec;
+    int version = 0;
+    std::uint64_t last_used = 0;
+  };
+
+  void evict_lru_locked(const std::string& keep);
+
+  mutable std::mutex mu_;
+  mutable std::uint64_t tick_ = 0;
+  std::size_t capacity_;
+  mutable std::map<std::string, Entry> entries_;  ///< mutable: get() bumps LRU
+  std::map<std::string, int> versions_;  ///< monotone, survives eviction
+};
+
+}  // namespace dcnas::serve

@@ -1,0 +1,72 @@
+#pragma once
+/// \file server.hpp
+/// \brief Concurrent inference server: registry -> dynamic batcher ->
+/// worker threads -> per-model metrics.
+///
+/// submit() admits one image and returns a future; worker threads (a
+/// dedicated dcnas::ThreadPool) pop merged batches, look the model up in
+/// the ModelRegistry, run the (const, reentrant) GraphExecutor, and answer
+/// each request's future with its row of the batched output. Overload is
+/// surfaced as RejectedError from submit() — the queue never grows past
+/// BatchPolicy.queue_capacity. shutdown() (also run by the destructor)
+/// stops admissions, drains every in-flight request, and joins the workers,
+/// so no accepted request is ever dropped.
+
+#include <atomic>
+#include <future>
+#include <memory>
+#include <string>
+
+#include "dcnas/common/thread_pool.hpp"
+#include "dcnas/serve/batcher.hpp"
+#include "dcnas/serve/metrics.hpp"
+#include "dcnas/serve/registry.hpp"
+
+namespace dcnas::serve {
+
+struct ServerOptions {
+  std::size_t num_workers = 2;  ///< batch-executing threads (0 means 1)
+  BatchPolicy batch;
+};
+
+class Server {
+ public:
+  Server(std::shared_ptr<ModelRegistry> registry, ServerOptions options = {});
+
+  /// Drains and joins (shutdown()).
+  ~Server();
+
+  Server(const Server&) = delete;
+  Server& operator=(const Server&) = delete;
+
+  /// Admits one image — (C,H,W) or (1,C,H,W) — for \p model. The future
+  /// yields the model output for that image alone, shaped as a batch of one
+  /// (e.g. (1, num_classes)); an unknown model or a failed run surfaces as
+  /// an exception on the future. Throws RejectedError under overload or
+  /// after shutdown.
+  std::future<Tensor> submit(const std::string& model, const Tensor& input);
+
+  /// Graceful stop: reject new work, drain all accepted requests, join
+  /// workers. Idempotent.
+  void shutdown();
+
+  const ServingMetrics& metrics() const { return metrics_; }
+  ModelRegistry& registry() { return *registry_; }
+  std::size_t pending() const { return batcher_.pending(); }
+
+  /// metrics().stats_report() convenience.
+  std::string stats_report() const { return metrics_.stats_report(); }
+
+ private:
+  void worker_loop();
+  void handle_batch(Batch&& batch);
+
+  std::shared_ptr<ModelRegistry> registry_;
+  ServerOptions options_;
+  DynamicBatcher batcher_;
+  ServingMetrics metrics_;
+  std::atomic<bool> shut_down_{false};
+  ThreadPool pool_;  ///< last member: destroyed (joined) first
+};
+
+}  // namespace dcnas::serve

@@ -1,0 +1,138 @@
+#include "dcnas/serve/batcher.hpp"
+
+#include <cstring>
+
+namespace dcnas::serve {
+
+namespace {
+
+/// Normalizes an accepted input to (C, H, W).
+Tensor to_chw(const Tensor& input) {
+  if (input.ndim() == 3) return input;
+  DCNAS_CHECK(input.ndim() == 4 && input.dim(0) == 1,
+              "serve request input must be (C,H,W) or (1,C,H,W)");
+  return input.reshaped({input.dim(1), input.dim(2), input.dim(3)});
+}
+
+}  // namespace
+
+void BatchPolicy::validate() const {
+  DCNAS_CHECK(max_batch >= 1, "BatchPolicy.max_batch must be >= 1");
+  DCNAS_CHECK(max_delay.count() >= 0, "BatchPolicy.max_delay must be >= 0");
+  DCNAS_CHECK(queue_capacity >= 1, "BatchPolicy.queue_capacity must be >= 1");
+}
+
+DynamicBatcher::DynamicBatcher(BatchPolicy policy) : policy_(policy) {
+  policy_.validate();
+}
+
+std::future<Tensor> DynamicBatcher::enqueue(const std::string& model,
+                                            const Tensor& input) {
+  DCNAS_CHECK(!model.empty(), "serve request needs a model name");
+  PendingRequest req;
+  req.model = model;
+  req.input = to_chw(input);
+  req.admitted = std::chrono::steady_clock::now();
+  std::future<Tensor> fut = req.promise.get_future();
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (closed_) throw RejectedError("serve: rejected, server shutting down");
+    if (total_pending_ >= policy_.queue_capacity) {
+      throw RejectedError(
+          "serve: rejected, pending queue full (" +
+          std::to_string(policy_.queue_capacity) + " requests)");
+    }
+    queues_[model].push_back(std::move(req));
+    ++total_pending_;
+  }
+  // notify_all: a consumer may be sleeping on another model's deadline and
+  // this admission could complete a full batch it should pop immediately.
+  cv_pending_.notify_all();
+  return fut;
+}
+
+std::map<std::string, DynamicBatcher::Queue>::iterator
+DynamicBatcher::oldest_queue_locked() {
+  auto best = queues_.end();
+  for (auto it = queues_.begin(); it != queues_.end(); ++it) {
+    if (it->second.empty()) continue;
+    if (best == queues_.end() ||
+        it->second.front().admitted < best->second.front().admitted) {
+      best = it;
+    }
+  }
+  return best;
+}
+
+Batch DynamicBatcher::pop_batch_locked(
+    std::map<std::string, Queue>::iterator it) {
+  Queue& q = it->second;
+  Batch batch;
+  batch.model = it->first;
+  const Shape shape = q.front().input.shape();  // copy: front is moved from
+  while (!q.empty() &&
+         batch.size() < policy_.max_batch &&
+         q.front().input.shape() == shape) {
+    batch.requests.push_back(std::move(q.front()));
+    q.pop_front();
+    --total_pending_;
+  }
+  if (q.empty()) queues_.erase(it);
+  return batch;
+}
+
+std::optional<Batch> DynamicBatcher::next_batch() {
+  Batch batch;
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    for (;;) {
+      auto it = oldest_queue_locked();
+      if (it == queues_.end()) {
+        if (closed_) return std::nullopt;
+        cv_pending_.wait(lock);
+        continue;
+      }
+      const Queue& q = it->second;
+      const auto deadline = q.front().admitted + policy_.max_delay;
+      const bool full = static_cast<std::int64_t>(q.size()) >= policy_.max_batch;
+      if (closed_ || full ||
+          std::chrono::steady_clock::now() >= deadline) {
+        batch = pop_batch_locked(it);
+        break;
+      }
+      cv_pending_.wait_until(lock, deadline);
+    }
+  }
+  // Merge inputs outside the lock: copying image payloads is the expensive
+  // part and needs no shared state.
+  const Shape& img = batch.requests.front().input.shape();
+  Tensor merged({batch.size(), img[0], img[1], img[2]});
+  const std::int64_t per = batch.requests.front().input.numel();
+  for (std::int64_t i = 0; i < batch.size(); ++i) {
+    std::memcpy(merged.data() + i * per,
+                batch.requests[static_cast<std::size_t>(i)].input.data(),
+                static_cast<std::size_t>(per) * sizeof(float));
+  }
+  batch.input = std::move(merged);
+  return batch;
+}
+
+void DynamicBatcher::close() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    closed_ = true;
+  }
+  cv_pending_.notify_all();
+}
+
+bool DynamicBatcher::closed() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return closed_;
+}
+
+std::size_t DynamicBatcher::pending() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return total_pending_;
+}
+
+}  // namespace dcnas::serve

@@ -1,0 +1,98 @@
+#include "dcnas/serve/metrics.hpp"
+
+#include <algorithm>
+#include <cstdio>
+
+#include "dcnas/common/stats.hpp"
+
+namespace dcnas::serve {
+
+void ServingMetrics::record_request(const std::string& model,
+                                    double latency_ms) {
+  std::lock_guard<std::mutex> lock(mu_);
+  PerModel& m = models_[model];
+  ++m.requests;
+  m.latencies_ms.push_back(latency_ms);
+}
+
+void ServingMetrics::record_error(const std::string& model) {
+  std::lock_guard<std::mutex> lock(mu_);
+  ++models_[model].errors;
+}
+
+void ServingMetrics::record_batch(const std::string& model,
+                                  std::int64_t batch_size) {
+  std::lock_guard<std::mutex> lock(mu_);
+  ++models_[model].batch_hist[batch_size];
+}
+
+std::int64_t ServingMetrics::request_count(const std::string& model) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  const auto it = models_.find(model);
+  return it == models_.end() ? 0 : it->second.requests;
+}
+
+std::int64_t ServingMetrics::error_count(const std::string& model) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  const auto it = models_.find(model);
+  return it == models_.end() ? 0 : it->second.errors;
+}
+
+LatencySummary ServingMetrics::latency_summary(const std::string& model) const {
+  std::vector<double> samples;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    const auto it = models_.find(model);
+    if (it == models_.end() || it->second.latencies_ms.empty()) return {};
+    samples = it->second.latencies_ms;
+  }
+  LatencySummary s;
+  s.count = samples.size();
+  s.mean_ms = mean(samples);
+  s.p50_ms = quantile(samples, 0.50);
+  s.p95_ms = quantile(samples, 0.95);
+  s.p99_ms = quantile(samples, 0.99);
+  return s;
+}
+
+std::map<std::int64_t, std::int64_t> ServingMetrics::batch_histogram(
+    const std::string& model) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  const auto it = models_.find(model);
+  return it == models_.end() ? std::map<std::int64_t, std::int64_t>{}
+                             : it->second.batch_hist;
+}
+
+std::string ServingMetrics::stats_report() const {
+  std::vector<std::string> names;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    for (const auto& [name, _] : models_) names.push_back(name);
+  }
+  std::string out =
+      "model                requests   errors   p50ms   p95ms   p99ms  batches\n";
+  char line[256];
+  for (const std::string& name : names) {
+    const LatencySummary s = latency_summary(name);
+    const auto hist = batch_histogram(name);
+    std::string hist_str;
+    for (const auto& [size, count] : hist) {
+      if (!hist_str.empty()) hist_str += ' ';
+      hist_str += std::to_string(size) + "x" + std::to_string(count);
+    }
+    std::snprintf(line, sizeof line,
+                  "%-20s %8lld %8lld %7.2f %7.2f %7.2f  %s\n", name.c_str(),
+                  static_cast<long long>(request_count(name)),
+                  static_cast<long long>(error_count(name)), s.p50_ms,
+                  s.p95_ms, s.p99_ms, hist_str.c_str());
+    out += line;
+  }
+  return out;
+}
+
+void ServingMetrics::reset() {
+  std::lock_guard<std::mutex> lock(mu_);
+  models_.clear();
+}
+
+}  // namespace dcnas::serve

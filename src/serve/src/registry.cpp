@@ -1,0 +1,80 @@
+#include "dcnas/serve/registry.hpp"
+
+#include <limits>
+
+#include "dcnas/common/error.hpp"
+
+namespace dcnas::serve {
+
+ModelRegistry::ModelRegistry(std::size_t capacity) : capacity_(capacity) {}
+
+int ModelRegistry::register_model(const std::string& name,
+                                  graph::GraphExecutor exec) {
+  DCNAS_CHECK(!name.empty(), "model name must be non-empty");
+  auto shared = std::make_shared<const graph::GraphExecutor>(std::move(exec));
+  std::lock_guard<std::mutex> lock(mu_);
+  const int version = ++versions_[name];
+  Entry& e = entries_[name];
+  e.exec = std::move(shared);
+  e.version = version;
+  e.last_used = ++tick_;
+  if (capacity_ > 0 && entries_.size() > capacity_) evict_lru_locked(name);
+  return version;
+}
+
+int ModelRegistry::load(const std::string& name, const std::string& path) {
+  return register_model(name, graph::load_model(path));
+}
+
+std::shared_ptr<const graph::GraphExecutor> ModelRegistry::get(
+    const std::string& name) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  const auto it = entries_.find(name);
+  DCNAS_CHECK(it != entries_.end(), "model not registered: " + name);
+  it->second.last_used = ++tick_;
+  return it->second.exec;
+}
+
+bool ModelRegistry::contains(const std::string& name) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return entries_.count(name) > 0;
+}
+
+bool ModelRegistry::evict(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  return entries_.erase(name) > 0;
+}
+
+int ModelRegistry::version(const std::string& name) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  const auto it = versions_.find(name);
+  return it == versions_.end() ? 0 : it->second;
+}
+
+std::vector<std::string> ModelRegistry::names() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<std::string> out;
+  out.reserve(entries_.size());
+  for (const auto& [name, _] : entries_) out.push_back(name);
+  return out;
+}
+
+std::size_t ModelRegistry::size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return entries_.size();
+}
+
+void ModelRegistry::evict_lru_locked(const std::string& keep) {
+  auto victim = entries_.end();
+  std::uint64_t oldest = std::numeric_limits<std::uint64_t>::max();
+  for (auto it = entries_.begin(); it != entries_.end(); ++it) {
+    if (it->first == keep) continue;
+    if (it->second.last_used < oldest) {
+      oldest = it->second.last_used;
+      victim = it;
+    }
+  }
+  if (victim != entries_.end()) entries_.erase(victim);
+}
+
+}  // namespace dcnas::serve

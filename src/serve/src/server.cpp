@@ -1,0 +1,88 @@
+#include "dcnas/serve/server.hpp"
+
+#include <cstring>
+#include <exception>
+
+#include "dcnas/common/profiler.hpp"
+
+namespace dcnas::serve {
+
+Server::Server(std::shared_ptr<ModelRegistry> registry, ServerOptions options)
+    : registry_(std::move(registry)),
+      options_(options),
+      batcher_(options.batch),
+      pool_(options.num_workers == 0 ? 1 : options.num_workers) {
+  DCNAS_CHECK(registry_ != nullptr, "Server requires a ModelRegistry");
+  for (std::size_t i = 0; i < pool_.size(); ++i) {
+    pool_.submit([this] { worker_loop(); });
+  }
+}
+
+Server::~Server() { shutdown(); }
+
+std::future<Tensor> Server::submit(const std::string& model,
+                                   const Tensor& input) {
+  try {
+    return batcher_.enqueue(model, input);
+  } catch (const RejectedError&) {
+    metrics_.record_error(model);
+    throw;
+  }
+}
+
+void Server::shutdown() {
+  if (shut_down_.exchange(true)) return;
+  batcher_.close();
+  pool_.wait_idle();
+}
+
+void Server::worker_loop() {
+  // Pool tasks must not throw; handle_batch answers failures through the
+  // request futures instead.
+  while (auto batch = batcher_.next_batch()) {
+    handle_batch(std::move(*batch));
+  }
+}
+
+void Server::handle_batch(Batch&& batch) {
+  const std::int64_t n = batch.size();
+  std::vector<Tensor> rows;
+  try {
+    const auto exec = registry_->get(batch.model);
+    Tensor out;
+    {
+      ScopedTimer timer("serve/run_batch");
+      out = exec->run(batch.input);
+    }
+    DCNAS_ASSERT(out.ndim() >= 1 && out.dim(0) == n,
+                 "batched output row count mismatch");
+    const std::int64_t per = out.numel() / n;
+    Shape row_shape = out.shape();
+    row_shape[0] = 1;
+    rows.reserve(static_cast<std::size_t>(n));
+    for (std::int64_t i = 0; i < n; ++i) {
+      Tensor row(row_shape);
+      std::memcpy(row.data(), out.data() + i * per,
+                  static_cast<std::size_t>(per) * sizeof(float));
+      rows.push_back(std::move(row));
+    }
+  } catch (...) {
+    const std::exception_ptr error = std::current_exception();
+    for (PendingRequest& req : batch.requests) {
+      metrics_.record_error(batch.model);
+      req.promise.set_exception(error);
+    }
+    return;
+  }
+  metrics_.record_batch(batch.model, n);
+  const auto done = std::chrono::steady_clock::now();
+  for (std::int64_t i = 0; i < n; ++i) {
+    PendingRequest& req = batch.requests[static_cast<std::size_t>(i)];
+    const double latency_ms =
+        std::chrono::duration<double, std::milli>(done - req.admitted).count();
+    metrics_.record_request(batch.model, latency_ms);
+    req.promise.set_value(std::move(rows[static_cast<std::size_t>(i)]));
+  }
+}
+
+}  // namespace dcnas::serve

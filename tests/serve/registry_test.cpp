@@ -1,0 +1,106 @@
+#include "dcnas/serve/registry.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+
+#include "dcnas/graph/model_file.hpp"
+#include "serve_test_util.hpp"
+
+namespace dcnas::serve {
+namespace {
+
+TEST(ModelRegistryTest, RegisterThenGetRunsInference) {
+  ModelRegistry registry;
+  EXPECT_EQ(registry.register_model("dcnx", testing::make_executor()), 1);
+  ASSERT_TRUE(registry.contains("dcnx"));
+  const auto exec = registry.get("dcnx");
+  Rng rng(7);
+  const Tensor out = exec->run(testing::make_image(rng));
+  EXPECT_EQ(out.dim(0), 1);
+  EXPECT_EQ(out.dim(1), 2);  // binary classifier logits
+}
+
+TEST(ModelRegistryTest, GetUnknownThrows) {
+  ModelRegistry registry;
+  EXPECT_THROW(registry.get("missing"), InvalidArgument);
+}
+
+TEST(ModelRegistryTest, EmptyNameRejected) {
+  ModelRegistry registry;
+  EXPECT_THROW(registry.register_model("", testing::make_executor()),
+               InvalidArgument);
+}
+
+TEST(ModelRegistryTest, HotSwapBumpsVersionAndKeepsOldInstanceAlive) {
+  ModelRegistry registry;
+  registry.register_model("m", testing::make_executor(1));
+  const auto old_exec = registry.get("m");
+  EXPECT_EQ(registry.register_model("m", testing::make_executor(2)), 2);
+  EXPECT_EQ(registry.version("m"), 2);
+
+  // The pre-swap handle still runs (workers mid-inference are unaffected),
+  // and the registry now hands out the new weights.
+  Rng rng(9);
+  const Tensor x = testing::make_image(rng);
+  const Tensor old_out = old_exec->run(x);
+  const Tensor new_out = registry.get("m")->run(x);
+  bool identical = true;
+  for (std::int64_t i = 0; i < old_out.numel(); ++i) {
+    if (old_out[i] != new_out[i]) identical = false;
+  }
+  EXPECT_FALSE(identical) << "swap should install different weights";
+}
+
+TEST(ModelRegistryTest, EvictRemovesAndVersionSurvives) {
+  ModelRegistry registry;
+  registry.register_model("m", testing::make_executor());
+  EXPECT_TRUE(registry.evict("m"));
+  EXPECT_FALSE(registry.evict("m"));
+  EXPECT_FALSE(registry.contains("m"));
+  EXPECT_EQ(registry.version("m"), 1);
+  EXPECT_EQ(registry.register_model("m", testing::make_executor()), 2);
+}
+
+TEST(ModelRegistryTest, CapacityEvictsLeastRecentlyUsed) {
+  ModelRegistry registry(2);
+  registry.register_model("a", testing::make_executor(1));
+  registry.register_model("b", testing::make_executor(2));
+  registry.get("a");  // b is now LRU
+  registry.register_model("c", testing::make_executor(3));
+  EXPECT_EQ(registry.size(), 2u);
+  EXPECT_TRUE(registry.contains("a"));
+  EXPECT_FALSE(registry.contains("b"));
+  EXPECT_TRUE(registry.contains("c"));
+}
+
+TEST(ModelRegistryTest, LoadsModelFileFromDisk) {
+  graph::GraphExecutor exec = testing::make_executor();
+  const std::string path =
+      (std::filesystem::temp_directory_path() / "dcnas_registry_test.dcnx")
+          .string();
+  graph::save_model(exec, path);
+
+  ModelRegistry registry;
+  registry.load("disk", path);
+  Rng rng(4);
+  const Tensor x = testing::make_image(rng);
+  const Tensor a = exec.run(x);
+  const Tensor b = registry.get("disk")->run(x);
+  for (std::int64_t i = 0; i < a.numel(); ++i) ASSERT_EQ(a[i], b[i]);
+  std::remove(path.c_str());
+}
+
+TEST(ModelRegistryTest, NamesAreSorted) {
+  ModelRegistry registry;
+  registry.register_model("zeta", testing::make_executor(1));
+  registry.register_model("alpha", testing::make_executor(2));
+  const auto names = registry.names();
+  ASSERT_EQ(names.size(), 2u);
+  EXPECT_EQ(names[0], "alpha");
+  EXPECT_EQ(names[1], "zeta");
+}
+
+}  // namespace
+}  // namespace dcnas::serve
