@@ -1,0 +1,118 @@
+/// dcnas_lint: static analysis of a model graph from the command line.
+///
+/// Two input modes:
+///   ./examples/dcnas_lint model.dcnx            lint a serialized artifact
+///   ./examples/dcnas_lint --config <key>        lint a search-space point,
+///                                               e.g. --config ch5_k3_s1_p1
+///                                               fields: chN kN sN pN poolN
+///                                               pkN psN wN (any order,
+///                                               missing fields keep the
+///                                               Table-4 anchor defaults)
+///
+/// Prints every diagnostic of the standard verifier pipeline (errors and
+/// warnings) and exits 1 when the graph has errors, 0 when clean — so CI
+/// can lint .dcnx artifacts the way clang-tidy lints the sources. Unlike
+/// parse_model (which rejects at the first failed verification), the lint
+/// path parses the file verbatim and reports *all* findings.
+
+#include <cstdio>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "dcnas/analysis/verifier.hpp"
+#include "dcnas/common/cli.hpp"
+#include "dcnas/graph/builder.hpp"
+#include "dcnas/graph/model_file.hpp"
+#include "dcnas/nas/search_space.hpp"
+
+using namespace dcnas;
+
+namespace {
+
+/// Parses "ch5_k3_s1_p1_pool0_pk2_ps2_w64"-style keys (the lattice_key()
+/// vocabulary) into a TrialConfig; unknown fields are rejected.
+nas::TrialConfig parse_config_key(const std::string& key) {
+  nas::TrialConfig cfg;
+  std::size_t pos = 0;
+  while (pos < key.size()) {
+    std::size_t end = key.find('_', pos);
+    if (end == std::string::npos) end = key.size();
+    const std::string field = key.substr(pos, end - pos);
+    pos = end + 1;
+    auto value_after = [&](std::size_t prefix_len) {
+      return std::stoi(field.substr(prefix_len));
+    };
+    if (field.rfind("ch", 0) == 0) {
+      cfg.channels = value_after(2);
+    } else if (field.rfind("pool", 0) == 0) {
+      cfg.pool_choice = value_after(4);
+    } else if (field.rfind("pk", 0) == 0) {
+      cfg.kernel_size_pool = value_after(2);
+    } else if (field.rfind("ps", 0) == 0) {
+      cfg.stride_pool = value_after(2);
+    } else if (field.rfind('b', 0) == 0) {
+      cfg.batch = value_after(1);
+    } else if (field.rfind('k', 0) == 0) {
+      cfg.kernel_size = value_after(1);
+    } else if (field.rfind('s', 0) == 0) {
+      cfg.stride = value_after(1);
+    } else if (field.rfind('p', 0) == 0) {
+      cfg.padding = value_after(1);
+    } else if (field.rfind('w', 0) == 0) {
+      cfg.initial_output_feature = value_after(1);
+    } else {
+      throw InvalidArgument("unknown config field '" + field + "' in --config");
+    }
+  }
+  return cfg;
+}
+
+graph::ModelGraph load_graph(const CliArgs& args, std::string& subject) {
+  if (args.has("config")) {
+    const nas::TrialConfig cfg = parse_config_key(args.get("config", ""));
+    subject = "search-space config " + cfg.lattice_key();
+    return graph::build_resnet_graph(cfg.to_resnet_config());
+  }
+  DCNAS_CHECK(!args.positional().empty(),
+              "usage: dcnas_lint <model.dcnx> | --config <lattice key>");
+  const std::string& path = args.positional().front();
+  subject = path;
+  std::ifstream in(path, std::ios::binary);
+  DCNAS_CHECK(in.good(), "cannot open model file: " + path);
+  const std::vector<unsigned char> bytes(
+      (std::istreambuf_iterator<char>(in)), std::istreambuf_iterator<char>());
+  return graph::parse_model_graph(bytes);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const CliArgs args(argc, argv);
+  try {
+    std::string subject;
+    const graph::ModelGraph g = load_graph(args, subject);
+    const analysis::GraphVerifier verifier =
+        analysis::GraphVerifier::standard();
+    const analysis::VerifyResult result = verifier.verify(g);
+
+    std::printf("dcnas_lint: %s\n", subject.c_str());
+    std::printf("  %zu nodes, %lld params, %lld FLOPs\n", g.size(),
+                static_cast<long long>(g.total_params()),
+                static_cast<long long>(g.total_flops()));
+    for (const auto& name : verifier.pass_names()) {
+      std::printf("  pass: %s\n", name.c_str());
+    }
+    if (result.diagnostics.empty()) {
+      std::printf("clean: no diagnostics\n");
+      return 0;
+    }
+    std::printf("%s", result.to_string().c_str());
+    std::printf("%zu error(s), %zu warning(s)\n", result.error_count(),
+                result.warning_count());
+    return result.ok() ? 0 : 1;
+  } catch (const Error& e) {
+    std::fprintf(stderr, "dcnas_lint: %s\n", e.what());
+    return 2;
+  }
+}

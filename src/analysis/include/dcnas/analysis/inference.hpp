@@ -1,0 +1,46 @@
+#pragma once
+/// \file inference.hpp
+/// \brief Independent re-derivation of per-node IR annotations.
+///
+/// This is a deliberate second implementation of the shape/params/FLOPs
+/// arithmetic in ModelGraph's add_* builders: the verifier cross-checks the
+/// stored annotations against these formulas, so sharing code with ir.cpp
+/// would make every check a tautology. If the two implementations ever
+/// disagree on a valid graph, one of them has a bug — which is exactly what
+/// the search-space sweep test is for.
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "dcnas/graph/ir.hpp"
+
+namespace dcnas::analysis {
+
+/// What a node's annotations should be, given its kind, attrs, and the
+/// output shapes of its producers. Channel counts that the IR only records
+/// in the output annotation (conv out_channels, linear out_features) are
+/// taken from node.out_shape.c.
+struct NodeExpectation {
+  graph::ActShape out_shape;
+  std::int64_t params = 0;
+  std::int64_t flops = 0;
+};
+
+/// Output spatial size of a conv/pool window, or nullopt when the geometry
+/// is invalid (non-positive kernel/stride, negative padding, kernel larger
+/// than the padded input, or a non-positive result).
+std::optional<std::int64_t> window_out_size(std::int64_t in,
+                                            std::int64_t kernel,
+                                            std::int64_t stride,
+                                            std::int64_t padding);
+
+/// Re-derives \p node's expected annotations from \p producer_out (the
+/// output shapes of node.inputs, in order). Returns nullopt when the node's
+/// geometry or producer shapes make inference impossible; the geometry and
+/// shape passes report the reason.
+std::optional<NodeExpectation> infer_node(
+    const graph::GraphNode& node,
+    const std::vector<graph::ActShape>& producer_out);
+
+}  // namespace dcnas::analysis

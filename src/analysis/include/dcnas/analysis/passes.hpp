@@ -1,0 +1,28 @@
+#pragma once
+/// \file passes.hpp
+/// \brief The standard verification passes. See DESIGN.md §analysis for the
+/// full rule-id table.
+///
+/// topology  — kInputFirst, kSingleOutput, kDanglingInput, kArity, kOrphan
+/// shape     — kInShape, kOutShape, kAddShape
+/// geometry  — kGeometry (conv/pool kernel-stride-padding sanity)
+/// accounting— kParams, kFlops (stored vs re-derived)
+/// fusion    — kBnProducer (warning: BN whose producer is not a Conv, the
+///             precondition fold_batchnorm()/fuse_graph() rely on)
+/// resource  — kActivationBytes (max_activation_bytes() vs an independent
+///             recomputation over re-inferred shapes)
+
+#include <memory>
+
+#include "dcnas/analysis/verifier.hpp"
+
+namespace dcnas::analysis {
+
+std::unique_ptr<VerifyPass> make_topology_pass();
+std::unique_ptr<VerifyPass> make_shape_pass();
+std::unique_ptr<VerifyPass> make_geometry_pass();
+std::unique_ptr<VerifyPass> make_accounting_pass();
+std::unique_ptr<VerifyPass> make_fusion_legality_pass();
+std::unique_ptr<VerifyPass> make_resource_pass();
+
+}  // namespace dcnas::analysis

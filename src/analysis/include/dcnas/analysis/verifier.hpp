@@ -1,0 +1,75 @@
+#pragma once
+/// \file verifier.hpp
+/// \brief Pass-based static analysis of the graph IR.
+///
+/// A GraphVerifier runs an extensible list of VerifyPasses over a
+/// ModelGraph and collects structured Diagnostics. The standard() pipeline
+/// guards the three trust boundaries where a graph enters the system with
+/// annotations we did not compute ourselves:
+///   - graph::parse_model     (verify-on-load of .dcnx files)
+///   - nas::verify_candidate  (every sampled architecture before
+///                             training / latency prediction)
+///   - serve::ModelRegistry   (refuses to register a failing model)
+/// ModelGraph::validate() remains the cheap inline builder check; the
+/// verifier is the thorough, extensible layer on top of it.
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "dcnas/analysis/diagnostic.hpp"
+#include "dcnas/graph/ir.hpp"
+
+namespace dcnas::analysis {
+
+/// One analysis over the whole graph. Passes must not throw on malformed
+/// graphs — they report findings and must tolerate defects that other
+/// passes own (e.g. shape passes skip nodes with dangling input indices,
+/// which the topology pass reports).
+class VerifyPass {
+ public:
+  virtual ~VerifyPass() = default;
+  virtual std::string name() const = 0;
+  virtual void run(const graph::ModelGraph& graph,
+                   std::vector<Diagnostic>& out) const = 0;
+};
+
+/// The collected findings of one verify() call.
+struct VerifyResult {
+  std::vector<Diagnostic> diagnostics;
+
+  /// No errors (warnings alone do not block a trust boundary).
+  bool ok() const;
+  std::size_t error_count() const;
+  std::size_t warning_count() const;
+  bool has_rule(const std::string& rule) const;
+
+  /// One line per diagnostic; empty string when clean.
+  std::string to_string() const;
+};
+
+/// Runs an ordered list of passes and aggregates their diagnostics.
+class GraphVerifier {
+ public:
+  GraphVerifier& add_pass(std::unique_ptr<VerifyPass> pass);
+  VerifyResult verify(const graph::ModelGraph& graph) const;
+
+  /// Names of the registered passes, in run order.
+  std::vector<std::string> pass_names() const;
+  std::size_t pass_count() const { return passes_.size(); }
+
+  /// The full standard pipeline: topology, shape, geometry, accounting,
+  /// fusion legality, resources.
+  static GraphVerifier standard();
+
+ private:
+  std::vector<std::unique_ptr<VerifyPass>> passes_;
+};
+
+/// Runs the standard verifier and throws InvalidArgument listing every
+/// diagnostic when the graph has errors. \p context names the trust
+/// boundary for the error message (e.g. "parse_model").
+void verify_or_throw(const graph::ModelGraph& graph,
+                     const std::string& context);
+
+}  // namespace dcnas::analysis

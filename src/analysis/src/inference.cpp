@@ -1,0 +1,127 @@
+#include "dcnas/analysis/inference.hpp"
+
+namespace dcnas::analysis {
+
+using graph::ActShape;
+using graph::GraphNode;
+using graph::OpKind;
+
+std::optional<std::int64_t> window_out_size(std::int64_t in,
+                                            std::int64_t kernel,
+                                            std::int64_t stride,
+                                            std::int64_t padding) {
+  if (in < 1 || kernel < 1 || stride < 1 || padding < 0) return std::nullopt;
+  const std::int64_t padded = in + 2 * padding;
+  if (kernel > padded) return std::nullopt;
+  const std::int64_t out = (padded - kernel) / stride + 1;
+  if (out < 1) return std::nullopt;
+  return out;
+}
+
+namespace {
+
+bool positive(const ActShape& s) { return s.c > 0 && s.h > 0 && s.w > 0; }
+
+std::optional<ActShape> windowed_shape(const ActShape& in, std::int64_t c,
+                                       const graph::OpAttrs& attrs) {
+  const auto h = window_out_size(in.h, attrs.kernel, attrs.stride,
+                                 attrs.padding);
+  const auto w = window_out_size(in.w, attrs.kernel, attrs.stride,
+                                 attrs.padding);
+  if (!h || !w) return std::nullopt;
+  return ActShape{c, *h, *w};
+}
+
+}  // namespace
+
+std::optional<NodeExpectation> infer_node(
+    const GraphNode& node, const std::vector<ActShape>& producer_out) {
+  NodeExpectation e;
+  switch (node.kind) {
+    case OpKind::kInput:
+      // Nothing upstream to infer from: the annotation is the ground truth.
+      if (!positive(node.out_shape)) return std::nullopt;
+      e.out_shape = node.out_shape;
+      return e;
+    case OpKind::kConv: {
+      if (producer_out.size() != 1 || !positive(producer_out[0])) {
+        return std::nullopt;
+      }
+      const ActShape& in = producer_out[0];
+      const std::int64_t oc = node.out_shape.c;  // only recorded in out_shape
+      if (oc < 1) return std::nullopt;
+      const auto out = windowed_shape(in, oc, node.attrs);
+      if (!out) return std::nullopt;
+      e.out_shape = *out;
+      e.params = oc * in.c * node.attrs.kernel * node.attrs.kernel;
+      e.flops = 2 * e.params * e.out_shape.h * e.out_shape.w;
+      return e;
+    }
+    case OpKind::kBatchNorm: {
+      if (producer_out.size() != 1 || !positive(producer_out[0])) {
+        return std::nullopt;
+      }
+      e.out_shape = producer_out[0];
+      e.params = 4 * e.out_shape.c;
+      e.flops = 2 * e.out_shape.numel();
+      return e;
+    }
+    case OpKind::kRelu: {
+      if (producer_out.size() != 1 || !positive(producer_out[0])) {
+        return std::nullopt;
+      }
+      e.out_shape = producer_out[0];
+      e.flops = e.out_shape.numel();
+      return e;
+    }
+    case OpKind::kMaxPool: {
+      if (producer_out.size() != 1 || !positive(producer_out[0])) {
+        return std::nullopt;
+      }
+      const auto out =
+          windowed_shape(producer_out[0], producer_out[0].c, node.attrs);
+      if (!out) return std::nullopt;
+      e.out_shape = *out;
+      e.flops = node.attrs.kernel * node.attrs.kernel * e.out_shape.numel();
+      return e;
+    }
+    case OpKind::kGlobalAvgPool: {
+      if (producer_out.size() != 1 || !positive(producer_out[0])) {
+        return std::nullopt;
+      }
+      e.out_shape = {producer_out[0].c, 1, 1};
+      e.flops = producer_out[0].numel();
+      return e;
+    }
+    case OpKind::kAdd: {
+      if (producer_out.size() != 2 || !positive(producer_out[0])) {
+        return std::nullopt;
+      }
+      e.out_shape = producer_out[0];
+      e.flops = e.out_shape.numel();
+      return e;
+    }
+    case OpKind::kLinear: {
+      if (producer_out.size() != 1 || !positive(producer_out[0])) {
+        return std::nullopt;
+      }
+      const std::int64_t in_features = producer_out[0].numel();
+      const std::int64_t out_features = node.out_shape.c;
+      if (out_features < 1) return std::nullopt;
+      e.out_shape = {out_features, 1, 1};
+      e.params = in_features * out_features + out_features;
+      e.flops = 2 * in_features * out_features;
+      return e;
+    }
+    case OpKind::kOutput: {
+      if (producer_out.size() != 1 || !positive(producer_out[0])) {
+        return std::nullopt;
+      }
+      e.out_shape = producer_out[0];
+      return e;
+    }
+  }
+  return std::nullopt;
+}
+
+}  // namespace dcnas::analysis

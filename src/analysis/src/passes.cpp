@@ -1,0 +1,356 @@
+#include "dcnas/analysis/passes.hpp"
+
+#include <algorithm>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "dcnas/analysis/inference.hpp"
+
+namespace dcnas::analysis {
+
+namespace {
+
+using graph::ActShape;
+using graph::GraphNode;
+using graph::ModelGraph;
+using graph::OpKind;
+
+Diagnostic diag(const char* rule, Severity severity, int node,
+                const ModelGraph& g, std::string message) {
+  Diagnostic d;
+  d.rule = rule;
+  d.severity = severity;
+  d.node = node;
+  if (node >= 0 && node < static_cast<int>(g.size())) {
+    d.node_name = g.nodes()[static_cast<std::size_t>(node)].name;
+  }
+  d.message = std::move(message);
+  return d;
+}
+
+/// Expected input arity per op kind.
+std::size_t expected_arity(OpKind kind) {
+  switch (kind) {
+    case OpKind::kInput: return 0;
+    case OpKind::kAdd: return 2;
+    default: return 1;
+  }
+}
+
+/// True when every input index of node \p i references a strictly earlier
+/// node — the precondition for any pass that dereferences producers. The
+/// topology pass reports violations; other passes silently skip them.
+bool inputs_resolvable(const ModelGraph& g, std::size_t i) {
+  for (int in : g.nodes()[i].inputs) {
+    if (in < 0 || in >= static_cast<int>(i)) return false;
+  }
+  return true;
+}
+
+/// Stored output shapes of node \p i's producers, or nullopt when an index
+/// dangles.
+std::optional<std::vector<ActShape>> producer_shapes(const ModelGraph& g,
+                                                     std::size_t i) {
+  if (!inputs_resolvable(g, i)) return std::nullopt;
+  std::vector<ActShape> out;
+  out.reserve(g.nodes()[i].inputs.size());
+  for (int in : g.nodes()[i].inputs) {
+    out.push_back(g.nodes()[static_cast<std::size_t>(in)].out_shape);
+  }
+  return out;
+}
+
+class TopologyPass : public VerifyPass {
+ public:
+  std::string name() const override { return "topology"; }
+
+  void run(const ModelGraph& g, std::vector<Diagnostic>& out) const override {
+    const auto& nodes = g.nodes();
+    if (nodes.empty()) {
+      out.push_back(diag(rules::kInputFirst, Severity::kError, -1, g,
+                         "graph is empty"));
+      return;
+    }
+    if (nodes[0].kind != OpKind::kInput) {
+      out.push_back(diag(rules::kInputFirst, Severity::kError, 0, g,
+                         "first node must be an Input, got " +
+                             std::string(op_kind_name(nodes[0].kind))));
+    }
+    std::size_t output_count = 0;
+    for (std::size_t i = 0; i < nodes.size(); ++i) {
+      const GraphNode& n = nodes[i];
+      if (n.kind == OpKind::kInput && i != 0) {
+        out.push_back(diag(rules::kInputFirst, Severity::kError,
+                           static_cast<int>(i), g,
+                           "extra Input node; a graph has exactly one"));
+      }
+      if (n.kind == OpKind::kOutput) ++output_count;
+      if (n.inputs.size() != expected_arity(n.kind)) {
+        out.push_back(diag(
+            rules::kArity, Severity::kError, static_cast<int>(i), g,
+            std::string(op_kind_name(n.kind)) + " expects " +
+                std::to_string(expected_arity(n.kind)) + " input(s), has " +
+                std::to_string(n.inputs.size())));
+      }
+      for (int in : n.inputs) {
+        if (in < 0 || in >= static_cast<int>(nodes.size())) {
+          out.push_back(diag(rules::kDanglingInput, Severity::kError,
+                             static_cast<int>(i), g,
+                             "input index " + std::to_string(in) +
+                                 " does not exist (graph has " +
+                                 std::to_string(nodes.size()) + " nodes)"));
+        } else if (in >= static_cast<int>(i)) {
+          out.push_back(diag(rules::kDanglingInput, Severity::kError,
+                             static_cast<int>(i), g,
+                             "input index " + std::to_string(in) +
+                                 " is not a preceding node (topological "
+                                 "order violated)"));
+        }
+      }
+    }
+    if (output_count != 1) {
+      out.push_back(diag(rules::kSingleOutput, Severity::kError, -1, g,
+                         "graph must have exactly one Output node, found " +
+                             std::to_string(output_count)));
+    }
+
+    // Orphans: nodes from which no Output is reachable. Walk ancestors of
+    // every output along resolvable edges; what is left over is dead.
+    std::vector<bool> live(nodes.size(), false);
+    std::vector<int> stack;
+    for (std::size_t i = 0; i < nodes.size(); ++i) {
+      if (nodes[i].kind == OpKind::kOutput) {
+        live[i] = true;
+        stack.push_back(static_cast<int>(i));
+      }
+    }
+    while (!stack.empty()) {
+      const int cur = stack.back();
+      stack.pop_back();
+      for (int in : nodes[static_cast<std::size_t>(cur)].inputs) {
+        if (in < 0 || in >= cur) continue;  // dangling, reported above
+        if (!live[static_cast<std::size_t>(in)]) {
+          live[static_cast<std::size_t>(in)] = true;
+          stack.push_back(in);
+        }
+      }
+    }
+    for (std::size_t i = 0; i < nodes.size(); ++i) {
+      if (!live[i] && output_count > 0) {
+        out.push_back(diag(rules::kOrphan, Severity::kError,
+                           static_cast<int>(i), g,
+                           std::string(op_kind_name(nodes[i].kind)) +
+                               " node feeds no Output (orphan)"));
+      }
+    }
+  }
+};
+
+class ShapePass : public VerifyPass {
+ public:
+  std::string name() const override { return "shape"; }
+
+  void run(const ModelGraph& g, std::vector<Diagnostic>& out) const override {
+    const auto& nodes = g.nodes();
+    for (std::size_t i = 0; i < nodes.size(); ++i) {
+      const GraphNode& n = nodes[i];
+      if (n.out_shape.c < 1 || n.out_shape.h < 1 || n.out_shape.w < 1) {
+        out.push_back(diag(rules::kOutShape, Severity::kError,
+                           static_cast<int>(i), g,
+                           "non-positive out_shape " +
+                               n.out_shape.to_string()));
+        continue;
+      }
+      const auto producers = producer_shapes(g, i);
+      if (!producers) continue;  // dangling inputs: topology pass reports
+      if (!producers->empty() && n.in_shape != producers->front()) {
+        const auto& src =
+            nodes[static_cast<std::size_t>(n.inputs.front())];
+        out.push_back(diag(rules::kInShape, Severity::kError,
+                           static_cast<int>(i), g,
+                           "in_shape " + n.in_shape.to_string() +
+                               " does not match producer '" + src.name +
+                               "' out_shape " + src.out_shape.to_string()));
+      }
+      if (n.kind == OpKind::kAdd && producers->size() == 2 &&
+          (*producers)[0] != (*producers)[1]) {
+        const auto& a = nodes[static_cast<std::size_t>(n.inputs[0])];
+        const auto& b = nodes[static_cast<std::size_t>(n.inputs[1])];
+        out.push_back(diag(rules::kAddShape, Severity::kError,
+                           static_cast<int>(i), g,
+                           "operand shapes disagree: '" + a.name + "' " +
+                               a.out_shape.to_string() + " vs '" + b.name +
+                               "' " + b.out_shape.to_string()));
+        continue;  // out_shape inference is ambiguous on mismatched adds
+      }
+      const auto expected = infer_node(n, *producers);
+      if (expected && expected->out_shape != n.out_shape) {
+        out.push_back(diag(rules::kOutShape, Severity::kError,
+                           static_cast<int>(i), g,
+                           "stored out_shape " + n.out_shape.to_string() +
+                               " but attrs and producer shapes imply " +
+                               expected->out_shape.to_string()));
+      }
+    }
+  }
+};
+
+class GeometryPass : public VerifyPass {
+ public:
+  std::string name() const override { return "geometry"; }
+
+  void run(const ModelGraph& g, std::vector<Diagnostic>& out) const override {
+    const auto& nodes = g.nodes();
+    for (std::size_t i = 0; i < nodes.size(); ++i) {
+      const GraphNode& n = nodes[i];
+      if (n.kind != OpKind::kConv && n.kind != OpKind::kMaxPool) continue;
+      const auto& a = n.attrs;
+      auto bad = [&](const std::string& message) {
+        out.push_back(diag(rules::kGeometry, Severity::kError,
+                           static_cast<int>(i), g, message));
+      };
+      if (a.kernel < 1) bad("kernel " + std::to_string(a.kernel) + " < 1");
+      if (a.stride < 1) bad("stride " + std::to_string(a.stride) + " < 1");
+      if (a.padding < 0) bad("padding " + std::to_string(a.padding) + " < 0");
+      // The paper's search space legitimately pairs kernel 3 with padding 3
+      // (conv1 padding options {1,2,3} x kernel {3,7}), so padding == kernel
+      // must verify clean; beyond that the extra rows are pure zero-padding.
+      if (n.kind == OpKind::kConv && a.kernel >= 1 && a.padding > a.kernel) {
+        bad("padding " + std::to_string(a.padding) + " > kernel " +
+            std::to_string(a.kernel) +
+            " (window columns made entirely of padding)");
+      }
+      if (n.kind == OpKind::kMaxPool && a.padding > a.kernel / 2) {
+        bad("pool padding " + std::to_string(a.padding) + " > kernel/2 (" +
+            std::to_string(a.kernel / 2) + "); padded maxima would be fake");
+      }
+      const auto producers = producer_shapes(g, i);
+      if (!producers || producers->empty()) continue;
+      const ActShape& in = producers->front();
+      if (a.kernel >= 1 && a.stride >= 1 && a.padding >= 0 &&
+          (in.h > 0 && in.w > 0)) {
+        if (!window_out_size(in.h, a.kernel, a.stride, a.padding) ||
+            !window_out_size(in.w, a.kernel, a.stride, a.padding)) {
+          bad("window k=" + std::to_string(a.kernel) +
+              " s=" + std::to_string(a.stride) +
+              " p=" + std::to_string(a.padding) +
+              " yields no output on input " + in.to_string());
+        }
+      }
+    }
+  }
+};
+
+class AccountingPass : public VerifyPass {
+ public:
+  std::string name() const override { return "accounting"; }
+
+  void run(const ModelGraph& g, std::vector<Diagnostic>& out) const override {
+    const auto& nodes = g.nodes();
+    for (std::size_t i = 0; i < nodes.size(); ++i) {
+      const GraphNode& n = nodes[i];
+      const auto producers = producer_shapes(g, i);
+      if (!producers) continue;
+      const auto expected = infer_node(n, *producers);
+      if (!expected) continue;  // geometry/shape passes report the cause
+      if (expected->params != n.params) {
+        out.push_back(diag(rules::kParams, Severity::kError,
+                           static_cast<int>(i), g,
+                           "stored params " + std::to_string(n.params) +
+                               " but op semantics imply " +
+                               std::to_string(expected->params)));
+      }
+      if (expected->flops != n.flops) {
+        out.push_back(diag(rules::kFlops, Severity::kError,
+                           static_cast<int>(i), g,
+                           "stored flops " + std::to_string(n.flops) +
+                               " but op semantics imply " +
+                               std::to_string(expected->flops)));
+      }
+    }
+  }
+};
+
+class FusionLegalityPass : public VerifyPass {
+ public:
+  std::string name() const override { return "fusion-legality"; }
+
+  void run(const ModelGraph& g, std::vector<Diagnostic>& out) const override {
+    const auto& nodes = g.nodes();
+    for (std::size_t i = 0; i < nodes.size(); ++i) {
+      const GraphNode& n = nodes[i];
+      if (n.kind != OpKind::kBatchNorm) continue;
+      if (!inputs_resolvable(g, i) || n.inputs.empty()) continue;
+      const GraphNode& src = nodes[static_cast<std::size_t>(n.inputs[0])];
+      if (src.kind != OpKind::kConv) {
+        out.push_back(diag(
+            rules::kBnProducer, Severity::kWarning, static_cast<int>(i), g,
+            "BatchNorm consumes '" + src.name + "' (" +
+                op_kind_name(src.kind) +
+                "), not a Conv; fold_batchnorm()/fuse_graph() can never "
+                "fold it and it will run as a standalone kernel"));
+      }
+    }
+  }
+};
+
+class ResourcePass : public VerifyPass {
+ public:
+  std::string name() const override { return "resource"; }
+
+  void run(const ModelGraph& g, std::vector<Diagnostic>& out) const override {
+    const auto& nodes = g.nodes();
+    // Re-derive every shape by forward propagation (stored annotations are
+    // not trusted here) and compare the resulting activation peak against
+    // the IR's own accounting.
+    std::vector<ActShape> inferred(nodes.size());
+    for (std::size_t i = 0; i < nodes.size(); ++i) {
+      const GraphNode& n = nodes[i];
+      if (!inputs_resolvable(g, i)) return;  // topology pass owns this
+      std::vector<ActShape> producers;
+      producers.reserve(n.inputs.size());
+      for (int in : n.inputs) {
+        producers.push_back(inferred[static_cast<std::size_t>(in)]);
+      }
+      const auto expected = infer_node(n, producers);
+      if (!expected) return;  // shape/geometry passes own the cause
+      inferred[i] = expected->out_shape;
+    }
+    std::int64_t peak = 0;
+    for (const ActShape& s : inferred) {
+      peak = std::max(peak, s.numel() * 4);
+    }
+    const std::int64_t stored = g.max_activation_bytes();
+    if (!nodes.empty() && peak != stored) {
+      out.push_back(diag(rules::kActivationBytes, Severity::kError, -1, g,
+                         "max_activation_bytes() reports " +
+                             std::to_string(stored) +
+                             " but re-inferred shapes peak at " +
+                             std::to_string(peak) + " bytes"));
+    }
+  }
+};
+
+}  // namespace
+
+std::unique_ptr<VerifyPass> make_topology_pass() {
+  return std::make_unique<TopologyPass>();
+}
+std::unique_ptr<VerifyPass> make_shape_pass() {
+  return std::make_unique<ShapePass>();
+}
+std::unique_ptr<VerifyPass> make_geometry_pass() {
+  return std::make_unique<GeometryPass>();
+}
+std::unique_ptr<VerifyPass> make_accounting_pass() {
+  return std::make_unique<AccountingPass>();
+}
+std::unique_ptr<VerifyPass> make_fusion_legality_pass() {
+  return std::make_unique<FusionLegalityPass>();
+}
+std::unique_ptr<VerifyPass> make_resource_pass() {
+  return std::make_unique<ResourcePass>();
+}
+
+}  // namespace dcnas::analysis

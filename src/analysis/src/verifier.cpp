@@ -1,0 +1,104 @@
+#include "dcnas/analysis/verifier.hpp"
+
+#include <sstream>
+
+#include "dcnas/analysis/passes.hpp"
+#include "dcnas/common/error.hpp"
+
+namespace dcnas::analysis {
+
+const char* severity_name(Severity severity) {
+  switch (severity) {
+    case Severity::kError: return "error";
+    case Severity::kWarning: return "warning";
+  }
+  return "?";
+}
+
+std::string Diagnostic::to_string() const {
+  std::ostringstream os;
+  os << severity_name(severity) << "[" << rule << "]";
+  if (node >= 0) {
+    os << " node " << node;
+    if (!node_name.empty()) os << " '" << node_name << "'";
+  } else {
+    os << " graph";
+  }
+  os << ": " << message;
+  return os.str();
+}
+
+bool VerifyResult::ok() const { return error_count() == 0; }
+
+std::size_t VerifyResult::error_count() const {
+  std::size_t n = 0;
+  for (const auto& d : diagnostics) {
+    if (d.severity == Severity::kError) ++n;
+  }
+  return n;
+}
+
+std::size_t VerifyResult::warning_count() const {
+  return diagnostics.size() - error_count();
+}
+
+bool VerifyResult::has_rule(const std::string& rule) const {
+  for (const auto& d : diagnostics) {
+    if (d.rule == rule) return true;
+  }
+  return false;
+}
+
+std::string VerifyResult::to_string() const {
+  std::ostringstream os;
+  for (const auto& d : diagnostics) os << d.to_string() << "\n";
+  return os.str();
+}
+
+GraphVerifier& GraphVerifier::add_pass(std::unique_ptr<VerifyPass> pass) {
+  DCNAS_CHECK(pass != nullptr, "GraphVerifier::add_pass requires a pass");
+  passes_.push_back(std::move(pass));
+  return *this;
+}
+
+VerifyResult GraphVerifier::verify(const graph::ModelGraph& graph) const {
+  VerifyResult result;
+  for (const auto& pass : passes_) {
+    pass->run(graph, result.diagnostics);
+  }
+  return result;
+}
+
+std::vector<std::string> GraphVerifier::pass_names() const {
+  std::vector<std::string> names;
+  names.reserve(passes_.size());
+  for (const auto& pass : passes_) names.push_back(pass->name());
+  return names;
+}
+
+GraphVerifier GraphVerifier::standard() {
+  GraphVerifier v;
+  v.add_pass(make_topology_pass())
+      .add_pass(make_shape_pass())
+      .add_pass(make_geometry_pass())
+      .add_pass(make_accounting_pass())
+      .add_pass(make_fusion_legality_pass())
+      .add_pass(make_resource_pass());
+  return v;
+}
+
+void verify_or_throw(const graph::ModelGraph& graph,
+                     const std::string& context) {
+  const VerifyResult result = GraphVerifier::standard().verify(graph);
+  if (result.ok()) return;
+  std::ostringstream os;
+  os << context << ": graph verification failed with "
+     << result.error_count() << " error(s)";
+  if (result.warning_count() > 0) {
+    os << " and " << result.warning_count() << " warning(s)";
+  }
+  os << "\n" << result.to_string();
+  throw InvalidArgument(os.str());
+}
+
+}  // namespace dcnas::analysis

@@ -8,7 +8,6 @@
 /// synchronization overhead. The pool follows the C++ Core Guidelines advice
 /// of joining threads in the destructor (gsl::joining_thread semantics).
 
-#include <atomic>
 #include <condition_variable>
 #include <cstddef>
 #include <deque>

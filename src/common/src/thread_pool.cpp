@@ -88,25 +88,25 @@ void parallel_for_chunked(
   }
   const std::int64_t chunks = std::min<std::int64_t>(n, workers * 4);
   const std::int64_t step = (n + chunks - 1) / chunks;
-  std::atomic<std::int64_t> remaining{0};
   std::mutex done_mu;
   std::condition_variable done_cv;
-  std::int64_t launched = 0;
-  for (std::int64_t c = begin; c < end; c += step) ++launched;
-  remaining.store(launched);
+  std::int64_t remaining = 0;  // guarded by done_mu
+  for (std::int64_t c = begin; c < end; c += step) ++remaining;
   for (std::int64_t c = begin; c < end; c += step) {
     const std::int64_t lo = c;
     const std::int64_t hi = std::min<std::int64_t>(c + step, end);
     pool.submit([&, lo, hi] {
       fn(lo, hi);
-      if (remaining.fetch_sub(1) == 1) {
-        std::lock_guard<std::mutex> lock(done_mu);
-        done_cv.notify_all();
-      }
+      // Decrement and notify while holding the lock. With an atomic counter
+      // decremented outside it, the waiting thread could observe zero and
+      // return — destroying done_mu/done_cv on its stack — while this
+      // worker is still about to lock them (use-after-free under load).
+      std::lock_guard<std::mutex> lock(done_mu);
+      if (--remaining == 0) done_cv.notify_all();
     });
   }
   std::unique_lock<std::mutex> lock(done_mu);
-  done_cv.wait(lock, [&] { return remaining.load() == 0; });
+  done_cv.wait(lock, [&] { return remaining == 0; });
 }
 
 void parallel_for(std::int64_t begin, std::int64_t end,

@@ -63,6 +63,12 @@ struct GraphNode {
 /// Nodes are appended in execution order; add_* helpers infer shapes.
 class ModelGraph {
  public:
+  /// Adopts \p nodes verbatim — annotations included — with no checking.
+  /// For deserializers and the verifier's corruption harness only: callers
+  /// must run analysis::GraphVerifier (or verify_or_throw) on the result
+  /// before trusting it, because nothing here re-infers shapes or FLOPs.
+  static ModelGraph from_nodes(std::vector<GraphNode> nodes);
+
   /// Starts the graph with its input activation.
   int add_input(ActShape shape, const std::string& name = "input");
 
@@ -102,7 +108,10 @@ class ModelGraph {
 
  private:
   int append(GraphNode node);
-  const GraphNode& checked_input(int index) const;
+
+  /// Resolves a builder input index, naming the node under construction
+  /// (\p consumer) in the error so diagnostics read like the verifier's.
+  const GraphNode& checked_input(int index, const std::string& consumer) const;
 
   std::vector<GraphNode> nodes_;
 };

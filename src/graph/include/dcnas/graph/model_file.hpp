@@ -29,10 +29,19 @@ std::vector<unsigned char> serialize_model(const GraphExecutor& executor);
 std::int64_t save_model(const GraphExecutor& executor,
                         const std::string& path);
 
-/// Reconstructs a runnable executor from a serialized buffer; throws
-/// InvalidArgument on malformed data (bad magic, truncation, shape
-/// mismatches).
+/// Reconstructs a runnable executor from a serialized buffer. The graph is
+/// rebuilt exactly as the file claims it and then passed through
+/// analysis::GraphVerifier (verify-on-load), so this throws InvalidArgument
+/// on malformed data (bad magic, truncation) *and* on structurally-valid-
+/// but-semantically-corrupt files (falsified shape annotations, dangling
+/// inputs, absurd conv geometry, ...).
 GraphExecutor parse_model(const std::vector<unsigned char>& bytes);
+
+/// Parses only the graph structure, exactly as the file claims it, with no
+/// verification and no weight binding. For diagnostic tools (dcnas_lint)
+/// that want to *report* a corrupt file's defects rather than reject at the
+/// first one; never build an executor from the result without verifying.
+ModelGraph parse_model_graph(const std::vector<unsigned char>& bytes);
 
 /// Loads a model file written by save_model.
 GraphExecutor load_model(const std::string& path);

@@ -28,6 +28,12 @@ std::string ActShape::to_string() const {
   return os.str();
 }
 
+ModelGraph ModelGraph::from_nodes(std::vector<GraphNode> nodes) {
+  ModelGraph g;
+  g.nodes_ = std::move(nodes);
+  return g;
+}
+
 int ModelGraph::append(GraphNode node) {
   nodes_.push_back(std::move(node));
   return static_cast<int>(nodes_.size()) - 1;
@@ -39,9 +45,12 @@ const GraphNode& ModelGraph::node(int i) const {
   return nodes_[static_cast<std::size_t>(i)];
 }
 
-const GraphNode& ModelGraph::checked_input(int index) const {
+const GraphNode& ModelGraph::checked_input(int index,
+                                           const std::string& consumer) const {
   DCNAS_CHECK(index >= 0 && index < static_cast<int>(nodes_.size()),
-              "node input refers to a node that does not exist yet");
+              "node '" + consumer + "': input index " + std::to_string(index) +
+                  " refers to a node that does not exist yet (graph has " +
+                  std::to_string(nodes_.size()) + " nodes)");
   return nodes_[static_cast<std::size_t>(index)];
 }
 
@@ -59,7 +68,7 @@ int ModelGraph::add_input(ActShape shape, const std::string& name) {
 int ModelGraph::add_conv(int input, std::int64_t out_channels,
                          std::int64_t kernel, std::int64_t stride,
                          std::int64_t padding, const std::string& name) {
-  const GraphNode& src = checked_input(input);
+  const GraphNode& src = checked_input(input, name);
   DCNAS_CHECK(out_channels > 0, "conv out_channels must be > 0");
   GraphNode n;
   n.kind = OpKind::kConv;
@@ -76,7 +85,7 @@ int ModelGraph::add_conv(int input, std::int64_t out_channels,
 }
 
 int ModelGraph::add_batchnorm(int input, const std::string& name) {
-  const GraphNode& src = checked_input(input);
+  const GraphNode& src = checked_input(input, name);
   GraphNode n;
   n.kind = OpKind::kBatchNorm;
   n.name = name;
@@ -90,7 +99,7 @@ int ModelGraph::add_batchnorm(int input, const std::string& name) {
 }
 
 int ModelGraph::add_relu(int input, const std::string& name) {
-  const GraphNode& src = checked_input(input);
+  const GraphNode& src = checked_input(input, name);
   GraphNode n;
   n.kind = OpKind::kRelu;
   n.name = name;
@@ -104,7 +113,7 @@ int ModelGraph::add_relu(int input, const std::string& name) {
 int ModelGraph::add_maxpool(int input, std::int64_t kernel,
                             std::int64_t stride, std::int64_t padding,
                             const std::string& name) {
-  const GraphNode& src = checked_input(input);
+  const GraphNode& src = checked_input(input, name);
   DCNAS_CHECK(padding <= kernel / 2, "pool padding must be <= kernel/2");
   GraphNode n;
   n.kind = OpKind::kMaxPool;
@@ -120,7 +129,7 @@ int ModelGraph::add_maxpool(int input, std::int64_t kernel,
 }
 
 int ModelGraph::add_global_avgpool(int input, const std::string& name) {
-  const GraphNode& src = checked_input(input);
+  const GraphNode& src = checked_input(input, name);
   GraphNode n;
   n.kind = OpKind::kGlobalAvgPool;
   n.name = name;
@@ -132,11 +141,12 @@ int ModelGraph::add_global_avgpool(int input, const std::string& name) {
 }
 
 int ModelGraph::add_add(int lhs, int rhs, const std::string& name) {
-  const GraphNode& a = checked_input(lhs);
-  const GraphNode& b = checked_input(rhs);
+  const GraphNode& a = checked_input(lhs, name);
+  const GraphNode& b = checked_input(rhs, name);
   DCNAS_CHECK(a.out_shape == b.out_shape,
-              "Add requires matching shapes: " + a.out_shape.to_string() +
-                  " vs " + b.out_shape.to_string());
+              "Add '" + name + "' requires matching operand shapes: '" +
+                  a.name + "' " + a.out_shape.to_string() + " vs '" + b.name +
+                  "' " + b.out_shape.to_string());
   GraphNode n;
   n.kind = OpKind::kAdd;
   n.name = name;
@@ -149,7 +159,7 @@ int ModelGraph::add_add(int lhs, int rhs, const std::string& name) {
 
 int ModelGraph::add_linear(int input, std::int64_t out_features,
                            const std::string& name) {
-  const GraphNode& src = checked_input(input);
+  const GraphNode& src = checked_input(input, name);
   DCNAS_CHECK(out_features > 0, "linear out_features must be > 0");
   const std::int64_t in_features = src.out_shape.numel();
   GraphNode n;
@@ -164,7 +174,7 @@ int ModelGraph::add_linear(int input, std::int64_t out_features,
 }
 
 int ModelGraph::add_output(int input, const std::string& name) {
-  const GraphNode& src = checked_input(input);
+  const GraphNode& src = checked_input(input, name);
   GraphNode n;
   n.kind = OpKind::kOutput;
   n.name = name;

@@ -18,6 +18,14 @@ struct EvalResult {
   double mean_accuracy = 0.0;           ///< percent ("accuracy" in Table 4)
 };
 
+/// Trust boundary for sampled candidates: validates \p config against the
+/// search space, builds its deployment-size IR graph, and runs the standard
+/// analysis::GraphVerifier over it. Throws InvalidArgument when either the
+/// config or the built graph fails, so a builder regression (or a corrupted
+/// candidate) is rejected *before* any training or latency prediction is
+/// spent on it. Every evaluator calls this at the top of evaluate().
+void verify_candidate(const TrialConfig& config);
+
 class Evaluator {
  public:
   virtual ~Evaluator() = default;

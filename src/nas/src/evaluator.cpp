@@ -1,15 +1,25 @@
 #include "dcnas/nas/evaluator.hpp"
 
+#include "dcnas/analysis/verifier.hpp"
 #include "dcnas/common/stats.hpp"
 #include "dcnas/geodata/kfold.hpp"
+#include "dcnas/graph/builder.hpp"
 #include "dcnas/nn/trainer.hpp"
 
 namespace dcnas::nas {
+
+void verify_candidate(const TrialConfig& config) {
+  config.validate();
+  const graph::ModelGraph g =
+      graph::build_resnet_graph(config.to_resnet_config());
+  analysis::verify_or_throw(g, "NAS candidate " + config.lattice_key());
+}
 
 OracleEvaluator::OracleEvaluator(const OracleOptions& options)
     : oracle_(options) {}
 
 EvalResult OracleEvaluator::evaluate(const TrialConfig& config) {
+  verify_candidate(config);
   EvalResult r;
   r.fold_accuracies = oracle_.fold_accuracies(config);
   r.mean_accuracy = mean(r.fold_accuracies);
@@ -27,7 +37,7 @@ TrainingEvaluator::TrainingEvaluator(const geodata::DrainageDataset& dataset5,
 }
 
 EvalResult TrainingEvaluator::evaluate(const TrialConfig& config) {
-  config.validate();
+  verify_candidate(config);
   const geodata::DrainageDataset& ds =
       (config.channels == 5) ? dataset5_ : dataset7_;
   DCNAS_CHECK(ds.size() >= 2 * options_.folds,

@@ -29,7 +29,10 @@ class ModelRegistry {
 
   /// Registers (or hot-swaps) \p name; returns the new version number.
   /// Versions start at 1 and survive eviction, so a reloaded model never
-  /// reuses a stale version number.
+  /// reuses a stale version number. The executor's graph must pass the
+  /// standard analysis::GraphVerifier pipeline; registration of a model
+  /// with verifier errors throws InvalidArgument and leaves the registry
+  /// (and any currently-resident version of \p name) untouched.
   int register_model(const std::string& name, graph::GraphExecutor exec);
 
   /// Loads a DCNX file via graph::load_model and registers it.

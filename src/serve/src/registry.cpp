@@ -2,6 +2,7 @@
 
 #include <limits>
 
+#include "dcnas/analysis/verifier.hpp"
 #include "dcnas/common/error.hpp"
 
 namespace dcnas::serve {
@@ -11,6 +12,10 @@ ModelRegistry::ModelRegistry(std::size_t capacity) : capacity_(capacity) {}
 int ModelRegistry::register_model(const std::string& name,
                                   graph::GraphExecutor exec) {
   DCNAS_CHECK(!name.empty(), "model name must be non-empty");
+  // A registered model is served to every worker; refuse anything the
+  // verifier rejects, even if the executor was constructed in-process.
+  analysis::verify_or_throw(exec.graph(),
+                            "ModelRegistry refuses model '" + name + "'");
   auto shared = std::make_shared<const graph::GraphExecutor>(std::move(exec));
   std::lock_guard<std::mutex> lock(mu_);
   const int version = ++versions_[name];

@@ -1,0 +1,191 @@
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <vector>
+
+#include "dcnas/analysis/verifier.hpp"
+#include "dcnas/graph/builder.hpp"
+#include "dcnas/graph/executor.hpp"
+#include "dcnas/graph/model_file.hpp"
+#include "dcnas/nas/evaluator.hpp"
+#include "dcnas/nas/search_space.hpp"
+#include "dcnas/serve/registry.hpp"
+
+namespace dcnas::analysis {
+namespace {
+
+using graph::GraphExecutor;
+using graph::ModelGraph;
+using graph::OpKind;
+
+GraphExecutor make_trained_executor(std::int64_t hw = 24) {
+  nn::ResNetConfig config = nn::ResNetConfig::baseline(5);
+  config.init_width = 32;
+  config.conv1_kernel = 3;
+  config.conv1_padding = 1;
+  Rng rng(7);
+  nn::ConfigurableResNet model(config, rng);
+  for (int i = 0; i < 2; ++i) {
+    model.forward(Tensor::rand_uniform({2, 5, hw, hw}, rng, -1.0f, 1.0f));
+  }
+  model.set_training(false);
+  return GraphExecutor(graph::build_resnet_graph(config, hw), model);
+}
+
+std::int32_t read_i32(const std::vector<unsigned char>& bytes,
+                      std::size_t at) {
+  std::int32_t v;
+  std::memcpy(&v, bytes.data() + at, sizeof v);
+  return v;
+}
+
+void write_i32(std::vector<unsigned char>& bytes, std::size_t at,
+               std::int32_t v) {
+  std::memcpy(bytes.data() + at, &v, sizeof v);
+}
+
+/// Walks the DCNX record layout and returns the byte offset of the first
+/// ReLU node's out_shape triple. ReLU carries no weight tensors, so patching
+/// its shape annotation keeps the file structurally parseable — the
+/// corruption is only catchable semantically.
+std::size_t first_relu_out_shape_offset(
+    const std::vector<unsigned char>& bytes) {
+  constexpr std::uint8_t kHasConv = 1u << 0;
+  constexpr std::uint8_t kHasBias = 1u << 1;
+  constexpr std::uint8_t kHasBn = 1u << 2;
+  constexpr std::uint8_t kHasLinear = 1u << 3;
+  std::size_t pos = 8;  // magic + version
+  std::uint32_t count;
+  std::memcpy(&count, bytes.data() + pos, 4);
+  pos += 4;
+  for (std::uint32_t i = 0; i < count; ++i) {
+    const std::uint8_t kind = bytes[pos++];
+    const std::uint8_t flags = bytes[pos++];
+    std::uint16_t name_len;
+    std::memcpy(&name_len, bytes.data() + pos, 2);
+    pos += 2 + name_len;
+    pos += 3 * 4;  // attrs
+    pos += 3 * 4;  // in_shape
+    const std::size_t out_shape_at = pos;
+    pos += 3 * 4;  // out_shape
+    const std::uint8_t num_inputs = bytes[pos++];
+    pos += static_cast<std::size_t>(num_inputs) * 4;
+    if (kind == static_cast<std::uint8_t>(OpKind::kRelu)) {
+      return out_shape_at;
+    }
+    std::size_t tensors = 0;
+    if (flags & kHasConv) tensors += 1;
+    if (flags & kHasBias) tensors += 1;
+    if (flags & kHasBn) tensors += 4;
+    if (flags & kHasLinear) tensors += 2;
+    for (std::size_t t = 0; t < tensors; ++t) {
+      std::uint32_t numel;
+      std::memcpy(&numel, bytes.data() + pos, 4);
+      pos += 4 + static_cast<std::size_t>(numel) * 4;
+    }
+  }
+  ADD_FAILURE() << "model file has no ReLU record";
+  return 0;
+}
+
+/// A serialized model with one falsified shape annotation: byte-patched, not
+/// rebuilt, so every structural invariant the parser checks still holds.
+std::vector<unsigned char> byte_patched_model() {
+  std::vector<unsigned char> bytes =
+      graph::serialize_model(make_trained_executor());
+  const std::size_t at = first_relu_out_shape_offset(bytes);
+  const std::int32_t h = read_i32(bytes, at + 4);
+  write_i32(bytes, at + 4, h + 1);  // out_shape.h off by one
+  return bytes;
+}
+
+// ---------------------------------------------------------------------------
+// Boundary 1: parse_model (verify-on-load).
+
+TEST(TrustBoundaryTest, ParseModelAcceptsHonestFile) {
+  const auto bytes = graph::serialize_model(make_trained_executor());
+  EXPECT_NO_THROW(graph::parse_model(bytes));
+}
+
+TEST(TrustBoundaryTest, ParseModelRejectsBytePatchedShape) {
+  try {
+    graph::parse_model(byte_patched_model());
+    FAIL() << "falsified shape annotation must be rejected";
+  } catch (const InvalidArgument& e) {
+    EXPECT_NE(std::string(e.what()).find("parse_model"), std::string::npos);
+  }
+}
+
+TEST(TrustBoundaryTest, ParseModelGraphExposesTheCorruptionToLint) {
+  // dcnas_lint's path: parse without verifying, then report everything.
+  const ModelGraph g = graph::parse_model_graph(byte_patched_model());
+  const VerifyResult r = GraphVerifier::standard().verify(g);
+  EXPECT_FALSE(r.ok());
+  EXPECT_TRUE(r.has_rule(rules::kOutShape) || r.has_rule(rules::kInShape))
+      << r.to_string();
+}
+
+// ---------------------------------------------------------------------------
+// Boundary 2: serve::ModelRegistry (refuse to register).
+
+TEST(TrustBoundaryTest, RegistryRefusesBytePatchedFile) {
+  namespace fs = std::filesystem;
+  const fs::path path = fs::temp_directory_path() / "dcnas_corrupt.dcnx";
+  {
+    const auto bytes = byte_patched_model();
+    std::ofstream out(path, std::ios::binary);
+    out.write(reinterpret_cast<const char*>(bytes.data()),
+              static_cast<std::streamsize>(bytes.size()));
+  }
+  serve::ModelRegistry registry(4);
+  EXPECT_THROW(registry.load("bad", path.string()), InvalidArgument);
+  EXPECT_FALSE(registry.contains("bad"));
+  EXPECT_EQ(registry.size(), 0u);
+  std::remove(path.string().c_str());
+}
+
+TEST(TrustBoundaryTest, RegistryKeepsResidentVersionWhenSwapIsRefused) {
+  serve::ModelRegistry registry(4);
+  const int v1 = registry.register_model("m", make_trained_executor());
+  EXPECT_EQ(v1, 1);
+  namespace fs = std::filesystem;
+  const fs::path path = fs::temp_directory_path() / "dcnas_corrupt2.dcnx";
+  {
+    const auto bytes = byte_patched_model();
+    std::ofstream out(path, std::ios::binary);
+    out.write(reinterpret_cast<const char*>(bytes.data()),
+              static_cast<std::streamsize>(bytes.size()));
+  }
+  EXPECT_THROW(registry.load("m", path.string()), InvalidArgument);
+  EXPECT_TRUE(registry.contains("m"));
+  EXPECT_EQ(registry.version("m"), v1) << "refused swap must not bump";
+  std::remove(path.string().c_str());
+}
+
+TEST(TrustBoundaryTest, RegistryAcceptsVerifiedExecutor) {
+  serve::ModelRegistry registry(4);
+  EXPECT_EQ(registry.register_model("good", make_trained_executor()), 1);
+  EXPECT_TRUE(registry.contains("good"));
+}
+
+// ---------------------------------------------------------------------------
+// Boundary 3: the NAS evaluator (verify each candidate before spending
+// training or latency-prediction budget on it).
+
+TEST(TrustBoundaryTest, EveryEvaluatorCandidateGateAcceptsValidConfigs) {
+  nas::TrialConfig config;  // defaults are the Table 4 anchor point
+  EXPECT_NO_THROW(nas::verify_candidate(config));
+}
+
+TEST(TrustBoundaryTest, EvaluatorRejectsOutOfSpaceCandidate) {
+  nas::TrialConfig config;
+  config.padding = 9;  // outside {1, 2, 3}
+  EXPECT_THROW(nas::verify_candidate(config), InvalidArgument);
+}
+
+}  // namespace
+}  // namespace dcnas::analysis

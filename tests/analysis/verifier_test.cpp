@@ -1,0 +1,359 @@
+#include "dcnas/analysis/verifier.hpp"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "dcnas/analysis/inference.hpp"
+#include "dcnas/analysis/passes.hpp"
+#include "dcnas/graph/builder.hpp"
+
+namespace dcnas::analysis {
+namespace {
+
+using graph::ActShape;
+using graph::GraphNode;
+using graph::ModelGraph;
+using graph::OpKind;
+
+/// The stock ResNet-18 graph (5-channel baseline at deployment size) — the
+/// donor for every seeded corruption below.
+ModelGraph resnet18() {
+  return graph::build_resnet_graph(nn::ResNetConfig::baseline(5));
+}
+
+VerifyResult verify(const ModelGraph& g) {
+  return GraphVerifier::standard().verify(g);
+}
+
+int find_node(const ModelGraph& g, OpKind kind, int skip = 0) {
+  for (std::size_t i = 0; i < g.size(); ++i) {
+    if (g.nodes()[i].kind == kind && skip-- == 0) return static_cast<int>(i);
+  }
+  ADD_FAILURE() << "graph has no " << op_kind_name(kind) << " node";
+  return -1;
+}
+
+/// Applies \p mutate to a copy of the ResNet-18 node list and verifies the
+/// resulting graph, asserting \p rule fires among the diagnostics.
+VerifyResult corrupt_and_expect(const char* rule,
+                                void (*mutate)(std::vector<GraphNode>&)) {
+  std::vector<GraphNode> nodes = resnet18().nodes();
+  mutate(nodes);
+  const VerifyResult r = verify(ModelGraph::from_nodes(std::move(nodes)));
+  EXPECT_FALSE(r.diagnostics.empty()) << "corruption went undetected";
+  EXPECT_TRUE(r.has_rule(rule))
+      << "expected rule " << rule << " among:\n" << r.to_string();
+  return r;
+}
+
+int relu_index(const std::vector<GraphNode>& nodes) {
+  for (std::size_t i = 0; i < nodes.size(); ++i) {
+    if (nodes[i].kind == OpKind::kRelu) return static_cast<int>(i);
+  }
+  return -1;
+}
+
+// ---------------------------------------------------------------------------
+// Clean baselines: the verifier's second-implementation arithmetic must agree
+// with the builder's on every valid graph, with zero diagnostics (warnings
+// included — a warning on a stock graph would be noise at trust boundaries).
+
+TEST(VerifierTest, StockResNet18IsClean) {
+  const VerifyResult r = verify(resnet18());
+  EXPECT_TRUE(r.ok());
+  EXPECT_EQ(r.diagnostics.size(), 0u) << r.to_string();
+}
+
+TEST(VerifierTest, SevenChannelAndNoPoolVariantsAreClean) {
+  for (int channels : {5, 7}) {
+    nn::ResNetConfig cfg = nn::ResNetConfig::baseline(channels);
+    EXPECT_EQ(verify(graph::build_resnet_graph(cfg)).diagnostics.size(), 0u);
+    cfg.with_pool = false;
+    cfg.init_width = 32;
+    EXPECT_EQ(verify(graph::build_resnet_graph(cfg)).diagnostics.size(), 0u);
+  }
+}
+
+TEST(VerifierTest, SmallInputSizeIsClean) {
+  const ModelGraph g =
+      graph::build_resnet_graph(nn::ResNetConfig::baseline(5), 24);
+  EXPECT_EQ(verify(g).diagnostics.size(), 0u);
+}
+
+// ---------------------------------------------------------------------------
+// Corruption harness: each seeded corruption class must fire its rule id.
+
+TEST(CorruptionTest, FalsifiedOutShapeAnnotation) {
+  corrupt_and_expect(rules::kOutShape, [](std::vector<GraphNode>& nodes) {
+    nodes[static_cast<std::size_t>(relu_index(nodes))].out_shape.h += 3;
+  });
+}
+
+TEST(CorruptionTest, FalsifiedInShapeAnnotation) {
+  corrupt_and_expect(rules::kInShape, [](std::vector<GraphNode>& nodes) {
+    nodes[static_cast<std::size_t>(relu_index(nodes))].in_shape.c += 1;
+  });
+}
+
+TEST(CorruptionTest, WrongFlopsAnnotation) {
+  corrupt_and_expect(rules::kFlops, [](std::vector<GraphNode>& nodes) {
+    for (GraphNode& n : nodes) {
+      if (n.kind == OpKind::kConv) {
+        n.flops /= 2;  // claims MACs instead of FLOPs
+        return;
+      }
+    }
+  });
+}
+
+TEST(CorruptionTest, WrongParamsAnnotation) {
+  corrupt_and_expect(rules::kParams, [](std::vector<GraphNode>& nodes) {
+    for (GraphNode& n : nodes) {
+      if (n.kind == OpKind::kLinear) {
+        n.params -= n.out_shape.c;  // "forgets" the bias
+        return;
+      }
+    }
+  });
+}
+
+TEST(CorruptionTest, DanglingInputIndex) {
+  corrupt_and_expect(rules::kDanglingInput, [](std::vector<GraphNode>& nodes) {
+    nodes.back().inputs[0] = static_cast<int>(nodes.size()) + 7;
+  });
+}
+
+TEST(CorruptionTest, ForwardReferenceViolatesTopologicalOrder) {
+  corrupt_and_expect(rules::kDanglingInput, [](std::vector<GraphNode>& nodes) {
+    const int i = relu_index(nodes);
+    nodes[static_cast<std::size_t>(i)].inputs[0] = i;  // self-loop
+  });
+}
+
+TEST(CorruptionTest, OrphanNode) {
+  corrupt_and_expect(rules::kOrphan, [](std::vector<GraphNode>& nodes) {
+    GraphNode orphan;
+    orphan.kind = OpKind::kRelu;
+    orphan.name = "dead_relu";
+    orphan.inputs = {0};
+    orphan.in_shape = nodes[0].out_shape;
+    orphan.out_shape = nodes[0].out_shape;
+    orphan.flops = orphan.out_shape.numel();
+    // Keep the Output node last so only the orphan rule fires.
+    nodes.insert(nodes.end() - 1, std::move(orphan));
+  });
+}
+
+TEST(CorruptionTest, ShapeMismatchedAdd) {
+  corrupt_and_expect(rules::kAddShape, [](std::vector<GraphNode>& nodes) {
+    for (GraphNode& n : nodes) {
+      if (n.kind == OpKind::kAdd) {
+        // Rewire the residual operand to the graph input, whose shape
+        // cannot match a stage-interior activation.
+        n.inputs[1] = 0;
+        return;
+      }
+    }
+  });
+}
+
+TEST(CorruptionTest, BatchNormWithoutConvProducer) {
+  // Warning-severity: the graph still executes, but fold_batchnorm() can
+  // never fuse this BN, which the fusion pass assumes rather than checks.
+  std::vector<GraphNode> nodes = resnet18().nodes();
+  for (GraphNode& n : nodes) {
+    if (n.kind == OpKind::kBatchNorm) {
+      const GraphNode& conv = nodes[static_cast<std::size_t>(n.inputs[0])];
+      if (conv.inputs.empty()) continue;
+      const int grandparent = conv.inputs[0];
+      if (nodes[static_cast<std::size_t>(grandparent)].out_shape !=
+          n.out_shape) {
+        continue;  // keep shapes legal so only the fusion smell fires
+      }
+      n.inputs[0] = grandparent;
+      n.in_shape = nodes[static_cast<std::size_t>(grandparent)].out_shape;
+      break;
+    }
+  }
+  const VerifyResult r = verify(ModelGraph::from_nodes(std::move(nodes)));
+  EXPECT_TRUE(r.has_rule(rules::kBnProducer)) << r.to_string();
+  for (const Diagnostic& d : r.diagnostics) {
+    if (d.rule == rules::kBnProducer) {
+      EXPECT_EQ(d.severity, Severity::kWarning);
+    }
+  }
+}
+
+TEST(CorruptionTest, AbsurdStride) {
+  corrupt_and_expect(rules::kGeometry, [](std::vector<GraphNode>& nodes) {
+    for (GraphNode& n : nodes) {
+      if (n.kind == OpKind::kConv) {
+        n.attrs.stride = 0;
+        return;
+      }
+    }
+  });
+}
+
+TEST(CorruptionTest, AbsurdPadding) {
+  corrupt_and_expect(rules::kGeometry, [](std::vector<GraphNode>& nodes) {
+    for (GraphNode& n : nodes) {
+      if (n.kind == OpKind::kConv) {
+        n.attrs.padding = n.attrs.kernel + 5;
+        return;
+      }
+    }
+  });
+}
+
+TEST(CorruptionTest, KernelLargerThanPaddedInput) {
+  corrupt_and_expect(rules::kGeometry, [](std::vector<GraphNode>& nodes) {
+    for (GraphNode& n : nodes) {
+      if (n.kind == OpKind::kMaxPool) {
+        n.attrs.kernel = 4096;  // no window fits a 224-px activation
+        return;
+      }
+    }
+  });
+}
+
+TEST(CorruptionTest, WrongArity) {
+  corrupt_and_expect(rules::kArity, [](std::vector<GraphNode>& nodes) {
+    for (GraphNode& n : nodes) {
+      if (n.kind == OpKind::kAdd) {
+        n.inputs.pop_back();
+        return;
+      }
+    }
+  });
+}
+
+TEST(CorruptionTest, MissingOutputNode) {
+  corrupt_and_expect(rules::kSingleOutput, [](std::vector<GraphNode>& nodes) {
+    nodes.back().kind = OpKind::kRelu;
+  });
+}
+
+TEST(CorruptionTest, ExtraInputNode) {
+  corrupt_and_expect(rules::kInputFirst, [](std::vector<GraphNode>& nodes) {
+    const int i = relu_index(nodes);
+    GraphNode& n = nodes[static_cast<std::size_t>(i)];
+    n.kind = OpKind::kInput;
+    n.inputs.clear();
+    n.out_shape = n.in_shape;  // keep downstream shapes legal
+  });
+}
+
+TEST(CorruptionTest, InflatedActivationPeakDiverges) {
+  const VerifyResult r = corrupt_and_expect(
+      rules::kActivationBytes, [](std::vector<GraphNode>& nodes) {
+        // An inflated stored shape raises max_activation_bytes() above what
+        // independently re-inferred shapes can reach.
+        GraphNode& n = nodes[static_cast<std::size_t>(relu_index(nodes))];
+        n.out_shape = {512, 224, 224};
+      });
+  EXPECT_TRUE(r.has_rule(rules::kOutShape));  // defense in depth: both fire
+}
+
+TEST(CorruptionTest, EmptyGraph) {
+  const VerifyResult r = verify(ModelGraph::from_nodes({}));
+  EXPECT_FALSE(r.ok());
+  EXPECT_TRUE(r.has_rule(rules::kInputFirst));
+}
+
+// ---------------------------------------------------------------------------
+// Framework mechanics.
+
+TEST(VerifierFrameworkTest, StandardPipelineRunsAllSixPasses) {
+  const GraphVerifier v = GraphVerifier::standard();
+  EXPECT_EQ(v.pass_count(), 6u);
+  const std::vector<std::string> names = v.pass_names();
+  EXPECT_EQ(names.front(), "topology");
+  EXPECT_EQ(names.back(), "resource");
+}
+
+TEST(VerifierFrameworkTest, CustomPassExtendsThePipeline) {
+  class NamePolicyPass : public VerifyPass {
+   public:
+    std::string name() const override { return "name-policy"; }
+    void run(const ModelGraph& g,
+             std::vector<Diagnostic>& out) const override {
+      for (std::size_t i = 0; i < g.size(); ++i) {
+        if (g.nodes()[i].name.empty()) {
+          Diagnostic d;
+          d.rule = "style.unnamed";
+          d.severity = Severity::kWarning;
+          d.node = static_cast<int>(i);
+          d.message = "node has no name";
+          out.push_back(std::move(d));
+        }
+      }
+    }
+  };
+  GraphVerifier v;
+  v.add_pass(std::make_unique<NamePolicyPass>());
+  ModelGraph g;
+  g.add_input({5, 8, 8}, "");
+  g.add_output(g.add_relu(0, "relu"), "out");
+  const VerifyResult r = v.verify(g);
+  ASSERT_EQ(r.diagnostics.size(), 1u);
+  EXPECT_TRUE(r.has_rule("style.unnamed"));
+  EXPECT_TRUE(r.ok()) << "warnings alone must not fail verification";
+}
+
+TEST(VerifierFrameworkTest, DiagnosticToStringNamesTheNode) {
+  Diagnostic d;
+  d.rule = rules::kOutShape;
+  d.severity = Severity::kError;
+  d.node = 4;
+  d.node_name = "conv1";
+  d.message = "stored out_shape (1,1,1)";
+  EXPECT_EQ(d.to_string(),
+            "error[sem.out-shape] node 4 'conv1': stored out_shape (1,1,1)");
+}
+
+TEST(VerifierFrameworkTest, VerifyOrThrowListsEveryDiagnostic) {
+  std::vector<GraphNode> nodes = resnet18().nodes();
+  nodes[static_cast<std::size_t>(relu_index(nodes))].out_shape.h += 1;
+  try {
+    verify_or_throw(ModelGraph::from_nodes(std::move(nodes)), "unit test");
+    FAIL() << "expected InvalidArgument";
+  } catch (const InvalidArgument& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("unit test"), std::string::npos);
+    EXPECT_NE(what.find(rules::kOutShape), std::string::npos);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Inference arithmetic spot checks (the independent re-derivation).
+
+TEST(InferenceTest, WindowOutSizeMatchesConvFormula) {
+  EXPECT_EQ(window_out_size(224, 7, 2, 3).value_or(-1), 112);
+  EXPECT_EQ(window_out_size(56, 3, 1, 1).value_or(-1), 56);
+  EXPECT_EQ(window_out_size(8, 3, 2, 1).value_or(-1), 4);
+  EXPECT_FALSE(window_out_size(8, 0, 1, 0).has_value());
+  EXPECT_FALSE(window_out_size(8, 3, 0, 1).has_value());
+  EXPECT_FALSE(window_out_size(4, 9, 1, 0).has_value());
+}
+
+TEST(InferenceTest, ConvExpectationMatchesBuilderAnnotations) {
+  const ModelGraph g = resnet18();
+  for (std::size_t i = 1; i < g.size(); ++i) {
+    const GraphNode& n = g.nodes()[i];
+    std::vector<ActShape> producers;
+    for (int in : n.inputs) {
+      producers.push_back(g.nodes()[static_cast<std::size_t>(in)].out_shape);
+    }
+    const auto e = infer_node(n, producers);
+    ASSERT_TRUE(e.has_value()) << "node " << i << " '" << n.name << "'";
+    EXPECT_EQ(e->out_shape, n.out_shape) << n.name;
+    EXPECT_EQ(e->params, n.params) << n.name;
+    EXPECT_EQ(e->flops, n.flops) << n.name;
+  }
+}
+
+}  // namespace
+}  // namespace dcnas::analysis
