@@ -22,6 +22,7 @@
 #include "dcnas/latency/predictor.hpp"
 #include "dcnas/nas/search_space.hpp"
 #include "dcnas/nn/trainer.hpp"
+#include "dcnas/obs/metrics.hpp"
 #include "dcnas/serve/server.hpp"
 
 namespace {
@@ -153,6 +154,21 @@ void write_json(const std::vector<PolicyResult>& results, double pred_mean_ms,
   std::printf("wrote BENCH_serve.json\n");
 }
 
+/// Dumps the process-wide metrics registry (admission/flush counters, batch
+/// size histogram, profiler phases) accumulated over the whole sweep.
+void write_metrics_snapshot() {
+  const std::string json = obs::MetricsRegistry::global().to_json();
+  std::FILE* f = std::fopen("BENCH_serve_metrics.json", "w");
+  if (!f) {
+    std::printf("WARNING: cannot write BENCH_serve_metrics.json\n");
+    return;
+  }
+  std::fwrite(json.data(), 1, json.size(), f);
+  std::fputc('\n', f);
+  std::fclose(f);
+  std::printf("wrote BENCH_serve_metrics.json\n");
+}
+
 void print_report() {
   std::printf("bench_serve: dynamic-batching throughput/latency sweep\n");
   std::printf("(%d requests per policy, %zu workers, 2ms max queue delay)\n\n",
@@ -178,6 +194,7 @@ void print_report() {
               "on this host — the runtime the predictor's ranking claims "
               "are checked against)\n");
   write_json(results, pred.mean_ms, pred.std_ms);
+  write_metrics_snapshot();
 }
 
 void BM_DirectRunBatch(benchmark::State& state) {

@@ -2,8 +2,16 @@
 /// \file profiler.hpp
 /// \brief Lightweight scoped-timer profiler — the §5 suggestion of
 /// profiling NAS resource usage (Nsight-style), scaled to this codebase.
-/// Phases accumulate wall time and call counts into a process-wide
-/// registry; report() renders an aligned summary.
+/// Phases accumulate wall time and call counts; report() renders an
+/// aligned summary.
+///
+/// Since the obs layer landed, Profiler is a thin facade over the
+/// process-wide obs::MetricsRegistry: each phase is the duration histogram
+/// `profiler.<phase>` (total = sum, calls = count), so phase totals appear
+/// in every metrics export alongside the rest of the system's metrics.
+/// Existing call sites are unchanged. For *timeline* data (who called what
+/// when, per thread) use obs::Span / DCNAS_TRACE_SPAN instead — see
+/// OBSERVABILITY.md.
 
 #include <chrono>
 #include <string>
@@ -22,7 +30,8 @@ class Profiler {
   double total_seconds(const std::string& phase) const;
   std::int64_t call_count(const std::string& phase) const;
 
-  /// Aligned text summary sorted by descending total time.
+  /// Aligned text summary sorted by descending total time; phases with
+  /// equal totals are ordered by name, so the report is deterministic.
   std::string report() const;
 
   /// Clears all accumulated phases.
@@ -30,8 +39,6 @@ class Profiler {
 
  private:
   Profiler() = default;
-  struct Impl;
-  Impl& impl() const;
 };
 
 /// RAII timer: adds the scope's wall time to \p phase on destruction.

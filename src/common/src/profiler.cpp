@@ -1,28 +1,31 @@
 #include "dcnas/common/profiler.hpp"
 
 #include <algorithm>
-#include <map>
-#include <mutex>
 #include <sstream>
 #include <vector>
 
 #include "dcnas/common/strings.hpp"
+#include "dcnas/obs/metrics.hpp"
 
 namespace dcnas {
 
-struct Profiler::Impl {
-  struct Phase {
-    double total = 0.0;
-    std::int64_t calls = 0;
-  };
-  mutable std::mutex mu;
-  std::map<std::string, Phase> phases;
-};
+namespace {
 
-Profiler::Impl& Profiler::impl() const {
-  static Impl instance;
-  return instance;
+constexpr std::string_view kPrefix = "profiler.";
+
+/// Shared duration boundaries for every phase histogram: 1 µs .. 100 s,
+/// one bucket per decade.
+const std::vector<double>& phase_boundaries() {
+  static const std::vector<double> boundaries =
+      obs::Histogram::exponential_boundaries(1e-6, 100.0, 8);
+  return boundaries;
 }
+
+std::string metric_name(const std::string& phase) {
+  return std::string(kPrefix) + phase;
+}
+
+}  // namespace
 
 Profiler& Profiler::global() {
   static Profiler p;
@@ -30,44 +33,53 @@ Profiler& Profiler::global() {
 }
 
 void Profiler::record(const std::string& phase, double seconds) {
-  Impl& i = impl();
-  std::lock_guard<std::mutex> lock(i.mu);
-  auto& p = i.phases[phase];
-  p.total += seconds;
-  p.calls += 1;
+  obs::MetricsRegistry::global()
+      .histogram(metric_name(phase), phase_boundaries())
+      .observe(seconds);
 }
 
 double Profiler::total_seconds(const std::string& phase) const {
-  Impl& i = impl();
-  std::lock_guard<std::mutex> lock(i.mu);
-  const auto it = i.phases.find(phase);
-  return it == i.phases.end() ? 0.0 : it->second.total;
+  const obs::Histogram* h =
+      obs::MetricsRegistry::global().find_histogram(metric_name(phase));
+  return h == nullptr ? 0.0 : h->sum();
 }
 
 std::int64_t Profiler::call_count(const std::string& phase) const {
-  Impl& i = impl();
-  std::lock_guard<std::mutex> lock(i.mu);
-  const auto it = i.phases.find(phase);
-  return it == i.phases.end() ? 0 : it->second.calls;
+  const obs::Histogram* h =
+      obs::MetricsRegistry::global().find_histogram(metric_name(phase));
+  return h == nullptr ? 0 : h->count();
 }
 
 std::string Profiler::report() const {
-  Impl& i = impl();
-  std::vector<std::pair<std::string, Impl::Phase>> rows;
-  {
-    std::lock_guard<std::mutex> lock(i.mu);
-    rows.assign(i.phases.begin(), i.phases.end());
+  struct Row {
+    std::string phase;
+    double total = 0.0;
+    std::int64_t calls = 0;
+  };
+  obs::MetricsRegistry& registry = obs::MetricsRegistry::global();
+  std::vector<Row> rows;
+  for (const std::string& name : registry.names_with_prefix(kPrefix)) {
+    const obs::Histogram* h = registry.find_histogram(name);
+    if (h == nullptr) continue;
+    Row row;
+    row.phase = name.substr(kPrefix.size());
+    row.total = h->sum();
+    row.calls = h->count();
+    // A reset phase keeps its registry slot but has nothing to report.
+    if (row.calls > 0) rows.push_back(std::move(row));
   }
-  std::sort(rows.begin(), rows.end(), [](const auto& a, const auto& b) {
-    return a.second.total > b.second.total;
+  std::sort(rows.begin(), rows.end(), [](const Row& a, const Row& b) {
+    if (a.total != b.total) return a.total > b.total;
+    return a.phase < b.phase;  // deterministic order for equal totals
   });
   std::ostringstream os;
   os << pad("phase", 32) << pad("total(s)", 12, true)
      << pad("calls", 10, true) << pad("mean(ms)", 12, true) << "\n";
-  for (const auto& [name, p] : rows) {
-    os << pad(name, 32) << pad(format_fixed(p.total, 3), 12, true)
-       << pad(std::to_string(p.calls), 10, true)
-       << pad(format_fixed(1e3 * p.total / static_cast<double>(p.calls), 3),
+  for (const Row& row : rows) {
+    os << pad(row.phase, 32) << pad(format_fixed(row.total, 3), 12, true)
+       << pad(std::to_string(row.calls), 10, true)
+       << pad(format_fixed(1e3 * row.total / static_cast<double>(row.calls),
+                           3),
               12, true)
        << "\n";
   }
@@ -75,9 +87,7 @@ std::string Profiler::report() const {
 }
 
 void Profiler::reset() {
-  Impl& i = impl();
-  std::lock_guard<std::mutex> lock(i.mu);
-  i.phases.clear();
+  obs::MetricsRegistry::global().reset_prefix(kPrefix);
 }
 
 }  // namespace dcnas

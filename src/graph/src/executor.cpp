@@ -3,6 +3,8 @@
 #include <cmath>
 
 #include "dcnas/common/strings.hpp"
+#include "dcnas/obs/metrics.hpp"
+#include "dcnas/obs/trace.hpp"
 #include "dcnas/tensor/gemm.hpp"
 #include "dcnas/tensor/im2col.hpp"
 #include "dcnas/tensor/ops.hpp"
@@ -208,6 +210,15 @@ Tensor GraphExecutor::run(const Tensor& input) const {
   DCNAS_CHECK(input.ndim() == 4 &&
                   input.dim(1) == graph_.nodes().front().out_shape.c,
               "executor input shape mismatch");
+  obs::Span span("graph", "graph.execute");
+  if (span.armed()) span.arg("rows", input.dim(0));
+  static obs::Counter& runs =
+      obs::MetricsRegistry::global().counter("graph.executor.run.count");
+  static obs::Histogram& batch_rows =
+      obs::MetricsRegistry::global().histogram(
+          "graph.executor.batch_rows", {1.0, 2.0, 4.0, 8.0, 16.0, 32.0, 64.0});
+  runs.add(1);
+  batch_rows.observe(static_cast<double>(input.dim(0)));
   std::vector<Tensor> outputs(graph_.size());
   Tensor result;
   for (std::size_t i = 1; i < graph_.size(); ++i) {

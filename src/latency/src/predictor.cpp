@@ -7,6 +7,8 @@
 #include "dcnas/common/stats.hpp"
 #include "dcnas/latency/features.hpp"
 #include "dcnas/latency/simulator.hpp"
+#include "dcnas/obs/metrics.hpp"
+#include "dcnas/obs/trace.hpp"
 
 namespace dcnas::latency {
 
@@ -40,6 +42,8 @@ double LatencyPredictor::prior_ms(const FusedKernel& k) const {
 }
 
 void LatencyPredictor::train(const PredictorTrainOptions& options) {
+  obs::Span span("latency", "latency.predictor.train");
+  if (span.armed()) span.arg("device", device_.name);
   const ScopedTimer timer("latency.train_predictor");
   DCNAS_CHECK(options.samples_per_kind >= 20,
               "predictor training needs >= 20 samples per kernel kind");
@@ -64,6 +68,9 @@ void LatencyPredictor::train(const PredictorTrainOptions& options) {
     forest.fit(data, fo);
     forests_.emplace(kind, std::move(forest));
   }
+  static obs::Counter& trained_count =
+      obs::MetricsRegistry::global().counter("latency.predictor.trained.count");
+  trained_count.add(1);
   DCNAS_LOG_DEBUG << "trained latency predictor for " << device_.name;
 }
 
@@ -85,6 +92,14 @@ double LatencyPredictor::predict_kernel_ms(const FusedKernel& kernel) const {
 
 double LatencyPredictor::predict_model_ms(
     const std::vector<FusedKernel>& kernels) const {
+  obs::Span span("latency", "latency.model.predict");
+  if (span.armed()) {
+    span.arg("device", device_.name);
+    span.arg("kernels", static_cast<std::int64_t>(kernels.size()));
+  }
+  static obs::Counter& predicted =
+      obs::MetricsRegistry::global().counter("latency.model.predicted.count");
+  predicted.add(1);
   double total = 0.0;
   for (const auto& k : kernels) total += predict_kernel_ms(k);
   return total;
@@ -127,6 +142,10 @@ const NnMeter& NnMeter::shared() {
 
 ModelLatencyPrediction NnMeter::predict_kernels(
     const std::vector<FusedKernel>& kernels) const {
+  obs::Span span("latency", "latency.meter.predict");
+  if (span.armed()) {
+    span.arg("kernels", static_cast<std::int64_t>(kernels.size()));
+  }
   ModelLatencyPrediction out;
   std::vector<double> values;
   for (const auto& p : predictors_) {

@@ -5,24 +5,43 @@
 #include "dcnas/geodata/kfold.hpp"
 #include "dcnas/graph/builder.hpp"
 #include "dcnas/nn/trainer.hpp"
+#include "dcnas/obs/metrics.hpp"
+#include "dcnas/obs/trace.hpp"
 
 namespace dcnas::nas {
 
 void verify_candidate(const TrialConfig& config) {
+  obs::Span span("nas", "nas.candidate.verify");
+  if (span.armed()) span.arg("config", config.lattice_key());
   config.validate();
   const graph::ModelGraph g =
       graph::build_resnet_graph(config.to_resnet_config());
   analysis::verify_or_throw(g, "NAS candidate " + config.lattice_key());
+  static obs::Counter& verified =
+      obs::MetricsRegistry::global().counter("nas.candidate.verified.count");
+  verified.add(1);
 }
 
 OracleEvaluator::OracleEvaluator(const OracleOptions& options)
     : oracle_(options) {}
 
+namespace {
+
+void count_trial_evaluated() {
+  static obs::Counter& evaluated =
+      obs::MetricsRegistry::global().counter("nas.trial.evaluated.count");
+  evaluated.add(1);
+}
+
+}  // namespace
+
 EvalResult OracleEvaluator::evaluate(const TrialConfig& config) {
+  DCNAS_TRACE_SPAN("nas", "nas.trial.evaluate");
   verify_candidate(config);
   EvalResult r;
   r.fold_accuracies = oracle_.fold_accuracies(config);
   r.mean_accuracy = mean(r.fold_accuracies);
+  count_trial_evaluated();
   return r;
 }
 
@@ -37,6 +56,7 @@ TrainingEvaluator::TrainingEvaluator(const geodata::DrainageDataset& dataset5,
 }
 
 EvalResult TrainingEvaluator::evaluate(const TrialConfig& config) {
+  DCNAS_TRACE_SPAN("nas", "nas.trial.evaluate");
   verify_candidate(config);
   const geodata::DrainageDataset& ds =
       (config.channels == 5) ? dataset5_ : dataset7_;
@@ -47,6 +67,10 @@ EvalResult TrainingEvaluator::evaluate(const TrialConfig& config) {
       geodata::stratified_kfold(ds.labels, options_.folds, options_.seed);
   EvalResult result;
   for (std::size_t f = 0; f < splits.size(); ++f) {
+    obs::Span fold_span("nas", "nas.fold.evaluate");
+    if (fold_span.armed()) {
+      fold_span.arg("fold", static_cast<std::int64_t>(f));
+    }
     // Fresh weights per fold, seeded by (trial, fold) for reproducibility.
     Rng init_rng(mix_seed(options_.seed ^ config.encode(), f));
     nn::ConfigurableResNet model(config.to_resnet_config(), init_rng);
@@ -77,6 +101,7 @@ EvalResult TrainingEvaluator::evaluate(const TrialConfig& config) {
     result.fold_accuracies.push_back(acc * 100.0);
   }
   result.mean_accuracy = mean(result.fold_accuracies);
+  count_trial_evaluated();
   return result;
 }
 

@@ -4,6 +4,7 @@
 #include "dcnas/common/profiler.hpp"
 #include "dcnas/common/strings.hpp"
 #include "dcnas/graph/serialize.hpp"
+#include "dcnas/obs/trace.hpp"
 
 namespace dcnas::nas {
 
@@ -100,6 +101,8 @@ Experiment::Experiment(Evaluator& evaluator, const latency::NnMeter& meter,
     : evaluator_(evaluator), meter_(meter), options_(options) {}
 
 TrialRecord Experiment::run_trial(const TrialConfig& config) const {
+  obs::Span span("nas", "nas.trial.run");
+  if (span.armed()) span.arg("config", config.lattice_key());
   const ScopedTimer trial_timer("experiment.trial");
   config.validate();
   TrialRecord r;
@@ -112,6 +115,7 @@ TrialRecord Experiment::run_trial(const TrialConfig& config) const {
   r.fold_accuracies = eval.fold_accuracies;
   r.accuracy = eval.mean_accuracy;
 
+  DCNAS_TRACE_SPAN("nas", "nas.trial.hardware");
   const ScopedTimer hw_timer("experiment.hardware_objectives");
   const graph::ModelGraph g = graph::build_resnet_graph(
       config.to_resnet_config(), options_.deployment_input_hw);

@@ -7,6 +7,8 @@
 #include "dcnas/common/logging.hpp"
 #include "dcnas/common/rng.hpp"
 #include "dcnas/nn/metrics.hpp"
+#include "dcnas/obs/metrics.hpp"
+#include "dcnas/obs/trace.hpp"
 #include "dcnas/tensor/ops.hpp"
 
 namespace dcnas::nn {
@@ -38,6 +40,16 @@ FitResult fit(Module& model, const Tensor& images,
               "fit requires positive epochs and batch size");
   DCNAS_CHECK(n >= 2, "fit needs at least two samples (BatchNorm)");
 
+  obs::Span fit_span("nn", "nn.fit");
+  if (fit_span.armed()) {
+    fit_span.arg("epochs", options.epochs);
+    fit_span.arg("samples", n);
+  }
+  static obs::Counter& epoch_count =
+      obs::MetricsRegistry::global().counter("nn.train.epoch.count");
+  static obs::Counter& batch_count =
+      obs::MetricsRegistry::global().counter("nn.train.batch.count");
+
   Rng rng(options.seed);
   model.set_training(true);
   Sgd optimizer(model.parameters(), options.lr, options.momentum,
@@ -49,6 +61,8 @@ FitResult fit(Module& model, const Tensor& images,
 
   FitResult result;
   for (int epoch = 0; epoch < options.epochs; ++epoch) {
+    obs::Span epoch_span("nn", "nn.epoch");
+    if (epoch_span.armed()) epoch_span.arg("epoch", epoch);
     if (options.shuffle) rng.shuffle(order);
     double loss_sum = 0.0;
     double acc_sum = 0.0;
@@ -56,6 +70,7 @@ FitResult fit(Module& model, const Tensor& images,
     for (std::int64_t start = 0; start + 1 < n; start += options.batch_size) {
       const std::int64_t end = std::min(start + options.batch_size, n);
       if (end - start < 2) break;  // BatchNorm needs >= 2 values per channel
+      DCNAS_TRACE_SPAN("nn", "nn.batch");
       std::vector<std::int64_t> idx(order.begin() + start, order.begin() + end);
       const Tensor batch = gather_batch(images, idx);
       std::vector<int> batch_labels(idx.size());
@@ -71,6 +86,8 @@ FitResult fit(Module& model, const Tensor& images,
       optimizer.step();
     }
     DCNAS_ASSERT(batches > 0, "fit produced no batches");
+    epoch_count.add(1);
+    batch_count.add(batches);
     result.epoch_loss.push_back(loss_sum / static_cast<double>(batches));
     result.epoch_accuracy.push_back(acc_sum / static_cast<double>(batches));
     if (options.verbose) {
@@ -91,6 +108,8 @@ double evaluate_accuracy(Module& model, const Tensor& images,
               "label count mismatch");
   DCNAS_CHECK(batch_size > 0, "batch_size must be > 0");
   if (n == 0) return 0.0;
+  obs::Span span("nn", "nn.evaluate");
+  if (span.armed()) span.arg("samples", n);
   model.set_training(false);
   std::int64_t hits = 0;
   for (std::int64_t start = 0; start < n; start += batch_size) {

@@ -1,0 +1,31 @@
+#pragma once
+/// \file trace_export.hpp
+/// \brief Chrome-trace / Perfetto-compatible JSON export of recorded spans.
+///
+/// The emitted document is the Trace Event Format's object form:
+///   {"traceEvents": [ {"name": ..., "cat": ..., "ph": "X", "ts": ...,
+///                      "dur": ..., "pid": 1, "tid": ..., "args": {...}}, ...],
+///    "displayTimeUnit": "ms"}
+/// using complete ("X") events with microsecond timestamps, which both
+/// chrome://tracing and https://ui.perfetto.dev load directly. Span args
+/// are exported as string-valued entries of the per-event "args" object.
+
+#include <string>
+#include <vector>
+
+#include "dcnas/obs/trace.hpp"
+
+namespace dcnas::obs {
+
+/// Renders \p events as a Chrome-trace JSON document.
+std::string chrome_trace_json(const std::vector<SpanEvent>& events);
+
+/// Writes \p events to \p path; throws dcnas::Error when the file cannot be
+/// written.
+void write_chrome_trace(const std::string& path,
+                        const std::vector<SpanEvent>& events);
+
+/// write_chrome_trace(path, TraceRecorder::global().snapshot()).
+void write_chrome_trace(const std::string& path);
+
+}  // namespace dcnas::obs

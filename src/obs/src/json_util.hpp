@@ -1,0 +1,43 @@
+#pragma once
+/// \file json_util.hpp
+/// \brief Internal JSON-writing helpers shared by the metrics and trace
+/// exporters. Not installed; the public surface is the exported strings.
+
+#include <cstdio>
+#include <string>
+#include <string_view>
+
+namespace dcnas::obs::detail {
+
+/// Escapes \p s for inclusion inside a JSON string literal.
+inline std::string json_escape(std::string_view s) {
+  std::string out;
+  out.reserve(s.size());
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+/// Formats a finite double as a JSON number that round-trips exactly.
+inline std::string json_number(double value) {
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "%.17g", value);
+  return buf;
+}
+
+}  // namespace dcnas::obs::detail

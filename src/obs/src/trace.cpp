@@ -1,0 +1,212 @@
+#include "dcnas/obs/trace.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+
+namespace dcnas::obs {
+
+namespace {
+
+/// ns since the first call in this process; a process-local epoch keeps
+/// timestamps small and export-friendly.
+std::uint64_t now_ns() {
+  static const auto t0 = std::chrono::steady_clock::now();
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now() - t0)
+          .count());
+}
+
+void copy_bounded(char* dst, std::size_t capacity, std::string_view src) {
+  const std::size_t n = std::min(src.size(), capacity - 1);
+  std::memcpy(dst, src.data(), n);
+  dst[n] = '\0';
+}
+
+/// Nesting depth of live armed spans on this thread.
+thread_local std::uint32_t t_span_depth = 0;
+
+}  // namespace
+
+/// Per-thread event ring. The mutex is only contended while a snapshot or
+/// clear is in flight; the owning thread's commit path otherwise takes an
+/// uncontended lock (a couple of atomic ops).
+struct TraceRecorder::ThreadBuffer {
+  std::mutex mu;
+  std::vector<SpanEvent> ring;  ///< reserved to capacity up front
+  std::size_t capacity = 0;
+  std::size_t next = 0;  ///< overwrite cursor once the ring is full
+  std::uint64_t dropped = 0;
+  std::uint32_t thread_id = 0;
+
+  void reset_locked(std::size_t new_capacity) {
+    ring.clear();
+    ring.reserve(new_capacity);
+    capacity = new_capacity;
+    next = 0;
+    dropped = 0;
+  }
+};
+
+TraceRecorder& TraceRecorder::global() {
+  static TraceRecorder recorder;
+  return recorder;
+}
+
+std::shared_ptr<TraceRecorder::ThreadBuffer> TraceRecorder::local_buffer() {
+  // The recorder keeps a shared_ptr to every buffer, so events survive the
+  // recording thread's exit (server workers finish before the snapshot).
+  thread_local std::shared_ptr<ThreadBuffer> t_buffer;
+  if (!t_buffer) {
+    auto buffer = std::make_shared<ThreadBuffer>();
+    std::lock_guard<std::mutex> lock(registry_mu_);
+    buffer->thread_id = next_thread_id_++;
+    buffer->reset_locked(options_.ring_capacity);
+    buffers_.push_back(buffer);
+    t_buffer = std::move(buffer);
+  }
+  return t_buffer;
+}
+
+void TraceRecorder::enable(const TraceOptions& options) {
+  std::vector<std::shared_ptr<ThreadBuffer>> buffers;
+  {
+    std::lock_guard<std::mutex> lock(registry_mu_);
+    options_ = options;
+    buffers = buffers_;
+  }
+  for (const auto& buffer : buffers) {
+    std::lock_guard<std::mutex> lock(buffer->mu);
+    buffer->reset_locked(options.ring_capacity);
+  }
+  detail::g_trace_enabled.store(true, std::memory_order_relaxed);
+}
+
+void TraceRecorder::disable() {
+  detail::g_trace_enabled.store(false, std::memory_order_relaxed);
+}
+
+void TraceRecorder::commit(const SpanEvent& event) {
+  const std::shared_ptr<ThreadBuffer> buffer = local_buffer();
+  std::lock_guard<std::mutex> lock(buffer->mu);
+  SpanEvent stamped = event;
+  stamped.thread_id = buffer->thread_id;
+  if (buffer->ring.size() < buffer->capacity) {
+    buffer->ring.push_back(stamped);
+  } else if (buffer->capacity > 0) {
+    // Keep-latest drop policy: overwrite the oldest event in ring order.
+    buffer->ring[buffer->next] = stamped;
+    buffer->next = (buffer->next + 1) % buffer->capacity;
+    ++buffer->dropped;
+  }
+}
+
+std::vector<SpanEvent> TraceRecorder::snapshot() const {
+  std::vector<std::shared_ptr<ThreadBuffer>> buffers;
+  {
+    std::lock_guard<std::mutex> lock(registry_mu_);
+    buffers = buffers_;
+  }
+  std::vector<SpanEvent> events;
+  for (const auto& buffer : buffers) {
+    std::lock_guard<std::mutex> lock(buffer->mu);
+    // Chronological ring order: [next, end) is older than [0, next).
+    for (std::size_t i = buffer->next; i < buffer->ring.size(); ++i) {
+      events.push_back(buffer->ring[i]);
+    }
+    for (std::size_t i = 0; i < buffer->next; ++i) {
+      events.push_back(buffer->ring[i]);
+    }
+  }
+  std::stable_sort(events.begin(), events.end(),
+                   [](const SpanEvent& a, const SpanEvent& b) {
+                     if (a.start_ns != b.start_ns) return a.start_ns < b.start_ns;
+                     return a.duration_ns > b.duration_ns;  // parents first
+                   });
+  return events;
+}
+
+std::uint64_t TraceRecorder::dropped_count() const {
+  std::vector<std::shared_ptr<ThreadBuffer>> buffers;
+  {
+    std::lock_guard<std::mutex> lock(registry_mu_);
+    buffers = buffers_;
+  }
+  std::uint64_t dropped = 0;
+  for (const auto& buffer : buffers) {
+    std::lock_guard<std::mutex> lock(buffer->mu);
+    dropped += buffer->dropped;
+  }
+  return dropped;
+}
+
+std::size_t TraceRecorder::thread_count() const {
+  std::vector<std::shared_ptr<ThreadBuffer>> buffers;
+  {
+    std::lock_guard<std::mutex> lock(registry_mu_);
+    buffers = buffers_;
+  }
+  std::size_t threads = 0;
+  for (const auto& buffer : buffers) {
+    std::lock_guard<std::mutex> lock(buffer->mu);
+    threads += buffer->ring.empty() ? 0 : 1;
+  }
+  return threads;
+}
+
+void TraceRecorder::clear() {
+  std::vector<std::shared_ptr<ThreadBuffer>> buffers;
+  std::size_t capacity = 0;
+  {
+    std::lock_guard<std::mutex> lock(registry_mu_);
+    buffers = buffers_;
+    capacity = options_.ring_capacity;
+  }
+  for (const auto& buffer : buffers) {
+    std::lock_guard<std::mutex> lock(buffer->mu);
+    buffer->reset_locked(capacity);
+  }
+}
+
+Span::Span(const char* category, std::string_view name) {
+  if (!TraceRecorder::enabled()) return;  // the whole disabled-mode cost
+  armed_ = true;
+  copy_bounded(event_.name, SpanEvent::kNameCapacity, name);
+  copy_bounded(event_.category, SpanEvent::kCategoryCapacity, category);
+  event_.depth = t_span_depth++;
+  event_.start_ns = now_ns();
+}
+
+Span::~Span() {
+  if (!armed_) return;
+  --t_span_depth;
+  event_.duration_ns = now_ns() - event_.start_ns;
+  TraceRecorder::global().commit(event_);
+}
+
+void Span::arg(std::string_view key, std::string_view value) {
+  if (!armed_) return;
+  const std::size_t used = std::strlen(event_.args);
+  // "key=value" plus a comma separator when args already holds pairs.
+  const std::size_t needed = (used > 0 ? 1 : 0) + key.size() + 1 + value.size();
+  if (used + needed + 1 > SpanEvent::kArgsCapacity) return;  // keep it whole
+  char* cursor = event_.args + used;
+  if (used > 0) *cursor++ = ',';
+  std::memcpy(cursor, key.data(), key.size());
+  cursor += key.size();
+  *cursor++ = '=';
+  std::memcpy(cursor, value.data(), value.size());
+  cursor += value.size();
+  *cursor = '\0';
+}
+
+void Span::arg(std::string_view key, std::int64_t value) {
+  if (!armed_) return;
+  char digits[24];
+  std::snprintf(digits, sizeof digits, "%lld", static_cast<long long>(value));
+  arg(key, std::string_view(digits));
+}
+
+}  // namespace dcnas::obs

@@ -1,0 +1,92 @@
+#include "dcnas/obs/trace_export.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <sstream>
+#include <string_view>
+
+#include "dcnas/common/error.hpp"
+#include "json_util.hpp"
+
+namespace dcnas::obs {
+
+namespace {
+
+using detail::json_escape;
+
+/// "k1=v1,k2=v2" (the SpanEvent inline encoding) -> {"k1": "v1", ...}.
+std::string args_object(std::string_view args) {
+  std::string out = "{";
+  std::size_t begin = 0;
+  bool first = true;
+  while (begin < args.size()) {
+    std::size_t end = args.find(',', begin);
+    if (end == std::string_view::npos) end = args.size();
+    const std::string_view pair = args.substr(begin, end - begin);
+    const std::size_t eq = pair.find('=');
+    if (eq != std::string_view::npos) {
+      if (!first) out += ", ";
+      first = false;
+      out += '"';
+      out += json_escape(pair.substr(0, eq));
+      out += "\": \"";
+      out += json_escape(pair.substr(eq + 1));
+      out += '"';
+    }
+    begin = end + 1;
+  }
+  out += "}";
+  return out;
+}
+
+}  // namespace
+
+std::string chrome_trace_json(const std::vector<SpanEvent>& events) {
+  std::ostringstream os;
+  os << "{\"traceEvents\": [\n";
+  // Metadata first: a process name and one name per recorded thread.
+  os << "  {\"ph\": \"M\", \"pid\": 1, \"tid\": 0, \"name\": "
+        "\"process_name\", \"args\": {\"name\": \"dcnas\"}}";
+  std::uint32_t max_tid = 0;
+  for (const SpanEvent& e : events) max_tid = std::max(max_tid, e.thread_id);
+  for (std::uint32_t tid = 1; tid <= max_tid; ++tid) {
+    os << ",\n  {\"ph\": \"M\", \"pid\": 1, \"tid\": " << tid
+       << ", \"name\": \"thread_name\", \"args\": {\"name\": \"dcnas thread "
+       << tid << "\"}}";
+  }
+  char num[48];
+  for (const SpanEvent& e : events) {
+    os << ",\n  {\"name\": \"" << json_escape(e.name) << "\", \"cat\": \""
+       << json_escape(e.category) << "\", \"ph\": \"X\"";
+    // Trace-event timestamps are microseconds; keep ns resolution as the
+    // fractional part.
+    std::snprintf(num, sizeof num, "%.3f",
+                  static_cast<double>(e.start_ns) / 1e3);
+    os << ", \"ts\": " << num;
+    std::snprintf(num, sizeof num, "%.3f",
+                  static_cast<double>(e.duration_ns) / 1e3);
+    os << ", \"dur\": " << num << ", \"pid\": 1, \"tid\": " << e.thread_id;
+    if (e.args[0] != '\0') {
+      os << ", \"args\": " << args_object(e.args);
+    }
+    os << "}";
+  }
+  os << "\n], \"displayTimeUnit\": \"ms\"}\n";
+  return os.str();
+}
+
+void write_chrome_trace(const std::string& path,
+                        const std::vector<SpanEvent>& events) {
+  const std::string json = chrome_trace_json(events);
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  DCNAS_CHECK(f != nullptr, "cannot open trace output file " + path);
+  const std::size_t written = std::fwrite(json.data(), 1, json.size(), f);
+  std::fclose(f);
+  DCNAS_CHECK(written == json.size(), "short write to " + path);
+}
+
+void write_chrome_trace(const std::string& path) {
+  write_chrome_trace(path, TraceRecorder::global().snapshot());
+}
+
+}  // namespace dcnas::obs

@@ -8,12 +8,23 @@
 /// predicts analytically. bench_serve compares these measurements against
 /// the latency-predictor path so the predictor's claims can be checked
 /// against a real runtime instead of only the simulator.
+///
+/// ServingMetrics is a thin facade over a private obs::MetricsRegistry:
+/// each model maps to the metric family `serve.request.count{model=<m>}`,
+/// `serve.error.count{model=<m>}`, `serve.request.latency_ms{model=<m>}`
+/// (summary, exact quantiles) and `serve.batch.size{model=<m>}`. The
+/// registry is per-instance — each Server's metrics are isolated — and
+/// exportable via registry().to_json()/to_text(). Process-wide serving
+/// counters (admitted/rejected/flushed) live in obs::MetricsRegistry::
+/// global(), recorded by the batcher and server directly.
 
 #include <cstdint>
 #include <map>
 #include <mutex>
 #include <string>
 #include <vector>
+
+#include "dcnas/obs/metrics.hpp"
 
 namespace dcnas::serve {
 
@@ -54,16 +65,30 @@ class ServingMetrics {
 
   void reset();
 
+  /// The backing per-instance registry, for JSON/text export of this
+  /// server's metrics (e.g. alongside a trace file).
+  const obs::MetricsRegistry& registry() const { return registry_; }
+
  private:
-  struct PerModel {
-    std::int64_t requests = 0;
-    std::int64_t errors = 0;
-    std::map<std::int64_t, std::int64_t> batch_hist;
-    std::vector<double> latencies_ms;
+  struct Handles {
+    obs::Counter* requests = nullptr;
+    obs::Counter* errors = nullptr;
+    obs::Summary* latency_ms = nullptr;
+    obs::Summary* batch_size = nullptr;
   };
 
-  mutable std::mutex mu_;
-  std::map<std::string, PerModel> models_;
+  /// Registers the model's metric family on first use. Returned by value:
+  /// the metric pointers stay valid for the registry's lifetime even if a
+  /// concurrent reset() clears the handle cache.
+  Handles handles(const std::string& model) const;
+  /// All-null handles when the model has never been recorded.
+  Handles find(const std::string& model) const;
+
+  /// Per-instance scope (not global()); mutable so const reads can lazily
+  /// register a model's metric family.
+  mutable obs::MetricsRegistry registry_;
+  mutable std::mutex mu_;          ///< guards models_
+  mutable std::map<std::string, Handles> models_;
 };
 
 }  // namespace dcnas::serve

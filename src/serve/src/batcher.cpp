@@ -2,9 +2,39 @@
 
 #include <cstring>
 
+#include "dcnas/obs/metrics.hpp"
+#include "dcnas/obs/trace.hpp"
+
 namespace dcnas::serve {
 
 namespace {
+
+/// Process-wide admission/flush counters. These complement the per-Server
+/// ServingMetrics registry: they aggregate across every batcher instance, so
+/// a single metrics export shows total serving pressure.
+obs::Counter& admitted_counter() {
+  static obs::Counter& c =
+      obs::MetricsRegistry::global().counter("serve.request.admitted.count");
+  return c;
+}
+
+obs::Counter& rejected_counter() {
+  static obs::Counter& c =
+      obs::MetricsRegistry::global().counter("serve.request.rejected.count");
+  return c;
+}
+
+obs::Counter& flushed_counter() {
+  static obs::Counter& c =
+      obs::MetricsRegistry::global().counter("serve.batch.flushed.count");
+  return c;
+}
+
+obs::Histogram& batch_size_histogram() {
+  static obs::Histogram& h = obs::MetricsRegistry::global().histogram(
+      "serve.batch.size", {1.0, 2.0, 4.0, 8.0, 16.0, 32.0, 64.0});
+  return h;
+}
 
 /// Normalizes an accepted input to (C, H, W).
 Tensor to_chw(const Tensor& input) {
@@ -28,6 +58,8 @@ DynamicBatcher::DynamicBatcher(BatchPolicy policy) : policy_(policy) {
 
 std::future<Tensor> DynamicBatcher::enqueue(const std::string& model,
                                             const Tensor& input) {
+  obs::Span span("serve", "serve.admit");
+  if (span.armed()) span.arg("model", model);
   DCNAS_CHECK(!model.empty(), "serve request needs a model name");
   PendingRequest req;
   req.model = model;
@@ -36,8 +68,12 @@ std::future<Tensor> DynamicBatcher::enqueue(const std::string& model,
   std::future<Tensor> fut = req.promise.get_future();
   {
     std::lock_guard<std::mutex> lock(mu_);
-    if (closed_) throw RejectedError("serve: rejected, server shutting down");
+    if (closed_) {
+      rejected_counter().add(1);
+      throw RejectedError("serve: rejected, server shutting down");
+    }
     if (total_pending_ >= policy_.queue_capacity) {
+      rejected_counter().add(1);
       throw RejectedError(
           "serve: rejected, pending queue full (" +
           std::to_string(policy_.queue_capacity) + " requests)");
@@ -45,6 +81,7 @@ std::future<Tensor> DynamicBatcher::enqueue(const std::string& model,
     queues_[model].push_back(std::move(req));
     ++total_pending_;
   }
+  admitted_counter().add(1);
   // notify_all: a consumer may be sleeping on another model's deadline and
   // this admission could complete a full batch it should pop immediately.
   cv_pending_.notify_all();
@@ -105,6 +142,11 @@ std::optional<Batch> DynamicBatcher::next_batch() {
   }
   // Merge inputs outside the lock: copying image payloads is the expensive
   // part and needs no shared state.
+  obs::Span merge_span("serve", "serve.batch.merge");
+  if (merge_span.armed()) {
+    merge_span.arg("model", batch.model);
+    merge_span.arg("rows", batch.size());
+  }
   const Shape& img = batch.requests.front().input.shape();
   Tensor merged({batch.size(), img[0], img[1], img[2]});
   const std::int64_t per = batch.requests.front().input.numel();
@@ -114,6 +156,8 @@ std::optional<Batch> DynamicBatcher::next_batch() {
                 static_cast<std::size_t>(per) * sizeof(float));
   }
   batch.input = std::move(merged);
+  flushed_counter().add(1);
+  batch_size_histogram().observe(static_cast<double>(batch.size()));
   return batch;
 }
 

@@ -1,51 +1,78 @@
 #include "dcnas/serve/metrics.hpp"
 
 #include <algorithm>
+#include <cmath>
 #include <cstdio>
 
 #include "dcnas/common/stats.hpp"
 
 namespace dcnas::serve {
 
+namespace {
+
+std::string labeled(const char* base, const std::string& model) {
+  return std::string(base) + "{model=" + model + "}";
+}
+
+}  // namespace
+
+ServingMetrics::Handles ServingMetrics::handles(
+    const std::string& model) const {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    const auto it = models_.find(model);
+    if (it != models_.end()) return it->second;
+  }
+  // Register outside mu_ (the registry has its own lock), then publish.
+  // A concurrent first-use of the same model is benign: the registry
+  // returns the same metric pointers and the losing emplace is a no-op.
+  Handles h;
+  h.requests = &registry_.counter(labeled("serve.request.count", model));
+  h.errors = &registry_.counter(labeled("serve.error.count", model));
+  h.latency_ms =
+      &registry_.summary(labeled("serve.request.latency_ms", model));
+  h.batch_size = &registry_.summary(labeled("serve.batch.size", model));
+  std::lock_guard<std::mutex> lock(mu_);
+  return models_.emplace(model, h).first->second;
+}
+
+ServingMetrics::Handles ServingMetrics::find(const std::string& model) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  const auto it = models_.find(model);
+  return it == models_.end() ? Handles{} : it->second;
+}
+
 void ServingMetrics::record_request(const std::string& model,
                                     double latency_ms) {
-  std::lock_guard<std::mutex> lock(mu_);
-  PerModel& m = models_[model];
-  ++m.requests;
-  m.latencies_ms.push_back(latency_ms);
+  const Handles h = handles(model);
+  h.requests->add(1);
+  h.latency_ms->observe(latency_ms);
 }
 
 void ServingMetrics::record_error(const std::string& model) {
-  std::lock_guard<std::mutex> lock(mu_);
-  ++models_[model].errors;
+  handles(model).errors->add(1);
 }
 
 void ServingMetrics::record_batch(const std::string& model,
                                   std::int64_t batch_size) {
-  std::lock_guard<std::mutex> lock(mu_);
-  ++models_[model].batch_hist[batch_size];
+  handles(model).batch_size->observe(static_cast<double>(batch_size));
 }
 
 std::int64_t ServingMetrics::request_count(const std::string& model) const {
-  std::lock_guard<std::mutex> lock(mu_);
-  const auto it = models_.find(model);
-  return it == models_.end() ? 0 : it->second.requests;
+  const Handles h = find(model);
+  return h.requests == nullptr ? 0 : h.requests->value();
 }
 
 std::int64_t ServingMetrics::error_count(const std::string& model) const {
-  std::lock_guard<std::mutex> lock(mu_);
-  const auto it = models_.find(model);
-  return it == models_.end() ? 0 : it->second.errors;
+  const Handles h = find(model);
+  return h.errors == nullptr ? 0 : h.errors->value();
 }
 
 LatencySummary ServingMetrics::latency_summary(const std::string& model) const {
-  std::vector<double> samples;
-  {
-    std::lock_guard<std::mutex> lock(mu_);
-    const auto it = models_.find(model);
-    if (it == models_.end() || it->second.latencies_ms.empty()) return {};
-    samples = it->second.latencies_ms;
-  }
+  const Handles h = find(model);
+  if (h.latency_ms == nullptr) return {};
+  const std::vector<double> samples = h.latency_ms->samples();
+  if (samples.empty()) return {};
   LatencySummary s;
   s.count = samples.size();
   s.mean_ms = mean(samples);
@@ -57,10 +84,13 @@ LatencySummary ServingMetrics::latency_summary(const std::string& model) const {
 
 std::map<std::int64_t, std::int64_t> ServingMetrics::batch_histogram(
     const std::string& model) const {
-  std::lock_guard<std::mutex> lock(mu_);
-  const auto it = models_.find(model);
-  return it == models_.end() ? std::map<std::int64_t, std::int64_t>{}
-                             : it->second.batch_hist;
+  const Handles h = find(model);
+  std::map<std::int64_t, std::int64_t> hist;
+  if (h.batch_size == nullptr) return hist;
+  for (const double size : h.batch_size->samples()) {
+    ++hist[static_cast<std::int64_t>(std::llround(size))];
+  }
+  return hist;
 }
 
 std::string ServingMetrics::stats_report() const {
@@ -91,8 +121,12 @@ std::string ServingMetrics::stats_report() const {
 }
 
 void ServingMetrics::reset() {
+  // The registry zeroes metrics in place (references stay valid); dropping
+  // the handle cache empties stats_report()'s model list until new traffic
+  // re-registers names.
   std::lock_guard<std::mutex> lock(mu_);
   models_.clear();
+  registry_.reset();
 }
 
 }  // namespace dcnas::serve

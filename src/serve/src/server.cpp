@@ -4,6 +4,7 @@
 #include <exception>
 
 #include "dcnas/common/profiler.hpp"
+#include "dcnas/obs/trace.hpp"
 
 namespace dcnas::serve {
 
@@ -46,6 +47,11 @@ void Server::worker_loop() {
 
 void Server::handle_batch(Batch&& batch) {
   const std::int64_t n = batch.size();
+  obs::Span span("serve", "serve.batch.execute");
+  if (span.armed()) {
+    span.arg("model", batch.model);
+    span.arg("rows", n);
+  }
   std::vector<Tensor> rows;
   try {
     const auto exec = registry_->get(batch.model);

@@ -42,6 +42,17 @@ TEST_F(ProfilerTest, ReportSortsByTotalTime) {
   EXPECT_NE(r.find("mean(ms)"), std::string::npos);
 }
 
+TEST_F(ProfilerTest, ReportOrdersEqualTotalsByPhaseName) {
+  // Identical totals used to leave the row order unspecified; the report
+  // now breaks ties alphabetically so output is deterministic.
+  Profiler::global().record("zeta", 0.5);
+  Profiler::global().record("alpha", 0.5);
+  Profiler::global().record("mid", 0.5);
+  const std::string r = Profiler::global().report();
+  EXPECT_LT(r.find("alpha"), r.find("mid"));
+  EXPECT_LT(r.find("mid"), r.find("zeta"));
+}
+
 TEST_F(ProfilerTest, ResetClears) {
   Profiler::global().record("x", 1.0);
   Profiler::global().reset();

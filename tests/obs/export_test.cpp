@@ -1,0 +1,307 @@
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "dcnas/common/error.hpp"
+#include "dcnas/obs/metrics.hpp"
+#include "dcnas/obs/trace.hpp"
+#include "dcnas/obs/trace_export.hpp"
+
+namespace dcnas::obs {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Minimal recursive-descent JSON parser, just enough to round-trip the
+// exporters' output. Numbers are doubles; no \uXXXX escapes (the exporters
+// never emit them).
+// ---------------------------------------------------------------------------
+
+struct JsonValue {
+  enum class Kind { kNull, kBool, kNumber, kString, kArray, kObject };
+  Kind kind = Kind::kNull;
+  bool boolean = false;
+  double number = 0.0;
+  std::string str;
+  std::vector<JsonValue> array;
+  std::map<std::string, JsonValue> object;
+
+  const JsonValue& at(const std::string& key) const {
+    const auto it = object.find(key);
+    DCNAS_CHECK(it != object.end(), "missing JSON key: " + key);
+    return it->second;
+  }
+  bool has(const std::string& key) const { return object.count(key) != 0; }
+};
+
+class JsonParser {
+ public:
+  explicit JsonParser(std::string_view text) : text_(text) {}
+
+  JsonValue parse() {
+    JsonValue v = value();
+    skip_ws();
+    DCNAS_CHECK(pos_ == text_.size(), "trailing JSON content");
+    return v;
+  }
+
+ private:
+  void skip_ws() {
+    while (pos_ < text_.size() && std::strchr(" \t\r\n", text_[pos_])) ++pos_;
+  }
+  char peek() {
+    skip_ws();
+    DCNAS_CHECK(pos_ < text_.size(), "unexpected end of JSON");
+    return text_[pos_];
+  }
+  void expect(char c) {
+    DCNAS_CHECK(peek() == c, std::string("expected '") + c + "' in JSON");
+    ++pos_;
+  }
+  bool consume(char c) {
+    if (peek() == c) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+
+  JsonValue value() {
+    switch (peek()) {
+      case '{': return object();
+      case '[': return array();
+      case '"': {
+        JsonValue v;
+        v.kind = JsonValue::Kind::kString;
+        v.str = string();
+        return v;
+      }
+      case 't':
+      case 'f': {
+        JsonValue v;
+        v.kind = JsonValue::Kind::kBool;
+        v.boolean = text_[pos_] == 't';
+        pos_ += v.boolean ? 4 : 5;
+        return v;
+      }
+      case 'n': {
+        pos_ += 4;
+        return {};
+      }
+      default: return number();
+    }
+  }
+
+  std::string string() {
+    expect('"');
+    std::string out;
+    while (true) {
+      DCNAS_CHECK(pos_ < text_.size(), "unterminated JSON string");
+      const char c = text_[pos_++];
+      if (c == '"') break;
+      if (c == '\\') {
+        DCNAS_CHECK(pos_ < text_.size(), "dangling escape");
+        const char esc = text_[pos_++];
+        switch (esc) {
+          case 'n': out += '\n'; break;
+          case 't': out += '\t'; break;
+          case 'r': out += '\r'; break;
+          case 'b': out += '\b'; break;
+          case 'f': out += '\f'; break;
+          default: out += esc; break;  // \" \\ \/
+        }
+      } else {
+        out += c;
+      }
+    }
+    return out;
+  }
+
+  JsonValue number() {
+    const std::size_t start = pos_;
+    while (pos_ < text_.size() &&
+           std::strchr("+-0123456789.eE", text_[pos_])) {
+      ++pos_;
+    }
+    DCNAS_CHECK(pos_ > start, "invalid JSON number");
+    JsonValue v;
+    v.kind = JsonValue::Kind::kNumber;
+    v.number = std::stod(std::string(text_.substr(start, pos_ - start)));
+    return v;
+  }
+
+  JsonValue array() {
+    expect('[');
+    JsonValue v;
+    v.kind = JsonValue::Kind::kArray;
+    if (consume(']')) return v;
+    do {
+      v.array.push_back(value());
+    } while (consume(','));
+    expect(']');
+    return v;
+  }
+
+  JsonValue object() {
+    expect('{');
+    JsonValue v;
+    v.kind = JsonValue::Kind::kObject;
+    if (consume('}')) return v;
+    do {
+      std::string key = string();
+      expect(':');
+      v.object.emplace(std::move(key), value());
+    } while (consume(','));
+    expect('}');
+    return v;
+  }
+
+  std::string_view text_;
+  std::size_t pos_ = 0;
+};
+
+// ---------------------------------------------------------------------------
+// Metrics JSON round-trip
+// ---------------------------------------------------------------------------
+
+TEST(MetricsJsonTest, RoundTripsThroughParser) {
+  MetricsRegistry r;
+  r.counter("serve.request.admitted.count").add(42);
+  r.gauge("nas.progress.fraction").set(0.375);
+  Histogram& h = r.histogram("graph.executor.batch_rows", {1.0, 8.0});
+  h.observe(0.5);
+  h.observe(8.0);
+  Summary& s = r.summary("serve.request.latency_ms");
+  for (int i = 1; i <= 4; ++i) s.observe(static_cast<double>(i));
+
+  const JsonValue root = JsonParser(r.to_json()).parse();
+  EXPECT_EQ(root.at("counters")
+                .at("serve.request.admitted.count")
+                .number,
+            42.0);
+  EXPECT_DOUBLE_EQ(root.at("gauges").at("nas.progress.fraction").number,
+                   0.375);
+
+  const JsonValue& hist =
+      root.at("histograms").at("graph.executor.batch_rows");
+  EXPECT_EQ(hist.at("count").number, 2.0);
+  ASSERT_EQ(hist.at("boundaries").array.size(), 2u);
+  EXPECT_DOUBLE_EQ(hist.at("boundaries").array[1].number, 8.0);
+  ASSERT_EQ(hist.at("buckets").array.size(), 3u);
+  EXPECT_EQ(hist.at("buckets").array[0].number, 1.0);
+  EXPECT_EQ(hist.at("buckets").array[2].number, 1.0);
+  EXPECT_DOUBLE_EQ(hist.at("min").number, 0.5);
+  EXPECT_DOUBLE_EQ(hist.at("max").number, 8.0);
+
+  const JsonValue& sum = root.at("summaries").at("serve.request.latency_ms");
+  EXPECT_EQ(sum.at("count").number, 4.0);
+  EXPECT_DOUBLE_EQ(sum.at("mean").number, 2.5);
+  EXPECT_DOUBLE_EQ(sum.at("p50").number, 2.5);
+  EXPECT_DOUBLE_EQ(sum.at("min").number, 1.0);
+  EXPECT_DOUBLE_EQ(sum.at("max").number, 4.0);
+}
+
+TEST(MetricsJsonTest, EmptyRegistryIsValidJson) {
+  MetricsRegistry r;
+  const JsonValue root = JsonParser(r.to_json()).parse();
+  EXPECT_TRUE(root.at("counters").object.empty());
+  EXPECT_TRUE(root.at("gauges").object.empty());
+  EXPECT_TRUE(root.at("histograms").object.empty());
+  EXPECT_TRUE(root.at("summaries").object.empty());
+}
+
+TEST(MetricsTextTest, ContainsEveryMetricName) {
+  MetricsRegistry r;
+  r.counter("a.count").add(1);
+  r.gauge("b.value").set(2.0);
+  r.histogram("c.hist", {1.0}).observe(0.5);
+  r.summary("d.sum").observe(3.0);
+  const std::string text = r.to_text();
+  for (const char* name : {"a.count", "b.value", "c.hist", "d.sum"}) {
+    EXPECT_NE(text.find(name), std::string::npos) << name;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Chrome-trace export
+// ---------------------------------------------------------------------------
+
+SpanEvent make_event(const char* name, const char* category,
+                     const char* args, std::uint64_t start_ns,
+                     std::uint64_t duration_ns, std::uint32_t tid) {
+  SpanEvent e;
+  std::strncpy(e.name, name, sizeof e.name - 1);
+  std::strncpy(e.category, category, sizeof e.category - 1);
+  std::strncpy(e.args, args, sizeof e.args - 1);
+  e.start_ns = start_ns;
+  e.duration_ns = duration_ns;
+  e.thread_id = tid;
+  return e;
+}
+
+TEST(ChromeTraceTest, EmitsCompleteEventsWithMetadata) {
+  std::vector<SpanEvent> events;
+  events.push_back(
+      make_event("nas.trial.run", "nas", "config=k3_s1", 1500, 2'000'000, 1));
+  events.push_back(make_event("nn.batch", "nn", "", 4000, 250, 2));
+
+  const JsonValue root = JsonParser(chrome_trace_json(events)).parse();
+  EXPECT_EQ(root.at("displayTimeUnit").str, "ms");
+  const auto& items = root.at("traceEvents").array;
+  // 1 process_name + 2 thread_name metadata events, then the 2 spans.
+  ASSERT_EQ(items.size(), 5u);
+  EXPECT_EQ(items[0].at("ph").str, "M");
+  EXPECT_EQ(items[0].at("name").str, "process_name");
+  EXPECT_EQ(items[0].at("args").at("name").str, "dcnas");
+  EXPECT_EQ(items[1].at("name").str, "thread_name");
+  EXPECT_EQ(items[2].at("name").str, "thread_name");
+
+  const JsonValue& span = items[3];
+  EXPECT_EQ(span.at("ph").str, "X");
+  EXPECT_EQ(span.at("name").str, "nas.trial.run");
+  EXPECT_EQ(span.at("cat").str, "nas");
+  // ns -> us with the ns kept as the fractional part.
+  EXPECT_DOUBLE_EQ(span.at("ts").number, 1.5);
+  EXPECT_DOUBLE_EQ(span.at("dur").number, 2000.0);
+  EXPECT_EQ(span.at("tid").number, 1.0);
+  EXPECT_EQ(span.at("args").at("config").str, "k3_s1");
+  // Empty args encoding omits the args object entirely.
+  EXPECT_FALSE(items[4].has("args"));
+}
+
+TEST(ChromeTraceTest, EscapesSpecialCharactersInNames) {
+  std::vector<SpanEvent> events;
+  events.push_back(make_event("quote\"back\\slash", "cat", "k=v\"w", 0, 1, 1));
+  const std::string json = chrome_trace_json(events);
+  const JsonValue root = JsonParser(json).parse();
+  const auto& items = root.at("traceEvents").array;
+  // items[0..1] are metadata; the span follows.
+  const JsonValue& span = items.back();
+  EXPECT_EQ(span.at("name").str, "quote\"back\\slash");
+  EXPECT_EQ(span.at("args").at("k").str, "v\"w");
+}
+
+TEST(ChromeTraceTest, RecorderSnapshotExportParses) {
+  TraceRecorder::global().enable();
+  {
+    Span outer("serve", "serve.batch.execute");
+    outer.arg("model", "drainage");
+    Span inner("graph", "graph.execute");
+  }
+  TraceRecorder::global().disable();
+  const JsonValue root =
+      JsonParser(chrome_trace_json(TraceRecorder::global().snapshot()))
+          .parse();
+  TraceRecorder::global().clear();
+  int x_events = 0;
+  for (const auto& item : root.at("traceEvents").array) {
+    if (item.at("ph").str == "X") ++x_events;
+  }
+  EXPECT_EQ(x_events, 2);
+}
+
+}  // namespace
+}  // namespace dcnas::obs

@@ -1,0 +1,52 @@
+#!/usr/bin/env bash
+# Docs gate, run by CI and registered as the `docs.check` ctest:
+#   1. every relative markdown link in the repo's *.md files resolves to an
+#      existing file/directory;
+#   2. every subsystem under src/ is described in both DESIGN.md (as
+#      `src/<name>`) and README.md (as `<name>/`).
+#
+# Usage: check_docs.sh [repo-root]   (defaults to the script's parent dir)
+set -u
+
+root="${1:-$(cd "$(dirname "$0")/.." && pwd)}"
+cd "$root" || exit 2
+failures=0
+
+fail() {
+  echo "check_docs: $*" >&2
+  failures=$((failures + 1))
+}
+
+# --- 1. markdown link targets -------------------------------------------
+# Extract inline [text](target) links; skip absolute URLs, mailto, and
+# pure-anchor links. Anchored file links (FILE.md#section) check FILE only.
+while IFS=: read -r file target; do
+  case "$target" in
+    http://*|https://*|mailto:*|'#'*) continue ;;
+  esac
+  path="${target%%#*}"
+  [ -z "$path" ] && continue
+  dir=$(dirname "$file")
+  if [ ! -e "$path" ] && [ ! -e "$dir/$path" ]; then
+    fail "$file: broken link -> $target"
+  fi
+done < <(find . -name '*.md' -not -path './build*/*' -print0 |
+         xargs -0 grep -oH '\[[^][]*\]([^()[:space:]]*)' |
+         sed -E 's/^([^:]+):\[[^][]*\]\(([^()]*)\)$/\1:\2/')
+
+# --- 2. every src subsystem is documented --------------------------------
+for dir in src/*/; do
+  name=$(basename "$dir")
+  if ! grep -q "src/$name" DESIGN.md; then
+    fail "DESIGN.md does not describe src/$name"
+  fi
+  if ! grep -q "$name/" README.md; then
+    fail "README.md does not mention $name/"
+  fi
+done
+
+if [ "$failures" -ne 0 ]; then
+  echo "check_docs: $failures problem(s) found" >&2
+  exit 1
+fi
+echo "check_docs: OK (links resolve, all src/ subsystems documented)"
