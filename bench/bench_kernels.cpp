@@ -1,7 +1,17 @@
 /// Microbenchmarks of the tensor substrate's hot kernels: GEMM, im2col,
 /// convolution forward/backward, pooling, batchnorm — the C++ compute that
 /// replaces the paper's PyTorch/A100 stack.
+///
+/// Besides the google-benchmark suite, this binary self-times the packed
+/// register-blocked GEMM against a verbatim copy of the seed scalar kernel
+/// and records the trajectory in BENCH_kernels.json (GFLOP/s per shape,
+/// conv forward/backward microseconds). CI uploads that file as an
+/// artifact, so every commit carries its kernel-perf before/after.
 
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <cstring>
 #include <vector>
 
 #include "bench_common.hpp"
@@ -15,6 +25,33 @@
 using namespace dcnas;
 
 namespace {
+
+/// Verbatim copy of the seed's scalar GEMM (pre-rewrite src/tensor/src/
+/// gemm.cpp): serial k-blocked ikj loop with the axpy-style inner loop and
+/// the zero-skip fast path. Kept here as the performance baseline every
+/// BENCH_kernels.json entry is measured against.
+void seed_gemm(std::int64_t m, std::int64_t n, std::int64_t k, float alpha,
+               const float* a, const float* b, float beta, float* c) {
+  constexpr std::int64_t kBlockK = 256;
+  if (beta == 0.0f) {
+    std::memset(c, 0, static_cast<std::size_t>(m * n) * sizeof(float));
+  } else if (beta != 1.0f) {
+    for (std::int64_t i = 0; i < m * n; ++i) c[i] *= beta;
+  }
+  for (std::int64_t kk = 0; kk < k; kk += kBlockK) {
+    const std::int64_t k_end = std::min(kk + kBlockK, k);
+    for (std::int64_t i = 0; i < m; ++i) {
+      const float* a_row = a + i * k;
+      float* c_row = c + i * n;
+      for (std::int64_t p = kk; p < k_end; ++p) {
+        const float aip = alpha * a_row[p];
+        if (aip == 0.0f) continue;
+        const float* b_row = b + p * n;
+        for (std::int64_t j = 0; j < n; ++j) c_row[j] += aip * b_row[j];
+      }
+    }
+  }
+}
 
 void BM_Gemm(benchmark::State& state) {
   const std::int64_t n = state.range(0);
@@ -31,6 +68,58 @@ void BM_Gemm(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations() * 2 * n * n * n);  // FLOPs
 }
 BENCHMARK(BM_Gemm)->Arg(64)->Arg(128)->Arg(256)->Unit(benchmark::kMicrosecond);
+
+void BM_GemmSeed(benchmark::State& state) {
+  const std::int64_t n = state.range(0);
+  Rng rng(1);
+  std::vector<float> a(static_cast<std::size_t>(n * n));
+  std::vector<float> b(static_cast<std::size_t>(n * n));
+  std::vector<float> c(static_cast<std::size_t>(n * n));
+  for (auto& v : a) v = static_cast<float>(rng.uniform(-1, 1));
+  for (auto& v : b) v = static_cast<float>(rng.uniform(-1, 1));
+  for (auto _ : state) {
+    seed_gemm(n, n, n, 1.0f, a.data(), b.data(), 0.0f, c.data());
+    benchmark::DoNotOptimize(c.data());
+  }
+  state.SetItemsProcessed(state.iterations() * 2 * n * n * n);  // FLOPs
+}
+BENCHMARK(BM_GemmSeed)
+    ->Arg(64)
+    ->Arg(128)
+    ->Arg(256)
+    ->Unit(benchmark::kMicrosecond);
+
+void BM_GemmBt(benchmark::State& state) {
+  const std::int64_t n = state.range(0);
+  Rng rng(8);
+  std::vector<float> a(static_cast<std::size_t>(n * n));
+  std::vector<float> bt(static_cast<std::size_t>(n * n));
+  std::vector<float> c(static_cast<std::size_t>(n * n));
+  for (auto& v : a) v = static_cast<float>(rng.uniform(-1, 1));
+  for (auto& v : bt) v = static_cast<float>(rng.uniform(-1, 1));
+  for (auto _ : state) {
+    gemm_bt(n, n, n, 1.0f, a.data(), bt.data(), 0.0f, c.data());
+    benchmark::DoNotOptimize(c.data());
+  }
+  state.SetItemsProcessed(state.iterations() * 2 * n * n * n);
+}
+BENCHMARK(BM_GemmBt)->Arg(256)->Unit(benchmark::kMicrosecond);
+
+void BM_GemmAt(benchmark::State& state) {
+  const std::int64_t n = state.range(0);
+  Rng rng(9);
+  std::vector<float> at(static_cast<std::size_t>(n * n));
+  std::vector<float> b(static_cast<std::size_t>(n * n));
+  std::vector<float> c(static_cast<std::size_t>(n * n));
+  for (auto& v : at) v = static_cast<float>(rng.uniform(-1, 1));
+  for (auto& v : b) v = static_cast<float>(rng.uniform(-1, 1));
+  for (auto _ : state) {
+    gemm_at(n, n, n, 1.0f, at.data(), b.data(), 0.0f, c.data());
+    benchmark::DoNotOptimize(c.data());
+  }
+  state.SetItemsProcessed(state.iterations() * 2 * n * n * n);
+}
+BENCHMARK(BM_GemmAt)->Arg(256)->Unit(benchmark::kMicrosecond);
 
 void BM_Im2Col(benchmark::State& state) {
   const std::int64_t hw = state.range(0);
@@ -103,12 +192,113 @@ void BM_Softmax(benchmark::State& state) {
 }
 BENCHMARK(BM_Softmax);
 
+// ---- BENCH_kernels.json ----------------------------------------------------
+
+using GemmFn = void (*)(std::int64_t, std::int64_t, std::int64_t, float,
+                        const float*, const float*, float, float*);
+
+double time_gemm_gflops(GemmFn fn, std::int64_t n) {
+  Rng rng(1);
+  std::vector<float> a(static_cast<std::size_t>(n * n));
+  std::vector<float> b(static_cast<std::size_t>(n * n));
+  std::vector<float> c(static_cast<std::size_t>(n * n));
+  for (auto& v : a) v = static_cast<float>(rng.uniform(-1, 1));
+  for (auto& v : b) v = static_cast<float>(rng.uniform(-1, 1));
+  const double flops = 2.0 * static_cast<double>(n) * n * n;
+  fn(n, n, n, 1.0f, a.data(), b.data(), 0.0f, c.data());  // warmup
+  // Enough iterations for ~0.3 s of work; best-of-3 to shrug off scheduler
+  // noise on shared CI machines.
+  const int iters = std::max(3, static_cast<int>(3.0e8 / flops));
+  double best = 0.0;
+  for (int rep = 0; rep < 3; ++rep) {
+    const auto t0 = std::chrono::steady_clock::now();
+    for (int it = 0; it < iters; ++it) {
+      fn(n, n, n, 1.0f, a.data(), b.data(), 0.0f, c.data());
+    }
+    const auto t1 = std::chrono::steady_clock::now();
+    const double sec =
+        std::chrono::duration<double>(t1 - t0).count() / iters;
+    best = std::max(best, flops / sec / 1e9);
+  }
+  return best;
+}
+
+template <typename Fn>
+double time_us(Fn&& fn, int iters) {
+  fn();  // warmup
+  double best = 1e300;
+  for (int rep = 0; rep < 3; ++rep) {
+    const auto t0 = std::chrono::steady_clock::now();
+    for (int it = 0; it < iters; ++it) fn();
+    const auto t1 = std::chrono::steady_clock::now();
+    best = std::min(
+        best, std::chrono::duration<double>(t1 - t0).count() / iters * 1e6);
+  }
+  return best;
+}
+
+void write_bench_kernels_json() {
+  std::FILE* f = std::fopen("BENCH_kernels.json", "w");
+  if (!f) {
+    std::printf("WARNING: cannot write BENCH_kernels.json\n");
+    return;
+  }
+  std::fprintf(f, "{\n  \"gemm\": [\n");
+  const std::int64_t shapes[] = {64, 128, 256};
+  bool first = true;
+  for (const std::int64_t n : shapes) {
+    const double packed = time_gemm_gflops(&gemm, n);
+    const double seed = time_gemm_gflops(&seed_gemm, n);
+    std::printf("BM_Gemm/%lld: packed %.2f GFLOP/s, seed %.2f GFLOP/s "
+                "(%.2fx)\n",
+                static_cast<long long>(n), packed, seed, packed / seed);
+    std::fprintf(f,
+                 "%s    {\"shape\": \"%lldx%lldx%lld\", "
+                 "\"packed_gflops\": %.3f, \"seed_gflops\": %.3f, "
+                 "\"speedup\": %.3f}",
+                 first ? "" : ",\n", static_cast<long long>(n),
+                 static_cast<long long>(n), static_cast<long long>(n), packed,
+                 seed, packed / seed);
+    first = false;
+  }
+  std::fprintf(f, "\n  ],\n");
+
+  {
+    Rng rng(3);
+    nn::Conv2d conv(32, 32, 3, 1, 1, false, rng);
+    conv.set_training(false);
+    const Tensor x = Tensor::rand_uniform({1, 32, 56, 56}, rng, -1.0f, 1.0f);
+    const double fwd_us =
+        time_us([&] { benchmark::DoNotOptimize(conv.forward(x).data()); }, 50);
+    Rng rng2(4);
+    nn::Conv2d conv_b(16, 16, 3, 1, 1, false, rng2);
+    const Tensor xb = Tensor::rand_uniform({2, 16, 28, 28}, rng2, -1.0f, 1.0f);
+    const Tensor y = conv_b.forward(xb);
+    const Tensor g = Tensor::rand_uniform(y.shape(), rng2, -1.0f, 1.0f);
+    const double bwd_us = time_us(
+        [&] { benchmark::DoNotOptimize(conv_b.backward(g).data()); }, 50);
+    std::printf("conv fwd (32x32x3, 56x56): %.1f us; conv bwd (16x16x3, "
+                "2x28x28): %.1f us\n",
+                fwd_us, bwd_us);
+    std::fprintf(f,
+                 "  \"conv_forward_us\": %.2f,\n  \"conv_backward_us\": %.2f\n",
+                 fwd_us, bwd_us);
+  }
+  std::fprintf(f, "}\n");
+  std::fclose(f);
+  std::printf("wrote BENCH_kernels.json\n");
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
-  return dcnas::bench::run(argc, argv, [] {
+  const int rc = dcnas::bench::run(argc, argv, [] {
     std::printf("Tensor-substrate kernel microbenchmarks (GEMM, im2col, "
                 "conv fwd/bwd, pooling,\nbatchnorm, softmax). items_per_"
-                "second for BM_Gemm is FLOP/s.\n");
+                "second for BM_Gemm is FLOP/s.\nBM_GemmSeed is the "
+                "pre-rewrite scalar kernel kept as the baseline the\n"
+                "packed kernel is gated against (BENCH_kernels.json).\n");
   });
+  if (rc == 0) write_bench_kernels_json();
+  return rc;
 }

@@ -3,6 +3,8 @@
 #include <cmath>
 #include <vector>
 
+#include "dcnas/common/thread_pool.hpp"
+
 namespace dcnas::nn {
 
 BatchNorm2d::BatchNorm2d(std::int64_t channels, float eps, float momentum)
@@ -25,12 +27,16 @@ Tensor BatchNorm2d::forward(const Tensor& input) {
   const std::int64_t count = n * hw;
   Tensor output(input.shape());
 
+  // Channels are fully independent (statistics, normalization, and running-
+  // moment updates are all per-channel), so both modes parallelize over the
+  // channel axis; every channel writes disjoint planes/state, which keeps
+  // results bitwise deterministic for any thread count.
   if (training_) {
     DCNAS_CHECK(count > 1, "BatchNorm2d training needs more than one sample");
     cached_xhat_ = Tensor(input.shape());
     cached_inv_std_.assign(static_cast<std::size_t>(channels_), 0.0f);
     cached_count_ = count;
-    for (std::int64_t c = 0; c < channels_; ++c) {
+    parallel_for(0, channels_, [&](std::int64_t c) {
       // Batch mean/var over N,H,W for this channel.
       double sum = 0.0, sumsq = 0.0;
       for (std::int64_t s = 0; s < n; ++s) {
@@ -62,9 +68,9 @@ Tensor BatchNorm2d::forward(const Tensor& input) {
                          momentum_ * static_cast<float>(mean);
       running_var_[c] = (1.0f - momentum_) * running_var_[c] +
                         momentum_ * static_cast<float>(unbiased);
-    }
+    });
   } else {
-    for (std::int64_t c = 0; c < channels_; ++c) {
+    parallel_for(0, channels_, [&](std::int64_t c) {
       const float inv_std = 1.0f / std::sqrt(running_var_[c] + eps_);
       const float g = gamma_[c], b = beta_[c], m = running_mean_[c];
       for (std::int64_t s = 0; s < n; ++s) {
@@ -74,7 +80,7 @@ Tensor BatchNorm2d::forward(const Tensor& input) {
           out[i] = g * (plane[i] - m) * inv_std + b;
         }
       }
-    }
+    });
   }
   return output;
 }
@@ -90,7 +96,10 @@ Tensor BatchNorm2d::backward(const Tensor& grad_output) {
   const auto count = static_cast<float>(cached_count_);
   Tensor grad_input(grad_output.shape());
 
-  for (std::int64_t c = 0; c < channels_; ++c) {
+  // Parallel over channels: gamma/beta gradient slots and grad_input planes
+  // are disjoint per channel, and each channel's double-precision reductions
+  // keep their serial order, so the result is thread-count independent.
+  parallel_for(0, channels_, [&](std::int64_t c) {
     // Standard batchnorm backward:
     // dx = (gamma * inv_std / m) * (m*dy - sum(dy) - xhat * sum(dy*xhat))
     double sum_dy = 0.0, sum_dy_xhat = 0.0;
@@ -116,7 +125,7 @@ Tensor BatchNorm2d::backward(const Tensor& grad_output) {
         dx[i] = scale * (count * dy[i] - sdy - xh[i] * sdyx);
       }
     }
-  }
+  });
   return grad_input;
 }
 

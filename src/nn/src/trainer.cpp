@@ -49,6 +49,10 @@ FitResult fit(Module& model, const Tensor& images,
       obs::MetricsRegistry::global().counter("nn.train.epoch.count");
   static obs::Counter& batch_count =
       obs::MetricsRegistry::global().counter("nn.train.batch.count");
+  static obs::Counter& sample_count =
+      obs::MetricsRegistry::global().counter("nn.train.samples.count");
+  static obs::Counter& dropped_count =
+      obs::MetricsRegistry::global().counter("nn.train.samples.dropped");
 
   Rng rng(options.seed);
   model.set_training(true);
@@ -64,9 +68,14 @@ FitResult fit(Module& model, const Tensor& images,
     obs::Span epoch_span("nn", "nn.epoch");
     if (epoch_span.armed()) epoch_span.arg("epoch", epoch);
     if (options.shuffle) rng.shuffle(order);
+    // Epoch statistics are sample-weighted: a trailing partial batch
+    // contributes proportionally to its size instead of counting as a full
+    // batch, and any trailing sample dropped for BatchNorm (batches need
+    // >= 2 samples) is recorded in nn.train.samples.dropped.
     double loss_sum = 0.0;
     double acc_sum = 0.0;
     std::int64_t batches = 0;
+    std::int64_t samples_seen = 0;
     for (std::int64_t start = 0; start + 1 < n; start += options.batch_size) {
       const std::int64_t end = std::min(start + options.batch_size, n);
       if (end - start < 2) break;  // BatchNorm needs >= 2 values per channel
@@ -78,18 +87,23 @@ FitResult fit(Module& model, const Tensor& images,
         batch_labels[i] = labels[static_cast<std::size_t>(idx[i])];
       }
       const Tensor logits = model.forward(batch);
-      loss_sum += loss.forward(logits, batch_labels);
-      acc_sum += accuracy(logits, batch_labels);
+      const auto batch_n = static_cast<double>(end - start);
+      loss_sum += loss.forward(logits, batch_labels) * batch_n;
+      acc_sum += accuracy(logits, batch_labels) * batch_n;
       ++batches;
+      samples_seen += end - start;
       optimizer.zero_grad();
       model.backward(loss.backward());
       optimizer.step();
     }
-    DCNAS_ASSERT(batches > 0, "fit produced no batches");
+    DCNAS_ASSERT(batches > 0 && samples_seen > 0, "fit produced no batches");
     epoch_count.add(1);
     batch_count.add(batches);
-    result.epoch_loss.push_back(loss_sum / static_cast<double>(batches));
-    result.epoch_accuracy.push_back(acc_sum / static_cast<double>(batches));
+    sample_count.add(samples_seen);
+    dropped_count.add(n - samples_seen);
+    result.epoch_loss.push_back(loss_sum / static_cast<double>(samples_seen));
+    result.epoch_accuracy.push_back(acc_sum /
+                                    static_cast<double>(samples_seen));
     if (options.verbose) {
       DCNAS_LOG_INFO << "epoch " << (epoch + 1) << "/" << options.epochs
                      << " loss=" << result.epoch_loss.back()
@@ -110,6 +124,10 @@ double evaluate_accuracy(Module& model, const Tensor& images,
   if (n == 0) return 0.0;
   obs::Span span("nn", "nn.evaluate");
   if (span.armed()) span.arg("samples", n);
+  // Evaluation must not clobber the caller's mode: a model being served or
+  // benchmarked between evaluations stays in eval mode instead of being
+  // silently flipped back into training.
+  const bool was_training = model.training();
   model.set_training(false);
   std::int64_t hits = 0;
   for (std::int64_t start = 0; start < n; start += batch_size) {
@@ -126,7 +144,7 @@ double evaluate_accuracy(Module& model, const Tensor& images,
       }
     }
   }
-  model.set_training(true);
+  model.set_training(was_training);
   return static_cast<double>(hits) / static_cast<double>(n);
 }
 

@@ -2,35 +2,173 @@
 
 #include <algorithm>
 #include <cstring>
+#include <vector>
 
 #include "dcnas/common/thread_pool.hpp"
+#include "dcnas/tensor/im2col.hpp"
 
 namespace dcnas {
 
 namespace {
 
-// Block sizes tuned for typical L1/L2 on commodity cores; correctness does
-// not depend on them.
-constexpr std::int64_t kBlockM = 64;
-constexpr std::int64_t kBlockK = 256;
+// BLIS-style blocking. The micro-kernel computes an MR x NR tile of C from an
+// MR x KC packed A panel and a KC x NR packed B sliver; KC keeps both resident
+// in L1/L2 while the tile accumulates in registers. MC bounds the packed A
+// working set per thread. Correctness does not depend on any of these values.
+constexpr std::int64_t kMr = 4;
+constexpr std::int64_t kNr = 16;
+constexpr std::int64_t kKc = 256;
+constexpr std::int64_t kMc = 128;
+static_assert(kMc % kMr == 0, "A blocks must hold whole micro-panels");
 
-/// Serial kernel for a row range [m0, m1): C rows += alpha * A rows * B.
-void gemm_rows(std::int64_t m0, std::int64_t m1, std::int64_t n,
-               std::int64_t k, float alpha, const float* a, const float* b,
-               float* c) {
-  for (std::int64_t kk = 0; kk < k; kk += kBlockK) {
-    const std::int64_t k_end = std::min(kk + kBlockK, k);
-    for (std::int64_t i = m0; i < m1; ++i) {
-      const float* a_row = a + i * k;
-      float* c_row = c + i * n;
-      for (std::int64_t p = kk; p < k_end; ++p) {
-        const float aip = alpha * a_row[p];
-        if (aip == 0.0f) continue;
-        const float* b_row = b + p * n;
-        for (std::int64_t j = 0; j < n; ++j) {
-          c_row[j] += aip * b_row[j];
-        }
+inline std::int64_t round_up(std::int64_t x, std::int64_t q) {
+  return (x + q - 1) / q * q;
+}
+
+/// out(MRxNR, leading dim ldo) += alpha * Ap * Bp.
+///
+/// Ap is an MR x kc panel stored column-major (ap[p*MR + i]); Bp is a kc x NR
+/// sliver stored row-major (bp[p*NR + j]). The accumulators are true locals
+/// (not an out-param array) and all pointers are restrict-qualified so the
+/// compiler keeps the 4x16 tile in vector registers and fuses the j-loop into
+/// FMAs; with -march=native this is one zmm (or two ymm) per row.
+void micro_kernel(std::int64_t kc, const float* __restrict ap,
+                  const float* __restrict bp, float alpha,
+                  float* __restrict out, std::int64_t ldo) {
+  float acc0[kNr] = {}, acc1[kNr] = {}, acc2[kNr] = {}, acc3[kNr] = {};
+  for (std::int64_t p = 0; p < kc; ++p) {
+    const float* __restrict b = bp + p * kNr;
+    const float a0 = ap[p * kMr + 0];
+    const float a1 = ap[p * kMr + 1];
+    const float a2 = ap[p * kMr + 2];
+    const float a3 = ap[p * kMr + 3];
+    for (int j = 0; j < kNr; ++j) {
+      const float bv = b[j];
+      acc0[j] += a0 * bv;
+      acc1[j] += a1 * bv;
+      acc2[j] += a2 * bv;
+      acc3[j] += a3 * bv;
+    }
+  }
+  for (int j = 0; j < kNr; ++j) out[0 * ldo + j] += alpha * acc0[j];
+  for (int j = 0; j < kNr; ++j) out[1 * ldo + j] += alpha * acc1[j];
+  for (int j = 0; j < kNr; ++j) out[2 * ldo + j] += alpha * acc2[j];
+  for (int j = 0; j < kNr; ++j) out[3 * ldo + j] += alpha * acc3[j];
+}
+
+// ---- A-panel packing -------------------------------------------------------
+// Destination layout: micro-panels of kMr rows, each stored column-major
+// (dst[i0*kc + p*kMr + i]); short tails are zero-padded so the micro-kernel
+// never branches on the row count. Zero padding is benign for NaN propagation:
+// padded lanes only feed padded tile slots, which are never copied to C.
+
+/// A(i, p) = a[i * lda + p] (plain row-major A, used by gemm / gemm_bt).
+void pack_a_rowmajor(const float* a, std::int64_t lda, std::int64_t rows,
+                     std::int64_t kc, float* dst) {
+  for (std::int64_t i0 = 0; i0 < rows; i0 += kMr) {
+    float* panel = dst + i0 * kc;
+    const std::int64_t mi = std::min(kMr, rows - i0);
+    for (std::int64_t p = 0; p < kc; ++p) {
+      for (std::int64_t i = 0; i < mi; ++i) {
+        panel[p * kMr + i] = a[(i0 + i) * lda + p];
       }
+      for (std::int64_t i = mi; i < kMr; ++i) panel[p * kMr + i] = 0.0f;
+    }
+  }
+}
+
+/// A(i, p) = a_t[p * lda + i] (A supplied transposed, used by gemm_at).
+void pack_a_transposed(const float* a_t, std::int64_t lda, std::int64_t rows,
+                       std::int64_t kc, float* dst) {
+  for (std::int64_t i0 = 0; i0 < rows; i0 += kMr) {
+    float* panel = dst + i0 * kc;
+    const std::int64_t mi = std::min(kMr, rows - i0);
+    for (std::int64_t p = 0; p < kc; ++p) {
+      const float* src = a_t + p * lda + i0;
+      for (std::int64_t i = 0; i < mi; ++i) panel[p * kMr + i] = src[i];
+      for (std::int64_t i = mi; i < kMr; ++i) panel[p * kMr + i] = 0.0f;
+    }
+  }
+}
+
+// ---- B-panel packing -------------------------------------------------------
+// Destination layout: slivers of kNr columns, each stored row-major
+// (dst[j0*kc + p*kNr + j]); short column tails are zero-padded.
+
+/// B(p, j) = b[p * ldb + j] — contiguous rows, sliver interior is a memcpy.
+void pack_b_rowmajor(const float* b, std::int64_t ldb, std::int64_t kc,
+                     std::int64_t j0, std::int64_t j1, float* dst) {
+  for (std::int64_t js = j0; js < j1; js += kNr) {
+    float* sliver = dst + js * kc;
+    const std::int64_t jn = std::min(kNr, j1 - js);
+    if (jn == kNr) {
+      for (std::int64_t p = 0; p < kc; ++p) {
+        std::memcpy(sliver + p * kNr, b + p * ldb + js,
+                    kNr * sizeof(float));
+      }
+    } else {
+      for (std::int64_t p = 0; p < kc; ++p) {
+        for (std::int64_t j = 0; j < jn; ++j) {
+          sliver[p * kNr + j] = b[p * ldb + js + j];
+        }
+        for (std::int64_t j = jn; j < kNr; ++j) sliver[p * kNr + j] = 0.0f;
+      }
+    }
+  }
+}
+
+/// B(p, j) = b_t[j * ldb + p] (B supplied transposed, used by gemm_bt);
+/// each destination column is a contiguous read of b_t.
+void pack_b_transposed(const float* b_t, std::int64_t ldb, std::int64_t kc,
+                       std::int64_t j0, std::int64_t j1, float* dst) {
+  for (std::int64_t js = j0; js < j1; js += kNr) {
+    float* sliver = dst + js * kc;
+    const std::int64_t jn = std::min(kNr, j1 - js);
+    for (std::int64_t j = 0; j < jn; ++j) {
+      const float* col = b_t + (js + j) * ldb;
+      for (std::int64_t p = 0; p < kc; ++p) sliver[p * kNr + j] = col[p];
+    }
+    for (std::int64_t j = jn; j < kNr; ++j) {
+      for (std::int64_t p = 0; p < kc; ++p) sliver[p * kNr + j] = 0.0f;
+    }
+  }
+}
+
+/// B(p, j) = im2col(image)(p, j) materialized on the fly (fused conv
+/// forward): row p of the virtual column matrix selects (channel, kh, kw),
+/// column j selects the output pixel (oh, ow). Zero padding is synthesized
+/// in place, so the dense CKK x OHW buffer never exists.
+void pack_b_im2col(const float* im, const Im2colSpec& spec, std::int64_t pc,
+                   std::int64_t kc, std::int64_t j0, std::int64_t j1,
+                   float* dst) {
+  const std::int64_t h = spec.height, w = spec.width, k = spec.kernel;
+  const std::int64_t stride = spec.stride, pad = spec.padding;
+  const std::int64_t out_w = spec.out_w();
+  for (std::int64_t js = j0; js < j1; js += kNr) {
+    float* sliver = dst + js * kc;
+    const std::int64_t jn = std::min(kNr, j1 - js);
+    for (std::int64_t p = 0; p < kc; ++p) {
+      const std::int64_t r = pc + p;
+      const std::int64_t c = r / (k * k);
+      const std::int64_t kh = (r / k) % k;
+      const std::int64_t kw = r % k;
+      const float* im_c = im + c * h * w;
+      float* row = sliver + p * kNr;
+      std::int64_t oh = js / out_w;
+      std::int64_t ow = js % out_w;
+      for (std::int64_t j = 0; j < jn; ++j) {
+        if (ow == out_w) {
+          ow = 0;
+          ++oh;
+        }
+        const std::int64_t ih = oh * stride - pad + kh;
+        const std::int64_t iw = ow * stride - pad + kw;
+        row[j] = (ih >= 0 && ih < h && iw >= 0 && iw < w)
+                     ? im_c[ih * w + iw]
+                     : 0.0f;
+        ++ow;
+      }
+      for (std::int64_t j = jn; j < kNr; ++j) row[j] = 0.0f;
     }
   }
 }
@@ -44,7 +182,74 @@ void scale_c(std::int64_t m, std::int64_t n, float beta, float* c) {
   }
 }
 
+// Per-thread packing scratch. Workers reuse their buffers across calls;
+// nested gemm calls (e.g. inside a parallel conv loop) run inline on the
+// caller's thread, so a single pair per thread suffices.
+thread_local std::vector<float> t_pack_a;
+
+/// Shared driver: packs B once per K-block (parallel over slivers), then
+/// sweeps M-blocks in parallel; each worker packs its own A block and runs
+/// the register-tiled macro loop. Every C element is produced by exactly one
+/// tile chain with a fixed K-block order, so results are bitwise identical
+/// regardless of thread count or schedule.
+template <typename PackA, typename PackB>
+void gemm_driver(std::int64_t m, std::int64_t n, std::int64_t k, float alpha,
+                 const PackA& pack_a, const PackB& pack_b, float* c) {
+  const std::int64_t n_round = round_up(n, kNr);
+  std::vector<float> bp(static_cast<std::size_t>(kKc * n_round));
+  const std::int64_t m_blocks = (m + kMc - 1) / kMc;
+  for (std::int64_t pc = 0; pc < k; pc += kKc) {
+    const std::int64_t kc = std::min(kKc, k - pc);
+    const std::int64_t n_slivers = n_round / kNr;
+    parallel_for_chunked(0, n_slivers, [&](std::int64_t lo, std::int64_t hi) {
+      pack_b(pc, kc, lo * kNr, std::min(hi * kNr, n), bp.data());
+    });
+    parallel_for_chunked(0, m_blocks, [&](std::int64_t blo, std::int64_t bhi) {
+      if (t_pack_a.size() < static_cast<std::size_t>(kMc * kKc)) {
+        t_pack_a.resize(static_cast<std::size_t>(kMc * kKc));
+      }
+      float* ap = t_pack_a.data();
+      float tile[kMr * kNr];
+      for (std::int64_t blk = blo; blk < bhi; ++blk) {
+        const std::int64_t ic = blk * kMc;
+        const std::int64_t mc = std::min(kMc, m - ic);
+        pack_a(pc, kc, ic, mc, ap);
+        for (std::int64_t i0 = 0; i0 < mc; i0 += kMr) {
+          const std::int64_t mi = std::min(kMr, mc - i0);
+          for (std::int64_t js = 0; js < n; js += kNr) {
+            const std::int64_t jn = std::min(kNr, n - js);
+            if (mi == kMr && jn == kNr) {
+              micro_kernel(kc, ap + i0 * kc, bp.data() + js * kc, alpha,
+                           c + (ic + i0) * n + js, n);
+            } else {
+              // Edge tile: accumulate into a full-size scratch tile, then
+              // add only the live region into C.
+              std::memset(tile, 0, sizeof(tile));
+              micro_kernel(kc, ap + i0 * kc, bp.data() + js * kc, 1.0f, tile,
+                           kNr);
+              for (std::int64_t i = 0; i < mi; ++i) {
+                float* crow = c + (ic + i0 + i) * n + js;
+                for (std::int64_t j = 0; j < jn; ++j) {
+                  crow[j] += alpha * tile[i * kNr + j];
+                }
+              }
+            }
+          }
+        }
+      }
+    });
+  }
+}
+
 }  // namespace
+
+std::int64_t Im2colSpec::out_h() const {
+  return conv_out_size(height, kernel, stride, padding);
+}
+
+std::int64_t Im2colSpec::out_w() const {
+  return conv_out_size(width, kernel, stride, padding);
+}
 
 void gemm(std::int64_t m, std::int64_t n, std::int64_t k, float alpha,
           const float* a, const float* b, float beta, float* c) {
@@ -52,16 +257,13 @@ void gemm(std::int64_t m, std::int64_t n, std::int64_t k, float alpha,
   if (m == 0 || n == 0) return;
   scale_c(m, n, beta, c);
   if (k == 0 || alpha == 0.0f) return;
-  if (m >= 2 * kBlockM) {
-    parallel_for_chunked(0, (m + kBlockM - 1) / kBlockM,
-                         [&](std::int64_t lo, std::int64_t hi) {
-                           const std::int64_t m0 = lo * kBlockM;
-                           const std::int64_t m1 = std::min(hi * kBlockM, m);
-                           gemm_rows(m0, m1, n, k, alpha, a, b, c);
-                         });
-  } else {
-    gemm_rows(0, m, n, k, alpha, a, b, c);
-  }
+  gemm_driver(
+      m, n, k, alpha,
+      [&](std::int64_t pc, std::int64_t kc, std::int64_t ic, std::int64_t mc,
+          float* dst) { pack_a_rowmajor(a + ic * k + pc, k, mc, kc, dst); },
+      [&](std::int64_t pc, std::int64_t kc, std::int64_t j0, std::int64_t j1,
+          float* dst) { pack_b_rowmajor(b + pc * n, n, kc, j0, j1, dst); },
+      c);
 }
 
 void gemm_bt(std::int64_t m, std::int64_t n, std::int64_t k, float alpha,
@@ -70,18 +272,13 @@ void gemm_bt(std::int64_t m, std::int64_t n, std::int64_t k, float alpha,
   if (m == 0 || n == 0) return;
   scale_c(m, n, beta, c);
   if (k == 0 || alpha == 0.0f) return;
-  parallel_for_chunked(0, m, [&](std::int64_t lo, std::int64_t hi) {
-    for (std::int64_t i = lo; i < hi; ++i) {
-      const float* a_row = a + i * k;
-      float* c_row = c + i * n;
-      for (std::int64_t j = 0; j < n; ++j) {
-        const float* b_row = b_t + j * k;
-        float acc = 0.0f;
-        for (std::int64_t p = 0; p < k; ++p) acc += a_row[p] * b_row[p];
-        c_row[j] += alpha * acc;
-      }
-    }
-  });
+  gemm_driver(
+      m, n, k, alpha,
+      [&](std::int64_t pc, std::int64_t kc, std::int64_t ic, std::int64_t mc,
+          float* dst) { pack_a_rowmajor(a + ic * k + pc, k, mc, kc, dst); },
+      [&](std::int64_t pc, std::int64_t kc, std::int64_t j0, std::int64_t j1,
+          float* dst) { pack_b_transposed(b_t + pc, k, kc, j0, j1, dst); },
+      c);
 }
 
 void gemm_at(std::int64_t m, std::int64_t n, std::int64_t k, float alpha,
@@ -91,16 +288,32 @@ void gemm_at(std::int64_t m, std::int64_t n, std::int64_t k, float alpha,
   scale_c(m, n, beta, c);
   if (k == 0 || alpha == 0.0f) return;
   // A^T is K x M row-major: element A(i, p) = a_t[p * m + i].
-  for (std::int64_t p = 0; p < k; ++p) {
-    const float* at_row = a_t + p * m;
-    const float* b_row = b + p * n;
-    for (std::int64_t i = 0; i < m; ++i) {
-      const float aip = alpha * at_row[i];
-      if (aip == 0.0f) continue;
-      float* c_row = c + i * n;
-      for (std::int64_t j = 0; j < n; ++j) c_row[j] += aip * b_row[j];
-    }
-  }
+  gemm_driver(
+      m, n, k, alpha,
+      [&](std::int64_t pc, std::int64_t kc, std::int64_t ic, std::int64_t mc,
+          float* dst) {
+        pack_a_transposed(a_t + pc * m + ic, m, mc, kc, dst);
+      },
+      [&](std::int64_t pc, std::int64_t kc, std::int64_t j0, std::int64_t j1,
+          float* dst) { pack_b_rowmajor(b + pc * n, n, kc, j0, j1, dst); },
+      c);
+}
+
+void gemm_im2col(std::int64_t m, float alpha, const float* a, const float* im,
+                 const Im2colSpec& spec, float beta, float* c) {
+  DCNAS_CHECK(m >= 0 && spec.channels > 0, "gemm_im2col bad dimensions");
+  const std::int64_t k = spec.channels * spec.kernel * spec.kernel;
+  const std::int64_t n = spec.out_h() * spec.out_w();
+  if (m == 0 || n == 0) return;
+  scale_c(m, n, beta, c);
+  if (alpha == 0.0f) return;
+  gemm_driver(
+      m, n, k, alpha,
+      [&](std::int64_t pc, std::int64_t kc, std::int64_t ic, std::int64_t mc,
+          float* dst) { pack_a_rowmajor(a + ic * k + pc, k, mc, kc, dst); },
+      [&](std::int64_t pc, std::int64_t kc, std::int64_t j0, std::int64_t j1,
+          float* dst) { pack_b_im2col(im, spec, pc, kc, j0, j1, dst); },
+      c);
 }
 
 Tensor matmul(const Tensor& a, const Tensor& b) {

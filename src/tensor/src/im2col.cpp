@@ -1,5 +1,7 @@
 #include "dcnas/tensor/im2col.hpp"
 
+#include <algorithm>
+#include <cstring>
 #include <string>
 
 #include "dcnas/common/error.hpp"
@@ -33,10 +35,33 @@ void im2col(const float* im, std::int64_t channels, std::int64_t height,
           const std::int64_t ih = oh * stride - padding + kh;
           float* col_out = col_row + oh * out_w;
           if (ih < 0 || ih >= height) {
-            for (std::int64_t ow = 0; ow < out_w; ++ow) col_out[ow] = 0.0f;
+            std::memset(col_out, 0,
+                        static_cast<std::size_t>(out_w) * sizeof(float));
             continue;
           }
           const float* im_row = im_c + ih * width;
+          if (stride == 1) {
+            // iw = ow + (kw - padding) is contiguous: zero-fill the padded
+            // prefix/suffix and bulk-copy the in-bounds run.
+            const std::int64_t shift = kw - padding;
+            const std::int64_t lo =
+                std::clamp<std::int64_t>(-shift, 0, out_w);
+            const std::int64_t hi =
+                std::clamp<std::int64_t>(width - shift, lo, out_w);
+            if (lo > 0) {
+              std::memset(col_out, 0,
+                          static_cast<std::size_t>(lo) * sizeof(float));
+            }
+            if (hi > lo) {
+              std::memcpy(col_out + lo, im_row + lo + shift,
+                          static_cast<std::size_t>(hi - lo) * sizeof(float));
+            }
+            if (out_w > hi) {
+              std::memset(col_out + hi, 0,
+                          static_cast<std::size_t>(out_w - hi) * sizeof(float));
+            }
+            continue;
+          }
           for (std::int64_t ow = 0; ow < out_w; ++ow) {
             const std::int64_t iw = ow * stride - padding + kw;
             col_out[ow] =

@@ -77,12 +77,14 @@ Tensor global_avgpool_forward(const Tensor& input) {
   const float inv = 1.0f / static_cast<float>(h * w);
   const float* in = input.data();
   float* o = out.data();
-  for (std::int64_t nc = 0; nc < n * c; ++nc) {
-    const float* plane = in + nc * h * w;
-    float acc = 0.0f;
-    for (std::int64_t i = 0; i < h * w; ++i) acc += plane[i];
-    o[nc] = acc * inv;
-  }
+  parallel_for_chunked(0, n * c, [&](std::int64_t lo, std::int64_t hi) {
+    for (std::int64_t nc = lo; nc < hi; ++nc) {
+      const float* plane = in + nc * h * w;
+      float acc = 0.0f;
+      for (std::int64_t i = 0; i < h * w; ++i) acc += plane[i];
+      o[nc] = acc * inv;
+    }
+  });
   return out;
 }
 
@@ -95,11 +97,13 @@ Tensor global_avgpool_backward(const Tensor& grad_out,
   const float* go = grad_out.data();
   float* gi = grad_in.data();
   const std::int64_t planes = input_shape[0] * input_shape[1];
-  for (std::int64_t nc = 0; nc < planes; ++nc) {
-    const float g = go[nc] * inv;
-    float* plane = gi + nc * h * w;
-    for (std::int64_t i = 0; i < h * w; ++i) plane[i] = g;
-  }
+  parallel_for_chunked(0, planes, [&](std::int64_t lo, std::int64_t hi) {
+    for (std::int64_t nc = lo; nc < hi; ++nc) {
+      const float g = go[nc] * inv;
+      float* plane = gi + nc * h * w;
+      for (std::int64_t i = 0; i < h * w; ++i) plane[i] = g;
+    }
+  });
   return grad_in;
 }
 

@@ -55,8 +55,11 @@ geodata::DrainageDataset* TrainingEvaluatorTest::ds7_ = nullptr;
 TEST_F(TrainingEvaluatorTest, TrainsAndBeatsChance) {
   TrainingEvaluator::Options opt;
   opt.folds = 2;
-  opt.epochs = 8;
-  opt.lr = 0.02;  // small dataset needs a hotter, longer schedule
+  // Small dataset needs a hotter, longer schedule; 12 epochs keeps the
+  // accuracy threshold comfortably clear of run-to-run float jitter (FMA
+  // contraction / summation order differ across ISAs and kernel blockings).
+  opt.epochs = 12;
+  opt.lr = 0.02;
   TrainingEvaluator eval(*ds5_, *ds7_, opt);
   TrialConfig cfg = TrialConfig::baseline(5, 8);
   cfg.initial_output_feature = 32;

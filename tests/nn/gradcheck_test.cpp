@@ -95,6 +95,23 @@ TEST(GradCheck, Conv2dLargeKernelLargePadding) {
   check_gradients(conv, x, 1e-2, 2e-2);
 }
 
+TEST(GradCheck, Conv2dStride2PaddingHalfKernel) {
+  // stride 2 with padding == kernel/2: the downsampling geometry used by
+  // every NAS stage transition. Locks forward/backward behavior against the
+  // packed-GEMM substrate (fused forward, grouped-reduction backward).
+  Rng rng(21);
+  Conv2d conv(2, 3, 5, 2, 2, /*bias=*/true, rng);
+  const Tensor x = Tensor::rand_uniform({2, 2, 9, 9}, rng, -1.0f, 1.0f);
+  check_gradients(conv, x, 1e-2, 2e-2);
+}
+
+TEST(GradCheck, Conv2dStride2PaddingAboveHalfKernel) {
+  Rng rng(22);
+  Conv2d conv(3, 2, 3, 2, 2, /*bias=*/false, rng);
+  const Tensor x = Tensor::rand_uniform({2, 3, 7, 7}, rng, -1.0f, 1.0f);
+  check_gradients(conv, x, 1e-2, 2e-2);
+}
+
 TEST(GradCheck, Conv2dPaddingEqualsKernel) {
   // The NAS space pairs kernel 3 with padding 3 (allowed for conv).
   Rng rng(4);

@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include "dcnas/common/rng.hpp"
+#include "dcnas/obs/metrics.hpp"
 #include "dcnas/nn/activations.hpp"
 #include "dcnas/nn/batchnorm.hpp"
 #include "dcnas/nn/conv.hpp"
@@ -121,6 +122,82 @@ TEST(TrainerTest, EvaluateAccuracyBatchesCorrectly) {
   const double a32 = evaluate_accuracy(net, images, labels, 32);
   EXPECT_DOUBLE_EQ(a1, a7);
   EXPECT_DOUBLE_EQ(a7, a32);
+}
+
+TEST(TrainerTest, EvaluateAccuracyRestoresPriorTrainingMode) {
+  // Regression: evaluate_accuracy used to end with set_training(true)
+  // unconditionally, silently flipping eval-only models (e.g. one being
+  // benchmarked or served between evaluations) back into training mode.
+  Tensor images;
+  std::vector<int> labels;
+  make_blob_dataset(8, 6, &images, &labels, 17);
+  Rng rng(5);
+  Sequential net = make_small_cnn(rng);
+
+  net.set_training(false);
+  evaluate_accuracy(net, images, labels);
+  EXPECT_FALSE(net.training()) << "eval-only model flipped into training";
+
+  net.set_training(true);
+  evaluate_accuracy(net, images, labels);
+  EXPECT_TRUE(net.training()) << "training-mode model lost its mode";
+}
+
+TEST(TrainerTest, EpochStatsAreSampleWeighted) {
+  // With a vanishing learning rate (1e-30 passes the lr > 0 check but is
+  // far below float32 resolution, so weights stay bitwise unchanged) and no
+  // batch-coupled layers, per-sample losses are independent of batch
+  // composition: the epoch loss must equal the dataset mean regardless of
+  // batch size — per-batch averaging would overweight the trailing partial
+  // batch (10 = 4 + 4 + 2).
+  Tensor images;
+  std::vector<int> labels;
+  make_blob_dataset(10, 6, &images, &labels, 23);
+  Rng rng(9);
+  Sequential net;
+  net.emplace<Conv2d>(2, 4, 3, 1, 1, true, rng);
+  net.emplace<ReLU>();
+  net.emplace<GlobalAvgPool>();
+  net.emplace<Linear>(4, 2, rng);
+
+  TrainOptions opt;
+  opt.epochs = 1;
+  opt.lr = 1e-30;
+  opt.momentum = 0.0;
+  opt.weight_decay = 0.0;
+  opt.shuffle = false;
+  opt.batch_size = 4;
+  const FitResult partial = fit(net, images, labels, opt);
+  opt.batch_size = 10;
+  const FitResult full = fit(net, images, labels, opt);
+  ASSERT_EQ(partial.epoch_loss.size(), 1u);
+  EXPECT_NEAR(partial.epoch_loss[0], full.epoch_loss[0], 1e-6);
+  EXPECT_NEAR(partial.epoch_accuracy[0], full.epoch_accuracy[0], 1e-12);
+}
+
+TEST(TrainerTest, RecordsDroppedTrailingSamples) {
+  // 9 samples at batch 4 leaves a trailing single sample, which BatchNorm
+  // semantics force fit() to drop; the nn.train metrics must account for it.
+  Tensor images;
+  std::vector<int> labels;
+  make_blob_dataset(9, 6, &images, &labels, 29);
+  Rng rng(11);
+  Sequential net = make_small_cnn(rng);
+  const auto* dropped =
+      obs::MetricsRegistry::global().find_counter("nn.train.samples.dropped");
+  const std::int64_t before = dropped ? dropped->value() : 0;
+  TrainOptions opt;
+  opt.epochs = 2;
+  opt.batch_size = 4;
+  fit(net, images, labels, opt);
+  dropped =
+      obs::MetricsRegistry::global().find_counter("nn.train.samples.dropped");
+  ASSERT_NE(dropped, nullptr);
+  EXPECT_EQ(dropped->value() - before, 2) << "one dropped sample per epoch";
+  const auto* seen =
+      obs::MetricsRegistry::global().find_counter("nn.train.samples.count");
+  ASSERT_NE(seen, nullptr);
+  EXPECT_GE(seen->value(), 16);
 }
 
 TEST(TrainerTest, RejectsInvalidInputs) {

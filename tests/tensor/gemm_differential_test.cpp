@@ -1,0 +1,237 @@
+/// Differential suite for the packed GEMM substrate: every variant is
+/// cross-checked against a naive triple-loop reference over randomized
+/// shapes (including 0/1 edge dimensions that exercise panel/sliver
+/// padding), alpha/beta combinations, and NaN/Inf propagation. These tests
+/// pinned the seed kernel's behavior before the packed rewrite and now
+/// guard it; they run under plain, ASan+UBSan, and TSan builds.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+#include <vector>
+
+#include "dcnas/common/rng.hpp"
+#include "dcnas/tensor/gemm.hpp"
+#include "dcnas/tensor/im2col.hpp"
+
+namespace dcnas {
+namespace {
+
+constexpr float kNaN = std::numeric_limits<float>::quiet_NaN();
+constexpr float kInf = std::numeric_limits<float>::infinity();
+
+void ref_gemm(std::int64_t m, std::int64_t n, std::int64_t k, float alpha,
+              const float* a, const float* b, float beta, float* c) {
+  for (std::int64_t i = 0; i < m; ++i) {
+    for (std::int64_t j = 0; j < n; ++j) {
+      float acc = 0.0f;
+      for (std::int64_t p = 0; p < k; ++p) acc += a[i * k + p] * b[p * n + j];
+      c[i * n + j] = alpha * acc + beta * c[i * n + j];
+    }
+  }
+}
+
+std::vector<float> random_vec(std::int64_t n, Rng& rng) {
+  std::vector<float> v(static_cast<std::size_t>(std::max<std::int64_t>(n, 1)));
+  for (auto& x : v) x = static_cast<float>(rng.uniform(-1.0, 1.0));
+  return v;
+}
+
+struct DiffCase {
+  std::int64_t m, n, k;
+  float alpha, beta;
+};
+
+class GemmDifferentialTest : public ::testing::TestWithParam<DiffCase> {};
+
+TEST_P(GemmDifferentialTest, AllVariantsMatchNaiveReference) {
+  const auto [m, n, k, alpha, beta] = GetParam();
+  Rng rng(static_cast<std::uint64_t>(m * 7919 + n * 104729 + k * 31 + 1));
+  const std::vector<float> a = random_vec(m * k, rng);
+  const std::vector<float> b = random_vec(k * n, rng);
+
+  // Transposed copies for the _bt/_at variants.
+  std::vector<float> b_t(
+      static_cast<std::size_t>(std::max<std::int64_t>(n * k, 1)));
+  for (std::int64_t p = 0; p < k; ++p) {
+    for (std::int64_t j = 0; j < n; ++j) b_t[j * k + p] = b[p * n + j];
+  }
+  std::vector<float> a_t(
+      static_cast<std::size_t>(std::max<std::int64_t>(k * m, 1)));
+  for (std::int64_t i = 0; i < m; ++i) {
+    for (std::int64_t p = 0; p < k; ++p) a_t[p * m + i] = a[i * k + p];
+  }
+
+  const std::vector<float> c0 =
+      random_vec(std::max<std::int64_t>(m * n, 1), rng);
+  std::vector<float> c_ref = c0;
+  ref_gemm(m, n, k, alpha, a.data(), b.data(), beta, c_ref.data());
+
+  const float tol = 1e-3f * std::max<float>(1.0f, static_cast<float>(k) / 64);
+  auto expect_matches = [&](const std::vector<float>& c, const char* which) {
+    for (std::size_t i = 0; i < c.size(); ++i) {
+      ASSERT_NEAR(c[i], c_ref[i], tol) << which << " at " << i;
+    }
+  };
+
+  std::vector<float> c = c0;
+  gemm(m, n, k, alpha, a.data(), b.data(), beta, c.data());
+  expect_matches(c, "gemm");
+
+  c = c0;
+  gemm_bt(m, n, k, alpha, a.data(), b_t.data(), beta, c.data());
+  expect_matches(c, "gemm_bt");
+
+  c = c0;
+  gemm_at(m, n, k, alpha, a_t.data(), b.data(), beta, c.data());
+  expect_matches(c, "gemm_at");
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    ShapesAlphaBeta, GemmDifferentialTest,
+    ::testing::Values(
+        // 0/1 edge dimensions: empty products, single rows/cols/depth.
+        DiffCase{0, 5, 3, 1.0f, 0.0f}, DiffCase{5, 0, 3, 1.0f, 0.5f},
+        DiffCase{4, 3, 0, 1.0f, 0.0f}, DiffCase{4, 3, 0, 2.0f, 1.0f},
+        DiffCase{1, 1, 1, -1.5f, 0.25f}, DiffCase{1, 37, 5, 1.0f, 1.0f},
+        DiffCase{37, 1, 5, 0.5f, 0.0f}, DiffCase{3, 4, 1, 1.0f, 2.0f},
+        // Tile-edge shapes around MR=4 / NR=16 / KC=256 boundaries.
+        DiffCase{4, 16, 8, 1.0f, 0.0f}, DiffCase{5, 17, 9, 1.0f, 0.0f},
+        DiffCase{3, 15, 7, -2.0f, 1.0f}, DiffCase{8, 32, 257, 1.0f, 0.5f},
+        DiffCase{131, 33, 129, 1.3f, 0.7f}, DiffCase{129, 18, 300, 1.0f, 1.0f},
+        // Alpha/beta corner combinations, including alpha == 0 (BLAS
+        // semantics: the product is skipped entirely and C = beta*C).
+        DiffCase{12, 20, 24, 0.0f, 0.5f}, DiffCase{12, 20, 24, 0.0f, 0.0f},
+        DiffCase{12, 20, 24, 1.0f, -1.0f}, DiffCase{40, 48, 56, -0.7f, 0.3f}));
+
+// ---- NaN / Inf propagation -------------------------------------------------
+// The seed kernel's `if (aip == 0.0f) continue;` fast path dropped the
+// multiplication entirely, so a zero in A silently hid a NaN in B: 0 * NaN
+// became 0 instead of NaN and corrupted activations sailed through. The
+// packed kernels never short-circuit on element values; these tests pin
+// that for all three variants.
+
+TEST(GemmNaNPropagationTest, ZeroInADoesNotHideNaNInB) {
+  // A row is all zeros; B carries a NaN in every column. C must be NaN
+  // everywhere: sum_p 0 * NaN = NaN.
+  const std::int64_t m = 3, n = 5, k = 4;
+  std::vector<float> a(static_cast<std::size_t>(m * k), 0.0f);
+  std::vector<float> b(static_cast<std::size_t>(k * n), 1.0f);
+  for (std::int64_t j = 0; j < n; ++j) b[1 * n + j] = kNaN;
+  std::vector<float> c(static_cast<std::size_t>(m * n), 7.0f);
+  gemm(m, n, k, 1.0f, a.data(), b.data(), 0.0f, c.data());
+  for (std::size_t i = 0; i < c.size(); ++i) {
+    EXPECT_TRUE(std::isnan(c[i])) << "0 * NaN was swallowed at " << i;
+  }
+}
+
+TEST(GemmNaNPropagationTest, ZeroTimesInfIsNaN) {
+  const std::int64_t m = 2, n = 3, k = 2;
+  std::vector<float> a(static_cast<std::size_t>(m * k), 0.0f);
+  std::vector<float> b(static_cast<std::size_t>(k * n), kInf);
+  std::vector<float> c(static_cast<std::size_t>(m * n), 0.0f);
+  gemm(m, n, k, 1.0f, a.data(), b.data(), 0.0f, c.data());
+  for (std::size_t i = 0; i < c.size(); ++i) {
+    EXPECT_TRUE(std::isnan(c[i])) << "0 * Inf must be NaN at " << i;
+  }
+}
+
+TEST(GemmNaNPropagationTest, GemmBtPropagates) {
+  const std::int64_t m = 4, n = 6, k = 5;
+  std::vector<float> a(static_cast<std::size_t>(m * k), 0.0f);
+  std::vector<float> b_t(static_cast<std::size_t>(n * k), 1.0f);
+  b_t[2 * k + 3] = kNaN;  // B(3, 2) is NaN -> column 2 of C is NaN
+  std::vector<float> c(static_cast<std::size_t>(m * n), 0.0f);
+  gemm_bt(m, n, k, 1.0f, a.data(), b_t.data(), 0.0f, c.data());
+  for (std::int64_t i = 0; i < m; ++i) {
+    EXPECT_TRUE(std::isnan(c[i * n + 2])) << "row " << i;
+    EXPECT_FLOAT_EQ(c[i * n + 0], 0.0f) << "row " << i;
+  }
+}
+
+TEST(GemmNaNPropagationTest, GemmAtPropagates) {
+  const std::int64_t m = 5, n = 4, k = 3;
+  std::vector<float> a_t(static_cast<std::size_t>(k * m), 0.0f);
+  std::vector<float> b(static_cast<std::size_t>(k * n), 1.0f);
+  b[1 * n + 1] = kNaN;  // B(1, 1) is NaN -> column 1 of C is NaN
+  std::vector<float> c(static_cast<std::size_t>(m * n), 0.0f);
+  gemm_at(m, n, k, 1.0f, a_t.data(), b.data(), 0.0f, c.data());
+  for (std::int64_t i = 0; i < m; ++i) {
+    EXPECT_TRUE(std::isnan(c[i * n + 1])) << "row " << i;
+    EXPECT_FLOAT_EQ(c[i * n + 0], 0.0f) << "row " << i;
+  }
+}
+
+TEST(GemmNaNPropagationTest, NaNInAPropagatesThroughZeroB) {
+  const std::int64_t m = 3, n = 4, k = 3;
+  std::vector<float> a(static_cast<std::size_t>(m * k), 1.0f);
+  a[1 * k + 2] = kNaN;  // A(1, 2)
+  std::vector<float> b(static_cast<std::size_t>(k * n), 0.0f);
+  std::vector<float> c(static_cast<std::size_t>(m * n), 0.0f);
+  gemm(m, n, k, 1.0f, a.data(), b.data(), 0.0f, c.data());
+  for (std::int64_t j = 0; j < n; ++j) {
+    EXPECT_TRUE(std::isnan(c[1 * n + j])) << "col " << j;
+    EXPECT_FLOAT_EQ(c[0 * n + j], 0.0f) << "col " << j;
+  }
+}
+
+// ---- fused im2col GEMM -----------------------------------------------------
+
+struct FusedCase {
+  std::int64_t channels, hw, kernel, stride, padding, out_ch;
+};
+
+class GemmIm2colTest : public ::testing::TestWithParam<FusedCase> {};
+
+TEST_P(GemmIm2colTest, MatchesMaterializedIm2colPlusGemm) {
+  const auto [channels, hw, kernel, stride, padding, out_ch] = GetParam();
+  Rng rng(static_cast<std::uint64_t>(channels * 131 + hw * 17 + kernel));
+  const std::vector<float> im = random_vec(channels * hw * hw, rng);
+  const std::int64_t col_rows = channels * kernel * kernel;
+  const Im2colSpec spec{channels, hw, hw, kernel, stride, padding};
+  const std::int64_t out_hw = spec.out_h() * spec.out_w();
+  const std::vector<float> w = random_vec(out_ch * col_rows, rng);
+
+  std::vector<float> col(static_cast<std::size_t>(col_rows * out_hw));
+  im2col(im.data(), channels, hw, hw, kernel, stride, padding, col.data());
+  std::vector<float> c_ref(static_cast<std::size_t>(out_ch * out_hw), 0.5f);
+  std::vector<float> c = c_ref;
+  ref_gemm(out_ch, out_hw, col_rows, 1.0f, w.data(), col.data(), 0.7f,
+           c_ref.data());
+  gemm_im2col(out_ch, 1.0f, w.data(), im.data(), spec, 0.7f, c.data());
+  for (std::size_t i = 0; i < c.size(); ++i) {
+    ASSERT_NEAR(c[i], c_ref[i], 1e-3f) << "at " << i;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Geometries, GemmIm2colTest,
+    ::testing::Values(FusedCase{1, 5, 1, 1, 0, 3},   // pointwise
+                      FusedCase{2, 9, 3, 1, 1, 4},   // stride-1 same-pad
+                      FusedCase{3, 8, 3, 2, 1, 5},   // strided
+                      FusedCase{2, 7, 3, 1, 3, 4},   // padding == kernel
+                      FusedCase{1, 9, 7, 2, 3, 2},   // large kernel
+                      FusedCase{4, 16, 5, 3, 2, 6},  // stride 3
+                      FusedCase{8, 14, 3, 1, 1, 32}  // NAS-typical block
+                      ));
+
+TEST(GemmIm2colTest, PropagatesNaNFromImage) {
+  const std::int64_t channels = 1, hw = 4, kernel = 3;
+  std::vector<float> im(static_cast<std::size_t>(channels * hw * hw), 1.0f);
+  im[5] = kNaN;  // pixel (1, 1)
+  const Im2colSpec spec{channels, hw, hw, kernel, 1, 1};
+  std::vector<float> w(static_cast<std::size_t>(kernel * kernel), 0.0f);
+  std::vector<float> c(
+      static_cast<std::size_t>(spec.out_h() * spec.out_w()), 0.0f);
+  gemm_im2col(1, 1.0f, w.data(), im.data(), spec, 0.0f, c.data());
+  // Every output pixel whose receptive field covers (1,1) must be NaN even
+  // though all weights are zero.
+  EXPECT_TRUE(std::isnan(c[0 * 4 + 0]));
+  EXPECT_TRUE(std::isnan(c[1 * 4 + 1]));
+  EXPECT_TRUE(std::isnan(c[2 * 4 + 2]));
+  EXPECT_FALSE(std::isnan(c[3 * 4 + 3]));
+}
+
+}  // namespace
+}  // namespace dcnas

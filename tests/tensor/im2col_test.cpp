@@ -129,5 +129,53 @@ INSTANTIATE_TEST_SUITE_P(
                       ConvGeom{3, 8, 6, 3, 2, 1}, ConvGeom{1, 9, 9, 7, 2, 3},
                       ConvGeom{2, 7, 7, 2, 2, 0}, ConvGeom{1, 6, 6, 3, 3, 1}));
 
+class Im2ColStride1FastPath : public ::testing::TestWithParam<ConvGeom> {};
+
+TEST_P(Im2ColStride1FastPath, MatchesElementwiseGather) {
+  // The stride-1 path bulk-copies contiguous rows with zero-filled padded
+  // prefix/suffix; verify against the per-element definition, including
+  // padding > kernel (fully padded output rows/columns).
+  const auto g = GetParam();
+  ASSERT_EQ(g.s, 1);
+  const std::int64_t oh = conv_out_size(g.h, g.k, g.s, g.p);
+  const std::int64_t ow = conv_out_size(g.w, g.k, g.s, g.p);
+  std::vector<float> im(static_cast<std::size_t>(g.c * g.h * g.w));
+  for (std::size_t i = 0; i < im.size(); ++i) {
+    im[i] = static_cast<float>(i) * 0.25f - 3.0f;
+  }
+  std::vector<float> col(
+      static_cast<std::size_t>(g.c * g.k * g.k * oh * ow), -7.0f);
+  im2col(im.data(), g.c, g.h, g.w, g.k, g.s, g.p, col.data());
+  for (std::int64_t ch = 0; ch < g.c; ++ch) {
+    for (std::int64_t kh = 0; kh < g.k; ++kh) {
+      for (std::int64_t kw = 0; kw < g.k; ++kw) {
+        for (std::int64_t oy = 0; oy < oh; ++oy) {
+          for (std::int64_t ox = 0; ox < ow; ++ox) {
+            const std::int64_t iy = oy - g.p + kh;
+            const std::int64_t ix = ox - g.p + kw;
+            const float want =
+                (iy >= 0 && iy < g.h && ix >= 0 && ix < g.w)
+                    ? im[static_cast<std::size_t>((ch * g.h + iy) * g.w + ix)]
+                    : 0.0f;
+            const std::size_t at = static_cast<std::size_t>(
+                (((ch * g.k + kh) * g.k + kw) * oh + oy) * ow + ox);
+            ASSERT_FLOAT_EQ(col[at], want)
+                << "c=" << ch << " kh=" << kh << " kw=" << kw << " oy=" << oy
+                << " ox=" << ox;
+          }
+        }
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Stride1Geometries, Im2ColStride1FastPath,
+    ::testing::Values(ConvGeom{1, 4, 4, 3, 1, 0}, ConvGeom{2, 5, 7, 3, 1, 1},
+                      ConvGeom{1, 3, 3, 3, 1, 3},   // padding == kernel
+                      ConvGeom{2, 4, 4, 3, 1, 4},   // padding > kernel
+                      ConvGeom{1, 8, 5, 5, 1, 2},
+                      ConvGeom{3, 6, 6, 1, 1, 0}));
+
 }  // namespace
 }  // namespace dcnas
