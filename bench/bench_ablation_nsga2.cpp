@@ -49,12 +49,14 @@ int main(int argc, char** argv) {
     nas::OracleEvaluator eval;
     const nas::Experiment experiment(eval, latency::NnMeter::shared());
 
-    // NSGA-II.
+    // NSGA-II, each generation batch-evaluated through the parallel
+    // scheduler (same database as the serial constructor).
     nas::Nsga2Options opt;
     opt.population_size = 24;
     opt.generations = 10;
     opt.seed = 7;
-    nas::Nsga2 search(experiment, opt);
+    nas::TrialScheduler scheduler(experiment);
+    nas::Nsga2 search(experiment, scheduler, opt);
     const nas::Nsga2Result evo = search.run();
     const double evo_hv = front_hypervolume(evo.evaluated, evo.front);
 

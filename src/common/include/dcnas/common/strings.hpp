@@ -3,6 +3,7 @@
 /// \brief Small string utilities (splitting, trimming, fixed-point
 /// formatting) used by the CSV layer and the table report printers.
 
+#include <cstdint>
 #include <string>
 #include <string_view>
 #include <vector>
@@ -22,6 +23,24 @@ std::string format_fixed(double value, int decimals);
 std::string pad(std::string s, std::size_t width, bool right = false);
 
 bool starts_with(std::string_view s, std::string_view prefix);
+
+/// Locale-independent strict double parse (std::from_chars): the whole
+/// string must be one finite or inf/nan numeric token. Throws
+/// dcnas::InvalidArgument naming \p context ("row 3, column accuracy")
+/// — unlike std::stod, which honors the global locale's decimal point and
+/// reports nothing about where the bad cell came from.
+double parse_double(std::string_view s, std::string_view context);
+
+/// Locale-independent strict integer parse; same contract as parse_double.
+long long parse_int(std::string_view s, std::string_view context);
+
+/// Shortest decimal representation that parses back to exactly \p value
+/// (std::to_chars round-trip guarantee) — used where persisted doubles must
+/// survive a save/load cycle bit-for-bit (e.g. the NAS resume journal).
+std::string format_double_roundtrip(double value);
+
+/// FNV-1a 64-bit hash — journal line checksums and bench parity hashes.
+std::uint64_t fnv1a64(std::string_view s);
 
 /// Joins items with a separator.
 std::string join(const std::vector<std::string>& items, std::string_view sep);

@@ -4,6 +4,7 @@
 #include <sstream>
 
 #include "dcnas/common/error.hpp"
+#include "dcnas/common/strings.hpp"
 
 namespace dcnas {
 
@@ -94,23 +95,13 @@ const std::string& CsvTable::at(std::size_t r, const std::string& col) const {
 }
 
 double CsvTable::at_double(std::size_t r, const std::string& col) const {
-  const std::string& s = at(r, col);
-  try {
-    return std::stod(s);
-  } catch (const std::exception&) {
-    throw InvalidArgument("CSV cell is not a double: '" + s + "' in column " +
-                          col);
-  }
+  return parse_double(at(r, col),
+                      "CSV row " + std::to_string(r) + ", column " + col);
 }
 
 long long CsvTable::at_int(std::size_t r, const std::string& col) const {
-  const std::string& s = at(r, col);
-  try {
-    return std::stoll(s);
-  } catch (const std::exception&) {
-    throw InvalidArgument("CSV cell is not an integer: '" + s +
-                          "' in column " + col);
-  }
+  return parse_int(at(r, col),
+                   "CSV row " + std::to_string(r) + ", column " + col);
 }
 
 bool CsvTable::has_column(const std::string& col) const {

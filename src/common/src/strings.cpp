@@ -1,5 +1,6 @@
 #include "dcnas/common/strings.hpp"
 
+#include <charconv>
 #include <cmath>
 #include <cstdio>
 
@@ -45,6 +46,52 @@ std::string pad(std::string s, std::size_t width, bool right) {
 
 bool starts_with(std::string_view s, std::string_view prefix) {
   return s.size() >= prefix.size() && s.substr(0, prefix.size()) == prefix;
+}
+
+namespace {
+[[noreturn]] void throw_parse_failure(const char* kind, std::string_view s,
+                                      std::string_view context) {
+  throw InvalidArgument("cannot parse " + std::string(kind) + " from '" +
+                        std::string(s) + "' (" + std::string(context) + ")");
+}
+}  // namespace
+
+double parse_double(std::string_view s, std::string_view context) {
+  double value = 0.0;
+  const char* begin = s.data();
+  const char* end = s.data() + s.size();
+  const auto result = std::from_chars(begin, end, value);
+  if (result.ec != std::errc{} || result.ptr != end || s.empty()) {
+    throw_parse_failure("double", s, context);
+  }
+  return value;
+}
+
+long long parse_int(std::string_view s, std::string_view context) {
+  long long value = 0;
+  const char* begin = s.data();
+  const char* end = s.data() + s.size();
+  const auto result = std::from_chars(begin, end, value);
+  if (result.ec != std::errc{} || result.ptr != end || s.empty()) {
+    throw_parse_failure("integer", s, context);
+  }
+  return value;
+}
+
+std::string format_double_roundtrip(double value) {
+  char buf[64];
+  const auto result = std::to_chars(buf, buf + sizeof(buf), value);
+  DCNAS_ASSERT(result.ec == std::errc{}, "to_chars failed");
+  return std::string(buf, result.ptr);
+}
+
+std::uint64_t fnv1a64(std::string_view s) {
+  std::uint64_t h = 1469598103934665603ull;
+  for (const char c : s) {
+    h ^= static_cast<unsigned char>(c);
+    h *= 1099511628211ull;
+  }
+  return h;
 }
 
 std::string join(const std::vector<std::string>& items, std::string_view sep) {

@@ -9,6 +9,7 @@
 #include <vector>
 
 #include "dcnas/nas/experiment.hpp"
+#include "dcnas/nas/scheduler.hpp"
 #include "dcnas/pareto/pareto.hpp"
 
 namespace dcnas::core {
@@ -34,6 +35,13 @@ struct PipelineOptions {
   pareto::DominanceMode dominance = pareto::DominanceMode::kWeak;
 
   nas::ExperimentOptions experiment;
+
+  /// Route sweeps through the parallel TrialScheduler instead of the serial
+  /// Experiment::run_all loop. Off by default; when on, the database is
+  /// byte-identical to the serial path as long as scheduler.pruner stays
+  /// disabled (see scheduler.hpp for the determinism contract).
+  bool use_scheduler = false;
+  nas::SchedulerOptions scheduler;
 };
 
 /// A completed sweep with its Pareto analysis.

@@ -34,7 +34,12 @@ SweepResult HwNasPipeline::run_sweep(
   const nas::Experiment experiment(*evaluator_, latency::NnMeter::shared(),
                                    options_.experiment);
   SweepResult result;
-  result.trials = experiment.run_all(configs);
+  if (options_.use_scheduler) {
+    nas::TrialScheduler scheduler(experiment, options_.scheduler);
+    result.trials = scheduler.run(configs);
+  } else {
+    result.trials = experiment.run_all(configs);
+  }
   result.objectives = objectives_of(result.trials);
   result.front_indices =
       pareto::non_dominated_indices(result.objectives, options_.dominance);

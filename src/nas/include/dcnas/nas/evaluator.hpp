@@ -26,10 +26,25 @@ struct EvalResult {
 /// spent on it. Every evaluator calls this at the top of evaluate().
 void verify_candidate(const TrialConfig& config);
 
+/// Trial evaluation decomposes into independent per-fold tasks so the
+/// TrialScheduler (scheduler.hpp) can run a trial's K folds concurrently:
+/// evaluate() == verify_candidate + evaluate_fold(0..K-1) + mean, and
+/// evaluate_fold(config, f) is a pure function of (config, f, options) —
+/// the same value regardless of which thread runs it or in what order.
 class Evaluator {
  public:
   virtual ~Evaluator() = default;
   virtual EvalResult evaluate(const TrialConfig& config) = 0;
+
+  /// Number of CV folds evaluate() aggregates over.
+  virtual int fold_count() const = 0;
+
+  /// Accuracy (percent) of one fold. Precondition: the caller has already
+  /// run verify_candidate(config) — fold evaluation skips re-verification
+  /// so a K-fold fan-out verifies once, not K times. Must be safe to call
+  /// concurrently from multiple threads (const datasets, local state only).
+  virtual double evaluate_fold(const TrialConfig& config, int fold) = 0;
+
   virtual std::string name() const = 0;
 };
 
@@ -38,6 +53,8 @@ class OracleEvaluator : public Evaluator {
  public:
   explicit OracleEvaluator(const OracleOptions& options = {});
   EvalResult evaluate(const TrialConfig& config) override;
+  int fold_count() const override { return oracle_.options().folds; }
+  double evaluate_fold(const TrialConfig& config, int fold) override;
   std::string name() const override { return "oracle"; }
   const AccuracyOracle& oracle() const { return oracle_; }
 
@@ -68,6 +85,8 @@ class TrainingEvaluator : public Evaluator {
       : TrainingEvaluator(dataset5, dataset7, Options{}) {}
 
   EvalResult evaluate(const TrialConfig& config) override;
+  int fold_count() const override { return options_.folds; }
+  double evaluate_fold(const TrialConfig& config, int fold) override;
   std::string name() const override { return "training"; }
 
  private:

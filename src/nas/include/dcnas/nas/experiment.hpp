@@ -60,7 +60,20 @@ class Experiment {
              const ExperimentOptions& options = {});
 
   TrialRecord run_trial(const TrialConfig& config) const;
+
+  /// Serial reference path: evaluates configs one at a time, in order.
+  /// TrialScheduler::run (scheduler.hpp) produces a byte-identical database
+  /// from a parallel fan-out; this loop stays as the determinism baseline.
   TrialDatabase run_all(const std::vector<TrialConfig>& configs) const;
+
+  /// Fills the latency/memory half of \p r from r.config — the
+  /// deterministic non-training objectives (nn-Meter prediction + model
+  /// memory). run_trial == evaluator accuracy + this. Thread-safe: builds
+  /// only local graphs and queries the (const) meter.
+  void fill_hardware_objectives(TrialRecord& r) const;
+
+  Evaluator& evaluator() const { return evaluator_; }
+  const ExperimentOptions& options() const { return options_; }
 
  private:
   Evaluator& evaluator_;

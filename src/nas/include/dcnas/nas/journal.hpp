@@ -1,0 +1,95 @@
+#pragma once
+/// \file journal.hpp
+/// \brief Crash-safe resume journal for NAS searches.
+///
+/// The paper's six NNI experiments together evaluate 1,728 trials; losing a
+/// half-finished sweep to a crash or preemption means repeating days of
+/// training. The journal makes `TrialScheduler::run` resumable: every
+/// completed (or pruned) trial is appended as one self-checksummed line and
+/// fsynced before the trial is committed to the in-memory database, so an
+/// interrupted search re-evaluates only the configs the journal does not
+/// already hold.
+///
+/// Format (text, one record per line):
+///
+///   dcnas-trial-journal v1
+///   J1,<status>,<lattice_key>,<9 config ints>,<accuracy>,<latency_ms>,
+///      <lat_std>,<memory_mb>,<fold:acc;...>,<device=ms;...>,<crc64>
+///
+/// Doubles use shortest-round-trip formatting (format_double_roundtrip), so
+/// a resumed database is bit-identical to an uninterrupted run's. The crc
+/// field is the FNV-1a 64 hash of everything before it on the line; a torn
+/// final line (the only damage a crash between write and fsync can leave)
+/// fails the checksum, is dropped on load, and is truncated away before new
+/// appends so the file never accumulates garbage mid-stream.
+///
+/// Pruned entries record only the folds that completed before the
+/// median-stop rule fired (as explicit fold:accuracy pairs). They are
+/// resumable only by schedulers that also run with pruning enabled;
+/// exact-reproduction runs re-evaluate them in full (see scheduler.hpp).
+
+#include <cstdio>
+#include <map>
+#include <optional>
+#include <string>
+
+#include "dcnas/nas/experiment.hpp"
+
+namespace dcnas::nas {
+
+/// Outcome a journal line records for one trial.
+enum class TrialStatus { kOk, kPruned };
+
+struct JournalEntry {
+  TrialStatus status = TrialStatus::kOk;
+  TrialRecord record;  ///< fold_accuracies is partial when pruned
+  /// Fold indices actually evaluated, aligned with record.fold_accuracies
+  /// (0..K-1 in order for kOk; the completed subset for kPruned).
+  std::vector<int> fold_indices;
+};
+
+/// Append-only, fsync-per-record trial journal keyed by lattice_key().
+/// Not thread-safe: the scheduler serializes appends through its ordered
+/// commit lock.
+class TrialJournal {
+ public:
+  /// Opens or creates the journal, replaying existing valid entries. The
+  /// file is truncated to its last valid line first (dropping a torn tail).
+  /// Throws InvalidArgument when the file exists but is not a v1 journal.
+  /// \p fsync_each: fsync after every append (crash safety); tests may
+  /// disable it for speed.
+  explicit TrialJournal(std::string path, bool fsync_each = true);
+  ~TrialJournal();
+
+  TrialJournal(const TrialJournal&) = delete;
+  TrialJournal& operator=(const TrialJournal&) = delete;
+
+  /// Entries replayed from disk at open time.
+  std::size_t replayed() const { return replayed_; }
+
+  /// Total entries (replayed + appended), deduplicated by key (last wins).
+  std::size_t size() const { return entries_.size(); }
+
+  /// Looks up a completed trial by its config's lattice_key().
+  const JournalEntry* find(const std::string& lattice_key) const;
+
+  /// Appends one entry and flushes it to disk (fsync when enabled).
+  void append(const JournalEntry& entry);
+
+  const std::string& path() const { return path_; }
+
+  /// Serialized form of one entry (the journal line, no newline) — exposed
+  /// for tests that corrupt/truncate journals deliberately.
+  static std::string encode_line(const JournalEntry& entry);
+  /// Parses one line; std::nullopt when malformed or checksum fails.
+  static std::optional<JournalEntry> decode_line(const std::string& line);
+
+ private:
+  std::string path_;
+  bool fsync_each_;
+  std::FILE* file_ = nullptr;
+  std::size_t replayed_ = 0;
+  std::map<std::string, JournalEntry> entries_;
+};
+
+}  // namespace dcnas::nas

@@ -17,6 +17,7 @@
 #include <map>
 
 #include "dcnas/nas/experiment.hpp"
+#include "dcnas/nas/scheduler.hpp"
 #include "dcnas/pareto/pareto.hpp"
 
 namespace dcnas::nas {
@@ -49,6 +50,14 @@ class Nsga2 {
   /// Convenience: wraps an Experiment as the evaluation function.
   Nsga2(const Experiment& experiment, const Nsga2Options& options);
 
+  /// Parallel evaluation: each generation's unique uncached configs are
+  /// collected (config generation consumes the RNG, evaluation does not)
+  /// and fanned out through \p scheduler in one batch. Produces the same
+  /// database — same records, same order — as the serial constructors, as
+  /// long as the scheduler's pruner is disabled (enforced at runtime).
+  Nsga2(const Experiment& experiment, TrialScheduler& scheduler,
+        const Nsga2Options& options);
+
   Nsga2Result run();
 
   /// Uniform crossover: each dimension from either parent (exposed for
@@ -68,10 +77,16 @@ class Nsga2 {
   };
 
   const TrialRecord& evaluate_cached(const TrialConfig& config);
+  /// Batch-evaluates the first-encounter-order uncached configs in
+  /// \p configs (no-op without a batch evaluator); afterwards every config
+  /// in the list is a cache hit.
+  void prefetch(const std::vector<TrialConfig>& configs);
   void assign_rank_and_crowding(std::vector<Individual>& pop) const;
   const Individual& tournament(const std::vector<Individual>& pop, Rng& rng) const;
 
   std::function<TrialRecord(const TrialConfig&)> evaluate_;
+  std::function<std::vector<TrialRecord>(const std::vector<TrialConfig>&)>
+      batch_evaluate_;
   Nsga2Options options_;
   TrialDatabase db_;
   std::map<std::string, std::size_t> cache_;  ///< lattice key -> db index

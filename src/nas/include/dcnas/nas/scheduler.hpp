@@ -1,0 +1,165 @@
+#pragma once
+/// \file scheduler.hpp
+/// \brief Parallel NAS trial scheduler: the search loop as a two-level job
+/// graph with a deterministic merge, crash-safe resume, and optional
+/// NNI-style median-stop fold pruning.
+///
+/// The paper's NNI harness dispatched trials concurrently and relied on
+/// assessors to kill doomed trials early; DPP-Net and HW-NAS-Bench both
+/// show that search-loop throughput — not single-model FLOPs — is the
+/// binding cost of hardware-aware NAS. This scheduler parallelizes the
+/// whole 288-configs x 6-combos x K-fold search:
+///
+///  - **Level 1 (trials):** configs fan out across a dedicated pool,
+///    bounded by `max_inflight_trials` so a long lattice never floods the
+///    queue.
+///  - **Level 2 (folds):** each admitted trial's K cross-validation folds
+///    are independent tasks (every (trial, fold) pair is independently
+///    seeded — see Evaluator::evaluate_fold). Fold tasks run under a
+///    KernelBudgetScope of `kernel_threads_per_trial`, so T concurrent
+///    trials cannot multiply into T x full-kernel-fan-out thread thrash.
+///
+/// **Determinism contract.** With pruning off, `run(configs)` returns a
+/// TrialDatabase whose CSV is *byte-identical* to the serial
+/// `Experiment::run_all(configs)` at any thread count: fold accuracies are
+/// merged in fold-index order, records in submission order, and the PR-4
+/// kernels are bitwise thread-count-independent. The parity is enforced by
+/// tests and hashed into BENCH_nas.json on every CI run.
+///
+/// **Resume journal.** With a `journal_path`, every finished trial is
+/// appended (and fsynced) to a crash-safe journal keyed by lattice_key()
+/// before the run completes; re-running an interrupted search evaluates
+/// only the configs the journal does not hold (see journal.hpp).
+///
+/// **Median-stop pruner.** Off by default so exact-reproduction paths are
+/// untouched. When enabled, a trial whose running mean accuracy after n
+/// completed folds falls below the median of completed trials' same-step
+/// running means (minus `margin`) skips its remaining folds and is
+/// journaled as pruned; pruned trials are excluded from the returned
+/// database. Pruning decisions depend on completion timing and are the one
+/// intentionally nondeterministic feature — surviving trials' recorded
+/// fold accuracies are still exactly the serial values.
+
+#include <cstddef>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "dcnas/common/thread_pool.hpp"
+#include "dcnas/nas/experiment.hpp"
+#include "dcnas/nas/journal.hpp"
+
+namespace dcnas::nas {
+
+/// NNI median-stop assessor, per fold instead of per epoch: compare a
+/// running mean against the median of completed trials at the same step.
+struct MedianStopOptions {
+  bool enabled = false;
+  /// Completed trials required before any pruning decision fires.
+  int warmup_trials = 5;
+  /// Folds a trial must finish before it can be pruned.
+  int min_folds = 1;
+  /// Accuracy slack (percent): prune only below median - margin.
+  double margin = 0.0;
+};
+
+/// Thread-safe median-stop decision state. Kept public for direct unit
+/// testing; the scheduler owns one per run.
+class MedianStopRule {
+ public:
+  explicit MedianStopRule(const MedianStopOptions& options);
+
+  /// Registers a completed trial's running-mean curve: entry i is the mean
+  /// accuracy of folds 0..i, in fold-index order.
+  void report_completed(const std::vector<double>& running_means);
+
+  /// True when a trial whose mean accuracy over \p folds_done completed
+  /// folds is \p running_mean should stop: running_mean < median of
+  /// completed trials' running means at the same step, minus margin.
+  /// Always false before warmup_trials curves are registered or below
+  /// min_folds.
+  bool should_prune(double running_mean, int folds_done) const;
+
+  std::size_t completed_curves() const;
+
+ private:
+  MedianStopOptions options_;
+  mutable std::mutex mu_;
+  std::vector<std::vector<double>> curves_;
+};
+
+struct SchedulerOptions {
+  /// Dedicated scheduler pool width; 0 means hardware_concurrency.
+  std::size_t threads = 0;
+  /// Trials admitted concurrently; 0 means 2x threads (keeps every worker
+  /// fed while one trial waits on its last fold).
+  std::size_t max_inflight_trials = 0;
+  /// Kernel-thread budget handed to each fold task (KernelBudgetScope).
+  /// 1 = folds are strictly single-threaded compute (the default; trials x
+  /// folds already saturate the pool).
+  std::size_t kernel_threads_per_trial = 1;
+  /// Crash-safe resume journal; empty disables journaling.
+  std::string journal_path;
+  /// fsync after every journal append (keep on outside tests).
+  bool fsync_journal = true;
+  MedianStopOptions pruner;
+  bool log_progress = false;
+};
+
+struct SchedulerStats {
+  std::size_t scheduled = 0;        ///< configs evaluated this run
+  std::size_t resumed = 0;          ///< configs satisfied by the journal
+  std::size_t completed = 0;        ///< trials fully evaluated this run
+  std::size_t pruned = 0;           ///< trials median-stopped this run
+  std::size_t folds_evaluated = 0;  ///< fold tasks that ran to completion
+  std::size_t folds_skipped = 0;    ///< folds saved by pruning
+  double wall_seconds = 0.0;        ///< run() wall time
+};
+
+/// Runs a trial list as the two-level job graph described above. One
+/// scheduler owns one dedicated pool; run() may be called repeatedly
+/// (stats are per-run). Not itself thread-safe: one run() at a time.
+class TrialScheduler {
+ public:
+  TrialScheduler(const Experiment& experiment,
+                 const SchedulerOptions& options = {});
+  ~TrialScheduler();
+
+  TrialScheduler(const TrialScheduler&) = delete;
+  TrialScheduler& operator=(const TrialScheduler&) = delete;
+
+  /// Evaluates every config (journal hits excepted) and returns the merged
+  /// database — byte-identical CSV to Experiment::run_all(configs) when
+  /// pruning is off. The first evaluator/verifier exception aborts the run
+  /// (in-flight folds drain, remaining trials are skipped) and is rethrown.
+  TrialDatabase run(const std::vector<TrialConfig>& configs);
+
+  const SchedulerStats& stats() const { return stats_; }
+  const SchedulerOptions& options() const { return options_; }
+  std::size_t threads() const { return pool_.size(); }
+
+ private:
+  struct TrialState;
+
+  void run_fold_task(TrialState* trial, int fold);
+  void finalize_trial(TrialState* trial);
+
+  const Experiment& experiment_;
+  SchedulerOptions options_;
+  ThreadPool pool_;
+  SchedulerStats stats_;
+
+  // Per-run state (guarded by mu_ unless noted).
+  std::mutex mu_;
+  std::condition_variable cv_;
+  std::size_t inflight_ = 0;
+  bool abort_ = false;
+  std::exception_ptr first_error_;
+  std::unique_ptr<MedianStopRule> rule_;
+  std::mutex journal_mu_;  ///< serializes appends (TrialJournal is not MT-safe)
+  std::unique_ptr<TrialJournal> journal_;
+  std::vector<std::unique_ptr<TrialState>> trials_;
+};
+
+}  // namespace dcnas::nas

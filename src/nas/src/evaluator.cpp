@@ -45,6 +45,11 @@ EvalResult OracleEvaluator::evaluate(const TrialConfig& config) {
   return r;
 }
 
+double OracleEvaluator::evaluate_fold(const TrialConfig& config, int fold) {
+  DCNAS_CHECK(fold >= 0 && fold < fold_count(), "fold index out of range");
+  return oracle_.fold_accuracy(config, fold);
+}
+
 TrainingEvaluator::TrainingEvaluator(const geodata::DrainageDataset& dataset5,
                                      const geodata::DrainageDataset& dataset7,
                                      const Options& options)
@@ -58,51 +63,61 @@ TrainingEvaluator::TrainingEvaluator(const geodata::DrainageDataset& dataset5,
 EvalResult TrainingEvaluator::evaluate(const TrialConfig& config) {
   DCNAS_TRACE_SPAN("nas", "nas.trial.evaluate");
   verify_candidate(config);
+  EvalResult result;
+  result.fold_accuracies.reserve(static_cast<std::size_t>(options_.folds));
+  for (int f = 0; f < options_.folds; ++f) {
+    result.fold_accuracies.push_back(evaluate_fold(config, f));
+  }
+  result.mean_accuracy = mean(result.fold_accuracies);
+  count_trial_evaluated();
+  return result;
+}
+
+double TrainingEvaluator::evaluate_fold(const TrialConfig& config, int fold) {
+  DCNAS_CHECK(fold >= 0 && fold < options_.folds, "fold index out of range");
+  obs::Span fold_span("nas", "nas.fold.evaluate");
+  if (fold_span.armed()) {
+    fold_span.arg("fold", static_cast<std::int64_t>(fold));
+  }
   const geodata::DrainageDataset& ds =
       (config.channels == 5) ? dataset5_ : dataset7_;
   DCNAS_CHECK(ds.size() >= 2 * options_.folds,
               "dataset too small for the requested fold count");
 
+  // Splits are deterministic in (labels, folds, seed), so recomputing them
+  // per fold — the price of folds being independent tasks — reproduces the
+  // exact slices a whole-trial loop would use.
   const auto splits =
       geodata::stratified_kfold(ds.labels, options_.folds, options_.seed);
-  EvalResult result;
-  for (std::size_t f = 0; f < splits.size(); ++f) {
-    obs::Span fold_span("nas", "nas.fold.evaluate");
-    if (fold_span.armed()) {
-      fold_span.arg("fold", static_cast<std::int64_t>(f));
-    }
-    // Fresh weights per fold, seeded by (trial, fold) for reproducibility.
-    Rng init_rng(mix_seed(options_.seed ^ config.encode(), f));
-    nn::ConfigurableResNet model(config.to_resnet_config(), init_rng);
+  const auto f = static_cast<std::size_t>(fold);
 
-    const Tensor train_x = nn::gather_batch(ds.images, splits[f].train_indices);
-    std::vector<int> train_y;
-    train_y.reserve(splits[f].train_indices.size());
-    for (auto i : splits[f].train_indices) {
-      train_y.push_back(ds.labels[static_cast<std::size_t>(i)]);
-    }
-    const Tensor val_x = nn::gather_batch(ds.images, splits[f].val_indices);
-    std::vector<int> val_y;
-    val_y.reserve(splits[f].val_indices.size());
-    for (auto i : splits[f].val_indices) {
-      val_y.push_back(ds.labels[static_cast<std::size_t>(i)]);
-    }
+  // Fresh weights per fold, seeded by (trial, fold) for reproducibility.
+  Rng init_rng(mix_seed(options_.seed ^ config.encode(), f));
+  nn::ConfigurableResNet model(config.to_resnet_config(), init_rng);
 
-    nn::TrainOptions topt;
-    topt.epochs = options_.epochs;
-    topt.batch_size = config.batch;
-    topt.lr = options_.lr;
-    topt.momentum = options_.momentum;
-    topt.weight_decay = options_.weight_decay;
-    topt.seed = mix_seed(options_.seed, config.encode() + f);
-    nn::fit(model, train_x, train_y, topt);
-
-    const double acc = nn::evaluate_accuracy(model, val_x, val_y);
-    result.fold_accuracies.push_back(acc * 100.0);
+  const Tensor train_x = nn::gather_batch(ds.images, splits[f].train_indices);
+  std::vector<int> train_y;
+  train_y.reserve(splits[f].train_indices.size());
+  for (auto i : splits[f].train_indices) {
+    train_y.push_back(ds.labels[static_cast<std::size_t>(i)]);
   }
-  result.mean_accuracy = mean(result.fold_accuracies);
-  count_trial_evaluated();
-  return result;
+  const Tensor val_x = nn::gather_batch(ds.images, splits[f].val_indices);
+  std::vector<int> val_y;
+  val_y.reserve(splits[f].val_indices.size());
+  for (auto i : splits[f].val_indices) {
+    val_y.push_back(ds.labels[static_cast<std::size_t>(i)]);
+  }
+
+  nn::TrainOptions topt;
+  topt.epochs = options_.epochs;
+  topt.batch_size = config.batch;
+  topt.lr = options_.lr;
+  topt.momentum = options_.momentum;
+  topt.weight_decay = options_.weight_decay;
+  topt.seed = mix_seed(options_.seed, config.encode() + f);
+  nn::fit(model, train_x, train_y, topt);
+
+  return nn::evaluate_accuracy(model, val_x, val_y) * 100.0;
 }
 
 }  // namespace dcnas::nas

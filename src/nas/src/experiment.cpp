@@ -61,7 +61,13 @@ CsvTable TrialDatabase::to_csv() const {
 }
 
 TrialDatabase TrialDatabase::from_csv(const CsvTable& table) {
+  // Loads are a trust boundary (resume journals, hand-edited artifacts), so
+  // every numeric cell parses locale-independently and failures name the
+  // row/column instead of surfacing a bare std::stod exception. Fold lists
+  // must be non-empty and the same length on every row: a truncated or
+  // mixed-provenance file fails loudly here, not in downstream statistics.
   TrialDatabase db;
+  std::size_t expected_folds = 0;
   for (std::size_t i = 0; i < table.num_rows(); ++i) {
     TrialRecord r;
     r.config.channels = static_cast<int>(table.at_int(i, "channels"));
@@ -80,9 +86,21 @@ TrialDatabase TrialDatabase::from_csv(const CsvTable& table) {
     r.latency_ms = table.at_double(i, "latency_ms");
     r.lat_std = table.at_double(i, "lat_std");
     r.memory_mb = table.at_double(i, "memory_mb");
-    for (const auto& part : split(table.at(i, "fold_accuracies"), ';')) {
-      if (!part.empty()) r.fold_accuracies.push_back(std::stod(part));
+    const auto parts = split(table.at(i, "fold_accuracies"), ';');
+    for (std::size_t j = 0; j < parts.size(); ++j) {
+      r.fold_accuracies.push_back(
+          parse_double(parts[j], "trial CSV row " + std::to_string(i) +
+                                     ", fold " + std::to_string(j)));
     }
+    DCNAS_CHECK(!r.fold_accuracies.empty(),
+                "trial CSV row " + std::to_string(i) + " has no fold "
+                "accuracies");
+    if (i == 0) expected_folds = r.fold_accuracies.size();
+    DCNAS_CHECK(r.fold_accuracies.size() == expected_folds,
+                "trial CSV row " + std::to_string(i) + " has " +
+                    std::to_string(r.fold_accuracies.size()) +
+                    " fold accuracies, expected " +
+                    std::to_string(expected_folds));
     db.add(std::move(r));
   }
   return db;
@@ -114,17 +132,20 @@ TrialRecord Experiment::run_trial(const TrialConfig& config) const {
   }
   r.fold_accuracies = eval.fold_accuracies;
   r.accuracy = eval.mean_accuracy;
+  fill_hardware_objectives(r);
+  return r;
+}
 
+void Experiment::fill_hardware_objectives(TrialRecord& r) const {
   DCNAS_TRACE_SPAN("nas", "nas.trial.hardware");
   const ScopedTimer hw_timer("experiment.hardware_objectives");
   const graph::ModelGraph g = graph::build_resnet_graph(
-      config.to_resnet_config(), options_.deployment_input_hw);
+      r.config.to_resnet_config(), options_.deployment_input_hw);
   const auto latency = meter_.predict_graph(g);
   r.latency_ms = latency.mean_ms;
   r.lat_std = latency.std_ms;
   r.per_device_ms = latency.per_device_ms;
   r.memory_mb = graph::model_memory_mb(g);
-  return r;
 }
 
 TrialDatabase Experiment::run_all(

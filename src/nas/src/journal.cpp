@@ -1,0 +1,211 @@
+#include "dcnas/nas/journal.hpp"
+
+#include <cerrno>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+
+#include "dcnas/common/logging.hpp"
+#include "dcnas/common/strings.hpp"
+
+#if defined(__unix__) || defined(__APPLE__)
+#include <unistd.h>
+#define DCNAS_JOURNAL_HAS_FSYNC 1
+#else
+#define DCNAS_JOURNAL_HAS_FSYNC 0
+#endif
+
+namespace dcnas::nas {
+
+namespace {
+
+constexpr const char* kMagic = "dcnas-trial-journal v1";
+constexpr const char* kLineTag = "J1";
+
+std::string status_token(TrialStatus status) {
+  return status == TrialStatus::kOk ? "ok" : "pruned";
+}
+
+std::optional<TrialStatus> parse_status(const std::string& token) {
+  if (token == "ok") return TrialStatus::kOk;
+  if (token == "pruned") return TrialStatus::kPruned;
+  return std::nullopt;
+}
+
+}  // namespace
+
+std::string TrialJournal::encode_line(const JournalEntry& entry) {
+  const TrialRecord& r = entry.record;
+  DCNAS_CHECK(entry.fold_indices.size() == r.fold_accuracies.size(),
+              "journal entry fold indices/accuracies size mismatch");
+  std::vector<std::string> folds;
+  folds.reserve(r.fold_accuracies.size());
+  for (std::size_t i = 0; i < r.fold_accuracies.size(); ++i) {
+    folds.push_back(std::to_string(entry.fold_indices[i]) + ":" +
+                    format_double_roundtrip(r.fold_accuracies[i]));
+  }
+  std::vector<std::string> devices;
+  devices.reserve(r.per_device_ms.size());
+  for (const auto& [device, ms] : r.per_device_ms) {
+    devices.push_back(device + "=" + format_double_roundtrip(ms));
+  }
+  std::ostringstream os;
+  os << kLineTag << ',' << status_token(entry.status) << ','
+     << r.config.lattice_key() << ',' << r.config.channels << ','
+     << r.config.batch << ',' << r.config.kernel_size << ','
+     << r.config.stride << ',' << r.config.padding << ','
+     << r.config.pool_choice << ',' << r.config.kernel_size_pool << ','
+     << r.config.stride_pool << ',' << r.config.initial_output_feature << ','
+     << format_double_roundtrip(r.accuracy) << ','
+     << format_double_roundtrip(r.latency_ms) << ','
+     << format_double_roundtrip(r.lat_std) << ','
+     << format_double_roundtrip(r.memory_mb) << ',' << join(folds, ";") << ','
+     << join(devices, ";") << ',';
+  std::string line = os.str();
+  char crc[17];
+  std::snprintf(crc, sizeof(crc), "%016llx",
+                static_cast<unsigned long long>(fnv1a64(line)));
+  line += crc;
+  return line;
+}
+
+std::optional<JournalEntry> TrialJournal::decode_line(const std::string& line) {
+  const auto fields = split(line, ',');
+  if (fields.size() != 19 || fields[0] != kLineTag) return std::nullopt;
+  // Checksum covers everything up to and including the comma before it.
+  const std::size_t crc_pos = line.rfind(',');
+  const std::string stored_crc = line.substr(crc_pos + 1);
+  char expect[17];
+  std::snprintf(expect, sizeof(expect), "%016llx",
+                static_cast<unsigned long long>(
+                    fnv1a64(std::string_view(line).substr(0, crc_pos + 1))));
+  if (stored_crc != expect) return std::nullopt;
+
+  try {
+    JournalEntry entry;
+    const auto status = parse_status(fields[1]);
+    if (!status) return std::nullopt;
+    entry.status = *status;
+    TrialRecord& r = entry.record;
+    const char* ctx = "journal line";
+    r.config.channels = static_cast<int>(parse_int(fields[3], ctx));
+    r.config.batch = static_cast<int>(parse_int(fields[4], ctx));
+    r.config.kernel_size = static_cast<int>(parse_int(fields[5], ctx));
+    r.config.stride = static_cast<int>(parse_int(fields[6], ctx));
+    r.config.padding = static_cast<int>(parse_int(fields[7], ctx));
+    r.config.pool_choice = static_cast<int>(parse_int(fields[8], ctx));
+    r.config.kernel_size_pool = static_cast<int>(parse_int(fields[9], ctx));
+    r.config.stride_pool = static_cast<int>(parse_int(fields[10], ctx));
+    r.config.initial_output_feature =
+        static_cast<int>(parse_int(fields[11], ctx));
+    r.config.validate();
+    if (r.config.lattice_key() != fields[2]) return std::nullopt;
+    r.accuracy = parse_double(fields[12], ctx);
+    r.latency_ms = parse_double(fields[13], ctx);
+    r.lat_std = parse_double(fields[14], ctx);
+    r.memory_mb = parse_double(fields[15], ctx);
+    if (!fields[16].empty()) {
+      for (const auto& part : split(fields[16], ';')) {
+        const auto colon = part.find(':');
+        if (colon == std::string::npos) return std::nullopt;
+        entry.fold_indices.push_back(
+            static_cast<int>(parse_int(part.substr(0, colon), ctx)));
+        r.fold_accuracies.push_back(parse_double(part.substr(colon + 1), ctx));
+      }
+    }
+    if (!fields[17].empty()) {
+      for (const auto& part : split(fields[17], ';')) {
+        const auto eq = part.rfind('=');
+        if (eq == std::string::npos) return std::nullopt;
+        r.per_device_ms.emplace_back(part.substr(0, eq),
+                                     parse_double(part.substr(eq + 1), ctx));
+      }
+    }
+    return entry;
+  } catch (const Error&) {
+    return std::nullopt;
+  }
+}
+
+TrialJournal::TrialJournal(std::string path, bool fsync_each)
+    : path_(std::move(path)), fsync_each_(fsync_each) {
+  DCNAS_CHECK(!path_.empty(), "journal path must not be empty");
+
+  // Replay: read the existing file (if any) and find the longest valid
+  // prefix — magic header plus whole, checksum-passing lines.
+  std::size_t valid_bytes = 0;
+  bool existing = false;
+  {
+    std::ifstream in(path_, std::ios::binary);
+    if (in.good()) {
+      std::ostringstream ss;
+      ss << in.rdbuf();
+      const std::string text = ss.str();
+      if (!text.empty()) {
+        existing = true;
+        const std::size_t magic_end = text.find('\n');
+        DCNAS_CHECK(magic_end != std::string::npos &&
+                        text.substr(0, magic_end) == kMagic,
+                    "not a dcnas trial journal: " + path_);
+        std::size_t pos = magic_end + 1;
+        valid_bytes = pos;
+        while (pos < text.size()) {
+          const std::size_t eol = text.find('\n', pos);
+          if (eol == std::string::npos) break;  // torn tail: no newline
+          const std::string line = text.substr(pos, eol - pos);
+          auto entry = decode_line(line);
+          if (!entry) break;  // torn or corrupt line: drop it and the rest
+          entries_[entry->record.config.lattice_key()] = std::move(*entry);
+          pos = eol + 1;
+          valid_bytes = pos;
+        }
+        replayed_ = entries_.size();
+      }
+    }
+  }
+
+#if DCNAS_JOURNAL_HAS_FSYNC
+  if (existing) {
+    // Drop any torn tail before appending, so damage never sits mid-file.
+    DCNAS_CHECK(::truncate(path_.c_str(), static_cast<off_t>(valid_bytes)) == 0,
+                "cannot truncate journal " + path_ + ": " +
+                    std::strerror(errno));
+  }
+#else
+  (void)valid_bytes;
+#endif
+
+  file_ = std::fopen(path_.c_str(), existing ? "ab" : "wb");
+  DCNAS_CHECK(file_ != nullptr, "cannot open journal " + path_);
+  if (!existing) {
+    std::fprintf(file_, "%s\n", kMagic);
+    std::fflush(file_);
+  }
+}
+
+TrialJournal::~TrialJournal() {
+  if (file_ != nullptr) std::fclose(file_);
+}
+
+const JournalEntry* TrialJournal::find(const std::string& lattice_key) const {
+  const auto it = entries_.find(lattice_key);
+  return it == entries_.end() ? nullptr : &it->second;
+}
+
+void TrialJournal::append(const JournalEntry& entry) {
+  const std::string line = encode_line(entry);
+  const std::size_t written =
+      std::fwrite(line.data(), 1, line.size(), file_);
+  DCNAS_CHECK(written == line.size() && std::fputc('\n', file_) == '\n',
+              "journal write failed: " + path_);
+  DCNAS_CHECK(std::fflush(file_) == 0, "journal flush failed: " + path_);
+#if DCNAS_JOURNAL_HAS_FSYNC
+  if (fsync_each_) {
+    DCNAS_CHECK(::fsync(fileno(file_)) == 0,
+                "journal fsync failed: " + path_);
+  }
+#endif
+  entries_[entry.record.config.lattice_key()] = entry;
+}
+
+}  // namespace dcnas::nas

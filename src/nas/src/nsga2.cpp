@@ -1,6 +1,7 @@
 #include "dcnas/nas/nsga2.hpp"
 
 #include <algorithm>
+#include <set>
 
 namespace dcnas::nas {
 
@@ -34,6 +35,20 @@ Nsga2::Nsga2(std::function<TrialRecord(const TrialConfig&)> evaluate,
 Nsga2::Nsga2(const Experiment& experiment, const Nsga2Options& options)
     : Nsga2([&experiment](const TrialConfig& c) { return experiment.run_trial(c); },
             options) {}
+
+Nsga2::Nsga2(const Experiment& experiment, TrialScheduler& scheduler,
+             const Nsga2Options& options)
+    : Nsga2(experiment, options) {
+  DCNAS_CHECK(!scheduler.options().pruner.enabled,
+              "NSGA-II batch evaluation maps records to configs 1:1; run the "
+              "scheduler with the median-stop pruner disabled");
+  batch_evaluate_ =
+      [&scheduler](const std::vector<TrialConfig>& configs) {
+        const TrialDatabase batch = scheduler.run(configs);
+        return std::vector<TrialRecord>(batch.records().begin(),
+                                        batch.records().end());
+      };
+}
 
 TrialConfig Nsga2::crossover(const TrialConfig& a, const TrialConfig& b,
                              Rng& rng) const {
@@ -109,6 +124,28 @@ const TrialRecord& Nsga2::evaluate_cached(const TrialConfig& config) {
   return db_.record(db_.size() - 1);
 }
 
+void Nsga2::prefetch(const std::vector<TrialConfig>& configs) {
+  if (!batch_evaluate_) return;
+  // First-encounter order matches the serial evaluate_cached sequence, so
+  // the database fills in exactly the same order.
+  std::vector<TrialConfig> fresh;
+  std::set<std::string> seen;
+  for (const auto& cfg : configs) {
+    const std::string key = cfg.lattice_key();
+    if (cache_.count(key) != 0 || !seen.insert(key).second) continue;
+    fresh.push_back(cfg);
+  }
+  if (fresh.empty()) return;
+  const std::vector<TrialRecord> records = batch_evaluate_(fresh);
+  DCNAS_CHECK(records.size() == fresh.size(),
+              "batch evaluator returned " + std::to_string(records.size()) +
+                  " records for " + std::to_string(fresh.size()) + " configs");
+  for (std::size_t i = 0; i < fresh.size(); ++i) {
+    db_.add(records[i]);
+    cache_.emplace(fresh[i].lattice_key(), db_.size() - 1);
+  }
+}
+
 void Nsga2::assign_rank_and_crowding(std::vector<Individual>& pop) const {
   std::vector<pareto::Objectives> pts;
   pts.reserve(pop.size());
@@ -148,9 +185,13 @@ Nsga2Result Nsga2::run() {
     return ind;
   };
 
-  // Initial population: uniform lattice samples.
-  std::vector<Individual> pop;
-  while (pop.size() < options_.population_size) {
+  // Initial population: uniform lattice samples. Config generation consumes
+  // the RNG, evaluation does not — so every phase generates its configs
+  // first, prefetches the uncached ones in one (possibly parallel) batch,
+  // then builds the individuals off cache hits. Serial and batch evaluation
+  // therefore walk identical RNG and database sequences.
+  std::vector<TrialConfig> init_configs;
+  while (init_configs.size() < options_.population_size) {
     const int ch = options_.search_input_combos
                        ? SearchSpace::channel_options()[static_cast<std::size_t>(
                              rng.uniform_int(0, 1))]
@@ -159,15 +200,19 @@ Nsga2Result Nsga2::run() {
                           ? SearchSpace::batch_options()[static_cast<std::size_t>(
                                 rng.uniform_int(0, 2))]
                           : 16;
-    pop.push_back(make_individual(SearchSpace::sample(rng, ch, batch)));
+    init_configs.push_back(SearchSpace::sample(rng, ch, batch));
   }
+  prefetch(init_configs);
+  std::vector<Individual> pop;
+  pop.reserve(init_configs.size());
+  for (const auto& cfg : init_configs) pop.push_back(make_individual(cfg));
   assign_rank_and_crowding(pop);
 
   Nsga2Result result;
   for (int gen = 0; gen < options_.generations; ++gen) {
-    // Offspring.
-    std::vector<Individual> offspring;
-    while (offspring.size() < options_.population_size) {
+    // Offspring: generate every child config, then evaluate as one batch.
+    std::vector<TrialConfig> child_configs;
+    while (child_configs.size() < options_.population_size) {
       const Individual& p1 = tournament(pop, rng);
       TrialConfig child;
       if (rng.bernoulli(options_.crossover_rate)) {
@@ -177,8 +222,12 @@ Nsga2Result Nsga2::run() {
       } else {
         child = mutate(p1.config, rng);
       }
-      offspring.push_back(make_individual(child));
+      child_configs.push_back(child);
     }
+    prefetch(child_configs);
+    std::vector<Individual> offspring;
+    offspring.reserve(child_configs.size());
+    for (const auto& cfg : child_configs) offspring.push_back(make_individual(cfg));
     // Environmental selection over parents + offspring.
     std::vector<Individual> merged = pop;
     merged.insert(merged.end(), offspring.begin(), offspring.end());

@@ -15,7 +15,7 @@ Server::Server(std::shared_ptr<ModelRegistry> registry, ServerOptions options)
       pool_(options.num_workers == 0 ? 1 : options.num_workers) {
   DCNAS_CHECK(registry_ != nullptr, "Server requires a ModelRegistry");
   for (std::size_t i = 0; i < pool_.size(); ++i) {
-    pool_.submit([this] { worker_loop(); });
+    pool_.submit(std::function<void()>([this] { worker_loop(); }));
   }
 }
 

@@ -3,7 +3,10 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <future>
+#include <memory>
 #include <numeric>
+#include <string>
 #include <vector>
 
 #include "dcnas/common/error.hpp"
@@ -40,6 +43,113 @@ TEST(ThreadPoolTest, DefaultSizeIsAtLeastOne) {
 TEST(ThreadPoolTest, RejectsEmptyTask) {
   ThreadPool pool(1);
   EXPECT_THROW(pool.submit(std::function<void()>{}), InvalidArgument);
+}
+
+TEST(ThreadPoolTest, FutureSubmitDeliversValue) {
+  ThreadPool pool(2);
+  std::future<int> f = pool.submit([] { return 41 + 1; });
+  EXPECT_EQ(f.get(), 42);
+}
+
+TEST(ThreadPoolTest, FutureSubmitDeliversVoidAndMoveOnlyCallables) {
+  ThreadPool pool(1);
+  auto flag = std::make_unique<std::atomic<bool>>(false);
+  std::atomic<bool>* seen = flag.get();
+  std::future<void> f =
+      pool.submit([owned = std::move(flag)] { owned->store(true); });
+  f.get();
+  EXPECT_TRUE(seen->load());
+}
+
+TEST(ThreadPoolTest, FutureSubmitPropagatesException) {
+  ThreadPool pool(2);
+  std::future<int> f = pool.submit(
+      []() -> int { throw InvalidArgument("boom from task"); });
+  EXPECT_THROW(f.get(), InvalidArgument);
+  // The exception went through the future, not the fire-and-forget slot.
+  pool.wait_idle();
+  EXPECT_FALSE(pool.pending_error());
+}
+
+TEST(ThreadPoolTest, WaitIdleRethrowsFireAndForgetException) {
+  ThreadPool pool(2);
+  pool.submit(std::function<void()>(
+      [] { throw InvalidArgument("leaked from fire-and-forget"); }));
+  EXPECT_THROW(pool.wait_idle(), InvalidArgument);
+}
+
+TEST(ThreadPoolTest, PoolStaysUsableAfterFireAndForgetThrow) {
+  ThreadPool pool(2);
+  pool.submit(std::function<void()>([] { throw InvalidArgument("first"); }));
+  EXPECT_THROW(pool.wait_idle(), InvalidArgument);
+  // The error slot is cleared and the workers survived.
+  EXPECT_FALSE(pool.pending_error());
+  std::atomic<int> counter{0};
+  for (int i = 0; i < 50; ++i) {
+    pool.submit(std::function<void()>([&counter] { counter.fetch_add(1); }));
+  }
+  pool.wait_idle();
+  EXPECT_EQ(counter.load(), 50);
+}
+
+TEST(ThreadPoolTest, FirstFireAndForgetErrorWins) {
+  ThreadPool pool(1);
+  pool.submit(std::function<void()>([] { throw InvalidArgument("first"); }));
+  pool.submit(std::function<void()>([] { throw InvalidArgument("second"); }));
+  try {
+    pool.wait_idle();
+    FAIL() << "wait_idle must rethrow";
+  } catch (const InvalidArgument& e) {
+    EXPECT_NE(std::string(e.what()).find("first"), std::string::npos);
+  }
+}
+
+TEST(ThreadPoolTest, InWorkerIsTrueOnlyInsideOwnWorkers) {
+  ThreadPool pool(1);
+  EXPECT_FALSE(pool.in_worker());
+  std::future<bool> own = pool.submit([&pool] { return pool.in_worker(); });
+  EXPECT_TRUE(own.get());
+  ThreadPool other(1);
+  std::future<bool> foreign =
+      other.submit([&pool] { return pool.in_worker(); });
+  EXPECT_FALSE(foreign.get());
+}
+
+TEST(KernelBudgetScopeTest, DefaultsUnlimitedOutsideWorkersAndOneInside) {
+  ThreadPool pool(1);
+  EXPECT_GE(KernelBudgetScope::current(), ThreadPool::global().size());
+  std::future<std::size_t> inside =
+      pool.submit([] { return KernelBudgetScope::current(); });
+  EXPECT_EQ(inside.get(), 1u);
+}
+
+TEST(KernelBudgetScopeTest, NestsAndRestores) {
+  const std::size_t outer = KernelBudgetScope::current();
+  {
+    KernelBudgetScope budget(2);
+    EXPECT_EQ(KernelBudgetScope::current(), 2u);
+    {
+      KernelBudgetScope inner(1);
+      EXPECT_EQ(KernelBudgetScope::current(), 1u);
+    }
+    EXPECT_EQ(KernelBudgetScope::current(), 2u);
+  }
+  EXPECT_EQ(KernelBudgetScope::current(), outer);
+}
+
+TEST(KernelBudgetScopeTest, RaisedBudgetLetsPoolTaskFanOut) {
+  // A non-global pool's worker may fan a parallel_for onto the global pool
+  // when its budget allows it; the loop must still cover the exact range.
+  ThreadPool pool(1);
+  std::vector<std::atomic<int>> hits(512);
+  std::future<void> done = pool.submit([&] {
+    KernelBudgetScope budget(4);
+    parallel_for(0, 512, [&](std::int64_t i) {
+      hits[static_cast<std::size_t>(i)].fetch_add(1);
+    });
+  });
+  done.get();
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
 }
 
 TEST(ParallelForTest, CoversExactRange) {

@@ -98,6 +98,7 @@ TEST(TrialDatabaseTest, SaveLoadFile) {
   TrialRecord r;
   r.config = TrialConfig::baseline(5, 8);
   r.accuracy = 92.9;
+  r.fold_accuracies = {92.7, 93.1};  // loader rejects fold-less rows
   db.add(r);
   db.save(path);
   const TrialDatabase back = TrialDatabase::load(path);
@@ -113,6 +114,79 @@ TEST(TrialDatabaseTest, FromCsvValidatesConfig) {
               "fold_accuracies"});
   t.add_row({"6", "8", "90", "10", "1", "11", "3", "2", "1", "0", "3", "2",
              "32", ""});
+  EXPECT_THROW(TrialDatabase::from_csv(t), InvalidArgument);
+}
+
+namespace {
+CsvTable trial_table() {
+  return CsvTable({"channels", "batch", "accuracy", "latency_ms", "lat_std",
+                   "memory_mb", "kernel_size", "stride", "padding",
+                   "pool_choice", "kernel_size_pool", "stride_pool",
+                   "initial_output_feature", "fold_accuracies"});
+}
+
+std::vector<std::string> good_row(const std::string& folds) {
+  return {"5", "8", "90.1", "10.5", "1.2", "11.2", "3", "2",
+          "1", "0", "3",    "2",    "32",   folds};
+}
+}  // namespace
+
+TEST(TrialDatabaseTest, FromCsvRejectsBadNumericNamingRowAndColumn) {
+  CsvTable t = trial_table();
+  auto row = good_row("90.0;90.2;90.4");
+  row[2] = "9O.1";  // letter O, not a digit
+  t.add_row(row);
+  try {
+    TrialDatabase::from_csv(t);
+    FAIL() << "bad numeric must throw";
+  } catch (const InvalidArgument& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("row 0"), std::string::npos) << what;
+    EXPECT_NE(what.find("accuracy"), std::string::npos) << what;
+  }
+}
+
+TEST(TrialDatabaseTest, FromCsvRejectsTruncatedFoldList) {
+  // A row whose fold list was cut mid-write: trailing separator leaves an
+  // empty final cell.
+  CsvTable t = trial_table();
+  t.add_row(good_row("90.0;90.2;"));
+  EXPECT_THROW(TrialDatabase::from_csv(t), InvalidArgument);
+}
+
+TEST(TrialDatabaseTest, FromCsvRejectsBadFoldNumericWithFoldIndex) {
+  CsvTable t = trial_table();
+  t.add_row(good_row("90.0;nan-ish;90.4"));
+  try {
+    TrialDatabase::from_csv(t);
+    FAIL() << "bad fold numeric must throw";
+  } catch (const InvalidArgument& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("row 0"), std::string::npos) << what;
+    EXPECT_NE(what.find("fold 1"), std::string::npos) << what;
+  }
+}
+
+TEST(TrialDatabaseTest, FromCsvRejectsFoldCountMismatchAcrossRows) {
+  CsvTable t = trial_table();
+  t.add_row(good_row("90.0;90.2;90.4;90.6;90.8"));
+  t.add_row(good_row("91.0;91.2;91.4"));
+  try {
+    TrialDatabase::from_csv(t);
+    FAIL() << "fold-count mismatch must throw";
+  } catch (const InvalidArgument& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("row 1"), std::string::npos) << what;
+    EXPECT_NE(what.find("expected 5"), std::string::npos) << what;
+  }
+}
+
+TEST(TrialDatabaseTest, FromCsvParsesLocaleIndependently) {
+  // "1,5"-style locale output must be rejected, not half-parsed as 1.0.
+  CsvTable t = trial_table();
+  auto row = good_row("90.0;90.2;90.4");
+  row[3] = "10,5";
+  t.add_row(row);
   EXPECT_THROW(TrialDatabase::from_csv(t), InvalidArgument);
 }
 

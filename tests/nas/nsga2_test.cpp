@@ -154,5 +154,40 @@ TEST(Nsga2Test, RejectsBadOptions) {
   EXPECT_THROW(Nsga2(cheap_eval, opt), InvalidArgument);
 }
 
+TEST(Nsga2SchedulerTest, BatchEvaluationMatchesSerialExactly) {
+  OracleEvaluator eval;
+  const Experiment experiment(eval, latency::NnMeter::shared());
+  Nsga2Options opt;
+  opt.population_size = 12;
+  opt.generations = 4;
+  opt.seed = 9;
+
+  Nsga2 serial(experiment, opt);
+  const Nsga2Result serial_result = serial.run();
+
+  SchedulerOptions sopt;
+  sopt.threads = 4;
+  TrialScheduler scheduler(experiment, sopt);
+  Nsga2 batched(experiment, scheduler, opt);
+  const Nsga2Result batch_result = batched.run();
+
+  // Same unique trials, same database order, same front, same trajectory.
+  EXPECT_EQ(batch_result.unique_evaluations, serial_result.unique_evaluations);
+  EXPECT_EQ(batch_result.evaluated.to_csv().to_string(),
+            serial_result.evaluated.to_csv().to_string());
+  EXPECT_EQ(batch_result.front, serial_result.front);
+  EXPECT_EQ(batch_result.hypervolume_history,
+            serial_result.hypervolume_history);
+}
+
+TEST(Nsga2SchedulerTest, RefusesPruningScheduler) {
+  OracleEvaluator eval;
+  const Experiment experiment(eval, latency::NnMeter::shared());
+  SchedulerOptions sopt;
+  sopt.pruner.enabled = true;
+  TrialScheduler scheduler(experiment, sopt);
+  EXPECT_THROW(Nsga2(experiment, scheduler, quick_options()), InvalidArgument);
+}
+
 }  // namespace
 }  // namespace dcnas::nas

@@ -1,0 +1,407 @@
+#include "dcnas/nas/scheduler.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "dcnas/common/error.hpp"
+#include "dcnas/common/rng.hpp"
+#include "dcnas/common/strings.hpp"
+
+namespace dcnas::nas {
+namespace {
+
+std::vector<TrialConfig> sample_configs(std::size_t n, std::uint64_t seed) {
+  auto configs = SearchSpace::enumerate_all();
+  Rng rng(seed);
+  rng.shuffle(configs);
+  configs.resize(n);
+  return configs;
+}
+
+std::string csv_text(const TrialDatabase& db) { return db.to_csv().to_string(); }
+
+class TempPath {
+ public:
+  explicit TempPath(const std::string& name)
+      : path_((std::filesystem::temp_directory_path() /
+               ("dcnas_sched_test_" + name))
+                  .string()) {
+    std::remove(path_.c_str());
+  }
+  ~TempPath() { std::remove(path_.c_str()); }
+  const std::string& str() const { return path_; }
+
+ private:
+  std::string path_;
+};
+
+// ---- determinism parity -----------------------------------------------------
+
+TEST(SchedulerTest, ParityWithSerialAtEveryThreadCount) {
+  OracleEvaluator eval;
+  const Experiment exp(eval, latency::NnMeter::shared());
+  const auto configs = sample_configs(24, 3);
+  const std::string serial = csv_text(exp.run_all(configs));
+  for (std::size_t threads : {1u, 2u, 4u}) {
+    SchedulerOptions opt;
+    opt.threads = threads;
+    TrialScheduler scheduler(exp, opt);
+    const std::string parallel = csv_text(scheduler.run(configs));
+    EXPECT_EQ(parallel, serial) << "thread count " << threads;
+    EXPECT_EQ(scheduler.stats().scheduled, configs.size());
+    EXPECT_EQ(scheduler.stats().completed, configs.size());
+    EXPECT_EQ(scheduler.stats().pruned, 0u);
+  }
+}
+
+TEST(SchedulerTest, EmptyConfigListYieldsEmptyDatabase) {
+  OracleEvaluator eval;
+  const Experiment exp(eval, latency::NnMeter::shared());
+  TrialScheduler scheduler(exp, {});
+  EXPECT_EQ(scheduler.run({}).size(), 0u);
+}
+
+TEST(SchedulerTest, DuplicateConfigsKeepSubmissionOrder) {
+  OracleEvaluator eval;
+  const Experiment exp(eval, latency::NnMeter::shared());
+  std::vector<TrialConfig> configs = {TrialConfig::baseline(5, 8),
+                                      TrialConfig::baseline(7, 16),
+                                      TrialConfig::baseline(5, 8)};
+  SchedulerOptions opt;
+  opt.threads = 2;
+  TrialScheduler scheduler(exp, opt);
+  const std::string parallel = csv_text(scheduler.run(configs));
+  EXPECT_EQ(parallel, csv_text(exp.run_all(configs)));
+}
+
+// ---- resume journal ---------------------------------------------------------
+
+TEST(SchedulerTest, ResumesFromJournalWithoutReevaluating) {
+  OracleEvaluator eval;
+  const Experiment exp(eval, latency::NnMeter::shared());
+  const auto configs = sample_configs(12, 5);
+  const TempPath journal("resume.dcj");
+
+  SchedulerOptions opt;
+  opt.threads = 2;
+  opt.journal_path = journal.str();
+  opt.fsync_journal = false;
+  const std::string serial = csv_text(exp.run_all(configs));
+  {
+    TrialScheduler first(exp, opt);
+    EXPECT_EQ(csv_text(first.run(configs)), serial);
+    EXPECT_EQ(first.stats().resumed, 0u);
+  }
+  TrialScheduler second(exp, opt);
+  EXPECT_EQ(csv_text(second.run(configs)), serial);
+  EXPECT_EQ(second.stats().resumed, configs.size());
+  EXPECT_EQ(second.stats().scheduled, 0u);
+  EXPECT_EQ(second.stats().folds_evaluated, 0u);
+}
+
+TEST(SchedulerTest, ResumeAfterTornTailReevaluatesOnlyTheLostTrials) {
+  OracleEvaluator eval;
+  const Experiment exp(eval, latency::NnMeter::shared());
+  const auto configs = sample_configs(10, 7);
+  const TempPath journal("torn.dcj");
+
+  SchedulerOptions opt;
+  opt.threads = 2;
+  opt.journal_path = journal.str();
+  opt.fsync_journal = false;
+  const std::string serial = csv_text(exp.run_all(configs));
+  {
+    TrialScheduler first(exp, opt);
+    EXPECT_EQ(csv_text(first.run(configs)), serial);
+  }
+  // Crash simulation: cut the file mid-way through the final line.
+  const auto full_size = std::filesystem::file_size(journal.str());
+  std::filesystem::resize_file(journal.str(), full_size - 20);
+
+  TrialScheduler second(exp, opt);
+  EXPECT_EQ(csv_text(second.run(configs)), serial);
+  // Exactly one trial (the torn one) was re-evaluated.
+  EXPECT_EQ(second.stats().resumed, configs.size() - 1);
+  EXPECT_EQ(second.stats().scheduled, 1u);
+
+  // And the journal healed: a third run resumes everything.
+  TrialScheduler third(exp, opt);
+  EXPECT_EQ(csv_text(third.run(configs)), serial);
+  EXPECT_EQ(third.stats().resumed, configs.size());
+}
+
+TEST(SchedulerTest, JournaledRunSurvivesMidFileCorruption) {
+  OracleEvaluator eval;
+  const Experiment exp(eval, latency::NnMeter::shared());
+  const auto configs = sample_configs(6, 9);
+  const TempPath journal("corrupt.dcj");
+
+  SchedulerOptions opt;
+  opt.threads = 2;
+  opt.journal_path = journal.str();
+  opt.fsync_journal = false;
+  const std::string serial = csv_text(exp.run_all(configs));
+  {
+    TrialScheduler first(exp, opt);
+    (void)first.run(configs);
+  }
+  // Flip a digit inside the third line's payload: its checksum now fails,
+  // so that trial must be re-evaluated while the others resume.
+  std::ifstream in(journal.str());
+  std::vector<std::string> lines;
+  for (std::string line; std::getline(in, line);) lines.push_back(line);
+  in.close();
+  ASSERT_GE(lines.size(), 4u);
+  std::string& target = lines[3];
+  const auto digit = target.find_first_of("0123456789", target.find(',') + 1);
+  ASSERT_NE(digit, std::string::npos);
+  target[digit] = target[digit] == '9' ? '1' : '9';
+  {
+    std::ofstream out(journal.str(), std::ios::trunc);
+    for (const auto& line : lines) out << line << "\n";
+  }
+
+  TrialScheduler second(exp, opt);
+  EXPECT_EQ(csv_text(second.run(configs)), serial);
+  EXPECT_LT(second.stats().resumed, configs.size());
+  EXPECT_GE(second.stats().resumed, 1u);
+}
+
+// ---- journal encode/decode --------------------------------------------------
+
+TEST(TrialJournalTest, EncodeDecodeRoundTripsBitExactly) {
+  JournalEntry entry;
+  entry.record.config = TrialConfig::baseline(7, 16);
+  entry.record.accuracy = 87.123456789012345;
+  entry.record.latency_ms = 415.73415977261743;
+  entry.record.lat_std = 285.0203368304029;
+  entry.record.memory_mb = 44.804802;
+  entry.record.fold_accuracies = {86.3766644856339, 85.95641759017106,
+                                  86.38652171093284, 89.46831624538649,
+                                  86.88766613705032};
+  entry.record.per_device_ms = {{"cortexA76cpu", 325.48614348128393},
+                                {"myriadvpu", 838.5355983578854}};
+  entry.fold_indices = {0, 1, 2, 3, 4};
+
+  const std::string line = TrialJournal::encode_line(entry);
+  const auto decoded = TrialJournal::decode_line(line);
+  ASSERT_TRUE(decoded.has_value());
+  EXPECT_EQ(decoded->status, TrialStatus::kOk);
+  EXPECT_EQ(decoded->record.config.lattice_key(),
+            entry.record.config.lattice_key());
+  EXPECT_EQ(decoded->record.accuracy, entry.record.accuracy);
+  EXPECT_EQ(decoded->record.latency_ms, entry.record.latency_ms);
+  EXPECT_EQ(decoded->record.lat_std, entry.record.lat_std);
+  EXPECT_EQ(decoded->record.memory_mb, entry.record.memory_mb);
+  EXPECT_EQ(decoded->record.fold_accuracies, entry.record.fold_accuracies);
+  EXPECT_EQ(decoded->record.per_device_ms, entry.record.per_device_ms);
+  EXPECT_EQ(decoded->fold_indices, entry.fold_indices);
+}
+
+TEST(TrialJournalTest, PrunedEntryRoundTripsPartialFolds) {
+  JournalEntry entry;
+  entry.status = TrialStatus::kPruned;
+  entry.record.config = TrialConfig::baseline(5, 8);
+  entry.record.fold_accuracies = {81.5, 80.25};
+  entry.record.accuracy = 80.875;
+  entry.fold_indices = {0, 2};
+
+  const auto decoded = TrialJournal::decode_line(TrialJournal::encode_line(entry));
+  ASSERT_TRUE(decoded.has_value());
+  EXPECT_EQ(decoded->status, TrialStatus::kPruned);
+  EXPECT_EQ(decoded->fold_indices, (std::vector<int>{0, 2}));
+  EXPECT_EQ(decoded->record.fold_accuracies, (std::vector<double>{81.5, 80.25}));
+}
+
+TEST(TrialJournalTest, DecodeRejectsCorruptedLines) {
+  JournalEntry entry;
+  entry.record.config = TrialConfig::baseline(7, 32);
+  entry.record.fold_accuracies = {85.0};
+  entry.fold_indices = {0};
+  const std::string line = TrialJournal::encode_line(entry);
+
+  EXPECT_FALSE(TrialJournal::decode_line("").has_value());
+  EXPECT_FALSE(TrialJournal::decode_line("garbage").has_value());
+  EXPECT_FALSE(TrialJournal::decode_line(line.substr(0, line.size() - 3))
+                   .has_value());
+  std::string flipped = line;
+  flipped[5] = flipped[5] == '7' ? '5' : '7';  // damage the payload
+  EXPECT_FALSE(TrialJournal::decode_line(flipped).has_value());
+}
+
+TEST(TrialJournalTest, RejectsNonJournalFile) {
+  const TempPath path("notajournal.dcj");
+  {
+    std::ofstream out(path.str());
+    out << "channels,batch,accuracy\n5,8,90.0\n";
+  }
+  EXPECT_THROW(TrialJournal journal(path.str()), InvalidArgument);
+}
+
+// ---- median-stop pruning ----------------------------------------------------
+
+TEST(MedianStopRuleTest, NeverFiresBeforeWarmupOrMinFolds) {
+  MedianStopOptions opt;
+  opt.enabled = true;
+  opt.warmup_trials = 3;
+  opt.min_folds = 2;
+  MedianStopRule rule(opt);
+  EXPECT_FALSE(rule.should_prune(0.0, 5));  // no curves yet
+  rule.report_completed({90.0, 90.0, 90.0});
+  rule.report_completed({91.0, 91.0, 91.0});
+  EXPECT_FALSE(rule.should_prune(10.0, 3));  // below warmup
+  rule.report_completed({92.0, 92.0, 92.0});
+  EXPECT_FALSE(rule.should_prune(10.0, 1));  // below min_folds
+  EXPECT_TRUE(rule.should_prune(10.0, 2));
+}
+
+TEST(MedianStopRuleTest, ComparesAgainstMedianAtTheSameStep) {
+  MedianStopOptions opt;
+  opt.enabled = true;
+  opt.warmup_trials = 3;
+  MedianStopRule rule(opt);
+  rule.report_completed({80.0, 85.0});
+  rule.report_completed({82.0, 86.0});
+  rule.report_completed({84.0, 87.0});
+  // Step-0 medians: 82; step-1: 86.
+  EXPECT_TRUE(rule.should_prune(81.9, 1));
+  EXPECT_FALSE(rule.should_prune(82.0, 1));
+  EXPECT_TRUE(rule.should_prune(85.9, 2));
+  EXPECT_FALSE(rule.should_prune(86.0, 2));
+}
+
+TEST(MedianStopRuleTest, MarginShiftsTheThreshold) {
+  MedianStopOptions opt;
+  opt.enabled = true;
+  opt.warmup_trials = 3;
+  opt.margin = 2.0;
+  MedianStopRule rule(opt);
+  rule.report_completed({80.0});
+  rule.report_completed({82.0});
+  rule.report_completed({84.0});
+  EXPECT_FALSE(rule.should_prune(80.5, 1));  // above 82 - 2
+  EXPECT_TRUE(rule.should_prune(79.9, 1));
+}
+
+TEST(SchedulerTest, PruningSkipsFoldsWithoutChangingSurvivors) {
+  OracleEvaluator eval;
+  const Experiment exp(eval, latency::NnMeter::shared());
+  const auto configs = sample_configs(48, 13);
+  const TrialDatabase serial = exp.run_all(configs);
+  std::map<std::string, const TrialRecord*> serial_by_key;
+  for (const auto& r : serial.records()) {
+    serial_by_key[r.config.lattice_key()] = &r;
+  }
+
+  SchedulerOptions opt;
+  opt.threads = 4;
+  opt.pruner.enabled = true;
+  opt.pruner.warmup_trials = 4;
+  opt.pruner.min_folds = 2;
+  TrialScheduler scheduler(exp, opt);
+  const TrialDatabase pruned = scheduler.run(configs);
+
+  EXPECT_EQ(scheduler.stats().completed + scheduler.stats().pruned,
+            configs.size());
+  EXPECT_EQ(pruned.size(), scheduler.stats().completed);
+  EXPECT_GT(scheduler.stats().pruned, 0u);
+  EXPECT_GT(scheduler.stats().folds_skipped, 0u);
+  // Every survivor's record is exactly the serial one.
+  for (const auto& r : pruned.records()) {
+    const auto it = serial_by_key.find(r.config.lattice_key());
+    ASSERT_NE(it, serial_by_key.end());
+    EXPECT_EQ(r.fold_accuracies, it->second->fold_accuracies);
+    EXPECT_EQ(r.accuracy, it->second->accuracy);
+    EXPECT_EQ(r.latency_ms, it->second->latency_ms);
+    EXPECT_EQ(r.memory_mb, it->second->memory_mb);
+  }
+}
+
+TEST(SchedulerTest, PrunedJournalEntriesResumeOnlyWithPrunerOn) {
+  OracleEvaluator eval;
+  const Experiment exp(eval, latency::NnMeter::shared());
+  const auto configs = sample_configs(32, 17);
+  const TempPath journal("pruned.dcj");
+
+  SchedulerOptions opt;
+  opt.threads = 4;
+  opt.journal_path = journal.str();
+  opt.fsync_journal = false;
+  opt.pruner.enabled = true;
+  opt.pruner.warmup_trials = 4;
+  opt.pruner.min_folds = 2;
+  std::size_t pruned_count;
+  {
+    TrialScheduler first(exp, opt);
+    (void)first.run(configs);
+    pruned_count = first.stats().pruned;
+  }
+  ASSERT_GT(pruned_count, 0u);
+
+  // Same pruner: everything resumes (ok and pruned entries alike).
+  {
+    TrialScheduler again(exp, opt);
+    (void)again.run(configs);
+    EXPECT_EQ(again.stats().resumed, configs.size());
+  }
+
+  // Pruner off (exact reproduction): pruned entries are *not* trusted —
+  // they re-evaluate in full and the result matches the serial sweep.
+  SchedulerOptions exact = opt;
+  exact.pruner = {};
+  TrialScheduler repro(exp, exact);
+  const std::string serial = csv_text(exp.run_all(configs));
+  EXPECT_EQ(csv_text(repro.run(configs)), serial);
+  EXPECT_EQ(repro.stats().scheduled, pruned_count);
+  EXPECT_EQ(repro.stats().resumed, configs.size() - pruned_count);
+}
+
+// ---- error propagation ------------------------------------------------------
+
+class ThrowingEvaluator : public Evaluator {
+ public:
+  explicit ThrowingEvaluator(int bad_fold) : bad_fold_(bad_fold) {}
+  EvalResult evaluate(const TrialConfig&) override { return {}; }
+  int fold_count() const override { return 5; }
+  double evaluate_fold(const TrialConfig&, int fold) override {
+    if (fold == bad_fold_) throw InvalidArgument("fold exploded");
+    return 85.0;
+  }
+  std::string name() const override { return "throwing"; }
+
+ private:
+  int bad_fold_;
+};
+
+TEST(SchedulerTest, EvaluatorExceptionAbortsAndRethrows) {
+  ThrowingEvaluator eval(3);
+  const Experiment exp(eval, latency::NnMeter::shared());
+  const auto configs = sample_configs(16, 21);
+  SchedulerOptions opt;
+  opt.threads = 4;
+  TrialScheduler scheduler(exp, opt);
+  EXPECT_THROW(scheduler.run(configs), InvalidArgument);
+  // The scheduler's pool drained cleanly: a second run on a healthy
+  // evaluator-free path still works.
+  EXPECT_EQ(scheduler.run({}).size(), 0u);
+}
+
+TEST(SchedulerTest, InvalidConfigFailsVerificationBeforeEvaluation) {
+  OracleEvaluator eval;
+  const Experiment exp(eval, latency::NnMeter::shared());
+  auto configs = sample_configs(4, 23);
+  configs[2].kernel_size = 11;  // not a lattice value
+  SchedulerOptions opt;
+  opt.threads = 2;
+  TrialScheduler scheduler(exp, opt);
+  EXPECT_THROW(scheduler.run(configs), InvalidArgument);
+}
+
+}  // namespace
+}  // namespace dcnas::nas
