@@ -1,7 +1,6 @@
 #include "dcnas/nas/journal.hpp"
 
-#include <cerrno>
-#include <cstring>
+#include <filesystem>
 #include <fstream>
 #include <sstream>
 
@@ -164,16 +163,16 @@ TrialJournal::TrialJournal(std::string path, bool fsync_each)
     }
   }
 
-#if DCNAS_JOURNAL_HAS_FSYNC
   if (existing) {
     // Drop any torn tail before appending, so damage never sits mid-file.
-    DCNAS_CHECK(::truncate(path_.c_str(), static_cast<off_t>(valid_bytes)) == 0,
-                "cannot truncate journal " + path_ + ": " +
-                    std::strerror(errno));
+    // Must happen on every platform: appending onto a torn fragment merges
+    // it with the first new entry, whose checksum then fails on replay and
+    // takes every later entry down with it.
+    std::error_code ec;
+    std::filesystem::resize_file(path_, valid_bytes, ec);
+    DCNAS_CHECK(!ec,
+                "cannot truncate journal " + path_ + ": " + ec.message());
   }
-#else
-  (void)valid_bytes;
-#endif
 
   file_ = std::fopen(path_.c_str(), existing ? "ab" : "wb");
   DCNAS_CHECK(file_ != nullptr, "cannot open journal " + path_);

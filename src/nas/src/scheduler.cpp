@@ -209,6 +209,8 @@ TrialDatabase TrialScheduler::run(const std::vector<TrialConfig>& configs) {
   // Admission loop: verify + fan the trial's folds out, holding at most
   // max_inflight trials in flight.
   std::size_t admitted = 0;
+  TrialState* admitting = nullptr;  ///< trial being fanned out right now
+  int submitted = 0;                ///< its fold tasks actually enqueued
   try {
     for (TrialState* trial : pending) {
       {
@@ -220,6 +222,8 @@ TrialDatabase TrialScheduler::run(const std::vector<TrialConfig>& configs) {
       }
       ++admitted;
       metrics.queue_depth.set(static_cast<double>(pending.size() - admitted));
+      admitting = trial;
+      submitted = 0;
       // The same trust boundary the serial path runs (once per trial, not
       // per fold). Throws before any fold task is queued.
       verify_candidate(trial->config);
@@ -231,13 +235,35 @@ TrialDatabase TrialScheduler::run(const std::vector<TrialConfig>& configs) {
       for (int f = 0; f < folds; ++f) {
         pool_.submit(std::function<void()>(
             [this, trial, f] { run_fold_task(trial, f); }));
+        ++submitted;
       }
+      admitting = nullptr;
     }
   } catch (...) {
-    std::lock_guard<std::mutex> lock(mu_);
-    abort_ = true;
-    if (!first_error_) first_error_ = std::current_exception();
-    --inflight_;  // the trial that failed verification never fanned out
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      abort_ = true;
+      if (!first_error_) first_error_ = std::current_exception();
+    }
+    if (submitted == 0) {
+      // The trial never fanned out (verification threw): its admission
+      // slot retires here.
+      std::lock_guard<std::mutex> lock(mu_);
+      --inflight_;
+    } else {
+      // Partial fan-out (a submit threw mid-loop): account for the fold
+      // tasks that never enqueued so the already-queued ones — which see
+      // abort_ and skip evaluation — can still drive the trial to
+      // finalize and release its slot. If they all ran before this
+      // adjustment, finalize here.
+      bool finalize_now;
+      {
+        std::lock_guard<std::mutex> lock(admitting->state_mu);
+        admitting->remaining_tasks -= admitting->folds - submitted;
+        finalize_now = admitting->remaining_tasks == 0;
+      }
+      if (finalize_now) finalize_trial(admitting);
+    }
     cv_.notify_all();
   }
 
@@ -357,56 +383,74 @@ void TrialScheduler::finalize_trial(TrialState* trial) {
     pruned = trial->pruned;
     done = trial->done_count;
   }
+  // An aborted run leaves fold tasks skipped on trials that neither failed
+  // nor pruned themselves (done < folds). Those are incomplete: a kOk
+  // journal entry would persist zero-filled accuracies that a resume run
+  // trusts verbatim, so they get no journal entry and no keep-slot — the
+  // next run re-evaluates them from scratch.
+  const bool complete = !failed && !pruned && done == trial->folds;
 
-  if (!failed && pruned) {
-    DCNAS_TRACE_SPAN("nas", "nas.sched.trial.pruned");
-    if (journal_ != nullptr) {
-      JournalEntry entry;
-      entry.status = TrialStatus::kPruned;
-      entry.record.config = trial->config;
-      for (int f = 0; f < trial->folds; ++f) {
-        if (trial->fold_done[static_cast<std::size_t>(f)]) {
-          entry.fold_indices.push_back(f);
-          entry.record.fold_accuracies.push_back(
-              trial->fold_acc[static_cast<std::size_t>(f)]);
+  // Nothing below may escape: this runs on a pool worker, and run() blocks
+  // on inflight_ reaching zero — an escaped exception (journal append on a
+  // full disk, fill_hardware_objectives) would skip the bookkeeping and
+  // hang the run forever instead of reporting the error.
+  bool finalize_ok = true;
+  try {
+    if (!failed && pruned) {
+      DCNAS_TRACE_SPAN("nas", "nas.sched.trial.pruned");
+      if (journal_ != nullptr) {
+        JournalEntry entry;
+        entry.status = TrialStatus::kPruned;
+        entry.record.config = trial->config;
+        for (int f = 0; f < trial->folds; ++f) {
+          if (trial->fold_done[static_cast<std::size_t>(f)]) {
+            entry.fold_indices.push_back(f);
+            entry.record.fold_accuracies.push_back(
+                trial->fold_acc[static_cast<std::size_t>(f)]);
+          }
         }
+        if (!entry.record.fold_accuracies.empty()) {
+          entry.record.accuracy = mean(entry.record.fold_accuracies);
+        }
+        std::lock_guard<std::mutex> lock(journal_mu_);
+        journal_->append(entry);
       }
-      if (!entry.record.fold_accuracies.empty()) {
-        entry.record.accuracy = mean(entry.record.fold_accuracies);
+    } else if (complete) {
+      DCNAS_TRACE_SPAN("nas", "nas.sched.trial.finalize");
+      TrialRecord record;
+      record.config = trial->config;
+      record.fold_accuracies = trial->fold_acc;
+      record.accuracy = mean(record.fold_accuracies);
+      experiment_.fill_hardware_objectives(record);
+      if (options_.pruner.enabled) {
+        rule_->report_completed(running_means(record.fold_accuracies));
       }
-      std::lock_guard<std::mutex> lock(journal_mu_);
-      journal_->append(entry);
+      if (journal_ != nullptr) {
+        JournalEntry entry;
+        entry.status = TrialStatus::kOk;
+        entry.record = record;
+        for (int f = 0; f < trial->folds; ++f) entry.fold_indices.push_back(f);
+        std::lock_guard<std::mutex> lock(journal_mu_);
+        journal_->append(entry);
+      }
+      metrics.trial_ms.observe(
+          std::chrono::duration<double, std::milli>(
+              std::chrono::steady_clock::now() - trial->admitted_at)
+              .count());
+      trial->result = std::move(record);
+      trial->keep = true;
     }
-  } else if (!failed) {
-    DCNAS_TRACE_SPAN("nas", "nas.sched.trial.finalize");
-    TrialRecord record;
-    record.config = trial->config;
-    record.fold_accuracies = trial->fold_acc;
-    record.accuracy = mean(record.fold_accuracies);
-    experiment_.fill_hardware_objectives(record);
-    if (options_.pruner.enabled) {
-      rule_->report_completed(running_means(record.fold_accuracies));
-    }
-    if (journal_ != nullptr) {
-      JournalEntry entry;
-      entry.status = TrialStatus::kOk;
-      entry.record = record;
-      for (int f = 0; f < trial->folds; ++f) entry.fold_indices.push_back(f);
-      std::lock_guard<std::mutex> lock(journal_mu_);
-      journal_->append(entry);
-    }
-    metrics.trial_ms.observe(
-        std::chrono::duration<double, std::milli>(
-            std::chrono::steady_clock::now() - trial->admitted_at)
-            .count());
-    trial->result = std::move(record);
-    trial->keep = true;
+  } catch (...) {
+    finalize_ok = false;
+    std::lock_guard<std::mutex> lock(mu_);
+    abort_ = true;
+    if (!first_error_) first_error_ = std::current_exception();
   }
 
   std::size_t finished;
   {
     std::lock_guard<std::mutex> lock(mu_);
-    if (!failed) {
+    if (finalize_ok && ((!failed && pruned) || complete)) {
       if (pruned) {
         ++stats_.pruned;
         stats_.folds_skipped +=

@@ -392,6 +392,75 @@ TEST(SchedulerTest, EvaluatorExceptionAbortsAndRethrows) {
   EXPECT_EQ(scheduler.run({}).size(), 0u);
 }
 
+/// Delegates to the oracle except for one poisoned (config, fold) pair —
+/// lets an abort happen mid-search while every other journaled value stays
+/// the true oracle value.
+class FlakyOracleEvaluator : public Evaluator {
+ public:
+  FlakyOracleEvaluator(std::string bad_key, int bad_fold)
+      : bad_key_(std::move(bad_key)), bad_fold_(bad_fold) {}
+  EvalResult evaluate(const TrialConfig& config) override {
+    return inner_.evaluate(config);
+  }
+  int fold_count() const override { return inner_.fold_count(); }
+  double evaluate_fold(const TrialConfig& config, int fold) override {
+    if (config.lattice_key() == bad_key_ && fold == bad_fold_) {
+      throw InvalidArgument("flaky fold");
+    }
+    return inner_.evaluate_fold(config, fold);
+  }
+  std::string name() const override { return inner_.name(); }
+
+ private:
+  OracleEvaluator inner_;
+  std::string bad_key_;
+  int bad_fold_;
+};
+
+TEST(SchedulerTest, AbortedRunNeverJournalsIncompleteTrials) {
+  const auto configs = sample_configs(16, 31);
+  const TempPath journal("abort.dcj");
+  SchedulerOptions opt;
+  opt.threads = 4;
+  opt.journal_path = journal.str();
+  opt.fsync_journal = false;
+
+  // First run aborts mid-search: in-flight trials whose remaining folds
+  // were skipped by the abort must not be journaled as ok (their missing
+  // folds are zero-filled in memory).
+  {
+    FlakyOracleEvaluator flaky(configs[8].lattice_key(), 2);
+    const Experiment exp(flaky, latency::NnMeter::shared());
+    TrialScheduler scheduler(exp, opt);
+    EXPECT_THROW(scheduler.run(configs), InvalidArgument);
+  }
+
+  // Resume with a healthy evaluator: every journal entry must hold fully
+  // evaluated oracle values, so the merged database is exactly the serial
+  // sweep. A zero-corrupted ok entry would survive resume verbatim and
+  // break this parity.
+  OracleEvaluator eval;
+  const Experiment exp(eval, latency::NnMeter::shared());
+  const std::string serial = csv_text(exp.run_all(configs));
+  TrialScheduler second(exp, opt);
+  EXPECT_EQ(csv_text(second.run(configs)), serial);
+  EXPECT_EQ(second.stats().resumed + second.stats().scheduled,
+            configs.size());
+}
+
+TEST(SchedulerTest, FinalizeExceptionAbortsInsteadOfHanging) {
+  OracleEvaluator eval;
+  ExperimentOptions bad;
+  bad.deployment_input_hw = 0;  // fill_hardware_objectives throws at finalize
+  const Experiment exp(eval, latency::NnMeter::shared(), bad);
+  SchedulerOptions opt;
+  opt.threads = 2;
+  TrialScheduler scheduler(exp, opt);
+  // Pre-fix this deadlocked: the finalize exception escaped onto the pool
+  // worker before the in-flight bookkeeping ran, so run() waited forever.
+  EXPECT_THROW(scheduler.run(sample_configs(6, 29)), InvalidArgument);
+}
+
 TEST(SchedulerTest, InvalidConfigFailsVerificationBeforeEvaluation) {
   OracleEvaluator eval;
   const Experiment exp(eval, latency::NnMeter::shared());
