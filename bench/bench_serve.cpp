@@ -2,11 +2,17 @@
 ///
 /// Reproduction payload: trains/saves a small drainage model, then drives
 /// the src/serve subsystem (registry -> dynamic batcher -> workers) with 64
-/// requests per batching policy, sweeping max_batch 1..32. Emits a table of
-/// throughput (img/s) and p50/p95/p99 end-to-end latency per policy, plus
-/// BENCH_serve.json for downstream tooling. The nn-Meter-style predicted
-/// latency for the same architecture is printed alongside, so the paper's
-/// analytic latency objective can be compared against a real runtime.
+/// requests per batching policy, sweeping max_batch 1..32 through BOTH
+/// serving paths: the compiled-plan executor (fused kernels + static arena,
+/// the default) and the op-by-op GraphExecutor baseline. A direct-run
+/// section measures per-image latency of each path at batch 1 and batch 8,
+/// and a steady-state section asserts the plan path performs zero arena
+/// allocations after warmup ("plan_alloc_ok" — the serve-bench CI gate).
+/// Emits a table of throughput (img/s) and p50/p95/p99 end-to-end latency
+/// per policy, plus BENCH_serve.json for downstream tooling. The
+/// nn-Meter-style predicted latency for the same architecture is printed
+/// alongside, so the paper's analytic latency objective can be compared
+/// against a real runtime.
 
 #include "bench_common.hpp"
 
@@ -23,6 +29,7 @@
 #include "dcnas/nas/search_space.hpp"
 #include "dcnas/nn/trainer.hpp"
 #include "dcnas/obs/metrics.hpp"
+#include "dcnas/plan/executor.hpp"
 #include "dcnas/serve/server.hpp"
 
 namespace {
@@ -37,6 +44,7 @@ struct ServeBenchContext {
   nas::TrialConfig cfg;
   std::shared_ptr<serve::ModelRegistry> registry;
   std::shared_ptr<const graph::GraphExecutor> exec;
+  std::shared_ptr<const plan::PlanExecutor> plan;
   std::vector<Tensor> inputs;
 };
 
@@ -75,7 +83,9 @@ ServeBenchContext& ctx() {
     out.registry = std::make_shared<serve::ModelRegistry>();
     out.registry->load("drainage", path);
     std::filesystem::remove(path);
-    out.exec = out.registry->get("drainage");
+    const serve::ModelSnapshot snap = out.registry->snapshot("drainage");
+    out.exec = snap.exec;
+    out.plan = snap.plan;
 
     Rng request_rng(4242);
     for (int i = 0; i < kRequestsPerPolicy; ++i) {
@@ -89,17 +99,19 @@ ServeBenchContext& ctx() {
 
 struct PolicyResult {
   std::int64_t max_batch = 0;
+  bool via_plan = true;
   double throughput = 0.0;
   serve::LatencySummary latency;
   std::int64_t errors = 0;
 };
 
-PolicyResult run_policy(std::int64_t max_batch) {
+PolicyResult run_policy(std::int64_t max_batch, bool use_plans) {
   ServeBenchContext& c = ctx();
   serve::ServerOptions sopt;
   sopt.num_workers = kWorkers;
   sopt.batch.max_batch = max_batch;
   sopt.batch.max_delay = std::chrono::microseconds(2000);
+  sopt.use_plans = use_plans;
   serve::Server server(c.registry, sopt);
 
   const auto t0 = std::chrono::steady_clock::now();
@@ -115,6 +127,7 @@ PolicyResult run_policy(std::int64_t max_batch) {
 
   PolicyResult r;
   r.max_batch = max_batch;
+  r.via_plan = use_plans;
   r.throughput = static_cast<double>(c.inputs.size()) / seconds;
   r.latency = server.metrics().latency_summary("drainage");
   r.errors = server.metrics().error_count("drainage");
@@ -122,7 +135,88 @@ PolicyResult run_policy(std::int64_t max_batch) {
   return r;
 }
 
-void write_json(const std::vector<PolicyResult>& results, double pred_mean_ms,
+/// Direct (no batcher) per-image latency of one serving path at one batch
+/// size: mean over \p iters timed runs after a small warmup.
+struct DirectResult {
+  std::int64_t batch = 0;
+  double graph_ms_per_img = 0.0;
+  double plan_ms_per_img = 0.0;
+  double plan_speedup = 0.0;
+};
+
+DirectResult run_direct(std::int64_t batch, int iters = 30) {
+  ServeBenchContext& c = ctx();
+  Rng rng(7 + static_cast<unsigned>(batch));
+  const Tensor input = Tensor::rand_uniform({batch, 5, kChipSize, kChipSize},
+                                            rng, -1.0f, 1.0f);
+  auto time_path = [&](auto&& run) {
+    for (int i = 0; i < 3; ++i) run(input);
+    const auto t0 = std::chrono::steady_clock::now();
+    for (int i = 0; i < iters; ++i) run(input);
+    const double ms =
+        std::chrono::duration<double, std::milli>(
+            std::chrono::steady_clock::now() - t0)
+            .count();
+    return ms / static_cast<double>(iters) / static_cast<double>(batch);
+  };
+  DirectResult r;
+  r.batch = batch;
+  r.graph_ms_per_img = time_path([&](const Tensor& x) { c.exec->run(x); });
+  r.plan_ms_per_img = time_path([&](const Tensor& x) { c.plan->run(x); });
+  r.plan_speedup = r.graph_ms_per_img / r.plan_ms_per_img;
+  return r;
+}
+
+/// The zero-allocation gate: after warming the plan executor's arena pool
+/// across every batch size and concurrency level the measurement phase
+/// uses, `plan.exec.allocs` must not move. Returns the steady-state delta
+/// (0 on pass) — CI fails the serve-bench job when "plan_alloc_ok" is
+/// false.
+std::int64_t steady_state_allocs() {
+  ServeBenchContext& c = ctx();
+  auto& allocs = obs::MetricsRegistry::global().counter("plan.exec.allocs");
+  Rng rng(99);
+  const Tensor big =
+      Tensor::rand_uniform({32, 5, kChipSize, kChipSize}, rng, -1.0f, 1.0f);
+  const Tensor small =
+      Tensor::rand_uniform({1, 5, kChipSize, kChipSize}, rng, -1.0f, 1.0f);
+
+  auto burst = [&] {
+    serve::ServerOptions sopt;
+    sopt.num_workers = kWorkers;
+    sopt.batch.max_batch = 8;
+    sopt.batch.max_delay = std::chrono::microseconds(500);
+    serve::Server server(c.registry, sopt);
+    std::vector<std::future<Tensor>> futures;
+    for (int i = 0; i < 16; ++i) {
+      futures.push_back(server.submit(
+          "drainage", c.inputs[static_cast<std::size_t>(i)]));
+    }
+    for (auto& f : futures) f.get();
+    server.shutdown();
+  };
+
+  // Warmup: largest direct batch first (so pooled arenas have enough
+  // capacity for everything below), then two concurrent bursts (so the
+  // pool holds one arena per worker).
+  c.plan->run(big);
+  burst();
+  burst();
+  c.plan->run(big);
+
+  const std::int64_t before = allocs.value();
+  for (int i = 0; i < 5; ++i) {
+    c.plan->run(big);
+    c.plan->run(small);
+  }
+  burst();
+  burst();
+  return allocs.value() - before;
+}
+
+void write_json(const std::vector<PolicyResult>& results,
+                const std::vector<DirectResult>& direct,
+                std::int64_t steady_allocs, double pred_mean_ms,
                 double pred_std_ms) {
   std::FILE* f = std::fopen("BENCH_serve.json", "w");
   if (!f) {
@@ -137,14 +231,31 @@ void write_json(const std::vector<PolicyResult>& results, double pred_mean_ms,
                "  \"predicted_latency_224_ms\": {\"mean\": %.4f, \"std\": "
                "%.4f},\n",
                pred_mean_ms, pred_std_ms);
+  std::fprintf(f, "  \"direct_run\": [\n");
+  for (std::size_t i = 0; i < direct.size(); ++i) {
+    const DirectResult& d = direct[i];
+    std::fprintf(f,
+                 "    {\"batch\": %lld, \"graph_ms_per_img\": %.4f, "
+                 "\"plan_ms_per_img\": %.4f, \"plan_speedup\": %.3f}%s\n",
+                 static_cast<long long>(d.batch), d.graph_ms_per_img,
+                 d.plan_ms_per_img, d.plan_speedup,
+                 i + 1 < direct.size() ? "," : "");
+  }
+  std::fprintf(f, "  ],\n");
+  std::fprintf(f, "  \"plan_allocs_steady\": %lld,\n",
+               static_cast<long long>(steady_allocs));
+  std::fprintf(f, "  \"plan_alloc_ok\": %s,\n",
+               steady_allocs == 0 ? "true" : "false");
   std::fprintf(f, "  \"policies\": [\n");
   for (std::size_t i = 0; i < results.size(); ++i) {
     const PolicyResult& r = results[i];
     std::fprintf(f,
-                 "    {\"max_batch\": %lld, \"throughput_img_per_s\": %.2f, "
+                 "    {\"max_batch\": %lld, \"path\": \"%s\", "
+                 "\"throughput_img_per_s\": %.2f, "
                  "\"p50_ms\": %.3f, \"p95_ms\": %.3f, \"p99_ms\": %.3f, "
                  "\"mean_ms\": %.3f, \"errors\": %lld}%s\n",
-                 static_cast<long long>(r.max_batch), r.throughput,
+                 static_cast<long long>(r.max_batch),
+                 r.via_plan ? "plan" : "graph", r.throughput,
                  r.latency.p50_ms, r.latency.p95_ms, r.latency.p99_ms,
                  r.latency.mean_ms, static_cast<long long>(r.errors),
                  i + 1 < results.size() ? "," : "");
@@ -176,15 +287,35 @@ void print_report() {
   ServeBenchContext& c = ctx();
 
   std::vector<PolicyResult> results;
-  std::printf("max_batch  throughput(img/s)   p50ms   p95ms   p99ms  errors\n");
-  for (const std::int64_t max_batch : {1, 2, 4, 8, 16, 32}) {
-    const PolicyResult r = run_policy(max_batch);
-    std::printf("%9lld %18.1f %7.2f %7.2f %7.2f %7lld\n",
-                static_cast<long long>(r.max_batch), r.throughput,
-                r.latency.p50_ms, r.latency.p95_ms, r.latency.p99_ms,
-                static_cast<long long>(r.errors));
-    results.push_back(r);
+  std::printf(
+      "path   max_batch  throughput(img/s)   p50ms   p95ms   p99ms  errors\n");
+  for (const bool use_plans : {true, false}) {
+    for (const std::int64_t max_batch : {1, 2, 4, 8, 16, 32}) {
+      const PolicyResult r = run_policy(max_batch, use_plans);
+      std::printf("%-6s %9lld %18.1f %7.2f %7.2f %7.2f %7lld\n",
+                  r.via_plan ? "plan" : "graph",
+                  static_cast<long long>(r.max_batch), r.throughput,
+                  r.latency.p50_ms, r.latency.p95_ms, r.latency.p99_ms,
+                  static_cast<long long>(r.errors));
+      results.push_back(r);
+    }
   }
+
+  std::printf("\ndirect run (no batcher), per-image latency:\n");
+  std::printf("batch  graph(ms/img)  plan(ms/img)  speedup\n");
+  std::vector<DirectResult> direct;
+  for (const std::int64_t batch : {1, 8}) {
+    const DirectResult d = run_direct(batch);
+    std::printf("%5lld %14.4f %13.4f %8.3fx\n",
+                static_cast<long long>(d.batch), d.graph_ms_per_img,
+                d.plan_ms_per_img, d.plan_speedup);
+    direct.push_back(d);
+  }
+
+  const std::int64_t steady_allocs = steady_state_allocs();
+  std::printf("\nsteady-state plan arena allocations: %lld (%s)\n",
+              static_cast<long long>(steady_allocs),
+              steady_allocs == 0 ? "ok" : "FAIL: hot path allocated");
 
   const auto pred = latency::NnMeter::shared().predict_graph(
       graph::build_resnet_graph(c.cfg.to_resnet_config()));
@@ -193,7 +324,7 @@ void print_report() {
   std::printf("(measured numbers above are 24px end-to-end serving latency "
               "on this host — the runtime the predictor's ranking claims "
               "are checked against)\n");
-  write_json(results, pred.mean_ms, pred.std_ms);
+  write_json(results, direct, steady_allocs, pred.mean_ms, pred.std_ms);
   write_metrics_snapshot();
 }
 
@@ -209,6 +340,19 @@ void BM_DirectRunBatch(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations() * batch);
 }
 BENCHMARK(BM_DirectRunBatch)->Arg(1)->Arg(8)->Arg(32);
+
+void BM_DirectRunPlanBatch(benchmark::State& state) {
+  ServeBenchContext& c = ctx();
+  const std::int64_t batch = state.range(0);
+  Rng rng(7);
+  const Tensor input = Tensor::rand_uniform({batch, 5, kChipSize, kChipSize},
+                                            rng, -1.0f, 1.0f);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(c.plan->run(input));
+  }
+  state.SetItemsProcessed(state.iterations() * batch);
+}
+BENCHMARK(BM_DirectRunPlanBatch)->Arg(1)->Arg(8)->Arg(32);
 
 void BM_ServeRoundTripUnbatched(benchmark::State& state) {
   ServeBenchContext& c = ctx();

@@ -56,9 +56,11 @@ class GraphExecutor {
 
   const ModelGraph& graph() const { return graph_; }
 
-  /// Raw state access for serialization (model_file.hpp).
+  /// Raw state access for serialization (model_file.hpp) and for the plan
+  /// compiler (plan/compiler.hpp), which folds with the same epsilon.
   const std::vector<NodeState>& node_states() const { return state_; }
   const std::vector<bool>& identity_flags() const { return identity_; }
+  float bn_eps() const { return bn_eps_; }
 
   /// Reassembles an executor from serialized state (no nn module needed).
   static GraphExecutor from_state(ModelGraph graph,

@@ -44,6 +44,12 @@ struct FusedKernel {
   std::int64_t flops = 0;
   std::int64_t params = 0;
 
+  /// Graph nodes absorbed into this kernel, in execution order (the first
+  /// is the primary op, the last produces the kernel's output). The plan
+  /// compiler uses this provenance to bind weights and wire data flow, so
+  /// fusion rules live in exactly one place: fuse_graph().
+  std::vector<int> nodes;
+
   /// Memory traffic in bytes assuming fp32 activations and weights.
   /// Elementwise Add kernels read two operand activations.
   std::int64_t input_bytes() const {

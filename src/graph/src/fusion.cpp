@@ -45,6 +45,7 @@ std::vector<FusedKernel> fuse_graph(const ModelGraph& graph) {
     k.attrs = n.attrs;
     k.flops = n.flops;
     k.params = n.params;
+    k.nodes.push_back(static_cast<int>(i));
     switch (n.kind) {
       case OpKind::kInput:
       case OpKind::kOutput:
@@ -60,6 +61,7 @@ std::vector<FusedKernel> fuse_graph(const ModelGraph& graph) {
           consumed[static_cast<std::size_t>(bn)] = true;
           k.kind = KernelKind::kConvBn;
           k.params += nodes[static_cast<std::size_t>(bn)].params;
+          k.nodes.push_back(bn);
           idx = bn;
         }
         const int relu = sole_consumer(idx, OpKind::kRelu);
@@ -68,6 +70,7 @@ std::vector<FusedKernel> fuse_graph(const ModelGraph& graph) {
           k.flops += nodes[static_cast<std::size_t>(relu)].flops;
           k.kind = (k.kind == KernelKind::kConvBn) ? KernelKind::kConvBnRelu
                                                    : KernelKind::kConvRelu;
+          k.nodes.push_back(relu);
         }
         break;
       }
@@ -78,6 +81,7 @@ std::vector<FusedKernel> fuse_graph(const ModelGraph& graph) {
           consumed[static_cast<std::size_t>(relu)] = true;
           k.flops += nodes[static_cast<std::size_t>(relu)].flops;
           k.kind = KernelKind::kAddRelu;
+          k.nodes.push_back(relu);
         }
         // Add reads two input activations.
         k.in_shape = n.in_shape;

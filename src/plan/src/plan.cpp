@@ -1,0 +1,86 @@
+#include "dcnas/plan/plan.hpp"
+
+#include <string>
+
+#include "dcnas/common/error.hpp"
+
+namespace dcnas::plan {
+
+std::int64_t CompiledPlan::total_slot_size() const {
+  std::int64_t sum = 0;
+  for (const ArenaSlot& s : slots) sum += s.size;
+  return sum;
+}
+
+void CompiledPlan::check_arena() const {
+  const int num_steps = static_cast<int>(steps.size());
+  for (std::size_t i = 0; i < slots.size(); ++i) {
+    const ArenaSlot& s = slots[i];
+    DCNAS_ASSERT(s.size > 0, "plan slot " + std::to_string(i) +
+                                 " has non-positive size");
+    DCNAS_ASSERT(s.offset >= 0 && s.offset + s.size <= arena_size,
+                 "plan slot " + std::to_string(i) +
+                     " exceeds the arena extent");
+    DCNAS_ASSERT(s.def >= 0 && s.def < num_steps &&
+                     s.last_use >= s.def,
+                 "plan slot " + std::to_string(i) + " has bad liveness");
+  }
+  // Slots whose live ranges intersect must occupy disjoint byte ranges.
+  for (std::size_t a = 0; a < slots.size(); ++a) {
+    for (std::size_t b = a + 1; b < slots.size(); ++b) {
+      const ArenaSlot& sa = slots[a];
+      const ArenaSlot& sb = slots[b];
+      const bool lives_overlap =
+          sa.def <= sb.last_use && sb.def <= sa.last_use;
+      const bool bytes_overlap =
+          sa.offset < sb.offset + sb.size && sb.offset < sa.offset + sa.size;
+      DCNAS_ASSERT(!(lives_overlap && bytes_overlap),
+                   "plan slots " + std::to_string(a) + " and " +
+                       std::to_string(b) +
+                       " are simultaneously live but share arena bytes");
+    }
+  }
+  for (const PlanStep& step : steps) {
+    DCNAS_ASSERT(step.out >= 0 &&
+                     step.out < static_cast<int>(slots.size()),
+                 "plan step '" + step.name + "' writes an unknown slot");
+    for (int arg : step.args) {
+      DCNAS_ASSERT(arg == kInputSlot ||
+                       (arg >= 0 && arg < static_cast<int>(slots.size())),
+                   "plan step '" + step.name + "' reads an unknown slot");
+    }
+  }
+  DCNAS_ASSERT(output_slot == kInputSlot ||
+                   (output_slot >= 0 &&
+                    output_slot < static_cast<int>(slots.size())),
+               "plan output slot is unknown");
+}
+
+std::string CompiledPlan::to_string() const {
+  std::string out = "CompiledPlan: " + std::to_string(steps.size()) +
+                    " steps, arena " + std::to_string(arena_size) +
+                    " floats/sample (slots sum " +
+                    std::to_string(total_slot_size()) + "), " +
+                    std::to_string(folded_batchnorms) + " BN folded\n";
+  for (std::size_t i = 0; i < steps.size(); ++i) {
+    const PlanStep& s = steps[i];
+    out += "  [" + std::to_string(i) + "] " +
+           graph::kernel_kind_name(s.kind) + " '" + s.name + "' (";
+    for (std::size_t a = 0; a < s.args.size(); ++a) {
+      if (a > 0) out += ", ";
+      if (s.args[a] == kInputSlot) {
+        out += "input";
+      } else {
+        out += "s";
+        out += std::to_string(s.args[a]);
+      }
+    }
+    out += ") -> s" + std::to_string(s.out) + " @" +
+           std::to_string(slots[static_cast<std::size_t>(s.out)].offset) +
+           " " + s.in_shape.to_string() + " -> " + s.out_shape.to_string() +
+           "\n";
+  }
+  return out;
+}
+
+}  // namespace dcnas::plan

@@ -1,13 +1,23 @@
 #pragma once
 /// \file registry.hpp
-/// \brief Model registry: loads DCNX artifacts into ready GraphExecutors and
-/// caches them by name with hot-swap and LRU eviction.
+/// \brief Model registry: loads DCNX artifacts into ready GraphExecutors,
+/// compiles them into inference plans, and caches both by name with
+/// hot-swap and LRU eviction.
 ///
-/// Executors are handed out as shared_ptr<const GraphExecutor>, so a
+/// Executors and plans are handed out as shared_ptr<const ...>, so a
 /// hot-swap (re-registering a name) or an eviction never invalidates an
-/// executor a worker is mid-inference with — the old instance stays alive
-/// until its last holder drops it. GraphExecutor::run() is const and
-/// reentrant (see executor.hpp), so one cached instance serves all workers.
+/// instance a worker is mid-inference with — the old one stays alive until
+/// its last holder drops it. Both GraphExecutor::run() and
+/// PlanExecutor::run() are const and reentrant, so one cached instance of
+/// each serves all workers.
+///
+/// Derived-state invalidation contract: everything the registry derives
+/// from a model's weights (today: the compiled plan) lives in the same
+/// Entry as the executor and is installed, hot-swapped, and evicted in one
+/// critical section. snapshot() returns {executor, plan, version} from a
+/// single locked read, so a caller can never observe a new executor paired
+/// with a stale plan (or vice versa), no matter how registrations and
+/// evictions interleave with serving.
 
 #include <cstdint>
 #include <map>
@@ -17,22 +27,37 @@
 #include <vector>
 
 #include "dcnas/graph/model_file.hpp"
+#include "dcnas/plan/executor.hpp"
 
 namespace dcnas::serve {
 
-/// Thread-safe name -> executor cache.
+/// One coherent view of a registered model: the executor, the plan compiled
+/// from exactly that executor's weights (nullptr when plan compilation is
+/// disabled), and the version both belong to.
+struct ModelSnapshot {
+  std::shared_ptr<const graph::GraphExecutor> exec;
+  std::shared_ptr<const plan::PlanExecutor> plan;
+  int version = 0;
+};
+
+/// Thread-safe name -> {executor, compiled plan} cache.
 class ModelRegistry {
  public:
   /// \p capacity bounds the number of resident models; 0 means unbounded.
   /// Registering past capacity evicts the least-recently-used other model.
-  explicit ModelRegistry(std::size_t capacity = 0);
+  /// \p compile_plans controls whether register_model also compiles and
+  /// caches a fused-plan executor (on by default; turn off to serve
+  /// op-by-op, e.g. for differential benchmarking).
+  explicit ModelRegistry(std::size_t capacity = 0, bool compile_plans = true);
 
   /// Registers (or hot-swaps) \p name; returns the new version number.
   /// Versions start at 1 and survive eviction, so a reloaded model never
   /// reuses a stale version number. The executor's graph must pass the
   /// standard analysis::GraphVerifier pipeline; registration of a model
   /// with verifier errors throws InvalidArgument and leaves the registry
-  /// (and any currently-resident version of \p name) untouched.
+  /// (and any currently-resident version of \p name) untouched. The plan
+  /// is compiled *before* the swap and installed atomically with the
+  /// executor, so serving never sees a half-updated model.
   int register_model(const std::string& name, graph::GraphExecutor exec);
 
   /// Loads a DCNX file via graph::load_model and registers it.
@@ -43,10 +68,16 @@ class ModelRegistry {
   std::shared_ptr<const graph::GraphExecutor> get(
       const std::string& name) const;
 
+  /// Returns the resident {executor, plan, version} triple from one locked
+  /// read and bumps LRU recency. Throws InvalidArgument when \p name is not
+  /// registered. This is the serving lookup: Server::handle_batch runs
+  /// snapshot().plan when present.
+  ModelSnapshot snapshot(const std::string& name) const;
+
   bool contains(const std::string& name) const;
 
-  /// Drops the resident executor (in-flight holders keep theirs alive).
-  /// Returns false when \p name was not resident.
+  /// Drops the resident executor and its plan (in-flight holders keep
+  /// theirs alive). Returns false when \p name was not resident.
   bool evict(const std::string& name);
 
   /// Latest version registered under \p name (0 when never registered).
@@ -57,10 +88,12 @@ class ModelRegistry {
 
   std::size_t size() const;
   std::size_t capacity() const { return capacity_; }
+  bool compiles_plans() const { return compile_plans_; }
 
  private:
   struct Entry {
     std::shared_ptr<const graph::GraphExecutor> exec;
+    std::shared_ptr<const plan::PlanExecutor> plan;  ///< derived state
     int version = 0;
     std::uint64_t last_used = 0;
   };
@@ -70,6 +103,7 @@ class ModelRegistry {
   mutable std::mutex mu_;
   mutable std::uint64_t tick_ = 0;
   std::size_t capacity_;
+  bool compile_plans_;
   mutable std::map<std::string, Entry> entries_;  ///< mutable: get() bumps LRU
   std::map<std::string, int> versions_;  ///< monotone, survives eviction
 };

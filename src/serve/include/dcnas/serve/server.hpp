@@ -27,6 +27,10 @@ namespace dcnas::serve {
 struct ServerOptions {
   std::size_t num_workers = 2;  ///< batch-executing threads (0 means 1)
   BatchPolicy batch;
+  /// Serve from the registry's compiled plan when one is cached (fused
+  /// kernels + static arena); false forces the op-by-op GraphExecutor —
+  /// the differential baseline bench_serve compares against.
+  bool use_plans = true;
 };
 
 class Server {

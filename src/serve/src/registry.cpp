@@ -4,10 +4,14 @@
 
 #include "dcnas/analysis/verifier.hpp"
 #include "dcnas/common/error.hpp"
+#include "dcnas/obs/metrics.hpp"
+#include "dcnas/obs/trace.hpp"
+#include "dcnas/plan/compiler.hpp"
 
 namespace dcnas::serve {
 
-ModelRegistry::ModelRegistry(std::size_t capacity) : capacity_(capacity) {}
+ModelRegistry::ModelRegistry(std::size_t capacity, bool compile_plans)
+    : capacity_(capacity), compile_plans_(compile_plans) {}
 
 int ModelRegistry::register_model(const std::string& name,
                                   graph::GraphExecutor exec) {
@@ -17,10 +21,27 @@ int ModelRegistry::register_model(const std::string& name,
   analysis::verify_or_throw(exec.graph(),
                             "ModelRegistry refuses model '" + name + "'");
   auto shared = std::make_shared<const graph::GraphExecutor>(std::move(exec));
+
+  // Compile the plan from exactly this executor's weights *outside* the
+  // lock (compilation copies every weight tensor), then install both in one
+  // critical section: no interleaving can pair this executor with another
+  // version's plan, and serving is never blocked on compilation.
+  std::shared_ptr<const plan::PlanExecutor> compiled;
+  if (compile_plans_) {
+    obs::Span span("serve", "serve.registry.plan_compile");
+    if (span.armed()) span.arg("model", name);
+    static obs::Counter& compiles = obs::MetricsRegistry::global().counter(
+        "serve.registry.plan_compile.count");
+    compiled = std::make_shared<const plan::PlanExecutor>(
+        plan::compile_plan(*shared));
+    compiles.add(1);
+  }
+
   std::lock_guard<std::mutex> lock(mu_);
   const int version = ++versions_[name];
   Entry& e = entries_[name];
   e.exec = std::move(shared);
+  e.plan = std::move(compiled);
   e.version = version;
   e.last_used = ++tick_;
   if (capacity_ > 0 && entries_.size() > capacity_) evict_lru_locked(name);
@@ -38,6 +59,18 @@ std::shared_ptr<const graph::GraphExecutor> ModelRegistry::get(
   DCNAS_CHECK(it != entries_.end(), "model not registered: " + name);
   it->second.last_used = ++tick_;
   return it->second.exec;
+}
+
+ModelSnapshot ModelRegistry::snapshot(const std::string& name) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  const auto it = entries_.find(name);
+  DCNAS_CHECK(it != entries_.end(), "model not registered: " + name);
+  it->second.last_used = ++tick_;
+  ModelSnapshot snap;
+  snap.exec = it->second.exec;
+  snap.plan = it->second.plan;
+  snap.version = it->second.version;
+  return snap;
 }
 
 bool ModelRegistry::contains(const std::string& name) const {
@@ -79,6 +112,8 @@ void ModelRegistry::evict_lru_locked(const std::string& keep) {
       victim = it;
     }
   }
+  // Erasing the Entry drops the executor and its derived plan together;
+  // in-flight holders of either keep them alive via shared ownership.
   if (victim != entries_.end()) entries_.erase(victim);
 }
 

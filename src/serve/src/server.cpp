@@ -54,11 +54,17 @@ void Server::handle_batch(Batch&& batch) {
   }
   std::vector<Tensor> rows;
   try {
-    const auto exec = registry_->get(batch.model);
+    // One locked read hands back a coherent {executor, plan, version}
+    // triple, so a concurrent hot-swap can never pair this batch with a
+    // stale plan.
+    const ModelSnapshot snap = registry_->snapshot(batch.model);
+    const bool via_plan = options_.use_plans && snap.plan != nullptr;
+    if (span.armed()) span.arg("path", via_plan ? "plan" : "graph");
     Tensor out;
     {
       ScopedTimer timer("serve/run_batch");
-      out = exec->run(batch.input);
+      out = via_plan ? snap.plan->run(batch.input)
+                     : snap.exec->run(batch.input);
     }
     DCNAS_ASSERT(out.ndim() >= 1 && out.dim(0) == n,
                  "batched output row count mismatch");

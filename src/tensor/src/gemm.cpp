@@ -184,8 +184,12 @@ void scale_c(std::int64_t m, std::int64_t n, float beta, float* c) {
 
 // Per-thread packing scratch. Workers reuse their buffers across calls;
 // nested gemm calls (e.g. inside a parallel conv loop) run inline on the
-// caller's thread, so a single pair per thread suffices.
+// caller's thread, so a single pair per thread suffices. The B panel is
+// owned by the driver's calling thread (workers only write through its
+// pointer), so it is per-thread scratch too — keeping it thread_local
+// removes the last per-call heap allocation from the inference hot path.
 thread_local std::vector<float> t_pack_a;
+thread_local std::vector<float> t_pack_b;
 
 /// Shared driver: packs B once per K-block (parallel over slivers), then
 /// sweeps M-blocks in parallel; each worker packs its own A block and runs
@@ -196,7 +200,10 @@ template <typename PackA, typename PackB>
 void gemm_driver(std::int64_t m, std::int64_t n, std::int64_t k, float alpha,
                  const PackA& pack_a, const PackB& pack_b, float* c) {
   const std::int64_t n_round = round_up(n, kNr);
-  std::vector<float> bp(static_cast<std::size_t>(kKc * n_round));
+  if (t_pack_b.size() < static_cast<std::size_t>(kKc * n_round)) {
+    t_pack_b.resize(static_cast<std::size_t>(kKc * n_round));
+  }
+  std::vector<float>& bp = t_pack_b;
   const std::int64_t m_blocks = (m + kMc - 1) / kMc;
   for (std::int64_t pc = 0; pc < k; pc += kKc) {
     const std::int64_t kc = std::min(kKc, k - pc);

@@ -1,0 +1,113 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <vector>
+
+#include "dcnas/graph/builder.hpp"
+#include "dcnas/plan/compiler.hpp"
+
+namespace dcnas::plan {
+namespace {
+
+CompiledPlan small_resnet_plan(bool fuse = true) {
+  nn::ResNetConfig cfg = nn::ResNetConfig::baseline(5);
+  cfg.init_width = 32;
+  cfg.conv1_kernel = 3;
+  cfg.conv1_padding = 1;
+  Rng rng(17);
+  nn::ConfigurableResNet model(cfg, rng);
+  for (int i = 0; i < 2; ++i) {
+    const Tensor x = Tensor::rand_uniform({2, 5, 24, 24}, rng, -1.0f, 2.0f);
+    model.forward(x);
+  }
+  model.set_training(false);
+  graph::ModelGraph graph = graph::build_resnet_graph(cfg, 24);
+  graph::GraphExecutor exec(graph, model);
+  CompileOptions opts;
+  opts.fuse = fuse;
+  return compile_plan(exec, opts);
+}
+
+TEST(PlanArenaTest, LiveSlotsNeverOverlap) {
+  const CompiledPlan plan = small_resnet_plan();
+  // check_arena() is the compiler's own post-condition; re-assert the
+  // pairwise property directly so a future check_arena regression cannot
+  // mask an overlapping assignment.
+  for (std::size_t i = 0; i < plan.slots.size(); ++i) {
+    for (std::size_t j = i + 1; j < plan.slots.size(); ++j) {
+      const ArenaSlot& a = plan.slots[i];
+      const ArenaSlot& b = plan.slots[j];
+      const bool live_overlap = a.def <= b.last_use && b.def <= a.last_use;
+      const bool mem_overlap =
+          a.offset < b.offset + b.size && b.offset < a.offset + a.size;
+      if (live_overlap) {
+        EXPECT_FALSE(mem_overlap)
+            << "slots " << i << " and " << j << " are live together at "
+            << "overlapping offsets";
+      }
+    }
+  }
+}
+
+TEST(PlanArenaTest, ArenaIsSmallerThanSumOfSlots) {
+  const CompiledPlan plan = small_resnet_plan();
+  // The point of liveness analysis: non-overlapping lifetimes share
+  // memory, so the arena is strictly smaller than naive per-slot buffers.
+  EXPECT_LT(plan.arena_size, plan.total_slot_size());
+  // And it must still fit the largest single slot.
+  std::int64_t largest = 0;
+  for (const ArenaSlot& s : plan.slots) largest = std::max(largest, s.size);
+  EXPECT_GE(plan.arena_size, largest);
+}
+
+TEST(PlanArenaTest, SlotSizesMatchStepOutputShapes) {
+  const CompiledPlan plan = small_resnet_plan();
+  for (const PlanStep& s : plan.steps) {
+    const ArenaSlot& slot = plan.slots[static_cast<std::size_t>(s.out)];
+    EXPECT_EQ(slot.size, s.out_shape.numel()) << s.name;
+  }
+}
+
+TEST(PlanArenaTest, ArenaBytesScaleLinearlyWithBatch) {
+  const CompiledPlan plan = small_resnet_plan();
+  const std::size_t one = plan.arena_bytes(1);
+  EXPECT_EQ(plan.arena_bytes(8), one * 8);
+  EXPECT_EQ(plan.arena_bytes(32), one * 32);
+}
+
+TEST(PlanArenaTest, OutputSlotLivesToTheEnd) {
+  const CompiledPlan plan = small_resnet_plan();
+  const ArenaSlot& out = plan.slots[static_cast<std::size_t>(plan.output_slot)];
+  EXPECT_EQ(out.last_use, static_cast<int>(plan.steps.size()));
+}
+
+TEST(PlanArenaTest, UnfusedPlanArenaAlsoVerifies) {
+  const CompiledPlan plan = small_resnet_plan(/*fuse=*/false);
+  EXPECT_NO_THROW(plan.check_arena());
+  EXPECT_LT(plan.arena_size, plan.total_slot_size());
+}
+
+TEST(PlanArenaTest, CheckArenaRejectsCorruptedOffsets) {
+  CompiledPlan plan = small_resnet_plan();
+  ASSERT_GE(plan.slots.size(), 2u);
+  // Force two concurrently-live slots onto the same offset.
+  const ArenaSlot& first = plan.slots[0];
+  for (std::size_t j = 1; j < plan.slots.size(); ++j) {
+    ArenaSlot& other = plan.slots[j];
+    if (first.def <= other.last_use && other.def <= first.last_use) {
+      other.offset = first.offset;
+      EXPECT_THROW(plan.check_arena(), InternalError);
+      return;
+    }
+  }
+  FAIL() << "expected at least one pair of concurrently-live slots";
+}
+
+TEST(PlanArenaTest, CheckArenaRejectsOutOfBoundsSlot) {
+  CompiledPlan plan = small_resnet_plan();
+  plan.slots.back().offset = plan.arena_size;
+  EXPECT_THROW(plan.check_arena(), InternalError);
+}
+
+}  // namespace
+}  // namespace dcnas::plan

@@ -30,10 +30,12 @@ ServerOptions options(std::size_t workers, std::int64_t max_batch, ms delay,
 }
 
 // Acceptance (a): N threads x M requests through the server produce
-// bit-identical outputs to direct GraphExecutor::run on the same inputs.
+// bit-identical outputs to a direct run of the executor the server serves
+// from — the compiled plan by default (the op-by-op GraphExecutor when
+// ServerOptions::use_plans is off).
 TEST(ServerTest, ConcurrentRequestsMatchDirectExecutionBitExactly) {
   auto registry = make_registry();
-  const auto exec = registry->get("m");
+  const ModelSnapshot snap = registry->snapshot("m");
 
   constexpr int kThreads = 4;
   constexpr int kPerThread = 8;
@@ -43,7 +45,7 @@ TEST(ServerTest, ConcurrentRequestsMatchDirectExecutionBitExactly) {
   std::vector<Tensor> expected;
   for (int i = 0; i < kTotal; ++i) {
     inputs.push_back(testing::make_image(rng));
-    expected.push_back(exec->run(inputs.back()));
+    expected.push_back(snap.plan->run(inputs.back()));
   }
 
   Server server(registry, options(4, 8, ms(2)));
@@ -72,6 +74,27 @@ TEST(ServerTest, ConcurrentRequestsMatchDirectExecutionBitExactly) {
   EXPECT_EQ(server.metrics().error_count("m"), 0);
 }
 
+// The op-by-op fallback keeps the same contract: with use_plans off,
+// served outputs are bit-identical to direct GraphExecutor::run.
+TEST(ServerTest, GraphPathMatchesDirectExecutionBitExactly) {
+  auto registry = make_registry();
+  const auto exec = registry->get("m");
+  ServerOptions o = options(2, 4, ms(2));
+  o.use_plans = false;
+  Server server(registry, o);
+
+  Rng rng(321);
+  for (int i = 0; i < 8; ++i) {
+    const Tensor input = testing::make_image(rng);
+    const Tensor want = exec->run(input);
+    const Tensor got = server.submit("m", input).get();
+    ASSERT_TRUE(got.same_shape(want)) << "request " << i;
+    for (std::int64_t j = 0; j < want.numel(); ++j) {
+      ASSERT_EQ(got[j], want[j]) << "request " << i << " element " << j;
+    }
+  }
+}
+
 TEST(ServerTest, UnknownModelSurfacesErrorOnFuture) {
   Server server(make_registry(), options(1, 1, ms(0)));
   Rng rng(5);
@@ -88,7 +111,7 @@ TEST(ServerTest, UnknownModelSurfacesErrorOnFuture) {
 // proves the drain path, not the timer, answered them.
 TEST(ServerTest, BackpressureThenGracefulDrainOnShutdown) {
   auto registry = make_registry();
-  const auto exec = registry->get("m");
+  const auto plan = registry->snapshot("m").plan;
   constexpr std::size_t kCapacity = 6;
   Server server(registry, options(2, 1024, ms(60000), kCapacity));
 
@@ -109,7 +132,7 @@ TEST(ServerTest, BackpressureThenGracefulDrainOnShutdown) {
 
   for (std::size_t i = 0; i < kCapacity; ++i) {
     const Tensor got = futures[i].get();
-    const Tensor want = exec->run(inputs[i]);
+    const Tensor want = plan->run(inputs[i]);
     for (std::int64_t j = 0; j < want.numel(); ++j) ASSERT_EQ(got[j], want[j]);
   }
   EXPECT_EQ(server.metrics().request_count("m"),
