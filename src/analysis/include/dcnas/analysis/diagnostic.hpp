@@ -50,6 +50,21 @@ inline constexpr const char* kFlops = "sem.flops";
 inline constexpr const char* kBnProducer = "sem.bn-producer";
 // resources
 inline constexpr const char* kActivationBytes = "res.activation-bytes";
+// compiled plans (analysis::PlanVerifier — plan_verifier.hpp). For plan
+// diagnostics, Diagnostic::node is the *step* index (-1 = plan-wide) and
+// node_name is the step name.
+inline constexpr const char* kPlanSlotBounds = "plan.slot-bounds";
+inline constexpr const char* kPlanLiveness = "plan.liveness";
+inline constexpr const char* kPlanAlias = "plan.alias";
+inline constexpr const char* kPlanDefBeforeUse = "plan.def-before-use";
+inline constexpr const char* kPlanProvenance = "plan.provenance";
+inline constexpr const char* kPlanStepOrder = "plan.step-order";
+inline constexpr const char* kPlanFusionIllegal = "plan.fusion-illegal";
+inline constexpr const char* kPlanWiring = "plan.wiring";
+inline constexpr const char* kPlanOutput = "plan.output";
+inline constexpr const char* kPlanShape = "plan.shape";
+inline constexpr const char* kPlanWeightShape = "plan.weight-shape";
+inline constexpr const char* kPlanFoldError = "plan.fold-error";
 }  // namespace rules
 
 }  // namespace dcnas::analysis

@@ -1,0 +1,88 @@
+#pragma once
+/// \file interval.hpp
+/// \brief Minimal outward-rounded interval arithmetic over float.
+///
+/// Used by the PlanVerifier's folding pass to replay the compiler's
+/// BatchNorm weight folding as *intervals that provably contain the exact
+/// real-valued result*: every endpoint is nudged one ulp outward after each
+/// operation, so rounding can never shrink an interval below the true
+/// value's range. A stored folded weight that falls outside the (slightly
+/// widened, see Interval::widened) interval cannot be explained by
+/// floating-point rounding — it is a corrupted or mis-folded value.
+///
+/// Only the operations the fold replay needs are provided: the divisor of
+/// div() must be strictly positive (folding divides by √(σ²+ε) > 0), and
+/// sqrt() requires a non-negative lower bound.
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "dcnas/common/error.hpp"
+
+namespace dcnas::analysis {
+
+struct Interval {
+  float lo = 0.0f;
+  float hi = 0.0f;
+
+  static Interval point(float v) { return {v, v}; }
+
+  bool contains(float v) const { return lo <= v && v <= hi; }
+
+  /// Half-width as an absolute magnitude (the documented fold-error bound).
+  float half_width() const { return (hi - lo) * 0.5f; }
+
+  /// Outward widening by a relative factor plus an absolute slack. The
+  /// interval endpoints bound the *exact* fold evaluated with outward
+  /// rounding; the compiler evaluates an algebraically equal but
+  /// differently associated expression (γ·(1/√(σ²+ε)) vs γ/√(σ²+ε)) in
+  /// round-to-nearest, so its result can land a few ulps outside the tight
+  /// interval. \p rel must cover that re-association error — a handful of
+  /// ulps — while staying orders of magnitude below any real corruption.
+  Interval widened(float rel, float abs) const {
+    return {lo - std::abs(lo) * rel - abs, hi + std::abs(hi) * rel + abs};
+  }
+};
+
+namespace detail {
+inline float down(float v) {
+  return std::nextafter(v, -std::numeric_limits<float>::infinity());
+}
+inline float up(float v) {
+  return std::nextafter(v, std::numeric_limits<float>::infinity());
+}
+}  // namespace detail
+
+inline Interval iadd(Interval a, Interval b) {
+  return {detail::down(a.lo + b.lo), detail::up(a.hi + b.hi)};
+}
+
+inline Interval isub(Interval a, Interval b) {
+  return {detail::down(a.lo - b.hi), detail::up(a.hi - b.lo)};
+}
+
+inline Interval imul(Interval a, Interval b) {
+  const float c[4] = {a.lo * b.lo, a.lo * b.hi, a.hi * b.lo, a.hi * b.hi};
+  const float lo = std::min(std::min(c[0], c[1]), std::min(c[2], c[3]));
+  const float hi = std::max(std::max(c[0], c[1]), std::max(c[2], c[3]));
+  return {detail::down(lo), detail::up(hi)};
+}
+
+/// Requires b.lo > 0 (the only divisions in BN folding are by √(σ²+ε)).
+inline Interval idiv(Interval a, Interval b) {
+  DCNAS_ASSERT(b.lo > 0.0f, "interval division requires a positive divisor");
+  const float c[4] = {a.lo / b.lo, a.lo / b.hi, a.hi / b.lo, a.hi / b.hi};
+  const float lo = std::min(std::min(c[0], c[1]), std::min(c[2], c[3]));
+  const float hi = std::max(std::max(c[0], c[1]), std::max(c[2], c[3]));
+  return {detail::down(lo), detail::up(hi)};
+}
+
+/// Requires a.lo >= 0.
+inline Interval isqrt(Interval a) {
+  DCNAS_ASSERT(a.lo >= 0.0f, "interval sqrt requires a non-negative bound");
+  return {std::max(0.0f, detail::down(std::sqrt(a.lo))),
+          detail::up(std::sqrt(a.hi))};
+}
+
+}  // namespace dcnas::analysis

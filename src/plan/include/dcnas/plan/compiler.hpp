@@ -49,4 +49,17 @@ class PlanCompiler {
 CompiledPlan compile_plan(const graph::GraphExecutor& exec,
                           CompileOptions options = {});
 
+/// Post-compile self-check hook. When installed, PlanCompiler::compile
+/// invokes it on every plan it emits (after its own check_arena()
+/// post-condition) so the analysis layer can re-verify the artifact without
+/// dcnas_plan linking against dcnas_plan_analysis (which would be a
+/// dependency cycle). The analysis library installs
+/// analysis::verify_plan_or_throw here via a static registrar in debug
+/// builds; tests may install it explicitly in release builds. Thread-safe;
+/// pass nullptr to uninstall.
+using PlanSelfCheck = void (*)(const CompiledPlan&,
+                               const graph::GraphExecutor&);
+void set_plan_self_check(PlanSelfCheck check);
+PlanSelfCheck plan_self_check();
+
 }  // namespace dcnas::plan

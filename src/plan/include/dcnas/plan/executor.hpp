@@ -18,9 +18,9 @@
 /// value-semantics copy-out and is not an arena allocation.
 
 #include <cstdint>
-#include <mutex>
 #include <vector>
 
+#include "dcnas/common/thread_annotations.hpp"
 #include "dcnas/plan/plan.hpp"
 #include "dcnas/tensor/tensor.hpp"
 
@@ -52,8 +52,8 @@ class PlanExecutor {
                 float* out, std::int64_t batch) const;
 
   CompiledPlan plan_;
-  mutable std::mutex pool_mu_;
-  mutable std::vector<std::vector<float>> pool_;
+  mutable Mutex pool_mu_;
+  mutable std::vector<std::vector<float>> pool_ GUARDED_BY(pool_mu_);
 };
 
 }  // namespace dcnas::plan

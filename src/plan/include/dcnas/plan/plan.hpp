@@ -36,6 +36,12 @@ struct PlanStep {
   graph::KernelKind kind = graph::KernelKind::kConv;
   std::string name;          ///< primary node's name (tracing/debugging)
   int node = -1;             ///< primary graph node index (provenance)
+  /// Full fusion provenance: every source node this step absorbed, in
+  /// execution order (nodes.front() == node). The PlanVerifier audits this
+  /// list against the source graph — a plan whose provenance does not
+  /// partition the graph into contiguous fusion-legal chains is refused at
+  /// the serving trust boundary.
+  std::vector<int> nodes;
   std::vector<int> args;     ///< input slot ids (kInputSlot = external input)
   int out = -1;              ///< output slot id
   graph::OpAttrs attrs;      ///< conv/pool geometry when applicable

@@ -1,5 +1,6 @@
 #include "dcnas/plan/compiler.hpp"
 
+#include <atomic>
 #include <cmath>
 #include <cstring>
 #include <map>
@@ -177,6 +178,7 @@ CompiledPlan PlanCompiler::compile(const graph::GraphExecutor& exec) const {
     step.kind = group.kind;
     step.name = group.name;
     step.node = primary;
+    step.nodes = group.nodes;
     step.attrs = group.attrs;
     step.in_shape = pn.in_shape;
     step.out_shape = group.out_shape;
@@ -270,6 +272,11 @@ CompiledPlan PlanCompiler::compile(const graph::GraphExecutor& exec) const {
 
   assign_arena(plan);
   plan.check_arena();
+  if (const PlanSelfCheck check = plan_self_check()) {
+    // Installed by dcnas_plan_analysis in debug builds (or explicitly by
+    // tests): re-verifies the emitted plan against its source.
+    check(plan, exec);
+  }
 
   compiles.add(1);
   if (span.armed()) {
@@ -282,6 +289,18 @@ CompiledPlan PlanCompiler::compile(const graph::GraphExecutor& exec) const {
 CompiledPlan compile_plan(const graph::GraphExecutor& exec,
                           CompileOptions options) {
   return PlanCompiler(options).compile(exec);
+}
+
+namespace {
+std::atomic<PlanSelfCheck> g_plan_self_check{nullptr};
+}  // namespace
+
+void set_plan_self_check(PlanSelfCheck check) {
+  g_plan_self_check.store(check, std::memory_order_release);
+}
+
+PlanSelfCheck plan_self_check() {
+  return g_plan_self_check.load(std::memory_order_acquire);
 }
 
 }  // namespace dcnas::plan

@@ -83,13 +83,13 @@ PlanExecutor::PlanExecutor(CompiledPlan plan) : plan_(std::move(plan)) {
 }
 
 std::size_t PlanExecutor::pooled_arenas() const {
-  std::lock_guard<std::mutex> lock(pool_mu_);
+  MutexLock lock(pool_mu_);
   return pool_.size();
 }
 
 std::vector<float> PlanExecutor::acquire_arena(std::size_t needed) const {
   {
-    std::lock_guard<std::mutex> lock(pool_mu_);
+    MutexLock lock(pool_mu_);
     for (std::size_t i = 0; i < pool_.size(); ++i) {
       if (pool_[i].capacity() < needed) continue;
       std::vector<float> buffer = std::move(pool_[i]);
@@ -104,7 +104,7 @@ std::vector<float> PlanExecutor::acquire_arena(std::size_t needed) const {
 }
 
 void PlanExecutor::release_arena(std::vector<float>&& buffer) const {
-  std::lock_guard<std::mutex> lock(pool_mu_);
+  MutexLock lock(pool_mu_);
   pool_.push_back(std::move(buffer));
 }
 

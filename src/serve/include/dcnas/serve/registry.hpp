@@ -22,10 +22,10 @@
 #include <cstdint>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <vector>
 
+#include "dcnas/common/thread_annotations.hpp"
 #include "dcnas/graph/model_file.hpp"
 #include "dcnas/plan/executor.hpp"
 
@@ -59,6 +59,17 @@ class ModelRegistry {
   /// is compiled *before* the swap and installed atomically with the
   /// executor, so serving never sees a half-updated model.
   int register_model(const std::string& name, graph::GraphExecutor exec);
+
+  /// Registers (or hot-swaps) \p name with a caller-supplied precompiled
+  /// plan instead of compiling one. This is the untrusted-artifact path: the
+  /// plan is statically verified against \p exec by the full
+  /// analysis::PlanVerifier pipeline *before* anything is installed — a
+  /// byte-patched plan (shifted arena offsets, forged fusion provenance,
+  /// reordered steps, perturbed folded weights) throws InvalidArgument
+  /// naming the violated rule ids and leaves the registry, including any
+  /// resident version of \p name, untouched.
+  int register_model(const std::string& name, graph::GraphExecutor exec,
+                     plan::CompiledPlan plan);
 
   /// Loads a DCNX file via graph::load_model and registers it.
   int load(const std::string& name, const std::string& path);
@@ -98,14 +109,19 @@ class ModelRegistry {
     std::uint64_t last_used = 0;
   };
 
-  void evict_lru_locked(const std::string& keep);
+  void evict_lru_locked(const std::string& keep) REQUIRES(mu_);
+  int install(const std::string& name,
+              std::shared_ptr<const graph::GraphExecutor> exec,
+              std::shared_ptr<const plan::PlanExecutor> plan);
 
-  mutable std::mutex mu_;
-  mutable std::uint64_t tick_ = 0;
+  mutable Mutex mu_;
+  mutable std::uint64_t tick_ GUARDED_BY(mu_) = 0;
   std::size_t capacity_;
   bool compile_plans_;
-  mutable std::map<std::string, Entry> entries_;  ///< mutable: get() bumps LRU
-  std::map<std::string, int> versions_;  ///< monotone, survives eviction
+  /// mutable: get() bumps LRU
+  mutable std::map<std::string, Entry> entries_ GUARDED_BY(mu_);
+  /// monotone, survives eviction
+  std::map<std::string, int> versions_ GUARDED_BY(mu_);
 };
 
 }  // namespace dcnas::serve

@@ -1,7 +1,9 @@
 #include "dcnas/serve/registry.hpp"
 
 #include <limits>
+#include <utility>
 
+#include "dcnas/analysis/plan_verifier.hpp"
 #include "dcnas/analysis/verifier.hpp"
 #include "dcnas/common/error.hpp"
 #include "dcnas/obs/metrics.hpp"
@@ -25,23 +27,59 @@ int ModelRegistry::register_model(const std::string& name,
   // Compile the plan from exactly this executor's weights *outside* the
   // lock (compilation copies every weight tensor), then install both in one
   // critical section: no interleaving can pair this executor with another
-  // version's plan, and serving is never blocked on compilation.
+  // version's plan, and serving is never blocked on compilation. Even a
+  // plan this registry compiled itself is re-verified before install —
+  // serving never runs a plan the PlanVerifier has not passed.
   std::shared_ptr<const plan::PlanExecutor> compiled;
   if (compile_plans_) {
     obs::Span span("serve", "serve.registry.plan_compile");
     if (span.armed()) span.arg("model", name);
     static obs::Counter& compiles = obs::MetricsRegistry::global().counter(
         "serve.registry.plan_compile.count");
-    compiled = std::make_shared<const plan::PlanExecutor>(
-        plan::compile_plan(*shared));
+    plan::CompiledPlan plan = plan::compile_plan(*shared);
+    analysis::verify_plan_or_throw(
+        plan, *shared, "ModelRegistry refuses plan for '" + name + "'");
+    compiled = std::make_shared<const plan::PlanExecutor>(std::move(plan));
     compiles.add(1);
   }
+  return install(name, std::move(shared), std::move(compiled));
+}
 
-  std::lock_guard<std::mutex> lock(mu_);
+int ModelRegistry::register_model(const std::string& name,
+                                  graph::GraphExecutor exec,
+                                  plan::CompiledPlan plan) {
+  DCNAS_CHECK(!name.empty(), "model name must be non-empty");
+  analysis::verify_or_throw(exec.graph(),
+                            "ModelRegistry refuses model '" + name + "'");
+  auto shared = std::make_shared<const graph::GraphExecutor>(std::move(exec));
+
+  // The untrusted-artifact trust boundary: statically verify the supplied
+  // plan against this executor before constructing anything that would run
+  // it (PlanExecutor's constructor already executes arena checks, so the
+  // verifier must come first to report structured rule ids instead).
+  static obs::Counter& rejects = obs::MetricsRegistry::global().counter(
+      "serve.registry.plan_reject.count");
+  try {
+    analysis::verify_plan_or_throw(
+        plan, *shared, "ModelRegistry refuses plan for '" + name + "'");
+  } catch (const InvalidArgument&) {
+    rejects.add(1);
+    throw;
+  }
+  auto compiled =
+      std::make_shared<const plan::PlanExecutor>(std::move(plan));
+  return install(name, std::move(shared), std::move(compiled));
+}
+
+int ModelRegistry::install(
+    const std::string& name,
+    std::shared_ptr<const graph::GraphExecutor> exec,
+    std::shared_ptr<const plan::PlanExecutor> plan) {
+  MutexLock lock(mu_);
   const int version = ++versions_[name];
   Entry& e = entries_[name];
-  e.exec = std::move(shared);
-  e.plan = std::move(compiled);
+  e.exec = std::move(exec);
+  e.plan = std::move(plan);
   e.version = version;
   e.last_used = ++tick_;
   if (capacity_ > 0 && entries_.size() > capacity_) evict_lru_locked(name);
@@ -54,7 +92,7 @@ int ModelRegistry::load(const std::string& name, const std::string& path) {
 
 std::shared_ptr<const graph::GraphExecutor> ModelRegistry::get(
     const std::string& name) const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   const auto it = entries_.find(name);
   DCNAS_CHECK(it != entries_.end(), "model not registered: " + name);
   it->second.last_used = ++tick_;
@@ -62,7 +100,7 @@ std::shared_ptr<const graph::GraphExecutor> ModelRegistry::get(
 }
 
 ModelSnapshot ModelRegistry::snapshot(const std::string& name) const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   const auto it = entries_.find(name);
   DCNAS_CHECK(it != entries_.end(), "model not registered: " + name);
   it->second.last_used = ++tick_;
@@ -74,23 +112,23 @@ ModelSnapshot ModelRegistry::snapshot(const std::string& name) const {
 }
 
 bool ModelRegistry::contains(const std::string& name) const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return entries_.count(name) > 0;
 }
 
 bool ModelRegistry::evict(const std::string& name) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return entries_.erase(name) > 0;
 }
 
 int ModelRegistry::version(const std::string& name) const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   const auto it = versions_.find(name);
   return it == versions_.end() ? 0 : it->second;
 }
 
 std::vector<std::string> ModelRegistry::names() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   std::vector<std::string> out;
   out.reserve(entries_.size());
   for (const auto& [name, _] : entries_) out.push_back(name);
@@ -98,7 +136,7 @@ std::vector<std::string> ModelRegistry::names() const {
 }
 
 std::size_t ModelRegistry::size() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return entries_.size();
 }
 

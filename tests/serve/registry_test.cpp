@@ -2,14 +2,18 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <atomic>
 #include <cstdio>
 #include <filesystem>
 #include <future>
 #include <thread>
+#include <utility>
 #include <vector>
 
+#include "dcnas/analysis/diagnostic.hpp"
 #include "dcnas/graph/model_file.hpp"
+#include "dcnas/plan/compiler.hpp"
 #include "dcnas/serve/server.hpp"
 #include "serve_test_util.hpp"
 
@@ -256,6 +260,85 @@ TEST(ModelRegistryTest, ConcurrentHotSwapNeverServesStalePlan) {
   EXPECT_EQ(stale_or_torn.load(), 0)
       << "some response matched neither registered version";
   EXPECT_GT(v1_seen.load() + v2_seen.load(), 0);
+}
+
+// --- plan trust boundary: the registry must refuse byte-patched plans ------
+
+/// Asserts that registering \p plan under a fresh name throws
+/// InvalidArgument whose message names \p rule, and that nothing was
+/// installed.
+void expect_plan_refused(plan::CompiledPlan plan, const char* rule) {
+  ModelRegistry registry;
+  try {
+    registry.register_model("patched", testing::make_executor(),
+                            std::move(plan));
+    FAIL() << "registry accepted a corrupted plan (" << rule << ")";
+  } catch (const InvalidArgument& e) {
+    EXPECT_NE(std::string(e.what()).find(rule), std::string::npos)
+        << e.what();
+  }
+  EXPECT_FALSE(registry.contains("patched"));
+  EXPECT_EQ(registry.version("patched"), 0);
+}
+
+TEST(ModelRegistryTest, AcceptsCallerSuppliedVerifiedPlan) {
+  const graph::GraphExecutor exec = testing::make_executor();
+  plan::CompiledPlan plan = plan::compile_plan(exec);
+  ModelRegistry registry;
+  EXPECT_EQ(registry.register_model("m", exec, std::move(plan)), 1);
+  const ModelSnapshot snap = registry.snapshot("m");
+  ASSERT_NE(snap.plan, nullptr);
+  Rng rng(11);
+  const Tensor x = testing::make_image(rng);
+  const Tensor want = snap.exec->run(x);
+  const Tensor got = snap.plan->run(x);
+  ASSERT_TRUE(want.same_shape(got));
+  for (std::int64_t i = 0; i < want.numel(); ++i) {
+    EXPECT_NEAR(want[i], got[i], 1e-4) << i;
+  }
+}
+
+TEST(ModelRegistryTest, RefusesPlanWithShiftedArenaOffsets) {
+  plan::CompiledPlan plan = plan::compile_plan(testing::make_executor());
+  // Shift a live slot onto its operand's offset: aliased at every batch.
+  plan.slots[static_cast<std::size_t>(plan.steps[1].out)].offset =
+      plan.slots[static_cast<std::size_t>(plan.steps[0].out)].offset;
+  expect_plan_refused(std::move(plan), analysis::rules::kPlanAlias);
+}
+
+TEST(ModelRegistryTest, RefusesPlanWithForgedFusionProvenance) {
+  plan::CompiledPlan plan = plan::compile_plan(testing::make_executor());
+  auto it = std::find_if(
+      plan.steps.begin(), plan.steps.end(),
+      [](const plan::PlanStep& s) { return s.nodes.size() > 1; });
+  ASSERT_NE(it, plan.steps.end());
+  it->nodes.pop_back();  // claim the fused chain is shorter than it is
+  expect_plan_refused(std::move(plan), analysis::rules::kPlanProvenance);
+}
+
+TEST(ModelRegistryTest, RefusesPlanWithReorderedSteps) {
+  plan::CompiledPlan plan = plan::compile_plan(testing::make_executor());
+  std::swap(plan.steps[0], plan.steps[1]);
+  expect_plan_refused(std::move(plan), analysis::rules::kPlanStepOrder);
+}
+
+TEST(ModelRegistryTest, RefusedHotSwapLeavesResidentVersionServing) {
+  const graph::GraphExecutor exec = testing::make_executor();
+  ModelRegistry registry;
+  registry.register_model("m", exec);
+  const ModelSnapshot before = registry.snapshot("m");
+
+  plan::CompiledPlan patched = plan::compile_plan(exec);
+  patched.slots[0].offset = patched.arena_size;  // slot beyond the arena
+  EXPECT_THROW(registry.register_model("m", exec, std::move(patched)),
+               InvalidArgument);
+
+  // The refused swap must not have bumped, evicted, or replaced anything.
+  EXPECT_EQ(registry.version("m"), 1);
+  const ModelSnapshot after = registry.snapshot("m");
+  EXPECT_EQ(after.version, before.version);
+  EXPECT_EQ(after.exec.get(), before.exec.get());
+  EXPECT_EQ(after.plan.get(), before.plan.get());
 }
 
 TEST(ModelRegistryTest, NamesAreSorted) {
