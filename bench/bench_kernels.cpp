@@ -19,6 +19,7 @@
 #include "dcnas/nn/batchnorm.hpp"
 #include "dcnas/nn/conv.hpp"
 #include "dcnas/tensor/gemm.hpp"
+#include "dcnas/tensor/gemm_s8.hpp"
 #include "dcnas/tensor/im2col.hpp"
 #include "dcnas/tensor/ops.hpp"
 
@@ -84,6 +85,30 @@ void BM_GemmSeed(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations() * 2 * n * n * n);  // FLOPs
 }
 BENCHMARK(BM_GemmSeed)
+    ->Arg(64)
+    ->Arg(128)
+    ->Arg(256)
+    ->Unit(benchmark::kMicrosecond);
+
+void BM_GemmS8(benchmark::State& state) {
+  const std::int64_t n = state.range(0);
+  Rng rng(1);
+  std::vector<std::int8_t> a(static_cast<std::size_t>(n * n));
+  std::vector<std::int8_t> b(static_cast<std::size_t>(n * n));
+  std::vector<float> scale(static_cast<std::size_t>(n), 0.01f);
+  std::vector<float> c(static_cast<std::size_t>(n * n));
+  for (auto& v : a) v = static_cast<std::int8_t>(rng.uniform_int(-127, 127));
+  for (auto& v : b) v = static_cast<std::int8_t>(rng.uniform_int(-127, 127));
+  QuantEpilogue epi;
+  epi.scale = scale.data();
+  for (auto _ : state) {
+    gemm_s8(n, n, n, a.data(), b.data(), epi, c.data());
+    benchmark::DoNotOptimize(c.data());
+  }
+  // int8 MAC counted like a FLOP so items_per_second compares with BM_Gemm.
+  state.SetItemsProcessed(state.iterations() * 2 * n * n * n);
+}
+BENCHMARK(BM_GemmS8)
     ->Arg(64)
     ->Arg(128)
     ->Arg(256)
@@ -223,6 +248,33 @@ double time_gemm_gflops(GemmFn fn, std::int64_t n) {
   return best;
 }
 
+double time_gemm_s8_gops(std::int64_t n) {
+  Rng rng(1);
+  std::vector<std::int8_t> a(static_cast<std::size_t>(n * n));
+  std::vector<std::int8_t> b(static_cast<std::size_t>(n * n));
+  std::vector<float> scale(static_cast<std::size_t>(n), 0.01f);
+  std::vector<float> c(static_cast<std::size_t>(n * n));
+  for (auto& v : a) v = static_cast<std::int8_t>(rng.uniform_int(-127, 127));
+  for (auto& v : b) v = static_cast<std::int8_t>(rng.uniform_int(-127, 127));
+  QuantEpilogue epi;
+  epi.scale = scale.data();
+  const double ops = 2.0 * static_cast<double>(n) * n * n;
+  gemm_s8(n, n, n, a.data(), b.data(), epi, c.data());  // warmup
+  const int iters = std::max(3, static_cast<int>(3.0e8 / ops));
+  double best = 0.0;
+  for (int rep = 0; rep < 3; ++rep) {
+    const auto t0 = std::chrono::steady_clock::now();
+    for (int it = 0; it < iters; ++it) {
+      gemm_s8(n, n, n, a.data(), b.data(), epi, c.data());
+    }
+    const auto t1 = std::chrono::steady_clock::now();
+    const double sec =
+        std::chrono::duration<double>(t1 - t0).count() / iters;
+    best = std::max(best, ops / sec / 1e9);
+  }
+  return best;
+}
+
 template <typename Fn>
 double time_us(Fn&& fn, int iters) {
   fn();  // warmup
@@ -259,6 +311,28 @@ void write_bench_kernels_json() {
                  first ? "" : ",\n", static_cast<long long>(n),
                  static_cast<long long>(n), static_cast<long long>(n), packed,
                  seed, packed / seed);
+    first = false;
+  }
+  std::fprintf(f, "\n  ],\n  \"gemm_s8\": [\n");
+  // Int8 vs fp32 at the same shapes, measured back-to-back in the same run
+  // so the speedup column is self-consistent (README's perf table and the
+  // kernels-bench CI gate read these numbers). An int8 MAC counts as one
+  // "op", so the ratio is a true wall-clock speedup.
+  first = true;
+  for (const std::int64_t n : shapes) {
+    const double int8_gops = time_gemm_s8_gops(n);
+    const double fp32 = time_gemm_gflops(&gemm, n);
+    std::printf("BM_GemmS8/%lld [%s]: int8 %.2f GOPS, fp32 %.2f GFLOP/s "
+                "(%.2fx)\n",
+                static_cast<long long>(n), gemm_s8_kernel_name(), int8_gops,
+                fp32, int8_gops / fp32);
+    std::fprintf(f,
+                 "%s    {\"shape\": \"%lldx%lldx%lld\", "
+                 "\"int8_gops\": %.3f, \"fp32_gflops\": %.3f, "
+                 "\"speedup\": %.3f, \"kernel\": \"%s\"}",
+                 first ? "" : ",\n", static_cast<long long>(n),
+                 static_cast<long long>(n), static_cast<long long>(n),
+                 int8_gops, fp32, int8_gops / fp32, gemm_s8_kernel_name());
     first = false;
   }
   std::fprintf(f, "\n  ],\n");

@@ -35,6 +35,16 @@
 ///                     outward-rounded interval arithmetic (interval.hpp)
 ///                     that bounds the legitimate compile-time rounding
 ///                     error — verbatim-copied weights must match bitwise.
+///   plan-quant      — kPlanQuant: int8 payload audit. fp32 steps must
+///                     carry no quantization payload; int8 conv steps must
+///                     carry per-channel int8 weights that *bitwise* match
+///                     a re-quantization of the step's retained fp32
+///                     (BN-folded) weights, requantization scales that
+///                     bitwise equal weight_scale[c]·in_scale, and a
+///                     finite positive activation scale. Composes with
+///                     plan-folding: folding verifies the fp32 reference
+///                     against the source, quant verifies the int8 payload
+///                     against the fp32 reference.
 ///
 /// Trust boundaries that run the standard pipeline (verify_plan_or_throw):
 ///   - serve::ModelRegistry — refuses to install or hot-swap a plan that
@@ -78,6 +88,7 @@ std::unique_ptr<PlanVerifyPass> make_plan_dataflow_pass();
 std::unique_ptr<PlanVerifyPass> make_plan_provenance_pass();
 std::unique_ptr<PlanVerifyPass> make_plan_wiring_pass();
 std::unique_ptr<PlanVerifyPass> make_plan_folding_pass();
+std::unique_ptr<PlanVerifyPass> make_plan_quant_pass();
 
 /// Runs an ordered list of plan passes and aggregates their diagnostics.
 class PlanVerifier {
@@ -91,7 +102,7 @@ class PlanVerifier {
   std::size_t pass_count() const { return passes_.size(); }
 
   /// The full standard pipeline: arena, dataflow, provenance, wiring,
-  /// folding.
+  /// folding, quant.
   static PlanVerifier standard();
 
  private:

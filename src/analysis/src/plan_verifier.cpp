@@ -1,6 +1,7 @@
 #include "dcnas/analysis/plan_verifier.hpp"
 
 #include <algorithm>
+#include <cmath>
 #include <cstddef>
 #include <limits>
 #include <set>
@@ -13,6 +14,7 @@
 #include "dcnas/obs/metrics.hpp"
 #include "dcnas/obs/trace.hpp"
 #include "dcnas/plan/compiler.hpp"
+#include "dcnas/quant/quantize.hpp"
 
 namespace dcnas::analysis {
 
@@ -986,6 +988,136 @@ class PlanFoldingPass : public PlanVerifyPass {
   }
 };
 
+// ---------------------------------------------------------------------------
+// plan-quant: int8 payload audit. The compiler keeps every quantized step's
+// fp32 (BN-folded) weights alongside the int8 payload precisely so this
+// pass can *re-run* the documented quantization scheme (quantize.hpp) and
+// demand bitwise agreement — no tolerance, because both sides execute the
+// identical deterministic absmax/scale/lrintf pipeline.
+
+class PlanQuantPass : public PlanVerifyPass {
+ public:
+  std::string name() const override { return "plan-quant"; }
+
+  void run(const CompiledPlan& plan, const GraphExecutor&,
+           std::vector<Diagnostic>& out) const override {
+    int int8_steps = 0;
+    for (std::size_t t = 0; t < plan.steps.size(); ++t) {
+      const PlanStep& step = plan.steps[t];
+      const int ti = static_cast<int>(t);
+      if (step.precision == graph::Precision::kFp32) {
+        if (!step.weight_q.empty() || !step.weight_scale.empty() ||
+            !step.requant_scale.empty() || step.in_scale != 0.0f) {
+          out.push_back(step_diag(rules::kPlanQuant, ti, plan,
+                                  "fp32 step carries a quantization "
+                                  "payload"));
+        }
+        continue;
+      }
+      ++int8_steps;
+      if (!is_conv_kind(step.kind)) {
+        out.push_back(step_diag(
+            rules::kPlanQuant, ti, plan,
+            std::string(graph::kernel_kind_name(step.kind)) +
+                " step is marked int8 but only conv kernels quantize"));
+        continue;
+      }
+      check_int8_conv(plan, ti, out);
+    }
+    if (plan.quantized_steps != int8_steps) {
+      out.push_back(step_diag(
+          rules::kPlanQuant, -1, plan,
+          "plan claims " + std::to_string(plan.quantized_steps) +
+              " quantized step(s) but carries " + std::to_string(int8_steps)));
+    }
+    if (plan.precision == graph::Precision::kFp32 && int8_steps > 0) {
+      out.push_back(step_diag(rules::kPlanQuant, -1, plan,
+                              "fp32 plan carries " +
+                                  std::to_string(int8_steps) +
+                                  " int8 step(s)"));
+    }
+  }
+
+ private:
+  static void check_int8_conv(const CompiledPlan& plan, int t,
+                              std::vector<Diagnostic>& out) {
+    const PlanStep& step = plan.steps[static_cast<std::size_t>(t)];
+    const std::int64_t oc = step.out_shape.c;
+    const std::int64_t numel = step.weight.numel();
+    if (oc <= 0 || numel <= 0 || numel % oc != 0) {
+      // The folding/wiring passes own weight-shape defects; without a
+      // consistent (oc, row) factorization the replay is undefined.
+      out.push_back(step_diag(rules::kPlanQuant, t, plan,
+                              "int8 step's fp32 reference weights do not "
+                              "factor into per-channel rows; cannot replay "
+                              "quantization"));
+      return;
+    }
+    if (step.weight_q.size() != static_cast<std::size_t>(numel) ||
+        step.weight_scale.size() != static_cast<std::size_t>(oc) ||
+        step.requant_scale.size() != static_cast<std::size_t>(oc)) {
+      out.push_back(step_diag(
+          rules::kPlanQuant, t, plan,
+          "int8 payload sizes (q=" + std::to_string(step.weight_q.size()) +
+              ", scale=" + std::to_string(step.weight_scale.size()) +
+              ", requant=" + std::to_string(step.requant_scale.size()) +
+              ") do not match " + std::to_string(oc) + " channels x " +
+              std::to_string(numel / oc) + " weights"));
+      return;
+    }
+    if (!(step.in_scale > 0.0f) || !std::isfinite(step.in_scale)) {
+      out.push_back(step_diag(
+          rules::kPlanQuant, t, plan,
+          "activation scale " + std::to_string(step.in_scale) +
+              " is not finite and positive"));
+      return;
+    }
+
+    // Replay the per-channel weight quantization bitwise.
+    const quant::QuantizedWeights replay =
+        quant::quantize_weights(step.weight.data(), oc, numel / oc);
+    std::int64_t first_q = -1, bad_q = 0;
+    for (std::int64_t j = 0; j < numel; ++j) {
+      if (replay.q[static_cast<std::size_t>(j)] !=
+          step.weight_q[static_cast<std::size_t>(j)]) {
+        if (first_q < 0) first_q = j;
+        ++bad_q;
+      }
+    }
+    if (bad_q > 0) {
+      std::ostringstream os;
+      os << "weight_q[" << first_q << "] = "
+         << static_cast<int>(step.weight_q[static_cast<std::size_t>(first_q)])
+         << " but re-quantizing the retained fp32 weights yields "
+         << static_cast<int>(replay.q[static_cast<std::size_t>(first_q)]);
+      if (bad_q > 1) os << " (and " << (bad_q - 1) << " more)";
+      out.push_back(step_diag(rules::kPlanQuant, t, plan, os.str()));
+    }
+    for (std::int64_t c = 0; c < oc; ++c) {
+      const std::size_t ci = static_cast<std::size_t>(c);
+      if (step.weight_scale[ci] != replay.scale[ci]) {
+        out.push_back(step_diag(
+            rules::kPlanQuant, t, plan,
+            "weight_scale[" + std::to_string(c) + "] = " +
+                std::to_string(step.weight_scale[ci]) +
+                " but the absmax replay yields " +
+                std::to_string(replay.scale[ci])));
+        return;  // requant composition below would cascade
+      }
+      const float want = step.weight_scale[ci] * step.in_scale;
+      if (step.requant_scale[ci] != want) {
+        out.push_back(step_diag(
+            rules::kPlanQuant, t, plan,
+            "requant_scale[" + std::to_string(c) + "] = " +
+                std::to_string(step.requant_scale[ci]) +
+                " is not bitwise weight_scale·in_scale = " +
+                std::to_string(want)));
+        return;
+      }
+    }
+  }
+};
+
 }  // namespace
 
 std::unique_ptr<PlanVerifyPass> make_plan_arena_pass() {
@@ -1002,6 +1134,9 @@ std::unique_ptr<PlanVerifyPass> make_plan_wiring_pass() {
 }
 std::unique_ptr<PlanVerifyPass> make_plan_folding_pass() {
   return std::make_unique<PlanFoldingPass>();
+}
+std::unique_ptr<PlanVerifyPass> make_plan_quant_pass() {
+  return std::make_unique<PlanQuantPass>();
 }
 
 PlanVerifier& PlanVerifier::add_pass(std::unique_ptr<PlanVerifyPass> pass) {
@@ -1043,7 +1178,8 @@ PlanVerifier PlanVerifier::standard() {
       .add_pass(make_plan_dataflow_pass())
       .add_pass(make_plan_provenance_pass())
       .add_pass(make_plan_wiring_pass())
-      .add_pass(make_plan_folding_pass());
+      .add_pass(make_plan_folding_pass())
+      .add_pass(make_plan_quant_pass());
   return v;
 }
 

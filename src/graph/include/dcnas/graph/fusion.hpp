@@ -43,6 +43,10 @@ struct FusedKernel {
   OpAttrs attrs;          ///< conv/pool geometry when applicable
   std::int64_t flops = 0;
   std::int64_t params = 0;
+  /// Weight precision (QUANTIZATION.md): int8 kernels store 1 byte per
+  /// weight plus one fp32 scale per output channel. Activations stream as
+  /// fp32 in both modes, so input/output traffic is unchanged.
+  Precision precision = Precision::kFp32;
 
   /// Graph nodes absorbed into this kernel, in execution order (the first
   /// is the primary op, the last produces the kernel's output). The plan
@@ -59,7 +63,10 @@ struct FusedKernel {
                : base;
   }
   std::int64_t output_bytes() const { return 4 * out_shape.numel(); }
-  std::int64_t weight_bytes() const { return 4 * params; }
+  std::int64_t weight_bytes() const {
+    return precision == Precision::kInt8 ? params + 4 * out_shape.c
+                                         : 4 * params;
+  }
   std::int64_t total_bytes() const {
     return input_bytes() + output_bytes() + weight_bytes();
   }
@@ -77,5 +84,10 @@ std::vector<FusedKernel> fuse_graph(const ModelGraph& graph);
 
 /// Sum of kernel FLOPs after fusion (BN folded away).
 std::int64_t fused_flops(const std::vector<FusedKernel>& kernels);
+
+/// Marks the conv-family kernels (the ones the quantized serving path
+/// actually runs in int8) with \p p; pools, adds, BN and the Linear head
+/// stay fp32, matching PlanCompiler's quantization scope.
+void set_kernels_precision(std::vector<FusedKernel>& kernels, Precision p);
 
 }  // namespace dcnas::graph

@@ -29,6 +29,16 @@ enum class OpKind {
 
 const char* op_kind_name(OpKind kind);
 
+/// Numeric precision of a kernel's weights (QUANTIZATION.md). Activations
+/// stay fp32 between kernels in either mode: the int8 path quantizes its
+/// input on the fly and requantizes to fp32 in the epilogue.
+enum class Precision {
+  kFp32,
+  kInt8,
+};
+
+const char* precision_name(Precision p);
+
 /// Activation shape excluding the batch dimension (C, H, W). Linear layers
 /// use (features, 1, 1).
 struct ActShape {

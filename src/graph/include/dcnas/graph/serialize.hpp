@@ -29,7 +29,14 @@ struct SizeBreakdown {
 
 SizeBreakdown serialized_size(const ModelGraph& graph);
 
+/// Precision-aware variant: with Precision::kInt8, conv weights count 1
+/// byte per scalar plus one fp32 scale per output channel (per-channel
+/// symmetric quantization, QUANTIZATION.md); BN statistics and the Linear
+/// head stay fp32. Precision::kFp32 matches the unqualified overload.
+SizeBreakdown serialized_size(const ModelGraph& graph, Precision precision);
+
 /// Shorthand used by the NAS pipeline.
 double model_memory_mb(const ModelGraph& graph);
+double model_memory_mb(const ModelGraph& graph, Precision precision);
 
 }  // namespace dcnas::graph

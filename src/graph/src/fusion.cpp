@@ -114,4 +114,19 @@ std::int64_t fused_flops(const std::vector<FusedKernel>& kernels) {
   return n;
 }
 
+void set_kernels_precision(std::vector<FusedKernel>& kernels, Precision p) {
+  for (auto& k : kernels) {
+    switch (k.kind) {
+      case KernelKind::kConv:
+      case KernelKind::kConvRelu:
+      case KernelKind::kConvBn:
+      case KernelKind::kConvBnRelu:
+        k.precision = p;
+        break;
+      default:
+        break;
+    }
+  }
+}
+
 }  // namespace dcnas::graph

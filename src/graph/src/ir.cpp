@@ -22,6 +22,14 @@ const char* op_kind_name(OpKind kind) {
   return "?";
 }
 
+const char* precision_name(Precision p) {
+  switch (p) {
+    case Precision::kFp32: return "fp32";
+    case Precision::kInt8: return "int8";
+  }
+  return "?";
+}
+
 std::string ActShape::to_string() const {
   std::ostringstream os;
   os << "(" << c << ", " << h << ", " << w << ")";

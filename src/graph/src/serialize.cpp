@@ -10,13 +10,24 @@ constexpr std::int64_t kPerInitializerBytes = 32;
 }  // namespace
 
 SizeBreakdown serialized_size(const ModelGraph& graph) {
+  return serialized_size(graph, Precision::kFp32);
+}
+
+SizeBreakdown serialized_size(const ModelGraph& graph, Precision precision) {
   SizeBreakdown s;
   s.header_bytes = kHeaderBytes;
   for (const auto& node : graph.nodes()) {
     s.structure_bytes +=
         kPerNodeBytes + static_cast<std::int64_t>(node.name.size());
     if (node.params > 0) {
-      s.initializer_bytes += 4 * node.params;
+      // Int8 files store conv weights as 1-byte initializers plus one fp32
+      // scale per output channel; every other initializer (BN statistics,
+      // the Linear head) stays fp32, matching the quantized plan's scope.
+      if (precision == Precision::kInt8 && node.kind == OpKind::kConv) {
+        s.initializer_bytes += node.params + 4 * node.out_shape.c;
+      } else {
+        s.initializer_bytes += 4 * node.params;
+      }
       s.structure_bytes += kPerInitializerBytes;
     }
   }
@@ -25,6 +36,10 @@ SizeBreakdown serialized_size(const ModelGraph& graph) {
 
 double model_memory_mb(const ModelGraph& graph) {
   return serialized_size(graph).total_mb();
+}
+
+double model_memory_mb(const ModelGraph& graph, Precision precision) {
+  return serialized_size(graph, precision).total_mb();
 }
 
 }  // namespace dcnas::graph

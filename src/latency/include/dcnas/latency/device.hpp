@@ -25,6 +25,12 @@ struct DeviceSpec {
   std::string framework;        ///< e.g. "TFLite v2.1"
   std::string processor;        ///< e.g. "CortexA76 CPU"
   double peak_gflops = 100.0;   ///< compute roof (fp32-equivalent)
+  /// Int8 compute roof in GOPS for quantized conv kernels (QUANTIZATION.md).
+  /// 0 means the runtime has no int8 fast path and quantized kernels run at
+  /// the fp32 roof. Real edge stacks land at 2-4x the fp32 figure: dot
+  /// product ISAs (SDOT/DP4A) process 4 int8 MACs per lane-cycle but the
+  /// requantization epilogue and fp32 activation traffic eat part of it.
+  double int8_peak_gops = 0.0;
   double mem_bw_gbps = 10.0;    ///< main-memory bandwidth roof
   double launch_overhead_ms = 0.05;  ///< fixed per-kernel dispatch cost
   double util_small = 0.3;      ///< utilization floor for tiny kernels

@@ -53,8 +53,16 @@ class LatencyPredictor {
   const std::map<graph::KernelKind, RandomForest>& forests() const {
     return forests_;
   }
+  /// Residual forests for int8 conv kernels. Empty when the device has no
+  /// int8 fast path (int8_peak_gops == 0) or the predictor predates the
+  /// precision axis (DCLP v1 files) — int8 kernels then fall back to the
+  /// fp32 forest of the same kind.
+  const std::map<graph::KernelKind, RandomForest>& int8_forests() const {
+    return int8_forests_;
+  }
   static LatencyPredictor from_forests(
-      DeviceSpec device, std::map<graph::KernelKind, RandomForest> forests);
+      DeviceSpec device, std::map<graph::KernelKind, RandomForest> forests,
+      std::map<graph::KernelKind, RandomForest> int8_forests = {});
 
   /// Spec-sheet roofline prior: flops over nominal throughput vs bytes over
   /// nominal bandwidth, plus dispatch overhead, at a fixed mid utilization.
@@ -67,6 +75,7 @@ class LatencyPredictor {
  private:
   DeviceSpec device_;
   std::map<graph::KernelKind, RandomForest> forests_;
+  std::map<graph::KernelKind, RandomForest> int8_forests_;
 };
 
 /// Prediction for one model across all four device predictors.

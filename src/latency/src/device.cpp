@@ -18,6 +18,7 @@ const std::vector<DeviceSpec>& edge_device_zoo() {
       d.framework = "TFLite v2.1";
       d.processor = "CortexA76 CPU";
       d.peak_gflops = 110.0;
+      d.int8_peak_gops = 330.0;  // SDOT: 4x MACs, ~25% epilogue overhead
       d.mem_bw_gbps = 16.0;
       d.launch_overhead_ms = 0.03;
       d.util_small = 0.45;
@@ -34,6 +35,7 @@ const std::vector<DeviceSpec>& edge_device_zoo() {
       d.framework = "TFLite v2.1";
       d.processor = "Adreno 640 GPU";
       d.peak_gflops = 200.0;
+      d.int8_peak_gops = 400.0;  // DP4A-class, GPU epilogue costs more
       d.mem_bw_gbps = 34.0;
       d.launch_overhead_ms = 0.07;
       d.util_small = 0.35;
@@ -50,6 +52,7 @@ const std::vector<DeviceSpec>& edge_device_zoo() {
       d.framework = "TFLite v2.1";
       d.processor = "Adreno 630 GPU";
       d.peak_gflops = 165.0;
+      d.int8_peak_gops = 330.0;
       d.mem_bw_gbps = 28.0;
       d.launch_overhead_ms = 0.075;
       d.util_small = 0.34;
@@ -66,6 +69,7 @@ const std::vector<DeviceSpec>& edge_device_zoo() {
       d.framework = "OpenVINO2019R2";
       d.processor = "Myriad VPU";
       d.peak_gflops = 55.0;
+      d.int8_peak_gops = 220.0;  // SHAVE cores are natively int8-first
       d.mem_bw_gbps = 6.5;
       d.launch_overhead_ms = 0.15;
       d.util_small = 0.45;

@@ -8,7 +8,10 @@ namespace dcnas::latency {
 namespace {
 
 constexpr char kMagic[4] = {'D', 'C', 'L', 'P'};
-constexpr std::uint32_t kVersion = 1;
+// v1: fp32-only. v2 adds DeviceSpec::int8_peak_gops and a second forest
+// block for int8 conv kernels; v1 files stay loadable (int8 fields default
+// to "no fast path" and int8 kernels fall back to the fp32 forests).
+constexpr std::uint32_t kVersion = 2;
 
 void put_u32(std::vector<unsigned char>& out, std::uint32_t v) {
   const auto* p = reinterpret_cast<const unsigned char*>(&v);
@@ -61,6 +64,7 @@ void put_device(std::vector<unsigned char>& out, const DeviceSpec& d) {
   put_str(out, d.framework);
   put_str(out, d.processor);
   put_f64(out, d.peak_gflops);
+  put_f64(out, d.int8_peak_gops);  // v2 field
   put_f64(out, d.mem_bw_gbps);
   put_f64(out, d.launch_overhead_ms);
   put_f64(out, d.util_small);
@@ -71,13 +75,14 @@ void put_device(std::vector<unsigned char>& out, const DeviceSpec& d) {
   put_i32(out, d.vpu_mode_switches ? 1 : 0);
 }
 
-DeviceSpec read_device(Cursor& c) {
+DeviceSpec read_device(Cursor& c, std::uint32_t version) {
   DeviceSpec d;
   d.name = c.str();
   d.device_label = c.str();
   d.framework = c.str();
   d.processor = c.str();
   d.peak_gflops = c.f64();
+  d.int8_peak_gops = version >= 2 ? c.f64() : 0.0;
   d.mem_bw_gbps = c.f64();
   d.launch_overhead_ms = c.f64();
   d.util_small = c.f64();
@@ -89,17 +94,10 @@ DeviceSpec read_device(Cursor& c) {
   return d;
 }
 
-}  // namespace
-
-std::vector<unsigned char> serialize_predictor(
-    const LatencyPredictor& predictor) {
-  DCNAS_CHECK(predictor.trained(), "cannot serialize an untrained predictor");
-  std::vector<unsigned char> out;
-  out.insert(out.end(), kMagic, kMagic + 4);
-  put_u32(out, kVersion);
-  put_device(out, predictor.device());
-  put_u32(out, static_cast<std::uint32_t>(predictor.forests().size()));
-  for (const auto& [kind, forest] : predictor.forests()) {
+void put_forests(std::vector<unsigned char>& out,
+                 const std::map<graph::KernelKind, RandomForest>& forests) {
+  put_u32(out, static_cast<std::uint32_t>(forests.size()));
+  for (const auto& [kind, forest] : forests) {
     put_i32(out, static_cast<std::int32_t>(kind));
     put_u32(out, static_cast<std::uint32_t>(forest.trees().size()));
     for (const auto& tree : forest.trees()) {
@@ -113,16 +111,9 @@ std::vector<unsigned char> serialize_predictor(
       }
     }
   }
-  return out;
 }
 
-LatencyPredictor parse_predictor(const std::vector<unsigned char>& bytes) {
-  DCNAS_CHECK(bytes.size() >= 8 && std::memcmp(bytes.data(), kMagic, 4) == 0,
-              "not a DCLP predictor file");
-  Cursor c(bytes);
-  c.u32();  // magic (validated)
-  DCNAS_CHECK(c.u32() == kVersion, "unsupported predictor file version");
-  DeviceSpec device = read_device(c);
+std::map<graph::KernelKind, RandomForest> read_forests(Cursor& c) {
   const std::uint32_t num_forests = c.u32();
   std::map<graph::KernelKind, RandomForest> forests;
   for (std::uint32_t f = 0; f < num_forests; ++f) {
@@ -154,8 +145,38 @@ LatencyPredictor parse_predictor(const std::vector<unsigned char>& bytes) {
             .second;
     DCNAS_CHECK(inserted, "duplicate kernel kind in predictor file");
   }
+  return forests;
+}
+
+}  // namespace
+
+std::vector<unsigned char> serialize_predictor(
+    const LatencyPredictor& predictor) {
+  DCNAS_CHECK(predictor.trained(), "cannot serialize an untrained predictor");
+  std::vector<unsigned char> out;
+  out.insert(out.end(), kMagic, kMagic + 4);
+  put_u32(out, kVersion);
+  put_device(out, predictor.device());
+  put_forests(out, predictor.forests());
+  put_forests(out, predictor.int8_forests());  // v2 block (may be empty)
+  return out;
+}
+
+LatencyPredictor parse_predictor(const std::vector<unsigned char>& bytes) {
+  DCNAS_CHECK(bytes.size() >= 8 && std::memcmp(bytes.data(), kMagic, 4) == 0,
+              "not a DCLP predictor file");
+  Cursor c(bytes);
+  c.u32();  // magic (validated)
+  const std::uint32_t version = c.u32();
+  DCNAS_CHECK(version == 1 || version == kVersion,
+              "unsupported predictor file version");
+  DeviceSpec device = read_device(c, version);
+  std::map<graph::KernelKind, RandomForest> forests = read_forests(c);
+  std::map<graph::KernelKind, RandomForest> int8_forests;
+  if (version >= 2) int8_forests = read_forests(c);
   DCNAS_CHECK(c.exhausted(), "trailing bytes in predictor file");
-  return LatencyPredictor::from_forests(std::move(device), std::move(forests));
+  return LatencyPredictor::from_forests(std::move(device), std::move(forests),
+                                        std::move(int8_forests));
 }
 
 std::int64_t save_predictor(const LatencyPredictor& predictor,

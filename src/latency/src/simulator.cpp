@@ -30,7 +30,23 @@ double lane_waste(const DeviceSpec& d, const FusedKernel& k) {
          static_cast<double>(c);
 }
 
+bool is_conv_kind(KernelKind kind) {
+  return kind == KernelKind::kConvBnRelu || kind == KernelKind::kConvBn ||
+         kind == KernelKind::kConvRelu || kind == KernelKind::kConv;
+}
+
+/// Whether this kernel runs on the device's int8 fast path: quantized conv
+/// family on a device whose runtime has one. Everything else (pools, adds,
+/// fp32 kernels, devices with int8_peak_gops == 0) takes the fp32 roof.
+bool int8_fast_path(const DeviceSpec& d, const FusedKernel& k) {
+  return k.precision == graph::Precision::kInt8 && is_conv_kind(k.kind) &&
+         d.int8_peak_gops > 0.0;
+}
+
 /// Deterministic measurement jitter keyed on (device, kernel signature).
+/// The key mixes in an extra term *only* on the int8 fast path, so every
+/// fp32 kernel's jitter — and therefore every existing fp32 latency — is
+/// bitwise unchanged by the precision axis.
 double jitter(const DeviceSpec& d, const FusedKernel& k) {
   std::uint64_t key = splitmix64(std::hash<std::string>{}(d.name));
   key = mix_seed(key, static_cast<std::uint64_t>(k.in_shape.c));
@@ -39,12 +55,8 @@ double jitter(const DeviceSpec& d, const FusedKernel& k) {
   key = mix_seed(key, static_cast<std::uint64_t>(k.attrs.kernel * 17 +
                                                  k.attrs.stride * 5 +
                                                  static_cast<int>(k.kind)));
+  if (int8_fast_path(d, k)) key = mix_seed(key, 0x71a58u);
   return 1.0 + d.jitter_amp * (2.0 * hash_unit(key) - 1.0);
-}
-
-bool is_conv_kind(KernelKind kind) {
-  return kind == KernelKind::kConvBnRelu || kind == KernelKind::kConvBn ||
-         kind == KernelKind::kConvRelu || kind == KernelKind::kConv;
 }
 
 /// Myriad-style compiler cliffs. Two of the triggers (large kernel at
@@ -69,8 +81,13 @@ namespace {
 /// Edge runtimes (TFLite, OpenVINO) lower 3x3 stride-1 convolutions to
 /// Winograd F(2x2, 3x3), cutting multiplies ~2.25x. This matters for the
 /// reproduction's latency scale: ResNet bodies are almost entirely 3x3 s1.
+/// Winograd does not survive quantization: the transform inflates the int8
+/// dynamic range past what 32-bit accumulators and per-channel scales can
+/// absorb, so edge runtimes run quantized 3x3 convs direct. Int8 kernels
+/// therefore keep factor 1.0 and earn their speedup from the int8 roof.
 double algorithmic_factor(const FusedKernel& k) {
-  if (is_conv_kind(k.kind) && k.attrs.kernel == 3 && k.attrs.stride == 1) {
+  if (is_conv_kind(k.kind) && k.attrs.kernel == 3 && k.attrs.stride == 1 &&
+      k.precision != graph::Precision::kInt8) {
     return 0.45;
   }
   return 1.0;
@@ -82,7 +99,9 @@ double simulate_kernel_ms(const DeviceSpec& device, const FusedKernel& k) {
                      algorithmic_factor(k);
   const double eff_flops = flops * lane_waste(device, k);
   const double util = utilization(device, flops);
-  const double compute_ms = eff_flops / (device.peak_gflops * 1e9 * util) * 1e3;
+  const double peak =
+      int8_fast_path(device, k) ? device.int8_peak_gops : device.peak_gflops;
+  const double compute_ms = eff_flops / (peak * 1e9 * util) * 1e3;
   const double bytes = static_cast<double>(k.total_bytes());
   const double memory_ms = bytes / (device.mem_bw_gbps * 1e9) * 1e3;
   double ms = std::max(compute_ms, memory_ms) + device.launch_overhead_ms;

@@ -28,6 +28,12 @@ struct Nsga2Options {
   double crossover_rate = 0.6;  ///< else the child is a mutated clone
   std::uint64_t seed = 1;
   bool search_input_combos = true;  ///< mutate channels/batch too
+  /// Search the serving-precision axis (QUANTIZATION.md): initial samples,
+  /// crossover, and mutation then also flip TrialConfig::precision, letting
+  /// the front trade the oracle's quantization drop against the int8
+  /// latency/memory wins. Off by default — the fp32-only search is the
+  /// paper's setting and stays bit-identical to before the axis existed.
+  bool search_precision = false;
   pareto::DominanceMode dominance = pareto::DominanceMode::kWeak;
   /// Hypervolume reference for the per-generation progress metric.
   pareto::Objectives reference{70.0, 500.0, 50.0};

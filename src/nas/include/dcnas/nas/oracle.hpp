@@ -38,8 +38,18 @@ class AccuracyOracle {
  public:
   explicit AccuracyOracle(const OracleOptions& options = {});
 
-  /// Expected (noise-free) accuracy in percent for a configuration.
+  /// Expected (noise-free) accuracy in percent for a configuration. For
+  /// int8 trials this is the fp32 twin's expectation minus
+  /// quantization_drop() — noise draws are shared with the twin (encode()
+  /// is precision-free), so the drop is the only difference.
   double expected_accuracy(const TrialConfig& config) const;
+
+  /// Deterministic accuracy cost of post-training int8 quantization, in
+  /// percent, for the architecture behind \p config. Zero for fp32 trials.
+  /// Drawn per-architecture from [0.15, 0.70] — inside QUANTIZATION.md's
+  /// <= 1% bound for per-channel symmetric weights + per-tensor activation
+  /// scales on over-parameterized binary classifiers.
+  double quantization_drop(const TrialConfig& config) const;
 
   /// Accuracy of one cross-validation fold (expected + trial + fold noise),
   /// clamped to [50, 99.5] percent.

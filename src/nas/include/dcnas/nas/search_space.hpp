@@ -38,8 +38,15 @@ struct TrialConfig {
   int kernel_size_pool = 3;         ///< {2, 3}; don't-care when no pool
   int stride_pool = 2;              ///< {1, 2}; don't-care when no pool
   int initial_output_feature = 64;  ///< {32, 48, 64}
+  /// Serving precision {0 = fp32, 1 = int8 post-training quantization}
+  /// (QUANTIZATION.md). Orthogonal to the architecture: an int8 trial and
+  /// its fp32 twin train the same network — only the compiled serving plan
+  /// differs. Off the paper's 1,728-point lattice; NSGA-II explores it when
+  /// Nsga2Options::search_precision is set.
+  int precision = 0;
 
   bool with_pool() const { return pool_choice == 0; }
+  bool int8() const { return precision == 1; }
 
   /// Stem downsampling factor: conv1 stride x (pool stride when pooled).
   int stem_downsample() const {
@@ -56,13 +63,18 @@ struct TrialConfig {
   void validate() const;
 
   /// Unique key of the *architecture* (pool don't-cares canonicalized,
-  /// batch excluded): lattice points sharing this key train the same net.
+  /// batch and precision excluded): lattice points sharing this key train
+  /// the same net.
   std::string canonical_arch_key() const;
 
-  /// Unique key of the lattice point itself (all fields).
+  /// Unique key of the lattice point itself (all fields; "_q8" suffix when
+  /// precision == int8, so quantized trials cache separately).
   std::string lattice_key() const;
 
   /// Deterministic 64-bit encoding of the lattice point (oracle noise key).
+  /// Deliberately precision-free: an int8 trial shares its fp32 twin's
+  /// training-noise draws, so the oracle's quantization drop is the *only*
+  /// accuracy difference between the twins.
   std::uint64_t encode() const;
 
   std::string to_string() const;
@@ -80,6 +92,7 @@ class SearchSpace {
   static const std::vector<int>& pool_kernel_options();
   static const std::vector<int>& pool_stride_options();
   static const std::vector<int>& width_options();
+  static const std::vector<int>& precision_options();  ///< {0, 1}
 
   /// The 288 architecture lattice points for one (channels, batch) combo.
   static std::vector<TrialConfig> enumerate_architectures(int channels,

@@ -3,6 +3,7 @@
 #include "dcnas/common/logging.hpp"
 #include "dcnas/common/profiler.hpp"
 #include "dcnas/common/strings.hpp"
+#include "dcnas/graph/fusion.hpp"
 #include "dcnas/graph/serialize.hpp"
 #include "dcnas/obs/trace.hpp"
 
@@ -33,7 +34,7 @@ const std::vector<std::string>& csv_header() {
       "latency_ms",   "lat_std",     "memory_mb",
       "kernel_size",  "stride",      "padding",
       "pool_choice",  "kernel_size_pool", "stride_pool",
-      "initial_output_feature", "fold_accuracies"};
+      "initial_output_feature", "precision", "fold_accuracies"};
   return header;
 }
 }  // namespace
@@ -55,7 +56,7 @@ CsvTable TrialDatabase::to_csv() const {
                    std::to_string(r.config.kernel_size_pool),
                    std::to_string(r.config.stride_pool),
                    std::to_string(r.config.initial_output_feature),
-                   join(folds, ";")});
+                   std::to_string(r.config.precision), join(folds, ";")});
   }
   return table;
 }
@@ -81,6 +82,11 @@ TrialDatabase TrialDatabase::from_csv(const CsvTable& table) {
     r.config.stride_pool = static_cast<int>(table.at_int(i, "stride_pool"));
     r.config.initial_output_feature =
         static_cast<int>(table.at_int(i, "initial_output_feature"));
+    // Optional column: journals written before the precision axis carry no
+    // "precision" and load as fp32.
+    r.config.precision = table.has_column("precision")
+                             ? static_cast<int>(table.at_int(i, "precision"))
+                             : 0;
     r.config.validate();
     r.accuracy = table.at_double(i, "accuracy");
     r.latency_ms = table.at_double(i, "latency_ms");
@@ -141,11 +147,18 @@ void Experiment::fill_hardware_objectives(TrialRecord& r) const {
   const ScopedTimer hw_timer("experiment.hardware_objectives");
   const graph::ModelGraph g = graph::build_resnet_graph(
       r.config.to_resnet_config(), options_.deployment_input_hw);
-  const auto latency = meter_.predict_graph(g);
+  // Int8 trials are metered on the quantized serving artifact: conv kernels
+  // marked int8 (predictors route them to the int8 forests / roof) and
+  // model size counted at 1 byte per conv weight + per-channel scales.
+  const graph::Precision p =
+      r.config.int8() ? graph::Precision::kInt8 : graph::Precision::kFp32;
+  auto kernels = graph::fuse_graph(g);
+  if (r.config.int8()) graph::set_kernels_precision(kernels, p);
+  const auto latency = meter_.predict_kernels(kernels);
   r.latency_ms = latency.mean_ms;
   r.lat_std = latency.std_ms;
   r.per_device_ms = latency.per_device_ms;
-  r.memory_mb = graph::model_memory_mb(g);
+  r.memory_mb = graph::model_memory_mb(g, p);
 }
 
 TrialDatabase Experiment::run_all(

@@ -65,14 +65,24 @@ TrialConfig Nsga2::crossover(const TrialConfig& a, const TrialConfig& b,
     if (rng.bernoulli(0.5)) child.channels = b.channels;
     if (rng.bernoulli(0.5)) child.batch = b.batch;
   }
+  if (options_.search_precision) {
+    if (rng.bernoulli(0.5)) child.precision = b.precision;
+  }
   child.validate();
   return child;
 }
 
 TrialConfig Nsga2::mutate(const TrialConfig& parent, Rng& rng) const {
   TrialConfig child = parent;
-  const std::int64_t dims = options_.search_input_combos ? 9 : 7;
-  switch (rng.uniform_int(0, dims - 1)) {
+  // Dimension indices: 0-6 architecture, 7-8 input combo, 9 precision.
+  // When input combos are fixed the draw skips 7-8 so precision keeps a
+  // stable index and the RNG stream matches the fp32-only search when
+  // search_precision is off.
+  const std::int64_t dims = (options_.search_input_combos ? 9 : 7) +
+                            (options_.search_precision ? 1 : 0);
+  std::int64_t dim = rng.uniform_int(0, dims - 1);
+  if (!options_.search_input_combos && dim >= 7) dim = 9;
+  switch (dim) {
     case 0:
       child.kernel_size =
           pick_different(SearchSpace::kernel_options(), parent.kernel_size, rng);
@@ -105,9 +115,13 @@ TrialConfig Nsga2::mutate(const TrialConfig& parent, Rng& rng) const {
       child.channels =
           pick_different(SearchSpace::channel_options(), parent.channels, rng);
       break;
-    default:
+    case 8:
       child.batch =
           pick_different(SearchSpace::batch_options(), parent.batch, rng);
+      break;
+    default:
+      child.precision = pick_different(SearchSpace::precision_options(),
+                                       parent.precision, rng);
       break;
   }
   child.validate();
@@ -200,7 +214,11 @@ Nsga2Result Nsga2::run() {
                           ? SearchSpace::batch_options()[static_cast<std::size_t>(
                                 rng.uniform_int(0, 2))]
                           : 16;
-    init_configs.push_back(SearchSpace::sample(rng, ch, batch));
+    TrialConfig cfg = SearchSpace::sample(rng, ch, batch);
+    if (options_.search_precision) {
+      cfg.precision = static_cast<int>(rng.uniform_int(0, 1));
+    }
+    init_configs.push_back(cfg);
   }
   prefetch(init_configs);
   std::vector<Individual> pop;

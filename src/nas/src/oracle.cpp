@@ -80,7 +80,18 @@ double AccuracyOracle::expected_accuracy(const TrialConfig& config) const {
     if (config.kernel_size == 7) acc -= 1.8;  // huge stem at full res
     if (config.channels == 5) acc -= 1.2;     // fewer cues to recover with
   }
-  return acc;
+  return acc - quantization_drop(config);
+}
+
+double AccuracyOracle::quantization_drop(const TrialConfig& config) const {
+  if (!config.int8()) return 0.0;
+  // Per-architecture, not per-fold: quantization is a deterministic
+  // post-training transform of the trained network, so the same net loses
+  // the same amount on every fold. Keyed on the precision-free encode() so
+  // the draw is stable under seed and shared by twin comparisons.
+  const std::uint64_t key =
+      mix_seed(options_.seed ^ 0x862e8ULL, config.encode());
+  return 0.15 + 0.55 * hash_unit(key);
 }
 
 double AccuracyOracle::fold_accuracy(const TrialConfig& config,

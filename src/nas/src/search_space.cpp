@@ -56,6 +56,8 @@ void TrialConfig::validate() const {
               "stride_pool outside search space");
   DCNAS_CHECK(contains(SearchSpace::width_options(), initial_output_feature),
               "initial_output_feature outside search space");
+  DCNAS_CHECK(contains(SearchSpace::precision_options(), precision),
+              "precision outside search space");
 }
 
 std::string TrialConfig::canonical_arch_key() const {
@@ -74,6 +76,9 @@ std::string TrialConfig::lattice_key() const {
   std::ostringstream os;
   os << canonical_arch_key() << "_b" << batch << "_pc" << pool_choice << "_pk"
      << kernel_size_pool << "_ps" << stride_pool;
+  // Suffix only when quantized: every pre-existing fp32 key is unchanged,
+  // so resume journals written before the precision axis stay valid.
+  if (int8()) os << "_q8";
   return os.str();
 }
 
@@ -91,7 +96,8 @@ std::string TrialConfig::to_string() const {
   os << "TrialConfig{ch=" << channels << ", b=" << batch
      << ", k=" << kernel_size << ", s=" << stride << ", p=" << padding
      << ", pool_choice=" << pool_choice << " (k=" << kernel_size_pool
-     << ", s=" << stride_pool << "), w=" << initial_output_feature << "}";
+     << ", s=" << stride_pool << "), w=" << initial_output_feature
+     << (int8() ? ", int8" : "") << "}";
   return os.str();
 }
 
@@ -129,6 +135,10 @@ const std::vector<int>& SearchSpace::pool_stride_options() {
 }
 const std::vector<int>& SearchSpace::width_options() {
   static const std::vector<int> v = {32, 48, 64};
+  return v;
+}
+const std::vector<int>& SearchSpace::precision_options() {
+  static const std::vector<int> v = {0, 1};
   return v;
 }
 

@@ -30,6 +30,18 @@ struct CompileOptions {
   /// The unfused plan is the differential-testing baseline that isolates
   /// arena bugs from fusion bugs; production plans keep the default.
   bool fuse = true;
+
+  /// kInt8 quantizes every conv-family step post-compile: weights per
+  /// output channel (after BN folding, so requantization composes with the
+  /// fold), activations per tensor with scales calibrated by running the
+  /// fp32 plan over `calibration`. Pools, adds, BN and the Linear head stay
+  /// fp32. See QUANTIZATION.md.
+  graph::Precision precision = graph::Precision::kFp32;
+
+  /// NCHW calibration batch, required (non-null, matching the model's
+  /// input shape) when precision == kInt8; ignored otherwise. Borrowed for
+  /// the duration of compile() only.
+  const Tensor* calibration = nullptr;
 };
 
 class PlanCompiler {

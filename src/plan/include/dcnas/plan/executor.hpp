@@ -18,6 +18,7 @@
 /// value-semantics copy-out and is not an arena allocation.
 
 #include <cstdint>
+#include <functional>
 #include <vector>
 
 #include "dcnas/common/thread_annotations.hpp"
@@ -40,6 +41,17 @@ class PlanExecutor {
   /// private arena.
   Tensor run(const Tensor& input) const;
 
+  /// Calibration hook: receives every step's freshly written output buffer
+  /// (batch · out_numel floats) before the next step executes. Not a hot
+  /// path — PlanCompiler uses it to collect per-activation absmax ranges
+  /// for int8 quantization.
+  using StepObserver =
+      std::function<void(const PlanStep&, const float*, std::int64_t)>;
+
+  /// run() variant that invokes \p observer after each step. Same
+  /// thread-safety and pooling behavior as run().
+  Tensor run(const Tensor& input, const StepObserver& observer) const;
+
   const CompiledPlan& plan() const { return plan_; }
 
   /// Arena buffers currently parked in the pool (test introspection).
@@ -50,6 +62,8 @@ class PlanExecutor {
   void release_arena(std::vector<float>&& buffer) const;
   void run_step(const PlanStep& step, const float* in0, const float* in1,
                 float* out, std::int64_t batch) const;
+  void run_conv_s8(const PlanStep& step, const float* in0, float* out,
+                   std::int64_t batch) const;
 
   CompiledPlan plan_;
   mutable Mutex pool_mu_;

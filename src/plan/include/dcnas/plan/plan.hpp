@@ -56,6 +56,16 @@ struct PlanStep {
   /// Standalone BatchNorm steps (fusion refused by the legality rules) are
   /// precomputed to per-channel scale/shift: y = x·scale[c] + shift[c].
   Tensor bn_scale, bn_shift;
+
+  /// Post-training int8 payload (QUANTIZATION.md), populated only on
+  /// conv-family steps of plans compiled with CompileOptions::precision ==
+  /// kInt8. `weight` keeps the BN-folded fp32 reference so PlanVerifier can
+  /// re-derive the whole payload bitwise ("plan.quant").
+  graph::Precision precision = graph::Precision::kFp32;
+  std::vector<std::int8_t> weight_q;  ///< quantized weights, weight.numel()
+  std::vector<float> weight_scale;    ///< per-out-channel scales, size OC
+  std::vector<float> requant_scale;   ///< weight_scale[oc] · in_scale
+  float in_scale = 0.0f;              ///< calibrated per-tensor input scale
 };
 
 /// Arena placement and liveness of one intermediate activation.
@@ -76,6 +86,11 @@ struct CompiledPlan {
   graph::ActShape output_shape;
   int folded_batchnorms = 0;        ///< BN nodes baked into conv weights
   int graph_nodes = 0;              ///< node count of the source graph
+  /// kInt8 when the plan was compiled with a quantized conv path; the
+  /// verifier insists a fp32 plan carries no quantized steps and that
+  /// quantized_steps matches the steps' payloads.
+  graph::Precision precision = graph::Precision::kFp32;
+  int quantized_steps = 0;          ///< conv steps carrying int8 payloads
 
   /// Bytes one arena instance needs for the given batch size (fp32).
   std::int64_t arena_bytes(std::int64_t batch) const {

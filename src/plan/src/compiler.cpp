@@ -12,6 +12,8 @@
 #include "dcnas/common/error.hpp"
 #include "dcnas/obs/metrics.hpp"
 #include "dcnas/obs/trace.hpp"
+#include "dcnas/plan/executor.hpp"
+#include "dcnas/quant/quantize.hpp"
 
 namespace dcnas::plan {
 
@@ -130,6 +132,65 @@ void assign_arena(CompiledPlan& plan) {
     out.offset = acquire(out.size);
   }
   plan.arena_size = top;
+}
+
+/// Post-compile int8 quantization (QUANTIZATION.md): calibrate activation
+/// ranges by replaying the still-fp32 plan over the calibration batch, then
+/// quantize every conv-family step's BN-folded weights per output channel
+/// and attach the fused requantization scales. Slot ids are 1:1 with steps
+/// (each step allocates a fresh slot), so a conv input's calibrated range
+/// is simply its producer slot's observed absmax.
+void quantize_plan(CompiledPlan& plan, const Tensor* calibration) {
+  obs::Span span("quant", "quant.calibrate");
+  static obs::Counter& quantized_steps =
+      obs::MetricsRegistry::global().counter("plan.quant.steps.count");
+  DCNAS_CHECK(calibration != nullptr,
+              "int8 compilation requires a calibration batch");
+  DCNAS_CHECK(calibration->ndim() == 4 && calibration->dim(0) >= 1 &&
+                  calibration->dim(1) == plan.input_shape.c &&
+                  calibration->dim(2) == plan.input_shape.h &&
+                  calibration->dim(3) == plan.input_shape.w,
+              "calibration batch shape does not match the model input");
+
+  std::vector<float> slot_absmax(plan.steps.size(), 0.0f);
+  const float input_absmax =
+      quant::absmax(calibration->data(), calibration->numel());
+  {
+    PlanExecutor calib(plan);  // copies the fp32 plan; runs it once
+    calib.run(*calibration,
+              [&](const PlanStep& s, const float* data, std::int64_t n) {
+                slot_absmax[static_cast<std::size_t>(s.out)] =
+                    quant::absmax(data, n);
+              });
+  }
+
+  for (PlanStep& step : plan.steps) {
+    if (!is_conv_kind(step.kind)) continue;
+    const std::int64_t oc = step.out_shape.c;
+    const std::int64_t row = step.weight.numel() / oc;
+    quant::QuantizedWeights qw =
+        quant::quantize_weights(step.weight.data(), oc, row);
+    const float in_absmax =
+        step.args[0] == kInputSlot
+            ? input_absmax
+            : slot_absmax[static_cast<std::size_t>(step.args[0])];
+    step.in_scale = quant::scale_for_absmax(in_absmax);
+    step.weight_q = std::move(qw.q);
+    step.weight_scale = std::move(qw.scale);
+    step.requant_scale.resize(static_cast<std::size_t>(oc));
+    for (std::int64_t c = 0; c < oc; ++c) {
+      step.requant_scale[static_cast<std::size_t>(c)] =
+          step.weight_scale[static_cast<std::size_t>(c)] * step.in_scale;
+    }
+    step.precision = graph::Precision::kInt8;
+    ++plan.quantized_steps;
+  }
+  plan.precision = graph::Precision::kInt8;
+  quantized_steps.add(plan.quantized_steps);
+  if (span.armed()) {
+    span.arg("steps", static_cast<std::int64_t>(plan.quantized_steps));
+    span.arg("calib_rows", calibration->dim(0));
+  }
 }
 
 }  // namespace
@@ -272,6 +333,9 @@ CompiledPlan PlanCompiler::compile(const graph::GraphExecutor& exec) const {
 
   assign_arena(plan);
   plan.check_arena();
+  if (options_.precision == graph::Precision::kInt8) {
+    quantize_plan(plan, options_.calibration);
+  }
   if (const PlanSelfCheck check = plan_self_check()) {
     // Installed by dcnas_plan_analysis in debug builds (or explicitly by
     // tests): re-verifies the emitted plan against its source.

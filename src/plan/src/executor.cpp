@@ -9,7 +9,9 @@
 #include "dcnas/common/thread_pool.hpp"
 #include "dcnas/obs/metrics.hpp"
 #include "dcnas/obs/trace.hpp"
+#include "dcnas/quant/quantize.hpp"
 #include "dcnas/tensor/gemm.hpp"
+#include "dcnas/tensor/gemm_s8.hpp"
 
 namespace dcnas::plan {
 
@@ -118,6 +120,10 @@ void PlanExecutor::run_step(const PlanStep& step, const float* in0,
     case KernelKind::kConvRelu:
     case KernelKind::kConvBn:
     case KernelKind::kConvBnRelu: {
+      if (step.precision == graph::Precision::kInt8) {
+        run_conv_s8(step, in0, out, batch);
+        return;
+      }
       Im2colSpec spec;
       spec.channels = step.in_shape.c;
       spec.height = step.in_shape.h;
@@ -203,7 +209,45 @@ void PlanExecutor::run_step(const PlanStep& step, const float* in0,
   throw InternalError("unhandled kernel kind in plan executor");
 }
 
+void PlanExecutor::run_conv_s8(const PlanStep& step, const float* in0,
+                               float* out, std::int64_t batch) const {
+  // Quantized conv: the input activations are quantized on the fly with the
+  // calibrated per-tensor scale, the int8 GEMM accumulates exactly in
+  // int32, and the fused epilogue requantizes straight to fp32 with the
+  // per-channel scales (bias and ReLU folded in).
+  thread_local std::vector<std::int8_t> t_q_in;
+  const std::int64_t in_numel = step.in_shape.numel();
+  const std::int64_t out_numel = step.out_shape.numel();
+  if (t_q_in.size() < static_cast<std::size_t>(in_numel)) {
+    t_q_in.resize(static_cast<std::size_t>(in_numel));
+  }
+  Im2colSpec spec;
+  spec.channels = step.in_shape.c;
+  spec.height = step.in_shape.h;
+  spec.width = step.in_shape.w;
+  spec.kernel = step.attrs.kernel;
+  spec.stride = step.attrs.stride;
+  spec.padding = step.attrs.padding;
+  QuantEpilogue epi;
+  epi.scale = step.requant_scale.data();
+  epi.bias = step.bias ? step.bias->data() : nullptr;
+  epi.relu = step.kind == KernelKind::kConvRelu ||
+             step.kind == KernelKind::kConvBnRelu;
+  const std::int64_t oc = step.out_shape.c;
+  for (std::int64_t s = 0; s < batch; ++s) {
+    quant::quantize_activations(in0 + s * in_numel, in_numel, step.in_scale,
+                                t_q_in.data());
+    gemm_s8_im2col(oc, step.weight_q.data(), t_q_in.data(), spec, epi,
+                   out + s * out_numel);
+  }
+}
+
 Tensor PlanExecutor::run(const Tensor& input) const {
+  return run(input, StepObserver());
+}
+
+Tensor PlanExecutor::run(const Tensor& input,
+                         const StepObserver& observer) const {
   DCNAS_CHECK(input.ndim() == 4 && input.dim(1) == plan_.input_shape.c &&
                   input.dim(2) == plan_.input_shape.h &&
                   input.dim(3) == plan_.input_shape.w,
@@ -233,7 +277,9 @@ Tensor PlanExecutor::run(const Tensor& input) const {
             ? (step.args[1] == kInputSlot ? input.data()
                                           : slot_ptr(step.args[1]))
             : nullptr;
-    run_step(step, in0, in1, slot_ptr(step.out), batch);
+    float* out = slot_ptr(step.out);
+    run_step(step, in0, in1, out, batch);
+    if (observer) observer(step, out, batch * step.out_shape.numel());
   }
 
   Shape out_shape;

@@ -1,0 +1,54 @@
+#pragma once
+/// \file quantize.hpp
+/// \brief Per-channel symmetric int8 quantization primitives.
+///
+/// This is the numeric contract QUANTIZATION.md documents, in one place:
+///
+///  - Weights quantize per output channel: s_w[oc] = absmax(w[oc]) / 127,
+///    q = clamp(round(w / s_w[oc]), -127, 127). The scheme is symmetric
+///    (zero-point 0, q = -128 never produced), so zero padding in im2col
+///    and residual zeros stay exact.
+///  - Activations quantize per tensor with a scale calibrated offline:
+///    s_x = absmax(X_calib) / 127 over a calibration batch; at inference
+///    q_x = clamp(round(x / s_x), -127, 127) — values outside the
+///    calibrated range saturate (counted by `quant.act.saturated`).
+///  - An all-zero channel (or an all-zero calibration range) quantizes with
+///    scale 1.0 by convention: every q is 0 and dequantization is exact.
+///  - Rounding is lrintf (round-to-nearest, ties-to-even in the default
+///    FP environment), chosen so the compiler and the PlanVerifier can
+///    re-derive quantized payloads bitwise from the same fp32 source.
+///
+/// All functions are deterministic and allocation-transparent; the
+/// `quant.*` counters documented in OBSERVABILITY.md track volume.
+
+#include <cstdint>
+#include <vector>
+
+namespace dcnas::quant {
+
+/// Largest quantized magnitude: symmetric int8 uses [-127, 127].
+inline constexpr float kQmax = 127.0f;
+
+/// absmax over a buffer (NaN-free inputs assumed; NaN poisons the result).
+float absmax(const float* x, std::int64_t n);
+
+/// Scale for a given absmax: a / 127, or 1.0 when a == 0 (all-zero range).
+float scale_for_absmax(float a);
+
+/// Per-out-channel symmetric quantization of an (OC, ROW) weight matrix.
+struct QuantizedWeights {
+  std::vector<std::int8_t> q;  ///< OC x ROW, row-major, same extent as w
+  std::vector<float> scale;    ///< per-channel scales, size OC
+};
+QuantizedWeights quantize_weights(const float* w, std::int64_t oc,
+                                  std::int64_t row);
+
+/// Quantizes \p n activations with a per-tensor scale into \p q.
+/// Returns the number of values that saturated (|round(x/s)| > 127).
+std::int64_t quantize_activations(const float* x, std::int64_t n, float scale,
+                                  std::int8_t* q);
+
+/// Dequantization helper (tests and round-trip checks): x = q * scale.
+void dequantize(const std::int8_t* q, std::int64_t n, float scale, float* x);
+
+}  // namespace dcnas::quant

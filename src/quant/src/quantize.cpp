@@ -1,0 +1,87 @@
+#include "dcnas/quant/quantize.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "dcnas/common/error.hpp"
+#include "dcnas/obs/metrics.hpp"
+
+namespace dcnas::quant {
+
+namespace {
+
+struct QuantMetrics {
+  obs::Counter& weight_channels;
+  obs::Counter& act_values;
+  obs::Counter& act_saturated;
+
+  static QuantMetrics& get() {
+    static QuantMetrics m{
+        obs::MetricsRegistry::global().counter("quant.weight_channels.count"),
+        obs::MetricsRegistry::global().counter("quant.act.count"),
+        obs::MetricsRegistry::global().counter("quant.act.saturated")};
+    return m;
+  }
+};
+
+inline std::int8_t quantize_one(float x, float inv_scale,
+                                std::int64_t& saturated) {
+  const long r = std::lrintf(x * inv_scale);
+  if (r > 127 || r < -127) {
+    ++saturated;
+    return static_cast<std::int8_t>(r > 127 ? 127 : -127);
+  }
+  return static_cast<std::int8_t>(r);
+}
+
+}  // namespace
+
+float absmax(const float* x, std::int64_t n) {
+  float a = 0.0f;
+  for (std::int64_t i = 0; i < n; ++i) a = std::max(a, std::fabs(x[i]));
+  return a;
+}
+
+float scale_for_absmax(float a) { return a == 0.0f ? 1.0f : a / kQmax; }
+
+QuantizedWeights quantize_weights(const float* w, std::int64_t oc,
+                                  std::int64_t row) {
+  DCNAS_CHECK(oc > 0 && row > 0, "quantize_weights requires a non-empty matrix");
+  QuantizedWeights out;
+  out.q.resize(static_cast<std::size_t>(oc * row));
+  out.scale.resize(static_cast<std::size_t>(oc));
+  for (std::int64_t c = 0; c < oc; ++c) {
+    const float* w_row = w + c * row;
+    const float s = scale_for_absmax(absmax(w_row, row));
+    out.scale[static_cast<std::size_t>(c)] = s;
+    const float inv = 1.0f / s;
+    std::int8_t* q_row = out.q.data() + c * row;
+    std::int64_t saturated = 0;  // cannot fire: |w| <= absmax by construction
+    for (std::int64_t j = 0; j < row; ++j) {
+      q_row[j] = quantize_one(w_row[j], inv, saturated);
+    }
+  }
+  QuantMetrics::get().weight_channels.add(oc);
+  return out;
+}
+
+std::int64_t quantize_activations(const float* x, std::int64_t n, float scale,
+                                  std::int8_t* q) {
+  DCNAS_CHECK(scale > 0.0f && std::isfinite(scale),
+              "activation scale must be positive and finite");
+  const float inv = 1.0f / scale;
+  std::int64_t saturated = 0;
+  for (std::int64_t i = 0; i < n; ++i) q[i] = quantize_one(x[i], inv, saturated);
+  QuantMetrics& m = QuantMetrics::get();
+  m.act_values.add(n);
+  if (saturated > 0) m.act_saturated.add(saturated);
+  return saturated;
+}
+
+void dequantize(const std::int8_t* q, std::int64_t n, float scale, float* x) {
+  for (std::int64_t i = 0; i < n; ++i) {
+    x[i] = static_cast<float>(q[i]) * scale;
+  }
+}
+
+}  // namespace dcnas::quant

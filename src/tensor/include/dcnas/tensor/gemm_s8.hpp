@@ -1,0 +1,67 @@
+#pragma once
+/// \file gemm_s8.hpp
+/// \brief Packed int8 GEMM with int32 accumulation and a fused
+/// requantize-to-fp32 epilogue — the quantized twin of gemm.hpp.
+///
+/// The int8 family reuses the fp32 driver's BLIS blocking (pack A panels and
+/// B slivers per K-block, sweep register-tiled micro-kernels over M-blocks)
+/// but changes the packed element type: int8 operands are widened to int16
+/// at pack time and stored *K-pair interleaved*, so the micro-kernel maps
+/// each accumulator update onto the x86 `pmaddwd` idiom (two int16×int16
+/// products summed into one int32 lane — 2 MACs per lane per instruction).
+/// Portable scalar and SSE2 paths are always built; AVX2 and AVX-512 VNNI
+/// variants are compiled with function-level target attributes and selected
+/// at runtime (`gemm_s8_kernel_name()` reports the winner), so the kernel
+/// is fast even in builds without -march=native. The VNNI tier replaces the
+/// pmaddwd+paddd pair with `vpdpwssd` (multiply-accumulate in one op).
+///
+/// Numeric contract:
+///  - Accumulation is exact int32 arithmetic: results are bitwise identical
+///    for any thread count, K-block order, or SIMD variant.
+///  - The caller must keep k <= kGemmS8MaxK (checked); beyond that the
+///    int32 accumulator could overflow at worst-case |q| = 127.
+///  - The epilogue converts each int32 accumulator to fp32 as
+///    out[i][j] = acc[i][j] * scale[i] (+ bias[i]) with optional ReLU —
+///    exactly the per-out-channel requantization QUANTIZATION.md specifies.
+
+#include <cstdint>
+
+#include "dcnas/tensor/gemm.hpp"
+
+namespace dcnas {
+
+/// Largest supported K for int8 GEMM: 127² · k must fit int32.
+inline constexpr std::int64_t kGemmS8MaxK = 133000;
+
+/// Per-row requantization applied while writing C (fused, no second pass).
+struct QuantEpilogue {
+  const float* scale = nullptr;  ///< per-row scale, size M (required)
+  const float* bias = nullptr;   ///< optional per-row fp32 bias, size M
+  bool relu = false;             ///< clamp at zero after bias
+};
+
+/// C(MxN) fp32 = requantize(A_q(MxK) · B_q(KxN)), A_q/B_q dense row-major
+/// int8. C is overwritten (no beta accumulation — quantized steps always
+/// produce fresh activations).
+void gemm_s8(std::int64_t m, std::int64_t n, std::int64_t k,
+             const std::int8_t* a, const std::int8_t* b,
+             const QuantEpilogue& epi, float* c);
+
+/// Raw-accumulator variant for differential tests: C(MxN) int32 =
+/// A_q · B_q exactly, no epilogue.
+void gemm_s8_i32(std::int64_t m, std::int64_t n, std::int64_t k,
+                 const std::int8_t* a, const std::int8_t* b, std::int32_t* c);
+
+/// Fused quantized convolution forward: C(M x OH·OW) fp32 =
+/// requantize(A_q(M x C·K·K) · im2col(im_q)) where \p im_q points at one
+/// sample's *quantized* C x H x W planes. Zero padding synthesizes q = 0,
+/// which is exact under symmetric quantization (zero-point 0).
+void gemm_s8_im2col(std::int64_t m, const std::int8_t* a,
+                    const std::int8_t* im_q, const Im2colSpec& spec,
+                    const QuantEpilogue& epi, float* c);
+
+/// Which micro-kernel the runtime dispatcher selected ("avx2", "sse2",
+/// "scalar") — surfaced in benchmarks and logs.
+const char* gemm_s8_kernel_name();
+
+}  // namespace dcnas

@@ -86,12 +86,12 @@ TEST(PlanVerifierTest, PreFoldedExecutorPlanVerifiesClean) {
   EXPECT_TRUE(result.ok()) << result.to_string();
 }
 
-TEST(PlanVerifierTest, StandardPipelineHasFivePasses) {
+TEST(PlanVerifierTest, StandardPipelineHasSixPasses) {
   const PlanVerifier v = PlanVerifier::standard();
-  EXPECT_EQ(v.pass_count(), 5u);
+  EXPECT_EQ(v.pass_count(), 6u);
   const auto names = v.pass_names();
   EXPECT_EQ(names.front(), "plan-arena");
-  EXPECT_EQ(names.back(), "plan-folding");
+  EXPECT_EQ(names.back(), "plan-quant");
 }
 
 // --- one hand-corruption per rule id ---------------------------------------

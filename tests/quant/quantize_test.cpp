@@ -1,0 +1,91 @@
+#include "dcnas/quant/quantize.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "dcnas/common/rng.hpp"
+
+namespace dcnas::quant {
+namespace {
+
+TEST(QuantizeTest, AbsmaxAndScaleConventions) {
+  const float x[] = {0.5f, -2.0f, 1.25f};
+  EXPECT_EQ(absmax(x, 3), 2.0f);
+  EXPECT_EQ(scale_for_absmax(2.0f), 2.0f / 127.0f);
+  // All-zero range: scale 1.0 by convention, so dequantization is exact.
+  EXPECT_EQ(scale_for_absmax(0.0f), 1.0f);
+}
+
+TEST(QuantizeTest, WeightRoundTripErrorBoundedByHalfScale) {
+  Rng rng(31);
+  const std::int64_t oc = 12, row = 50;
+  std::vector<float> w(static_cast<std::size_t>(oc * row));
+  for (auto& v : w) v = 4.0f * static_cast<float>(rng.uniform()) - 2.0f;
+  const QuantizedWeights qw = quantize_weights(w.data(), oc, row);
+  ASSERT_EQ(qw.q.size(), w.size());
+  ASSERT_EQ(qw.scale.size(), static_cast<std::size_t>(oc));
+  for (std::int64_t c = 0; c < oc; ++c) {
+    const float s = qw.scale[static_cast<std::size_t>(c)];
+    ASSERT_GT(s, 0.0f);
+    for (std::int64_t i = 0; i < row; ++i) {
+      const std::size_t idx = static_cast<std::size_t>(c * row + i);
+      const float back = static_cast<float>(qw.q[idx]) * s;
+      // Round-to-nearest: reconstruction error is at most half a step.
+      ASSERT_LE(std::abs(back - w[idx]), s * 0.5f + 1e-7f)
+          << "channel " << c << " element " << i;
+    }
+  }
+}
+
+TEST(QuantizeTest, ChannelAbsmaxQuantizesToFullRange) {
+  // The per-channel absmax element must land exactly on +-127.
+  std::vector<float> w = {0.1f, -0.8f, 0.4f, 0.05f};  // 1 channel, 4 weights
+  const QuantizedWeights qw = quantize_weights(w.data(), 1, 4);
+  EXPECT_EQ(qw.q[1], -127);
+  EXPECT_EQ(qw.scale[0], 0.8f / 127.0f);
+}
+
+TEST(QuantizeTest, AllZeroChannelIsExact) {
+  std::vector<float> w = {0.0f, 0.0f, 0.0f, 1.0f, -1.0f, 0.5f};
+  const QuantizedWeights qw = quantize_weights(w.data(), 2, 3);
+  EXPECT_EQ(qw.scale[0], 1.0f);
+  EXPECT_EQ(qw.q[0], 0);
+  EXPECT_EQ(qw.q[1], 0);
+  EXPECT_EQ(qw.q[2], 0);
+}
+
+TEST(QuantizeTest, ActivationSaturationIsCountedNotWrapped) {
+  const float s = 1.0f / 127.0f;  // calibrated for [-1, 1]
+  const float x[] = {0.5f, -3.0f, 1.0f, 2.5f};
+  std::int8_t q[4];
+  const std::int64_t saturated = quantize_activations(x, 4, s, q);
+  EXPECT_EQ(saturated, 2);  // -3.0 and 2.5 are outside the calibrated range
+  EXPECT_EQ(q[1], -127);
+  EXPECT_EQ(q[2], 127);
+  EXPECT_EQ(q[3], 127);
+}
+
+TEST(QuantizeTest, DequantizeInvertsExactValues) {
+  const std::int8_t q[] = {-127, 0, 64, 127};
+  const float s = 0.03f;
+  float x[4];
+  dequantize(q, 4, s, x);
+  for (int i = 0; i < 4; ++i) {
+    EXPECT_EQ(x[i], static_cast<float>(q[i]) * s);
+  }
+}
+
+TEST(QuantizeTest, QuantizationIsDeterministic) {
+  Rng rng(5);
+  std::vector<float> w(256);
+  for (auto& v : w) v = static_cast<float>(rng.uniform()) - 0.5f;
+  const QuantizedWeights a = quantize_weights(w.data(), 4, 64);
+  const QuantizedWeights b = quantize_weights(w.data(), 4, 64);
+  EXPECT_EQ(a.q, b.q);
+  EXPECT_EQ(a.scale, b.scale);
+}
+
+}  // namespace
+}  // namespace dcnas::quant

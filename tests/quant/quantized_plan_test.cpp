@@ -1,0 +1,209 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <memory>
+#include <vector>
+
+#include "dcnas/analysis/diagnostic.hpp"
+#include "dcnas/analysis/plan_verifier.hpp"
+#include "dcnas/graph/builder.hpp"
+#include "dcnas/nn/resnet.hpp"
+#include "dcnas/plan/compiler.hpp"
+#include "dcnas/plan/executor.hpp"
+
+namespace dcnas::plan {
+namespace {
+
+using analysis::PlanVerifier;
+using analysis::VerifyResult;
+using graph::GraphExecutor;
+using graph::KernelKind;
+using graph::Precision;
+
+struct Fixture {
+  nn::ResNetConfig config;
+  std::unique_ptr<nn::ConfigurableResNet> model;
+  graph::ModelGraph graph;
+  std::unique_ptr<GraphExecutor> exec;
+  Tensor calibration;
+};
+
+Fixture make_fixture(std::int64_t hw = 24) {
+  Fixture f;
+  f.config = nn::ResNetConfig::baseline(5);
+  f.config.init_width = 32;
+  f.config.conv1_kernel = 3;
+  f.config.conv1_padding = 1;
+  Rng rng(17);
+  f.model = std::make_unique<nn::ConfigurableResNet>(f.config, rng);
+  for (int i = 0; i < 3; ++i) {
+    const Tensor x = Tensor::rand_uniform({4, 5, hw, hw}, rng, -1.0f, 2.0f);
+    f.model->forward(x);
+  }
+  f.model->set_training(false);
+  f.graph = graph::build_resnet_graph(f.config, hw);
+  f.exec = std::make_unique<GraphExecutor>(f.graph, *f.model);
+  // The calibration fold: drawn from the same distribution inference sees,
+  // so the per-tensor activation scales cover the live range.
+  f.calibration = Tensor::rand_uniform({6, 5, hw, hw}, rng, -1.0f, 1.0f);
+  return f;
+}
+
+CompiledPlan compile_int8(const Fixture& f) {
+  CompileOptions opt;
+  opt.precision = Precision::kInt8;
+  opt.calibration = &f.calibration;
+  return compile_plan(*f.exec, opt);
+}
+
+TEST(QuantizedPlanTest, Int8PlanCarriesPayloadOnEveryConvStep) {
+  Fixture f = make_fixture();
+  const CompiledPlan plan = compile_int8(f);
+  EXPECT_EQ(plan.precision, Precision::kInt8);
+  int quantized = 0;
+  for (const auto& step : plan.steps) {
+    const bool conv = step.kind == KernelKind::kConvBnRelu ||
+                      step.kind == KernelKind::kConvBn ||
+                      step.kind == KernelKind::kConvRelu ||
+                      step.kind == KernelKind::kConv;
+    if (conv) {
+      EXPECT_EQ(step.precision, Precision::kInt8) << step.name;
+      EXPECT_EQ(static_cast<std::int64_t>(step.weight_q.size()),
+                step.weight.numel())
+          << step.name;
+      EXPECT_EQ(static_cast<std::int64_t>(step.weight_scale.size()),
+                step.out_shape.c)
+          << step.name;
+      EXPECT_GT(step.in_scale, 0.0f) << step.name;
+      ++quantized;
+    } else {
+      EXPECT_EQ(step.precision, Precision::kFp32) << step.name;
+      EXPECT_TRUE(step.weight_q.empty()) << step.name;
+    }
+  }
+  EXPECT_GT(quantized, 0);
+  EXPECT_EQ(plan.quantized_steps, quantized);
+}
+
+TEST(QuantizedPlanTest, Int8OutputTracksFp32PlanWithinBound) {
+  Fixture f = make_fixture();
+  const CompiledPlan fp32_plan = compile_plan(*f.exec);
+  const CompiledPlan int8_plan = compile_int8(f);
+  PlanExecutor fp32_exec(fp32_plan);
+  PlanExecutor int8_exec(int8_plan);
+  Rng rng(93);
+  const Tensor x = Tensor::rand_uniform({3, 5, 24, 24}, rng, -1.0f, 1.0f);
+  const Tensor want = fp32_exec.run(x);
+  const Tensor got = int8_exec.run(x);
+  ASSERT_TRUE(want.same_shape(got));
+  // Binary-classifier logits: per-channel weight quantization plus
+  // per-tensor activation scales keep the logit drift small — and above
+  // all, the argmax (the served class decision) must agree.
+  double max_diff = 0.0;
+  for (std::int64_t i = 0; i < want.numel(); ++i) {
+    max_diff = std::max(
+        max_diff, std::abs(static_cast<double>(want[i]) - got[i]));
+  }
+  EXPECT_LT(max_diff, 0.5) << "quantization drift too large";
+  // Decision stability: quantization may only flip an argmax whose fp32
+  // margin was already inside the drift band — a confidently classified
+  // sample must classify the same way. (This untrained fixture has tiny
+  // margins, so the drift band is what makes the check meaningful.)
+  ASSERT_EQ(want.shape().size(), 2u);
+  for (std::int64_t s = 0; s < want.shape()[0]; ++s) {
+    const std::int64_t classes = want.shape()[1];
+    std::int64_t want_arg = 0, got_arg = 0;
+    for (std::int64_t c = 1; c < classes; ++c) {
+      if (want[s * classes + c] > want[s * classes + want_arg]) want_arg = c;
+      if (got[s * classes + c] > got[s * classes + got_arg]) got_arg = c;
+    }
+    double margin = 1e30;
+    for (std::int64_t c = 0; c < classes; ++c) {
+      if (c == want_arg) continue;
+      margin = std::min(margin,
+                        static_cast<double>(want[s * classes + want_arg]) -
+                            want[s * classes + c]);
+    }
+    if (margin > 2.0 * max_diff) {
+      EXPECT_EQ(want_arg, got_arg) << "sample " << s << " margin " << margin;
+    }
+  }
+}
+
+TEST(QuantizedPlanTest, Int8PlanIsDeterministic) {
+  Fixture f = make_fixture();
+  const CompiledPlan a = compile_int8(f);
+  const CompiledPlan b = compile_int8(f);
+  ASSERT_EQ(a.steps.size(), b.steps.size());
+  for (std::size_t t = 0; t < a.steps.size(); ++t) {
+    EXPECT_EQ(a.steps[t].weight_q, b.steps[t].weight_q);
+    EXPECT_EQ(a.steps[t].weight_scale, b.steps[t].weight_scale);
+    EXPECT_EQ(a.steps[t].requant_scale, b.steps[t].requant_scale);
+    EXPECT_EQ(a.steps[t].in_scale, b.steps[t].in_scale);
+  }
+}
+
+TEST(QuantizedPlanTest, VerifierAcceptsCompiledInt8Plan) {
+  Fixture f = make_fixture();
+  const CompiledPlan plan = compile_int8(f);
+  const VerifyResult result = PlanVerifier::standard().verify(plan, *f.exec);
+  EXPECT_TRUE(result.ok()) << result.to_string();
+}
+
+TEST(QuantizedPlanTest, VerifierRejectsCorruptedRequantScale) {
+  Fixture f = make_fixture();
+  CompiledPlan plan = compile_int8(f);
+  for (auto& step : plan.steps) {
+    if (!step.requant_scale.empty()) {
+      step.requant_scale[0] *= 1.5f;
+      break;
+    }
+  }
+  const VerifyResult result = PlanVerifier::standard().verify(plan, *f.exec);
+  EXPECT_FALSE(result.ok());
+  EXPECT_TRUE(result.has_rule(analysis::rules::kPlanQuant))
+      << result.to_string();
+}
+
+TEST(QuantizedPlanTest, VerifierRejectsCorruptedQuantizedWeight) {
+  Fixture f = make_fixture();
+  CompiledPlan plan = compile_int8(f);
+  for (auto& step : plan.steps) {
+    if (!step.weight_q.empty()) {
+      step.weight_q[0] = static_cast<std::int8_t>(step.weight_q[0] ^ 0x7f);
+      break;
+    }
+  }
+  const VerifyResult result = PlanVerifier::standard().verify(plan, *f.exec);
+  EXPECT_FALSE(result.ok());
+  EXPECT_TRUE(result.has_rule(analysis::rules::kPlanQuant))
+      << result.to_string();
+}
+
+TEST(QuantizedPlanTest, VerifierRejectsPayloadOnFp32Plan) {
+  Fixture f = make_fixture();
+  const CompiledPlan int8_plan = compile_int8(f);
+  CompiledPlan plan = compile_plan(*f.exec);
+  // Graft an int8 payload onto the fp32 plan: a fp32 plan must carry none.
+  for (std::size_t t = 0; t < plan.steps.size(); ++t) {
+    if (!int8_plan.steps[t].weight_q.empty()) {
+      plan.steps[t].weight_q = int8_plan.steps[t].weight_q;
+      plan.steps[t].in_scale = int8_plan.steps[t].in_scale;
+      break;
+    }
+  }
+  const VerifyResult result = PlanVerifier::standard().verify(plan, *f.exec);
+  EXPECT_FALSE(result.ok());
+  EXPECT_TRUE(result.has_rule(analysis::rules::kPlanQuant))
+      << result.to_string();
+}
+
+TEST(QuantizedPlanTest, CompileRequiresCalibrationBatch) {
+  Fixture f = make_fixture();
+  CompileOptions opt;
+  opt.precision = Precision::kInt8;
+  EXPECT_THROW(compile_plan(*f.exec, opt), InvalidArgument);
+}
+
+}  // namespace
+}  // namespace dcnas::plan

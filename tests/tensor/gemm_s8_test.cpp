@@ -1,0 +1,155 @@
+#include "dcnas/tensor/gemm_s8.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdint>
+#include <vector>
+
+#include "dcnas/common/rng.hpp"
+
+namespace dcnas {
+namespace {
+
+std::vector<std::int8_t> random_q(std::int64_t n, Rng& rng) {
+  std::vector<std::int8_t> q(static_cast<std::size_t>(n));
+  for (auto& v : q) {
+    v = static_cast<std::int8_t>(rng.uniform_int(-127, 127));
+  }
+  return q;
+}
+
+/// Naive int64 reference — wide enough that it cannot itself overflow, so
+/// it also checks the kernel's int32 accumulation never wraps at these
+/// sizes.
+std::vector<std::int32_t> reference_i32(std::int64_t m, std::int64_t n,
+                                        std::int64_t k,
+                                        const std::int8_t* a,
+                                        const std::int8_t* b) {
+  std::vector<std::int32_t> c(static_cast<std::size_t>(m * n));
+  for (std::int64_t i = 0; i < m; ++i) {
+    for (std::int64_t j = 0; j < n; ++j) {
+      std::int64_t acc = 0;
+      for (std::int64_t p = 0; p < k; ++p) {
+        acc += static_cast<std::int64_t>(a[i * k + p]) * b[p * n + j];
+      }
+      c[static_cast<std::size_t>(i * n + j)] = static_cast<std::int32_t>(acc);
+    }
+  }
+  return c;
+}
+
+TEST(GemmS8Test, MatchesNaiveReferenceAcrossShapeGrid) {
+  Rng rng(101);
+  // Shapes straddle every blocking boundary: micro-tile edges (8x16),
+  // K-pair odd/even, the K-block size (256), and the M-block size (128).
+  const std::int64_t ms[] = {1, 3, 8, 9, 33, 130};
+  const std::int64_t ns[] = {1, 15, 16, 17, 64};
+  const std::int64_t ks[] = {1, 2, 7, 64, 255, 256, 300};
+  for (std::int64_t m : ms) {
+    for (std::int64_t n : ns) {
+      for (std::int64_t k : ks) {
+        const auto a = random_q(m * k, rng);
+        const auto b = random_q(k * n, rng);
+        std::vector<std::int32_t> got(static_cast<std::size_t>(m * n), -1);
+        gemm_s8_i32(m, n, k, a.data(), b.data(), got.data());
+        const auto want = reference_i32(m, n, k, a.data(), b.data());
+        ASSERT_EQ(got, want) << "m=" << m << " n=" << n << " k=" << k;
+      }
+    }
+  }
+}
+
+TEST(GemmS8Test, FusedEpilogueMatchesManualRequantizationBitwise) {
+  Rng rng(7);
+  for (const bool relu : {false, true}) {
+    // k = 40 exercises the fused single-K-block path; k = 300 the
+    // accumulate-then-requantize path. Both must produce identical fp32.
+    for (const std::int64_t k : {40, 300}) {
+      const std::int64_t m = 33, n = 21;
+      const auto a = random_q(m * k, rng);
+      const auto b = random_q(k * n, rng);
+      std::vector<float> scale(static_cast<std::size_t>(m));
+      std::vector<float> bias(static_cast<std::size_t>(m));
+      for (std::int64_t i = 0; i < m; ++i) {
+        scale[static_cast<std::size_t>(i)] =
+            0.001f + 0.01f * static_cast<float>(rng.uniform());
+        bias[static_cast<std::size_t>(i)] =
+            static_cast<float>(rng.uniform()) - 0.5f;
+      }
+      QuantEpilogue epi;
+      epi.scale = scale.data();
+      epi.bias = bias.data();
+      epi.relu = relu;
+      std::vector<float> got(static_cast<std::size_t>(m * n), -42.0f);
+      gemm_s8(m, n, k, a.data(), b.data(), epi, got.data());
+      const auto acc = reference_i32(m, n, k, a.data(), b.data());
+      for (std::int64_t i = 0; i < m; ++i) {
+        for (std::int64_t j = 0; j < n; ++j) {
+          float want = static_cast<float>(acc[static_cast<std::size_t>(
+                           i * n + j)]) *
+                           scale[static_cast<std::size_t>(i)] +
+                       bias[static_cast<std::size_t>(i)];
+          if (relu && want < 0.0f) want = 0.0f;
+          ASSERT_EQ(got[static_cast<std::size_t>(i * n + j)], want)
+              << "i=" << i << " j=" << j << " k=" << k << " relu=" << relu;
+        }
+      }
+    }
+  }
+}
+
+TEST(GemmS8Test, QuantizedProductTracksFp32ProductWithinScaleBound) {
+  // The differential contract QUANTIZATION.md states: |fp32 - dequantized
+  // int8| per output element is bounded by the accumulated rounding error,
+  // k * (|a|max * sb/2 + |b|max * sa/2) to first order. Verify with a
+  // generous constant factor.
+  Rng rng(23);
+  const std::int64_t m = 24, n = 24, k = 96;
+  std::vector<float> af(static_cast<std::size_t>(m * k));
+  std::vector<float> bf(static_cast<std::size_t>(k * n));
+  for (auto& v : af) v = 2.0f * static_cast<float>(rng.uniform()) - 1.0f;
+  for (auto& v : bf) v = 2.0f * static_cast<float>(rng.uniform()) - 1.0f;
+  const float sa = 1.0f / 127.0f, sb = 1.0f / 127.0f;
+  std::vector<std::int8_t> aq(af.size()), bq(bf.size());
+  for (std::size_t i = 0; i < af.size(); ++i) {
+    aq[i] = static_cast<std::int8_t>(std::lrintf(af[i] / sa));
+  }
+  for (std::size_t i = 0; i < bf.size(); ++i) {
+    bq[i] = static_cast<std::int8_t>(std::lrintf(bf[i] / sb));
+  }
+  std::vector<std::int32_t> acc(static_cast<std::size_t>(m * n));
+  gemm_s8_i32(m, n, k, aq.data(), bq.data(), acc.data());
+  const double bound = static_cast<double>(k) * (sa / 2.0 + sb / 2.0) * 1.5;
+  for (std::int64_t i = 0; i < m; ++i) {
+    for (std::int64_t j = 0; j < n; ++j) {
+      double want = 0.0;
+      for (std::int64_t p = 0; p < k; ++p) {
+        want += static_cast<double>(af[static_cast<std::size_t>(i * k + p)]) *
+                bf[static_cast<std::size_t>(p * n + j)];
+      }
+      const double got =
+          static_cast<double>(acc[static_cast<std::size_t>(i * n + j)]) * sa *
+          sb;
+      ASSERT_LT(std::abs(want - got), bound) << "i=" << i << " j=" << j;
+    }
+  }
+}
+
+TEST(GemmS8Test, RejectsKBeyondOverflowBound) {
+  std::vector<std::int8_t> a(static_cast<std::size_t>(kGemmS8MaxK + 1));
+  std::vector<std::int8_t> b(static_cast<std::size_t>(kGemmS8MaxK + 1));
+  std::int32_t c = 0;
+  EXPECT_THROW(gemm_s8_i32(1, 1, kGemmS8MaxK + 1, a.data(), b.data(), &c),
+               InvalidArgument);
+}
+
+TEST(GemmS8Test, ReportsSelectedKernel) {
+  const std::string name = gemm_s8_kernel_name();
+  EXPECT_TRUE(name == "avx512vnni" || name == "avx2" || name == "sse2" ||
+              name == "scalar")
+      << name;
+}
+
+}  // namespace
+}  // namespace dcnas

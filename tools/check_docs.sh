@@ -3,7 +3,16 @@
 #   1. every relative markdown link in the repo's *.md files resolves to an
 #      existing file/directory;
 #   2. every subsystem under src/ is described in both DESIGN.md (as
-#      `src/<name>`) and README.md (as `<name>/`).
+#      `src/<name>`) and README.md (as `<name>/`);
+#   3. diagnostic rule ids stay in sync with the docs, both directions:
+#      every id declared in analysis/diagnostic.hpp is documented in
+#      DESIGN.md or QUANTIZATION.md, and every backticked rule-shaped
+#      token those docs use is a real declared id (catches typos and
+#      stale ids left behind by renames);
+#   4. README.md perf claims are backed by the checked-in bench records:
+#      the kernel-performance section cites BENCH_kernels.json, and every
+#      `N.NN×` speedup quoted in README.md prefix-matches a "speedup"
+#      value in a checked-in BENCH_*.json.
 #
 # Usage: check_docs.sh [repo-root]   (defaults to the script's parent dir)
 set -u
@@ -45,8 +54,43 @@ for dir in src/*/; do
   fi
 done
 
+# --- 3. diagnostic rule ids <-> docs, both directions --------------------
+diag=src/analysis/include/dcnas/analysis/diagnostic.hpp
+rule_ids=$(sed -nE 's/.*constexpr const char\* k[A-Za-z0-9]+ = "([a-z.-]+)";.*/\1/p' "$diag")
+if [ -z "$rule_ids" ]; then
+  fail "no rule ids extracted from $diag (pattern drift?)"
+fi
+for id in $rule_ids; do
+  if ! grep -q "\`$id\`" DESIGN.md QUANTIZATION.md; then
+    fail "rule id $id ($diag) is documented in neither DESIGN.md nor QUANTIZATION.md"
+  fi
+done
+# Reverse: backticked one-dot tokens in a rule namespace must be declared.
+# (Metric/span names use >= two dots, so they never match this shape.)
+prefixes=$(printf '%s\n' "$rule_ids" | cut -d. -f1 | sort -u | paste -sd'|' -)
+while read -r tok; do
+  if ! printf '%s\n' "$rule_ids" | grep -qx "$tok"; then
+    fail "docs cite rule id $tok, which $diag does not declare"
+  fi
+done < <(grep -ohE '`[a-z-]+\.[a-z-]+`' DESIGN.md QUANTIZATION.md |
+         tr -d '`' | grep -E "^($prefixes)\." | sort -u)
+
+# --- 4. README perf numbers cite checked-in bench records ----------------
+if ! grep -q '`BENCH_kernels.json`' README.md; then
+  fail "README.md kernel-performance section does not cite BENCH_kernels.json"
+fi
+if [ ! -f BENCH_kernels.json ]; then
+  fail "BENCH_kernels.json is not checked in at the repo root"
+fi
+while read -r num; do
+  n="${num%×}"
+  if ! grep -q "\"speedup\": $n" BENCH_*.json 2>/dev/null; then
+    fail "README.md quotes speedup $num not backed by any checked-in BENCH_*.json"
+  fi
+done < <(grep -oE '[0-9]+\.[0-9]+×' README.md | sort -u)
+
 if [ "$failures" -ne 0 ]; then
   echo "check_docs: $failures problem(s) found" >&2
   exit 1
 fi
-echo "check_docs: OK (links resolve, all src/ subsystems documented)"
+echo "check_docs: OK (links resolve, subsystems documented, rule ids in sync, perf numbers backed by BENCH_*.json)"
