@@ -1,0 +1,416 @@
+/// bench_load — open-loop load harness for the wire-serving stack.
+///
+/// Drives a replicated Server through the WireServer front-end (unix-domain
+/// socket) the way an external fleet would: C client connections, each an
+/// independent Poisson arrival process, so the superposed offered load is
+/// Poisson at the target rate. Unlike the closed-loop sweep in bench_serve
+/// (where clients wait for responses before sending more, so the system
+/// sets its own arrival rate), open-loop arrivals keep coming during a
+/// stall — which is what exposes queueing collapse, deadline sheds, and
+/// tail-latency blowup under overload.
+///
+/// Protocol per run:
+///   1. closed-loop calibration: C connections send back-to-back for a few
+///      seconds; the measured goodput is the capacity estimate.
+///   2. open-loop sweep: offered rates at fixed multipliers of capacity
+///      (below saturation, near saturation, past it). Every request carries
+///      a deadline tag, so overload resolves as typed sheds, not unbounded
+///      queueing. Latency is measured from the *scheduled* arrival time, so
+///      a client that falls behind its schedule charges the delay to the
+///      system (true open-loop accounting).
+///
+/// Results (p50/p95/p99 sojourn, goodput, shed/reject rates) are printed
+/// and merged as a "load" section into BENCH_serve.json, whose "load_ok"
+/// field the serve-bench CI job gates on: false when any request died with
+/// an internal error or a rate produced no goodput at all.
+///
+/// Flags: --smoke (CI: short runs), --connections N, --deadline-ms N,
+///        --duration-s N, --replicas N, --workers N, --epochs N
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <random>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "dcnas/common/cli.hpp"
+#include "dcnas/geodata/dataset.hpp"
+#include "dcnas/graph/builder.hpp"
+#include "dcnas/graph/model_file.hpp"
+#include "dcnas/nas/search_space.hpp"
+#include "dcnas/nn/trainer.hpp"
+#include "dcnas/serve/wire.hpp"
+
+namespace {
+
+using namespace dcnas;
+using steady_clock = std::chrono::steady_clock;
+
+constexpr std::int64_t kChipSize = 24;
+
+std::string train_artifact(int epochs) {
+  geodata::DatasetOptions dopt;
+  dopt.scale = 1.0 / 128.0;
+  dopt.chip_size = kChipSize;
+  dopt.scene_size = 160;
+  dopt.channels = 5;
+  const auto ds = geodata::build_dataset(dopt);
+
+  nas::TrialConfig cfg = nas::TrialConfig::baseline(5, 8);
+  cfg.initial_output_feature = 32;
+  cfg.kernel_size = 3;
+  cfg.padding = 1;
+  Rng rng(17);
+  nn::ConfigurableResNet model(cfg.to_resnet_config(), rng);
+  nn::TrainOptions topt;
+  topt.epochs = epochs;
+  topt.batch_size = cfg.batch;
+  topt.lr = 0.02;
+  nn::fit(model, ds.images, ds.labels, topt);
+  model.set_training(false);
+
+  graph::GraphExecutor exec(
+      graph::build_resnet_graph(cfg.to_resnet_config(), kChipSize), model);
+  exec.fold_batchnorm();
+  const std::string path =
+      (std::filesystem::temp_directory_path() / "bench_load.dcnx").string();
+  graph::save_model(exec, path);
+  return path;
+}
+
+/// Per-connection tally, merged after join.
+struct ClientStats {
+  std::vector<double> ok_latency_ms;  ///< scheduled-arrival -> response
+  std::int64_t ok = 0;
+  std::int64_t shed = 0;      ///< kShedOverload | kDeadlineExpired
+  std::int64_t rejected = 0;  ///< kQueueFull | kShutdown
+  std::int64_t errors = 0;    ///< kBadRequest | kInternalError | transport
+
+  void merge(const ClientStats& other) {
+    ok_latency_ms.insert(ok_latency_ms.end(), other.ok_latency_ms.begin(),
+                         other.ok_latency_ms.end());
+    ok += other.ok;
+    shed += other.shed;
+    rejected += other.rejected;
+    errors += other.errors;
+  }
+};
+
+void record(ClientStats& stats, const serve::WireResponse& response,
+            steady_clock::time_point scheduled) {
+  switch (response.status) {
+    case serve::WireStatus::kOk:
+      ++stats.ok;
+      stats.ok_latency_ms.push_back(
+          std::chrono::duration<double, std::milli>(steady_clock::now() -
+                                                    scheduled)
+              .count());
+      break;
+    case serve::WireStatus::kShedOverload:
+    case serve::WireStatus::kDeadlineExpired:
+      ++stats.shed;
+      break;
+    case serve::WireStatus::kQueueFull:
+    case serve::WireStatus::kShutdown:
+      ++stats.rejected;
+      break;
+    default:
+      ++stats.errors;
+      break;
+  }
+}
+
+double percentile(std::vector<double>& sorted, double q) {
+  if (sorted.empty()) return 0.0;
+  const auto rank = static_cast<std::size_t>(
+      q * static_cast<double>(sorted.size() - 1) + 0.5);
+  return sorted[std::min(rank, sorted.size() - 1)];
+}
+
+struct RunResult {
+  std::string mode;  ///< "closed" or "open"
+  double rate_multiplier = 0.0;  ///< of calibrated capacity (open only)
+  double offered_img_per_s = 0.0;
+  double goodput_img_per_s = 0.0;
+  double p50_ms = 0.0, p95_ms = 0.0, p99_ms = 0.0;
+  std::int64_t ok = 0, shed = 0, rejected = 0, errors = 0;
+  double shed_rate = 0.0;  ///< (shed + rejected) / sent
+};
+
+RunResult summarize(ClientStats& stats, double seconds) {
+  RunResult r;
+  std::sort(stats.ok_latency_ms.begin(), stats.ok_latency_ms.end());
+  r.p50_ms = percentile(stats.ok_latency_ms, 0.50);
+  r.p95_ms = percentile(stats.ok_latency_ms, 0.95);
+  r.p99_ms = percentile(stats.ok_latency_ms, 0.99);
+  r.ok = stats.ok;
+  r.shed = stats.shed;
+  r.rejected = stats.rejected;
+  r.errors = stats.errors;
+  r.goodput_img_per_s = static_cast<double>(stats.ok) / seconds;
+  const std::int64_t sent = stats.ok + stats.shed + stats.rejected +
+                            stats.errors;
+  r.offered_img_per_s = static_cast<double>(sent) / seconds;
+  r.shed_rate = sent > 0 ? static_cast<double>(stats.shed + stats.rejected) /
+                               static_cast<double>(sent)
+                         : 0.0;
+  return r;
+}
+
+/// Closed loop: every connection sends back-to-back until the deadline; the
+/// aggregate goodput is the capacity the open-loop rates are scaled from.
+RunResult run_closed_loop(const std::string& socket_path,
+                          std::size_t connections, double seconds,
+                          std::uint32_t deadline_us) {
+  std::vector<ClientStats> stats(connections);
+  std::vector<std::thread> clients;
+  const auto end_at =
+      steady_clock::now() + std::chrono::duration<double>(seconds);
+  for (std::size_t c = 0; c < connections; ++c) {
+    clients.emplace_back([&, c] {
+      serve::WireClient client =
+          serve::WireClient::connect_unix(socket_path);
+      Rng rng(static_cast<unsigned>(1000 + c));
+      const Tensor input = Tensor::rand_uniform(
+          {1, 5, kChipSize, kChipSize}, rng, -1.0f, 1.0f);
+      while (steady_clock::now() < end_at) {
+        const auto scheduled = steady_clock::now();
+        try {
+          record(stats[c], client.infer_raw("drainage", input, deadline_us),
+                 scheduled);
+        } catch (const std::exception&) {
+          ++stats[c].errors;
+          return;
+        }
+      }
+    });
+  }
+  for (auto& t : clients) t.join();
+  ClientStats total;
+  for (auto& s : stats) total.merge(s);
+  RunResult r = summarize(total, seconds);
+  r.mode = "closed";
+  return r;
+}
+
+/// Open loop: each connection is an independent Poisson process at
+/// rate/connections, with exponential inter-arrival draws from a seeded
+/// generator. Sends happen at the scheduled instants regardless of how the
+/// previous request fared (up to head-of-line blocking on one connection —
+/// with C connections the coupling is 1/C of the load and the superposition
+/// stays effectively open-loop).
+RunResult run_open_loop(const std::string& socket_path,
+                        std::size_t connections, double seconds,
+                        double rate_img_per_s, std::uint32_t deadline_us) {
+  std::vector<ClientStats> stats(connections);
+  std::vector<std::thread> clients;
+  const auto start = steady_clock::now();
+  const auto end_at = start + std::chrono::duration<double>(seconds);
+  const double per_conn_rate =
+      rate_img_per_s / static_cast<double>(connections);
+  for (std::size_t c = 0; c < connections; ++c) {
+    clients.emplace_back([&, c] {
+      serve::WireClient client =
+          serve::WireClient::connect_unix(socket_path);
+      std::mt19937 gen(static_cast<unsigned>(9000 + 7 * c));
+      std::exponential_distribution<double> interarrival(per_conn_rate);
+      Rng rng(static_cast<unsigned>(2000 + c));
+      const Tensor input = Tensor::rand_uniform(
+          {1, 5, kChipSize, kChipSize}, rng, -1.0f, 1.0f);
+      auto next = start + std::chrono::duration_cast<steady_clock::duration>(
+                              std::chrono::duration<double>(
+                                  interarrival(gen)));
+      while (next < end_at) {
+        std::this_thread::sleep_until(next);
+        try {
+          record(stats[c], client.infer_raw("drainage", input, deadline_us),
+                 next);
+        } catch (const std::exception&) {
+          ++stats[c].errors;
+          return;
+        }
+        next += std::chrono::duration_cast<steady_clock::duration>(
+            std::chrono::duration<double>(interarrival(gen)));
+      }
+    });
+  }
+  for (auto& t : clients) t.join();
+  ClientStats total;
+  for (auto& s : stats) total.merge(s);
+  RunResult r = summarize(total, seconds);
+  r.mode = "open";
+  return r;
+}
+
+std::string load_section_json(const std::vector<RunResult>& runs,
+                              std::size_t connections, double deadline_ms,
+                              double capacity, bool load_ok) {
+  std::ostringstream out;
+  char buf[512];
+  out << "\"load\": {\n";
+  std::snprintf(buf, sizeof(buf),
+                "    \"protocol\": \"unix\",\n"
+                "    \"connections\": %zu,\n"
+                "    \"deadline_ms\": %.1f,\n"
+                "    \"closed_loop_img_per_s\": %.2f,\n"
+                "    \"runs\": [\n",
+                connections, deadline_ms, capacity);
+  out << buf;
+  for (std::size_t i = 0; i < runs.size(); ++i) {
+    const RunResult& r = runs[i];
+    std::snprintf(
+        buf, sizeof(buf),
+        "      {\"mode\": \"%s\", \"rate_multiplier\": %.2f, "
+        "\"offered_img_per_s\": %.2f, \"goodput_img_per_s\": %.2f, "
+        "\"p50_ms\": %.3f, \"p95_ms\": %.3f, \"p99_ms\": %.3f, "
+        "\"ok\": %lld, \"shed\": %lld, \"rejected\": %lld, "
+        "\"errors\": %lld, \"shed_rate\": %.4f}%s\n",
+        r.mode.c_str(), r.rate_multiplier, r.offered_img_per_s,
+        r.goodput_img_per_s, r.p50_ms, r.p95_ms, r.p99_ms,
+        static_cast<long long>(r.ok), static_cast<long long>(r.shed),
+        static_cast<long long>(r.rejected), static_cast<long long>(r.errors),
+        r.shed_rate, i + 1 < runs.size() ? "," : "");
+    out << buf;
+  }
+  out << "    ],\n    \"load_ok\": " << (load_ok ? "true" : "false")
+      << "\n  }";
+  return out.str();
+}
+
+/// Merges the load section into BENCH_serve.json: bench_serve owns the rest
+/// of the file, bench_load owns (and replaces) the trailing "load" key. If
+/// the file is absent bench_load writes a minimal one, so the harness also
+/// works standalone.
+void write_json(const std::string& section) {
+  std::string body;
+  {
+    std::ifstream in("BENCH_serve.json");
+    if (in) {
+      std::ostringstream ss;
+      ss << in.rdbuf();
+      body = ss.str();
+    }
+  }
+  if (body.empty()) {
+    body = "{\n  \"bench\": \"serve\"\n}\n";
+  }
+  // Strip a previous load section: it is always the last key, inserted
+  // right before the final brace, so cutting from its marker to the end
+  // restores the pre-merge file shape.
+  const std::string marker = ",\n  \"load\": {";
+  if (const auto pos = body.find(marker); pos != std::string::npos) {
+    body.erase(pos);
+    body += "\n}\n";
+  }
+  const auto close = body.rfind('}');
+  if (close == std::string::npos) {
+    std::printf("WARNING: BENCH_serve.json is malformed, not writing\n");
+    return;
+  }
+  body = body.substr(0, close);
+  while (!body.empty() && (body.back() == '\n' || body.back() == ' ')) {
+    body.pop_back();
+  }
+  body += ",\n  " + section + "\n}\n";
+  std::ofstream out("BENCH_serve.json", std::ios::trunc);
+  out << body;
+  std::printf("merged load section into BENCH_serve.json\n");
+}
+
+void print_run(const RunResult& r) {
+  std::printf("%-6s %7.2fx %10.1f %10.1f %8.2f %8.2f %8.2f %7lld %7lld %7lld\n",
+              r.mode.c_str(), r.rate_multiplier, r.offered_img_per_s,
+              r.goodput_img_per_s, r.p50_ms, r.p95_ms, r.p99_ms,
+              static_cast<long long>(r.ok + r.shed + r.rejected + r.errors),
+              static_cast<long long>(r.shed + r.rejected),
+              static_cast<long long>(r.errors));
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const CliArgs args(argc, argv);
+  const bool smoke = args.get_flag("smoke");
+  // Enough connections that overload builds a real server-side queue: each
+  // blocking connection caps its own in-flight at 1, so C bounds total
+  // outstanding work — too few connections and the clients throttle
+  // themselves before the batcher's deadline shed ever engages.
+  const auto connections =
+      static_cast<std::size_t>(args.get_int("connections", 32));
+  const double duration_s =
+      args.get_double("duration-s", smoke ? 2.0 : 5.0);
+  const double deadline_ms = args.get_double("deadline-ms", 25.0);
+  const auto deadline_us = static_cast<std::uint32_t>(deadline_ms * 1000.0);
+
+  std::printf("bench_load: open-loop Poisson load sweep over the wire "
+              "front-end%s\n", smoke ? " (smoke)" : "");
+  const std::string path =
+      train_artifact(static_cast<int>(args.get_int("epochs", 1)));
+  auto registry = std::make_shared<serve::ModelRegistry>();
+  registry->load("drainage", path);
+  std::filesystem::remove(path);
+
+  serve::ServerOptions sopt;
+  sopt.num_replicas = static_cast<std::size_t>(args.get_int("replicas", 2));
+  sopt.num_workers = static_cast<std::size_t>(args.get_int("workers", 2));
+  sopt.batch.max_batch = 8;
+  sopt.batch.max_delay = std::chrono::microseconds(2000);
+  serve::Server server(registry, sopt);
+
+  serve::WireServerOptions wopt;
+  wopt.unix_path = (std::filesystem::temp_directory_path() /
+                    "bench_load.sock").string();
+  serve::WireServer wire(server, wopt);
+  std::printf("%zu replica(s) x %zu worker(s), max_batch 8, %zu client "
+              "connection(s), %.0fms deadline tags\n\n",
+              sopt.num_replicas, sopt.num_workers, connections, deadline_ms);
+
+  std::printf("mode      rate    offered    goodput    p50ms    p95ms    "
+              "p99ms    sent    shed  errors\n");
+
+  // Warm the serving path (first requests hit cold arenas/caches), then
+  // calibrate capacity closed-loop.
+  run_closed_loop(wopt.unix_path, connections, smoke ? 0.5 : 1.0,
+                  deadline_us);
+  std::vector<RunResult> runs;
+  runs.push_back(run_closed_loop(wopt.unix_path, connections,
+                                 smoke ? 1.5 : 3.0, deadline_us));
+  const double capacity = runs.back().goodput_img_per_s;
+  print_run(runs.back());
+
+  const std::vector<double> multipliers =
+      smoke ? std::vector<double>{0.5, 1.5}
+            : std::vector<double>{0.5, 0.8, 1.1, 1.5};
+  for (const double m : multipliers) {
+    RunResult r = run_open_loop(wopt.unix_path, connections, duration_s,
+                                m * capacity, deadline_us);
+    r.rate_multiplier = m;
+    print_run(r);
+    runs.push_back(r);
+  }
+
+  wire.stop();
+  server.shutdown();
+
+  // The CI gate: transport/internal errors are bugs; a rate with zero
+  // goodput means the serving path collapsed outright; shed_rate must be a
+  // valid fraction. Sheds themselves are healthy overload behavior.
+  bool load_ok = true;
+  for (const RunResult& r : runs) {
+    if (r.errors != 0 || r.ok == 0 || r.shed_rate < 0.0 ||
+        r.shed_rate > 1.0) {
+      load_ok = false;
+    }
+  }
+  std::printf("\ncalibrated capacity: %.1f img/s; load_ok: %s\n", capacity,
+              load_ok ? "true" : "false");
+  write_json(load_section_json(runs, connections, deadline_ms, capacity,
+                               load_ok));
+  return load_ok ? 0 : 1;
+}

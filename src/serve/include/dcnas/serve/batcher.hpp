@@ -1,24 +1,39 @@
 #pragma once
 /// \file batcher.hpp
 /// \brief Dynamic request batching: merges single-image requests into
-/// batched NCHW tensors under a max-batch / max-queue-delay policy.
+/// batched NCHW tensors under a max-batch / max-queue-delay policy, with
+/// SLO-aware (deadline-tagged) admission.
 ///
 /// Producers call enqueue() and get a future for their single image's
-/// output; consumers (server workers) call next_batch() and receive merged
-/// (B,C,H,W) inputs plus the pending requests to answer. A batch is released
-/// as soon as max_batch requests of one model are waiting, or when the
-/// oldest waiting request has aged max_delay — whichever comes first — so
-/// light traffic pays at most max_delay of extra latency while heavy
-/// traffic amortizes the per-batch cost across full batches.
+/// output; consumers (replica workers) call next_batch() and receive merged
+/// (B,C,H,W) inputs plus the pending requests to answer. A batch is
+/// released as soon as max_batch requests of one model are waiting, or when
+/// the oldest waiting request has aged max_delay — whichever comes first —
+/// so light traffic pays at most max_delay of extra latency while heavy
+/// traffic amortizes the per-batch cost across full batches. *Any* full
+/// queue flushes immediately, even while an older, sparser queue is still
+/// inside its delay window: a full batch for model B must never starve
+/// behind model A's aging head (the pre-PR-9 behavior).
 ///
-/// Backpressure is rejection, not buffering: once queue_capacity requests
-/// are pending, enqueue() throws RejectedError instead of growing the queue
-/// without bound.
+/// Admission policy (in order, under one lock):
+///   1. closed → RejectedError{kShutdown} — the server is gone, do not
+///      retry.
+///   2. pending < queue_capacity → admit.
+///   3. queue full, but some pending request is already past its deadline →
+///      shed the oldest such request (its future fails with
+///      RejectedError{kShedOverload}) and admit the newcomer.
+///   4. queue full, nothing sheddable → RejectedError{kQueueFull} — a
+///      transient overload, retry later.
+/// Consumers additionally shed requests whose deadline expires while they
+/// queue (RejectedError{kDeadlineExpired}): executing a request that has
+/// already missed its SLO only steals capacity from ones that can still
+/// make theirs.
 
 #include <chrono>
 #include <condition_variable>
 #include <cstdint>
 #include <deque>
+#include <functional>
 #include <future>
 #include <map>
 #include <mutex>
@@ -31,10 +46,34 @@
 
 namespace dcnas::serve {
 
-/// Thrown on backpressure (pending queue full) and on enqueue after close().
+/// Why a request was refused or shed. Values double as the wire-protocol
+/// status byte (see wire.hpp), so they are fixed: never renumber.
+enum class RejectReason : std::uint8_t {
+  kShutdown = 1,         ///< server shutting down — gone, do not retry
+  kQueueFull = 2,        ///< overload, nothing sheddable — retry later
+  kShedOverload = 3,     ///< past-deadline request shed to admit newer work
+  kDeadlineExpired = 4,  ///< deadline passed while queued; never executed
+};
+
+const char* to_string(RejectReason reason);
+
+/// Thrown on refused admission (enqueue) and delivered through the future
+/// of a shed request. reason() distinguishes retry-later overload from
+/// gone-for-good shutdown — clients and the wire protocol surface it.
 class RejectedError : public Error {
  public:
-  explicit RejectedError(const std::string& what) : Error(what) {}
+  RejectedError(RejectReason reason, const std::string& what)
+      : Error(what), reason_(reason) {}
+
+  RejectReason reason() const { return reason_; }
+
+  /// True for transient conditions a client may retry (everything except
+  /// shutdown). A shed request's *payload* is gone either way; retryable
+  /// means re-submitting is meaningful, not that the first copy survived.
+  bool retryable() const { return reason_ != RejectReason::kShutdown; }
+
+ private:
+  RejectReason reason_;
 };
 
 /// Batching policy knobs.
@@ -47,12 +86,19 @@ struct BatchPolicy {
   void validate() const;
 };
 
-/// One admitted single-image request.
+/// One admitted single-image request. deadline is the absolute SLO expiry
+/// (time_point::max() when untagged): requests past it are shed, never run.
 struct PendingRequest {
   std::string model;
   Tensor input;  ///< (C, H, W)
   std::promise<Tensor> promise;
   std::chrono::steady_clock::time_point admitted;
+  std::chrono::steady_clock::time_point deadline =
+      std::chrono::steady_clock::time_point::max();
+
+  bool has_deadline() const {
+    return deadline != std::chrono::steady_clock::time_point::max();
+  }
 };
 
 /// A released batch: requests share one model and image shape, in admission
@@ -73,13 +119,22 @@ class DynamicBatcher {
   explicit DynamicBatcher(BatchPolicy policy);
 
   /// Admits one image — (C,H,W), or (1,C,H,W) which is squeezed — and
-  /// returns the future for its output. Throws RejectedError when the
-  /// pending queue is full or the batcher is closed, InvalidArgument on a
+  /// returns the future for its output. \p deadline, when positive, tags
+  /// the request with an SLO expiry of now + deadline; an expired request
+  /// is shed (future fails with RejectedError) instead of executed. Throws
+  /// RejectedError per the admission policy above, InvalidArgument on a
   /// malformed input shape.
-  std::future<Tensor> enqueue(const std::string& model, const Tensor& input);
+  std::future<Tensor> enqueue(
+      const std::string& model, const Tensor& input,
+      std::chrono::microseconds deadline = std::chrono::microseconds(0));
 
   /// Blocks until a batch is due (full, aged out, or draining after
-  /// close()); returns nullopt once closed and fully drained.
+  /// close()); returns nullopt once closed and fully drained. Requests
+  /// whose deadline expired while queued are shed here (their futures fail
+  /// with RejectedError{kDeadlineExpired}) and never appear in a batch. A
+  /// failure while merging the batch tensor (e.g. bad_alloc) is answered
+  /// through the popped requests' futures and the consumer keeps draining —
+  /// next_batch() itself only throws on internal invariant violations.
   std::optional<Batch> next_batch();
 
   /// Stops admissions and wakes all next_batch() waiters; already-pending
@@ -88,17 +143,36 @@ class DynamicBatcher {
 
   bool closed() const;
 
-  /// Requests admitted but not yet handed to a consumer.
+  /// Requests admitted but not yet handed to a consumer (or shed).
   std::size_t pending() const;
 
   const BatchPolicy& policy() const { return policy_; }
 
+  /// Test seam: runs before every batch merge with the popped batch (e.g.
+  /// to inject a bad_alloc that exercises the merge-failure drain path).
+  /// Install before serving starts; not synchronized against next_batch().
+  void set_merge_hook_for_testing(std::function<void(const Batch&)> hook) {
+    merge_hook_ = std::move(hook);
+  }
+
  private:
   using Queue = std::deque<PendingRequest>;
+  using TimePoint = std::chrono::steady_clock::time_point;
 
-  /// The model queue whose head request is oldest (end() when all empty).
-  std::map<std::string, Queue>::iterator oldest_queue_locked();
+  /// The queue to pop now or wait on: a *full* queue when one exists (the
+  /// one with the oldest head, for fairness among full queues), otherwise
+  /// the queue whose head request is oldest (end() when all empty).
+  std::map<std::string, Queue>::iterator ripest_queue_locked();
   Batch pop_batch_locked(std::map<std::string, Queue>::iterator it);
+  /// Moves every request whose deadline is <= now out of the queues into
+  /// \p out (oldest first), erasing emptied queues.
+  void take_expired_locked(TimePoint now, std::vector<PendingRequest>* out);
+  /// Removes and returns the oldest pending request that is past its
+  /// deadline at \p now (nullopt when none) — the overload-shed victim.
+  std::optional<PendingRequest> take_oldest_expired_locked(TimePoint now);
+  /// Earliest deadline tag across all pending requests (max() when none) —
+  /// bounds consumer waits so expiry is shed promptly.
+  TimePoint earliest_deadline_locked() const;
 
   BatchPolicy policy_;
   mutable std::mutex mu_;
@@ -106,6 +180,7 @@ class DynamicBatcher {
   std::map<std::string, Queue> queues_;
   std::size_t total_pending_ = 0;
   bool closed_ = false;
+  std::function<void(const Batch&)> merge_hook_;
 };
 
 }  // namespace dcnas::serve

@@ -1,32 +1,37 @@
 #pragma once
 /// \file server.hpp
-/// \brief Concurrent inference server: registry -> dynamic batcher ->
-/// worker threads -> per-model metrics.
+/// \brief Concurrent inference server: registry -> replica group (dynamic
+/// batchers + worker pools) -> per-model metrics.
 ///
-/// submit() admits one image and returns a future; worker threads (a
-/// dedicated dcnas::ThreadPool) pop merged batches, look the model up in
-/// the ModelRegistry, run the (const, reentrant) GraphExecutor, and answer
-/// each request's future with its row of the batched output. Overload is
-/// surfaced as RejectedError from submit() — the queue never grows past
-/// BatchPolicy.queue_capacity. shutdown() (also run by the destructor)
-/// stops admissions, drains every in-flight request, and joins the workers,
-/// so no accepted request is ever dropped.
+/// submit() admits one image and returns a future; the ReplicaGroup routes
+/// it to one of num_replicas independent {batcher, pool} units
+/// (power-of-two-choices on pending depth — see replica.hpp). Workers pop
+/// merged batches, look the model up in the ModelRegistry, run the (const,
+/// reentrant) compiled plan or GraphExecutor, and answer each request's
+/// future with its row of the batched output. Overload surfaces as
+/// RejectedError from submit() with a typed RejectReason — the queues never
+/// grow past BatchPolicy.queue_capacity per replica; deadline-tagged
+/// requests that miss their SLO are shed through their futures instead of
+/// executed. shutdown() (also run by the destructor) stops admissions,
+/// drains every in-flight request, and joins the workers, so no accepted
+/// request is ever dropped.
 
-#include <atomic>
+#include <chrono>
 #include <future>
 #include <memory>
 #include <string>
 
-#include "dcnas/common/thread_pool.hpp"
 #include "dcnas/serve/batcher.hpp"
 #include "dcnas/serve/metrics.hpp"
 #include "dcnas/serve/registry.hpp"
+#include "dcnas/serve/replica.hpp"
 
 namespace dcnas::serve {
 
 struct ServerOptions {
-  std::size_t num_workers = 2;  ///< batch-executing threads (0 means 1)
-  BatchPolicy batch;
+  std::size_t num_workers = 2;   ///< batch-executing threads *per replica*
+  std::size_t num_replicas = 1;  ///< independent {batcher, pool} units
+  BatchPolicy batch;             ///< per replica (capacity is per replica)
   /// Serve from the registry's compiled plan when one is cached (fused
   /// kernels + static arena); false forces the op-by-op GraphExecutor —
   /// the differential baseline bench_serve compares against.
@@ -46,9 +51,17 @@ class Server {
   /// Admits one image — (C,H,W) or (1,C,H,W) — for \p model. The future
   /// yields the model output for that image alone, shaped as a batch of one
   /// (e.g. (1, num_classes)); an unknown model or a failed run surfaces as
-  /// an exception on the future. Throws RejectedError under overload or
-  /// after shutdown.
+  /// an exception on the future. Throws RejectedError (with reason()) under
+  /// overload or after shutdown.
   std::future<Tensor> submit(const std::string& model, const Tensor& input);
+
+  /// As above with an SLO deadline tag: the request must complete within
+  /// \p deadline of admission or it is shed — its future fails with
+  /// RejectedError{kDeadlineExpired} (expired while queued) or
+  /// {kShedOverload} (evicted past-deadline to admit newer work). A
+  /// non-positive deadline means untagged.
+  std::future<Tensor> submit(const std::string& model, const Tensor& input,
+                             std::chrono::microseconds deadline);
 
   /// Graceful stop: reject new work, drain all accepted requests, join
   /// workers. Idempotent.
@@ -56,21 +69,21 @@ class Server {
 
   const ServingMetrics& metrics() const { return metrics_; }
   ModelRegistry& registry() { return *registry_; }
-  std::size_t pending() const { return batcher_.pending(); }
+  std::size_t pending() const { return group_.pending(); }
+
+  /// The routing layer, e.g. for per-replica pending depths.
+  ReplicaGroup& replicas() { return group_; }
+  const ReplicaGroup& replicas() const { return group_; }
 
   /// metrics().stats_report() convenience.
   std::string stats_report() const { return metrics_.stats_report(); }
 
  private:
-  void worker_loop();
-  void handle_batch(Batch&& batch);
+  static ReplicaGroupOptions group_options(const ServerOptions& options);
 
   std::shared_ptr<ModelRegistry> registry_;
-  ServerOptions options_;
-  DynamicBatcher batcher_;
   ServingMetrics metrics_;
-  std::atomic<bool> shut_down_{false};
-  ThreadPool pool_;  ///< last member: destroyed (joined) first
+  ReplicaGroup group_;  ///< last member: shut down (joined) first
 };
 
 }  // namespace dcnas::serve

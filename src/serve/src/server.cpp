@@ -1,100 +1,40 @@
 #include "dcnas/serve/server.hpp"
 
-#include <cstring>
-#include <exception>
-
-#include "dcnas/common/profiler.hpp"
-#include "dcnas/obs/trace.hpp"
-
 namespace dcnas::serve {
+
+ReplicaGroupOptions Server::group_options(const ServerOptions& options) {
+  ReplicaGroupOptions g;
+  g.num_replicas = options.num_replicas == 0 ? 1 : options.num_replicas;
+  g.workers_per_replica = options.num_workers == 0 ? 1 : options.num_workers;
+  g.batch = options.batch;
+  g.use_plans = options.use_plans;
+  return g;
+}
 
 Server::Server(std::shared_ptr<ModelRegistry> registry, ServerOptions options)
     : registry_(std::move(registry)),
-      options_(options),
-      batcher_(options.batch),
-      pool_(options.num_workers == 0 ? 1 : options.num_workers) {
+      group_(registry_, group_options(options), &metrics_) {
   DCNAS_CHECK(registry_ != nullptr, "Server requires a ModelRegistry");
-  for (std::size_t i = 0; i < pool_.size(); ++i) {
-    pool_.submit(std::function<void()>([this] { worker_loop(); }));
-  }
 }
 
 Server::~Server() { shutdown(); }
 
 std::future<Tensor> Server::submit(const std::string& model,
                                    const Tensor& input) {
+  return submit(model, input, std::chrono::microseconds(0));
+}
+
+std::future<Tensor> Server::submit(const std::string& model,
+                                   const Tensor& input,
+                                   std::chrono::microseconds deadline) {
   try {
-    return batcher_.enqueue(model, input);
+    return group_.submit(model, input, deadline);
   } catch (const RejectedError&) {
     metrics_.record_error(model);
     throw;
   }
 }
 
-void Server::shutdown() {
-  if (shut_down_.exchange(true)) return;
-  batcher_.close();
-  pool_.wait_idle();
-}
-
-void Server::worker_loop() {
-  // Pool tasks must not throw; handle_batch answers failures through the
-  // request futures instead.
-  while (auto batch = batcher_.next_batch()) {
-    handle_batch(std::move(*batch));
-  }
-}
-
-void Server::handle_batch(Batch&& batch) {
-  const std::int64_t n = batch.size();
-  obs::Span span("serve", "serve.batch.execute");
-  if (span.armed()) {
-    span.arg("model", batch.model);
-    span.arg("rows", n);
-  }
-  std::vector<Tensor> rows;
-  try {
-    // One locked read hands back a coherent {executor, plan, version}
-    // triple, so a concurrent hot-swap can never pair this batch with a
-    // stale plan.
-    const ModelSnapshot snap = registry_->snapshot(batch.model);
-    const bool via_plan = options_.use_plans && snap.plan != nullptr;
-    if (span.armed()) span.arg("path", via_plan ? "plan" : "graph");
-    Tensor out;
-    {
-      ScopedTimer timer("serve/run_batch");
-      out = via_plan ? snap.plan->run(batch.input)
-                     : snap.exec->run(batch.input);
-    }
-    DCNAS_ASSERT(out.ndim() >= 1 && out.dim(0) == n,
-                 "batched output row count mismatch");
-    const std::int64_t per = out.numel() / n;
-    Shape row_shape = out.shape();
-    row_shape[0] = 1;
-    rows.reserve(static_cast<std::size_t>(n));
-    for (std::int64_t i = 0; i < n; ++i) {
-      Tensor row(row_shape);
-      std::memcpy(row.data(), out.data() + i * per,
-                  static_cast<std::size_t>(per) * sizeof(float));
-      rows.push_back(std::move(row));
-    }
-  } catch (...) {
-    const std::exception_ptr error = std::current_exception();
-    for (PendingRequest& req : batch.requests) {
-      metrics_.record_error(batch.model);
-      req.promise.set_exception(error);
-    }
-    return;
-  }
-  metrics_.record_batch(batch.model, n);
-  const auto done = std::chrono::steady_clock::now();
-  for (std::int64_t i = 0; i < n; ++i) {
-    PendingRequest& req = batch.requests[static_cast<std::size_t>(i)];
-    const double latency_ms =
-        std::chrono::duration<double, std::milli>(done - req.admitted).count();
-    metrics_.record_request(batch.model, latency_ms);
-    req.promise.set_value(std::move(rows[static_cast<std::size_t>(i)]));
-  }
-}
+void Server::shutdown() { group_.shutdown(); }
 
 }  // namespace dcnas::serve

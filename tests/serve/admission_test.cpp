@@ -1,0 +1,199 @@
+/// SLO-aware admission: deadline tags, shed-oldest-past-deadline under
+/// overload, expiry-while-queued shedding, and the typed RejectReason
+/// surfaced on RejectedError — the admission policy state machine of
+/// DESIGN.md §13.
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <thread>
+
+#include "dcnas/serve/batcher.hpp"
+
+namespace dcnas::serve {
+namespace {
+
+using std::chrono::steady_clock;
+using ms = std::chrono::milliseconds;
+using us = std::chrono::microseconds;
+
+Tensor image(float fill = 0.0f) { return Tensor::full({2, 4, 4}, fill); }
+
+BatchPolicy policy(std::int64_t max_batch, ms delay,
+                   std::size_t capacity = 1024) {
+  BatchPolicy p;
+  p.max_batch = max_batch;
+  p.max_delay = delay;
+  p.queue_capacity = capacity;
+  return p;
+}
+
+RejectReason reason_of(std::future<Tensor>& future) {
+  try {
+    future.get();
+  } catch (const RejectedError& e) {
+    return e.reason();
+  }
+  ADD_FAILURE() << "future did not fail with RejectedError";
+  return RejectReason::kShutdown;
+}
+
+TEST(AdmissionTest, RejectReasonsDistinguishShutdownFromOverload) {
+  DynamicBatcher batcher(policy(8, ms(60000), 1));
+  batcher.enqueue("m", image());
+  try {
+    batcher.enqueue("m", image());
+    FAIL() << "expected overload rejection";
+  } catch (const RejectedError& e) {
+    EXPECT_EQ(e.reason(), RejectReason::kQueueFull);
+    EXPECT_TRUE(e.retryable());
+  }
+  batcher.close();
+  try {
+    batcher.enqueue("m", image());
+    FAIL() << "expected shutdown rejection";
+  } catch (const RejectedError& e) {
+    EXPECT_EQ(e.reason(), RejectReason::kShutdown);
+    EXPECT_FALSE(e.retryable());
+  }
+}
+
+// Overload with past-deadline requests pending: the *oldest* expired
+// request is shed (future fails with kShedOverload) and the newcomer is
+// admitted; shed order follows admission age. Untagged requests are never
+// shed, so once only they remain the newcomer is rejected with kQueueFull.
+TEST(AdmissionTest, OverloadShedsOldestPastDeadlineFirst) {
+  DynamicBatcher batcher(policy(64, ms(60000), 3));
+  auto f_old = batcher.enqueue("m", image(1.0f), us(1000));
+  std::this_thread::sleep_for(ms(2));  // stagger admission times
+  auto f_mid = batcher.enqueue("m", image(2.0f), us(1000));
+  auto f_solid = batcher.enqueue("m", image(3.0f));  // untagged
+  std::this_thread::sleep_for(ms(5));                // both tagged expire
+  ASSERT_EQ(batcher.pending(), 3u);
+
+  batcher.enqueue("m", image(4.0f));  // sheds f_old
+  EXPECT_EQ(reason_of(f_old), RejectReason::kShedOverload);
+  EXPECT_EQ(f_mid.wait_for(ms(0)), std::future_status::timeout)
+      << "younger expired request shed before the oldest";
+  EXPECT_EQ(batcher.pending(), 3u);
+
+  batcher.enqueue("m", image(5.0f));  // sheds f_mid
+  EXPECT_EQ(reason_of(f_mid), RejectReason::kShedOverload);
+
+  // Only the untagged request and the two fresh ones remain: nothing is
+  // sheddable, so the queue-full rejection reappears.
+  try {
+    batcher.enqueue("m", image(6.0f));
+    FAIL() << "expected queue-full rejection";
+  } catch (const RejectedError& e) {
+    EXPECT_EQ(e.reason(), RejectReason::kQueueFull);
+  }
+  EXPECT_EQ(f_solid.wait_for(ms(0)), std::future_status::timeout)
+      << "untagged request must never be shed";
+}
+
+// A deadline that expires while the request queues is shed by the consumer
+// — promptly (the consumer wakes at the earliest expiry, not the flush
+// deadline) and without ever executing the request.
+TEST(AdmissionTest, DeadlineExpiryDuringQueueingShedsPromptly) {
+  DynamicBatcher batcher(policy(64, ms(60000)));
+  auto doomed = batcher.enqueue("m", image(1.0f), ms(30));
+  auto solid = batcher.enqueue("m", image(2.0f));
+
+  std::thread consumer([&] {
+    // Pops exactly one batch: the drain after close() hands over "solid".
+    auto batch = batcher.next_batch();
+    ASSERT_TRUE(batch);
+    EXPECT_EQ(batch->size(), 1);
+    batch->requests.front().promise.set_value(Tensor::full({1, 2}, 9.0f));
+    EXPECT_FALSE(batcher.next_batch().has_value());
+  });
+
+  // The shed must happen at the ~30ms expiry, far before the 60s flush
+  // deadline — wait_for bounds how long the consumer may sit on it.
+  ASSERT_EQ(doomed.wait_for(ms(5000)), std::future_status::ready);
+  const auto t_shed = steady_clock::now();
+  EXPECT_EQ(reason_of(doomed), RejectReason::kDeadlineExpired);
+  EXPECT_EQ(batcher.pending(), 1u) << "solid request must survive the shed";
+
+  batcher.close();
+  consumer.join();
+  EXPECT_FLOAT_EQ(solid.get()[0], 9.0f);
+  (void)t_shed;
+}
+
+// A request whose deadline has not expired is executed normally — the tag
+// alone must not change the happy path.
+TEST(AdmissionTest, UnexpiredDeadlineServesNormally) {
+  DynamicBatcher batcher(policy(1, ms(0)));
+  auto future = batcher.enqueue("m", image(3.0f), ms(60000));
+  auto batch = batcher.next_batch();
+  ASSERT_TRUE(batch);
+  ASSERT_EQ(batch->size(), 1);
+  EXPECT_TRUE(batch->requests.front().has_deadline());
+  batch->requests.front().promise.set_value(Tensor::full({1, 2}, 7.0f));
+  EXPECT_FLOAT_EQ(future.get()[0], 7.0f);
+}
+
+// Adversarial multi-model load: a sparse old queue, a full young queue, and
+// expiring requests interleaved. The consumer must flush the full queue
+// first, shed expired requests without executing them, and still answer
+// every surviving request exactly once.
+TEST(AdmissionTest, MultiModelAdversarialMix) {
+  DynamicBatcher batcher(policy(3, ms(100)));
+  auto a_sparse = batcher.enqueue("a", image(0.0f));
+  auto a_doomed = batcher.enqueue("a", image(1.0f), us(500));
+  std::vector<std::future<Tensor>> b_full;
+  for (int i = 0; i < 3; ++i) {
+    b_full.push_back(batcher.enqueue("b", image(float(10 + i))));
+  }
+  std::this_thread::sleep_for(ms(3));  // a_doomed expires
+
+  // First pop: b's full batch (a's head is older but not full and not aged).
+  auto first = batcher.next_batch();
+  ASSERT_TRUE(first);
+  EXPECT_EQ(first->model, "b");
+  EXPECT_EQ(first->size(), 3);
+  // a_doomed was shed during the pop, never handed to a consumer.
+  EXPECT_EQ(reason_of(a_doomed), RejectReason::kDeadlineExpired);
+
+  // Second pop: a's survivor after its delay deadline.
+  auto second = batcher.next_batch();
+  ASSERT_TRUE(second);
+  EXPECT_EQ(second->model, "a");
+  EXPECT_EQ(second->size(), 1);
+  second->requests.front().promise.set_value(Tensor::full({1, 2}, 1.0f));
+  EXPECT_FLOAT_EQ(a_sparse.get()[0], 1.0f);
+  for (auto& req : first->requests) {
+    req.promise.set_value(Tensor::full({1, 2}, 2.0f));
+  }
+  for (auto& f : b_full) EXPECT_FLOAT_EQ(f.get()[0], 2.0f);
+  EXPECT_EQ(batcher.pending(), 0u);
+}
+
+// Merge failures (e.g. bad_alloc allocating the batch tensor) are answered
+// through the popped requests' futures; the consumer keeps draining later
+// work instead of leaking the exception into its worker loop.
+TEST(AdmissionTest, MergeFailureAnswersFuturesAndKeepsDraining) {
+  DynamicBatcher batcher(policy(2, ms(0)));
+  int calls = 0;
+  batcher.set_merge_hook_for_testing([&calls](const Batch&) {
+    if (++calls == 1) throw std::bad_alloc();
+  });
+  auto f1 = batcher.enqueue("m", image(1.0f));
+  auto f2 = batcher.enqueue("m", image(2.0f));
+  auto f3 = batcher.enqueue("m", image(3.0f));
+
+  // One next_batch call: the first popped batch fails its merge (futures
+  // answered with bad_alloc), then the same call pops and merges the rest.
+  auto batch = batcher.next_batch();
+  ASSERT_TRUE(batch);
+  EXPECT_EQ(batch->size(), 1);
+  EXPECT_THROW(f1.get(), std::bad_alloc);
+  EXPECT_THROW(f2.get(), std::bad_alloc);
+  batch->requests.front().promise.set_value(Tensor::full({1, 2}, 5.0f));
+  EXPECT_FLOAT_EQ(f3.get()[0], 5.0f);
+}
+
+}  // namespace
+}  // namespace dcnas::serve

@@ -139,6 +139,39 @@ TEST(DynamicBatcherTest, AcceptsSqueezableBatchDimAndRejectsOthers) {
   EXPECT_EQ(batch->input.dim(0), 1);
 }
 
+// PR 9 starvation regression (single consumer, two models): a *full* batch
+// for model "b" must flush immediately even though model "a" holds the
+// oldest head request and is still inside its (enormous) delay window. The
+// pre-fix batcher only ever inspected the queue with the oldest head, so
+// b's full batch waited out a's max_delay — this test times out on that
+// code and passes post-fix.
+TEST(DynamicBatcherTest, FullQueueFlushesAheadOfOlderSparseQueue) {
+  DynamicBatcher batcher(policy(4, ms(60000)));
+  batcher.enqueue("a", image());  // older, sparse: 1 of 4
+  for (int i = 0; i < 4; ++i) batcher.enqueue("b", image(float(i)));
+  const auto t0 = steady_clock::now();
+  const auto batch = batcher.next_batch();  // single consumer
+  const auto elapsed = steady_clock::now() - t0;
+  ASSERT_TRUE(batch);
+  EXPECT_EQ(batch->model, "b");
+  EXPECT_EQ(batch->size(), 4);
+  EXPECT_LT(elapsed, ms(10000));
+  EXPECT_EQ(batcher.pending(), 1u);  // "a" still waiting, not lost
+}
+
+// With several full queues, the one whose head is oldest flushes first —
+// the full-queue fast path must not introduce unfairness among full queues.
+TEST(DynamicBatcherTest, OldestFullQueueFlushesFirst) {
+  DynamicBatcher batcher(policy(2, ms(60000)));
+  for (int i = 0; i < 2; ++i) batcher.enqueue("x", image());
+  for (int i = 0; i < 2; ++i) batcher.enqueue("y", image());
+  const auto first = batcher.next_batch();
+  const auto second = batcher.next_batch();
+  ASSERT_TRUE(first && second);
+  EXPECT_EQ(first->model, "x");
+  EXPECT_EQ(second->model, "y");
+}
+
 TEST(DynamicBatcherTest, FutureResolvesWhenPromiseAnswered) {
   DynamicBatcher batcher(policy(1, ms(0)));
   auto future = batcher.enqueue("m", image(3.0f));
