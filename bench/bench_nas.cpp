@@ -16,6 +16,7 @@
 /// the nas-bench job when parity_ok is false.
 
 #include <chrono>
+#include <filesystem>
 #include <map>
 #include <thread>
 
@@ -24,6 +25,8 @@
 #include "dcnas/common/strings.hpp"
 #include "dcnas/core/pipeline.hpp"
 #include "dcnas/nas/scheduler.hpp"
+#include "dcnas/nas/store/multiproc.hpp"
+#include "dcnas/nas/store/trial_store.hpp"
 
 using namespace dcnas;
 
@@ -110,6 +113,7 @@ ModeResult run_mode(nas::Evaluator& evaluator,
 }
 
 struct PruneResult {
+  std::size_t threads = 0;
   std::size_t total_trials = 0;
   std::size_t pruned_trials = 0;
   std::size_t folds_evaluated = 0;
@@ -136,6 +140,7 @@ PruneResult run_prune_mode(nas::Evaluator& evaluator,
   const nas::TrialDatabase pruned_db = scheduler.run(configs);
 
   PruneResult r;
+  r.threads = scheduler.threads();
   r.total_trials = configs.size();
   r.pruned_trials = scheduler.stats().pruned;
   r.folds_evaluated = scheduler.stats().folds_evaluated;
@@ -164,10 +169,129 @@ PruneResult run_prune_mode(nas::Evaluator& evaluator,
   return r;
 }
 
+struct StoreResult {
+  // Single-process store commit/replay throughput.
+  std::size_t append_records = 0;
+  double append_s = 0.0;
+  double append_per_s = 0.0;
+  double replay_s = 0.0;
+  double replay_per_s = 0.0;
+  // Multi-process wide-lattice sweep vs the serial reference.
+  std::int64_t lattice_points = 0;  ///< raw wide-lattice size
+  std::size_t trials = 0;           ///< buildable trials actually swept
+  int workers = 0;
+  std::size_t worker_threads = 0;
+  double serial_s = 0.0;
+  double multiproc_s = 0.0;
+  double speedup = 0.0;
+  std::uint64_t serial_hash = 0;
+  std::uint64_t store_hash = 0;
+  bool hash_ok = false;
+  bool pareto_ok = false;
+};
+
+/// Store throughput + the tentpole parity claim: a 2-process sweep of the
+/// full wide lattice, replayed from the store in lattice order, must hash
+/// byte-identically to the serial sweep and carry the identical Pareto
+/// front. fsync is off in both paths (crash-safety is covered by tests;
+/// this measures the mmap/locking machinery).
+StoreResult run_store_mode(const std::string& dir) {
+  namespace fs = std::filesystem;
+  StoreResult r;
+  fs::create_directories(dir);  // TrialStore mkdirs only the leaf
+  nas::OracleEvaluator oracle;
+  const nas::Experiment experiment(oracle, latency::NnMeter::shared());
+
+  // Append throughput: one record per paper-lattice config.
+  {
+    const auto configs = nas::SearchSpace::enumerate_all();
+    std::vector<nas::JournalEntry> entries;
+    entries.reserve(configs.size());
+    for (const auto& c : configs) {
+      nas::JournalEntry e;
+      e.record = experiment.run_trial(c);
+      for (std::size_t f = 0; f < e.record.fold_accuracies.size(); ++f) {
+        e.fold_indices.push_back(static_cast<int>(f));
+      }
+      entries.push_back(std::move(e));
+    }
+    const std::string append_dir = dir + "/append";
+    fs::remove_all(append_dir);
+    nas::TrialStoreOptions sopt;
+    sopt.fsync_each = false;
+    nas::TrialStore store(append_dir, sopt);
+    auto t0 = std::chrono::steady_clock::now();
+    for (const auto& e : entries) store.append(e);
+    r.append_s = seconds_since(t0);
+    r.append_records = entries.size();
+    r.append_per_s =
+        r.append_s > 0.0 ? static_cast<double>(entries.size()) / r.append_s
+                         : 0.0;
+
+    // Replay throughput: a cold handle mmaps the chunks and decodes every
+    // committed record into the read view.
+    t0 = std::chrono::steady_clock::now();
+    nas::TrialStore replay(append_dir, sopt);
+    const nas::TrialDatabase db = replay.to_database();
+    r.replay_s = seconds_since(t0);
+    r.replay_per_s =
+        r.replay_s > 0.0 ? static_cast<double>(db.size()) / r.replay_s : 0.0;
+    fs::remove_all(append_dir);
+  }
+
+  // Multi-process wide-lattice sweep vs serial (the PR parity acceptance).
+  {
+    const nas::SearchSpaceSpec spec = nas::SearchSpaceSpec::wide();
+    r.lattice_points = spec.size();
+    const auto configs = spec.enumerate();
+    r.trials = configs.size();
+
+    auto t0 = std::chrono::steady_clock::now();
+    const nas::TrialDatabase serial_db = experiment.run_all(configs);
+    r.serial_s = seconds_since(t0);
+    const std::string serial_csv = serial_db.to_csv().to_string();
+    r.serial_hash = fnv1a64(serial_csv);
+
+    const std::string sweep_dir = dir + "/wide";
+    fs::remove_all(sweep_dir);
+    nas::MultiProcSweepOptions mp;
+    mp.workers = 2;
+    mp.scheduler.threads = 1;  // speedup isolates *process* parallelism
+    mp.scheduler.fsync_store = false;
+    r.worker_threads = mp.scheduler.threads;
+    t0 = std::chrono::steady_clock::now();
+    const nas::MultiProcSweepStats stats =
+        nas::run_multiprocess_sweep(experiment, spec, sweep_dir, mp);
+    r.multiproc_s = seconds_since(t0);
+    r.workers = stats.workers;
+    r.speedup = r.multiproc_s > 0.0 ? r.serial_s / r.multiproc_s : 0.0;
+
+    nas::TrialStoreOptions sopt;
+    sopt.lattice_fingerprint = spec.fingerprint();
+    sopt.fsync_each = false;
+    const nas::TrialStore store(sweep_dir, sopt);
+    const nas::TrialDatabase replayed = store.assemble(configs);
+    const std::string store_csv = replayed.to_csv().to_string();
+    r.store_hash = fnv1a64(store_csv);
+    r.hash_ok = r.serial_hash == r.store_hash;
+
+    // Identical Pareto set: same front indices over both databases.
+    r.pareto_ok =
+        core::HwNasPipeline::front_of(serial_db,
+                                      pareto::DominanceMode::kWeak) ==
+        core::HwNasPipeline::front_of(replayed, pareto::DominanceMode::kWeak);
+    fs::remove_all(sweep_dir);
+  }
+  fs::remove_all(dir);
+  return r;
+}
+
 ModeResult g_dispatch;
 ModeResult g_compute;
 PruneResult g_prune;
+StoreResult g_store;
 double g_resume_saved_pct = 0.0;
+std::size_t g_resume_threads = 0;
 
 /// Pure dispatch overhead: oracle folds cost microseconds, so this measures
 /// the scheduler's per-trial admission + fan-out + merge cost.
@@ -216,22 +340,45 @@ void write_bench_nas_json() {
                static_cast<unsigned long long>(g_compute.parallel_hash),
                g_compute.parity_ok ? "true" : "false");
   std::fprintf(f,
-               "  \"median_stop\": {\"trials\": %zu, \"pruned\": %zu, "
+               "  \"median_stop\": {\"trials\": %zu, \"threads\": %zu, "
+               "\"pruned\": %zu, "
                "\"folds_evaluated\": %zu, \"folds_skipped\": %zu, "
                "\"fold_savings_pct\": %.1f, \"survivors_match_serial\": "
                "%s},\n",
-               g_prune.total_trials, g_prune.pruned_trials,
+               g_prune.total_trials, g_prune.threads, g_prune.pruned_trials,
                g_prune.folds_evaluated, g_prune.folds_skipped,
                g_prune.fold_savings_pct,
                g_prune.survivors_match_serial ? "true" : "false");
+  std::fprintf(f, "  \"resume_threads\": %zu,\n", g_resume_threads);
   std::fprintf(f, "  \"resume_saved_pct\": %.1f,\n", g_resume_saved_pct);
-  // Headline numbers the CI gate greps for: the dispatch-bound speedup is
+  std::fprintf(f,
+               "  \"store\": {\"append_records\": %zu, "
+               "\"append_records_per_s\": %.0f, \"replay_records_per_s\": "
+               "%.0f, \"wide_lattice_points\": %lld, \"wide_trials\": %zu, "
+               "\"workers\": %d, \"threads_per_worker\": %zu, "
+               "\"serial_s\": %.1f, \"multiproc_s\": %.1f, "
+               "\"multiproc_speedup\": %.2f, \"serial_hash\": \"%016llx\", "
+               "\"store_hash\": \"%016llx\", \"pareto_front_match\": %s},\n",
+               g_store.append_records, g_store.append_per_s,
+               g_store.replay_per_s,
+               static_cast<long long>(g_store.lattice_points), g_store.trials,
+               g_store.workers, g_store.worker_threads, g_store.serial_s,
+               g_store.multiproc_s, g_store.speedup,
+               static_cast<unsigned long long>(g_store.serial_hash),
+               static_cast<unsigned long long>(g_store.store_hash),
+               g_store.pareto_ok ? "true" : "false");
+  // Headline numbers the CI gates grep for: the dispatch-bound speedup is
   // thread-count-limited (not core-limited), so it is the stable
-  // scheduler-throughput signal across runner sizes.
+  // scheduler-throughput signal across runner sizes; store_parity_ok is the
+  // tentpole claim (multi-process wide-lattice sweep replays byte-identical
+  // to serial, same Pareto front).
   std::fprintf(f, "  \"speedup\": %.2f,\n", g_dispatch.speedup);
+  std::fprintf(f, "  \"store_parity_ok\": %s,\n",
+               g_store.hash_ok && g_store.pareto_ok ? "true" : "false");
   std::fprintf(f, "  \"parity_ok\": %s\n",
                g_dispatch.parity_ok && g_compute.parity_ok &&
-                       g_prune.survivors_match_serial
+                       g_prune.survivors_match_serial && g_store.hash_ok &&
+                       g_store.pareto_ok
                    ? "true"
                    : "false");
   std::fprintf(f, "}\n");
@@ -308,6 +455,7 @@ int main(int argc, char** argv) {
             configs.begin(), configs.begin() + 16));
       }
       nas::TrialScheduler resume(experiment, opt);
+      g_resume_threads = resume.threads();
       const auto t0 = std::chrono::steady_clock::now();
       (void)resume.run(configs);
       const double resumed_s = seconds_since(t0);
@@ -318,6 +466,19 @@ int main(int argc, char** argv) {
                   "(%.2fs for the rest)\n",
                   resume.stats().resumed, configs.size(), resumed_s);
       std::remove(journal.c_str());
+    }
+
+    {
+      std::printf("store: sweeping the wide lattice serially and with 2 "
+                  "worker processes (several minutes)...\n");
+      g_store = run_store_mode("bench_nas_store");
+      std::printf("store: append %.0f records/s, replay %.0f records/s; "
+                  "wide lattice %zu trials serial %.1fs vs %d-proc %.1fs -> "
+                  "%.2fx, hash %s, pareto %s\n",
+                  g_store.append_per_s, g_store.replay_per_s, g_store.trials,
+                  g_store.serial_s, g_store.workers, g_store.multiproc_s,
+                  g_store.speedup, g_store.hash_ok ? "OK" : "MISMATCH",
+                  g_store.pareto_ok ? "OK" : "MISMATCH");
     }
   });
   if (rc == 0) write_bench_nas_json();

@@ -4,7 +4,8 @@
 ///
 /// Usage: ./examples/drainage_pipeline [--trials N] [--out-dir DIR]
 ///                                     [--threads N] [--journal PATH]
-///                                     [--prune]
+///                                     [--prune] [--store DIR] [--workers N]
+///                                     [--wide] [--smoke]
 ///   --trials N   subsample the 1,728-point lattice (default: full sweep)
 ///   --out-dir    where to write fig3_scatter.csv / fig4_radar.csv /
 ///                trials.csv (default: current directory)
@@ -16,8 +17,19 @@
 ///   --prune      median-stop fold pruning (saves fold evaluations but
 ///                drops pruned trials from the artifacts; off for paper
 ///                reproduction)
+///   --store DIR  memory-mapped trial store directory: sweeps stream
+///                through the store (crash/resume safe, multi-process
+///                capable) instead of holding everything in memory
+///   --workers N  with --store: fork N worker processes sharing the store
+///                (default 1 = single-process streamed run)
+///   --wide       with --store: sweep the 138,240-point wide lattice
+///                (SearchSpaceSpec::wide) instead of the paper's 1,728
+///   --smoke      with --wide: deterministic 1-in-128 stride subsample of
+///                the wide lattice (950 buildable trials — the CI-sized
+///                sweep)
 
 #include <cstdio>
+#include <filesystem>
 #include <string>
 
 #include "dcnas/common/cli.hpp"
@@ -27,6 +39,25 @@
 
 using namespace dcnas;
 
+namespace {
+
+/// --smoke thins every option list is *not* what we want (it would change
+/// the lattice identity); instead the smoke sweep keeps the wide spec and
+/// strides over it, so the store fingerprint — and any resumed records —
+/// stay valid for the full sweep later.
+std::vector<nas::TrialConfig> stride_sample(const nas::SearchSpaceSpec& spec,
+                                            std::int64_t stride) {
+  std::vector<nas::TrialConfig> out;
+  for (std::int64_t i = 0; i < spec.size(); i += stride) {
+    nas::TrialConfig c = spec.at(i);
+    if (!c.geometry_ok()) continue;  // LatticeStream applies the same skip
+    out.push_back(std::move(c));
+  }
+  return out;
+}
+
+}  // namespace
+
 int main(int argc, char** argv) {
   const CliArgs args(argc, argv);
   const long long trials = args.get_int("trials", 0);
@@ -34,6 +65,10 @@ int main(int argc, char** argv) {
   const long long threads = args.get_int("threads", -1);
   const std::string journal = args.get(std::string("journal"), "");
   const bool prune = args.get_flag("prune");
+  const std::string store_dir = args.get(std::string("store"), "");
+  const long long workers = args.get_int("workers", 1);
+  const bool wide = args.get_flag("wide");
+  const bool smoke = args.get_flag("smoke");
 
   std::printf("=== dcnas drainage-crossing HW-NAS pipeline ===\n\n");
   std::printf("%s\n", core::table1_text().c_str());
@@ -44,7 +79,7 @@ int main(int argc, char** argv) {
   std::printf("%s\n", core::table2_text(latency::NnMeter::shared()).c_str());
 
   core::PipelineOptions options;
-  if (threads >= 0 || !journal.empty() || prune) {
+  if (threads >= 0 || !journal.empty() || prune || !store_dir.empty()) {
     options.use_scheduler = true;
     options.scheduler.threads =
         threads > 0 ? static_cast<std::size_t>(threads) : 0;
@@ -53,16 +88,42 @@ int main(int argc, char** argv) {
     options.scheduler.log_progress = true;
   }
   core::HwNasPipeline pipeline(options);
-  std::vector<nas::TrialConfig> configs = nas::SearchSpace::enumerate_all();
-  if (trials > 0 && trials < static_cast<long long>(configs.size())) {
-    Rng rng(7);
-    rng.shuffle(configs);
-    configs.resize(static_cast<std::size_t>(trials));
-    std::printf("running a %lld-trial subsample of the lattice...\n\n", trials);
+
+  const nas::SearchSpaceSpec spec =
+      wide ? nas::SearchSpaceSpec::wide() : nas::SearchSpaceSpec::paper();
+  core::SweepResult sweep;
+  if (!store_dir.empty() && smoke) {
+    // CI-sized wide-lattice pass: stride subsample, one process, results
+    // committed to (and resumable from) the same store as the full sweep.
+    options.scheduler.store_dir = store_dir;
+    options.scheduler.store_fingerprint = spec.fingerprint();
+    core::HwNasPipeline smoke_pipeline(options);
+    const auto configs = stride_sample(spec, 128);
+    std::printf("running a %zu-trial smoke stride of the %lld-point lattice "
+                "through store %s...\n\n",
+                configs.size(), static_cast<long long>(spec.size()),
+                store_dir.c_str());
+    sweep = smoke_pipeline.run_sweep(configs);
+  } else if (!store_dir.empty()) {
+    std::printf("running the %lld-point lattice through store %s with %lld "
+                "worker process(es)...\n\n",
+                static_cast<long long>(spec.size()), store_dir.c_str(),
+                workers);
+    sweep = pipeline.run_store_sweep(spec, store_dir,
+                                     static_cast<int>(workers));
   } else {
-    std::printf("running the full %zu-trial lattice...\n\n", configs.size());
+    std::vector<nas::TrialConfig> configs = spec.enumerate();
+    if (trials > 0 && trials < static_cast<long long>(configs.size())) {
+      Rng rng(7);
+      rng.shuffle(configs);
+      configs.resize(static_cast<std::size_t>(trials));
+      std::printf("running a %lld-trial subsample of the lattice...\n\n",
+                  trials);
+    } else {
+      std::printf("running the full %zu-trial lattice...\n\n", configs.size());
+    }
+    sweep = pipeline.run_sweep(configs);
   }
-  const core::SweepResult sweep = pipeline.run_sweep(configs);
 
   std::printf("%s\n", core::table3_text(sweep).c_str());
   std::printf("%s\n", core::table4_text(sweep).c_str());
@@ -73,6 +134,7 @@ int main(int argc, char** argv) {
   std::printf("%s\n", core::table5_text(baselines).c_str());
 
   // Persist artifacts.
+  std::filesystem::create_directories(out_dir);
   sweep.trials.save(out_dir + "/trials.csv");
   pareto::scatter_csv(sweep.objectives, sweep.front_indices)
       .save(out_dir + "/fig3_scatter.csv");

@@ -6,10 +6,12 @@
 /// Pareto front over (accuracy ↑, latency ↓, memory ↓).
 
 #include <memory>
+#include <string>
 #include <vector>
 
 #include "dcnas/nas/experiment.hpp"
 #include "dcnas/nas/scheduler.hpp"
+#include "dcnas/nas/store/multiproc.hpp"
 #include "dcnas/pareto/pareto.hpp"
 
 namespace dcnas::core {
@@ -62,6 +64,17 @@ class HwNasPipeline {
 
   /// Runs an arbitrary trial list (e.g. a sampled subset) + Pareto.
   SweepResult run_sweep(const std::vector<nas::TrialConfig>& configs) const;
+
+  /// Sweeps \p spec's lattice across \p workers processes sharing
+  /// \p store_dir (see store/multiproc.hpp), then assembles the Pareto
+  /// analysis from the store in lattice order — byte-identical trials CSV
+  /// to the serial run over spec.enumerate(). workers == 0 uses a single
+  /// in-process streamed scheduler run (still through the store, so a
+  /// partially complete store resumes either way). options_.scheduler
+  /// supplies the per-worker scheduler knobs; use_scheduler is implied.
+  SweepResult run_store_sweep(const nas::SearchSpaceSpec& spec,
+                              const std::string& store_dir,
+                              int workers) const;
 
   /// Stock ResNet-18 on the six input variants — Table 5.
   nas::TrialDatabase run_baselines() const;

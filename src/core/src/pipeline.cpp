@@ -50,6 +50,39 @@ SweepResult HwNasPipeline::run_full_sweep() const {
   return run_sweep(nas::SearchSpace::enumerate_all());
 }
 
+SweepResult HwNasPipeline::run_store_sweep(const nas::SearchSpaceSpec& spec,
+                                           const std::string& store_dir,
+                                           int workers) const {
+  const nas::Experiment experiment(*evaluator_, latency::NnMeter::shared(),
+                                   options_.experiment);
+  nas::SchedulerOptions sched = options_.scheduler;
+  sched.journal_path.clear();  // the store subsumes the journal
+  sched.store_dir = store_dir;
+  sched.store_fingerprint = spec.fingerprint();
+  if (workers <= 1) {
+    nas::TrialScheduler scheduler(experiment, sched);
+    nas::LatticeStream stream(spec);
+    scheduler.run_streamed(stream);
+  } else {
+    nas::MultiProcSweepOptions mp;
+    mp.workers = workers;
+    mp.scheduler = sched;
+    nas::run_multiprocess_sweep(experiment, spec, store_dir, mp);
+  }
+  // Read view in lattice order — the same order a serial
+  // run_sweep(spec.enumerate()) would produce, so the CSVs match byte for
+  // byte (pruned trials excepted, exactly like the scheduler contract).
+  nas::TrialStoreOptions sopt;
+  sopt.lattice_fingerprint = spec.fingerprint();
+  const nas::TrialStore store(store_dir, sopt);
+  SweepResult result;
+  result.trials = store.assemble(spec.enumerate());
+  result.objectives = objectives_of(result.trials);
+  result.front_indices =
+      pareto::non_dominated_indices(result.objectives, options_.dominance);
+  return result;
+}
+
 nas::TrialDatabase HwNasPipeline::run_baselines() const {
   const nas::Experiment experiment(*evaluator_, latency::NnMeter::shared(),
                                    options_.experiment);

@@ -218,10 +218,15 @@ std::string fig3_text(const SweepResult& sweep) {
 std::vector<pareto::RadarRow> fig4_rows(const SweepResult& sweep) {
   DCNAS_CHECK(!sweep.front_indices.empty(), "empty Pareto front");
   const auto norm = pareto::normalize(sweep.objectives);
+  // Axes are scaled against the paper's option ranges; wide-lattice fronts
+  // (SearchSpaceSpec::wide) carry values outside them, so clamp — the radar
+  // pegs at the rim rather than rejecting the sweep.
   auto norm_option = [](int value, const std::vector<int>& options) {
     const auto lo = static_cast<double>(options.front());
     const auto hi = static_cast<double>(options.back());
-    return hi > lo ? (static_cast<double>(value) - lo) / (hi - lo) : 0.5;
+    const double t =
+        hi > lo ? (static_cast<double>(value) - lo) / (hi - lo) : 0.5;
+    return std::min(1.0, std::max(0.0, t));
   };
   std::vector<pareto::RadarRow> rows;
   for (std::size_t i : sweep.front_indices) {

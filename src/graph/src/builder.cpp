@@ -47,7 +47,10 @@ ModelGraph build_resnet_graph(const nn::ResNetConfig& config,
     const std::int64_t stride = (stage == 0) ? 1 : 2;
     const std::string s = "stage" + std::to_string(stage + 1);
     cur = add_basic_block(g, cur, in_ch, out_ch, stride, s + ".block1");
-    cur = add_basic_block(g, cur, out_ch, out_ch, 1, s + ".block2");
+    for (std::int64_t b = 1; b < config.blocks_per_stage; ++b) {
+      cur = add_basic_block(g, cur, out_ch, out_ch, 1,
+                            s + ".block" + std::to_string(b + 1));
+    }
     in_ch = out_ch;
   }
   cur = g.add_global_avgpool(cur, "gap");

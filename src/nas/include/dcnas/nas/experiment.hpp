@@ -4,10 +4,13 @@
 /// runner that glues evaluator + nn-Meter + memory accounting together —
 /// the NNI-equivalent orchestration layer.
 
+#include <mutex>
 #include <string>
+#include <unordered_map>
 #include <vector>
 
 #include "dcnas/common/csv.hpp"
+#include "dcnas/common/thread_annotations.hpp"
 #include "dcnas/graph/builder.hpp"
 #include "dcnas/latency/predictor.hpp"
 #include "dcnas/nas/evaluator.hpp"
@@ -69,16 +72,31 @@ class Experiment {
   /// Fills the latency/memory half of \p r from r.config — the
   /// deterministic non-training objectives (nn-Meter prediction + model
   /// memory). run_trial == evaluator accuracy + this. Thread-safe: builds
-  /// only local graphs and queries the (const) meter.
+  /// only local graphs and queries the (const) meter; results are memoized
+  /// per (canonical architecture, precision) under a mutex because the
+  /// hardware objectives are independent of batch and fold — on a wide
+  /// lattice thousands of trials share each architecture, and rebuilding
+  /// the deployment graph per trial dominates a 10^5-point sweep.
   void fill_hardware_objectives(TrialRecord& r) const;
 
   Evaluator& evaluator() const { return evaluator_; }
   const ExperimentOptions& options() const { return options_; }
 
  private:
+  /// Cached hardware half of a TrialRecord (everything batch-independent).
+  struct HwObjectives {
+    double latency_ms = 0.0;
+    double lat_std = 0.0;
+    std::vector<std::pair<std::string, double>> per_device_ms;
+    double memory_mb = 0.0;
+  };
+
   Evaluator& evaluator_;
   const latency::NnMeter& meter_;
   ExperimentOptions options_;
+  mutable std::mutex hw_cache_mu_;
+  mutable std::unordered_map<std::string, HwObjectives> hw_cache_
+      GUARDED_BY(hw_cache_mu_);
 };
 
 }  // namespace dcnas::nas

@@ -73,6 +73,12 @@ class TrialJournal {
   /// Looks up a completed trial by its config's lattice_key().
   const JournalEntry* find(const std::string& lattice_key) const;
 
+  /// All entries keyed by lattice_key (the journal → TrialStore migration
+  /// path iterates this).
+  const std::map<std::string, JournalEntry>& entries() const {
+    return entries_;
+  }
+
   /// Appends one entry and flushes it to disk (fsync when enabled).
   void append(const JournalEntry& entry);
 

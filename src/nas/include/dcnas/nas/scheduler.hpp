@@ -41,6 +41,7 @@
 /// fold accuracies are still exactly the serial values.
 
 #include <cstddef>
+#include <map>
 #include <memory>
 #include <mutex>
 #include <string>
@@ -49,6 +50,7 @@
 #include "dcnas/common/thread_pool.hpp"
 #include "dcnas/nas/experiment.hpp"
 #include "dcnas/nas/journal.hpp"
+#include "dcnas/nas/store/trial_store.hpp"
 
 namespace dcnas::nas {
 
@@ -99,10 +101,22 @@ struct SchedulerOptions {
   /// 1 = folds are strictly single-threaded compute (the default; trials x
   /// folds already saturate the pool).
   std::size_t kernel_threads_per_trial = 1;
-  /// Crash-safe resume journal; empty disables journaling.
+  /// Crash-safe resume journal; empty disables journaling. Legacy path —
+  /// the journal's line format carries neither precision nor depth, so it
+  /// only round-trips paper-lattice configs; wide-lattice runs use the
+  /// store instead.
   std::string journal_path;
   /// fsync after every journal append (keep on outside tests).
   bool fsync_journal = true;
+  /// Memory-mapped TrialStore directory; empty disables the store. When
+  /// set, finished trials commit to the store (resume works like the
+  /// journal but across *processes*) and run_streamed becomes available.
+  std::string store_dir;
+  /// fsync every store commit (crash safety; benches may disable).
+  bool fsync_store = true;
+  /// Expected lattice fingerprint for the store (0 = accept any); see
+  /// TrialStoreOptions::lattice_fingerprint.
+  std::uint64_t store_fingerprint = 0;
   MedianStopOptions pruner;
   bool log_progress = false;
 };
@@ -135,13 +149,30 @@ class TrialScheduler {
   /// (in-flight folds drain, remaining trials are skipped) and is rethrown.
   TrialDatabase run(const std::vector<TrialConfig>& configs);
 
+  /// Streaming mode for lattices too wide to materialize: pulls candidates
+  /// from \p stream one at a time, commits every finished trial to the
+  /// store (SchedulerOptions::store_dir is required), and *retires* each
+  /// trial's in-memory state as it finalizes — peak memory is
+  /// O(max_inflight_trials), not O(lattice). Trials already complete in the
+  /// store are skipped (counted as resumed), which is also what lets N
+  /// worker processes share one store: each streams its own shard. Read
+  /// views come from the store afterwards (TrialStore::assemble for the
+  /// serial-parity ordering).
+  SchedulerStats run_streamed(CandidateStream& stream);
+
   const SchedulerStats& stats() const { return stats_; }
   const SchedulerOptions& options() const { return options_; }
   std::size_t threads() const { return pool_.size(); }
 
+  /// The store opened by the last run (nullptr when store_dir is empty).
+  TrialStore* store() const { return store_.get(); }
+
  private:
   struct TrialState;
 
+  void prepare_run();
+  bool resolve_from_history(TrialState* trial);
+  void commit_entry(const JournalEntry& entry);
   void run_fold_task(TrialState* trial, int fold);
   void finalize_trial(TrialState* trial);
 
@@ -157,9 +188,18 @@ class TrialScheduler {
   bool abort_ = false;
   std::exception_ptr first_error_;
   std::unique_ptr<MedianStopRule> rule_;
-  std::mutex journal_mu_;  ///< serializes appends (TrialJournal is not MT-safe)
+  /// Serializes commits and history lookups (TrialJournal and the store's
+  /// in-handle key index are not MT-safe).
+  std::mutex journal_mu_;
   std::unique_ptr<TrialJournal> journal_;
+  std::unique_ptr<TrialStore> store_;
   std::vector<std::unique_ptr<TrialState>> trials_;
+  /// Streamed-mode live set: finalize_trial retires entries so memory does
+  /// not grow with the lattice. Guarded by mu_.
+  std::map<TrialState*, std::unique_ptr<TrialState>> live_;
+  /// True while run_streamed is draining (written only with no tasks in
+  /// flight; read by finalize_trial on pool workers).
+  bool streaming_ = false;
 };
 
 }  // namespace dcnas::nas

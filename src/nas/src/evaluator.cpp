@@ -1,5 +1,8 @@
 #include "dcnas/nas/evaluator.hpp"
 
+#include <mutex>
+#include <unordered_set>
+
 #include "dcnas/analysis/verifier.hpp"
 #include "dcnas/common/stats.hpp"
 #include "dcnas/geodata/kfold.hpp"
@@ -13,13 +16,32 @@ namespace dcnas::nas {
 void verify_candidate(const TrialConfig& config) {
   obs::Span span("nas", "nas.candidate.verify");
   if (span.armed()) span.arg("config", config.lattice_key());
-  config.validate();
+  config.validate_universe();
+  // Verification depends only on the architecture (batch and precision do
+  // not change the built graph), so successes are memoized per canonical
+  // key: a wide-lattice sweep shares each architecture across dozens of
+  // (batch, precision) lattice points and verifies it once. Failures throw
+  // before insertion, so they are never cached. Bounded so an adversarial
+  // stream of unique architectures cannot grow the set without limit.
+  static std::mutex mu;
+  static std::unordered_set<std::string> verified_archs;
+  constexpr std::size_t kMaxCached = 1 << 20;
+  const std::string arch_key = config.canonical_arch_key();
+  {
+    std::lock_guard<std::mutex> lock(mu);
+    if (verified_archs.count(arch_key) != 0) return;
+  }
   const graph::ModelGraph g =
       graph::build_resnet_graph(config.to_resnet_config());
   analysis::verify_or_throw(g, "NAS candidate " + config.lattice_key());
   static obs::Counter& verified =
       obs::MetricsRegistry::global().counter("nas.candidate.verified.count");
   verified.add(1);
+  {
+    std::lock_guard<std::mutex> lock(mu);
+    if (verified_archs.size() >= kMaxCached) verified_archs.clear();
+    verified_archs.insert(arch_key);
+  }
 }
 
 OracleEvaluator::OracleEvaluator(const OracleOptions& options)

@@ -34,7 +34,7 @@ const std::vector<std::string>& csv_header() {
       "latency_ms",   "lat_std",     "memory_mb",
       "kernel_size",  "stride",      "padding",
       "pool_choice",  "kernel_size_pool", "stride_pool",
-      "initial_output_feature", "precision", "fold_accuracies"};
+      "initial_output_feature", "precision", "depth", "fold_accuracies"};
   return header;
 }
 }  // namespace
@@ -56,7 +56,8 @@ CsvTable TrialDatabase::to_csv() const {
                    std::to_string(r.config.kernel_size_pool),
                    std::to_string(r.config.stride_pool),
                    std::to_string(r.config.initial_output_feature),
-                   std::to_string(r.config.precision), join(folds, ";")});
+                   std::to_string(r.config.precision),
+                   std::to_string(r.config.depth), join(folds, ";")});
   }
   return table;
 }
@@ -82,12 +83,15 @@ TrialDatabase TrialDatabase::from_csv(const CsvTable& table) {
     r.config.stride_pool = static_cast<int>(table.at_int(i, "stride_pool"));
     r.config.initial_output_feature =
         static_cast<int>(table.at_int(i, "initial_output_feature"));
-    // Optional column: journals written before the precision axis carry no
-    // "precision" and load as fp32.
+    // Optional columns: journals written before the precision/depth axes
+    // carry neither and load as fp32 ResNet-18.
     r.config.precision = table.has_column("precision")
                              ? static_cast<int>(table.at_int(i, "precision"))
                              : 0;
-    r.config.validate();
+    r.config.depth = table.has_column("depth")
+                         ? static_cast<int>(table.at_int(i, "depth"))
+                         : 2;
+    r.config.validate_universe();
     r.accuracy = table.at_double(i, "accuracy");
     r.latency_ms = table.at_double(i, "latency_ms");
     r.lat_std = table.at_double(i, "lat_std");
@@ -128,7 +132,7 @@ TrialRecord Experiment::run_trial(const TrialConfig& config) const {
   obs::Span span("nas", "nas.trial.run");
   if (span.armed()) span.arg("config", config.lattice_key());
   const ScopedTimer trial_timer("experiment.trial");
-  config.validate();
+  config.validate_universe();
   TrialRecord r;
   r.config = config;
   EvalResult eval;
@@ -145,6 +149,23 @@ TrialRecord Experiment::run_trial(const TrialConfig& config) const {
 void Experiment::fill_hardware_objectives(TrialRecord& r) const {
   DCNAS_TRACE_SPAN("nas", "nas.trial.hardware");
   const ScopedTimer hw_timer("experiment.hardware_objectives");
+  // The hardware objectives depend only on (architecture, precision) —
+  // never batch — so trials sharing an architecture reuse one prediction.
+  // Memoized values are bit-identical to a fresh computation (same graph,
+  // same meter), so the serial-vs-scheduled parity contract is unaffected.
+  const std::string cache_key =
+      r.config.canonical_arch_key() + (r.config.int8() ? "|q8" : "|f32");
+  {
+    std::lock_guard<std::mutex> lock(hw_cache_mu_);
+    auto it = hw_cache_.find(cache_key);
+    if (it != hw_cache_.end()) {
+      r.latency_ms = it->second.latency_ms;
+      r.lat_std = it->second.lat_std;
+      r.per_device_ms = it->second.per_device_ms;
+      r.memory_mb = it->second.memory_mb;
+      return;
+    }
+  }
   const graph::ModelGraph g = graph::build_resnet_graph(
       r.config.to_resnet_config(), options_.deployment_input_hw);
   // Int8 trials are metered on the quantized serving artifact: conv kernels
@@ -159,6 +180,11 @@ void Experiment::fill_hardware_objectives(TrialRecord& r) const {
   r.lat_std = latency.std_ms;
   r.per_device_ms = latency.per_device_ms;
   r.memory_mb = graph::model_memory_mb(g, p);
+  {
+    std::lock_guard<std::mutex> lock(hw_cache_mu_);
+    hw_cache_.emplace(cache_key, HwObjectives{r.latency_ms, r.lat_std,
+                                              r.per_device_ms, r.memory_mb});
+  }
 }
 
 TrialDatabase Experiment::run_all(

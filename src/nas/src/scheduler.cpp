@@ -135,15 +135,7 @@ TrialScheduler::TrialScheduler(const Experiment& experiment,
 
 TrialScheduler::~TrialScheduler() = default;
 
-TrialDatabase TrialScheduler::run(const std::vector<TrialConfig>& configs) {
-  obs::Span run_span("nas", "nas.sched.run");
-  if (run_span.armed()) {
-    run_span.arg("trials", static_cast<std::int64_t>(configs.size()));
-    run_span.arg("threads", static_cast<std::int64_t>(pool_.size()));
-  }
-  const auto t0 = std::chrono::steady_clock::now();
-  auto& metrics = SchedulerMetrics::instance();
-
+void TrialScheduler::prepare_run() {
   stats_ = {};
   {
     std::lock_guard<std::mutex> lock(mu_);
@@ -157,11 +149,62 @@ TrialDatabase TrialScheduler::run(const std::vector<TrialConfig>& configs) {
     journal_ = std::make_unique<TrialJournal>(options_.journal_path,
                                               options_.fsync_journal);
   }
+  store_.reset();
+  if (!options_.store_dir.empty()) {
+    TrialStoreOptions sopt;
+    sopt.lattice_fingerprint = options_.store_fingerprint;
+    sopt.fsync_each = options_.fsync_store;
+    store_ = std::make_unique<TrialStore>(options_.store_dir, sopt);
+  }
+}
+
+bool TrialScheduler::resolve_from_history(TrialState* trial) {
+  // Store first (the multi-process source of truth), then the journal.
+  // Copy under journal_mu_: in streamed mode finalizes append (and thus
+  // mutate the store's key index) concurrently with admission lookups.
+  std::lock_guard<std::mutex> lock(journal_mu_);
+  const std::string key = trial->config.lattice_key();
+  const JournalEntry* entry = nullptr;
+  if (store_ != nullptr) entry = store_->find(key);
+  if (entry == nullptr && journal_ != nullptr) entry = journal_->find(key);
+  if (entry == nullptr) return false;
+  if (entry->status == TrialStatus::kOk &&
+      entry->record.fold_accuracies.size() ==
+          static_cast<std::size_t>(trial->folds)) {
+    trial->keep = true;
+    trial->result = entry->record;
+    if (options_.pruner.enabled) {
+      rule_->report_completed(running_means(entry->record.fold_accuracies));
+    }
+    return true;
+  }
+  // A pruned entry only resolves a run that also prunes; an
+  // exact-reproduction (pruner-off) run re-evaluates it in full.
+  return entry->status == TrialStatus::kPruned && options_.pruner.enabled;
+}
+
+void TrialScheduler::commit_entry(const JournalEntry& entry) {
+  std::lock_guard<std::mutex> lock(journal_mu_);
+  if (store_ != nullptr) store_->append(entry);
+  if (journal_ != nullptr) journal_->append(entry);
+}
+
+TrialDatabase TrialScheduler::run(const std::vector<TrialConfig>& configs) {
+  obs::Span run_span("nas", "nas.sched.run");
+  if (run_span.armed()) {
+    run_span.arg("trials", static_cast<std::int64_t>(configs.size()));
+    run_span.arg("threads", static_cast<std::int64_t>(pool_.size()));
+  }
+  const auto t0 = std::chrono::steady_clock::now();
+  auto& metrics = SchedulerMetrics::instance();
+
+  prepare_run();
 
   const int folds = experiment_.evaluator().fold_count();
   DCNAS_CHECK(folds >= 1, "evaluator must report >= 1 fold");
 
-  // Resolve every config against the journal; the rest become pending work.
+  // Resolve every config against the store/journal history; the rest
+  // become pending work.
   trials_.clear();
   trials_.reserve(configs.size());
   std::vector<TrialState*> pending;
@@ -170,29 +213,7 @@ TrialDatabase TrialScheduler::run(const std::vector<TrialConfig>& configs) {
     state->config = configs[i];
     state->index = i;
     state->folds = folds;
-    bool resolved = false;
-    if (journal_ != nullptr) {
-      const JournalEntry* entry =
-          journal_->find(configs[i].lattice_key());
-      if (entry != nullptr) {
-        if (entry->status == TrialStatus::kOk &&
-            entry->record.fold_accuracies.size() ==
-                static_cast<std::size_t>(folds)) {
-          state->keep = true;
-          state->result = entry->record;
-          resolved = true;
-          if (options_.pruner.enabled) {
-            rule_->report_completed(
-                running_means(entry->record.fold_accuracies));
-          }
-        } else if (entry->status == TrialStatus::kPruned &&
-                   options_.pruner.enabled) {
-          // A pruned entry only resolves a run that also prunes; an
-          // exact-reproduction (pruner-off) run re-evaluates it in full.
-          resolved = true;
-        }
-      }
-    }
+    const bool resolved = resolve_from_history(state.get());
     if (resolved) {
       ++stats_.resumed;
       metrics.resumed.add(1);
@@ -308,6 +329,140 @@ TrialDatabase TrialScheduler::run(const std::vector<TrialConfig>& configs) {
   return db;
 }
 
+SchedulerStats TrialScheduler::run_streamed(CandidateStream& stream) {
+  DCNAS_CHECK(!options_.store_dir.empty(),
+              "run_streamed requires SchedulerOptions::store_dir — streamed "
+              "results live in the store, not a returned database");
+  obs::Span run_span("nas", "nas.sched.run_streamed");
+  if (run_span.armed()) {
+    run_span.arg("trials", static_cast<std::int64_t>(stream.total()));
+    run_span.arg("threads", static_cast<std::int64_t>(pool_.size()));
+  }
+  const auto t0 = std::chrono::steady_clock::now();
+  auto& metrics = SchedulerMetrics::instance();
+
+  prepare_run();
+
+  const int folds = experiment_.evaluator().fold_count();
+  DCNAS_CHECK(folds >= 1, "evaluator must report >= 1 fold");
+
+  trials_.clear();
+  live_.clear();
+  streaming_ = true;
+
+  const std::size_t max_inflight =
+      options_.max_inflight_trials != 0
+          ? options_.max_inflight_trials
+          : std::max<std::size_t>(1, 2 * pool_.size());
+  const std::int64_t total = stream.total();
+  std::int64_t consumed = 0;
+
+  TrialState* admitting = nullptr;  ///< trial being fanned out right now
+  int submitted = 0;                ///< its fold tasks actually enqueued
+  try {
+    while (std::optional<TrialConfig> config = stream.next()) {
+      ++consumed;
+      TrialState* trial;
+      {
+        auto state = std::make_unique<TrialState>();
+        state->config = *config;
+        state->index = static_cast<std::size_t>(consumed - 1);
+        state->folds = folds;
+        if (resolve_from_history(state.get())) {
+          ++stats_.resumed;
+          metrics.resumed.add(1);
+          continue;  // state frees here; the record is already on disk
+        }
+        trial = state.get();
+        std::lock_guard<std::mutex> lock(mu_);
+        live_.emplace(trial, std::move(state));
+      }
+      {
+        std::unique_lock<std::mutex> lock(mu_);
+        cv_.wait(lock, [&] { return inflight_ < max_inflight || abort_; });
+        if (abort_) {
+          live_.erase(trial);
+          break;
+        }
+        ++inflight_;
+        metrics.inflight.set(static_cast<double>(inflight_));
+      }
+      metrics.queue_depth.set(static_cast<double>(total - consumed));
+      admitting = trial;
+      submitted = 0;
+      verify_candidate(trial->config);
+      trial->admitted_at = std::chrono::steady_clock::now();
+      trial->fold_acc.assign(static_cast<std::size_t>(folds), 0.0);
+      trial->fold_done.assign(static_cast<std::size_t>(folds), 0);
+      trial->remaining_tasks = folds;
+      ++stats_.scheduled;
+      for (int f = 0; f < folds; ++f) {
+        pool_.submit(std::function<void()>(
+            [this, trial, f] { run_fold_task(trial, f); }));
+        ++submitted;
+      }
+      admitting = nullptr;
+    }
+  } catch (...) {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      abort_ = true;
+      if (!first_error_) first_error_ = std::current_exception();
+    }
+    if (admitting != nullptr && submitted == 0) {
+      // Verification threw before any fold task enqueued: retire the slot
+      // and the state here.
+      std::lock_guard<std::mutex> lock(mu_);
+      --inflight_;
+      live_.erase(admitting);
+    } else if (admitting != nullptr) {
+      // Partial fan-out: same accounting as run() — the queued tasks see
+      // abort_, skip evaluation, and drive the trial to finalize.
+      bool finalize_now;
+      {
+        std::lock_guard<std::mutex> lock(admitting->state_mu);
+        admitting->remaining_tasks -= admitting->folds - submitted;
+        finalize_now = admitting->remaining_tasks == 0;
+      }
+      if (finalize_now) finalize_trial(admitting);
+    }
+    cv_.notify_all();
+  }
+
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    cv_.wait(lock, [&] { return inflight_ == 0; });
+  }
+  pool_.wait_idle();
+  streaming_ = false;
+
+  std::exception_ptr error;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    error = first_error_;
+    live_.clear();  // abort may leave never-admitted states behind
+  }
+  if (error) std::rethrow_exception(error);
+
+  stats_.wall_seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+          .count();
+  metrics.inflight.set(0.0);
+  metrics.queue_depth.set(0.0);
+  if (stats_.wall_seconds > 0.0) {
+    metrics.trials_per_s.set(
+        static_cast<double>(stats_.completed + stats_.pruned) /
+        stats_.wall_seconds);
+  }
+  if (options_.log_progress) {
+    DCNAS_LOG_INFO << "scheduler streamed run: " << stats_.completed
+                   << " completed, " << stats_.resumed << " resumed, "
+                   << stats_.pruned << " pruned in " << stats_.wall_seconds
+                   << "s on " << pool_.size() << " threads";
+  }
+  return stats_;
+}
+
 void TrialScheduler::run_fold_task(TrialState* trial, int fold) {
   bool skip;
   {
@@ -398,7 +553,7 @@ void TrialScheduler::finalize_trial(TrialState* trial) {
   try {
     if (!failed && pruned) {
       DCNAS_TRACE_SPAN("nas", "nas.sched.trial.pruned");
-      if (journal_ != nullptr) {
+      if (journal_ != nullptr || store_ != nullptr) {
         JournalEntry entry;
         entry.status = TrialStatus::kPruned;
         entry.record.config = trial->config;
@@ -412,8 +567,7 @@ void TrialScheduler::finalize_trial(TrialState* trial) {
         if (!entry.record.fold_accuracies.empty()) {
           entry.record.accuracy = mean(entry.record.fold_accuracies);
         }
-        std::lock_guard<std::mutex> lock(journal_mu_);
-        journal_->append(entry);
+        commit_entry(entry);
       }
     } else if (complete) {
       DCNAS_TRACE_SPAN("nas", "nas.sched.trial.finalize");
@@ -425,13 +579,12 @@ void TrialScheduler::finalize_trial(TrialState* trial) {
       if (options_.pruner.enabled) {
         rule_->report_completed(running_means(record.fold_accuracies));
       }
-      if (journal_ != nullptr) {
+      if (journal_ != nullptr || store_ != nullptr) {
         JournalEntry entry;
         entry.status = TrialStatus::kOk;
         entry.record = record;
         for (int f = 0; f < trial->folds; ++f) entry.fold_indices.push_back(f);
-        std::lock_guard<std::mutex> lock(journal_mu_);
-        journal_->append(entry);
+        commit_entry(entry);
       }
       metrics.trial_ms.observe(
           std::chrono::duration<double, std::milli>(
@@ -472,6 +625,14 @@ void TrialScheduler::finalize_trial(TrialState* trial) {
   if (options_.log_progress && finished % 200 == 0 && finished > 0) {
     DCNAS_LOG_INFO << "scheduler progress: " << finished
                    << " trials finished";
+  }
+  if (streaming_) {
+    // Streamed trials retire here: the record is in the store, nothing
+    // merges later, and this task is provably the last to touch the state
+    // (remaining_tasks hit zero above). Without this, a 10^5-point sweep
+    // would accumulate one TrialState per lattice point.
+    std::lock_guard<std::mutex> lock(mu_);
+    live_.erase(trial);
   }
 }
 

@@ -1,0 +1,103 @@
+#include "dcnas/nas/store/multiproc.hpp"
+
+#include <sys/types.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <exception>
+#include <vector>
+
+#include "dcnas/common/error.hpp"
+#include "dcnas/common/logging.hpp"
+
+namespace dcnas::nas {
+
+namespace {
+
+/// Worker body, run inside the forked child. Never returns: exits 0 on
+/// success, 1 on any exception (after printing it — the child's stderr is
+/// the parent's stderr).
+[[noreturn]] void worker_main(const Experiment& experiment,
+                              const SearchSpaceSpec& spec, int worker,
+                              const MultiProcSweepOptions& options) {
+  try {
+    SchedulerOptions sched = options.scheduler;
+    sched.store_fingerprint = spec.fingerprint();
+    TrialScheduler scheduler(experiment, sched);
+    LatticeStream shard(spec, worker, options.workers);
+    scheduler.run_streamed(shard);
+    std::_Exit(0);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "nas store worker %d failed: %s\n", worker, e.what());
+  } catch (...) {
+    std::fprintf(stderr, "nas store worker %d failed: unknown exception\n",
+                 worker);
+  }
+  std::_Exit(1);
+}
+
+}  // namespace
+
+MultiProcSweepStats run_multiprocess_sweep(
+    const Experiment& experiment, const SearchSpaceSpec& spec,
+    const std::string& store_dir, const MultiProcSweepOptions& options) {
+  DCNAS_CHECK(options.workers >= 1, "multi-process sweep needs >= 1 worker");
+  DCNAS_CHECK(options.scheduler.journal_path.empty(),
+              "multi-process sweeps use the store, not a journal");
+  spec.validate();
+  const auto t0 = std::chrono::steady_clock::now();
+
+  MultiProcSweepOptions opts = options;
+  opts.scheduler.store_dir = store_dir;
+
+  // Create (or recover) the store before forking so workers race on
+  // appends, never on initialization/recovery.
+  {
+    TrialStoreOptions sopt;
+    sopt.lattice_fingerprint = spec.fingerprint();
+    sopt.fsync_each = opts.scheduler.fsync_store;
+    TrialStore store(store_dir, sopt);
+  }
+
+  std::vector<pid_t> pids;
+  pids.reserve(static_cast<std::size_t>(opts.workers));
+  for (int w = 0; w < opts.workers; ++w) {
+    const pid_t pid = ::fork();
+    DCNAS_CHECK(pid >= 0, "fork failed for store worker");
+    if (pid == 0) worker_main(experiment, spec, w, opts);  // never returns
+    pids.push_back(pid);
+  }
+
+  int failures = 0;
+  for (const pid_t pid : pids) {
+    int status = 0;
+    pid_t rc;
+    do {
+      rc = ::waitpid(pid, &status, 0);
+    } while (rc < 0 && errno == EINTR);
+    DCNAS_CHECK(rc == pid, "waitpid failed for store worker");
+    if (!WIFEXITED(status) || WEXITSTATUS(status) != 0) ++failures;
+  }
+  DCNAS_ASSERT(failures == 0,
+               std::to_string(failures) + " store worker(s) failed");
+
+  MultiProcSweepStats stats;
+  stats.workers = opts.workers;
+  stats.lattice_size = spec.size();
+  {
+    TrialStoreOptions sopt;
+    sopt.lattice_fingerprint = spec.fingerprint();
+    TrialStore store(store_dir, sopt);
+    stats.store_records = store.size();
+  }
+  stats.wall_seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+          .count();
+  return stats;
+}
+
+}  // namespace dcnas::nas

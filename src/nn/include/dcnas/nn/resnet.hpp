@@ -27,6 +27,9 @@ struct ResNetConfig {
   std::int64_t pool_kernel = 3;    ///< search: {2, 3}
   std::int64_t pool_stride = 2;    ///< search: {1, 2}
   std::int64_t init_width = 64;    ///< search: {32, 48, 64}
+  /// BasicBlocks per residual stage: 2 is the paper's ResNet-18; the wide
+  /// NAS lattice also explores 1 (ResNet-10) and 3 (ResNet-26).
+  std::int64_t blocks_per_stage = 2;
   std::int64_t num_classes = 2;
 
   /// The unmodified ResNet-18 baseline used in Table 5.

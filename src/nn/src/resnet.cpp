@@ -19,20 +19,26 @@ ResNetConfig ResNetConfig::baseline(std::int64_t channels) {
 }
 
 void ResNetConfig::validate() const {
+  // Bounds are the widened NAS universe (SearchSpaceSpec::wide), a strict
+  // superset of the paper's Figure 2 values.
   DCNAS_CHECK(in_channels == 5 || in_channels == 7,
               "in_channels must be 5 or 7 (paper's input variants)");
-  DCNAS_CHECK(conv1_kernel == 3 || conv1_kernel == 7,
-              "conv1_kernel must be 3 or 7");
+  DCNAS_CHECK(conv1_kernel == 1 || conv1_kernel == 3 || conv1_kernel == 5 ||
+                  conv1_kernel == 7,
+              "conv1_kernel must be in {1, 3, 5, 7}");
   DCNAS_CHECK(conv1_stride == 1 || conv1_stride == 2,
               "conv1_stride must be 1 or 2");
-  DCNAS_CHECK(conv1_padding >= 1 && conv1_padding <= 3,
-              "conv1_padding must be in {1, 2, 3}");
-  DCNAS_CHECK(pool_kernel == 2 || pool_kernel == 3,
-              "pool_kernel must be 2 or 3");
+  DCNAS_CHECK(conv1_padding >= 0 && conv1_padding <= 3,
+              "conv1_padding must be in {0, 1, 2, 3}");
+  DCNAS_CHECK(pool_kernel >= 2 && pool_kernel <= 4,
+              "pool_kernel must be in {2, 3, 4}");
   DCNAS_CHECK(pool_stride == 1 || pool_stride == 2,
               "pool_stride must be 1 or 2");
-  DCNAS_CHECK(init_width == 32 || init_width == 48 || init_width == 64,
-              "init_width must be in {32, 48, 64}");
+  DCNAS_CHECK(init_width == 16 || init_width == 24 || init_width == 32 ||
+                  init_width == 48 || init_width == 64 || init_width == 96,
+              "init_width must be in {16, 24, 32, 48, 64, 96}");
+  DCNAS_CHECK(blocks_per_stage >= 1 && blocks_per_stage <= 3,
+              "blocks_per_stage must be in {1, 2, 3}");
   DCNAS_CHECK(num_classes >= 2, "num_classes must be >= 2");
 }
 
@@ -65,13 +71,16 @@ ConfigurableResNet::ConfigurableResNet(const ResNetConfig& config, Rng& rng)
     body_.emplace<MaxPool2d>(config_.pool_kernel, config_.pool_stride,
                              (config_.pool_kernel - 1) / 2);
   }
-  // Four stages of two BasicBlocks; stages 2-4 halve the spatial size.
+  // Four stages of blocks_per_stage BasicBlocks; stages 2-4 halve the
+  // spatial size in their first block.
   std::int64_t in_ch = w;
   for (int stage = 0; stage < 4; ++stage) {
     const std::int64_t out_ch = config_.stage_width(stage);
     const std::int64_t stride = (stage == 0) ? 1 : 2;
     body_.emplace<BasicBlock>(in_ch, out_ch, stride, rng);
-    body_.emplace<BasicBlock>(out_ch, out_ch, 1, rng);
+    for (std::int64_t b = 1; b < config_.blocks_per_stage; ++b) {
+      body_.emplace<BasicBlock>(out_ch, out_ch, 1, rng);
+    }
     in_ch = out_ch;
   }
   body_.emplace<GlobalAvgPool>();
@@ -122,8 +131,9 @@ std::string ConfigurableResNet::summary(std::int64_t input_hw) const {
   }
   for (int stage = 0; stage < 4; ++stage) {
     if (stage > 0) hw = (hw + 1) / 2;  // stride-2 first block, padding 1
-    os << "  stage" << (stage + 1) << " x2 blocks: ("
-       << config_.stage_width(stage) << ", " << hw << ", " << hw << ")\n";
+    os << "  stage" << (stage + 1) << " x" << config_.blocks_per_stage
+       << " blocks: (" << config_.stage_width(stage) << ", " << hw << ", "
+       << hw << ")\n";
   }
   os << "  global avg pool:  (" << config_.fc_in_features() << ")\n";
   os << "  fc:               (" << config_.num_classes << ")\n";

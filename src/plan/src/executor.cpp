@@ -234,11 +234,24 @@ void PlanExecutor::run_conv_s8(const PlanStep& step, const float* in0,
   epi.relu = step.kind == KernelKind::kConvRelu ||
              step.kind == KernelKind::kConvBnRelu;
   const std::int64_t oc = step.out_shape.c;
+  // 1x1/s1/p0 convolutions (projection shortcuts, and every 1x1 stem in the
+  // wide lattice) have an identity im2col: the quantized input planes
+  // (C x H·W) already *are* the B matrix. Skip the gather and hand the
+  // planes straight to the packed GEMM — bitwise-identical output, since
+  // both paths accumulate the same int32 products.
+  const bool direct = step.attrs.kernel == 1 && step.attrs.stride == 1 &&
+                      step.attrs.padding == 0;
+  const std::int64_t hw = step.out_shape.h * step.out_shape.w;
   for (std::int64_t s = 0; s < batch; ++s) {
     quant::quantize_activations(in0 + s * in_numel, in_numel, step.in_scale,
                                 t_q_in.data());
-    gemm_s8_im2col(oc, step.weight_q.data(), t_q_in.data(), spec, epi,
-                   out + s * out_numel);
+    if (direct) {
+      gemm_s8(oc, hw, step.in_shape.c, step.weight_q.data(), t_q_in.data(),
+              epi, out + s * out_numel);
+    } else {
+      gemm_s8_im2col(oc, step.weight_q.data(), t_q_in.data(), spec, epi,
+                     out + s * out_numel);
+    }
   }
 }
 

@@ -36,17 +36,65 @@ TEST(ResNetConfigTest, ValidateRejectsOutOfSpaceValues) {
   c.in_channels = 4;
   EXPECT_THROW(c.validate(), InvalidArgument);
   c = ResNetConfig::baseline(5);
-  c.conv1_kernel = 5;
+  c.conv1_kernel = 4;
   EXPECT_THROW(c.validate(), InvalidArgument);
   c = ResNetConfig::baseline(5);
-  c.conv1_padding = 0;
+  c.conv1_padding = 5;
   EXPECT_THROW(c.validate(), InvalidArgument);
   c = ResNetConfig::baseline(5);
   c.init_width = 40;
   EXPECT_THROW(c.validate(), InvalidArgument);
   c = ResNetConfig::baseline(5);
+  c.blocks_per_stage = 4;
+  EXPECT_THROW(c.validate(), InvalidArgument);
+  c = ResNetConfig::baseline(5);
   c.num_classes = 1;
   EXPECT_THROW(c.validate(), InvalidArgument);
+}
+
+TEST(ResNetConfigTest, ValidateAcceptsWideLatticeValues) {
+  // Wide-lattice extensions (SearchSpaceSpec::wide) are legal builds.
+  ResNetConfig c = ResNetConfig::baseline(5);
+  c.conv1_kernel = 1;
+  c.conv1_padding = 0;
+  c.init_width = 24;
+  c.pool_kernel = 4;
+  c.blocks_per_stage = 3;
+  EXPECT_NO_THROW(c.validate());
+}
+
+TEST(ResNetTest, BlocksPerStageScalesParamCount) {
+  Rng rng(5);
+  ResNetConfig shallow = ResNetConfig::baseline(5);
+  shallow.blocks_per_stage = 1;
+  ResNetConfig deep = ResNetConfig::baseline(5);
+  deep.blocks_per_stage = 3;
+  ConfigurableResNet m10(shallow, rng);
+  ConfigurableResNet m18(ResNetConfig::baseline(5), rng);
+  ConfigurableResNet m26(deep, rng);
+  EXPECT_LT(m10.num_params(), m18.num_params());
+  EXPECT_LT(m18.num_params(), m26.num_params());
+  // Each extra block is stride-1 same-channel: no projection shortcut, so
+  // the stage-wise increments are symmetric around ResNet-18.
+  EXPECT_EQ(m18.num_params() - m10.num_params(),
+            m26.num_params() - m18.num_params());
+}
+
+TEST(ResNetTest, BlocksPerStageForwardBackwardShapes) {
+  for (std::int64_t blocks : {1, 3}) {
+    Rng rng(6);
+    ResNetConfig c = ResNetConfig::baseline(5);
+    c.blocks_per_stage = blocks;
+    c.init_width = 32;
+    c.conv1_kernel = 3;
+    c.conv1_padding = 1;
+    ConfigurableResNet model(c, rng);
+    const Tensor x = Tensor::rand_uniform({2, 5, 48, 48}, rng, -1.0f, 1.0f);
+    const Tensor y = model.forward(x);
+    ASSERT_EQ(y.shape(), (Shape{2, 2}));
+    const Tensor gx = model.backward(Tensor::full({2, 2}, 0.1f));
+    EXPECT_TRUE(gx.same_shape(x));
+  }
 }
 
 TEST(ResNetTest, BaselineParamCountMatchesTorchvisionDerivation) {

@@ -10,6 +10,8 @@
 #include "dcnas/nn/resnet.hpp"
 #include "dcnas/plan/compiler.hpp"
 #include "dcnas/plan/executor.hpp"
+#include "dcnas/quant/quantize.hpp"
+#include "dcnas/tensor/gemm_s8.hpp"
 
 namespace dcnas::plan {
 namespace {
@@ -128,6 +130,67 @@ TEST(QuantizedPlanTest, Int8OutputTracksFp32PlanWithinBound) {
       EXPECT_EQ(want_arg, got_arg) << "sample " << s << " margin " << margin;
     }
   }
+}
+
+TEST(QuantizedPlanTest, PointwiseFastPathMatchesIm2colBitwise) {
+  // kernel=1/stride=1/padding=0 convs take the executor's direct-GEMM fast
+  // path (no im2col gather). Build a 1x1-stem model, capture the stem
+  // step's output with an observer, and check it is bitwise identical to
+  // the reference gemm_s8_im2col route on the same quantized input.
+  Fixture f;
+  f.config = nn::ResNetConfig::baseline(5);
+  f.config.init_width = 32;
+  f.config.conv1_kernel = 1;
+  f.config.conv1_stride = 1;
+  f.config.conv1_padding = 0;
+  Rng rng(17);
+  f.model = std::make_unique<nn::ConfigurableResNet>(f.config, rng);
+  for (int i = 0; i < 3; ++i) {
+    const Tensor x = Tensor::rand_uniform({4, 5, 24, 24}, rng, -1.0f, 2.0f);
+    f.model->forward(x);
+  }
+  f.model->set_training(false);
+  f.graph = graph::build_resnet_graph(f.config, 24);
+  f.exec = std::make_unique<GraphExecutor>(f.graph, *f.model);
+  f.calibration = Tensor::rand_uniform({6, 5, 24, 24}, rng, -1.0f, 1.0f);
+  const CompiledPlan plan = compile_int8(f);
+  PlanExecutor exec(plan);
+
+  Rng in_rng(41);
+  const Tensor x = Tensor::rand_uniform({1, 5, 24, 24}, in_rng, -1.0f, 1.0f);
+  std::vector<float> stem_out;
+  const PlanStep* stem = nullptr;
+  exec.run(x, [&](const PlanStep& step, const float* out, std::int64_t n) {
+    if (stem == nullptr && step.attrs.kernel == 1 &&
+        step.precision == Precision::kInt8) {
+      stem = &step;
+      stem_out.assign(out, out + n);
+    }
+  });
+  ASSERT_NE(stem, nullptr) << "no int8 1x1 conv step found in the plan";
+  ASSERT_EQ(stem->attrs.stride, 1);
+  ASSERT_EQ(stem->attrs.padding, 0);
+
+  // Reference route: quantize the input and run the im2col GEMM.
+  std::vector<std::int8_t> q_in(static_cast<std::size_t>(x.numel()));
+  quant::quantize_activations(x.data(), x.numel(), stem->in_scale,
+                              q_in.data());
+  Im2colSpec spec;
+  spec.channels = stem->in_shape.c;
+  spec.height = stem->in_shape.h;
+  spec.width = stem->in_shape.w;
+  spec.kernel = 1;
+  spec.stride = 1;
+  spec.padding = 0;
+  QuantEpilogue epi;
+  epi.scale = stem->requant_scale.data();
+  epi.bias = stem->bias ? stem->bias->data() : nullptr;
+  epi.relu = stem->kind == KernelKind::kConvRelu ||
+             stem->kind == KernelKind::kConvBnRelu;
+  std::vector<float> want(static_cast<std::size_t>(stem->out_shape.numel()));
+  gemm_s8_im2col(stem->out_shape.c, stem->weight_q.data(), q_in.data(), spec,
+                 epi, want.data());
+  ASSERT_EQ(stem_out, want);
 }
 
 TEST(QuantizedPlanTest, Int8PlanIsDeterministic) {

@@ -136,6 +136,47 @@ TEST(GemmS8Test, QuantizedProductTracksFp32ProductWithinScaleBound) {
   }
 }
 
+TEST(GemmS8Test, DirectGemmMatchesIm2colForPointwiseConv) {
+  // For kernel=1, stride=1, padding=0 the im2col gather is the identity:
+  // the executor's fast path hands the quantized input planes (C x H·W)
+  // straight to gemm_s8. Both routes accumulate the same int32 products,
+  // so the fp32 outputs must match bitwise — across the lattice's channel
+  // counts (5/7 inputs, 16..96 widths) and spatial sizes.
+  Rng rng(311);
+  const std::int64_t chans[] = {5, 7, 16, 24, 32, 48, 64, 96};
+  const std::int64_t sides[] = {1, 7, 23};
+  for (std::int64_t c : chans) {
+    for (std::int64_t side : sides) {
+      const std::int64_t oc = 17;  // off the micro-tile edge on purpose
+      const std::int64_t hw = side * side;
+      const auto w = random_q(oc * c, rng);
+      const auto im = random_q(c * hw, rng);
+      std::vector<float> scale(static_cast<std::size_t>(oc));
+      std::vector<float> bias(static_cast<std::size_t>(oc));
+      for (auto& v : scale) {
+        v = 0.001f + 0.01f * static_cast<float>(rng.uniform());
+      }
+      for (auto& v : bias) v = static_cast<float>(rng.uniform()) - 0.5f;
+      QuantEpilogue epi;
+      epi.scale = scale.data();
+      epi.bias = bias.data();
+      epi.relu = true;
+      Im2colSpec spec;
+      spec.channels = c;
+      spec.height = side;
+      spec.width = side;
+      spec.kernel = 1;
+      spec.stride = 1;
+      spec.padding = 0;
+      std::vector<float> via_im2col(static_cast<std::size_t>(oc * hw), -1.0f);
+      gemm_s8_im2col(oc, w.data(), im.data(), spec, epi, via_im2col.data());
+      std::vector<float> direct(static_cast<std::size_t>(oc * hw), -2.0f);
+      gemm_s8(oc, hw, c, w.data(), im.data(), epi, direct.data());
+      ASSERT_EQ(direct, via_im2col) << "c=" << c << " side=" << side;
+    }
+  }
+}
+
 TEST(GemmS8Test, RejectsKBeyondOverflowBound) {
   std::vector<std::int8_t> a(static_cast<std::size_t>(kGemmS8MaxK + 1));
   std::vector<std::int8_t> b(static_cast<std::size_t>(kGemmS8MaxK + 1));
